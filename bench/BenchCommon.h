@@ -1,0 +1,90 @@
+//===- bench/BenchCommon.h - Shared experiment-harness helpers --*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/per-figure experiment binaries: the
+/// paper's processor configuration (XScale-like 3-mode table, typical
+/// regulator), simulator construction per workload input, and the five
+/// per-benchmark deadlines spanning stringent-to-lax (the paper's
+/// Figure 16 positions, concretized like its Table 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_BENCH_BENCHCOMMON_H
+#define CDVS_BENCH_BENCHCOMMON_H
+
+#include "analytic/AnalyticModel.h"
+#include "dvs/DvsScheduler.h"
+#include "power/ModeTable.h"
+#include "power/TransitionModel.h"
+#include "profile/Profile.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cdvs {
+namespace bench {
+
+/// Builds a simulator for one workload input (applies the input setup).
+inline std::unique_ptr<Simulator> makeSimulator(const Workload &W,
+                                                const WorkloadInput &In) {
+  auto Sim = std::make_unique<Simulator>(*W.Fn);
+  In.Setup(*Sim);
+  return Sim;
+}
+
+/// The five deadline positions of Figure 16, derived from the program's
+/// single-mode execution times (slowest = index 0 mode, fastest = last):
+/// 1 = stringent (just above the fastest time) ... 5 = lax (just under
+/// the slowest-mode time, so the whole run fits at the lowest level).
+inline std::vector<double> fiveDeadlines(const Profile &P) {
+  double TFast = P.TotalTimeAtMode.back();
+  double TMid = P.TotalTimeAtMode[P.TotalTimeAtMode.size() / 2];
+  double TSlow = P.TotalTimeAtMode.front();
+  std::vector<double> D = {
+      1.03 * TFast,                 // Deadline 1
+      TFast + 0.25 * (TMid - TFast),// Deadline 2
+      1.02 * TMid,                  // Deadline 3
+      0.5 * (TMid + TSlow),         // Deadline 4
+      0.985 * TSlow,                // Deadline 5
+  };
+  // Memory-bound programs compress the fast end (T600 ~ T800): keep the
+  // ladder strictly increasing anyway.
+  for (size_t I = 1; I < D.size(); ++I)
+    D[I] = std::max(D[I], D[I - 1] * 1.02);
+  return D;
+}
+
+/// Analytic parameters from a reference run plus a chosen deadline.
+inline AnalyticParams analyticParamsFrom(const RunStats &Ref,
+                                         double Deadline) {
+  AnalyticParams P;
+  P.NoverlapCycles = static_cast<double>(Ref.NoverlapCycles);
+  P.NdependentCycles = static_cast<double>(Ref.NdependentCycles);
+  P.NcacheCycles = static_cast<double>(Ref.NcacheCycles);
+  P.TinvariantSeconds = Ref.TinvariantSeconds;
+  P.TdeadlineSeconds = Deadline;
+  return P;
+}
+
+/// The paper's benchmark subset used in Tables 1/6/7.
+inline std::vector<std::string> analyticBenchmarks() {
+  return {"adpcm", "epic", "gsm", "mpeg_decode"};
+}
+
+/// The six-benchmark set of the Section 6 MILP experiments.
+inline std::vector<std::string> milpBenchmarks() {
+  return {"mpeg_decode", "gsm", "mpg123", "epic", "adpcm", "ghostscript"};
+}
+
+} // namespace bench
+} // namespace cdvs
+
+#endif // CDVS_BENCH_BENCHCOMMON_H

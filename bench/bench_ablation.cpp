@@ -1,0 +1,181 @@
+//===- bench/bench_ablation.cpp - design-choice ablations ------------------===//
+//
+// Ablation studies for the design choices DESIGN.md calls out:
+//  1. SOS1-aware branching vs plain most-fractional-variable branching
+//     in the branch-and-bound (nodes explored, LP iterations, time);
+//  2. the rounding-heuristic incumbent on/off;
+//  3. the edge-filter threshold swept over {0, 0.5%, 2%, 8%}: groups,
+//     solve time, and realized energy;
+//  4. edge-based vs block-based mode granularity — block-based is
+//     emulated by tying all of a block's incoming edges together, which
+//     is what a block-entry mode-set instruction would enforce.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Rng.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace cdvs;
+using namespace cdvs::bench;
+
+namespace {
+
+/// Builds the paper MILP for one workload at a mid deadline and solves
+/// it with the given options; reports search effort.
+struct MilpEffort {
+  long Nodes = 0;
+  long LpIterations = 0;
+  double Seconds = 0.0;
+  double Objective = 0.0;
+};
+
+MilpEffort solveKnapsackFamily(bool UseSos1, bool UseRounding,
+                               uint64_t Seed) {
+  // A synthetic mode-assignment program shaped like the DVS MILP:
+  // 20 groups x 5 modes with a tight deadline row, deliberately harder
+  // than the (filtered) real instances so branching differences show.
+  Rng R(Seed);
+  const int Groups = 32, Modes = 5;
+  LpProblem P;
+  std::vector<std::vector<int>> K(Groups);
+  std::vector<LpTerm> TimeRow;
+  double MinTime = 0.0, MaxTime = 0.0;
+  for (int G = 0; G < Groups; ++G) {
+    std::vector<LpTerm> Sum;
+    double GMin = 1e18, GMax = 0.0;
+    for (int M = 0; M < Modes; ++M) {
+      double E = 1.0 + R.nextDouble() * 9.0;
+      double T = 1.0 + R.nextDouble() * 9.0;
+      int V = P.addVariable(0.0, 1.0, E);
+      K[G].push_back(V);
+      Sum.push_back({V, 1.0});
+      TimeRow.push_back({V, T});
+      GMin = std::min(GMin, T);
+      GMax = std::max(GMax, T);
+    }
+    P.addRow(RowSense::EQ, 1.0, Sum);
+    MinTime += GMin;
+    MaxTime += GMax;
+  }
+  P.addRow(RowSense::LE, 0.48 * MinTime + 0.52 * MaxTime, TimeRow);
+
+  std::vector<int> Ints;
+  for (auto &G : K)
+    Ints.insert(Ints.end(), G.begin(), G.end());
+  MilpOptions O;
+  O.UseRounding = UseRounding;
+  MilpSolver S(P, Ints, O);
+  if (UseSos1)
+    for (auto &G : K)
+      S.addSos1Group(G);
+
+  auto T0 = std::chrono::steady_clock::now();
+  MilpSolution Sol = S.solve();
+  auto T1 = std::chrono::steady_clock::now();
+  MilpEffort E;
+  E.Nodes = Sol.Nodes;
+  E.LpIterations = Sol.LpIterations;
+  E.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  E.Objective = Sol.Objective;
+  return E;
+}
+
+} // namespace
+
+int main() {
+  // ---- Ablation 1 & 2: branching and rounding, averaged over seeds.
+  std::printf("== Ablation: B&B branching and rounding heuristics ==\n");
+  Table TA({"configuration", "avg nodes", "avg LP iters", "avg ms"});
+  struct Config {
+    const char *Name;
+    bool Sos1, Rounding;
+  };
+  for (Config C : std::initializer_list<Config>{
+           {"SOS1 + rounding", true, true},
+           {"SOS1, no rounding", true, false},
+           {"plain branching + rounding", false, true},
+           {"plain, no rounding", false, false}}) {
+    double Nodes = 0, Iters = 0, Ms = 0;
+    const int Trials = 12;
+    for (int T = 0; T < Trials; ++T) {
+      MilpEffort E = solveKnapsackFamily(C.Sos1, C.Rounding, 7000 + T);
+      Nodes += static_cast<double>(E.Nodes);
+      Iters += static_cast<double>(E.LpIterations);
+      Ms += E.Seconds * 1e3;
+    }
+    TA.addRow({C.Name, formatDouble(Nodes / Trials, 1),
+               formatDouble(Iters / Trials, 0),
+               formatDouble(Ms / Trials, 2)});
+  }
+  TA.print();
+  std::printf("(finding: on this family the two rules coincide — the LP "
+              "relaxation splits each\n group across two adjacent modes, "
+              "so the most-fractional variable always lies in\n the "
+              "most-fractional group; rounding changes wall time, not "
+              "the tree)\n");
+
+  // ---- Ablation 3: filter threshold sweep on a real workload.
+  std::printf("\n== Ablation: edge-filter threshold (gsm, mid deadline) "
+              "==\n");
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  Workload W = workloadByName("gsm");
+  auto Sim = makeSimulator(W, W.defaultInput());
+  Profile Prof = collectProfile(*Sim, Modes);
+  double Deadline =
+      0.5 * (Prof.TotalTimeAtMode.front() + Prof.TotalTimeAtMode.back());
+  Table TF({"threshold", "groups", "solve ms", "energy uJ"});
+  for (double Th : {0.0, 0.005, 0.02, 0.08}) {
+    DvsOptions O;
+    O.FilterThreshold = Th;
+    O.InitialMode = 2;
+    DvsScheduler Sched(*W.Fn, Prof, Modes, Reg, O);
+    ErrorOr<ScheduleResult> R = Sched.schedule(Deadline);
+    if (!R)
+      continue;
+    RunStats Run = Sim->run(Modes, R->Assignment, Reg);
+    TF.addRow({formatDouble(Th, 3),
+               formatInt(R->NumIndependentGroups),
+               formatDouble(R->SolveSeconds * 1e3, 2),
+               formatDouble(Run.EnergyJoules * 1e6, 1)});
+  }
+  TF.print();
+
+  // ---- Ablation 4: edge-based vs block-based granularity.
+  // Block-based control = one mode per block regardless of entry path.
+  // Emulated with a per-block profile squeeze: tie all in-edges by
+  // running the scheduler with threshold 1.0 (ties every tail edge),
+  // vs the paper's edge-based default.
+  std::printf("\n== Ablation: edge-based vs (approximate) block-based "
+              "granularity ==\n");
+  Table TG({"benchmark", "edge groups", "edge energy uJ",
+            "block-ish groups", "block-ish energy uJ"});
+  for (const std::string &Name : {std::string("mpeg_decode"),
+                                  std::string("gsm")}) {
+    Workload WB = workloadByName(Name);
+    auto SimB = makeSimulator(WB, WB.defaultInput());
+    Profile ProfB = collectProfile(*SimB, Modes);
+    double Dl = 0.5 * (ProfB.TotalTimeAtMode.front() +
+                       ProfB.TotalTimeAtMode.back());
+    auto runWithThreshold = [&](double Th) {
+      DvsOptions O;
+      O.FilterThreshold = Th;
+      O.InitialMode = 2;
+      DvsScheduler Sched(*WB.Fn, ProfB, Modes, Reg, O);
+      ErrorOr<ScheduleResult> R = Sched.schedule(Dl);
+      double E = R ? SimB->run(Modes, R->Assignment, Reg).EnergyJoules
+                   : -1.0;
+      return std::make_pair(R ? R->NumIndependentGroups : 0, E);
+    };
+    auto [GE, EE] = runWithThreshold(0.02);
+    auto [GB, EB] = runWithThreshold(0.60);
+    TG.addRow({Name, formatInt(GE), formatDouble(EE * 1e6, 1),
+               formatInt(GB), formatDouble(EB * 1e6, 1)});
+  }
+  TG.print();
+  return 0;
+}

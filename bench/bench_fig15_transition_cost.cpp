@@ -1,0 +1,66 @@
+//===- bench/bench_fig15_transition_cost.cpp - Figure 15 ------------------===//
+//
+// Regenerates the transition-cost study of Section 6.2: sweep the power
+// regulator capacitance c over {100u, 10u, 1u, 0.1u, 0.01u} F at the lax
+// Deadline 5 and report, per benchmark:
+//  * schedule energy normalized to the fixed 600 MHz run (the paper's
+//    Figure 15 bars), and
+//  * the dynamic mode-transition count (the paper's in-text numbers:
+//    near zero at c = 100 uF, large at the smallest c).
+// As c falls the energy approaches the (0.7/1.3)^2 ~ 0.29 bound of
+// all-200 MHz operation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace cdvs;
+using namespace cdvs::bench;
+
+int main() {
+  ModeTable Modes = ModeTable::xscale3();
+  const std::vector<double> Caps = {100e-6, 10e-6, 1e-6, 0.1e-6,
+                                    0.01e-6};
+
+  std::printf("== Figure 15: energy vs transition cost (normalized to "
+              "600 MHz fixed) ==\n");
+  Table TE({"benchmark", "c=100uF", "c=10uF", "c=1uF", "c=0.1uF",
+            "c=0.01uF"});
+  Table TT({"benchmark", "c=100uF", "c=10uF", "c=1uF", "c=0.1uF",
+            "c=0.01uF"});
+
+  for (const std::string &Name : milpBenchmarks()) {
+    Workload W = workloadByName(Name);
+    auto Sim = makeSimulator(W, W.defaultInput());
+    Profile Prof = collectProfile(*Sim, Modes);
+    double Deadline = fiveDeadlines(Prof)[4]; // Deadline 5 (lax)
+    double Base600 = Prof.TotalEnergyAtMode[1];
+
+    std::vector<std::string> RowE = {Name}, RowT = {Name};
+    for (double C : Caps) {
+      TransitionModel Reg = TransitionModel::withCapacitance(C);
+      DvsOptions O;
+      O.InitialMode = 1; // start at the 600 MHz baseline mode
+      DvsScheduler Sched(*W.Fn, Prof, Modes, Reg, O);
+      ErrorOr<ScheduleResult> R = Sched.schedule(Deadline);
+      if (!R) {
+        RowE.push_back("-");
+        RowT.push_back("-");
+        continue;
+      }
+      RunStats Run = Sim->run(Modes, R->Assignment, Reg);
+      RowE.push_back(formatDouble(Run.EnergyJoules / Base600, 3));
+      RowT.push_back(formatInt(static_cast<long long>(Run.Transitions)));
+    }
+    TE.addRow(RowE);
+    TT.addRow(RowT);
+  }
+  TE.print();
+  std::printf("\n== Dynamic transition counts over the same sweep ==\n");
+  TT.print();
+  std::printf("\n(V^2 bound for all-200MHz: (0.7/1.3)^2 = %.3f)\n",
+              (0.7 * 0.7) / (1.3 * 1.3));
+  return 0;
+}

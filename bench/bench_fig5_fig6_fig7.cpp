@@ -1,0 +1,121 @@
+//===- bench/bench_fig5_fig6_fig7.cpp - Figures 5, 6, 7 -------------------===//
+//
+// Regenerates the continuous-case energy-saving-ratio surfaces of
+// Section 3.3.3 at the paper's parameter points:
+//  * Figure 5 — saving vs (Noverlap, Ndependent), Ncache = 3e5 cycles,
+//    tdeadline = 3000 us, tinvariant = 1000 us;
+//  * Figure 6 — saving vs (Ncache, tinvariant), Noverlap = 4e6,
+//    Ndependent = 5.8e6, tdeadline = 5000 us;
+//  * Figure 7 — saving vs (tdeadline, Ncache), Noverlap = 4e6,
+//    Ndependent = 5.7e6, tinvariant = 1000 us.
+// Each surface prints a CSV grid: rows = first axis, cols = second.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+#include <functional>
+
+using namespace cdvs;
+using namespace cdvs::bench;
+
+namespace {
+
+void printSurface(
+    const char *Title, const char *RowAxis, const char *ColAxis,
+    const std::vector<double> &Rows, const std::vector<double> &Cols,
+    const std::function<double(double, double)> &Saving) {
+  std::printf("\n== %s ==\n(rows: %s; cols: %s; cells: saving ratio, "
+              "'-' = infeasible)\n",
+              Title, RowAxis, ColAxis);
+  std::vector<std::string> Header = {std::string(RowAxis) + "\\" +
+                                     ColAxis};
+  for (double C : Cols)
+    Header.push_back(formatDouble(C, 0));
+  Table T(Header);
+  for (double R : Rows) {
+    std::vector<std::string> Row = {formatDouble(R, 0)};
+    for (double C : Cols) {
+      double S = Saving(R, C);
+      Row.push_back(S < 0.0 ? "-" : formatDouble(S, 3));
+    }
+    T.addRow(Row);
+  }
+  T.print();
+}
+
+} // namespace
+
+int main() {
+  AnalyticModel M(VfModel::paperDefault(), 0.6, 3.3);
+
+  auto savingOf = [&](const AnalyticParams &P) {
+    ContinuousSolution S = M.solveContinuous(P);
+    return S.Kind == AnalyticCase::Infeasible ? -1.0 : S.SavingRatio;
+  };
+
+  // Figure 5: Noverlap (rows, Kcycles) x Ndependent (cols, Kcycles).
+  {
+    std::vector<double> Nov, Ndep;
+    for (double X = 200; X <= 1800; X += 200)
+      Nov.push_back(X);
+    for (double X = 100; X <= 1500; X += 200)
+      Ndep.push_back(X);
+    printSurface(
+        "Figure 5: continuous saving vs (Noverlap, Ndependent)",
+        "Nov(Kcyc)", "Ndep(Kcyc)", Nov, Ndep,
+        [&](double NovK, double NdepK) {
+          AnalyticParams P;
+          P.NoverlapCycles = NovK * 1e3;
+          P.NdependentCycles = NdepK * 1e3;
+          P.NcacheCycles = 3e5;
+          P.TinvariantSeconds = 1000e-6;
+          P.TdeadlineSeconds = 3000e-6;
+          return savingOf(P);
+        });
+  }
+
+  // Figure 6: Ncache (rows, Kcycles) x tinvariant (cols, us).
+  {
+    std::vector<double> Ncache, Tinv;
+    for (double X = 200; X <= 1800; X += 200)
+      Ncache.push_back(X);
+    for (double X = 500; X <= 3500; X += 500)
+      Tinv.push_back(X);
+    printSurface(
+        "Figure 6: continuous saving vs (Ncache, tinvariant)",
+        "Ncache(Kcyc)", "tinv(us)", Ncache, Tinv,
+        [&](double NcacheK, double TinvUs) {
+          AnalyticParams P;
+          P.NoverlapCycles = 4e6;
+          P.NdependentCycles = 5.8e6;
+          P.NcacheCycles = NcacheK * 1e3;
+          P.TinvariantSeconds = TinvUs * 1e-6;
+          P.TdeadlineSeconds = 5000e-6;
+          return savingOf(P);
+        });
+  }
+
+  // Figure 7: tdeadline (rows, us) x Ncache (cols, Kcycles).
+  {
+    std::vector<double> Tdl, Ncache;
+    for (double X = 1500; X <= 5000; X += 500)
+      Tdl.push_back(X);
+    for (double X = 500; X <= 4000; X += 500)
+      Ncache.push_back(X);
+    printSurface(
+        "Figure 7: continuous saving vs (tdeadline, Ncache)",
+        "tdl(us)", "Ncache(Kcyc)", Tdl, Ncache,
+        [&](double TdlUs, double NcacheK) {
+          AnalyticParams P;
+          P.NoverlapCycles = 4e6;
+          P.NdependentCycles = 5.7e6;
+          P.NcacheCycles = NcacheK * 1e3;
+          P.TinvariantSeconds = 1000e-6;
+          P.TdeadlineSeconds = TdlUs * 1e-6;
+          return savingOf(P);
+        });
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+//===- bench/bench_fig8_fig9_fig10_fig11.cpp - Figures 8–11 ---------------===//
+//
+// Regenerates the discrete-voltage analysis of Section 3.4:
+//  * Figure 8 — Emin(y): discrete-case energy versus the time y granted
+//    to the Ncache stream (staircase objective, swept numerically);
+//  * Figure 9 — discrete saving vs (Noverlap, Ndependent); 7 levels,
+//    Ncache = 2e5 cycles, tdl = 5200 us, tinv = 1000 us;
+//  * Figure 10 — discrete saving vs (Ncache, tinvariant); 7 levels,
+//    Nov = 1.3e7, Ndep = 7e7, tdl = 3.5e5 us;
+//  * Figure 11 — discrete saving vs (tdeadline, Ncache); 7 levels,
+//    Nov = 1.3e7, Ndep = 7e7, tinv = 1000 us (deadline range scaled to
+//    where this point is feasible).
+// Savings are relative to the best single level meeting the deadline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+using namespace cdvs;
+using namespace cdvs::bench;
+
+namespace {
+
+void printSurface(
+    const char *Title, const char *RowAxis, const char *ColAxis,
+    const std::vector<double> &Rows, const std::vector<double> &Cols,
+    const std::function<double(double, double)> &Saving) {
+  std::printf("\n== %s ==\n(rows: %s; cols: %s; cells: saving ratio, "
+              "'-' = infeasible)\n",
+              Title, RowAxis, ColAxis);
+  std::vector<std::string> Header = {std::string(RowAxis) + "\\" +
+                                     ColAxis};
+  for (double C : Cols)
+    Header.push_back(formatDouble(C, 0));
+  Table T(Header);
+  for (double R : Rows) {
+    std::vector<std::string> Row = {formatDouble(R, 0)};
+    for (double C : Cols) {
+      double S = Saving(R, C);
+      Row.push_back(S < 0.0 ? "-" : formatDouble(S, 3));
+    }
+    T.addRow(Row);
+  }
+  T.print();
+}
+
+} // namespace
+
+int main() {
+  VfModel Vf = VfModel::paperDefault();
+  AnalyticModel M(Vf, 0.6, 3.3);
+  ModeTable Seven = ModeTable::evenVoltageLevels(7, 0.7, 1.65, Vf);
+
+  // ---- Figure 8: Emin(y) for a memory-dominated point. ----
+  {
+    AnalyticParams P;
+    P.NoverlapCycles = 4e6;
+    P.NcacheCycles = 0.3e6;
+    P.NdependentCycles = 5.8e6;
+    P.TinvariantSeconds = 20e-3;
+    P.TdeadlineSeconds = 30e-3;
+    DiscreteSolution D = M.solveDiscrete(P, Seven);
+    std::printf("== Figure 8: Emin(y), 7 levels ==\n");
+    std::printf("   regime %s, best y = %.4g s, Emin = %.4g, single = "
+                "%.4g, saving = %.3f\n",
+                analyticCaseName(D.Kind), D.BestY, D.EnergyMulti,
+                D.EnergySingle, D.SavingRatio);
+    double YLo = P.NcacheCycles / Seven.maxFrequency();
+    double YHi = P.TdeadlineSeconds - P.TinvariantSeconds -
+                 P.NdependentCycles / Seven.maxFrequency();
+    Table T({"y (us)", "Emin(y)"});
+    for (int I = 0; I <= 48; ++I) {
+      double Y = YLo + (YHi - YLo) * I / 48.0;
+      double E = M.discreteEminAtY(P, Seven, Y);
+      T.addRow({formatDouble(Y * 1e6, 1),
+                std::isfinite(E) ? formatDouble(E, 0) : "infeasible"});
+    }
+    T.print();
+  }
+
+  auto savingOf = [&](const AnalyticParams &P) {
+    DiscreteSolution D = M.solveDiscrete(P, Seven);
+    return D.Kind == AnalyticCase::Infeasible ? -1.0 : D.SavingRatio;
+  };
+
+  // ---- Figure 9: (Noverlap, Ndependent), 7 levels. ----
+  {
+    std::vector<double> Nov, Ndep;
+    for (double X = 200; X <= 1800; X += 200)
+      Nov.push_back(X);
+    for (double X = 500; X <= 1500; X += 250)
+      Ndep.push_back(X);
+    printSurface("Figure 9: discrete saving vs (Noverlap, Ndependent)",
+                 "Nov(Kcyc)", "Ndep(Kcyc)", Nov, Ndep,
+                 [&](double NovK, double NdepK) {
+                   AnalyticParams P;
+                   P.NoverlapCycles = NovK * 1e3;
+                   P.NdependentCycles = NdepK * 1e3;
+                   P.NcacheCycles = 2e5;
+                   P.TinvariantSeconds = 1000e-6;
+                   P.TdeadlineSeconds = 5200e-6;
+                   return savingOf(P);
+                 });
+  }
+
+  // ---- Figure 10: (Ncache, tinvariant), 7 levels. ----
+  {
+    std::vector<double> Ncache, Tinv;
+    for (double X = 2000; X <= 14000; X += 2000)
+      Ncache.push_back(X);
+    for (double X = 20000; X <= 180000; X += 40000)
+      Tinv.push_back(X);
+    printSurface("Figure 10: discrete saving vs (Ncache, tinvariant)",
+                 "Ncache(Kcyc)", "tinv(us)", Ncache, Tinv,
+                 [&](double NcacheK, double TinvUs) {
+                   AnalyticParams P;
+                   P.NoverlapCycles = 1.3e7;
+                   P.NdependentCycles = 7e7;
+                   P.NcacheCycles = NcacheK * 1e3;
+                   P.TinvariantSeconds = TinvUs * 1e-6;
+                   P.TdeadlineSeconds = 3.5e5 * 1e-6;
+                   return savingOf(P);
+                 });
+  }
+
+  // ---- Figure 11: (tdeadline, Ncache), 7 levels. ----
+  {
+    std::vector<double> Tdl, Ncache;
+    for (double X = 120000; X <= 480000; X += 60000)
+      Tdl.push_back(X);
+    for (double X = 250; X <= 1500; X += 250)
+      Ncache.push_back(X);
+    printSurface("Figure 11: discrete saving vs (tdeadline, Ncache)",
+                 "tdl(us)", "Ncache(Kcyc)", Tdl, Ncache,
+                 [&](double TdlUs, double NcacheK) {
+                   AnalyticParams P;
+                   P.NoverlapCycles = 1.3e7;
+                   P.NdependentCycles = 7e7;
+                   P.NcacheCycles = NcacheK * 1e3;
+                   P.TinvariantSeconds = 1000e-6;
+                   P.TdeadlineSeconds = TdlUs * 1e-6;
+                   return savingOf(P);
+                 });
+  }
+  return 0;
+}

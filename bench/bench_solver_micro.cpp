@@ -1,0 +1,139 @@
+//===- bench/bench_solver_micro.cpp - solver microbenchmarks ---------------===//
+//
+// google-benchmark timings of the from-scratch substrates: the dense
+// bounded-variable simplex, the branch-and-bound MILP, the cycle-level
+// simulator, and end-to-end DVS scheduling. These are the pieces whose
+// wall-clock cost the paper's Figures 14/18 measure; the microbenches
+// track their throughput across instance sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cdvs;
+using namespace cdvs::bench;
+
+namespace {
+
+/// Random dense feasible LP with the given shape.
+LpProblem makeLp(int Vars, int Rows, uint64_t Seed) {
+  Rng R(Seed);
+  LpProblem P;
+  std::vector<double> X0(Vars);
+  for (int J = 0; J < Vars; ++J) {
+    double Ub = 1.0 + R.nextDouble() * 4.0;
+    X0[J] = R.nextDouble() * Ub;
+    P.addVariable(0.0, Ub, R.nextDouble() * 10.0 - 5.0);
+  }
+  for (int I = 0; I < Rows; ++I) {
+    std::vector<LpTerm> Terms;
+    double Act = 0.0;
+    for (int J = 0; J < Vars; ++J) {
+      double A = R.nextDouble() * 6.0 - 3.0;
+      Terms.push_back({J, A});
+      Act += A * X0[J];
+    }
+    P.addRow(RowSense::LE, Act + R.nextDouble() * 2.0, Terms);
+  }
+  return P;
+}
+
+void BM_SimplexDense(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  LpProblem P = makeLp(N, N / 2, 42);
+  for (auto _ : State) {
+    LpSolution S = solveLp(P);
+    benchmark::DoNotOptimize(S.Objective);
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(20)->Arg(60)->Arg(120)->Arg(240);
+
+void BM_MilpModeAssignment(benchmark::State &State) {
+  // Mode-assignment MILP: G groups x 3 modes + deadline row.
+  int Groups = static_cast<int>(State.range(0));
+  Rng R(7);
+  LpProblem P;
+  std::vector<std::vector<int>> K(Groups);
+  std::vector<LpTerm> TimeRow;
+  double MinT = 0, MaxT = 0;
+  for (int G = 0; G < Groups; ++G) {
+    std::vector<LpTerm> Sum;
+    double GMin = 1e18, GMax = 0;
+    for (int M = 0; M < 3; ++M) {
+      double E = 1.0 + R.nextDouble() * 9.0;
+      double T = 1.0 + R.nextDouble() * 9.0;
+      int V = P.addVariable(0.0, 1.0, E);
+      K[G].push_back(V);
+      Sum.push_back({V, 1.0});
+      TimeRow.push_back({V, T});
+      GMin = std::min(GMin, T);
+      GMax = std::max(GMax, T);
+    }
+    P.addRow(RowSense::EQ, 1.0, Sum);
+    MinT += GMin;
+    MaxT += GMax;
+  }
+  P.addRow(RowSense::LE, 0.5 * (MinT + MaxT), TimeRow);
+  std::vector<int> Ints;
+  for (auto &G : K)
+    Ints.insert(Ints.end(), G.begin(), G.end());
+  for (auto _ : State) {
+    MilpSolver S(P, Ints);
+    for (auto &G : K)
+      S.addSos1Group(G);
+    MilpSolution Sol = S.solve();
+    benchmark::DoNotOptimize(Sol.Objective);
+  }
+}
+BENCHMARK(BM_MilpModeAssignment)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_SimulatorThroughput(benchmark::State &State) {
+  Workload W = workloadByName("gsm");
+  Simulator Sim(*W.Fn);
+  W.defaultInput().Setup(Sim);
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    RunStats S = Sim.runAtLevel({1.65, 800e6});
+    Insts += S.Instructions;
+    benchmark::DoNotOptimize(S.EnergyJoules);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Insts));
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_ProfileCollection(benchmark::State &State) {
+  Workload W = workloadByName("ghostscript");
+  Simulator Sim(*W.Fn);
+  W.defaultInput().Setup(Sim);
+  ModeTable Modes = ModeTable::xscale3();
+  for (auto _ : State) {
+    Profile P = collectProfile(Sim, Modes);
+    benchmark::DoNotOptimize(P.TotalTimeAtMode[0]);
+  }
+}
+BENCHMARK(BM_ProfileCollection)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSchedule(benchmark::State &State) {
+  Workload W = workloadByName("mpeg_decode");
+  auto Sim = makeSimulator(W, W.defaultInput());
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  Profile Prof = collectProfile(*Sim, Modes);
+  double Deadline =
+      0.5 * (Prof.TotalTimeAtMode.front() + Prof.TotalTimeAtMode.back());
+  for (auto _ : State) {
+    DvsOptions O;
+    O.InitialMode = 2;
+    DvsScheduler Sched(*W.Fn, Prof, Modes, Reg, O);
+    ErrorOr<ScheduleResult> R = Sched.schedule(Deadline);
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+}
+BENCHMARK(BM_EndToEndSchedule)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

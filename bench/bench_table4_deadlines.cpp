@@ -1,0 +1,37 @@
+//===- bench/bench_table4_deadlines.cpp - Table 4 / Figure 16 -------------===//
+//
+// Regenerates Table 4: each benchmark's execution time when running
+// entirely at 200, 600, or 800 MHz, plus the five chosen deadlines
+// (Figure 16's positions: 1 = stringent, just above the 800 MHz time;
+// 5 = lax, just under the 200 MHz time). Times in milliseconds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace cdvs;
+using namespace cdvs::bench;
+
+int main() {
+  ModeTable Modes = ModeTable::xscale3();
+  std::printf("== Table 4: execution times and chosen deadlines (ms) "
+              "==\n");
+  Table T({"benchmark", "T@200MHz", "T@600MHz", "T@800MHz", "Deadline5",
+           "Deadline4", "Deadline3", "Deadline2", "Deadline1"});
+  for (const std::string &Name : milpBenchmarks()) {
+    Workload W = workloadByName(Name);
+    auto Sim = makeSimulator(W, W.defaultInput());
+    Profile P = collectProfile(*Sim, Modes);
+    std::vector<double> D = fiveDeadlines(P);
+    T.addRow({Name, formatDouble(P.TotalTimeAtMode[0] * 1e3, 2),
+              formatDouble(P.TotalTimeAtMode[1] * 1e3, 2),
+              formatDouble(P.TotalTimeAtMode[2] * 1e3, 2),
+              formatDouble(D[4] * 1e3, 2), formatDouble(D[3] * 1e3, 2),
+              formatDouble(D[2] * 1e3, 2), formatDouble(D[1] * 1e3, 2),
+              formatDouble(D[0] * 1e3, 2)});
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bench/bench_table7_params.cpp - Tables 2 & 7 ------------------------===//
+//
+// Regenerates:
+//  * Table 2 — the simulator configuration actually in effect;
+//  * Table 7 — program parameters (Ncache, Noverlap, Ndependent in
+//    kilo-cycles; tinvariant in microseconds) extracted by cycle-level
+//    simulation at the fastest operating point, for the four benchmarks
+//    the paper's analytic study uses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+
+#include <cstdio>
+
+using namespace cdvs;
+using namespace cdvs::bench;
+
+int main() {
+  std::printf("== Table 2: simulator configuration ==\n");
+  SimConfig C;
+  Table T2({"parameter", "value"});
+  T2.addRow({"L1 data-cache", "64K, 4-way (LRU), 32B blocks, 1-cycle"});
+  T2.addRow({"L2 unified", "512K, 4-way (LRU), 32B blocks, 16-cycle"});
+  T2.addRow({"DRAM service", formatDouble(C.DramSeconds * 1e9, 0) + " ns"
+                             " (frequency invariant)"});
+  T2.addRow({"int ALU / mul / div",
+             formatInt(C.IntAluLatency) + " / " +
+                 formatInt(C.IntMulLatency) + " / " +
+                 formatInt(C.IntDivLatency) + " cycles"});
+  T2.addRow({"fp add / mul / div",
+             formatInt(C.FpAddLatency) + " / " +
+                 formatInt(C.FpMulLatency) + " / " +
+                 formatInt(C.FpDivLatency) + " cycles"});
+  T2.addRow({"DVS modes", "200MHz@0.7V, 600MHz@1.3V, 800MHz@1.65V"});
+  T2.print();
+
+  std::printf("\n== Table 7: simulated program parameters ==\n");
+  ModeTable Modes = ModeTable::xscale3();
+  Table T7({"benchmark", "Ncache (Kcycles)", "Noverlap (Kcycles)",
+            "Ndependent (Kcycles)", "tinvariant (us)"});
+  for (const std::string &Name : analyticBenchmarks()) {
+    Workload W = workloadByName(Name);
+    auto Sim = makeSimulator(W, W.defaultInput());
+    Profile P = collectProfile(*Sim, Modes);
+    const RunStats &R = P.Reference;
+    T7.addRow({Name,
+               formatDouble(static_cast<double>(R.NcacheCycles) / 1e3, 1),
+               formatDouble(static_cast<double>(R.NoverlapCycles) / 1e3, 1),
+               formatDouble(static_cast<double>(R.NdependentCycles) / 1e3,
+                            1),
+               formatDouble(R.TinvariantSeconds * 1e6, 1)});
+  }
+  T7.print();
+
+  std::printf("\n== Supplement: whole-program behaviour at the fastest "
+              "mode ==\n");
+  Table TS({"benchmark", "instructions", "loads", "stores", "L1D misses",
+            "L2 misses", "time at 800MHz (ms)", "energy (mJ)"});
+  for (const std::string &Name : milpBenchmarks()) {
+    Workload W = workloadByName(Name);
+    auto Sim = makeSimulator(W, W.defaultInput());
+    RunStats R = Sim->runAtLevel(Modes.level(Modes.size() - 1));
+    TS.addRow({Name, formatInt(static_cast<long long>(R.Instructions)),
+               formatInt(static_cast<long long>(R.Loads)),
+               formatInt(static_cast<long long>(R.Stores)),
+               formatInt(static_cast<long long>(R.L1DMisses)),
+               formatInt(static_cast<long long>(R.L2Misses)),
+               formatDouble(R.TimeSeconds * 1e3, 3),
+               formatDouble(R.EnergyJoules * 1e3, 3)});
+  }
+  TS.print();
+  return 0;
+}

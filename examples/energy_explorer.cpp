@@ -1,0 +1,74 @@
+//===- examples/energy_explorer.cpp - deadline/energy trade-off curve -----===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Sweeps the deadline of one workload from stringent to lax and prints
+// the realized energy/time/transition curve of the MILP schedule next
+// to the best single-frequency alternative — the picture an engineer
+// wants before deciding whether intra-program DVS is worth deploying
+// for their kernel (the paper's Section 6.3 question). Pass a workload
+// name as argv[1] (default: epic).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/DvsScheduler.h"
+#include "profile/Profile.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace cdvs;
+
+int main(int Argc, char **Argv) {
+  std::string Name = Argc > 1 ? Argv[1] : "epic";
+  Workload W = workloadByName(Name);
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Regulator = TransitionModel::paperTypical();
+
+  Simulator Sim(*W.Fn);
+  W.defaultInput().Setup(Sim);
+  Profile Prof = collectProfile(Sim, Modes);
+
+  double TFast = Prof.TotalTimeAtMode.back();
+  double TSlow = Prof.TotalTimeAtMode.front();
+  std::printf("%s: %.2f ms at 800 MHz ... %.2f ms at 200 MHz\n",
+              Name.c_str(), TFast * 1e3, TSlow * 1e3);
+
+  Table T({"deadline (ms)", "DVS energy (uJ)", "DVS time (ms)",
+           "transitions", "best-single (uJ)", "DVS/single"});
+  for (int I = 0; I <= 12; ++I) {
+    double Alpha = static_cast<double>(I) / 12.0;
+    double Deadline = (1.0 - Alpha) * (1.02 * TFast) +
+                      Alpha * (0.99 * TSlow);
+    DvsOptions O;
+    O.InitialMode = static_cast<int>(Modes.size()) - 1;
+    DvsScheduler Sched(*W.Fn, Prof, Modes, Regulator, O);
+    ErrorOr<ScheduleResult> R = Sched.schedule(Deadline);
+    if (!R) {
+      T.addRow({formatDouble(Deadline * 1e3, 2), "infeasible", "-", "-",
+                "-", "-"});
+      continue;
+    }
+    RunStats Run = Sim.run(Modes, R->Assignment, Regulator);
+    double BestSingle = -1.0;
+    for (size_t M = 0; M < Modes.size(); ++M)
+      if (Prof.TotalTimeAtMode[M] <= Deadline &&
+          (BestSingle < 0.0 || Prof.TotalEnergyAtMode[M] < BestSingle))
+        BestSingle = Prof.TotalEnergyAtMode[M];
+    T.addRow({formatDouble(Deadline * 1e3, 2),
+              formatDouble(Run.EnergyJoules * 1e6, 1),
+              formatDouble(Run.TimeSeconds * 1e3, 2),
+              formatInt(static_cast<long long>(Run.Transitions)),
+              BestSingle > 0.0 ? formatDouble(BestSingle * 1e6, 1)
+                               : "n/a",
+              BestSingle > 0.0
+                  ? formatDouble(Run.EnergyJoules / BestSingle, 3)
+                  : "-"});
+  }
+  T.print();
+  return 0;
+}

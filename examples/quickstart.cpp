@@ -1,0 +1,89 @@
+//===- examples/quickstart.cpp - End-to-end compile-time DVS --------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The whole toolchain on one program, start to finish:
+//  1. build a program in the register-machine IR (here: the mpeg_decode
+//     workload, but any Function works);
+//  2. profile it per mode on the cycle-level simulator;
+//  3. pick a deadline between the fastest and slowest single-mode runs;
+//  4. let the MILP scheduler place mode-set instructions on CFG edges;
+//  5. re-execute with the schedule and compare energy against the best
+//     single-frequency run that meets the same deadline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/DvsScheduler.h"
+#include "power/ModeTable.h"
+#include "power/TransitionModel.h"
+#include "profile/Profile.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace cdvs;
+
+int main() {
+  // 1. A program. (See src/workloads for building your own Function
+  //    with IRBuilder.)
+  Workload W = workloadByName("mpeg_decode");
+  Simulator Sim(*W.Fn);
+  W.defaultInput().Setup(Sim);
+
+  // 2. The XScale-like mode table and regulator of the paper, and a
+  //    per-mode profile.
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Regulator = TransitionModel::paperTypical();
+  Profile Prof = collectProfile(Sim, Modes);
+
+  std::printf("profiled %s: %d blocks, %zu edges\n", W.Name.c_str(),
+              Prof.NumBlocks, Prof.EdgeCounts.size());
+  for (size_t M = 0; M < Modes.size(); ++M)
+    std::printf("  at %3.0f MHz / %.2f V: time %8.3f ms, energy %7.3f mJ\n",
+                Modes.level(M).Hertz / 1e6, Modes.level(M).Volts,
+                Prof.TotalTimeAtMode[M] * 1e3,
+                Prof.TotalEnergyAtMode[M] * 1e3);
+
+  // 3. A mid-range deadline: halfway between the fastest and slowest.
+  double Deadline =
+      0.5 * (Prof.TotalTimeAtMode.front() + Prof.TotalTimeAtMode.back());
+  std::printf("deadline: %.3f ms\n", Deadline * 1e3);
+
+  // 4. MILP scheduling (initial mode = fastest, like a freshly woken
+  //    processor).
+  DvsOptions Opts;
+  Opts.InitialMode = static_cast<int>(Modes.size()) - 1;
+  DvsScheduler Scheduler(*W.Fn, Prof, Modes, Regulator, Opts);
+  ErrorOr<ScheduleResult> R = Scheduler.schedule(Deadline);
+  if (!R) {
+    std::printf("scheduling failed: %s\n", R.message().c_str());
+    return 1;
+  }
+  std::printf("MILP: %d edges, %d independent groups, %d binaries, "
+              "%ld nodes, %.3f s solve\n",
+              R->NumEdges, R->NumIndependentGroups, R->NumBinaries,
+              R->Nodes, R->SolveSeconds);
+
+  // 5. Execute with the schedule.
+  RunStats Dvs = Sim.run(Modes, R->Assignment, Regulator);
+  std::printf("DVS run:  time %.3f ms (deadline %.3f), energy %.3f mJ, "
+              "%llu transitions\n",
+              Dvs.TimeSeconds * 1e3, Deadline * 1e3,
+              Dvs.EnergyJoules * 1e3,
+              static_cast<unsigned long long>(Dvs.Transitions));
+
+  // Best single mode that meets the deadline, for comparison.
+  double BestSingle = -1.0;
+  for (size_t M = 0; M < Modes.size(); ++M)
+    if (Prof.TotalTimeAtMode[M] <= Deadline)
+      if (BestSingle < 0.0 || Prof.TotalEnergyAtMode[M] < BestSingle)
+        BestSingle = Prof.TotalEnergyAtMode[M];
+  if (BestSingle > 0.0)
+    std::printf("best single mode meeting deadline: %.3f mJ -> DVS saves "
+                "%.1f%%\n",
+                BestSingle * 1e3,
+                100.0 * (1.0 - Dvs.EnergyJoules / BestSingle));
+  return 0;
+}

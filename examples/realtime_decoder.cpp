@@ -1,0 +1,85 @@
+//===- examples/realtime_decoder.cpp - multi-input video playback ---------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's motivating scenario: a video player must hit a playback
+// deadline, and any speed beyond real time is wasted — energy is what
+// matters. A shipped binary cannot be re-optimized per input, so the
+// vendor profiles *representative inputs per category* (here: streams
+// with and without B frames) and bakes ONE schedule that
+//  * minimizes the probability-weighted average energy, and
+//  * meets the playback deadline for every profiled category.
+// This example builds that schedule with the multi-category MILP and
+// then plays all four test streams under it, comparing against fixed
+// 600 MHz operation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/DvsScheduler.h"
+#include "profile/Profile.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace cdvs;
+
+int main() {
+  Workload W = workloadByName("mpeg_decode");
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Regulator = TransitionModel::paperTypical();
+
+  // Profile one representative input per category.
+  auto profileOf = [&](const char *Input) {
+    Simulator Sim(*W.Fn);
+    W.input(Input).Setup(Sim);
+    return collectProfile(Sim, Modes);
+  };
+  Profile NoB = profileOf("bbc");  // no B frames
+  Profile B2 = profileOf("flwr");  // 2 B frames between anchors
+
+  // Playback deadline per category: the stream's real-time rate is far
+  // below peak decode speed (2.4x the 600 MHz time, still faster than
+  // all-200 MHz can deliver), so the scheduler has real slack to spend.
+  double DeadNoB = 2.4 * NoB.TotalTimeAtMode[1];
+  double DeadB2 = 2.4 * B2.TotalTimeAtMode[1];
+  std::printf("playback deadlines: noB %.2f ms, B2 %.2f ms\n",
+              DeadNoB * 1e3, DeadB2 * 1e3);
+
+  // One schedule for the shipped binary: average-energy objective over
+  // both categories, each category's deadline enforced.
+  std::vector<CategoryProfile> Cats = {{NoB, 0.5}, {B2, 0.5}};
+  DvsOptions O;
+  O.InitialMode = static_cast<int>(Modes.size()) - 1;
+  DvsScheduler Sched(*W.Fn, Cats, Modes, Regulator, O);
+  ErrorOr<ScheduleResult> R = Sched.schedule({DeadNoB, DeadB2});
+  if (!R) {
+    std::printf("scheduling failed: %s\n", R.message().c_str());
+    return 1;
+  }
+  std::printf("schedule: %d edges in %d independent groups, solved in "
+              "%.2f ms\n",
+              R->NumEdges, R->NumIndependentGroups,
+              R->SolveSeconds * 1e3);
+
+  // Play every stream under the shipped schedule.
+  std::printf("\n%-6s %-4s %12s %12s %12s %10s\n", "input", "cat",
+              "time (ms)", "deadline", "energy (uJ)", "vs 600MHz");
+  for (const WorkloadInput &In : W.Inputs) {
+    Simulator Sim(*W.Fn);
+    In.Setup(Sim);
+    Profile P = collectProfile(Sim, Modes);
+    RunStats Run = Sim.run(Modes, R->Assignment, Regulator);
+    double Deadline = 2.4 * P.TotalTimeAtMode[1]; // per-stream target
+    std::printf("%-6s %-4s %12.2f %12.2f %12.1f %9.1f%%\n",
+                In.Name.c_str(), In.Category.c_str(),
+                Run.TimeSeconds * 1e3, Deadline * 1e3,
+                Run.EnergyJoules * 1e6,
+                100.0 * (1.0 - Run.EnergyJoules /
+                                   P.TotalEnergyAtMode[1]));
+  }
+  std::printf("\n(negative %% = the schedule spent more than fixed "
+              "600 MHz; positive = saved)\n");
+  return 0;
+}

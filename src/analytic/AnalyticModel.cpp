@@ -1,0 +1,335 @@
+//===- analytic/AnalyticModel.cpp - Section 3 energy-bound model ----------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analytic/AnalyticModel.h"
+
+#include "support/Error.h"
+#include "support/Numeric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace cdvs;
+
+namespace {
+constexpr double Inf = std::numeric_limits<double>::infinity();
+constexpr double RelTol = 1e-9;
+} // namespace
+
+const char *cdvs::analyticCaseName(AnalyticCase Case) {
+  switch (Case) {
+  case AnalyticCase::ComputationDominated:
+    return "computation-dominated";
+  case AnalyticCase::MemoryDominated:
+    return "memory-dominated";
+  case AnalyticCase::MemoryDominatedSlack:
+    return "memory-dominated-with-slack";
+  case AnalyticCase::Infeasible:
+    return "infeasible";
+  }
+  cdvsUnreachable("bad AnalyticCase");
+}
+
+AnalyticModel::AnalyticModel(VfModel InModel, double VMin, double VMax)
+    : Model(InModel), VMin(VMin), VMax(VMax) {
+  assert(VMin > Model.thresholdVoltage() && VMin < VMax &&
+         "voltage range must sit above threshold");
+}
+
+double AnalyticModel::finvariant(const AnalyticParams &P) const {
+  if (P.NoverlapCycles <= P.NcacheCycles)
+    return 0.0;
+  if (P.TinvariantSeconds <= 0.0)
+    return Inf;
+  return (P.NoverlapCycles - P.NcacheCycles) / P.TinvariantSeconds;
+}
+
+double AnalyticModel::totalTimeAt(const AnalyticParams &P, double F) const {
+  assert(F > 0.0 && "frequency must be positive");
+  double Region1 = std::max(P.TinvariantSeconds + P.NcacheCycles / F,
+                            P.NoverlapCycles / F);
+  return Region1 + P.NdependentCycles / F;
+}
+
+AnalyticCase AnalyticModel::classify(const AnalyticParams &P) const {
+  double FMax = Model.frequencyAt(VMax);
+  if (totalTimeAt(P, FMax) > P.TdeadlineSeconds * (1.0 + RelTol))
+    return AnalyticCase::Infeasible;
+  if (P.NcacheCycles >= P.NoverlapCycles)
+    return AnalyticCase::MemoryDominatedSlack;
+  double FIdeal =
+      (P.NoverlapCycles + P.NdependentCycles) / P.TdeadlineSeconds;
+  if (FIdeal <= finvariant(P))
+    return AnalyticCase::ComputationDominated;
+  return AnalyticCase::MemoryDominated;
+}
+
+double AnalyticModel::singleFrequencyEnergy(const AnalyticParams &P) const {
+  double FMax = Model.frequencyAt(VMax);
+  double FMin = Model.frequencyAt(VMin);
+  if (totalTimeAt(P, FMax) > P.TdeadlineSeconds * (1.0 + RelTol))
+    return Inf;
+
+  // T(f) = tdl has one of two closed forms depending on whether memory
+  // is hidden at the solution.
+  double FInv = finvariant(P);
+  double FStar;
+  double FCompute =
+      (P.NoverlapCycles + P.NdependentCycles) / P.TdeadlineSeconds;
+  if (FCompute <= FInv) {
+    FStar = FCompute;
+  } else {
+    double Remaining = P.TdeadlineSeconds - P.TinvariantSeconds;
+    if (Remaining <= 0.0)
+      return Inf; // only possible when the FMax check above was marginal
+    FStar = (P.NcacheCycles + P.NdependentCycles) / Remaining;
+  }
+  FStar = std::min(std::max(FStar, FMin), FMax);
+  double V = Model.voltageFor(FStar);
+  double Cycles = std::max(P.NoverlapCycles, P.NcacheCycles) +
+                  P.NdependentCycles;
+  return Cycles * V * V;
+}
+
+VoltageLevel AnalyticModel::optimalSingleSetting(
+    const AnalyticParams &P) const {
+  double FMax = Model.frequencyAt(VMax);
+  double FMin = Model.frequencyAt(VMin);
+  if (totalTimeAt(P, FMax) > P.TdeadlineSeconds * (1.0 + RelTol))
+    return {0.0, 0.0};
+  double FInv = finvariant(P);
+  double FStar;
+  double FCompute =
+      (P.NoverlapCycles + P.NdependentCycles) / P.TdeadlineSeconds;
+  if (FCompute <= FInv) {
+    FStar = FCompute;
+  } else {
+    double Remaining = P.TdeadlineSeconds - P.TinvariantSeconds;
+    if (Remaining <= 0.0)
+      return {0.0, 0.0};
+    FStar = (P.NcacheCycles + P.NdependentCycles) / Remaining;
+  }
+  FStar = std::min(std::max(FStar, FMin), FMax);
+  return {Model.voltageFor(FStar), FStar};
+}
+
+double AnalyticModel::energyAtV1(const AnalyticParams &P, double V1) const {
+  if (V1 < VMin - 1e-12 || V1 > VMax + 1e-12)
+    return Inf;
+  double F1 = Model.frequencyAt(V1);
+  if (F1 <= 0.0)
+    return Inf;
+  double Region1 = std::max(P.TinvariantSeconds + P.NcacheCycles / F1,
+                            P.NoverlapCycles / F1);
+  double Remaining = P.TdeadlineSeconds - Region1;
+  double C1 = std::max(P.NoverlapCycles, P.NcacheCycles);
+  if (P.NdependentCycles <= 0.0)
+    return Remaining >= -1e-15 ? C1 * V1 * V1 : Inf;
+  if (Remaining <= 0.0)
+    return Inf;
+  double F2 = P.NdependentCycles / Remaining;
+  double FMax = Model.frequencyAt(VMax);
+  if (F2 > FMax * (1.0 + RelTol))
+    return Inf;
+  double V2 = std::max(Model.voltageFor(F2), VMin);
+  return C1 * V1 * V1 + P.NdependentCycles * V2 * V2;
+}
+
+ContinuousSolution AnalyticModel::solveContinuous(
+    const AnalyticParams &P) const {
+  ContinuousSolution Sol;
+  Sol.Kind = classify(P);
+  if (Sol.Kind == AnalyticCase::Infeasible)
+    return Sol;
+
+  auto Objective = [&](double V1) {
+    double E = energyAtV1(P, V1);
+    return std::isfinite(E) ? E : 1e300;
+  };
+  MinResult R = gridRefineMinimize(Objective, VMin, VMax, 512, 1e-10);
+
+  Sol.V1 = R.X;
+  Sol.F1 = Model.frequencyAt(Sol.V1);
+  double Region1 =
+      std::max(P.TinvariantSeconds + P.NcacheCycles / Sol.F1,
+               P.NoverlapCycles / Sol.F1);
+  double Remaining = P.TdeadlineSeconds - Region1;
+  if (P.NdependentCycles > 0.0 && Remaining > 0.0) {
+    Sol.F2 = P.NdependentCycles / Remaining;
+    Sol.V2 = std::max(Model.voltageFor(Sol.F2), VMin);
+  } else {
+    Sol.F2 = Sol.F1;
+    Sol.V2 = Sol.V1;
+  }
+  Sol.EnergySingle = singleFrequencyEnergy(P);
+  Sol.EnergyMulti = std::min(R.Fx, Sol.EnergySingle);
+  if (std::isfinite(Sol.EnergySingle) && Sol.EnergySingle > 0.0)
+    Sol.SavingRatio =
+        std::max(0.0, 1.0 - Sol.EnergyMulti / Sol.EnergySingle);
+  return Sol;
+}
+
+double AnalyticModel::discreteSingleBest(const AnalyticParams &P,
+                                         const ModeTable &Levels) const {
+  double Best = Inf;
+  double Cycles = std::max(P.NoverlapCycles, P.NcacheCycles) +
+                  P.NdependentCycles;
+  for (const VoltageLevel &L : Levels.levels()) {
+    if (totalTimeAt(P, L.Hertz) > P.TdeadlineSeconds * (1.0 + RelTol))
+      continue;
+    Best = std::min(Best, Cycles * L.Volts * L.Volts);
+  }
+  return Best;
+}
+
+double AnalyticModel::twoLevelSplitEnergy(double Cycles, double TimeBudget,
+                                          const ModeTable &Levels) const {
+  if (Cycles <= 0.0)
+    return TimeBudget >= -1e-15 ? 0.0 : Inf;
+  if (TimeBudget <= 0.0)
+    return Inf;
+  double FNeeded = Cycles / TimeBudget;
+  double FMin = Levels.minFrequency();
+  double FMax = Levels.maxFrequency();
+  if (FNeeded > FMax * (1.0 + RelTol))
+    return Inf;
+  if (FNeeded <= FMin) {
+    double V = Levels.level(0).Volts;
+    return Cycles * V * V;
+  }
+  auto [A, B] = Levels.neighborsOfFrequency(FNeeded);
+  if (A == B) {
+    double V = Levels.level(A).Volts;
+    return Cycles * V * V;
+  }
+  double Fa = Levels.level(A).Hertz, Fb = Levels.level(B).Hertz;
+  double Va = Levels.level(A).Volts, Vb = Levels.level(B).Volts;
+  // xa/fa + xb/fb = TimeBudget, xa + xb = Cycles.
+  double Xa = (TimeBudget - Cycles / Fb) / (1.0 / Fa - 1.0 / Fb);
+  Xa = std::min(std::max(Xa, 0.0), Cycles);
+  double Xb = Cycles - Xa;
+  return Xa * Va * Va + Xb * Vb * Vb;
+}
+
+double AnalyticModel::discreteEminAtY(const AnalyticParams &P,
+                                      const ModeTable &Levels,
+                                      double Y) const {
+  // Only meaningful in the memory-dominated regime (Ncache < Noverlap).
+  double NovExtra = P.NoverlapCycles - P.NcacheCycles;
+  if (NovExtra < 0.0)
+    return Inf;
+  double FMax = Levels.maxFrequency();
+
+  // Region 1 lasts tinvariant + Y; region 2 gets the rest.
+  double T2 = P.TdeadlineSeconds - P.TinvariantSeconds - Y;
+  if (Y <= 0.0 || T2 < 0.0)
+    return Inf;
+
+  // (a) The Ncache cycles paced to take exactly Y (the compute hidden
+  //     under the cache-hit stream runs at the same pace).
+  double ECache = twoLevelSplitEnergy(P.NcacheCycles, Y, Levels);
+  if (!std::isfinite(ECache))
+    return Inf;
+
+  // (b) The Noverlap - Ncache compute cycles that execute during the
+  //     DRAM window tinvariant: as many as possible at the lower of the
+  //     two levels bracketing f1 = Ncache/Y, the rest at the upper.
+  double EExtra = 0.0;
+  if (NovExtra > 0.0) {
+    if (P.TinvariantSeconds <= 0.0 ||
+        NovExtra > P.TinvariantSeconds * FMax * (1.0 + RelTol))
+      return Inf;
+    double F1 = P.NcacheCycles > 0.0 ? P.NcacheCycles / Y
+                                     : Levels.minFrequency();
+    auto [A, B] = Levels.neighborsOfFrequency(
+        std::min(std::max(F1, Levels.minFrequency()), FMax));
+    double Fa = Levels.level(A).Hertz, Fb = Levels.level(B).Hertz;
+    double Va = Levels.level(A).Volts, Vb = Levels.level(B).Volts;
+    double CapLow = P.TinvariantSeconds * Fa;
+    if (NovExtra <= CapLow || A == B) {
+      // Everything fits at the lower level (or only one level applies);
+      // if even that level cannot fit them in tinvariant, push to the
+      // fastest level.
+      if (NovExtra <= P.TinvariantSeconds * Fa)
+        EExtra = NovExtra * Va * Va;
+      else
+        EExtra = twoLevelSplitEnergy(NovExtra, P.TinvariantSeconds,
+                                     Levels);
+    } else {
+      // Mix: spend tau at Fb and tinv - tau at Fa to fit exactly.
+      double XHigh = Fb * (NovExtra - CapLow) / (Fb - Fa);
+      XHigh = std::min(std::max(XHigh, 0.0), NovExtra);
+      double XLow = NovExtra - XHigh;
+      if (NovExtra > P.TinvariantSeconds * Fb * (1.0 + RelTol))
+        return Inf;
+      EExtra = XLow * Va * Va + XHigh * Vb * Vb;
+    }
+    if (!std::isfinite(EExtra))
+      return Inf;
+  }
+
+  // (c) The dependent cycles in the remaining budget.
+  double EDep = twoLevelSplitEnergy(P.NdependentCycles, T2, Levels);
+  if (!std::isfinite(EDep))
+    return Inf;
+
+  return ECache + EExtra + EDep;
+}
+
+DiscreteSolution AnalyticModel::solveDiscrete(const AnalyticParams &P,
+                                              const ModeTable &Levels)
+    const {
+  DiscreteSolution Sol;
+  Sol.EnergySingle = discreteSingleBest(P, Levels);
+  if (!std::isfinite(Sol.EnergySingle)) {
+    Sol.Kind = AnalyticCase::Infeasible;
+    return Sol;
+  }
+  Sol.Kind = classify(P);
+
+  double Multi = Inf;
+  switch (Sol.Kind) {
+  case AnalyticCase::ComputationDominated:
+    Multi = twoLevelSplitEnergy(P.NoverlapCycles + P.NdependentCycles,
+                                P.TdeadlineSeconds, Levels);
+    break;
+  case AnalyticCase::MemoryDominatedSlack:
+    Multi = twoLevelSplitEnergy(
+        P.NcacheCycles + P.NdependentCycles,
+        P.TdeadlineSeconds - P.TinvariantSeconds, Levels);
+    break;
+  case AnalyticCase::MemoryDominated: {
+    double FMax = Levels.maxFrequency();
+    double FMin = Levels.minFrequency();
+    double YLo = P.NcacheCycles > 0.0 ? P.NcacheCycles / FMax : 0.0;
+    double YHi = P.TdeadlineSeconds - P.TinvariantSeconds -
+                 (P.NdependentCycles > 0.0 ? P.NdependentCycles / FMax
+                                           : 0.0);
+    if (P.NcacheCycles > 0.0)
+      YHi = std::min(YHi, P.NcacheCycles / FMin);
+    if (YHi > YLo && YLo >= 0.0) {
+      auto Objective = [&](double Y) {
+        double E = discreteEminAtY(P, Levels, Y);
+        return std::isfinite(E) ? E : 1e300;
+      };
+      MinResult R = gridRefineMinimize(Objective, std::max(YLo, 1e-12),
+                                       YHi, 384, 1e-12);
+      Multi = R.Fx >= 1e299 ? Inf : R.Fx;
+      Sol.BestY = R.X;
+    }
+    break;
+  }
+  case AnalyticCase::Infeasible:
+    break;
+  }
+
+  Sol.EnergyMulti = std::min(Multi, Sol.EnergySingle);
+  if (Sol.EnergySingle > 0.0)
+    Sol.SavingRatio =
+        std::max(0.0, 1.0 - Sol.EnergyMulti / Sol.EnergySingle);
+  return Sol;
+}

@@ -1,0 +1,160 @@
+//===- analytic/AnalyticModel.h - Section 3 energy-bound model --*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's analytical model (Section 3) of the maximum energy saving
+/// compile-time intra-program DVS can extract, given four program
+/// parameters and a deadline:
+///
+///   Noverlap    compute cycles that can run concurrently with memory
+///   Ndependent  compute cycles dependent on memory results
+///   Ncache      memory-operation cycles serviced by the caches
+///   tinvariant  DRAM service time in seconds (frequency invariant)
+///   tdeadline   the time budget
+///
+/// With a single frequency f, total time is
+///   T(f) = max(tinvariant + Ncache/f, Noverlap/f) + Ndependent/f
+/// and energy counts the region-dominant cycles quadratically in voltage:
+///   E = max(Noverlap, Ncache)·v1² + Ndependent·v2².
+///
+/// Three regimes (paper Figure 1):
+///  * computation dominated  (fideal <= finvariant): one frequency is
+///    optimal — no intra-program DVS benefit;
+///  * memory dominated       (Ncache < Noverlap, fideal > finvariant):
+///    two frequencies are optimal — slow overlap hidden under the miss,
+///    fast "hurry-up" dependent phase;
+///  * memory dominated with slack (Ncache >= Noverlap): one frequency
+///    again — slowing the overlap dilates the hit stream itself.
+///
+/// where finvariant = (Noverlap-Ncache)/tinvariant balances compute
+/// against the miss window and fideal is the single frequency that
+/// exactly meets the deadline.
+///
+/// The discrete-level variant restricts voltages to a ModeTable: the
+/// single-frequency regimes use the two levels bracketing the continuous
+/// optimum; the memory-dominated regime needs four levels, found by the
+/// paper's sweep over y, the execution time granted to the Ncache stream
+/// (Figure 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_ANALYTIC_ANALYTICMODEL_H
+#define CDVS_ANALYTIC_ANALYTICMODEL_H
+
+#include "power/ModeTable.h"
+#include "power/VfModel.h"
+
+#include <limits>
+#include <vector>
+
+namespace cdvs {
+
+/// Program parameters + deadline for the analytic model.
+struct AnalyticParams {
+  double NoverlapCycles = 0.0;
+  double NdependentCycles = 0.0;
+  double NcacheCycles = 0.0;
+  double TinvariantSeconds = 0.0;
+  double TdeadlineSeconds = 0.0;
+};
+
+/// Which regime of the model applies.
+enum class AnalyticCase {
+  ComputationDominated,
+  MemoryDominated,
+  MemoryDominatedSlack,
+  Infeasible,
+};
+
+/// \returns a printable regime name.
+const char *analyticCaseName(AnalyticCase Case);
+
+/// Result of the continuous-voltage analysis.
+struct ContinuousSolution {
+  AnalyticCase Kind = AnalyticCase::Infeasible;
+  double V1 = 0.0, F1 = 0.0; ///< overlap-region operating point
+  double V2 = 0.0, F2 = 0.0; ///< dependent-region operating point
+  /// Energies in normalized units (cycles × volts²).
+  double EnergyMulti = std::numeric_limits<double>::infinity();
+  double EnergySingle = std::numeric_limits<double>::infinity();
+  double SavingRatio = 0.0; ///< (single − multi)/single, clamped to >= 0
+};
+
+/// Result of the discrete-level analysis.
+struct DiscreteSolution {
+  AnalyticCase Kind = AnalyticCase::Infeasible;
+  double EnergyMulti = std::numeric_limits<double>::infinity();
+  double EnergySingle = std::numeric_limits<double>::infinity();
+  double SavingRatio = 0.0;
+  double BestY = 0.0; ///< memory-dominated case: chosen Ncache time
+};
+
+/// Section 3 model over an alpha-power-law V/f curve and a voltage range.
+class AnalyticModel {
+public:
+  AnalyticModel(VfModel Model, double VMin, double VMax);
+
+  /// finvariant: frequency at which Noverlap−Ncache compute cycles
+  /// exactly fill the miss window. Zero when Ncache >= Noverlap.
+  double finvariant(const AnalyticParams &P) const;
+
+  /// Single-frequency total execution time at frequency \p F (Hz).
+  double totalTimeAt(const AnalyticParams &P, double F) const;
+
+  /// Classifies the regime.
+  AnalyticCase classify(const AnalyticParams &P) const;
+
+  /// Energy of the best schedule restricted to ONE continuous frequency
+  /// that meets the deadline; +inf if no frequency in range does.
+  double singleFrequencyEnergy(const AnalyticParams &P) const;
+
+  /// The paper's inter-program by-product: the single (V, f) operating
+  /// point an OS should program for the whole run, from the same four
+  /// parameters. 
+  /// returns {0, 0} when the deadline is infeasible.
+  VoltageLevel optimalSingleSetting(const AnalyticParams &P) const;
+
+  /// Energy when the overlap region runs at voltage \p V1 and the
+  /// dependent region at the slowest feasible v2 (Figures 2–4 curves).
+  /// +inf when no feasible v2 exists for this V1.
+  double energyAtV1(const AnalyticParams &P, double V1) const;
+
+  /// Full continuous-voltage optimization (Section 3.3).
+  ContinuousSolution solveContinuous(const AnalyticParams &P) const;
+
+  /// Energy of the best single discrete level meeting the deadline;
+  /// +inf if none does.
+  double discreteSingleBest(const AnalyticParams &P,
+                            const ModeTable &Levels) const;
+
+  /// Discrete-level Emin(y) for the memory-dominated case (Figure 8);
+  /// +inf for infeasible y.
+  double discreteEminAtY(const AnalyticParams &P, const ModeTable &Levels,
+                         double Y) const;
+
+  /// Full discrete-level optimization (Section 3.4).
+  DiscreteSolution solveDiscrete(const AnalyticParams &P,
+                                 const ModeTable &Levels) const;
+
+  const VfModel &vfModel() const { return Model; }
+  double vMin() const { return VMin; }
+  double vMax() const { return VMax; }
+
+private:
+  /// Splits \p Cycles across the two levels bracketing the continuous
+  /// optimum so the split exactly consumes \p TimeBudget seconds;
+  /// \returns the energy, or +inf if infeasible.
+  double twoLevelSplitEnergy(double Cycles, double TimeBudget,
+                             const ModeTable &Levels) const;
+
+  VfModel Model;
+  double VMin;
+  double VMax;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_ANALYTIC_ANALYTICMODEL_H

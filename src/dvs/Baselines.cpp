@@ -1,0 +1,162 @@
+//===- dvs/Baselines.cpp - Prior-work DVS scheduling baselines ------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/Baselines.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+using namespace cdvs;
+
+ErrorOr<ScheduleResult> cdvs::scheduleIgnoringTransitionCosts(
+    const Function &Fn, const Profile &Prof, const ModeTable &Modes,
+    double DeadlineSeconds, DvsOptions Opts) {
+  // Saputra et al.: identical formulation, free mode switches.
+  TransitionModel Free(0.0, 0.0, 1.0);
+  DvsScheduler Scheduler(Fn, Prof, Modes, Free, Opts);
+  return Scheduler.schedule(DeadlineSeconds);
+}
+
+ErrorOr<ScheduleResult> cdvs::scheduleHsuKremer(
+    const Function &Fn, const Profile &Prof, const ModeTable &Modes,
+    const TransitionModel &Transitions, double DeadlineSeconds,
+    int InitialMode) {
+  auto T0 = std::chrono::steady_clock::now();
+  const int NumModes = static_cast<int>(Modes.size());
+  const int Fast = NumModes - 1;
+  const int Slow = 0;
+  if (InitialMode < 0)
+    InitialMode = Fast;
+
+  const int NumBlocks = Fn.numBlocks();
+  std::vector<int> BlockMode(NumBlocks, Fast);
+
+  // Memory-boundedness score per executed block: how little its time
+  // dilates when the clock drops. Fully CPU-bound blocks dilate by
+  // ffast/fslow; fully memory-bound blocks do not dilate at all.
+  double SpeedRatio = Modes.level(Fast).Hertz / Modes.level(Slow).Hertz;
+  struct Candidate {
+    int Block;
+    double Score;
+  };
+  std::vector<Candidate> Ranked;
+  for (int B = 0; B < NumBlocks; ++B) {
+    if (Prof.BlockExecs[B] == 0) {
+      BlockMode[B] = Slow; // never runs: harmless to leave slow
+      continue;
+    }
+    double TFast = Prof.TimePerInvocation[B][Fast];
+    double TSlow = Prof.TimePerInvocation[B][Slow];
+    if (TFast <= 0.0)
+      continue;
+    double Dilation = TSlow / TFast; // in [1, SpeedRatio]
+    double Score =
+        1.0 - (Dilation - 1.0) / std::max(SpeedRatio - 1.0, 1e-9);
+    Ranked.push_back({B, std::max(0.0, std::min(1.0, Score))});
+  }
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const Candidate &A, const Candidate &B) {
+              return A.Score > B.Score;
+            });
+
+  // Predicted schedule time: block times at their modes plus a switch
+  // penalty for every dynamic crossing of a mode boundary.
+  auto predictTime = [&]() {
+    double Time = 0.0;
+    for (int B = 0; B < NumBlocks; ++B)
+      Time += Prof.TimePerInvocation[B][BlockMode[B]] *
+              static_cast<double>(Prof.BlockExecs[B]);
+    for (const auto &[E, Count] : Prof.EdgeCounts) {
+      int MFrom = BlockMode[E.From];
+      int MTo = BlockMode[E.To];
+      if (MFrom != MTo)
+        Time += static_cast<double>(Count) *
+                Transitions.switchTime(Modes.level(MFrom).Volts,
+                                       Modes.level(MTo).Volts);
+    }
+    return Time;
+  };
+  auto predictEnergy = [&]() {
+    double Energy = 0.0;
+    for (int B = 0; B < NumBlocks; ++B)
+      Energy += Prof.EnergyPerInvocation[B][BlockMode[B]] *
+                static_cast<double>(Prof.BlockExecs[B]);
+    for (const auto &[E, Count] : Prof.EdgeCounts) {
+      int MFrom = BlockMode[E.From];
+      int MTo = BlockMode[E.To];
+      if (MFrom != MTo)
+        Energy += static_cast<double>(Count) *
+                  Transitions.switchEnergy(Modes.level(MFrom).Volts,
+                                           Modes.level(MTo).Volts);
+    }
+    return Energy;
+  };
+
+  if (predictTime() > DeadlineSeconds)
+    return makeError("deadline infeasible even at the fastest mode");
+
+  // Greedy over *regions*: Hsu & Kremer slow whole loops, not single
+  // blocks (a lone loop body at a different speed than its header
+  // would switch modes every iteration). Grow a unit from the seed
+  // block along edges whose traversal count is comparable to the
+  // seed's execution count, then accept the unit move only if the
+  // deadline still holds and predicted energy improves.
+  auto growUnit = [&](int Seed) {
+    std::vector<int> Unit = {Seed};
+    std::vector<bool> In(NumBlocks, false);
+    In[Seed] = true;
+    double Threshold =
+        0.5 * static_cast<double>(Prof.BlockExecs[Seed]);
+    bool Grew = true;
+    while (Grew) {
+      Grew = false;
+      for (const auto &[E, Count] : Prof.EdgeCounts) {
+        if (static_cast<double>(Count) < Threshold)
+          continue;
+        int Add = -1;
+        if (In[E.From] && !In[E.To] && BlockMode[E.To] == Fast)
+          Add = E.To;
+        else if (In[E.To] && !In[E.From] && BlockMode[E.From] == Fast)
+          Add = E.From;
+        if (Add >= 0) {
+          In[Add] = true;
+          Unit.push_back(Add);
+          Grew = true;
+        }
+      }
+    }
+    return Unit;
+  };
+
+  for (const Candidate &C : Ranked) {
+    if (BlockMode[C.Block] != Fast)
+      continue; // already absorbed into an earlier unit
+    double TimeBefore = predictTime();
+    double EnergyBefore = predictEnergy();
+    (void)TimeBefore;
+    std::vector<int> Unit = growUnit(C.Block);
+    for (int B : Unit)
+      BlockMode[B] = Slow;
+    if (predictTime() > DeadlineSeconds ||
+        predictEnergy() >= EnergyBefore) {
+      for (int B : Unit)
+        BlockMode[B] = Fast;
+    }
+  }
+
+  ScheduleResult R;
+  R.Status = MilpStatus::Feasible; // heuristic: no optimality claim
+  R.Assignment.InitialMode = InitialMode;
+  for (const CfgEdge &E : Fn.edges())
+    R.Assignment.EdgeMode[E] = BlockMode[E.To];
+  R.PredictedEnergyJoules = predictEnergy();
+  R.NumEdges = static_cast<int>(Fn.edges().size());
+  R.NumIndependentGroups = NumBlocks;
+  auto T1 = std::chrono::steady_clock::now();
+  R.SolveSeconds = std::chrono::duration<double>(T1 - T0).count();
+  return R;
+}

@@ -1,0 +1,57 @@
+//===- dvs/Baselines.h - Prior-work DVS scheduling baselines ----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two prior compile-time DVS approaches the paper positions itself
+/// against, implemented over the same Profile/ModeAssignment machinery
+/// so they are directly comparable to the MILP scheduler:
+///
+///  * Saputra et al. (LCTES'02): the same per-region MILP but with NO
+///    transition energy/time accounting. Its schedules look better on
+///    paper and then pay unmodeled switch costs at run time — the gap
+///    the paper's Section 4.2 extension closes.
+///
+///  * Hsu & Kremer (PACS'02 heuristic): slow down the most memory-bound
+///    region(s) to the lowest frequency whose dilation still meets the
+///    deadline, keep everything else at full speed. Greedy, no solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_DVS_BASELINES_H
+#define CDVS_DVS_BASELINES_H
+
+#include "dvs/DvsScheduler.h"
+
+namespace cdvs {
+
+/// Saputra-style scheduling: the paper's MILP with transition costs
+/// zeroed during optimization. The returned assignment should be
+/// *evaluated* under the real TransitionModel to expose the unmodeled
+/// cost (deadline overshoot / energy misprediction).
+ErrorOr<ScheduleResult>
+scheduleIgnoringTransitionCosts(const Function &Fn, const Profile &Prof,
+                                const ModeTable &Modes,
+                                double DeadlineSeconds,
+                                DvsOptions Opts = DvsOptions());
+
+/// Hsu–Kremer-style greedy: rank blocks by memory-boundedness — the
+/// ratio of per-invocation time that does NOT scale when the clock
+/// drops (stall under asynchronous memory) — then walk the ranking,
+/// moving whole blocks (all their incoming edges) to the slowest mode
+/// while the profiled deadline still holds, charging transition time
+/// for mode boundaries conservatively.
+///
+/// \returns the assignment plus the predicted time; errs if even the
+/// all-fastest schedule misses the deadline.
+ErrorOr<ScheduleResult>
+scheduleHsuKremer(const Function &Fn, const Profile &Prof,
+                  const ModeTable &Modes,
+                  const TransitionModel &Transitions,
+                  double DeadlineSeconds, int InitialMode = -1);
+
+} // namespace cdvs
+
+#endif // CDVS_DVS_BASELINES_H

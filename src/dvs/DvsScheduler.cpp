@@ -1,0 +1,374 @@
+//===- dvs/DvsScheduler.cpp - Profile-driven MILP DVS scheduling ----------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/DvsScheduler.h"
+
+#include "lp/LpWriter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+using namespace cdvs;
+
+namespace {
+
+/// Plain union-find over edge indices.
+class UnionFind {
+public:
+  explicit UnionFind(int N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+  int find(int X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void unite(int A, int B) { Parent[find(A)] = find(B); }
+
+private:
+  std::vector<int> Parent;
+};
+
+} // namespace
+
+DvsScheduler::DvsScheduler(const Function &Fn, const Profile &Prof,
+                           const ModeTable &Modes,
+                           const TransitionModel &Transitions,
+                           DvsOptions Opts)
+    : DvsScheduler(Fn, std::vector<CategoryProfile>{{Prof, 1.0}}, Modes,
+                   Transitions, Opts) {}
+
+DvsScheduler::DvsScheduler(const Function &Fn,
+                           const std::vector<CategoryProfile> &InCategories,
+                           const ModeTable &Modes,
+                           const TransitionModel &Transitions,
+                           DvsOptions Opts)
+    : Fn(Fn), Categories(InCategories), Modes(Modes),
+      Transitions(Transitions), Opts(Opts) {
+  assert(!Categories.empty() && "need at least one input category");
+  for (const CategoryProfile &C : Categories) {
+    assert(C.Data.NumBlocks == Fn.numBlocks() &&
+           "profile does not match function");
+    assert(C.Data.NumModes == static_cast<int>(Modes.size()) &&
+           "profile does not match mode table");
+    (void)C;
+  }
+  assert(Opts.InitialMode >= 0 &&
+         Opts.InitialMode < static_cast<int>(Modes.size()) &&
+         "initial mode out of range");
+  buildGroups();
+}
+
+void DvsScheduler::buildGroups() {
+  // Edge 0 is the virtual entry edge (-1 -> 0) carrying the initial mode.
+  Edges.clear();
+  Edges.push_back({-1, 0});
+  for (const CfgEdge &E : Fn.edges())
+    Edges.push_back(E);
+  const int NumEdges = static_cast<int>(Edges.size());
+
+  std::map<CfgEdge, int> EdgeIndex;
+  for (int I = 0; I < NumEdges; ++I)
+    EdgeIndex[Edges[I]] = I;
+
+  // Probability-weighted execution count and destination energy (at the
+  // reference mode: fastest) per edge.
+  const int RefMode = static_cast<int>(Modes.size()) - 1;
+  std::vector<double> Count(NumEdges, 0.0);
+  std::vector<double> DestEnergy(NumEdges, 0.0);
+  Count[0] = 1.0;
+  for (const CategoryProfile &C : Categories) {
+    DestEnergy[0] +=
+        C.Probability * C.Data.EnergyPerInvocation[0][RefMode];
+    for (const auto &[E, G] : C.Data.EdgeCounts) {
+      auto It = EdgeIndex.find(E);
+      assert(It != EdgeIndex.end() && "profiled edge missing from CFG");
+      Count[It->second] += C.Probability * static_cast<double>(G);
+      DestEnergy[It->second] +=
+          C.Probability * static_cast<double>(G) *
+          C.Data.EnergyPerInvocation[E.To][RefMode];
+    }
+  }
+
+  UnionFind UF(NumEdges);
+  if (Opts.FilterThreshold > 0.0 && NumEdges > 1) {
+    double Total = std::accumulate(DestEnergy.begin(), DestEnergy.end(),
+                                   0.0);
+    // Real edges sorted by ascending destination energy.
+    std::vector<int> Order;
+    for (int I = 1; I < NumEdges; ++I)
+      Order.push_back(I);
+    std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+      return DestEnergy[A] < DestEnergy[B];
+    });
+
+    double Cum = 0.0;
+    for (int E : Order) {
+      if (Cum + DestEnergy[E] > Opts.FilterThreshold * Total)
+        break;
+      Cum += DestEnergy[E];
+      // Edges the profile never saw stay independent: they must keep
+      // their "unprofiled" status so decoding can pin them to the
+      // slowest mode instead of inheriting a hot group's speed.
+      if (Count[E] == 0.0)
+        continue;
+      // Tie this edge to the dominant incoming edge of its source block.
+      int Src = Edges[E].From;
+      assert(Src >= 0 && "virtual edge cannot be filtered");
+      int Best = -1;
+      double BestCount = -1.0;
+      for (int Other = 0; Other < NumEdges; ++Other) {
+        if (Edges[Other].To != Src)
+          continue;
+        if (Count[Other] > BestCount) {
+          BestCount = Count[Other];
+          Best = Other;
+        }
+      }
+      if (Best >= 0)
+        UF.unite(E, Best);
+    }
+  }
+
+  GroupOf.assign(NumEdges, -1);
+  std::map<int, int> RepToGroup;
+  for (int I = 0; I < NumEdges; ++I) {
+    int Rep = UF.find(I);
+    auto [It, Inserted] =
+        RepToGroup.insert({Rep, static_cast<int>(RepToGroup.size())});
+    (void)Inserted;
+    GroupOf[I] = It->second;
+  }
+  NumGroups = static_cast<int>(RepToGroup.size());
+}
+
+int DvsScheduler::numIndependentGroups() const { return NumGroups; }
+
+ErrorOr<ScheduleResult> DvsScheduler::schedule(double DeadlineSeconds) {
+  return schedule(
+      std::vector<double>(Categories.size(), DeadlineSeconds));
+}
+
+ErrorOr<ScheduleResult>
+DvsScheduler::schedule(const std::vector<double> &DeadlineSeconds) {
+  if (DeadlineSeconds.size() != Categories.size())
+    return makeError("deadline count does not match category count");
+
+  const int NumModes = static_cast<int>(Modes.size());
+  const int NumEdges = static_cast<int>(Edges.size());
+  const int NumCats = static_cast<int>(Categories.size());
+
+  LpProblem P;
+
+  // Mode binaries per independent group.
+  std::vector<std::vector<int>> K(NumGroups, std::vector<int>(NumModes));
+  for (int G = 0; G < NumGroups; ++G)
+    for (int M = 0; M < NumModes; ++M)
+      K[G][M] = P.addVariable(0.0, 1.0, 0.0,
+                              "k_g" + std::to_string(G) + "_m" +
+                                  std::to_string(M));
+
+  // Objective: execution energy. Gather coefficients first.
+  std::vector<std::vector<double>> EnergyCoeff(
+      NumGroups, std::vector<double>(NumModes, 0.0));
+  // Per-category deadline-row coefficients on the k variables.
+  std::vector<std::vector<std::vector<double>>> TimeCoeff(
+      NumCats, std::vector<std::vector<double>>(
+                   NumGroups, std::vector<double>(NumModes, 0.0)));
+
+  for (int C = 0; C < NumCats; ++C) {
+    const CategoryProfile &Cat = Categories[C];
+    for (int E = 0; E < NumEdges; ++E) {
+      double G = E == 0 ? 1.0 : 0.0;
+      if (E != 0) {
+        auto It = Cat.Data.EdgeCounts.find(Edges[E]);
+        if (It != Cat.Data.EdgeCounts.end())
+          G = static_cast<double>(It->second);
+      }
+      if (G == 0.0)
+        continue;
+      int To = Edges[E].To;
+      int Grp = GroupOf[E];
+      for (int M = 0; M < NumModes; ++M) {
+        EnergyCoeff[Grp][M] += Cat.Probability * G *
+                               Cat.Data.EnergyPerInvocation[To][M];
+        TimeCoeff[C][Grp][M] +=
+            G * Cat.Data.TimePerInvocation[To][M];
+      }
+    }
+  }
+  for (int G = 0; G < NumGroups; ++G)
+    for (int M = 0; M < NumModes; ++M)
+      P.setCost(K[G][M], EnergyCoeff[G][M]);
+
+  // Transition variables: one (e, t) pair per unordered group pair that
+  // appears in some local path. Weights: objective gets CE * sum_g
+  // p_g * D_g; each category's deadline row gets CT * D_g.
+  struct PairData {
+    int EVar = -1;
+    int TVar = -1;
+    std::vector<double> CatCount; // per category D sum
+  };
+  std::map<std::pair<int, int>, PairData> Pairs;
+
+  std::map<CfgEdge, int> EdgeIndex;
+  for (int I = 0; I < NumEdges; ++I)
+    EdgeIndex[Edges[I]] = I;
+
+  for (int C = 0; C < NumCats; ++C) {
+    for (const auto &[Path, D] : Categories[C].Data.PathCounts) {
+      auto [H, I, J] = Path;
+      auto ItIn = EdgeIndex.find({H, I});
+      auto ItOut = EdgeIndex.find({I, J});
+      assert(ItIn != EdgeIndex.end() && ItOut != EdgeIndex.end() &&
+             "profiled path not in CFG");
+      int G1 = GroupOf[ItIn->second];
+      int G2 = GroupOf[ItOut->second];
+      if (G1 == G2)
+        continue; // same group -> same mode -> silent mode-set
+      auto Key = std::minmax(G1, G2);
+      PairData &PD = Pairs[{Key.first, Key.second}];
+      if (PD.CatCount.empty())
+        PD.CatCount.assign(NumCats, 0.0);
+      PD.CatCount[C] += static_cast<double>(D);
+    }
+  }
+
+  const double CE = Transitions.energyConstant();
+  const double CT = Transitions.timeConstant();
+  for (auto &[Key, PD] : Pairs) {
+    double ObjWeight = 0.0;
+    for (int C = 0; C < NumCats; ++C)
+      ObjWeight += Categories[C].Probability * PD.CatCount[C] * CE;
+    PD.EVar = P.addVariable(0.0, lpInf(), ObjWeight,
+                            "e_" + std::to_string(Key.first) + "_" +
+                                std::to_string(Key.second));
+    PD.TVar = P.addVariable(0.0, lpInf(), 0.0,
+                            "t_" + std::to_string(Key.first) + "_" +
+                                std::to_string(Key.second));
+    // |sum_m (k1m - k2m) Vm^2| <= e ; |sum_m (k1m - k2m) Vm| <= t.
+    std::vector<LpTerm> SqTermsMinus, SqTermsPlus, VTermsMinus, VTermsPlus;
+    for (int M = 0; M < NumModes; ++M) {
+      double V = Modes.level(M).Volts;
+      double V2 = V * V;
+      SqTermsMinus.push_back({K[Key.first][M], V2});
+      SqTermsMinus.push_back({K[Key.second][M], -V2});
+      VTermsMinus.push_back({K[Key.first][M], V});
+      VTermsMinus.push_back({K[Key.second][M], -V});
+    }
+    SqTermsPlus = SqTermsMinus;
+    VTermsPlus = VTermsMinus;
+    SqTermsMinus.push_back({PD.EVar, -1.0});
+    P.addRow(RowSense::LE, 0.0, SqTermsMinus); // diff - e <= 0
+    SqTermsPlus.push_back({PD.EVar, 1.0});
+    P.addRow(RowSense::GE, 0.0, SqTermsPlus); // diff + e >= 0
+    VTermsMinus.push_back({PD.TVar, -1.0});
+    P.addRow(RowSense::LE, 0.0, VTermsMinus);
+    VTermsPlus.push_back({PD.TVar, 1.0});
+    P.addRow(RowSense::GE, 0.0, VTermsPlus);
+  }
+
+  // SOS1 rows: each group picks exactly one mode.
+  for (int G = 0; G < NumGroups; ++G) {
+    std::vector<LpTerm> Sum;
+    for (int M = 0; M < NumModes; ++M)
+      Sum.push_back({K[G][M], 1.0});
+    P.addRow(RowSense::EQ, 1.0, Sum);
+  }
+
+  // The virtual entry edge is pinned to the machine's initial mode: the
+  // OS sets the voltage before launch, and the paper does not let the
+  // program choose its entry operating point for free.
+  for (int M = 0; M < NumModes; ++M) {
+    int Var = K[GroupOf[0]][M];
+    double Fix = M == Opts.InitialMode ? 1.0 : 0.0;
+    P.setBounds(Var, Fix, Fix);
+  }
+
+  // Deadline row per category.
+  for (int C = 0; C < NumCats; ++C) {
+    std::vector<LpTerm> Row;
+    for (int G = 0; G < NumGroups; ++G)
+      for (int M = 0; M < NumModes; ++M)
+        if (TimeCoeff[C][G][M] != 0.0)
+          Row.push_back({K[G][M], TimeCoeff[C][G][M]});
+    for (const auto &[Key, PD] : Pairs)
+      if (PD.CatCount[C] > 0.0)
+        Row.push_back({PD.TVar, CT * PD.CatCount[C]});
+    P.addRow(RowSense::LE, DeadlineSeconds[C], Row);
+  }
+
+  // Solve.
+  std::vector<int> Integers;
+  for (auto &Group : K)
+    Integers.insert(Integers.end(), Group.begin(), Group.end());
+  std::string LpText;
+  if (Opts.DumpLp)
+    LpText = writeLpFormat(P, Integers);
+  MilpSolver Solver(P, Integers, Opts.Milp);
+  for (auto &Group : K)
+    Solver.addSos1Group(Group);
+
+  auto T0 = std::chrono::steady_clock::now();
+  MilpSolution Sol = Solver.solve();
+  auto T1 = std::chrono::steady_clock::now();
+
+  ScheduleResult R;
+  R.Status = Sol.Status;
+  R.SolveSeconds = std::chrono::duration<double>(T1 - T0).count();
+  R.Nodes = Sol.Nodes;
+  R.LpIterations = Sol.LpIterations;
+  R.NumEdges = NumEdges - 1;
+  R.NumIndependentGroups = NumGroups;
+  R.NumBinaries = static_cast<int>(Integers.size());
+  R.LpText = std::move(LpText);
+
+  if (Sol.Status == MilpStatus::Infeasible)
+    return makeError("deadline is infeasible for this program");
+  if (Sol.Status == MilpStatus::Unbounded ||
+      Sol.Status == MilpStatus::Limit)
+    return makeError("MILP search failed: " +
+                     std::string(milpStatusName(Sol.Status)));
+
+  R.PredictedEnergyJoules = Sol.Objective;
+
+  // Decode modes. Groups that never executed in any profile carry no
+  // objective or deadline weight, so the solver's choice for them is
+  // arbitrary; pin them to the slowest mode (no profile evidence ->
+  // assume not time-critical). This is what makes cross-category
+  // profile mismatch observable, exactly as in the paper's Section 6.4:
+  // a no-B-frames profile leaves the B-frame paths at the lowest speed.
+  std::vector<bool> GroupProfiled(NumGroups, false);
+  for (int G = 0; G < NumGroups; ++G)
+    for (int M = 0; M < NumModes && !GroupProfiled[G]; ++M)
+      if (EnergyCoeff[G][M] != 0.0)
+        GroupProfiled[G] = true;
+  auto modeOfGroup = [&](int G) {
+    if (!GroupProfiled[G])
+      return 0;
+    int Best = 0;
+    double BestVal = -1.0;
+    for (int M = 0; M < NumModes; ++M) {
+      if (Sol.X[K[G][M]] > BestVal) {
+        BestVal = Sol.X[K[G][M]];
+        Best = M;
+      }
+    }
+    return Best;
+  };
+  R.Assignment.InitialMode = modeOfGroup(GroupOf[0]);
+  assert(R.Assignment.InitialMode == Opts.InitialMode &&
+         "entry mode must honor the pin");
+  for (int E = 1; E < NumEdges; ++E)
+    R.Assignment.EdgeMode[Edges[E]] = modeOfGroup(GroupOf[E]);
+  return R;
+}

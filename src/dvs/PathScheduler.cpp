@@ -1,0 +1,195 @@
+//===- dvs/PathScheduler.cpp - Path-context MILP DVS scheduling -----------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/PathScheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <map>
+
+using namespace cdvs;
+
+ErrorOr<ScheduleResult> cdvs::schedulePathContext(
+    const Function &Fn, const Profile &Prof, const ModeTable &Modes,
+    const TransitionModel &Transitions, double DeadlineSeconds,
+    DvsOptions Opts) {
+  const int NumModes = static_cast<int>(Modes.size());
+  assert(Prof.NumModes == NumModes && "profile does not match modes");
+  assert(Prof.NumBlocks == Fn.numBlocks() &&
+         "profile does not match function");
+
+  // Units: the virtual pre-entry path first, then every profiled path.
+  const LocalPath VirtualPath{-2, -1, 0};
+  std::vector<LocalPath> Units = {VirtualPath};
+  std::map<LocalPath, int> UnitOf = {{VirtualPath, 0}};
+  for (const auto &[Path, D] : Prof.PathCounts) {
+    if (D == 0)
+      continue;
+    UnitOf[Path] = static_cast<int>(Units.size());
+    Units.push_back(Path);
+  }
+  const int NumUnits = static_cast<int>(Units.size());
+
+  LpProblem P;
+  std::vector<std::vector<int>> K(NumUnits, std::vector<int>(NumModes));
+  for (int U = 0; U < NumUnits; ++U)
+    for (int M = 0; M < NumModes; ++M)
+      K[U][M] = P.addVariable(0.0, 1.0, 0.0,
+                              "p_u" + std::to_string(U) + "_m" +
+                                  std::to_string(M));
+
+  // Execution costs. The virtual unit covers the entry block's first
+  // invocation; every other unit (h,i,j) covers Dhij invocations of
+  // block j.
+  std::vector<LpTerm> DeadlineRow;
+  for (int U = 0; U < NumUnits; ++U) {
+    auto [H, I, J] = Units[U];
+    double Count =
+        U == 0 ? 1.0
+               : static_cast<double>(Prof.PathCounts.at(Units[U]));
+    int Block = U == 0 ? 0 : J;
+    (void)H;
+    (void)I;
+    for (int M = 0; M < NumModes; ++M) {
+      P.setCost(K[U][M],
+                Count * Prof.EnergyPerInvocation[Block][M]);
+      double T = Count * Prof.TimePerInvocation[Block][M];
+      if (T != 0.0)
+        DeadlineRow.push_back({K[U][M], T});
+    }
+  }
+
+  // Transition terms between consecutive units, weighted by quads.
+  struct PairData {
+    int EVar = -1;
+    int TVar = -1;
+    double Count = 0.0;
+  };
+  std::map<std::pair<int, int>, PairData> Pairs;
+  auto noteQuad = [&](int U1, int U2, double Q) {
+    if (U1 == U2)
+      return;
+    auto Key = std::minmax(U1, U2);
+    Pairs[{Key.first, Key.second}].Count += Q;
+  };
+  for (const auto &[Quad, Q] : Prof.Reference.QuadCounts) {
+    auto [A, B, C, D] = Quad;
+    LocalPath From{A, B, C};
+    LocalPath To{B, C, D};
+    auto ItF = UnitOf.find(From);
+    auto ItT = UnitOf.find(To);
+    // Both units must be profiled (counts > 0 guarantee existence).
+    if (ItF == UnitOf.end() || ItT == UnitOf.end())
+      continue;
+    noteQuad(ItF->second, ItT->second, static_cast<double>(Q));
+  }
+
+  const double CE = Transitions.energyConstant();
+  const double CT = Transitions.timeConstant();
+  for (auto &[Key, PD] : Pairs) {
+    PD.EVar = P.addVariable(0.0, lpInf(), PD.Count * CE);
+    PD.TVar = P.addVariable(0.0, lpInf(), 0.0);
+    std::vector<LpTerm> SqMinus, SqPlus, VMinus, VPlus;
+    for (int M = 0; M < NumModes; ++M) {
+      double V = Modes.level(M).Volts;
+      SqMinus.push_back({K[Key.first][M], V * V});
+      SqMinus.push_back({K[Key.second][M], -V * V});
+      VMinus.push_back({K[Key.first][M], V});
+      VMinus.push_back({K[Key.second][M], -V});
+    }
+    SqPlus = SqMinus;
+    VPlus = VMinus;
+    SqMinus.push_back({PD.EVar, -1.0});
+    P.addRow(RowSense::LE, 0.0, SqMinus);
+    SqPlus.push_back({PD.EVar, 1.0});
+    P.addRow(RowSense::GE, 0.0, SqPlus);
+    VMinus.push_back({PD.TVar, -1.0});
+    P.addRow(RowSense::LE, 0.0, VMinus);
+    VPlus.push_back({PD.TVar, 1.0});
+    P.addRow(RowSense::GE, 0.0, VPlus);
+    DeadlineRow.push_back({PD.TVar, PD.Count * CT});
+  }
+
+  // SOS1 rows and the deadline.
+  for (int U = 0; U < NumUnits; ++U) {
+    std::vector<LpTerm> Sum;
+    for (int M = 0; M < NumModes; ++M)
+      Sum.push_back({K[U][M], 1.0});
+    P.addRow(RowSense::EQ, 1.0, Sum);
+  }
+  for (int M = 0; M < NumModes; ++M) {
+    double Fix = M == Opts.InitialMode ? 1.0 : 0.0;
+    P.setBounds(K[0][M], Fix, Fix);
+  }
+  P.addRow(RowSense::LE, DeadlineSeconds, DeadlineRow);
+
+  std::vector<int> Integers;
+  for (auto &Group : K)
+    Integers.insert(Integers.end(), Group.begin(), Group.end());
+  MilpSolver Solver(P, Integers, Opts.Milp);
+  for (auto &Group : K)
+    Solver.addSos1Group(Group);
+
+  auto T0 = std::chrono::steady_clock::now();
+  MilpSolution Sol = Solver.solve();
+  auto T1 = std::chrono::steady_clock::now();
+
+  ScheduleResult R;
+  R.Status = Sol.Status;
+  R.SolveSeconds = std::chrono::duration<double>(T1 - T0).count();
+  R.Nodes = Sol.Nodes;
+  R.LpIterations = Sol.LpIterations;
+  R.NumEdges = static_cast<int>(Fn.edges().size());
+  R.NumIndependentGroups = NumUnits;
+  R.NumBinaries = static_cast<int>(Integers.size());
+
+  if (Sol.Status == MilpStatus::Infeasible)
+    return makeError("deadline is infeasible for this program");
+  if (Sol.Status == MilpStatus::Unbounded ||
+      Sol.Status == MilpStatus::Limit)
+    return makeError("MILP search failed: " +
+                     std::string(milpStatusName(Sol.Status)));
+  R.PredictedEnergyJoules = Sol.Objective;
+
+  auto modeOfUnit = [&](int U) {
+    int Best = 0;
+    double BestVal = -1.0;
+    for (int M = 0; M < NumModes; ++M)
+      if (Sol.X[K[U][M]] > BestVal) {
+        BestVal = Sol.X[K[U][M]];
+        Best = M;
+      }
+    return Best;
+  };
+
+  R.Assignment.InitialMode = Opts.InitialMode;
+  // Path-context decisions plus a majority-vote per-edge fallback for
+  // contexts the profile never saw.
+  std::map<CfgEdge, std::map<int, uint64_t>> Votes;
+  for (int U = 1; U < NumUnits; ++U) {
+    auto [H, I, J] = Units[U];
+    int Mode = modeOfUnit(U);
+    R.Assignment.PathMode[{H, I, J}] = Mode;
+    Votes[{I, J}][Mode] += Prof.PathCounts.at(Units[U]);
+  }
+  for (const CfgEdge &E : Fn.edges()) {
+    auto It = Votes.find(E);
+    if (It == Votes.end()) {
+      R.Assignment.EdgeMode[E] = 0; // unprofiled: slowest
+      continue;
+    }
+    int Best = 0;
+    uint64_t BestCount = 0;
+    for (const auto &[Mode, Count] : It->second)
+      if (Count > BestCount) {
+        BestCount = Count;
+        Best = Mode;
+      }
+    R.Assignment.EdgeMode[E] = Best;
+  }
+  return R;
+}

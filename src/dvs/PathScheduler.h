@@ -1,0 +1,50 @@
+//===- dvs/PathScheduler.h - Path-context MILP DVS scheduling ---*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 7 "future work" direction, implemented: attach
+/// mode variables to *local paths* (H, I, J) — the mode set on edge
+/// (I, J) may depend on which block H the program entered I from —
+/// instead of to bare edges. Edge-based scheduling is the special case
+/// where all contexts of an edge share one variable, so path context
+/// strictly generalizes it: more program context in exchange for a
+/// larger MILP.
+///
+/// Formulation mirrors the edge scheduler:
+///  * one SOS1 group k[(h,i,j)][m] per profiled local path (plus the
+///    virtual pre-entry path (-2, -1, 0) pinned to the initial mode);
+///  * execution cost of block j under path (h,i,j) weighted by Dhij;
+///  * transition costs between consecutive paths weighted by the
+///    4-gram counts Q(h,i,j,k) the simulator collects;
+///  * one deadline row.
+///
+/// The decoded ModeAssignment carries PathMode entries, with a
+/// majority-vote EdgeMode fallback for run-time contexts the profile
+/// never observed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_DVS_PATHSCHEDULER_H
+#define CDVS_DVS_PATHSCHEDULER_H
+
+#include "dvs/DvsScheduler.h"
+
+namespace cdvs {
+
+/// Path-context scheduling over a single profile.
+///
+/// \p Opts: FilterThreshold is ignored (path instances are already
+/// profile-pruned); InitialMode and Milp apply as in DvsScheduler.
+ErrorOr<ScheduleResult>
+schedulePathContext(const Function &Fn, const Profile &Prof,
+                    const ModeTable &Modes,
+                    const TransitionModel &Transitions,
+                    double DeadlineSeconds,
+                    DvsOptions Opts = DvsOptions());
+
+} // namespace cdvs
+
+#endif // CDVS_DVS_PATHSCHEDULER_H

@@ -1,0 +1,89 @@
+//===- dvs/ScheduleIO.cpp - Mode-set listing output ------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/ScheduleIO.h"
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace cdvs;
+
+std::string cdvs::printAssignment(const Function &Fn,
+                                  const ModeAssignment &Assignment,
+                                  const ModeTable &Modes,
+                                  const Profile *Prof) {
+  std::string Out;
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "dvs schedule for %s: initial mode %d (%.0f MHz @ "
+                "%.2f V)\n",
+                Fn.name().c_str(), Assignment.InitialMode,
+                Modes.level(Assignment.InitialMode).Hertz / 1e6,
+                Modes.level(Assignment.InitialMode).Volts);
+  Out += Buf;
+
+  // Mode reaching each block along its most frequent incoming edge, to
+  // flag dynamically silent sets.
+  for (const CfgEdge &E : Fn.edges()) {
+    auto It = Assignment.EdgeMode.find(E);
+    if (It == Assignment.EdgeMode.end())
+      continue;
+    int Mode = It->second;
+    uint64_t Count = 0;
+    bool Silent = false;
+    if (Prof) {
+      auto CIt = Prof->EdgeCounts.find(E);
+      Count = CIt == Prof->EdgeCounts.end() ? 0 : CIt->second;
+      // Silent if every profiled predecessor context of the source
+      // block already arrives in this mode.
+      Silent = true;
+      bool AnyPred = false;
+      for (const auto &[Path, D] : Prof->PathCounts) {
+        auto [H, I, J] = Path;
+        if (I != E.From || J != E.To || D == 0)
+          continue;
+        AnyPred = true;
+        int PredMode = Assignment.InitialMode;
+        if (H >= 0) {
+          auto PIt = Assignment.EdgeMode.find({H, I});
+          if (PIt != Assignment.EdgeMode.end())
+            PredMode = PIt->second;
+          else
+            PredMode = -1; // unknown context
+        }
+        if (PredMode != Mode)
+          Silent = false;
+      }
+      Silent = Silent && AnyPred;
+    }
+    std::snprintf(Buf, sizeof(Buf),
+                  "  set-mode %d (%.0f MHz) on %s -> %s%s%s\n", Mode,
+                  Modes.level(Mode).Hertz / 1e6,
+                  Fn.block(E.From).Name.c_str(),
+                  Fn.block(E.To).Name.c_str(),
+                  Prof ? (" ; count " + std::to_string(Count)).c_str()
+                       : "",
+                  Silent ? " ; silent" : "");
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string cdvs::summarizeAssignment(const ModeAssignment &Assignment,
+                                      const ModeTable &Modes) {
+  std::vector<int> PerMode(Modes.size(), 0);
+  for (const auto &[E, M] : Assignment.EdgeMode)
+    ++PerMode[M];
+  std::string Out;
+  char Buf[64];
+  for (size_t M = 0; M < Modes.size(); ++M) {
+    std::snprintf(Buf, sizeof(Buf), "%s%.0fMHz:%d", M ? " " : "",
+                  Modes.level(M).Hertz / 1e6, PerMode[M]);
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===- dvs/ScheduleIO.h - Mode-set listing output ----------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a ModeAssignment the way a compiler back end would emit it: a
+/// per-edge listing of mode-set instructions with the operating point
+/// each one programs, annotated with which sets are silent on the hot
+/// path (same mode as the dominant predecessor — the paper's "silent
+/// mode-set on the back edge" observation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_DVS_SCHEDULEIO_H
+#define CDVS_DVS_SCHEDULEIO_H
+
+#include "power/ModeTable.h"
+#include "profile/Profile.h"
+#include "sim/ModeAssignment.h"
+
+#include <string>
+
+namespace cdvs {
+
+/// Textual mode-set listing for \p Assignment over \p Fn.
+///
+/// If \p Prof is non-null, each line is annotated with the edge's
+/// execution count and whether the set is dynamically silent (the mode
+/// matches every profiled predecessor context).
+std::string printAssignment(const Function &Fn,
+                            const ModeAssignment &Assignment,
+                            const ModeTable &Modes,
+                            const Profile *Prof = nullptr);
+
+/// One-line summary: modes used and how many edges select each.
+std::string summarizeAssignment(const ModeAssignment &Assignment,
+                                const ModeTable &Modes);
+
+} // namespace cdvs
+
+#endif // CDVS_DVS_SCHEDULEIO_H

@@ -1,0 +1,46 @@
+//===- ir/BasicBlock.h - CFG nodes -------------------------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks: a straight-line list of instructions closed by exactly
+/// one terminator. Blocks are identified by dense integer ids within
+/// their Function; the DVS machinery attaches mode-set decisions to CFG
+/// *edges* (pairs of block ids), following the paper's Section 4.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_IR_BASICBLOCK_H
+#define CDVS_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace cdvs {
+
+/// Kind of a block terminator.
+enum class TermKind {
+  Jump,   ///< Unconditional branch to Succs[0].
+  CondBr, ///< If CondReg != 0 go to Succs[0] else Succs[1].
+  Ret,    ///< Function exit.
+};
+
+/// A basic block: instructions plus one terminator.
+struct BasicBlock {
+  std::string Name;
+  std::vector<Instruction> Insts;
+  TermKind Term = TermKind::Ret;
+  int CondReg = 0;          ///< Used by CondBr.
+  std::vector<int> Succs;   ///< Successor block ids.
+
+  /// \returns the number of successor edges.
+  size_t numSuccs() const { return Succs.size(); }
+};
+
+} // namespace cdvs
+
+#endif // CDVS_IR_BASICBLOCK_H

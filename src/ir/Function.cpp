@@ -1,0 +1,238 @@
+//===- ir/Function.cpp - IR functions and CFG edges -----------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace cdvs;
+
+const char *cdvs::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::MovImm:
+    return "movimm";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  }
+  cdvsUnreachable("bad opcode");
+}
+
+OpClass cdvs::opClass(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::Mov:
+  case Opcode::MovImm:
+    return OpClass::IntAlu;
+  case Opcode::Mul:
+    return OpClass::IntMul;
+  case Opcode::Div:
+  case Opcode::Rem:
+    return OpClass::IntDiv;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+    return OpClass::FpAdd;
+  case Opcode::FMul:
+    return OpClass::FpMul;
+  case Opcode::FDiv:
+    return OpClass::FpDiv;
+  case Opcode::Load:
+    return OpClass::MemLoad;
+  case Opcode::Store:
+    return OpClass::MemStore;
+  }
+  cdvsUnreachable("bad opcode");
+}
+
+bool cdvs::isMemoryOp(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store;
+}
+
+int Function::addBlock(std::string BlockName) {
+  Blocks.push_back(BasicBlock{std::move(BlockName), {}, TermKind::Ret, 0, {}});
+  return numBlocks() - 1;
+}
+
+std::vector<CfgEdge> Function::edges() const {
+  std::vector<CfgEdge> Edges;
+  for (int B = 0; B < numBlocks(); ++B)
+    for (int S : Blocks[B].Succs)
+      Edges.push_back({B, S});
+  return Edges;
+}
+
+std::vector<std::vector<int>> Function::predecessors() const {
+  std::vector<std::vector<int>> Preds(numBlocks());
+  for (int B = 0; B < numBlocks(); ++B)
+    for (int S : Blocks[B].Succs)
+      Preds[S].push_back(B);
+  return Preds;
+}
+
+ErrorOr<bool> Function::verify() const {
+  if (Blocks.empty())
+    return makeError("function has no blocks");
+  auto checkReg = [&](int R) { return R >= 0 && R < NumRegs; };
+  bool SawRet = false;
+  for (int B = 0; B < numBlocks(); ++B) {
+    const BasicBlock &BB = Blocks[B];
+    for (const Instruction &I : BB.Insts) {
+      if (!checkReg(I.Dst) || !checkReg(I.Src1) || !checkReg(I.Src2))
+        return makeError("block '" + BB.Name +
+                         "': register index out of range");
+    }
+    switch (BB.Term) {
+    case TermKind::Jump:
+      if (BB.Succs.size() != 1)
+        return makeError("block '" + BB.Name +
+                         "': jump needs exactly one successor");
+      break;
+    case TermKind::CondBr:
+      if (BB.Succs.size() != 2)
+        return makeError("block '" + BB.Name +
+                         "': condbr needs exactly two successors");
+      if (BB.Succs[0] == BB.Succs[1])
+        return makeError("block '" + BB.Name +
+                         "': condbr successors must be distinct (edges "
+                         "must be unique)");
+      if (!checkReg(BB.CondReg))
+        return makeError("block '" + BB.Name +
+                         "': condition register out of range");
+      break;
+    case TermKind::Ret:
+      if (!BB.Succs.empty())
+        return makeError("block '" + BB.Name +
+                         "': ret takes no successors");
+      SawRet = true;
+      break;
+    }
+    for (int S : BB.Succs)
+      if (S < 0 || S >= numBlocks())
+        return makeError("block '" + BB.Name +
+                         "': successor id out of range");
+  }
+  if (!SawRet)
+    return makeError("function has no ret block");
+
+  // Reachability of some Ret from the entry (otherwise execution cannot
+  // terminate).
+  std::set<int> Seen;
+  std::vector<int> Work = {0};
+  bool RetReachable = false;
+  while (!Work.empty()) {
+    int B = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(B).second)
+      continue;
+    if (Blocks[B].Term == TermKind::Ret)
+      RetReachable = true;
+    for (int S : Blocks[B].Succs)
+      Work.push_back(S);
+  }
+  if (!RetReachable)
+    return makeError("no ret block reachable from entry");
+  return true;
+}
+
+std::string Function::print() const {
+  std::string Out;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "function %s (regs=%d, mem=%zu)\n",
+                Name.c_str(), NumRegs, MemBytes);
+  Out += Buf;
+  for (int B = 0; B < numBlocks(); ++B) {
+    const BasicBlock &BB = Blocks[B];
+    std::snprintf(Buf, sizeof(Buf), "%d: %s\n", B, BB.Name.c_str());
+    Out += Buf;
+    for (const Instruction &I : BB.Insts) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "  %-7s d=r%-3d s1=r%-3d s2=r%-3d imm=%lld\n",
+                    opcodeName(I.Op), I.Dst, I.Src1, I.Src2,
+                    static_cast<long long>(I.Imm));
+      Out += Buf;
+    }
+    switch (BB.Term) {
+    case TermKind::Jump:
+      std::snprintf(Buf, sizeof(Buf), "  jump -> %d\n", BB.Succs[0]);
+      break;
+    case TermKind::CondBr:
+      std::snprintf(Buf, sizeof(Buf), "  condbr r%d -> %d, %d\n",
+                    BB.CondReg, BB.Succs[0], BB.Succs[1]);
+      break;
+    case TermKind::Ret:
+      std::snprintf(Buf, sizeof(Buf), "  ret\n");
+      break;
+    }
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string Function::printDot() const {
+  std::string Out = "digraph \"" + Name + "\" {\n";
+  char Buf[128];
+  for (int B = 0; B < numBlocks(); ++B) {
+    std::snprintf(Buf, sizeof(Buf), "  n%d [label=\"%s\"];\n", B,
+                  Blocks[B].Name.c_str());
+    Out += Buf;
+    for (int S : Blocks[B].Succs) {
+      std::snprintf(Buf, sizeof(Buf), "  n%d -> n%d;\n", B, S);
+      Out += Buf;
+    }
+  }
+  Out += "}\n";
+  return Out;
+}

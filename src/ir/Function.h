@@ -1,0 +1,85 @@
+//===- ir/Function.h - IR functions and CFG edges ----------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Function is a CFG of basic blocks (block 0 is the entry) over a
+/// register file of NumRegs 64-bit registers and a byte-addressable
+/// memory of MemBytes bytes. Functions are self-contained programs for
+/// the cycle simulator; "arguments" are pre-initialized registers and
+/// memory contents set by the caller before execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_IR_FUNCTION_H
+#define CDVS_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "support/Error.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cdvs {
+
+/// A directed CFG edge between two block ids.
+struct CfgEdge {
+  int From = 0;
+  int To = 0;
+
+  bool operator==(const CfgEdge &Other) const {
+    return From == Other.From && To == Other.To;
+  }
+  bool operator<(const CfgEdge &Other) const {
+    return From != Other.From ? From < Other.From : To < Other.To;
+  }
+};
+
+/// A function: CFG + register/memory shape.
+class Function {
+public:
+  Function(std::string Name, int NumRegs, size_t MemBytes)
+      : Name(std::move(Name)), NumRegs(NumRegs), MemBytes(MemBytes) {}
+
+  /// Appends an empty block; \returns its id.
+  int addBlock(std::string BlockName);
+
+  BasicBlock &block(int Id) { return Blocks[Id]; }
+  const BasicBlock &block(int Id) const { return Blocks[Id]; }
+  int numBlocks() const { return static_cast<int>(Blocks.size()); }
+
+  const std::string &name() const { return Name; }
+  int numRegs() const { return NumRegs; }
+  size_t memBytes() const { return MemBytes; }
+
+  /// All CFG edges in deterministic (From, To) order.
+  std::vector<CfgEdge> edges() const;
+
+  /// Predecessor block ids of each block.
+  std::vector<std::vector<int>> predecessors() const;
+
+  /// Structural validation: entry exists, successors in range, CondBr
+  /// has two distinct successors, Jump one, Ret none, register indices
+  /// in range, at least one Ret reachable. \returns the error message on
+  /// failure.
+  ErrorOr<bool> verify() const;
+
+  /// Renders a readable text listing of the function.
+  std::string print() const;
+
+  /// Renders Graphviz dot for the CFG.
+  std::string printDot() const;
+
+private:
+  std::string Name;
+  int NumRegs;
+  size_t MemBytes;
+  std::vector<BasicBlock> Blocks;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_IR_FUNCTION_H

@@ -1,0 +1,101 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder that appends instructions and terminators to a
+/// Function's blocks, in the spirit of llvm::IRBuilder. The workload
+/// generators use it to assemble the MediaBench-analogue programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_IR_IRBUILDER_H
+#define CDVS_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+#include <cassert>
+
+namespace cdvs {
+
+/// Appends instructions into the block selected by setInsertPoint.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F) {}
+
+  /// Creates a block and \returns its id (does not move the insert point).
+  int createBlock(std::string Name) { return F.addBlock(std::move(Name)); }
+
+  /// Selects the block receiving subsequent instructions.
+  void setInsertPoint(int Block) {
+    assert(Block >= 0 && Block < F.numBlocks() && "bad insert point");
+    Cur = Block;
+  }
+
+  int insertPoint() const { return Cur; }
+
+  /// Generic three-address emit.
+  void emit(Opcode Op, int Dst, int Src1, int Src2, int64_t Imm = 0) {
+    cur().Insts.push_back({Op, Dst, Src1, Src2, Imm});
+  }
+
+  void add(int Dst, int A, int B) { emit(Opcode::Add, Dst, A, B); }
+  void sub(int Dst, int A, int B) { emit(Opcode::Sub, Dst, A, B); }
+  void mul(int Dst, int A, int B) { emit(Opcode::Mul, Dst, A, B); }
+  void div(int Dst, int A, int B) { emit(Opcode::Div, Dst, A, B); }
+  void rem(int Dst, int A, int B) { emit(Opcode::Rem, Dst, A, B); }
+  void and_(int Dst, int A, int B) { emit(Opcode::And, Dst, A, B); }
+  void or_(int Dst, int A, int B) { emit(Opcode::Or, Dst, A, B); }
+  void xor_(int Dst, int A, int B) { emit(Opcode::Xor, Dst, A, B); }
+  void shl(int Dst, int A, int B) { emit(Opcode::Shl, Dst, A, B); }
+  void shr(int Dst, int A, int B) { emit(Opcode::Shr, Dst, A, B); }
+  void cmpEq(int Dst, int A, int B) { emit(Opcode::CmpEq, Dst, A, B); }
+  void cmpNe(int Dst, int A, int B) { emit(Opcode::CmpNe, Dst, A, B); }
+  void cmpLt(int Dst, int A, int B) { emit(Opcode::CmpLt, Dst, A, B); }
+  void cmpLe(int Dst, int A, int B) { emit(Opcode::CmpLe, Dst, A, B); }
+  void fadd(int Dst, int A, int B) { emit(Opcode::FAdd, Dst, A, B); }
+  void fsub(int Dst, int A, int B) { emit(Opcode::FSub, Dst, A, B); }
+  void fmul(int Dst, int A, int B) { emit(Opcode::FMul, Dst, A, B); }
+  void fdiv(int Dst, int A, int B) { emit(Opcode::FDiv, Dst, A, B); }
+
+  void mov(int Dst, int Src) { emit(Opcode::Mov, Dst, Src, 0); }
+  void movImm(int Dst, int64_t V) { emit(Opcode::MovImm, Dst, 0, 0, V); }
+
+  /// Dst = mem32[Addr + Off].
+  void load(int Dst, int Addr, int64_t Off = 0) {
+    emit(Opcode::Load, Dst, Addr, 0, Off);
+  }
+  /// mem32[Addr + Off] = Src.
+  void store(int Src, int Addr, int64_t Off = 0) {
+    emit(Opcode::Store, 0, Addr, Src, Off);
+  }
+
+  void jump(int Target) {
+    cur().Term = TermKind::Jump;
+    cur().Succs = {Target};
+  }
+  void condBr(int CondReg, int TrueBlock, int FalseBlock) {
+    cur().Term = TermKind::CondBr;
+    cur().CondReg = CondReg;
+    cur().Succs = {TrueBlock, FalseBlock};
+  }
+  void ret() {
+    cur().Term = TermKind::Ret;
+    cur().Succs.clear();
+  }
+
+private:
+  BasicBlock &cur() {
+    assert(Cur >= 0 && "no insert point set");
+    return F.block(Cur);
+  }
+
+  Function &F;
+  int Cur = -1;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_IR_IRBUILDER_H

@@ -1,0 +1,95 @@
+//===- ir/Instruction.h - Register-machine instructions ---------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instructions of the small register-machine IR used to express the
+/// MediaBench-analogue workloads. Registers hold 64-bit integers; the
+/// "floating point" opcodes compute on the same register file but carry
+/// FP latency/energy classes — only the timing class, operand flow, and
+/// memory behaviour matter to the DVS analysis, not numeric semantics.
+///
+/// Non-terminator instructions live in basic blocks; control flow is
+/// expressed by each block's terminator (see BasicBlock.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_IR_INSTRUCTION_H
+#define CDVS_IR_INSTRUCTION_H
+
+#include <cstdint>
+
+namespace cdvs {
+
+/// Non-terminator opcodes.
+enum class Opcode {
+  // Integer ALU (1-cycle class).
+  Add,
+  Sub,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  Mov,    ///< Dst = reg Src1
+  MovImm, ///< Dst = Imm
+  // Integer multiply / divide (longer latency classes).
+  Mul,
+  Div, ///< Divide-by-zero yields 0 (workloads avoid it; interpreter is
+       ///< total so profiling never traps).
+  Rem,
+  // Floating-point classes (operate on the integer register file).
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Memory: 4-byte words, byte addresses.
+  Load,  ///< Dst = mem32[Src1 + Imm]
+  Store, ///< mem32[Src1 + Imm] = Src2
+};
+
+/// \returns a printable mnemonic.
+const char *opcodeName(Opcode Op);
+
+/// Functional-unit class an opcode executes on; drives latency and
+/// per-operation energy weight in the cycle simulator.
+enum class OpClass {
+  IntAlu,
+  IntMul,
+  IntDiv,
+  FpAdd,
+  FpMul,
+  FpDiv,
+  MemLoad,
+  MemStore,
+};
+
+/// \returns the functional-unit class of \p Op.
+OpClass opClass(Opcode Op);
+
+/// \returns true for opcodes that read or write memory.
+bool isMemoryOp(Opcode Op);
+
+/// One three-address instruction. Field use by opcode:
+///  * ALU binary ops:  Dst = Src1 op Src2
+///  * Mov:             Dst = Src1
+///  * MovImm:          Dst = Imm
+///  * Load:            Dst = mem32[Src1 + Imm]
+///  * Store:           mem32[Src1 + Imm] = Src2   (Dst unused)
+struct Instruction {
+  Opcode Op = Opcode::Add;
+  int Dst = 0;
+  int Src1 = 0;
+  int Src2 = 0;
+  int64_t Imm = 0;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_IR_INSTRUCTION_H

@@ -1,0 +1,171 @@
+//===- ir/Parser.cpp - Text-format IR parser ------------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+using namespace cdvs;
+
+ErrorOr<Opcode> cdvs::opcodeByName(const std::string &Name) {
+  static const std::pair<const char *, Opcode> Table[] = {
+      {"add", Opcode::Add},       {"sub", Opcode::Sub},
+      {"and", Opcode::And},       {"or", Opcode::Or},
+      {"xor", Opcode::Xor},       {"shl", Opcode::Shl},
+      {"shr", Opcode::Shr},       {"cmpeq", Opcode::CmpEq},
+      {"cmpne", Opcode::CmpNe},   {"cmplt", Opcode::CmpLt},
+      {"cmple", Opcode::CmpLe},   {"mov", Opcode::Mov},
+      {"movimm", Opcode::MovImm}, {"mul", Opcode::Mul},
+      {"div", Opcode::Div},       {"rem", Opcode::Rem},
+      {"fadd", Opcode::FAdd},     {"fsub", Opcode::FSub},
+      {"fmul", Opcode::FMul},     {"fdiv", Opcode::FDiv},
+      {"load", Opcode::Load},     {"store", Opcode::Store},
+  };
+  for (const auto &[Str, Op] : Table)
+    if (Name == Str)
+      return Op;
+  return makeError("unknown opcode '" + Name + "'");
+}
+
+namespace {
+
+/// Line-oriented cursor with error context.
+struct Cursor {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+
+  explicit Cursor(const std::string &Text) {
+    std::istringstream In(Text);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      // Strip comments and trailing whitespace.
+      size_t Hash = Line.find('#');
+      if (Hash != std::string::npos)
+        Line.erase(Hash);
+      while (!Line.empty() && std::isspace(
+                                  static_cast<unsigned char>(Line.back())))
+        Line.pop_back();
+      Lines.push_back(Line);
+    }
+  }
+
+  bool atEnd() {
+    skipBlank();
+    return Pos >= Lines.size();
+  }
+
+  void skipBlank() {
+    while (Pos < Lines.size() && Lines[Pos].empty())
+      ++Pos;
+  }
+
+  /// Current non-blank line (call atEnd() first).
+  const std::string &peek() { return Lines[Pos]; }
+  void advance() { ++Pos; }
+  int lineNo() const { return static_cast<int>(Pos) + 1; }
+};
+
+Err errAt(const Cursor &C, const std::string &Msg) {
+  return makeError("line " + std::to_string(C.lineNo()) + ": " + Msg);
+}
+
+} // namespace
+
+ErrorOr<Function> cdvs::parseFunction(const std::string &Text) {
+  Cursor C(Text);
+  if (C.atEnd())
+    return makeError("empty input");
+
+  // Header: function <name> (regs=<n>, mem=<bytes>)
+  char Name[128];
+  int Regs = 0;
+  unsigned long long Mem = 0;
+  if (std::sscanf(C.peek().c_str(), "function %127s (regs=%d, mem=%llu)",
+                  Name, &Regs, &Mem) != 3)
+    return errAt(C, "expected 'function <name> (regs=<n>, mem=<m>)'");
+  C.advance();
+
+  Function F(Name, Regs, static_cast<size_t>(Mem));
+
+  // First pass requirement avoided: blocks are declared in id order, so
+  // forward references are plain integers.
+  int CurBlock = -1;
+  while (!C.atEnd()) {
+    const std::string &Line = C.peek();
+
+    int Id = 0;
+    char BlockName[128];
+    if (std::sscanf(Line.c_str(), "%d: %127s", &Id, BlockName) == 2 &&
+        Line.find(':') != std::string::npos &&
+        !std::isspace(static_cast<unsigned char>(Line[0]))) {
+      int NewId = F.addBlock(BlockName);
+      if (NewId != Id)
+        return errAt(C, "block ids must be dense and in order (got " +
+                            std::to_string(Id) + ", expected " +
+                            std::to_string(NewId) + ")");
+      CurBlock = NewId;
+      C.advance();
+      continue;
+    }
+
+    if (CurBlock < 0)
+      return errAt(C, "instruction before any block");
+    BasicBlock &BB = F.block(CurBlock);
+
+    // Terminators.
+    int A = 0, B = 0, R = 0;
+    if (Line.find("jump ->") != std::string::npos) {
+      if (std::sscanf(Line.c_str(), " jump -> %d", &A) != 1)
+        return errAt(C, "malformed jump");
+      BB.Term = TermKind::Jump;
+      BB.Succs = {A};
+      C.advance();
+      continue;
+    }
+    if (Line.find("condbr") != std::string::npos) {
+      if (std::sscanf(Line.c_str(), " condbr r%d -> %d, %d", &R, &A,
+                      &B) != 3)
+        return errAt(C, "malformed condbr");
+      BB.Term = TermKind::CondBr;
+      BB.CondReg = R;
+      BB.Succs = {A, B};
+      C.advance();
+      continue;
+    }
+    {
+      std::istringstream Tok(Line);
+      std::string First;
+      Tok >> First;
+      if (First == "ret") {
+        BB.Term = TermKind::Ret;
+        BB.Succs.clear();
+        C.advance();
+        continue;
+      }
+
+      // Regular instruction:  <op> d=rX s1=rY s2=rZ imm=V
+      char OpName[32];
+      int D = 0, S1 = 0, S2 = 0;
+      long long Imm = 0;
+      if (std::sscanf(Line.c_str(), " %31s d=r%d s1=r%d s2=r%d imm=%lld",
+                      OpName, &D, &S1, &S2, &Imm) != 5)
+        return errAt(C, "malformed instruction '" + Line + "'");
+      ErrorOr<Opcode> Op = opcodeByName(OpName);
+      if (!Op)
+        return errAt(C, Op.message());
+      BB.Insts.push_back({*Op, D, S1, S2, Imm});
+      C.advance();
+    }
+  }
+
+  ErrorOr<bool> Ok = F.verify();
+  if (!Ok)
+    return makeError("verification failed: " + Ok.message());
+  return F;
+}

@@ -1,0 +1,43 @@
+//===- ir/Parser.h - Text-format IR parser ----------------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form emitted by Function::print() back into a
+/// Function, so programs can be stored in files, diffed, and written by
+/// hand. Round-trip guarantee: parse(print(F)) is structurally equal to
+/// F for every verifiable function.
+///
+/// Grammar (one construct per line; '#' starts a comment):
+///
+///   function <name> (regs=<n>, mem=<bytes>)
+///   <id>: <block-name>
+///     <opcode> d=r<i> s1=r<j> s2=r<k> imm=<v>
+///     jump -> <id>
+///     condbr r<i> -> <id>, <id>
+///     ret
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_IR_PARSER_H
+#define CDVS_IR_PARSER_H
+
+#include "ir/Function.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace cdvs {
+
+/// Parses \p Text into a Function. On success the function has been
+/// verified. Errors carry a line number and message.
+ErrorOr<Function> parseFunction(const std::string &Text);
+
+/// \returns the opcode for mnemonic \p Name, or an error.
+ErrorOr<Opcode> opcodeByName(const std::string &Name);
+
+} // namespace cdvs
+
+#endif // CDVS_IR_PARSER_H

@@ -1,0 +1,104 @@
+//===- ir/Passes.cpp - CFG cleanup passes ---------------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Passes.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace cdvs;
+
+PassStats cdvs::removeUnreachableBlocks(Function &F) {
+  PassStats Stats;
+  std::vector<bool> Reach(F.numBlocks(), false);
+  std::vector<int> Work = {0};
+  while (!Work.empty()) {
+    int B = Work.back();
+    Work.pop_back();
+    if (Reach[B])
+      continue;
+    Reach[B] = true;
+    for (int S : F.block(B).Succs)
+      Work.push_back(S);
+  }
+
+  int Kept = 0;
+  std::vector<int> Remap(F.numBlocks(), -1);
+  for (int B = 0; B < F.numBlocks(); ++B)
+    if (Reach[B])
+      Remap[B] = Kept++;
+  Stats.BlocksRemoved = F.numBlocks() - Kept;
+  if (Stats.BlocksRemoved == 0)
+    return Stats;
+
+  Function NewF(F.name(), F.numRegs(), F.memBytes());
+  for (int B = 0; B < F.numBlocks(); ++B) {
+    if (!Reach[B])
+      continue;
+    int NewId = NewF.addBlock(F.block(B).Name);
+    BasicBlock &NB = NewF.block(NewId);
+    NB = F.block(B);
+    for (int &S : NB.Succs) {
+      assert(Remap[S] >= 0 && "reachable block points to unreachable");
+      S = Remap[S];
+    }
+  }
+  F = NewF;
+  return Stats;
+}
+
+PassStats cdvs::mergeStraightLineBlocks(Function &F) {
+  PassStats Stats;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    auto Preds = F.predecessors();
+    for (int B = 0; B < F.numBlocks(); ++B) {
+      BasicBlock &BB = F.block(B);
+      if (BB.Term != TermKind::Jump)
+        continue;
+      int C = BB.Succs[0];
+      if (C == B || C == 0)
+        continue; // self loop or the entry block
+      if (Preds[C].size() != 1)
+        continue;
+      // Absorb C into B; C becomes unreachable.
+      BasicBlock &CB = F.block(C);
+      BB.Insts.insert(BB.Insts.end(), CB.Insts.begin(), CB.Insts.end());
+      BB.Term = CB.Term;
+      BB.CondReg = CB.CondReg;
+      BB.Succs = CB.Succs;
+      CB.Insts.clear();
+      CB.Term = TermKind::Ret;
+      CB.Succs.clear();
+      ++Stats.BlocksMerged;
+      Changed = true;
+      break; // predecessor lists are stale; rescan
+    }
+  }
+  if (Stats.BlocksMerged > 0)
+    removeUnreachableBlocks(F);
+  return Stats;
+}
+
+PassStats cdvs::simplifyCfg(Function &F) {
+  PassStats Total;
+  for (;;) {
+    PassStats A = removeUnreachableBlocks(F);
+    PassStats B = mergeStraightLineBlocks(F);
+    Total.BlocksRemoved += A.BlocksRemoved + B.BlocksRemoved;
+    Total.BlocksMerged += B.BlocksMerged;
+    if (!A.changed() && !B.changed())
+      return Total;
+  }
+}
+
+int cdvs::countStaticInstructions(const Function &F) {
+  int Count = 0;
+  for (int B = 0; B < F.numBlocks(); ++B)
+    Count += static_cast<int>(F.block(B).Insts.size());
+  return Count;
+}

@@ -1,0 +1,55 @@
+//===- ir/Passes.h - CFG cleanup passes --------------------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small CFG transforms run before DVS scheduling. Fewer blocks and
+/// edges mean fewer mode variables in the MILP, and the paper's own
+/// Section 7 notes that mode-set placement wants cleaned-up control
+/// flow (hoisting/coalescing of mode sets falls out of merging).
+///
+///  * removeUnreachableBlocks — drops blocks no path from entry reaches
+///    and renumbers the survivors;
+///  * mergeStraightLineBlocks — folds B -> C when B jumps only to C and
+///    C has no other predecessor (classic block merging);
+///  * simplifyCfg — runs both to a fixed point.
+///
+/// All passes preserve verification and program semantics; they only
+/// renumber/merge blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_IR_PASSES_H
+#define CDVS_IR_PASSES_H
+
+#include "ir/Function.h"
+
+namespace cdvs {
+
+/// Statistics returned by the passes.
+struct PassStats {
+  int BlocksRemoved = 0;
+  int BlocksMerged = 0;
+
+  bool changed() const { return BlocksRemoved + BlocksMerged > 0; }
+};
+
+/// Removes blocks unreachable from the entry; renumbers the rest
+/// (entry stays block 0). \returns how many were dropped.
+PassStats removeUnreachableBlocks(Function &F);
+
+/// Merges straight-line pairs: a block ending in an unconditional jump
+/// to a block with exactly one predecessor absorbs it.
+PassStats mergeStraightLineBlocks(Function &F);
+
+/// Iterates both transforms to a fixed point.
+PassStats simplifyCfg(Function &F);
+
+/// \returns the total static instruction count (terminators excluded).
+int countStaticInstructions(const Function &F);
+
+} // namespace cdvs
+
+#endif // CDVS_IR_PASSES_H

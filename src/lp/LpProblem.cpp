@@ -1,0 +1,84 @@
+//===- lp/LpProblem.cpp - Linear program description ----------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/LpProblem.h"
+
+using namespace cdvs;
+
+int LpProblem::addVariable(double Lo, double Hi, double Cost,
+                           std::string Name) {
+  assert(std::isfinite(Lo) && "lower bound must be finite");
+  assert(Lo <= Hi && "empty variable domain");
+  Cost_.push_back(Cost);
+  Lo_.push_back(Lo);
+  Hi_.push_back(Hi);
+  Names_.push_back(std::move(Name));
+  return numVariables() - 1;
+}
+
+int LpProblem::addRow(RowSense Sense, double Rhs, std::vector<LpTerm> Terms) {
+#ifndef NDEBUG
+  for (const LpTerm &T : Terms)
+    assert(T.Var >= 0 && T.Var < numVariables() && "term on unknown var");
+#endif
+  Sense_.push_back(Sense);
+  Rhs_.push_back(Rhs);
+  Terms_.push_back(std::move(Terms));
+  return numRows() - 1;
+}
+
+void LpProblem::setCost(int Var, double Cost) {
+  assert(Var >= 0 && Var < numVariables() && "unknown variable");
+  Cost_[Var] = Cost;
+}
+
+void LpProblem::setBounds(int Var, double Lo, double Hi) {
+  assert(Var >= 0 && Var < numVariables() && "unknown variable");
+  assert(std::isfinite(Lo) && Lo <= Hi && "bad bounds");
+  Lo_[Var] = Lo;
+  Hi_[Var] = Hi;
+}
+
+double LpProblem::objectiveAt(const std::vector<double> &X) const {
+  assert(static_cast<int>(X.size()) == numVariables());
+  double Sum = 0.0;
+  for (int J = 0; J < numVariables(); ++J)
+    Sum += Cost_[J] * X[J];
+  return Sum;
+}
+
+double LpProblem::rowActivityAt(int Row, const std::vector<double> &X) const {
+  double Sum = 0.0;
+  for (const LpTerm &T : Terms_[Row])
+    Sum += T.Coeff * X[T.Var];
+  return Sum;
+}
+
+bool LpProblem::isFeasible(const std::vector<double> &X, double Tol) const {
+  if (static_cast<int>(X.size()) != numVariables())
+    return false;
+  for (int J = 0; J < numVariables(); ++J)
+    if (X[J] < Lo_[J] - Tol || X[J] > Hi_[J] + Tol)
+      return false;
+  for (int I = 0; I < numRows(); ++I) {
+    double Act = rowActivityAt(I, X);
+    switch (Sense_[I]) {
+    case RowSense::LE:
+      if (Act > Rhs_[I] + Tol)
+        return false;
+      break;
+    case RowSense::GE:
+      if (Act < Rhs_[I] - Tol)
+        return false;
+      break;
+    case RowSense::EQ:
+      if (std::fabs(Act - Rhs_[I]) > Tol)
+        return false;
+      break;
+    }
+  }
+  return true;
+}

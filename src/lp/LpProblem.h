@@ -1,0 +1,95 @@
+//===- lp/LpProblem.h - Linear program description --------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A linear program in the form
+///
+///   minimize    c^T x
+///   subject to  a_i^T x  {<=, >=, ==}  b_i     for each row i
+///               Lo_j <= x_j <= Hi_j            for each variable j
+///
+/// Every variable must have a finite lower bound (all DVS variables are
+/// naturally nonnegative); upper bounds may be +infinity. Rows are stored
+/// sparsely. The solver (SimplexSolver) consumes this description.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_LP_LPPROBLEM_H
+#define CDVS_LP_LPPROBLEM_H
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cdvs {
+
+/// Direction of a linear constraint row.
+enum class RowSense { LE, GE, EQ };
+
+/// One sparse term of a constraint row: coefficient on a variable.
+struct LpTerm {
+  int Var = 0;
+  double Coeff = 0.0;
+};
+
+/// Positive infinity used for "no upper bound".
+inline double lpInf() { return std::numeric_limits<double>::infinity(); }
+
+/// Mutable LP model builder.
+class LpProblem {
+public:
+  /// Adds a variable with bounds [\p Lo, \p Hi] and objective cost
+  /// \p Cost. Lo must be finite. \returns the variable index.
+  int addVariable(double Lo, double Hi, double Cost,
+                  std::string Name = "");
+
+  /// Adds a constraint row. Terms on the same variable are allowed and
+  /// are summed by the solver. \returns the row index.
+  int addRow(RowSense Sense, double Rhs, std::vector<LpTerm> Terms);
+
+  /// Overwrites the objective coefficient of \p Var.
+  void setCost(int Var, double Cost);
+
+  /// Tightens/relaxes variable bounds (used by branch-and-bound to fix
+  /// binaries without rebuilding the model).
+  void setBounds(int Var, double Lo, double Hi);
+
+  int numVariables() const { return static_cast<int>(Cost_.size()); }
+  int numRows() const { return static_cast<int>(Sense_.size()); }
+
+  double cost(int Var) const { return Cost_[Var]; }
+  double lowerBound(int Var) const { return Lo_[Var]; }
+  double upperBound(int Var) const { return Hi_[Var]; }
+  const std::string &name(int Var) const { return Names_[Var]; }
+
+  RowSense sense(int Row) const { return Sense_[Row]; }
+  double rhs(int Row) const { return Rhs_[Row]; }
+  const std::vector<LpTerm> &rowTerms(int Row) const { return Terms_[Row]; }
+
+  /// Evaluates the objective at point \p X (size numVariables()).
+  double objectiveAt(const std::vector<double> &X) const;
+
+  /// \returns the row activity a_i^T x at point \p X.
+  double rowActivityAt(int Row, const std::vector<double> &X) const;
+
+  /// \returns true if \p X satisfies all rows and bounds within \p Tol.
+  bool isFeasible(const std::vector<double> &X, double Tol = 1e-6) const;
+
+private:
+  std::vector<double> Cost_;
+  std::vector<double> Lo_;
+  std::vector<double> Hi_;
+  std::vector<std::string> Names_;
+  std::vector<RowSense> Sense_;
+  std::vector<double> Rhs_;
+  std::vector<std::vector<LpTerm>> Terms_;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_LP_LPPROBLEM_H

@@ -1,0 +1,110 @@
+//===- lp/LpWriter.cpp - CPLEX LP-format export ----------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/LpWriter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+using namespace cdvs;
+
+namespace {
+
+std::string varName(const LpProblem &P, int Var) {
+  if (!P.name(Var).empty())
+    return P.name(Var);
+  return "x" + std::to_string(Var);
+}
+
+void appendNumber(std::string &Out, double X) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", X);
+  Out += Buf;
+}
+
+void appendTerms(std::string &Out, const LpProblem &P,
+                 const std::vector<LpTerm> &Terms) {
+  bool First = true;
+  for (const LpTerm &T : Terms) {
+    if (T.Coeff == 0.0)
+      continue;
+    if (T.Coeff >= 0.0)
+      Out += First ? "" : " + ";
+    else
+      Out += First ? "- " : " - ";
+    appendNumber(Out, std::fabs(T.Coeff));
+    Out += " " + varName(P, T.Var);
+    First = false;
+  }
+  if (First)
+    Out += "0 " + varName(P, 0);
+}
+
+} // namespace
+
+std::string cdvs::writeLpFormat(const LpProblem &P,
+                                const std::vector<int> &IntegerVars) {
+  std::string Out = "Minimize\n obj: ";
+  std::vector<LpTerm> Obj;
+  for (int J = 0; J < P.numVariables(); ++J)
+    if (P.cost(J) != 0.0)
+      Obj.push_back({J, P.cost(J)});
+  appendTerms(Out, P, Obj);
+  Out += "\nSubject To\n";
+
+  for (int I = 0; I < P.numRows(); ++I) {
+    Out += " c" + std::to_string(I) + ": ";
+    appendTerms(Out, P, P.rowTerms(I));
+    switch (P.sense(I)) {
+    case RowSense::LE:
+      Out += " <= ";
+      break;
+    case RowSense::GE:
+      Out += " >= ";
+      break;
+    case RowSense::EQ:
+      Out += " = ";
+      break;
+    }
+    appendNumber(Out, P.rhs(I));
+    Out += "\n";
+  }
+
+  Out += "Bounds\n";
+  std::set<int> Binaries, Generals;
+  for (int V : IntegerVars) {
+    if (P.lowerBound(V) == 0.0 && P.upperBound(V) == 1.0)
+      Binaries.insert(V);
+    else
+      Generals.insert(V);
+  }
+  for (int J = 0; J < P.numVariables(); ++J) {
+    if (Binaries.count(J))
+      continue; // implied 0/1
+    Out += " ";
+    appendNumber(Out, P.lowerBound(J));
+    Out += " <= " + varName(P, J);
+    if (std::isfinite(P.upperBound(J))) {
+      Out += " <= ";
+      appendNumber(Out, P.upperBound(J));
+    }
+    Out += "\n";
+  }
+
+  if (!Generals.empty()) {
+    Out += "Generals\n";
+    for (int V : Generals)
+      Out += " " + varName(P, V) + "\n";
+  }
+  if (!Binaries.empty()) {
+    Out += "Binaries\n";
+    for (int V : Binaries)
+      Out += " " + varName(P, V) + "\n";
+  }
+  Out += "End\n";
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- lp/LpWriter.h - CPLEX LP-format export --------------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes an LpProblem in the classic CPLEX LP file format, so the
+/// MILPs this repo builds can be inspected by eye or cross-checked with
+/// any external solver — the paper's own flow went through AMPL into
+/// CPLEX, and this is the equivalent escape hatch.
+///
+/// Variables may optionally be marked integer (they are emitted in a
+/// `Generals`/`Binaries` section).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_LP_LPWRITER_H
+#define CDVS_LP_LPWRITER_H
+
+#include "lp/LpProblem.h"
+
+#include <string>
+#include <vector>
+
+namespace cdvs {
+
+/// Renders \p P as LP-format text (minimization). \p IntegerVars lists
+/// variable indices to declare integer; binaries (bounds [0,1]) go to
+/// the `Binaries` section. Variables with empty names are called x<i>.
+std::string writeLpFormat(const LpProblem &P,
+                          const std::vector<int> &IntegerVars = {});
+
+} // namespace cdvs
+
+#endif // CDVS_LP_LPWRITER_H

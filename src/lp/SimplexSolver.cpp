@@ -1,0 +1,440 @@
+//===- lp/SimplexSolver.cpp - Bounded-variable primal simplex ------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Tableau layout: one dense row per constraint over columns
+//   [0, n)            structural variables
+//   [n, n+m)          slack variables (one per row; GE rows are negated to
+//                     LE on input, so every slack has bounds [0, +inf) for
+//                     LE rows and [0, 0] for EQ rows)
+//   [n+m, n+m+a)      phase-1 artificial variables
+//   n+m+a             the transformed right-hand side
+//
+// Nonbasic variables rest at a bound (every variable has a finite lower
+// bound by LpProblem's contract). Basic values are maintained
+// incrementally in Beta and refreshed periodically from the transformed
+// RHS to bound numerical drift.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/SimplexSolver.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cdvs;
+
+const char *cdvs::lpStatusName(LpStatus Status) {
+  switch (Status) {
+  case LpStatus::Optimal:
+    return "optimal";
+  case LpStatus::Infeasible:
+    return "infeasible";
+  case LpStatus::Unbounded:
+    return "unbounded";
+  case LpStatus::IterationLimit:
+    return "iteration-limit";
+  }
+  cdvsUnreachable("bad LpStatus");
+}
+
+namespace {
+
+enum class VarState : unsigned char { AtLower, AtUpper, Basic };
+
+} // namespace
+
+struct SimplexSolver::Impl {
+  const LpProblem &P;
+  const SimplexOptions &O;
+
+  int NumStruct = 0;
+  int NumRows = 0;
+  int NumArt = 0;
+  int NumCols = 0; // structural + slack + artificial
+  int RhsCol = 0;  // == NumCols
+
+  std::vector<double> Tab; // NumRows x (NumCols + 1)
+  std::vector<double> Lo, Hi, Cost;
+  std::vector<VarState> State;
+  std::vector<int> BasisOfRow;
+  std::vector<int> RowOfBasic;
+  std::vector<double> Beta;
+  std::vector<double> D;
+  long Iterations = 0;
+  int DegenRun = 0;
+
+  Impl(const LpProblem &P, const SimplexOptions &O) : P(P), O(O) {}
+
+  double &at(int R, int C) {
+    return Tab[static_cast<size_t>(R) * (NumCols + 1) + C];
+  }
+  double atC(int R, int C) const {
+    return Tab[static_cast<size_t>(R) * (NumCols + 1) + C];
+  }
+
+  bool isArtificial(int C) const { return C >= NumStruct + NumRows; }
+
+  double boundValue(int C) const {
+    return State[C] == VarState::AtUpper ? Hi[C] : Lo[C];
+  }
+
+  void build();
+  void computeReducedCosts(const std::vector<double> &Costs);
+  void pivot(int Row, int Col);
+  void refreshBeta();
+  LpStatus runPhase();
+  bool driveOutArtificials();
+  double phase1Infeasibility() const;
+  LpSolution finish(LpStatus Status);
+};
+
+void SimplexSolver::Impl::build() {
+  NumStruct = P.numVariables();
+  NumRows = P.numRows();
+
+  // First pass: initial slack values with all structurals at lower bound.
+  std::vector<double> SlackVal(NumRows, 0.0);
+  std::vector<bool> NeedsArt(NumRows, false);
+  for (int I = 0; I < NumRows; ++I) {
+    double Sign = P.sense(I) == RowSense::GE ? -1.0 : 1.0;
+    double Act = 0.0;
+    for (const LpTerm &T : P.rowTerms(I))
+      Act += Sign * T.Coeff * P.lowerBound(T.Var);
+    double B = Sign * P.rhs(I);
+    double S = B - Act;
+    SlackVal[I] = S;
+    bool IsEq = P.sense(I) == RowSense::EQ;
+    if (S < -O.FeasTol || (IsEq && S > O.FeasTol))
+      NeedsArt[I] = true;
+  }
+  NumArt = static_cast<int>(
+      std::count(NeedsArt.begin(), NeedsArt.end(), true));
+  NumCols = NumStruct + NumRows + NumArt;
+  RhsCol = NumCols;
+
+  Tab.assign(static_cast<size_t>(NumRows) * (NumCols + 1), 0.0);
+  Lo.assign(NumCols, 0.0);
+  Hi.assign(NumCols, 0.0);
+  Cost.assign(NumCols, 0.0);
+  State.assign(NumCols, VarState::AtLower);
+  BasisOfRow.assign(NumRows, -1);
+  RowOfBasic.assign(NumCols, -1);
+  Beta.assign(NumRows, 0.0);
+
+  for (int J = 0; J < NumStruct; ++J) {
+    Lo[J] = P.lowerBound(J);
+    Hi[J] = P.upperBound(J);
+    Cost[J] = P.cost(J);
+  }
+
+  int NextArt = NumStruct + NumRows;
+  for (int I = 0; I < NumRows; ++I) {
+    double Sign = P.sense(I) == RowSense::GE ? -1.0 : 1.0;
+    for (const LpTerm &T : P.rowTerms(I))
+      at(I, T.Var) += Sign * T.Coeff;
+    int SlackCol = NumStruct + I;
+    at(I, SlackCol) = 1.0;
+    Lo[SlackCol] = 0.0;
+    Hi[SlackCol] = P.sense(I) == RowSense::EQ ? 0.0 : lpInf();
+    at(I, RhsCol) = Sign * P.rhs(I);
+
+    if (NeedsArt[I]) {
+      int ArtCol = NextArt++;
+      double G = SlackVal[I] < 0.0 ? -1.0 : 1.0;
+      // The artificial must enter the basis as a unit column: scale the
+      // whole row by G so the artificial's coefficient is +1 and its
+      // basic value |SlackVal| is nonnegative.
+      if (G < 0.0)
+        for (int C = 0; C <= NumCols; ++C)
+          at(I, C) = -at(I, C);
+      at(I, ArtCol) = 1.0;
+      Lo[ArtCol] = 0.0;
+      Hi[ArtCol] = lpInf();
+      BasisOfRow[I] = ArtCol;
+      RowOfBasic[ArtCol] = I;
+      State[ArtCol] = VarState::Basic;
+      State[SlackCol] = VarState::AtLower;
+      Beta[I] = std::fabs(SlackVal[I]);
+    } else {
+      BasisOfRow[I] = SlackCol;
+      RowOfBasic[SlackCol] = I;
+      State[SlackCol] = VarState::Basic;
+      Beta[I] = SlackVal[I];
+    }
+  }
+}
+
+void SimplexSolver::Impl::computeReducedCosts(
+    const std::vector<double> &Costs) {
+  D = Costs;
+  D.resize(NumCols, 0.0);
+  for (int I = 0; I < NumRows; ++I) {
+    double Cb = Costs[BasisOfRow[I]];
+    if (Cb == 0.0)
+      continue;
+    for (int C = 0; C < NumCols; ++C)
+      D[C] -= Cb * atC(I, C);
+  }
+  for (int I = 0; I < NumRows; ++I)
+    D[BasisOfRow[I]] = 0.0;
+}
+
+void SimplexSolver::Impl::pivot(int Row, int Col) {
+  double Piv = at(Row, Col);
+  assert(std::fabs(Piv) > 1e-12 && "pivot too small");
+  double Inv = 1.0 / Piv;
+  for (int C = 0; C <= NumCols; ++C)
+    at(Row, C) *= Inv;
+  at(Row, Col) = 1.0;
+  for (int I = 0; I < NumRows; ++I) {
+    if (I == Row)
+      continue;
+    double F = at(I, Col);
+    if (std::fabs(F) <= 1e-13) {
+      at(I, Col) = 0.0;
+      continue;
+    }
+    for (int C = 0; C <= NumCols; ++C)
+      at(I, C) -= F * at(Row, C);
+    at(I, Col) = 0.0;
+  }
+  double Fd = D[Col];
+  if (Fd != 0.0) {
+    for (int C = 0; C < NumCols; ++C)
+      D[C] -= Fd * at(Row, C);
+    D[Col] = 0.0;
+  }
+}
+
+void SimplexSolver::Impl::refreshBeta() {
+  // Beta = transformed RHS minus contributions of nonbasic columns that
+  // rest at a nonzero bound.
+  std::vector<std::pair<int, double>> NonzeroNonbasic;
+  for (int C = 0; C < NumCols; ++C) {
+    if (State[C] == VarState::Basic)
+      continue;
+    double V = boundValue(C);
+    if (V != 0.0)
+      NonzeroNonbasic.push_back({C, V});
+  }
+  for (int I = 0; I < NumRows; ++I) {
+    double V = atC(I, RhsCol);
+    for (const auto &[C, Val] : NonzeroNonbasic)
+      V -= atC(I, C) * Val;
+    Beta[I] = V;
+  }
+}
+
+LpStatus SimplexSolver::Impl::runPhase() {
+  for (;;) {
+    if (Iterations >= O.MaxIterations)
+      return LpStatus::IterationLimit;
+    bool UseBland = DegenRun > O.BlandThreshold;
+
+    // Pricing: pick the entering column.
+    int Enter = -1;
+    double BestScore = 0.0;
+    for (int C = 0; C < NumCols; ++C) {
+      if (State[C] == VarState::Basic || Lo[C] == Hi[C])
+        continue;
+      double Dc = D[C];
+      bool Eligible = (State[C] == VarState::AtLower && Dc < -O.CostTol) ||
+                      (State[C] == VarState::AtUpper && Dc > O.CostTol);
+      if (!Eligible)
+        continue;
+      if (UseBland) {
+        Enter = C;
+        break;
+      }
+      double Score = std::fabs(Dc);
+      if (Score > BestScore) {
+        BestScore = Score;
+        Enter = C;
+      }
+    }
+    if (Enter < 0)
+      return LpStatus::Optimal;
+
+    double Dir = State[Enter] == VarState::AtLower ? 1.0 : -1.0;
+
+    // Ratio test: smallest step that drives a basic variable to a bound,
+    // or the entering variable's own bound span (a bound flip).
+    double BestT = Hi[Enter] - Lo[Enter]; // may be +inf
+    int LeaveRow = -1;
+    bool LeaveAtUpper = false;
+    double BestAlpha = 0.0;
+    for (int I = 0; I < NumRows; ++I) {
+      double Alpha = atC(I, Enter);
+      double W = Dir * Alpha;
+      int BCol = BasisOfRow[I];
+      double Lim;
+      bool ToUpper;
+      if (W > O.PivotTol) {
+        Lim = (Beta[I] - Lo[BCol]) / W;
+        ToUpper = false;
+      } else if (W < -O.PivotTol && std::isfinite(Hi[BCol])) {
+        Lim = (Hi[BCol] - Beta[I]) / (-W);
+        ToUpper = true;
+      } else {
+        continue;
+      }
+      if (Lim < 0.0)
+        Lim = 0.0;
+      bool Better = Lim < BestT - 1e-12;
+      bool Tie = !Better && Lim < BestT + 1e-12 && LeaveRow >= 0;
+      if (Tie) {
+        if (UseBland)
+          Better = BCol < BasisOfRow[LeaveRow];
+        else
+          Better = std::fabs(Alpha) > std::fabs(BestAlpha);
+      } else if (!Better && LeaveRow < 0 && Lim <= BestT) {
+        Better = true;
+      }
+      if (Better) {
+        BestT = Lim;
+        LeaveRow = I;
+        LeaveAtUpper = ToUpper;
+        BestAlpha = Alpha;
+      }
+    }
+
+    if (!std::isfinite(BestT))
+      return LpStatus::Unbounded;
+    if (BestT < 0.0)
+      BestT = 0.0;
+
+    ++Iterations;
+    if (BestT < 1e-11)
+      ++DegenRun;
+    else
+      DegenRun = 0;
+
+    if (LeaveRow < 0) {
+      // Bound flip: the entering variable runs to its opposite bound.
+      for (int I = 0; I < NumRows; ++I)
+        Beta[I] -= Dir * BestT * atC(I, Enter);
+      State[Enter] = State[Enter] == VarState::AtLower ? VarState::AtUpper
+                                                       : VarState::AtLower;
+    } else {
+      double EnterVal = boundValue(Enter) + Dir * BestT;
+      for (int I = 0; I < NumRows; ++I) {
+        if (I != LeaveRow)
+          Beta[I] -= Dir * BestT * atC(I, Enter);
+      }
+      int LeaveCol = BasisOfRow[LeaveRow];
+      State[LeaveCol] =
+          LeaveAtUpper ? VarState::AtUpper : VarState::AtLower;
+      RowOfBasic[LeaveCol] = -1;
+      BasisOfRow[LeaveRow] = Enter;
+      RowOfBasic[Enter] = LeaveRow;
+      State[Enter] = VarState::Basic;
+      Beta[LeaveRow] = EnterVal;
+      pivot(LeaveRow, Enter);
+    }
+
+    if (Iterations % O.RefreshInterval == 0)
+      refreshBeta();
+  }
+}
+
+double SimplexSolver::Impl::phase1Infeasibility() const {
+  double Sum = 0.0;
+  for (int I = 0; I < NumRows; ++I)
+    if (isArtificial(BasisOfRow[I]))
+      Sum += std::max(0.0, Beta[I]);
+  return Sum;
+}
+
+bool SimplexSolver::Impl::driveOutArtificials() {
+  for (int I = 0; I < NumRows; ++I) {
+    int BCol = BasisOfRow[I];
+    if (!isArtificial(BCol))
+      continue;
+    // The artificial sits at value ~0. Exchange it for any real column
+    // with a usable pivot entry; if none, the row is redundant and the
+    // artificial stays basic, pinned to zero.
+    int Pick = -1;
+    for (int C = 0; C < NumStruct + NumRows; ++C) {
+      if (State[C] == VarState::Basic)
+        continue;
+      if (std::fabs(atC(I, C)) > 1e-7) {
+        Pick = C;
+        break;
+      }
+    }
+    if (Pick < 0)
+      continue;
+    double EnterVal = boundValue(Pick);
+    State[BCol] = VarState::AtLower;
+    RowOfBasic[BCol] = -1;
+    BasisOfRow[I] = Pick;
+    RowOfBasic[Pick] = I;
+    State[Pick] = VarState::Basic;
+    Beta[I] = EnterVal;
+    pivot(I, Pick);
+  }
+  // Pin every artificial (basic or not) to zero so phase 2 cannot use it.
+  for (int C = NumStruct + NumRows; C < NumCols; ++C) {
+    Lo[C] = 0.0;
+    Hi[C] = 0.0;
+  }
+  return true;
+}
+
+LpSolution SimplexSolver::Impl::finish(LpStatus Status) {
+  LpSolution Sol;
+  Sol.Status = Status;
+  Sol.Iterations = Iterations;
+  Sol.X.assign(NumStruct, 0.0);
+  for (int J = 0; J < NumStruct; ++J) {
+    if (State[J] == VarState::Basic)
+      Sol.X[J] = Beta[RowOfBasic[J]];
+    else
+      Sol.X[J] = boundValue(J);
+    // Clamp tiny bound violations from numerical drift.
+    Sol.X[J] = std::min(std::max(Sol.X[J], Lo[J]), Hi[J]);
+  }
+  Sol.Objective = P.objectiveAt(Sol.X);
+  return Sol;
+}
+
+SimplexSolver::SimplexSolver(const LpProblem &Problem, SimplexOptions Opts)
+    : Problem(Problem), Opts(Opts) {}
+
+LpSolution SimplexSolver::solve() {
+  Impl I(Problem, Opts);
+  I.build();
+
+  if (I.NumArt > 0) {
+    std::vector<double> Phase1Cost(I.NumCols, 0.0);
+    for (int C = I.NumStruct + I.NumRows; C < I.NumCols; ++C)
+      Phase1Cost[C] = 1.0;
+    I.computeReducedCosts(Phase1Cost);
+    LpStatus S = I.runPhase();
+    if (S == LpStatus::IterationLimit)
+      return I.finish(S);
+    assert(S != LpStatus::Unbounded && "phase 1 cannot be unbounded");
+    I.refreshBeta();
+    if (I.phase1Infeasibility() > Opts.FeasTol * 10.0)
+      return I.finish(LpStatus::Infeasible);
+    I.driveOutArtificials();
+  }
+
+  std::vector<double> Phase2Cost(I.NumCols, 0.0);
+  for (int C = 0; C < I.NumStruct; ++C)
+    Phase2Cost[C] = Problem.cost(C);
+  I.DegenRun = 0;
+  I.computeReducedCosts(Phase2Cost);
+  LpStatus S = I.runPhase();
+  I.refreshBeta();
+  return I.finish(S);
+}
+
+LpSolution cdvs::solveLp(const LpProblem &Problem, SimplexOptions Opts) {
+  return SimplexSolver(Problem, Opts).solve();
+}

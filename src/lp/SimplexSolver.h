@@ -1,0 +1,85 @@
+//===- lp/SimplexSolver.h - Bounded-variable primal simplex -----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact dense two-phase primal simplex solver with native variable
+/// bounds (no bound rows). This is the substrate under the MILP
+/// branch-and-bound used by the paper's DVS scheduling formulation; the
+/// original work used CPLEX, which is proprietary, so we implement the
+/// solver from scratch.
+///
+/// Features:
+///  * bounded variables (finite lower bound required, upper may be +inf)
+///    handled natively with bound-flip ratio tests;
+///  * phase 1 via artificial variables on infeasible rows;
+///  * Dantzig pricing with a Bland's-rule fallback after a run of
+///    degenerate steps (anti-cycling);
+///  * periodic recomputation of basic values from the transformed
+///    right-hand side to bound numerical drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_LP_SIMPLEXSOLVER_H
+#define CDVS_LP_SIMPLEXSOLVER_H
+
+#include "lp/LpProblem.h"
+
+#include <vector>
+
+namespace cdvs {
+
+/// Outcome of an LP solve.
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+/// \returns a printable name for an LpStatus.
+const char *lpStatusName(LpStatus Status);
+
+/// Solution of an LP: status, objective, and structural variable values.
+struct LpSolution {
+  LpStatus Status = LpStatus::IterationLimit;
+  double Objective = 0.0;
+  std::vector<double> X;
+  long Iterations = 0;
+};
+
+/// Tuning knobs for the simplex solver.
+struct SimplexOptions {
+  long MaxIterations = 500000;
+  /// Entries smaller than this never serve as pivots.
+  double PivotTol = 1e-9;
+  /// Reduced costs within this of zero count as optimal.
+  double CostTol = 1e-7;
+  /// Row/bound violations within this count as feasible.
+  double FeasTol = 1e-7;
+  /// Consecutive degenerate steps before switching to Bland's rule.
+  int BlandThreshold = 64;
+  /// Recompute basic values from the transformed RHS this often.
+  int RefreshInterval = 256;
+};
+
+/// Dense two-phase bounded-variable primal simplex.
+class SimplexSolver {
+public:
+  explicit SimplexSolver(const LpProblem &Problem,
+                         SimplexOptions Opts = SimplexOptions());
+
+  /// Runs phase 1 (if needed) and phase 2. The solution's X holds only
+  /// the structural variables of the original problem.
+  LpSolution solve();
+
+private:
+  struct Impl;
+  const LpProblem &Problem;
+  SimplexOptions Opts;
+};
+
+/// Convenience: build a solver and solve.
+LpSolution solveLp(const LpProblem &Problem,
+                   SimplexOptions Opts = SimplexOptions());
+
+} // namespace cdvs
+
+#endif // CDVS_LP_SIMPLEXSOLVER_H

@@ -1,0 +1,257 @@
+//===- milp/MilpSolver.cpp - Branch-and-bound MILP solver ----------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "milp/MilpSolver.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+using namespace cdvs;
+
+const char *cdvs::milpStatusName(MilpStatus Status) {
+  switch (Status) {
+  case MilpStatus::Optimal:
+    return "optimal";
+  case MilpStatus::Feasible:
+    return "feasible";
+  case MilpStatus::Infeasible:
+    return "infeasible";
+  case MilpStatus::Unbounded:
+    return "unbounded";
+  case MilpStatus::Limit:
+    return "limit";
+  }
+  cdvsUnreachable("bad MilpStatus");
+}
+
+struct MilpSolver::SearchState {
+  double Incumbent = std::numeric_limits<double>::infinity();
+  std::vector<double> BestX;
+  long Nodes = 0;
+  long LpIterations = 0;
+  bool Truncated = false;
+  bool RootUnbounded = false;
+  double RootBound = 0.0;
+  std::chrono::steady_clock::time_point Deadline;
+};
+
+MilpSolver::MilpSolver(LpProblem Problem, std::vector<int> IntegerVars,
+                       MilpOptions Opts)
+    : Problem(std::move(Problem)), IntegerVars(std::move(IntegerVars)),
+      Opts(Opts) {
+  GroupOfVar.assign(this->Problem.numVariables(), -1);
+}
+
+void MilpSolver::addSos1Group(std::vector<int> Vars) {
+  int Group = static_cast<int>(Sos1Groups.size());
+  for (int V : Vars) {
+    assert(V >= 0 && V < Problem.numVariables() && "unknown variable");
+    assert(GroupOfVar[V] == -1 && "variable in two SOS1 groups");
+    GroupOfVar[V] = Group;
+  }
+  Sos1Groups.push_back(std::move(Vars));
+}
+
+/// Distance of \p X from the nearest integer.
+static double fractionality(double X) {
+  return std::fabs(X - std::round(X));
+}
+
+int MilpSolver::pickBranchVariable(const std::vector<double> &X) const {
+  // Prefer SOS1-group branching: pick the group with the largest total
+  // fractionality, then its most fractional member.
+  int BestVar = -1;
+  double BestGroupScore = 0.0;
+  for (const auto &Group : Sos1Groups) {
+    double Score = 0.0;
+    int GroupVar = -1;
+    double GroupVarFrac = 0.0;
+    for (int V : Group) {
+      double F = fractionality(X[V]);
+      Score += F;
+      if (F > GroupVarFrac) {
+        GroupVarFrac = F;
+        GroupVar = V;
+      }
+    }
+    if (Score > BestGroupScore + Opts.IntTol && GroupVarFrac > Opts.IntTol) {
+      BestGroupScore = Score;
+      BestVar = GroupVar;
+    }
+  }
+  if (BestVar >= 0)
+    return BestVar;
+
+  // Fall back to the most fractional integer variable overall.
+  double BestFrac = Opts.IntTol;
+  for (int V : IntegerVars) {
+    double F = fractionality(X[V]);
+    if (F > BestFrac) {
+      BestFrac = F;
+      BestVar = V;
+    }
+  }
+  return BestVar;
+}
+
+bool MilpSolver::tryRounding(SearchState &S,
+                             const std::vector<double> &Relaxed) {
+  // Save bounds we are about to clobber.
+  std::vector<std::pair<int, std::pair<double, double>>> Saved;
+  auto fixVar = [&](int V, double Value) {
+    Saved.push_back({V, {Problem.lowerBound(V), Problem.upperBound(V)}});
+    Problem.setBounds(V, Value, Value);
+  };
+
+  // Snap each SOS1 group to its largest LP value.
+  std::vector<bool> Handled(Problem.numVariables(), false);
+  for (const auto &Group : Sos1Groups) {
+    int Arg = Group.front();
+    for (int V : Group)
+      if (Relaxed[V] > Relaxed[Arg])
+        Arg = V;
+    for (int V : Group) {
+      // Respect pre-existing fixings from the current branch.
+      if (Problem.lowerBound(V) == Problem.upperBound(V)) {
+        Handled[V] = true;
+        continue;
+      }
+      fixVar(V, V == Arg ? 1.0 : 0.0);
+      Handled[V] = true;
+    }
+  }
+  for (int V : IntegerVars) {
+    if (Handled[V] || Problem.lowerBound(V) == Problem.upperBound(V))
+      continue;
+    double R = std::round(Relaxed[V]);
+    R = std::min(std::max(R, Problem.lowerBound(V)),
+                 Problem.upperBound(V));
+    fixVar(V, R);
+  }
+
+  LpSolution R = solveLp(Problem, Opts.LpOpts);
+  S.LpIterations += R.Iterations;
+  bool Improved = false;
+  if (R.Status == LpStatus::Optimal &&
+      R.Objective < S.Incumbent - Opts.AbsGap) {
+    S.Incumbent = R.Objective;
+    S.BestX = R.X;
+    Improved = true;
+  }
+
+  for (auto It = Saved.rbegin(); It != Saved.rend(); ++It)
+    Problem.setBounds(It->first, It->second.first, It->second.second);
+  return Improved;
+}
+
+void MilpSolver::dfs(SearchState &S, int Depth) {
+  if (S.Truncated)
+    return;
+  if (S.Nodes >= Opts.MaxNodes ||
+      std::chrono::steady_clock::now() > S.Deadline) {
+    S.Truncated = true;
+    return;
+  }
+
+  LpSolution R = solveLp(Problem, Opts.LpOpts);
+  ++S.Nodes;
+  S.LpIterations += R.Iterations;
+
+  if (R.Status == LpStatus::Infeasible)
+    return;
+  if (R.Status == LpStatus::Unbounded) {
+    if (Depth == 0)
+      S.RootUnbounded = true;
+    // An unbounded node with integer restrictions still pending cannot be
+    // pruned soundly in general; for our formulations (bounded binaries,
+    // nonnegative costs) this never happens below the root.
+    return;
+  }
+  if (R.Status == LpStatus::IterationLimit) {
+    S.Truncated = true;
+    return;
+  }
+
+  if (Depth == 0) {
+    S.RootBound = R.Objective;
+    if (Opts.UseRounding)
+      tryRounding(S, R.X);
+  }
+
+  if (R.Objective >= S.Incumbent - Opts.AbsGap)
+    return; // Prune: cannot beat the incumbent.
+
+  int BranchVar = pickBranchVariable(R.X);
+  if (BranchVar < 0) {
+    // Integer feasible: new incumbent.
+    S.Incumbent = R.Objective;
+    S.BestX = R.X;
+    return;
+  }
+
+  // Periodic rounding deeper in the tree keeps the incumbent fresh.
+  if (Opts.UseRounding && Depth > 0 && S.Nodes % 512 == 0)
+    tryRounding(S, R.X);
+
+  double Value = R.X[BranchVar];
+  double SavedLo = Problem.lowerBound(BranchVar);
+  double SavedHi = Problem.upperBound(BranchVar);
+  bool IsBinary = SavedLo >= -Opts.IntTol && SavedHi <= 1.0 + Opts.IntTol;
+
+  if (IsBinary) {
+    // Explore the likelier side first.
+    double First = Value >= 0.5 ? 1.0 : 0.0;
+    for (double Side : {First, 1.0 - First}) {
+      Problem.setBounds(BranchVar, Side, Side);
+      dfs(S, Depth + 1);
+      Problem.setBounds(BranchVar, SavedLo, SavedHi);
+      if (S.Truncated)
+        return;
+    }
+    return;
+  }
+
+  // General integer: floor/ceiling split.
+  double Floor = std::floor(Value);
+  Problem.setBounds(BranchVar, SavedLo, Floor);
+  dfs(S, Depth + 1);
+  Problem.setBounds(BranchVar, SavedLo, SavedHi);
+  if (S.Truncated)
+    return;
+  Problem.setBounds(BranchVar, Floor + 1.0, SavedHi);
+  dfs(S, Depth + 1);
+  Problem.setBounds(BranchVar, SavedLo, SavedHi);
+}
+
+MilpSolution MilpSolver::solve() {
+  SearchState S;
+  S.Deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(Opts.TimeLimitSec));
+
+  dfs(S, 0);
+
+  MilpSolution Sol;
+  Sol.Nodes = S.Nodes;
+  Sol.LpIterations = S.LpIterations;
+  Sol.RootBound = S.RootBound;
+  if (S.RootUnbounded) {
+    Sol.Status = MilpStatus::Unbounded;
+    return Sol;
+  }
+  bool HasIncumbent = !S.BestX.empty();
+  if (HasIncumbent) {
+    Sol.Status = S.Truncated ? MilpStatus::Feasible : MilpStatus::Optimal;
+    Sol.Objective = S.Incumbent;
+    Sol.X = S.BestX;
+  } else {
+    Sol.Status = S.Truncated ? MilpStatus::Limit : MilpStatus::Infeasible;
+  }
+  return Sol;
+}

@@ -1,0 +1,98 @@
+//===- milp/MilpSolver.h - Branch-and-bound MILP solver ---------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact branch-and-bound mixed-integer linear program solver built on
+/// the bounded-variable simplex (lp/SimplexSolver.h). The paper solves its
+/// DVS mode-assignment MILP with CPLEX; this is the from-scratch
+/// replacement.
+///
+/// Structure exploited for the DVS formulation:
+///  * SOS1 groups — each CFG edge's mode variables satisfy sum_m k = 1, so
+///    branching picks the most fractional *group* and fixes its most
+///    fractional member to 1 / 0 (fixing to 1 collapses the whole group);
+///  * a rounding heuristic that snaps each group to its largest LP value
+///    and re-solves the continuous rest, giving an early incumbent that
+///    makes depth-first pruning effective.
+///
+/// Depth-first search with incumbent pruning is exact: on natural
+/// termination the incumbent is a proven optimum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_MILP_MILPSOLVER_H
+#define CDVS_MILP_MILPSOLVER_H
+
+#include "lp/LpProblem.h"
+#include "lp/SimplexSolver.h"
+
+#include <vector>
+
+namespace cdvs {
+
+/// Outcome of a MILP solve.
+enum class MilpStatus {
+  Optimal,   ///< Proven optimal incumbent.
+  Feasible,  ///< Incumbent found but search truncated (node/time limit).
+  Infeasible,///< No integer-feasible point exists.
+  Unbounded, ///< LP relaxation unbounded.
+  Limit      ///< Search truncated with no incumbent.
+};
+
+/// \returns a printable name for a MilpStatus.
+const char *milpStatusName(MilpStatus Status);
+
+/// Solution of a MILP solve.
+struct MilpSolution {
+  MilpStatus Status = MilpStatus::Limit;
+  double Objective = 0.0;
+  std::vector<double> X;
+  long Nodes = 0;
+  long LpIterations = 0;
+  double RootBound = 0.0;
+};
+
+/// Tuning knobs for the branch-and-bound.
+struct MilpOptions {
+  double IntTol = 1e-6;     ///< |x - round(x)| below this is integral.
+  double AbsGap = 1e-9;     ///< Prune nodes within this of the incumbent.
+  long MaxNodes = 2000000;  ///< Node budget.
+  double TimeLimitSec = 600.0;
+  bool UseRounding = true;  ///< Enable the group-rounding heuristic.
+  SimplexOptions LpOpts;
+};
+
+/// Branch-and-bound solver; minimizes the problem's objective.
+class MilpSolver {
+public:
+  /// Takes the problem by value: branching mutates variable bounds.
+  MilpSolver(LpProblem Problem, std::vector<int> IntegerVars,
+             MilpOptions Opts = MilpOptions());
+
+  /// Registers a SOS1 group: binary variables constrained elsewhere to
+  /// sum to one (the caller must have added that row). Improves
+  /// branching; membership must be a subset of the integer variables.
+  void addSos1Group(std::vector<int> Vars);
+
+  /// Runs the search.
+  MilpSolution solve();
+
+private:
+  struct SearchState;
+  void dfs(SearchState &S, int Depth);
+  bool tryRounding(SearchState &S, const std::vector<double> &Relaxed);
+  int pickBranchVariable(const std::vector<double> &X) const;
+
+  LpProblem Problem;
+  std::vector<int> IntegerVars;
+  std::vector<std::vector<int>> Sos1Groups;
+  std::vector<int> GroupOfVar; // -1 if not in a group
+  MilpOptions Opts;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_MILP_MILPSOLVER_H

@@ -1,0 +1,76 @@
+//===- power/ModeTable.cpp - Discrete (V, f) operating points ------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/ModeTable.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cdvs;
+
+ModeTable::ModeTable(std::vector<VoltageLevel> InLevels)
+    : Levels(std::move(InLevels)) {
+  assert(!Levels.empty() && "mode table must have at least one level");
+  std::sort(Levels.begin(), Levels.end(),
+            [](const VoltageLevel &A, const VoltageLevel &B) {
+              return A.Hertz < B.Hertz;
+            });
+  for (size_t I = 1; I < Levels.size(); ++I) {
+    assert(Levels[I - 1].Volts < Levels[I].Volts &&
+           "voltages must rise with frequency");
+    assert(Levels[I - 1].Hertz < Levels[I].Hertz &&
+           "duplicate frequencies in mode table");
+  }
+}
+
+ModeTable ModeTable::xscale3() {
+  return ModeTable({{0.70, 200e6}, {1.30, 600e6}, {1.65, 800e6}});
+}
+
+ModeTable ModeTable::evenVoltageLevels(int Count, double VLo, double VHi,
+                                       const VfModel &Model) {
+  assert(Count >= 2 && "need at least two levels");
+  assert(VLo > Model.thresholdVoltage() && VLo < VHi &&
+         "voltage range must sit above threshold");
+  std::vector<VoltageLevel> Levels;
+  Levels.reserve(Count);
+  for (int I = 0; I < Count; ++I) {
+    double V = VLo + (VHi - VLo) * static_cast<double>(I) / (Count - 1);
+    Levels.push_back({V, Model.frequencyAt(V)});
+  }
+  return ModeTable(std::move(Levels));
+}
+
+std::pair<size_t, size_t> ModeTable::neighborsOfVoltage(double V) const {
+  if (V <= Levels.front().Volts)
+    return {0, 0};
+  if (V >= Levels.back().Volts)
+    return {Levels.size() - 1, Levels.size() - 1};
+  for (size_t I = 1; I < Levels.size(); ++I)
+    if (V <= Levels[I].Volts)
+      return {I - 1, I};
+  cdvsUnreachable("bracketing failed");
+}
+
+std::pair<size_t, size_t> ModeTable::neighborsOfFrequency(double F) const {
+  if (F <= Levels.front().Hertz)
+    return {0, 0};
+  if (F >= Levels.back().Hertz)
+    return {Levels.size() - 1, Levels.size() - 1};
+  for (size_t I = 1; I < Levels.size(); ++I)
+    if (F <= Levels[I].Hertz)
+      return {I - 1, I};
+  cdvsUnreachable("bracketing failed");
+}
+
+size_t ModeTable::slowestLevelAtLeast(double F) const {
+  for (size_t I = 0; I < Levels.size(); ++I)
+    if (Levels[I].Hertz >= F)
+      return I;
+  return Levels.size() - 1;
+}

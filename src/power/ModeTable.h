@@ -1,0 +1,75 @@
+//===- power/ModeTable.h - Discrete (V, f) operating points -----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ModeTable is the processor's set of discrete DVS operating points,
+/// sorted by ascending frequency. The paper evaluates the XScale-like
+/// 3-point table (200 MHz @ 0.7 V, 600 MHz @ 1.3 V, 800 MHz @ 1.65 V) and
+/// synthetic 3/7/13-level tables generated from the alpha-power law.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_POWER_MODETABLE_H
+#define CDVS_POWER_MODETABLE_H
+
+#include "power/VfModel.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cdvs {
+
+/// One DVS operating point: a supply voltage and its clock frequency.
+struct VoltageLevel {
+  double Volts = 0.0;
+  double Hertz = 0.0;
+};
+
+/// An ordered set of DVS operating points (ascending frequency).
+class ModeTable {
+public:
+  /// Builds a table from arbitrary levels; sorts by frequency and asserts
+  /// that voltages are ascending along with frequencies.
+  explicit ModeTable(std::vector<VoltageLevel> Levels);
+
+  /// XScale-like 3-mode table used throughout the paper's Section 6.
+  static ModeTable xscale3();
+
+  /// \p Count levels with voltages evenly spaced over [VLo, VHi], with
+  /// frequencies from \p Model. Used for the 3/7/13-level analytic study.
+  static ModeTable evenVoltageLevels(int Count, double VLo, double VHi,
+                                     const VfModel &Model);
+
+  size_t size() const { return Levels.size(); }
+  const VoltageLevel &level(size_t I) const { return Levels[I]; }
+  const std::vector<VoltageLevel> &levels() const { return Levels; }
+
+  double minVoltage() const { return Levels.front().Volts; }
+  double maxVoltage() const { return Levels.back().Volts; }
+  double minFrequency() const { return Levels.front().Hertz; }
+  double maxFrequency() const { return Levels.back().Hertz; }
+
+  /// \returns indices (Lo, Hi) of the discrete levels bracketing continuous
+  /// voltage \p V: level(Lo).Volts <= V <= level(Hi).Volts with Hi==Lo+1,
+  /// clamped to the table's ends (then Lo == Hi).
+  std::pair<size_t, size_t> neighborsOfVoltage(double V) const;
+
+  /// Same bracketing by frequency (Hz).
+  std::pair<size_t, size_t> neighborsOfFrequency(double F) const;
+
+  /// \returns the index of the slowest level whose frequency is >= \p F,
+  /// or size()-1 if even the fastest is slower than F (caller must check
+  /// feasibility separately).
+  size_t slowestLevelAtLeast(double F) const;
+
+private:
+  std::vector<VoltageLevel> Levels;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_POWER_MODETABLE_H

@@ -1,0 +1,86 @@
+//===- power/TransitionModel.h - DVS mode-switch cost model -----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Energy and time cost of switching the voltage regulator between two
+/// supply voltages, after Burd & Brodersen (ISLPED 2000), as used by the
+/// paper (Section 4.2):
+///
+///   SE(vi, vj) = (1 - u) * c * |vi^2 - vj^2|      (joules)
+///   ST(vi, vj) = (2 * c / Imax) * |vi - vj|       (seconds)
+///
+/// where c is the regulator capacitance, u its energy efficiency, and
+/// Imax the maximum regulator current. The paper's "typical" values
+/// (c = 10 uF, u = 0.9, Imax = 1 A) give a 12 us / 1.2 uJ cost for the
+/// 600 MHz @ 1.3 V -> 200 MHz @ 0.7 V transition, matching published
+/// XScale data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_POWER_TRANSITIONMODEL_H
+#define CDVS_POWER_TRANSITIONMODEL_H
+
+#include <cassert>
+#include <cmath>
+
+namespace cdvs {
+
+/// Regulator-based DVS transition cost model.
+class TransitionModel {
+public:
+  /// \param CapacitanceF regulator capacitance c in farads.
+  /// \param Efficiency regulator energy efficiency u in [0, 1).
+  /// \param ImaxA maximum regulator current in amperes.
+  TransitionModel(double CapacitanceF, double Efficiency, double ImaxA)
+      : Capacitance(CapacitanceF), Efficiency(Efficiency), Imax(ImaxA) {
+    assert(Capacitance >= 0.0 && "negative capacitance");
+    assert(Efficiency >= 0.0 && Efficiency < 1.0 && "efficiency in [0,1)");
+    assert(Imax > 0.0 && "nonpositive max current");
+  }
+
+  /// The paper's typical configuration: c = 10 uF, u = 0.9, Imax = 1 A.
+  static TransitionModel paperTypical() {
+    return TransitionModel(10e-6, 0.9, 1.0);
+  }
+
+  /// Same efficiency/current but a different capacitance; used for the
+  /// Figure 15 sweep over c in {100u, 10u, 1u, 0.1u, 0.01u} F.
+  static TransitionModel withCapacitance(double CapacitanceF) {
+    return TransitionModel(CapacitanceF, 0.9, 1.0);
+  }
+
+  /// Energy cost (joules) of switching between voltages \p Vi and \p Vj.
+  /// Zero when the voltages are equal: staying in a mode is free.
+  double switchEnergy(double Vi, double Vj) const {
+    return (1.0 - Efficiency) * Capacitance *
+           std::fabs(Vi * Vi - Vj * Vj);
+  }
+
+  /// Time cost (seconds) of switching between voltages \p Vi and \p Vj.
+  double switchTime(double Vi, double Vj) const {
+    return 2.0 * Capacitance / Imax * std::fabs(Vi - Vj);
+  }
+
+  /// Objective-side constant CE = (1 - u) * c so that
+  /// SE = CE * |vi^2 - vj^2| (see the MILP linearization).
+  double energyConstant() const { return (1.0 - Efficiency) * Capacitance; }
+
+  /// Constraint-side constant CT = 2c / Imax so that ST = CT * |vi - vj|.
+  double timeConstant() const { return 2.0 * Capacitance / Imax; }
+
+  double capacitance() const { return Capacitance; }
+  double efficiency() const { return Efficiency; }
+  double maxCurrent() const { return Imax; }
+
+private:
+  double Capacitance;
+  double Efficiency;
+  double Imax;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_POWER_TRANSITIONMODEL_H

@@ -1,0 +1,49 @@
+//===- power/VfModel.cpp - Alpha-power-law voltage/frequency model -------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/VfModel.h"
+
+#include "support/Numeric.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace cdvs;
+
+VfModel::VfModel(double Vt, double Alpha, double K)
+    : Vt(Vt), Alpha(Alpha), K(K) {
+  assert(Vt > 0.0 && Alpha > 1.0 && K > 0.0 && "nonphysical model");
+}
+
+VfModel VfModel::calibrated(double Vt, double Alpha, double VRef,
+                            double FRef) {
+  assert(VRef > Vt && FRef > 0.0 && "reference point below threshold");
+  double K = FRef * VRef / std::pow(VRef - Vt, Alpha);
+  return VfModel(Vt, Alpha, K);
+}
+
+VfModel VfModel::paperDefault() {
+  return calibrated(/*Vt=*/0.45, /*Alpha=*/1.5, /*VRef=*/1.65,
+                    /*FRef=*/800e6);
+}
+
+double VfModel::frequencyAt(double V) const {
+  if (V <= Vt)
+    return 0.0;
+  return K * std::pow(V - Vt, Alpha) / V;
+}
+
+double VfModel::voltageFor(double F) const {
+  assert(F >= 0.0 && "negative frequency");
+  if (F == 0.0)
+    return Vt;
+  // frequencyAt is strictly increasing for V > Vt; bracket then bisect.
+  double Hi = Vt + 1.0;
+  while (frequencyAt(Hi) < F)
+    Hi *= 2.0;
+  return bisectRoot([&](double V) { return frequencyAt(V) - F; }, Vt, Hi,
+                    1e-12);
+}

@@ -1,0 +1,67 @@
+//===- power/VfModel.h - Alpha-power-law voltage/frequency model -*- C++ -*-=//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alpha-power-law relation between supply voltage and maximum clock
+/// frequency (Sakurai & Newton):
+///
+///   f = K * (V - Vt)^Alpha / V
+///
+/// The paper (Section 3.1, assumption 4) uses Alpha = 1.5 and Vt = 0.45 V.
+/// K is a technology constant; it is usually calibrated so that a known
+/// (V, f) operating point (e.g. XScale's 800 MHz @ 1.65 V) lies on the
+/// curve. f is strictly increasing in V for V > Vt, so the inverse map is
+/// well defined and computed by bisection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_POWER_VFMODEL_H
+#define CDVS_POWER_VFMODEL_H
+
+namespace cdvs {
+
+/// Alpha-power-law f(V) model with numeric inversion.
+class VfModel {
+public:
+  /// \param Vt threshold voltage in volts.
+  /// \param Alpha technology exponent (about 1.5 for the paper's era).
+  /// \param K scale constant in Hz * V^(1-Alpha); see calibrated().
+  VfModel(double Vt, double Alpha, double K);
+
+  /// Builds a model with the given Vt and Alpha whose curve passes through
+  /// the operating point (\p VRef volts, \p FRef Hz).
+  static VfModel calibrated(double Vt, double Alpha, double VRef,
+                            double FRef);
+
+  /// The paper's configuration: Vt = 0.45 V, Alpha = 1.5, calibrated to
+  /// XScale's top operating point 800 MHz @ 1.65 V.
+  static VfModel paperDefault();
+
+  /// \returns the maximum clock frequency in Hz at supply voltage \p V.
+  /// Zero for V <= Vt.
+  double frequencyAt(double V) const;
+
+  /// \returns the minimum supply voltage (volts) that supports clock
+  /// frequency \p F (Hz). F must be nonnegative; returns Vt for F == 0.
+  double voltageFor(double F) const;
+
+  /// Per-cycle switched energy at voltage \p V, in units of Ceff * V^2.
+  /// The analytic model works in these normalized units (Ceff == 1).
+  static double cycleEnergy(double V) { return V * V; }
+
+  double thresholdVoltage() const { return Vt; }
+  double alpha() const { return Alpha; }
+  double scaleK() const { return K; }
+
+private:
+  double Vt;
+  double Alpha;
+  double K;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_POWER_VFMODEL_H

@@ -1,0 +1,57 @@
+//===- profile/Profile.cpp - Profiles feeding the DVS MILP ----------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profile.h"
+
+#include <cassert>
+
+using namespace cdvs;
+
+Profile cdvs::collectProfile(Simulator &Sim, const ModeTable &Modes,
+                             int ReferenceMode) {
+  const int NumModes = static_cast<int>(Modes.size());
+  if (ReferenceMode < 0)
+    ReferenceMode = NumModes - 1; // fastest
+  assert(ReferenceMode < NumModes && "reference mode out of range");
+
+  Profile P;
+  P.NumBlocks = Sim.function().numBlocks();
+  P.NumModes = NumModes;
+  P.TimePerInvocation.assign(P.NumBlocks,
+                             std::vector<double>(NumModes, 0.0));
+  P.EnergyPerInvocation.assign(P.NumBlocks,
+                               std::vector<double>(NumModes, 0.0));
+  P.TotalTimeAtMode.assign(NumModes, 0.0);
+  P.TotalEnergyAtMode.assign(NumModes, 0.0);
+
+  uint64_t FirstInstructions = 0;
+  for (int M = 0; M < NumModes; ++M) {
+    RunStats S = Sim.runAtLevel(Modes.level(M));
+    assert(S.Completed && "profiling run hit the instruction cap");
+    // Control flow must be mode-invariant (paper assumption 1).
+    if (M == 0)
+      FirstInstructions = S.Instructions;
+    assert(S.Instructions == FirstInstructions &&
+           "control flow varied across modes");
+    (void)FirstInstructions;
+    P.TotalTimeAtMode[M] = S.TimeSeconds;
+    P.TotalEnergyAtMode[M] = S.EnergyJoules;
+    for (int B = 0; B < P.NumBlocks; ++B) {
+      if (S.BlockExecs[B] == 0)
+        continue;
+      double Execs = static_cast<double>(S.BlockExecs[B]);
+      P.TimePerInvocation[B][M] = S.BlockTimeSeconds[B] / Execs;
+      P.EnergyPerInvocation[B][M] = S.BlockEnergyJoules[B] / Execs;
+    }
+    if (M == ReferenceMode) {
+      P.BlockExecs = S.BlockExecs;
+      P.EdgeCounts = S.EdgeCounts;
+      P.PathCounts = S.PathCounts;
+      P.Reference = S;
+    }
+  }
+  return P;
+}

@@ -1,0 +1,72 @@
+//===- profile/Profile.h - Profiles feeding the DVS MILP --------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profiling data in exactly the shape the paper's MILP consumes
+/// (Section 4.2): per-block, per-mode invocation time Tjm and energy Ejm,
+/// edge counts Gij, and local-path counts Dhij. A Profiler produces one
+/// Profile per input by running the simulator once per available mode —
+/// per-mode profiling is required because memory asynchrony makes
+/// execution time a non-linear function of clock frequency.
+///
+/// Multiple input categories (Section 4.3) are a vector of Profiles with
+/// occurrence probabilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_PROFILE_PROFILE_H
+#define CDVS_PROFILE_PROFILE_H
+
+#include "sim/Simulator.h"
+
+#include <map>
+#include <vector>
+
+namespace cdvs {
+
+/// Profile of one program on one input over all modes of a ModeTable.
+struct Profile {
+  int NumBlocks = 0;
+  int NumModes = 0;
+
+  /// TimePerInvocation[j][m] — seconds per invocation of block j at
+  /// mode m (Tjm). Blocks never executed have zero rows.
+  std::vector<std::vector<double>> TimePerInvocation;
+  /// EnergyPerInvocation[j][m] — joules per invocation (Ejm).
+  std::vector<std::vector<double>> EnergyPerInvocation;
+
+  std::vector<uint64_t> BlockExecs;         ///< at the reference mode
+  std::map<CfgEdge, uint64_t> EdgeCounts;   ///< Gij
+  std::map<LocalPath, uint64_t> PathCounts; ///< Dhij
+
+  /// Whole-program time/energy when run entirely at each mode
+  /// (Table 4's "exec time at 200/600/800 MHz" columns).
+  std::vector<double> TotalTimeAtMode;
+  std::vector<double> TotalEnergyAtMode;
+
+  /// Reference-mode run statistics (analytic parameter extraction).
+  RunStats Reference;
+};
+
+/// One input category for the multi-data-set formulation: a profile plus
+/// its probability pg.
+struct CategoryProfile {
+  Profile Data;
+  double Probability = 1.0;
+};
+
+/// Runs a configured Simulator once per mode and assembles a Profile.
+///
+/// The caller owns simulator setup (registers/memory = the input data
+/// set). The reference mode (default: fastest) provides edge/path counts;
+/// control flow is input-deterministic, so counts agree across modes —
+/// asserted cheaply via total instruction counts.
+Profile collectProfile(Simulator &Sim, const ModeTable &Modes,
+                       int ReferenceMode = -1);
+
+} // namespace cdvs
+
+#endif // CDVS_PROFILE_PROFILE_H

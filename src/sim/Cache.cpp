@@ -1,0 +1,56 @@
+//===- sim/Cache.cpp - Set-associative LRU cache model --------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cdvs;
+
+static bool isPowerOfTwo(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+Cache::Cache(CacheConfig InConfig) : Config(InConfig) {
+  assert(Config.BlockBytes > 0 && isPowerOfTwo(Config.BlockBytes) &&
+         "block size must be a power of two");
+  assert(Config.Ways > 0 && "need at least one way");
+  size_t NumSets =
+      Config.SizeBytes / (static_cast<size_t>(Config.Ways) *
+                          static_cast<size_t>(Config.BlockBytes));
+  assert(NumSets > 0 && isPowerOfTwo(NumSets) &&
+         "sets must be a nonzero power of two");
+  Sets.resize(NumSets);
+  SetMask = NumSets - 1;
+  BlockShift = 0;
+  while ((1 << BlockShift) < Config.BlockBytes)
+    ++BlockShift;
+}
+
+bool Cache::access(uint64_t Addr) {
+  uint64_t Block = Addr >> BlockShift;
+  Set &S = Sets[Block & SetMask];
+  uint64_t Tag = Block >> 0; // full block id as tag (set bits redundant)
+  auto It = std::find(S.Tags.begin(), S.Tags.end(), Tag);
+  if (It != S.Tags.end()) {
+    // Move to front (most recently used).
+    S.Tags.erase(It);
+    S.Tags.insert(S.Tags.begin(), Tag);
+    ++Hits;
+    return true;
+  }
+  ++Misses;
+  if (static_cast<int>(S.Tags.size()) >= Config.Ways)
+    S.Tags.pop_back();
+  S.Tags.insert(S.Tags.begin(), Tag);
+  return false;
+}
+
+void Cache::reset() {
+  for (Set &S : Sets)
+    S.Tags.clear();
+  Hits = 0;
+  Misses = 0;
+}

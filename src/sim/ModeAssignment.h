@@ -1,0 +1,65 @@
+//===- sim/ModeAssignment.h - Per-edge DVS mode map --------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of DVS scheduling: a mode index for every CFG edge (the
+/// compile-time "mode-set instruction" placed on that edge) plus the mode
+/// the program starts in. An edge whose assigned mode equals the current
+/// mode is a *silent* mode-set: it costs nothing at run time, exactly as
+/// in the paper (transition costs apply only to actual changes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SIM_MODEASSIGNMENT_H
+#define CDVS_SIM_MODEASSIGNMENT_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <tuple>
+
+namespace cdvs {
+
+/// Mode-set decisions for a whole function.
+struct ModeAssignment {
+  int InitialMode = 0;
+  /// Mode to set when traversing each edge; edges absent from the map
+  /// carry no mode-set instruction (the current mode persists).
+  std::map<CfgEdge, int> EdgeMode;
+  /// Context-sensitive refinement (the paper's Section 7 "paths"
+  /// direction): mode to set when traversing edge (I, J) having entered
+  /// block I from H. Takes precedence over EdgeMode; the edge map is
+  /// the fallback for contexts the profile never saw.
+  std::map<std::tuple<int, int, int>, int> PathMode;
+
+  /// \returns the mode after traversing \p E from mode \p Current.
+  int modeAfterEdge(const CfgEdge &E, int Current) const {
+    auto It = EdgeMode.find(E);
+    return It == EdgeMode.end() ? Current : It->second;
+  }
+
+  /// Context-aware lookup: (\p H -> E.From -> E.To), falling back to
+  /// the plain edge rule.
+  int modeAfterPath(int H, const CfgEdge &E, int Current) const {
+    if (!PathMode.empty()) {
+      auto It = PathMode.find({H, E.From, E.To});
+      if (It != PathMode.end())
+        return It->second;
+    }
+    return modeAfterEdge(E, Current);
+  }
+
+  /// An assignment that runs everything at \p Mode.
+  static ModeAssignment uniform(int Mode) {
+    ModeAssignment MA;
+    MA.InitialMode = Mode;
+    return MA;
+  }
+};
+
+} // namespace cdvs
+
+#endif // CDVS_SIM_MODEASSIGNMENT_H

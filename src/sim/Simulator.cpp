@@ -1,0 +1,382 @@
+//===- sim/Simulator.cpp - Cycle-level CPU/memory simulator ---------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Timing model. All times are absolute seconds so that mid-run frequency
+// changes compose naturally:
+//  * each register has a ready time RT[r];
+//  * compute op: issues at max(core time, source RTs); occupies the core
+//    for latency(class)/f; the wait before issue is clock-gated;
+//  * load: L1 hit and L2 hit occupy the core for their hit latencies in
+//    cycles (these scale with f and are the paper's "Ncache" memory
+//    cycles); an L2 miss additionally puts DRAM service time — a fixed
+//    number of *seconds* — on the destination register's ready time
+//    while the core moves on (non-blocking, one outstanding miss);
+//  * store: occupies the core for the L1 hit latency; a write buffer
+//    hides any miss (no invariant time, no stall);
+//  * compute issued while a DRAM miss is outstanding counts toward
+//    Noverlap, otherwise Ndependent — the operational version of the
+//    paper's overlap/dependent split.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace cdvs;
+
+Simulator::Simulator(const Function &F, SimConfig InConfig)
+    : F(F), Config(InConfig), InitRegs(F.numRegs(), 0),
+      InitMem(F.memBytes(), 0) {
+  ErrorOr<bool> Ok = F.verify();
+  if (!Ok)
+    cdvsUnreachable(("simulating invalid function: " + Ok.message()).c_str());
+  assert(F.memBytes() >= 4 && "memory image must hold at least one word");
+}
+
+void Simulator::setInitialReg(int Reg, int64_t Value) {
+  assert(Reg >= 0 && Reg < F.numRegs() && "register out of range");
+  InitRegs[Reg] = Value;
+}
+
+void Simulator::setInitialMem32(uint64_t Addr, uint32_t Value) {
+  assert(Addr + 4 <= InitMem.size() && "address out of range");
+  std::memcpy(&InitMem[Addr], &Value, 4);
+}
+
+namespace {
+
+/// Mutable machine state of one run.
+struct Machine {
+  std::vector<int64_t> Regs;
+  std::vector<uint8_t> Mem;
+  std::vector<double> RegReady; // seconds
+
+  uint64_t maskAddr(int64_t Addr) const {
+    // Word-align and wrap into the memory image: the interpreter is
+    // total so profiling runs can never trap.
+    uint64_t A = static_cast<uint64_t>(Addr) & ~static_cast<uint64_t>(3);
+    uint64_t Cap = (Mem.size() / 4) * 4; // multiple of 4, >= 4 (verified)
+    return A % Cap;
+  }
+
+  uint32_t read32(int64_t Addr) const {
+    uint32_t V;
+    std::memcpy(&V, &Mem[maskAddr(Addr)], 4);
+    return V;
+  }
+
+  void write32(int64_t Addr, uint32_t V) {
+    std::memcpy(&Mem[maskAddr(Addr)], &V, 4);
+  }
+};
+
+int64_t evalBinary(Opcode Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::FAdd:
+    return A + B;
+  case Opcode::Sub:
+  case Opcode::FSub:
+    return A - B;
+  case Opcode::Mul:
+  case Opcode::FMul:
+    return A * B;
+  case Opcode::Div:
+  case Opcode::FDiv:
+    return B == 0 ? 0 : A / B;
+  case Opcode::Rem:
+    return B == 0 ? 0 : A % B;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return A << (B & 63);
+  case Opcode::Shr:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) >> (B & 63));
+  case Opcode::CmpEq:
+    return A == B;
+  case Opcode::CmpNe:
+    return A != B;
+  case Opcode::CmpLt:
+    return A < B;
+  case Opcode::CmpLe:
+    return A <= B;
+  default:
+    cdvsUnreachable("not a binary opcode");
+  }
+}
+
+} // namespace
+
+RunStats Simulator::run(const ModeTable &Modes,
+                        const ModeAssignment &Assignment,
+                        const TransitionModel &Transitions) {
+  Machine M;
+  M.Regs = InitRegs;
+  M.Mem = InitMem;
+  M.RegReady.assign(F.numRegs(), 0.0);
+
+  Cache L1(Config.L1);
+  Cache L2(Config.L2);
+  Cache L1I(Config.L1I);
+
+  // Synthetic code layout for instruction fetch: blocks packed in id
+  // order, 4 bytes per instruction plus 4 for the terminator. Mapped
+  // beyond the data image so code and data never alias in L2.
+  std::vector<uint64_t> CodeBase(F.numBlocks(), 0);
+  if (Config.ModelICache) {
+    uint64_t Addr = (InitMem.size() + 63) & ~uint64_t(63);
+    for (int B = 0; B < F.numBlocks(); ++B) {
+      CodeBase[B] = Addr;
+      Addr += 4 * (F.block(B).Insts.size() + 1);
+    }
+  }
+
+  RunStats S;
+  S.BlockExecs.assign(F.numBlocks(), 0);
+  S.BlockTimeSeconds.assign(F.numBlocks(), 0.0);
+  S.BlockEnergyJoules.assign(F.numBlocks(), 0.0);
+
+  int Mode = Assignment.InitialMode;
+  assert(Mode >= 0 && Mode < static_cast<int>(Modes.size()) &&
+         "initial mode out of range");
+  double Volts = Modes.level(Mode).Volts;
+  double Freq = Modes.level(Mode).Hertz;
+  double CycleTime = 1.0 / Freq;
+
+  double Now = 0.0;              // core time, seconds
+  double MissBusyUntil = 0.0;    // DRAM busy until (one outstanding miss)
+
+  int Block = 0;
+  int PrevBlock = -1;  // block we arrived from (for Dhij)
+  int PrevPrev = -2;   // block before that (for the 4-gram counts)
+
+  auto gatedWait = [&](double Until) {
+    if (Until > Now) {
+      S.GatedSeconds += Until - Now;
+      S.BlockTimeSeconds[Block] += Until - Now;
+      Now = Until;
+    }
+  };
+
+  auto chargeOp = [&](OpClass Class, int Cycles) {
+    double Dt = Cycles * CycleTime;
+    double E = Config.ceff(Class) * Volts * Volts;
+    S.BlockTimeSeconds[Block] += Dt;
+    S.BlockEnergyJoules[Block] += E;
+    S.EnergyJoules += E;
+    Now += Dt;
+  };
+
+  auto classifyCompute = [&](int Cycles, double IssueTime) {
+    if (IssueTime < MissBusyUntil)
+      S.NoverlapCycles += Cycles;
+    else
+      S.NdependentCycles += Cycles;
+  };
+
+  while (true) {
+    if (S.Instructions >= Config.MaxInstructions) {
+      S.Completed = false;
+      S.TimeSeconds = Now;
+      S.FinalRegs = M.Regs;
+      return S;
+    }
+    ++S.BlockExecs[Block];
+    const BasicBlock &BB = F.block(Block);
+
+    int InstIndex = 0;
+    auto fetch = [&](int Index) {
+      if (!Config.ModelICache)
+        return;
+      uint64_t A = CodeBase[Block] + 4 * static_cast<uint64_t>(Index);
+      if (L1I.access(A))
+        return;
+      ++S.L1IMisses;
+      // I-fetch misses stall the front end: charge the L2 cycles (and
+      // the DRAM wait on an L2 miss) before the instruction issues.
+      bool UnderMiss = Now < MissBusyUntil;
+      chargeOp(OpClass::MemLoad, Config.L2HitCycles);
+      if (UnderMiss)
+        S.NoverlapCycles += Config.L2HitCycles;
+      else
+        S.NcacheCycles += Config.L2HitCycles;
+      if (!L2.access(A)) {
+        ++S.L2Misses;
+        double Start = std::max(Now, MissBusyUntil);
+        double Done = Start + Config.DramSeconds;
+        MissBusyUntil = Done;
+        S.TinvariantSeconds += Config.DramSeconds;
+        gatedWait(Done); // fetch blocks the pipeline
+      }
+    };
+
+    for (const Instruction &I : BB.Insts) {
+      fetch(InstIndex++);
+      ++S.Instructions;
+      OpClass Class = opClass(I.Op);
+      switch (Class) {
+      case OpClass::MemLoad: {
+        gatedWait(M.RegReady[I.Src1]);
+        int64_t Addr = M.Regs[I.Src1] + I.Imm;
+        M.Regs[I.Dst] = static_cast<int64_t>(M.read32(Addr));
+        ++S.Loads;
+        uint64_t A = M.maskAddr(Addr);
+        bool HitL1 = L1.access(A);
+        int CoreCycles = Config.L1HitCycles;
+        bool HitL2 = true;
+        if (!HitL1) {
+          ++S.L1DMisses;
+          HitL2 = L2.access(A);
+          CoreCycles += Config.L2HitCycles;
+        }
+        // Hit-serviced cycles issued while a DRAM miss is outstanding
+        // are hidden under the miss: they belong to the overlap stream
+        // in the analytic model's region structure, not to Ncache.
+        bool UnderMiss = Now < MissBusyUntil;
+        chargeOp(OpClass::MemLoad, CoreCycles);
+        if (UnderMiss)
+          S.NoverlapCycles += CoreCycles;
+        else
+          S.NcacheCycles += CoreCycles;
+        if (!HitL1 && !HitL2) {
+          ++S.L2Misses;
+          double Start = std::max(Now, MissBusyUntil);
+          double Done = Start + Config.DramSeconds;
+          MissBusyUntil = Done;
+          M.RegReady[I.Dst] = Done;
+          S.TinvariantSeconds += Config.DramSeconds;
+        } else {
+          M.RegReady[I.Dst] = Now;
+        }
+        break;
+      }
+      case OpClass::MemStore: {
+        gatedWait(std::max(M.RegReady[I.Src1], M.RegReady[I.Src2]));
+        int64_t Addr = M.Regs[I.Src1] + I.Imm;
+        M.write32(Addr, static_cast<uint32_t>(M.Regs[I.Src2]));
+        ++S.Stores;
+        uint64_t A = M.maskAddr(Addr);
+        bool HitL1 = L1.access(A);
+        if (!HitL1) {
+          ++S.L1DMisses;
+          if (!L2.access(A))
+            ++S.L2Misses; // write buffer: no core-visible DRAM wait
+        }
+        bool UnderMiss = Now < MissBusyUntil;
+        chargeOp(OpClass::MemStore, Config.L1HitCycles);
+        if (UnderMiss)
+          S.NoverlapCycles += Config.L1HitCycles;
+        else
+          S.NcacheCycles += Config.L1HitCycles;
+        break;
+      }
+      default: {
+        // Compute classes. Mov is register renaming: it never stalls on
+        // its source — the destination inherits the source's readiness —
+        // matching the behaviour of the out-of-order cores the paper
+        // profiles on (and of modulo-scheduled compiler output).
+        if (I.Op == Opcode::Mov) {
+          double Issue = Now;
+          M.Regs[I.Dst] = M.Regs[I.Src1];
+          chargeOp(OpClass::IntAlu, Config.IntAluLatency);
+          classifyCompute(Config.IntAluLatency, Issue);
+          M.RegReady[I.Dst] = std::max(M.RegReady[I.Src1], Now);
+          break;
+        }
+        double SrcReady = 0.0;
+        if (I.Op != Opcode::MovImm)
+          SrcReady = std::max(M.RegReady[I.Src1], M.RegReady[I.Src2]);
+        gatedWait(SrcReady);
+        double Issue = Now;
+        int Lat = Config.latency(Class);
+        if (I.Op == Opcode::MovImm)
+          M.Regs[I.Dst] = I.Imm;
+        else
+          M.Regs[I.Dst] = evalBinary(I.Op, M.Regs[I.Src1], M.Regs[I.Src2]);
+        chargeOp(Class, Lat);
+        classifyCompute(Lat, Issue);
+        M.RegReady[I.Dst] = Now;
+        break;
+      }
+      }
+    }
+
+    // Terminator.
+    int Next = -1;
+    switch (BB.Term) {
+    case TermKind::Ret: {
+      // Drain: the run ends when core and memory are both done.
+      double End = std::max(Now, MissBusyUntil);
+      S.BlockTimeSeconds[Block] += End - Now;
+      Now = End;
+      S.Completed = true;
+      S.TimeSeconds = Now;
+      S.FinalRegs = M.Regs;
+      return S;
+    }
+    case TermKind::Jump: {
+      // The branch itself costs one ALU cycle.
+      double Issue = Now;
+      chargeOp(OpClass::IntAlu, 1);
+      classifyCompute(1, Issue);
+      Next = BB.Succs[0];
+      break;
+    }
+    case TermKind::CondBr: {
+      gatedWait(M.RegReady[BB.CondReg]);
+      double Issue = Now;
+      chargeOp(OpClass::IntAlu, 1);
+      classifyCompute(1, Issue);
+      Next = M.Regs[BB.CondReg] != 0 ? BB.Succs[0] : BB.Succs[1];
+      break;
+    }
+    }
+
+    CfgEdge E{Block, Next};
+    ++S.EdgeCounts[E];
+    ++S.PathCounts[{PrevBlock, Block, Next}];
+    ++S.QuadCounts[{PrevPrev, PrevBlock, Block, Next}];
+
+    int NewMode = Assignment.modeAfterPath(PrevBlock, E, Mode);
+    if (NewMode != Mode) {
+      assert(NewMode >= 0 && NewMode < static_cast<int>(Modes.size()) &&
+             "assigned mode out of range");
+      double Vi = Modes.level(Mode).Volts;
+      double Vj = Modes.level(NewMode).Volts;
+      double St = Transitions.switchTime(Vi, Vj);
+      double Se = Transitions.switchEnergy(Vi, Vj);
+      Now += St;
+      S.EnergyJoules += Se;
+      S.TransitionSeconds += St;
+      S.TransitionJoules += Se;
+      ++S.Transitions;
+      // Attribute the switch to the source block of the edge.
+      S.BlockTimeSeconds[Block] += St;
+      S.BlockEnergyJoules[Block] += Se;
+      Mode = NewMode;
+      Volts = Modes.level(Mode).Volts;
+      Freq = Modes.level(Mode).Hertz;
+      CycleTime = 1.0 / Freq;
+    }
+
+    PrevPrev = PrevBlock;
+    PrevBlock = Block;
+    Block = Next;
+  }
+}
+
+RunStats Simulator::runAtLevel(const VoltageLevel &Level) {
+  ModeTable Single({Level});
+  TransitionModel Free(0.0, 0.0, 1.0);
+  return run(Single, ModeAssignment::uniform(0), Free);
+}

@@ -1,0 +1,88 @@
+//===- support/Error.h - Lightweight recoverable error handling --*- C++ -*-=//
+//
+// Part of the cdvs project: a reproduction of Xie, Martonosi & Malik,
+// "Compile-Time Dynamic Voltage Scaling Settings: Opportunities and
+// Limits" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free recoverable error handling. Library code reports
+/// environment/input errors by returning ErrorOr<T>; programmatic errors
+/// (invariant violations) use assert / cdvsUnreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SUPPORT_ERROR_H
+#define CDVS_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cdvs {
+
+/// Aborts with a message; marks code paths that must never execute.
+[[noreturn]] inline void cdvsUnreachable(const char *Msg) {
+  std::fprintf(stderr, "cdvs fatal: %s\n", Msg);
+  std::abort();
+}
+
+/// A plain recoverable error: a human-readable message.
+class Err {
+public:
+  explicit Err(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Either a value of type T or an error message.
+///
+/// Self-contained stand-in for llvm::ErrorOr. Converts to true when it
+/// holds a value; get()/operator* assert on the error state.
+template <typename T> class ErrorOr {
+public:
+  /*implicit*/ ErrorOr(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ ErrorOr(Err E) : Error(E.message()) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+  bool hasValue() const { return Value.has_value(); }
+
+  /// \returns the contained value; asserts on the error state.
+  T &get() {
+    assert(Value && "accessing value of an error result");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "accessing value of an error result");
+    return *Value;
+  }
+
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// \returns the error message; asserts if this holds a value.
+  const std::string &message() const {
+    assert(!Value && "accessing error of a value result");
+    return Error;
+  }
+
+private:
+  std::optional<T> Value;
+  std::string Error;
+};
+
+/// Creates an error result with the given message.
+inline Err makeError(std::string Message) { return Err(std::move(Message)); }
+
+} // namespace cdvs
+
+#endif // CDVS_SUPPORT_ERROR_H

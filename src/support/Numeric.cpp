@@ -1,0 +1,106 @@
+//===- support/Numeric.cpp - 1-D minimization and root finding -----------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Numeric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace cdvs;
+
+MinResult cdvs::goldenSectionMinimize(const std::function<double(double)> &F,
+                                      double Lo, double Hi, double Tol) {
+  assert(Lo <= Hi && "invalid bracket");
+  static const double InvPhi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double A = Lo, B = Hi;
+  double C = B - (B - A) * InvPhi;
+  double D = A + (B - A) * InvPhi;
+  double Fc = F(C), Fd = F(D);
+  while (B - A > Tol) {
+    if (Fc < Fd) {
+      B = D;
+      D = C;
+      Fd = Fc;
+      C = B - (B - A) * InvPhi;
+      Fc = F(C);
+    } else {
+      A = C;
+      C = D;
+      Fc = Fd;
+      D = A + (B - A) * InvPhi;
+      Fd = F(D);
+    }
+  }
+  double X = (A + B) / 2.0;
+  return {X, F(X)};
+}
+
+double cdvs::bisectRoot(const std::function<double(double)> &F, double Lo,
+                        double Hi, double Tol) {
+  double Fl = F(Lo), Fh = F(Hi);
+  assert(Fl * Fh <= 0.0 && "bisectRoot requires a sign change");
+  if (Fl == 0.0)
+    return Lo;
+  if (Fh == 0.0)
+    return Hi;
+  while (Hi - Lo > Tol) {
+    double Mid = (Lo + Hi) / 2.0;
+    double Fm = F(Mid);
+    if (Fm == 0.0)
+      return Mid;
+    if ((Fl < 0.0) == (Fm < 0.0)) {
+      Lo = Mid;
+      Fl = Fm;
+    } else {
+      Hi = Mid;
+    }
+  }
+  return (Lo + Hi) / 2.0;
+}
+
+MinResult cdvs::gridRefineMinimize(const std::function<double(double)> &F,
+                                   double Lo, double Hi, int Samples,
+                                   double Tol) {
+  assert(Samples >= 3 && "need at least three samples");
+  assert(Lo <= Hi && "invalid bracket");
+  double BestX = Lo, BestF = F(Lo);
+  int BestI = 0;
+  for (int I = 1; I < Samples; ++I) {
+    double X = Lo + (Hi - Lo) * static_cast<double>(I) / (Samples - 1);
+    double Fx = F(X);
+    if (Fx < BestF) {
+      BestF = Fx;
+      BestX = X;
+      BestI = I;
+    }
+  }
+  // Refine within the bracket around the best grid point; the function may
+  // not be unimodal globally, but near the grid minimum a local refine is
+  // the right behaviour for staircase objectives.
+  double Step = (Hi - Lo) / (Samples - 1);
+  double RLo = std::max(Lo, Lo + (BestI - 1) * Step);
+  double RHi = std::min(Hi, Lo + (BestI + 1) * Step);
+  MinResult Refined = goldenSectionMinimize(F, RLo, RHi, Tol);
+  if (Refined.Fx < BestF)
+    return Refined;
+  return {BestX, BestF};
+}
+
+double cdvs::simpson(const std::function<double(double)> &F, double Lo,
+                     double Hi, int Intervals) {
+  assert(Lo <= Hi && "invalid interval");
+  if (Lo == Hi)
+    return 0.0;
+  int N = Intervals + (Intervals % 2); // Round up to even.
+  if (N < 2)
+    N = 2;
+  double H = (Hi - Lo) / N;
+  double Sum = F(Lo) + F(Hi);
+  for (int I = 1; I < N; ++I)
+    Sum += F(Lo + I * H) * ((I % 2) ? 4.0 : 2.0);
+  return Sum * H / 3.0;
+}

@@ -1,0 +1,55 @@
+//===- support/Numeric.h - 1-D minimization and root finding ----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar numeric routines used by the analytical DVS model: golden-section
+/// minimization of unimodal functions, bisection root finding, and a small
+/// grid-refined global minimizer for the piecewise (staircase) objectives
+/// that arise in the discrete-voltage analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SUPPORT_NUMERIC_H
+#define CDVS_SUPPORT_NUMERIC_H
+
+#include <functional>
+
+namespace cdvs {
+
+/// Result of a scalar minimization: the argmin and the function value.
+struct MinResult {
+  double X = 0.0;
+  double Fx = 0.0;
+};
+
+/// Minimizes a unimodal function on [Lo, Hi] by golden-section search.
+///
+/// \param F the objective; evaluated O(log((Hi-Lo)/Tol)) times.
+/// \param Tol absolute tolerance on the argmin.
+MinResult goldenSectionMinimize(const std::function<double(double)> &F,
+                                double Lo, double Hi, double Tol = 1e-9);
+
+/// Finds a root of F on [Lo, Hi] by bisection. Requires F(Lo) and F(Hi)
+/// to have opposite signs (asserts otherwise).
+double bisectRoot(const std::function<double(double)> &F, double Lo,
+                  double Hi, double Tol = 1e-12);
+
+/// Minimizes an arbitrary (possibly piecewise / multi-modal) function on
+/// [Lo, Hi] by sampling \p Samples points and golden-section refining
+/// around the best bracket. Suited to the staircase Emin(y) objective of
+/// the discrete-voltage model (Figure 8 of the paper).
+MinResult gridRefineMinimize(const std::function<double(double)> &F,
+                             double Lo, double Hi, int Samples = 512,
+                             double Tol = 1e-9);
+
+/// Numerically integrates F over [Lo, Hi] with composite Simpson's rule
+/// using \p Intervals subintervals (rounded up to even).
+double simpson(const std::function<double(double)> &F, double Lo, double Hi,
+               int Intervals = 256);
+
+} // namespace cdvs
+
+#endif // CDVS_SUPPORT_NUMERIC_H

@@ -1,0 +1,92 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic xoshiro256** generator. All stochastic pieces of
+/// the workloads and tests draw from this so every run of every binary is
+/// bit-reproducible, independent of the platform's std::mt19937 quirks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SUPPORT_RNG_H
+#define CDVS_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cdvs {
+
+/// Deterministic xoshiro256** PRNG seeded via SplitMix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-seeds the generator; the same seed always yields the same stream.
+  void reseed(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (uint64_t &Word : State)
+      Word = splitMix64(X);
+  }
+
+  /// \returns the next raw 64-bit value.
+  uint64_t next() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// \returns a uniform integer in [0, Bound). Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t Value = next();
+      if (Value >= Threshold)
+        return Value % Bound;
+    }
+  }
+
+  /// \returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "invalid range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// \returns true with probability P (clamped to [0,1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t splitMix64(uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace cdvs
+
+#endif // CDVS_SUPPORT_RNG_H

@@ -1,0 +1,66 @@
+//===- support/Table.cpp - Text table / CSV emission ---------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cdvs;
+
+std::string cdvs::formatDouble(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string cdvs::formatInt(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  return Buf;
+}
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row width must match header");
+  Rows.push_back(std::move(Row));
+}
+
+void Table::print(std::FILE *Out) const {
+  std::vector<size_t> Width(Header.size());
+  for (size_t C = 0; C < Header.size(); ++C)
+    Width[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Width[C] = std::max(Width[C], Row[C].size());
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C)
+      std::fprintf(Out, "%s %-*s ", C ? "|" : "|",
+                   static_cast<int>(Width[C]), Row[C].c_str());
+    std::fprintf(Out, "|\n");
+  };
+
+  printRow(Header);
+  for (size_t C = 0; C < Header.size(); ++C) {
+    std::fprintf(Out, "|%s", std::string(Width[C] + 2, '-').c_str());
+  }
+  std::fprintf(Out, "|\n");
+  for (const auto &Row : Rows)
+    printRow(Row);
+}
+
+void Table::printCsv(std::FILE *Out) const {
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C)
+      std::fprintf(Out, "%s%s", C ? "," : "", Row[C].c_str());
+    std::fprintf(Out, "\n");
+  };
+  printRow(Header);
+  for (const auto &Row : Rows)
+    printRow(Row);
+}

@@ -1,0 +1,56 @@
+//===- support/Table.h - Text table / CSV emission --------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny text-table builder used by the benchmark harnesses to print the
+/// paper's tables and figure series in a uniform, diff-friendly format.
+/// Cells are strings; helpers format numbers with fixed precision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SUPPORT_TABLE_H
+#define CDVS_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cdvs {
+
+/// Formats a double with \p Precision fractional digits.
+std::string formatDouble(double Value, int Precision = 3);
+
+/// Formats an integer count.
+std::string formatInt(long long Value);
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// text table (for terminals) or as CSV (for plotting scripts).
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one row; pads/truncates to the header width is a caller bug
+  /// (asserted).
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders an aligned, pipe-separated table to \p Out (default stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas; cells are
+  /// expected to be simple tokens) to \p Out.
+  void printCsv(std::FILE *Out = stdout) const;
+
+  size_t numRows() const { return Rows.size(); }
+  const std::vector<std::string> &row(size_t I) const { return Rows[I]; }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_SUPPORT_TABLE_H

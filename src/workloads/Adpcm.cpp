@@ -1,0 +1,168 @@
+//===- workloads/Adpcm.cpp - ADPCM speech codec analogue -------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Shape: the hot codec loop over a large sample buffer, then a lighter
+// post-filter pass over the produced output. Codec loop per sample: a
+// software-pipelined load (two iterations ahead, so DRAM misses overlap
+// the integer step-adaptation kernel), a sign-dependent branch, a small
+// multiply-based step update, and an output store. The input buffer
+// (~480 KB) streams through the caches, so about one load in eight
+// misses to DRAM. The post-filter is a second, smaller region the MILP
+// can downshift independently — multi-scale region structure like real
+// MediaBench codecs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadCommon.h"
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace cdvs;
+
+namespace {
+
+// Register conventions.
+constexpr int RZero = 0;
+constexpr int RN = 1;      // sample count (input parameter)
+constexpr int RIn = 2;     // input base
+constexpr int ROut = 3;    // output base
+constexpr int RStep = 4;
+constexpr int RPred = 5;
+constexpr int RI = 6;
+constexpr int RT0 = 7;
+constexpr int RT1 = 8;
+constexpr int ROne = 9;
+constexpr int RT2 = 10;
+constexpr int RTwo = 11;
+constexpr int RDiff = 12;
+constexpr int RSign = 13;
+constexpr int RT3 = 14;
+constexpr int RCur = 16;  // current sample
+constexpr int RNext = 17; // sample i+1
+constexpr int RNext2 = 18;// sample i+2
+constexpr int RNext3 = 19;// sample i+3
+constexpr int RThree = 20;
+constexpr int RFive = 21;
+constexpr int RMask = 22;
+constexpr int RPrev = 23; // post-filter smoothing state
+
+constexpr uint64_t InOff = 0;
+constexpr uint64_t OutOff = 640 * 1024;
+constexpr uint64_t MemSize = 1280 * 1024;
+
+} // namespace
+
+Workload cdvs::makeAdpcm() {
+  auto Fn = std::make_shared<Function>("adpcm", 25, MemSize);
+  IRBuilder B(*Fn);
+
+  int Entry = B.createBlock("entry");
+  int Head = B.createBlock("loop_head");
+  int Body = B.createBlock("body");
+  int Neg = B.createBlock("step_down");
+  int Pos = B.createBlock("step_up");
+  int Join = B.createBlock("join");
+  int PfHead = B.createBlock("postfilter_head");
+  int PfBody = B.createBlock("postfilter_body");
+  int Exit = B.createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  B.movImm(RZero, 0);
+  B.movImm(ROne, 1);
+  B.movImm(RTwo, 2);
+  B.movImm(RThree, 3);
+  B.movImm(RFive, 5);
+  B.movImm(RMask, 0xFFFF);
+  B.movImm(RIn, static_cast<int64_t>(InOff));
+  B.movImm(ROut, static_cast<int64_t>(OutOff));
+  B.movImm(RStep, 16);
+  B.movImm(RPred, 0);
+  B.movImm(RI, 0);
+  // Prime the three-deep load pipeline.
+  B.load(RCur, RIn, 0);
+  B.load(RNext, RIn, 4);
+  B.load(RNext2, RIn, 8);
+  B.jump(Head);
+
+  B.setInsertPoint(Head);
+  B.cmpLt(RT0, RI, RN);
+  B.condBr(RT0, Body, PfHead);
+
+  B.setInsertPoint(Body);
+  // Prefetch sample i+3 (software pipelining: creates memory overlap).
+  B.add(RT1, RI, RThree);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RIn);
+  B.load(RNext3, RT1, 0);
+  // diff = cur - pred; branch on its sign.
+  B.sub(RDiff, RCur, RPred);
+  B.cmpLt(RSign, RDiff, RZero);
+  B.condBr(RSign, Neg, Pos);
+
+  B.setInsertPoint(Neg);
+  B.sub(RPred, RPred, RStep);
+  B.mul(RT3, RStep, RThree); // step = step * 3 / 4
+  B.shr(RStep, RT3, RTwo);
+  B.jump(Join);
+
+  B.setInsertPoint(Pos);
+  B.add(RPred, RPred, RStep);
+  B.mul(RT3, RStep, RFive); // step = step * 5 / 4
+  B.shr(RStep, RT3, RTwo);
+  B.jump(Join);
+
+  B.setInsertPoint(Join);
+  B.or_(RStep, RStep, ROne);   // keep step >= 1
+  B.and_(RPred, RPred, RMask); // bounded predictor state
+  B.shl(RT2, RI, RTwo);
+  B.add(RT2, RT2, ROut);
+  B.store(RPred, RT2, 0);
+  // Rotate the load pipeline and advance.
+  B.mov(RCur, RNext);
+  B.mov(RNext, RNext2);
+  B.mov(RNext2, RNext3);
+  B.add(RI, RI, ROne);
+  B.jump(Head);
+
+  // ---- Post-filter: smooth the output in place (output is L2-warm
+  // after the codec loop, so this region is lighter on DRAM). ----
+  B.setInsertPoint(PfHead);
+  B.movImm(RI, 0);
+  B.movImm(RPrev, 0);
+  B.jump(PfBody);
+
+  B.setInsertPoint(PfBody);
+  B.shl(RT2, RI, RTwo);
+  B.add(RT2, RT2, ROut);
+  B.load(RT1, RT2, 0);
+  B.add(RPrev, RPrev, RT1);
+  B.shr(RPrev, RPrev, ROne);
+  B.store(RPrev, RT2, 0);
+  B.add(RI, RI, ROne);
+  B.cmpLt(RT0, RI, RN);
+  B.condBr(RT0, PfBody, Exit);
+
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  Workload W;
+  W.Name = "adpcm";
+  W.Fn = Fn;
+  W.Inputs.push_back(
+      {"clinton", "speech", [](Simulator &Sim) {
+         const uint64_t N = 120000;
+         Sim.setInitialReg(RN, static_cast<int64_t>(N));
+         fillRandomWords(Sim, InOff, N + 3, 1 << 16, /*Seed=*/0xadbc01);
+       }});
+  W.Inputs.push_back(
+      {"rossini", "music", [](Simulator &Sim) {
+         const uint64_t N = 88000;
+         Sim.setInitialReg(RN, static_cast<int64_t>(N));
+         fillRandomWords(Sim, InOff, N + 3, 1 << 14, /*Seed=*/0xadbc02);
+       }});
+  return W;
+}

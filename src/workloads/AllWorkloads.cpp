@@ -1,0 +1,38 @@
+//===- workloads/AllWorkloads.cpp - workload registry ----------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/Error.h"
+
+using namespace cdvs;
+
+const WorkloadInput &Workload::input(const std::string &InputName) const {
+  for (const WorkloadInput &I : Inputs)
+    if (I.Name == InputName)
+      return I;
+  cdvsUnreachable(("unknown input '" + InputName + "' for workload '" +
+                   Name + "'")
+                      .c_str());
+}
+
+std::vector<Workload> cdvs::allWorkloads() {
+  std::vector<Workload> All;
+  All.push_back(makeAdpcm());
+  All.push_back(makeEpic());
+  All.push_back(makeGsm());
+  All.push_back(makeMpegDecode());
+  All.push_back(makeMpg123());
+  All.push_back(makeGhostscript());
+  return All;
+}
+
+Workload cdvs::workloadByName(const std::string &Name) {
+  for (Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return W;
+  cdvsUnreachable(("unknown workload '" + Name + "'").c_str());
+}

@@ -1,0 +1,181 @@
+//===- workloads/Epic.cpp - EPIC image codec analogue ----------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Shape: two wavelet-like filter passes over a 512x512-word image
+// (1 MB: larger than both L1 and L2).
+//  * Pass 1 walks rows sequentially (cold DRAM misses, software
+//    pipelined two loads ahead so FP compute overlaps the misses) and
+//    writes a temp plane.
+//  * Pass 2 walks the temp plane column-wise (2 KB stride: every access
+//    a new cache block; one column group in eight re-misses to DRAM,
+//    the rest hit L1/L2), also pipelined two rows ahead.
+// FP multiply/add dominates compute. The mixed overlap/hit-heavy
+// profile puts epic in the regime where the paper reports its largest
+// mid-deadline savings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadCommon.h"
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace cdvs;
+
+namespace {
+
+constexpr int RZero = 0;
+constexpr int RDim = 1;   // image dimension (parameter, 256)
+constexpr int RImg = 2;
+constexpr int RTmp = 3;
+constexpr int RW1 = 4;    // filter weight 1
+constexpr int RW2 = 5;    // filter weight 2
+constexpr int RRow = 6;
+constexpr int RCol = 7;
+constexpr int RT0 = 8;
+constexpr int RT1 = 9;
+constexpr int RT2 = 10;
+constexpr int RP0 = 11;   // pipelined pixel (current)
+constexpr int RP1 = 12;   // pixel +1
+constexpr int RP2 = 13;   // pixel +2
+constexpr int RAcc = 14;
+constexpr int ROne = 15;
+constexpr int RTwo = 16;
+constexpr int RIdx = 17;  // linear index
+constexpr int RLimit = 18;// dim*dim
+constexpr int RStride = 19;
+constexpr int RT3 = 20;
+constexpr int RShift = 21;
+
+constexpr uint64_t ImgOff = 0;
+constexpr uint64_t TmpOff = 1024 * 1024;
+constexpr uint64_t MemSize = 2304 * 1024;
+
+} // namespace
+
+Workload cdvs::makeEpic() {
+  auto Fn = std::make_shared<Function>("epic", 24, MemSize);
+  IRBuilder B(*Fn);
+
+  int Entry = B.createBlock("entry");
+  int P1Head = B.createBlock("pass1_head");
+  int P1Body = B.createBlock("pass1_body");
+  int P2Init = B.createBlock("pass2_init");
+  int P2OHead = B.createBlock("pass2_col_head");
+  int P2IHead = B.createBlock("pass2_row_head");
+  int P2Body = B.createBlock("pass2_body");
+  int P2Latch = B.createBlock("pass2_col_latch");
+  int Exit = B.createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  B.movImm(RZero, 0);
+  B.movImm(ROne, 1);
+  B.movImm(RTwo, 2);
+  B.movImm(RShift, 7);
+  B.movImm(RW1, 5);
+  B.movImm(RW2, 3);
+  B.movImm(RImg, static_cast<int64_t>(ImgOff));
+  B.movImm(RTmp, static_cast<int64_t>(TmpOff));
+  B.mul(RLimit, RDim, RDim);
+  B.movImm(RIdx, 0);
+  // Prime the two-deep pipeline on the linear pass.
+  B.load(RP0, RImg, 0);
+  B.load(RP1, RImg, 4);
+  B.jump(P1Head);
+
+  // ---- Pass 1: linear sweep, pipelined loads, FP filter. ----
+  B.setInsertPoint(P1Head);
+  B.cmpLt(RT0, RIdx, RLimit);
+  B.condBr(RT0, P1Body, P2Init);
+
+  B.setInsertPoint(P1Body);
+  B.add(RT1, RIdx, RTwo); // prefetch idx+2
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RImg);
+  B.load(RP2, RT1, 0);
+  // acc = (p0*w1 + p1*w2) >> 7  (FP classes)
+  B.fmul(RT2, RP0, RW1);
+  B.fmul(RT3, RP1, RW2);
+  B.fadd(RAcc, RT2, RT3);
+  B.shr(RAcc, RAcc, RShift);
+  B.shl(RT1, RIdx, RTwo);
+  B.add(RT1, RT1, RTmp);
+  B.store(RAcc, RT1, 0);
+  B.mov(RP0, RP1);
+  B.mov(RP1, RP2);
+  B.add(RIdx, RIdx, ROne);
+  B.jump(P1Head);
+
+  // ---- Pass 2: column-major sweep of the temp plane. ----
+  B.setInsertPoint(P2Init);
+  B.movImm(RCol, 0);
+  B.shl(RStride, RDim, RTwo); // row stride in bytes
+  B.jump(P2OHead);
+
+  B.setInsertPoint(P2OHead);
+  B.cmpLt(RT0, RCol, RDim);
+  B.condBr(RT0, P2IHead, Exit);
+  // (true -> run the column; false -> done)
+
+  B.setInsertPoint(P2IHead);
+  B.movImm(RRow, 0);
+  B.movImm(RAcc, 0);
+  // Prime the column pipeline: rows 0 and 1 of this column.
+  B.shl(RT1, RCol, RTwo);
+  B.add(RT1, RT1, RTmp);
+  B.load(RP0, RT1, 0);
+  B.add(RT1, RT1, RStride);
+  B.load(RP1, RT1, 0);
+  B.jump(P2Body);
+
+  B.setInsertPoint(P2Body);
+  // Prefetch (row+2, col): addr = tmp + ((row+2)*dim + col) * 4 —
+  // a 2 KB-stride walk, two rows ahead of the consumer.
+  B.add(RT1, RRow, RTwo);
+  B.mul(RT1, RT1, RDim);
+  B.add(RT1, RT1, RCol);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RTmp);
+  B.load(RP2, RT1, 0);
+  B.fmul(RT2, RP0, RW1);
+  B.fadd(RAcc, RAcc, RT2);
+  B.shr(RAcc, RAcc, ROne);
+  // img[row, col] = acc
+  B.mul(RT3, RRow, RDim);
+  B.add(RT3, RT3, RCol);
+  B.shl(RT3, RT3, RTwo);
+  B.add(RT3, RT3, RImg);
+  B.store(RAcc, RT3, 0);
+  B.mov(RP0, RP1);
+  B.mov(RP1, RP2);
+  B.add(RRow, RRow, ROne);
+  B.cmpLt(RT0, RRow, RDim);
+  B.condBr(RT0, P2Body, P2Latch);
+
+  B.setInsertPoint(P2Latch);
+  B.add(RCol, RCol, ROne);
+  B.jump(P2OHead);
+
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  Workload W;
+  W.Name = "epic";
+  W.Fn = Fn;
+  W.Inputs.push_back(
+      {"baboon", "image", [](Simulator &Sim) {
+         const uint64_t Dim = 512;
+         Sim.setInitialReg(RDim, static_cast<int64_t>(Dim));
+         fillRandomWords(Sim, ImgOff, Dim * Dim + 2, 255, 0xe91c);
+       }});
+  W.Inputs.push_back(
+      {"lena", "image", [](Simulator &Sim) {
+         const uint64_t Dim = 384; // smaller frame, same pass structure
+         Sim.setInitialReg(RDim, static_cast<int64_t>(Dim));
+         fillRandomWords(Sim, ImgOff, Dim * Dim + 2, 255, 0x1e7a);
+       }});
+  return W;
+}

@@ -1,0 +1,138 @@
+//===- workloads/Ghostscript.cpp - PostScript renderer analogue ------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Shape: span rasterization. An outer loop walks a span list (length,
+// color, clip flag); clipped spans take a short rejection path, visible
+// spans run an inner fill loop storing pixels into a 1 MB framebuffer.
+// Store misses are hidden by the write buffer, so the profile has heavy
+// cache-op cycles but almost no invariant DRAM time — like the paper's
+// ghostscript run, whose total execution is tiny and savings thin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadCommon.h"
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace cdvs;
+
+namespace {
+
+constexpr int RZero = 0;
+constexpr int RS = 1;     // span count (parameter)
+constexpr int RList = 2;  // span list base
+constexpr int RFb = 3;    // framebuffer base
+constexpr int RSpan = 4;
+constexpr int RT0 = 5;
+constexpr int RT1 = 6;
+constexpr int RLen = 7;
+constexpr int RColor = 8;
+constexpr int RClip = 9;
+constexpr int RPos = 10;
+constexpr int RJ = 11;
+constexpr int ROne = 12;
+constexpr int RTwo = 13;
+constexpr int RFMask = 14; // framebuffer word mask
+constexpr int RT2 = 15;
+constexpr int RThree = 16;
+
+constexpr uint64_t ListOff = 0;             // 3 words per span
+constexpr uint64_t FbOff = 64 * 1024;       // 256K words = 1 MB
+constexpr uint64_t FbWords = 256 * 1024;
+constexpr uint64_t MemSize = 1216 * 1024;
+
+} // namespace
+
+Workload cdvs::makeGhostscript() {
+  auto Fn = std::make_shared<Function>("ghostscript", 20, MemSize);
+  IRBuilder B(*Fn);
+
+  int Entry = B.createBlock("entry");
+  int SHead = B.createBlock("span_head");
+  int SBody = B.createBlock("span_load");
+  int Clip = B.createBlock("span_clipped");
+  int FHead = B.createBlock("fill_head");
+  int FBody = B.createBlock("fill_body");
+  int SLatch = B.createBlock("span_latch");
+  int Exit = B.createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  B.movImm(RZero, 0);
+  B.movImm(ROne, 1);
+  B.movImm(RTwo, 2);
+  B.movImm(RThree, 3);
+  B.movImm(RFMask, static_cast<int64_t>(FbWords - 1));
+  B.movImm(RList, static_cast<int64_t>(ListOff));
+  B.movImm(RFb, static_cast<int64_t>(FbOff));
+  B.movImm(RSpan, 0);
+  B.jump(SHead);
+
+  B.setInsertPoint(SHead);
+  B.cmpLt(RT0, RSpan, RS);
+  B.condBr(RT0, SBody, Exit);
+
+  B.setInsertPoint(SBody);
+  // desc = list[3*span]: len, color, clip.
+  B.mul(RT1, RSpan, RThree);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RList);
+  B.load(RLen, RT1, 0);
+  B.load(RColor, RT1, 4);
+  B.load(RClip, RT1, 8);
+  // position = (span * 977) & mask
+  B.movImm(RT2, 977);
+  B.mul(RPos, RSpan, RT2);
+  B.and_(RPos, RPos, RFMask);
+  B.condBr(RClip, Clip, FHead);
+
+  B.setInsertPoint(Clip);
+  // Rejected span: a little bookkeeping arithmetic only.
+  B.add(RT0, RPos, RLen);
+  B.shr(RT0, RT0, ROne);
+  B.jump(SLatch);
+
+  B.setInsertPoint(FHead);
+  B.movImm(RJ, 0);
+  B.jump(FBody);
+
+  B.setInsertPoint(FBody);
+  // fb[(pos + j) & mask] = color
+  B.add(RT1, RPos, RJ);
+  B.and_(RT1, RT1, RFMask);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RFb);
+  B.store(RColor, RT1, 0);
+  B.add(RJ, RJ, ROne);
+  B.cmpLt(RT0, RJ, RLen);
+  B.condBr(RT0, FBody, SLatch);
+
+  B.setInsertPoint(SLatch);
+  B.add(RSpan, RSpan, ROne);
+  B.jump(SHead);
+
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  Workload W;
+  W.Name = "ghostscript";
+  W.Fn = Fn;
+  W.Inputs.push_back(
+      {"tiger", "page", [](Simulator &Sim) {
+         const uint64_t Spans = 2600;
+         Sim.setInitialReg(RS, static_cast<int64_t>(Spans));
+         Rng R(0x9057);
+         for (uint64_t I = 0; I < Spans; ++I) {
+           uint32_t Len = 8 + static_cast<uint32_t>(R.nextBelow(80));
+           uint32_t Color = static_cast<uint32_t>(R.nextBelow(1 << 24));
+           uint32_t Clip = R.nextBool(0.2) ? 1 : 0;
+           Sim.setInitialMem32(ListOff + 12 * I + 0, Len);
+           Sim.setInitialMem32(ListOff + 12 * I + 4, Color);
+           Sim.setInitialMem32(ListOff + 12 * I + 8, Clip);
+         }
+       }});
+  return W;
+}

@@ -1,0 +1,211 @@
+//===- workloads/Gsm.cpp - GSM speech codec analogue -----------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Shape: two phases, like a real encoder front end.
+//  * Phase 1 — VAD/noise estimation: a light streaming pass over the
+//    whole input (memory bound, pipelined loads: DRAM overlap).
+//  * Phase 2 — the frame loop around a 40-sample inner LTP-filter loop,
+//    multiply-heavy on L1-resident coefficient/history tables (the
+//    input words were already touched by phase 1, so this phase is
+//    dependent-compute bound). Per frame there is a long divide and a
+//    data-dependent "voiced" smoothing path.
+// The phase split gives the MILP a real opportunity: run the
+// memory-bound scan slow and the compute-bound filter fast.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadCommon.h"
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace cdvs;
+
+namespace {
+
+constexpr int RZero = 0;
+constexpr int RF = 1;     // frame count (parameter)
+constexpr int RIn = 2;    // input stream base
+constexpr int ROut = 3;   // per-frame output base
+constexpr int RCoef = 4;  // coefficient table base
+constexpr int RHist = 5;  // history ring base
+constexpr int RFrame = 6; // frame index
+constexpr int RJ = 7;     // sample index
+constexpr int RAcc = 8;
+constexpr int RT0 = 9;
+constexpr int RT1 = 10;
+constexpr int RT2 = 11;
+constexpr int RX = 12;
+constexpr int RC = 13;
+constexpr int RH = 14;
+constexpr int ROne = 15;
+constexpr int RTwo = 16;
+constexpr int RFort = 17;  // 40
+constexpr int RCMask = 18; // 15  (coef index mask)
+constexpr int RHMask = 19; // 1023 (history ring mask)
+constexpr int RScale = 20;
+constexpr int RFB = 21;    // frame base address
+constexpr int RVBit = 22;  // voiced test mask
+constexpr int RT3 = 23;
+constexpr int RNoise = 24; // noise estimate (phase 1 result)
+constexpr int RP0 = 25;    // pipelined scan value
+constexpr int RP1 = 26;    // scan value +1
+constexpr int RP2 = 27;    // scan value +2
+
+constexpr uint64_t CoefOff = 0;          // 64 words
+constexpr uint64_t HistOff = 4 * 1024;   // 1024 words = 4 KB
+constexpr uint64_t OutOff = 16 * 1024;   // frame outputs
+constexpr uint64_t InOff = 64 * 1024;    // streamed input
+constexpr uint64_t MemSize = 768 * 1024;
+
+} // namespace
+
+Workload cdvs::makeGsm() {
+  auto Fn = std::make_shared<Function>("gsm", 28, MemSize);
+  IRBuilder B(*Fn);
+
+  int Entry = B.createBlock("entry");
+  int VHead = B.createBlock("vad_head");
+  int VBody = B.createBlock("vad_body");
+  int FHead = B.createBlock("frame_head");
+  int FBody = B.createBlock("frame_body");
+  int IHead = B.createBlock("ltp_head");
+  int IBody = B.createBlock("ltp_body");
+  int FDone = B.createBlock("frame_done");
+  int Voiced = B.createBlock("voiced_smooth");
+  int FLatch = B.createBlock("frame_latch");
+  int Exit = B.createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  B.movImm(RZero, 0);
+  B.movImm(ROne, 1);
+  B.movImm(RTwo, 2);
+  B.movImm(RFort, 40);
+  B.movImm(RCMask, 15);
+  B.movImm(RHMask, 1023);
+  B.movImm(RScale, 41);
+  B.movImm(RVBit, 64);
+  B.movImm(RIn, static_cast<int64_t>(InOff));
+  B.movImm(ROut, static_cast<int64_t>(OutOff));
+  B.movImm(RCoef, static_cast<int64_t>(CoefOff));
+  B.movImm(RHist, static_cast<int64_t>(HistOff));
+  B.movImm(RFrame, 0);
+  B.movImm(RNoise, 0);
+  // Total sample count for the scan: frames * 40.
+  B.mul(RT2, RF, RFort);
+  B.movImm(RJ, 0);
+  // Prime the scan pipeline two loads deep.
+  B.load(RP0, RIn, 0);
+  B.load(RP1, RIn, 4);
+  B.jump(VHead);
+
+  // ---- Phase 1: VAD / noise-estimation scan over the input. ----
+  B.setInsertPoint(VHead);
+  B.cmpLt(RT0, RJ, RT2);
+  B.condBr(RT0, VBody, FHead);
+
+  B.setInsertPoint(VBody);
+  B.add(RT1, RJ, RTwo); // prefetch sample j+2
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RIn);
+  B.load(RP2, RT1, 0);
+  B.add(RNoise, RNoise, RP0);
+  B.shr(RNoise, RNoise, ROne);
+  B.mov(RP0, RP1);
+  B.mov(RP1, RP2);
+  B.add(RJ, RJ, ROne);
+  B.jump(VHead);
+
+  // ---- Phase 2: the frame loop. ----
+  B.setInsertPoint(FHead);
+  B.cmpLt(RT0, RFrame, RF);
+  B.condBr(RT0, FBody, Exit);
+
+  B.setInsertPoint(FBody);
+  // Frame base = In + 160*frame (40 words of 4 bytes).
+  B.movImm(RT1, 160);
+  B.mul(RFB, RFrame, RT1);
+  B.add(RFB, RFB, RIn);
+  B.movImm(RJ, 0);
+  B.movImm(RAcc, 0);
+  B.jump(IHead);
+
+  B.setInsertPoint(IHead);
+  B.cmpLt(RT0, RJ, RFort);
+  B.condBr(RT0, IBody, FDone);
+
+  B.setInsertPoint(IBody);
+  // x = in[frame, j]  (streamed: the only DRAM traffic)
+  B.shl(RT1, RJ, RTwo);
+  B.add(RT1, RT1, RFB);
+  B.load(RX, RT1, 0);
+  // c = coef[j & 15]  (L1 resident)
+  B.and_(RT2, RJ, RCMask);
+  B.shl(RT2, RT2, RTwo);
+  B.add(RT2, RT2, RCoef);
+  B.load(RC, RT2, 0);
+  // h = hist[(j + frame) & 1023]  (L1 resident)
+  B.add(RT3, RJ, RFrame);
+  B.and_(RT3, RT3, RHMask);
+  B.shl(RT3, RT3, RTwo);
+  B.add(RT3, RT3, RHist);
+  B.load(RH, RT3, 0);
+  // acc += x*c + h*c  (multiply-heavy dependent chain)
+  B.mul(RT1, RX, RC);
+  B.add(RAcc, RAcc, RT1);
+  B.mul(RT2, RH, RC);
+  B.add(RAcc, RAcc, RT2);
+  // hist[idx] = acc (bounded)
+  B.and_(RT1, RAcc, RHMask);
+  B.store(RT1, RT3, 0);
+  B.add(RJ, RJ, ROne);
+  B.jump(IHead);
+
+  B.setInsertPoint(FDone);
+  // Long-latency normalization divide, then the voiced/unvoiced branch.
+  B.div(RT0, RAcc, RScale);
+  B.shl(RT1, RFrame, RTwo);
+  B.add(RT1, RT1, ROut);
+  B.store(RT0, RT1, 0);
+  B.and_(RT2, RAcc, RVBit);
+  B.condBr(RT2, Voiced, FLatch);
+
+  B.setInsertPoint(Voiced);
+  // Extra smoothing multiplies on the voiced path.
+  B.mul(RT0, RT0, RScale);
+  B.shr(RT0, RT0, RTwo);
+  B.mul(RT0, RT0, RTwo);
+  B.shr(RT0, RT0, ROne);
+  B.jump(FLatch);
+
+  B.setInsertPoint(FLatch);
+  B.add(RFrame, RFrame, ROne);
+  B.jump(FHead);
+
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  Workload W;
+  W.Name = "gsm";
+  W.Fn = Fn;
+  W.Inputs.push_back(
+      {"speech1", "speech", [](Simulator &Sim) {
+         const uint64_t Frames = 2200;
+         Sim.setInitialReg(RF, static_cast<int64_t>(Frames));
+         fillRandomWords(Sim, CoefOff, 64, 4096, 0x65731);
+         fillRandomWords(Sim, HistOff, 1024, 4096, 0x65732);
+         fillRandomWords(Sim, InOff, Frames * 40, 1 << 16, 0x65733);
+       }});
+  W.Inputs.push_back(
+      {"speech2", "speech", [](Simulator &Sim) {
+         const uint64_t Frames = 1700;
+         Sim.setInitialReg(RF, static_cast<int64_t>(Frames));
+         fillRandomWords(Sim, CoefOff, 64, 4096, 0x75731);
+         fillRandomWords(Sim, HistOff, 1024, 4096, 0x75732);
+         fillRandomWords(Sim, InOff, Frames * 40, 1 << 16, 0x75733);
+       }});
+  return W;
+}

@@ -1,0 +1,272 @@
+//===- workloads/MpegDecode.cpp - MPEG-2 decoder analogue ------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Shape: a frame loop with a per-frame VLD-like bit-unpacking loop
+// (compute bound, L1 resident) followed by a dispatch on the frame type
+// read from the input's frame-pattern table:
+//  * I frames run an IDCT-like integer kernel over an L1-resident
+//    coefficient table (compute bound);
+//  * P frames run motion compensation streaming one large reference
+//    plane (DRAM misses, software pipelined);
+//  * B frames average two reference planes (double the DRAM traffic).
+// Inputs come in the paper's two categories: "noB" streams (100b, bbc —
+// I/P only) and "B2" streams (flwr, cact — two B frames between
+// anchors). Category changes which paths are hot, which is exactly what
+// Section 6.4's profile-mismatch study needs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadCommon.h"
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace cdvs;
+
+namespace {
+
+constexpr int RZero = 0;
+constexpr int RFCount = 1; // frame count (parameter)
+constexpr int RKIters = 2; // per-frame kernel iterations (parameter)
+constexpr int RPat = 3;    // frame-type pattern base
+constexpr int RRefA = 4;
+constexpr int RRefB = 5;
+constexpr int RCur = 6;
+constexpr int RCoef = 7;
+constexpr int RFrame = 8;
+constexpr int RType = 9;
+constexpr int RK = 10;
+constexpr int RT0 = 11;
+constexpr int RT1 = 12;
+constexpr int RT2 = 13;
+constexpr int RT3 = 14;
+constexpr int RA = 15;    // pipelined ref A value
+constexpr int RA1 = 16;
+constexpr int RB = 17;    // ref B value
+constexpr int RB1 = 18;
+constexpr int ROne = 19;
+constexpr int RTwo = 20;
+constexpr int RMask = 21;  // plane index mask
+constexpr int RCMask = 22; // coef index mask
+constexpr int RMot = 23;   // motion offset (parameter, input dependent)
+constexpr int RPMask = 24; // pattern index mask
+constexpr int RRes = 25;   // residual value
+constexpr int RA2 = 26;    // ref A value, two iterations ahead
+constexpr int RB2 = 27;    // ref B value, two iterations ahead
+constexpr int RVld = 28;   // VLD loop counter / state
+
+constexpr uint64_t PatOff = 0;              // 256 words
+constexpr uint64_t CoefOff = 2 * 1024;      // 256 words
+constexpr uint64_t RefAOff = 64 * 1024;     // 128K words = 512 KB
+constexpr uint64_t RefBOff = 576 * 1024;    // 128K words
+constexpr uint64_t CurOff = 1088 * 1024;    // output plane (512 KB)
+constexpr uint64_t MemSize = 1664 * 1024;
+// Each reference plane is as large as the whole L2, so motion
+// compensation streams from DRAM instead of hitting the L2.
+constexpr uint64_t PlaneWords = 128 * 1024;
+
+} // namespace
+
+Workload cdvs::makeMpegDecode() {
+  auto Fn = std::make_shared<Function>("mpeg_decode", 29, MemSize);
+  IRBuilder B(*Fn);
+
+  int Entry = B.createBlock("entry");
+  int FHead = B.createBlock("frame_head");
+  int VldHead = B.createBlock("vld_head");
+  int VldBody = B.createBlock("vld_body");
+  int FBody = B.createBlock("frame_dispatch");
+  int ChkP = B.createBlock("check_p");
+  int IHead = B.createBlock("idct_head");
+  int IBody = B.createBlock("idct_body");
+  int PHead = B.createBlock("mc_p_head");
+  int PBody = B.createBlock("mc_p_body");
+  int BHead = B.createBlock("mc_b_head");
+  int BBody = B.createBlock("mc_b_body");
+  int FLatch = B.createBlock("frame_latch");
+  int Exit = B.createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  B.movImm(RZero, 0);
+  B.movImm(ROne, 1);
+  B.movImm(RTwo, 2);
+  B.movImm(RMask, static_cast<int64_t>(PlaneWords - 1));
+  B.movImm(RCMask, 255);
+  B.movImm(RPMask, 255);
+  B.movImm(RPat, static_cast<int64_t>(PatOff));
+  B.movImm(RCoef, static_cast<int64_t>(CoefOff));
+  B.movImm(RRefA, static_cast<int64_t>(RefAOff));
+  B.movImm(RRefB, static_cast<int64_t>(RefBOff));
+  B.movImm(RCur, static_cast<int64_t>(CurOff));
+  B.movImm(RFrame, 0);
+  B.jump(FHead);
+
+  B.setInsertPoint(FHead);
+  B.cmpLt(RT0, RFrame, RFCount);
+  B.condBr(RT0, VldHead, Exit);
+
+  // ---- Per-frame VLD: bit-unpacking arithmetic on L1-resident
+  // coefficient words (a mid-size compute-bound region). ----
+  B.setInsertPoint(VldHead);
+  B.movImm(RVld, 0);
+  B.jump(VldBody);
+
+  B.setInsertPoint(VldBody);
+  B.and_(RT1, RVld, RCMask);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RCoef);
+  B.load(RT2, RT1, 0);
+  B.xor_(RT2, RT2, RVld);
+  B.shr(RT3, RT2, ROne);
+  B.add(RT3, RT3, RT2);
+  B.and_(RT3, RT3, RCMask);
+  B.add(RVld, RVld, ROne);
+  B.movImm(RT0, 160);
+  B.cmpLt(RT0, RVld, RT0);
+  B.condBr(RT0, VldBody, FBody);
+
+  B.setInsertPoint(FBody);
+  // type = pattern[frame & 255]; 0 = I, 1 = P, 2 = B.
+  B.and_(RT1, RFrame, RPMask);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RPat);
+  B.load(RType, RT1, 0);
+  B.movImm(RK, 0);
+  B.cmpEq(RT0, RType, RZero);
+  B.condBr(RT0, IHead, ChkP);
+
+  B.setInsertPoint(ChkP);
+  B.cmpEq(RT0, RType, ROne);
+  B.condBr(RT0, PHead, BHead);
+
+  // ---- I frames: IDCT-like integer kernel on L1-resident tables. ----
+  B.setInsertPoint(IHead);
+  B.cmpLt(RT0, RK, RKIters);
+  B.condBr(RT0, IBody, FLatch);
+
+  B.setInsertPoint(IBody);
+  B.and_(RT1, RK, RCMask);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RCoef);
+  B.load(RT2, RT1, 0);
+  B.mul(RT3, RT2, RT2);     // butterfly-ish multiplies
+  B.shr(RT3, RT3, RTwo);
+  B.mul(RT3, RT3, RT2);
+  B.shr(RT3, RT3, RTwo);
+  B.add(RT3, RT3, RK);
+  // cur[(k*33 + frame) & mask] = value
+  B.movImm(RT0, 33);
+  B.mul(RT0, RK, RT0);
+  B.add(RT0, RT0, RFrame);
+  B.and_(RT0, RT0, RMask);
+  B.shl(RT0, RT0, RTwo);
+  B.add(RT0, RT0, RCur);
+  B.store(RT3, RT0, 0);
+  B.add(RK, RK, ROne);
+  B.jump(IHead);
+
+  // ---- P frames: one reference plane streamed, pipelined. ----
+  B.setInsertPoint(PHead);
+  B.cmpLt(RT0, RK, RKIters);
+  B.condBr(RT0, PBody, FLatch);
+
+  B.setInsertPoint(PBody);
+  // addr = refA + ((k*9 + frame*motion) & mask)*4 — strided stream.
+  B.movImm(RT1, 9);
+  B.mul(RT1, RK, RT1);
+  B.mul(RT2, RFrame, RMot);
+  B.add(RT1, RT1, RT2);
+  B.and_(RT1, RT1, RMask);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RRefA);
+  B.load(RA2, RT1, 0); // pipelined: consumed two iterations later as RA
+  // residual = coef[k & 255]
+  B.and_(RT2, RK, RCMask);
+  B.shl(RT2, RT2, RTwo);
+  B.add(RT2, RT2, RCoef);
+  B.load(RRes, RT2, 0);
+  B.add(RT3, RA, RRes);
+  B.shr(RT3, RT3, ROne);
+  B.shl(RT0, RK, RTwo);
+  B.add(RT0, RT0, RCur);
+  B.store(RT3, RT0, 0);
+  B.mov(RA, RA1);
+  B.mov(RA1, RA2);
+  B.add(RK, RK, ROne);
+  B.jump(PHead);
+
+  // ---- B frames: two reference planes streamed and averaged. ----
+  B.setInsertPoint(BHead);
+  B.cmpLt(RT0, RK, RKIters);
+  B.condBr(RT0, BBody, FLatch);
+
+  B.setInsertPoint(BBody);
+  B.movImm(RT1, 9);
+  B.mul(RT1, RK, RT1);
+  B.mul(RT2, RFrame, RMot);
+  B.add(RT1, RT1, RT2);
+  B.and_(RT1, RT1, RMask);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT3, RT1, RRefA);
+  B.load(RA2, RT3, 0);
+  B.add(RT3, RT1, RRefB);
+  B.load(RB2, RT3, 0);
+  // avg of last iteration's pipelined values + residual
+  B.add(RT2, RA, RB);
+  B.shr(RT2, RT2, ROne);
+  B.and_(RT0, RK, RCMask);
+  B.shl(RT0, RT0, RTwo);
+  B.add(RT0, RT0, RCoef);
+  B.load(RRes, RT0, 0);
+  B.add(RT2, RT2, RRes);
+  B.shl(RT0, RK, RTwo);
+  B.add(RT0, RT0, RCur);
+  B.store(RT2, RT0, 0);
+  B.mov(RA, RA1);
+  B.mov(RA1, RA2);
+  B.mov(RB, RB1);
+  B.mov(RB1, RB2);
+  B.add(RK, RK, ROne);
+  B.jump(BHead);
+
+  B.setInsertPoint(FLatch);
+  B.add(RFrame, RFrame, ROne);
+  B.jump(FHead);
+
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  // Input construction ------------------------------------------------
+  auto makeSetup = [](uint64_t Frames, uint64_t Iters, int64_t Motion,
+                      std::vector<uint32_t> Pattern, uint64_t Seed) {
+    return [=](Simulator &Sim) {
+      Sim.setInitialReg(RFCount, static_cast<int64_t>(Frames));
+      Sim.setInitialReg(RKIters, static_cast<int64_t>(Iters));
+      Sim.setInitialReg(RMot, Motion);
+      fillPatternWords(Sim, PatOff, 256, Pattern);
+      fillRandomWords(Sim, CoefOff, 256, 1024, Seed);
+      fillRandomWords(Sim, RefAOff, PlaneWords, 255, Seed + 1);
+      fillRandomWords(Sim, RefBOff, PlaneWords, 255, Seed + 2);
+    };
+  };
+
+  // Categories: "noB" = I,P,P,P,...; "B2" = I,B,B,P,B,B,...
+  std::vector<uint32_t> NoB = {0, 1, 1, 1, 1, 1};
+  std::vector<uint32_t> B2 = {0, 2, 2, 1, 2, 2};
+
+  Workload W;
+  W.Name = "mpeg_decode";
+  W.Fn = Fn;
+  W.Inputs.push_back(
+      {"100b", "noB", makeSetup(96, 700, 1365, NoB, 0x100b)});
+  W.Inputs.push_back(
+      {"bbc", "noB", makeSetup(128, 600, 1311, NoB, 0xbbc)});
+  W.Inputs.push_back(
+      {"flwr", "B2", makeSetup(96, 700, 1365, B2, 0xf1e2)});
+  W.Inputs.push_back(
+      {"cact", "B2", makeSetup(120, 640, 1237, B2, 0xcac7)});
+  return W;
+}

@@ -1,0 +1,175 @@
+//===- workloads/Mpg123.cpp - MP3 decoder analogue -------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Shape: a granule loop; each granule computes a 32-tap windowed dot
+// product (window table L1-resident, sample ring streamed from DRAM)
+// and every 16th granule additionally shifts a region of the ring
+// (streaming copy). The dot-product chain is FP-flavored dependent
+// compute; the ring walk supplies the invariant memory time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadCommon.h"
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace cdvs;
+
+namespace {
+
+constexpr int RZero = 0;
+constexpr int RG = 1;      // granule count (parameter)
+constexpr int RWin = 2;    // window table base
+constexpr int RRing = 3;   // sample ring base
+constexpr int ROut = 4;    // output base
+constexpr int RGran = 5;
+constexpr int RJ = 6;
+constexpr int RAcc = 7;
+constexpr int RT0 = 8;
+constexpr int RT1 = 9;
+constexpr int RT2 = 10;
+constexpr int RW = 11;
+constexpr int RS = 12;
+constexpr int ROne = 13;
+constexpr int RTwo = 14;
+constexpr int RTaps = 15;   // 32
+constexpr int RWMask = 16;  // 31
+constexpr int RRMask = 17;  // ring mask (words)
+constexpr int RSh = 18;     // shift-iteration count
+constexpr int RShMask = 19; // 15 (every 16th granule shifts)
+constexpr int RT3 = 20;
+constexpr int RBase = 21;   // ring position of this granule
+
+constexpr uint64_t WinOff = 0;            // 32 words
+constexpr uint64_t OutOff = 4 * 1024;
+constexpr uint64_t RingOff = 128 * 1024;  // 160K words = 640 KB
+constexpr uint64_t RingWords = 160 * 1024;
+constexpr uint64_t MemSize = 1024 * 1024;
+
+} // namespace
+
+Workload cdvs::makeMpg123() {
+  auto Fn = std::make_shared<Function>("mpg123", 24, MemSize);
+  IRBuilder B(*Fn);
+
+  int Entry = B.createBlock("entry");
+  int GHead = B.createBlock("granule_head");
+  int GBody = B.createBlock("granule_body");
+  int DHead = B.createBlock("dot_head");
+  int DBody = B.createBlock("dot_body");
+  int GDone = B.createBlock("granule_done");
+  int SHead = B.createBlock("shift_head");
+  int SBody = B.createBlock("shift_body");
+  int GLatch = B.createBlock("granule_latch");
+  int Exit = B.createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  B.movImm(RZero, 0);
+  B.movImm(ROne, 1);
+  B.movImm(RTwo, 2);
+  B.movImm(RTaps, 32);
+  B.movImm(RWMask, 31);
+  B.movImm(RRMask, static_cast<int64_t>(RingWords - 1));
+  B.movImm(RShMask, 15);
+  B.movImm(RWin, static_cast<int64_t>(WinOff));
+  B.movImm(ROut, static_cast<int64_t>(OutOff));
+  B.movImm(RRing, static_cast<int64_t>(RingOff));
+  B.movImm(RGran, 0);
+  B.jump(GHead);
+
+  B.setInsertPoint(GHead);
+  B.cmpLt(RT0, RGran, RG);
+  B.condBr(RT0, GBody, Exit);
+
+  B.setInsertPoint(GBody);
+  // Ring base advances 37 words per granule (wraps over 640 KB).
+  B.movImm(RT1, 37);
+  B.mul(RBase, RGran, RT1);
+  B.and_(RBase, RBase, RRMask);
+  B.movImm(RJ, 0);
+  B.movImm(RAcc, 0);
+  B.jump(DHead);
+
+  B.setInsertPoint(DHead);
+  B.cmpLt(RT0, RJ, RTaps);
+  B.condBr(RT0, DBody, GDone);
+
+  B.setInsertPoint(DBody);
+  // w = window[j]  (L1 hit), s = ring[(base + j) & mask] (streams DRAM)
+  B.shl(RT1, RJ, RTwo);
+  B.add(RT1, RT1, RWin);
+  B.load(RW, RT1, 0);
+  B.add(RT2, RBase, RJ);
+  B.and_(RT2, RT2, RRMask);
+  B.shl(RT2, RT2, RTwo);
+  B.add(RT2, RT2, RRing);
+  B.load(RS, RT2, 0);
+  B.fmul(RT3, RW, RS);
+  B.fadd(RAcc, RAcc, RT3);
+  B.add(RJ, RJ, ROne);
+  B.jump(DHead);
+
+  B.setInsertPoint(GDone);
+  B.shr(RT0, RAcc, RTwo);
+  B.and_(RT1, RGran, RWMask);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, ROut);
+  B.store(RT0, RT1, 0);
+  // Every 16th granule runs the ring-shift path.
+  B.and_(RT2, RGran, RShMask);
+  B.cmpEq(RT2, RT2, RZero);
+  B.condBr(RT2, SHead, GLatch);
+
+  B.setInsertPoint(SHead);
+  B.movImm(RSh, 0);
+  B.jump(SBody);
+
+  B.setInsertPoint(SBody);
+  // ring[(base + 512 + sh) & m] = ring[(base + sh) & m] — streaming copy.
+  B.add(RT1, RBase, RSh);
+  B.and_(RT1, RT1, RRMask);
+  B.shl(RT1, RT1, RTwo);
+  B.add(RT1, RT1, RRing);
+  B.load(RT3, RT1, 0);
+  B.movImm(RT0, 512);
+  B.add(RT2, RBase, RT0);
+  B.add(RT2, RT2, RSh);
+  B.and_(RT2, RT2, RRMask);
+  B.shl(RT2, RT2, RTwo);
+  B.add(RT2, RT2, RRing);
+  B.store(RT3, RT2, 0);
+  B.add(RSh, RSh, ROne);
+  B.movImm(RT0, 224);
+  B.cmpLt(RT0, RSh, RT0);
+  B.condBr(RT0, SBody, GLatch);
+
+  B.setInsertPoint(GLatch);
+  B.add(RGran, RGran, ROne);
+  B.jump(GHead);
+
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  Workload W;
+  W.Name = "mpg123";
+  W.Fn = Fn;
+  W.Inputs.push_back(
+      {"track1", "audio", [](Simulator &Sim) {
+         const uint64_t Granules = 2600;
+         Sim.setInitialReg(RG, static_cast<int64_t>(Granules));
+         fillRandomWords(Sim, WinOff, 32, 512, 0x3123a);
+         fillRandomWords(Sim, RingOff, RingWords, 1 << 12, 0x3123b);
+       }});
+  W.Inputs.push_back(
+      {"track2", "audio", [](Simulator &Sim) {
+         const uint64_t Granules = 2000;
+         Sim.setInitialReg(RG, static_cast<int64_t>(Granules));
+         fillRandomWords(Sim, WinOff, 32, 512, 0x4123a);
+         fillRandomWords(Sim, RingOff, RingWords, 1 << 12, 0x4123b);
+       }});
+  return W;
+}

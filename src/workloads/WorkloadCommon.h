@@ -1,0 +1,43 @@
+//===- workloads/WorkloadCommon.h - Shared workload helpers -----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the workload generators: deterministic memory
+/// initialization and the register-convention constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_WORKLOADS_WORKLOADCOMMON_H
+#define CDVS_WORKLOADS_WORKLOADCOMMON_H
+
+#include "sim/Simulator.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+
+namespace cdvs {
+
+/// Fills \p Count 32-bit words starting at byte offset \p Offset with
+/// deterministic pseudo-random values in [0, Range).
+inline void fillRandomWords(Simulator &Sim, uint64_t Offset, uint64_t Count,
+                            uint64_t Range, uint64_t Seed) {
+  Rng R(Seed);
+  for (uint64_t I = 0; I < Count; ++I)
+    Sim.setInitialMem32(Offset + 4 * I,
+                        static_cast<uint32_t>(R.nextBelow(Range)));
+}
+
+/// Fills words with a repeating pattern (used for frame-type tables).
+inline void fillPatternWords(Simulator &Sim, uint64_t Offset,
+                             uint64_t Count, const std::vector<uint32_t> &
+                             Pattern) {
+  for (uint64_t I = 0; I < Count; ++I)
+    Sim.setInitialMem32(Offset + 4 * I, Pattern[I % Pattern.size()]);
+}
+
+} // namespace cdvs
+
+#endif // CDVS_WORKLOADS_WORKLOADCOMMON_H

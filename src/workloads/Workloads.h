@@ -1,0 +1,86 @@
+//===- workloads/Workloads.h - MediaBench-analogue programs -----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the MediaBench programs the paper evaluates
+/// (adpcm, epic, gsm, mpeg2-decode, mpg123, ghostscript). Each is a
+/// register-machine IR program whose loop structure, compute/memory mix,
+/// and working-set size are tuned so the extracted program parameters
+/// (Noverlap, Ndependent, Ncache, tinvariant) land in the same regimes
+/// as the paper's Table 7 — the evaluation depends only on those shapes,
+/// not on codec semantics (see DESIGN.md, substitutions).
+///
+/// Inputs: every workload ships at least one input; the mpeg analogue
+/// ships four inputs in two categories ("noB" = I/P only, "B2" = two B
+/// frames between anchors), mirroring the paper's Section 6.4 study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_WORKLOADS_WORKLOADS_H
+#define CDVS_WORKLOADS_WORKLOADS_H
+
+#include "ir/Function.h"
+#include "sim/Simulator.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cdvs {
+
+/// One named input data set for a workload.
+struct WorkloadInput {
+  std::string Name;     ///< e.g. "flwr"
+  std::string Category; ///< e.g. "B2" or "noB"
+  /// Writes registers and the initial memory image for this input.
+  std::function<void(Simulator &)> Setup;
+};
+
+/// A benchmark program plus its inputs.
+struct Workload {
+  std::string Name;
+  std::shared_ptr<Function> Fn; ///< shared: Simulator holds a reference
+  std::vector<WorkloadInput> Inputs;
+
+  const WorkloadInput &input(const std::string &Name) const;
+  const WorkloadInput &defaultInput() const { return Inputs.front(); }
+};
+
+/// ADPCM speech codec analogue: tiny compute kernel streaming a large
+/// sample buffer; software-pipelined loads give memory overlap.
+Workload makeAdpcm();
+
+/// EPIC image codec analogue: two wavelet-like passes over an image that
+/// fits in L2 but not L1; FP-heavy compute.
+Workload makeEpic();
+
+/// GSM speech codec analogue: multiply-heavy LTP filter over L1-resident
+/// state; little DRAM traffic (dependent-compute bound).
+Workload makeGsm();
+
+/// MPEG-2 decoder analogue: per-frame dispatch to I/P/B paths; motion
+/// compensation streams large reference frames. Inputs: 100b, bbc (noB
+/// category), flwr, cact (B2 category).
+Workload makeMpegDecode();
+
+/// MP3 decoder analogue: subband synthesis dot products plus a periodic
+/// ring-buffer shift that streams DRAM.
+Workload makeMpg123();
+
+/// Ghostscript analogue: span rasterization writing a framebuffer; store
+/// misses are hidden by the write buffer.
+Workload makeGhostscript();
+
+/// All six, in the paper's usual order.
+std::vector<Workload> allWorkloads();
+
+/// Finds a workload by name (asserts on unknown names).
+Workload workloadByName(const std::string &Name);
+
+} // namespace cdvs
+
+#endif // CDVS_WORKLOADS_WORKLOADS_H

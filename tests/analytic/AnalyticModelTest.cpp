@@ -1,0 +1,272 @@
+//===- tests/analytic/AnalyticModelTest.cpp - Section 3 model -------------===//
+
+#include "analytic/AnalyticModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cdvs;
+
+namespace {
+
+AnalyticModel paperModel() {
+  return AnalyticModel(VfModel::paperDefault(), 0.6, 1.65);
+}
+
+/// A memory-dominated parameter point: Noverlap > Ncache, generous miss
+/// window, moderately lax deadline.
+AnalyticParams memoryDominatedParams() {
+  AnalyticParams P;
+  P.NoverlapCycles = 4e6;
+  P.NcacheCycles = 0.3e6;
+  P.NdependentCycles = 5.8e6;
+  P.TinvariantSeconds = 20e-3;
+  P.TdeadlineSeconds = 30e-3;
+  return P;
+}
+
+TEST(Analytic, FinvariantDefinition) {
+  AnalyticModel M = paperModel();
+  AnalyticParams P = memoryDominatedParams();
+  EXPECT_NEAR(M.finvariant(P), (4e6 - 0.3e6) / 20e-3, 1.0);
+  P.NcacheCycles = P.NoverlapCycles;
+  EXPECT_DOUBLE_EQ(M.finvariant(P), 0.0);
+}
+
+TEST(Analytic, TotalTimeMatchesRegions) {
+  AnalyticModel M = paperModel();
+  AnalyticParams P = memoryDominatedParams();
+  double F = 500e6;
+  double Region1 = std::max(P.TinvariantSeconds + P.NcacheCycles / F,
+                            P.NoverlapCycles / F);
+  EXPECT_NEAR(M.totalTimeAt(P, F), Region1 + P.NdependentCycles / F,
+              1e-12);
+}
+
+TEST(Analytic, ClassifyRegimes) {
+  AnalyticModel M = paperModel();
+  AnalyticParams P = memoryDominatedParams();
+  EXPECT_EQ(M.classify(P), AnalyticCase::MemoryDominated);
+
+  // Slack: cache-hit stream at least as big as the overlap stream
+  // (shorter miss window keeps the point feasible).
+  AnalyticParams Slack = P;
+  Slack.NcacheCycles = Slack.NoverlapCycles + 1;
+  Slack.TinvariantSeconds = 10e-3;
+  EXPECT_EQ(M.classify(Slack), AnalyticCase::MemoryDominatedSlack);
+
+  // Computation dominated: negligible miss window.
+  AnalyticParams Comp = P;
+  Comp.TinvariantSeconds = 1e-6;
+  EXPECT_EQ(M.classify(Comp), AnalyticCase::ComputationDominated);
+
+  // Infeasible: deadline below the fastest possible execution.
+  AnalyticParams Bad = P;
+  Bad.TdeadlineSeconds = 1e-6;
+  EXPECT_EQ(M.classify(Bad), AnalyticCase::Infeasible);
+}
+
+TEST(Analytic, SingleFrequencyMeetsDeadlineExactly) {
+  AnalyticModel M = paperModel();
+  AnalyticParams P = memoryDominatedParams();
+  double E = M.singleFrequencyEnergy(P);
+  ASSERT_TRUE(std::isfinite(E));
+  // Invert: the chosen frequency satisfies T(f*) == deadline (memory
+  // exposed at f*, so f* = (Ncache + Ndep) / (tdl - tinv)).
+  double FStar = (P.NcacheCycles + P.NdependentCycles) /
+                 (P.TdeadlineSeconds - P.TinvariantSeconds);
+  double V = M.vfModel().voltageFor(FStar);
+  double Cycles =
+      std::max(P.NoverlapCycles, P.NcacheCycles) + P.NdependentCycles;
+  EXPECT_NEAR(E, Cycles * V * V, 1e-6 * E);
+}
+
+TEST(Analytic, ComputationDominatedHasNoSavings) {
+  AnalyticModel M = paperModel();
+  AnalyticParams P;
+  P.NoverlapCycles = 5e6;
+  P.NcacheCycles = 1e6;
+  P.NdependentCycles = 5e6;
+  P.TinvariantSeconds = 1e-6; // negligible window
+  P.TdeadlineSeconds = 25e-3;
+  ASSERT_EQ(M.classify(P), AnalyticCase::ComputationDominated);
+  ContinuousSolution S = M.solveContinuous(P);
+  EXPECT_LT(S.SavingRatio, 1e-3);
+  EXPECT_NEAR(S.V1, S.V2, 1e-3); // single voltage
+}
+
+TEST(Analytic, SlackCaseHasNoContinuousSavings) {
+  AnalyticModel M = paperModel();
+  AnalyticParams P;
+  P.NoverlapCycles = 1e6;
+  P.NcacheCycles = 4e6; // Ncache >= Noverlap
+  P.NdependentCycles = 5e6;
+  P.TinvariantSeconds = 5e-3;
+  P.TdeadlineSeconds = 40e-3;
+  ASSERT_EQ(M.classify(P), AnalyticCase::MemoryDominatedSlack);
+  ContinuousSolution S = M.solveContinuous(P);
+  EXPECT_LT(S.SavingRatio, 1e-3);
+}
+
+TEST(Analytic, MemoryDominatedTwoFrequencySavings) {
+  AnalyticModel M = paperModel();
+  AnalyticParams P = memoryDominatedParams();
+  ContinuousSolution S = M.solveContinuous(P);
+  ASSERT_EQ(S.Kind, AnalyticCase::MemoryDominated);
+  EXPECT_GT(S.SavingRatio, 0.01);
+  // Two-frequency structure: slow overlap, fast dependent phase.
+  EXPECT_LT(S.V1, S.V2);
+  EXPECT_LE(S.EnergyMulti, S.EnergySingle + 1e-9);
+}
+
+TEST(Analytic, EnergyAtV1CurveIsFiniteNearOptimumAndInfeasibleAtEdges) {
+  AnalyticModel M = paperModel();
+  AnalyticParams P = memoryDominatedParams();
+  ContinuousSolution S = M.solveContinuous(P);
+  double AtOpt = M.energyAtV1(P, S.V1);
+  EXPECT_TRUE(std::isfinite(AtOpt));
+  EXPECT_NEAR(AtOpt, S.EnergyMulti, 1e-6 * AtOpt);
+  // A too-slow overlap region leaves no time for the dependent phase.
+  AnalyticParams Tight = P;
+  Tight.TdeadlineSeconds = M.totalTimeAt(P, M.vfModel().frequencyAt(1.65))
+                           * 1.001;
+  EXPECT_FALSE(std::isfinite(M.energyAtV1(Tight, 0.6)));
+}
+
+TEST(Analytic, InfeasibleDeadline) {
+  AnalyticModel M = paperModel();
+  AnalyticParams P = memoryDominatedParams();
+  P.TdeadlineSeconds = 1e-6;
+  EXPECT_FALSE(std::isfinite(M.singleFrequencyEnergy(P)));
+  ContinuousSolution S = M.solveContinuous(P);
+  EXPECT_EQ(S.Kind, AnalyticCase::Infeasible);
+  DiscreteSolution D = M.solveDiscrete(P, ModeTable::xscale3());
+  EXPECT_EQ(D.Kind, AnalyticCase::Infeasible);
+}
+
+TEST(Analytic, DiscreteSingleBestPicksSlowestFeasibleLevel) {
+  AnalyticModel M = paperModel();
+  ModeTable T = ModeTable::xscale3();
+  AnalyticParams P = memoryDominatedParams();
+  // Very lax: even 200 MHz meets it.
+  P.TdeadlineSeconds = M.totalTimeAt(P, 200e6) * 1.01;
+  double E = M.discreteSingleBest(P, T);
+  double Cycles =
+      std::max(P.NoverlapCycles, P.NcacheCycles) + P.NdependentCycles;
+  EXPECT_NEAR(E, Cycles * 0.7 * 0.7, 1e-6 * E);
+}
+
+TEST(Analytic, DiscreteBeatsOrMatchesSingleLevel) {
+  AnalyticModel M = paperModel();
+  VfModel Vf = VfModel::paperDefault();
+  for (int Levels : {3, 7, 13}) {
+    ModeTable T = ModeTable::evenVoltageLevels(Levels, 0.7, 1.65, Vf);
+    AnalyticParams P = memoryDominatedParams();
+    DiscreteSolution D = M.solveDiscrete(P, T);
+    ASSERT_NE(D.Kind, AnalyticCase::Infeasible);
+    EXPECT_LE(D.EnergyMulti, D.EnergySingle + 1e-9) << Levels;
+    EXPECT_GE(D.SavingRatio, 0.0);
+  }
+}
+
+TEST(Analytic, MoreLevelsShrinkDiscreteSavings) {
+  // The paper's headline discrete result: finer mode tables leave less
+  // for intra-program DVS. Compare the average saving over a parameter
+  // spread for 3 vs 13 levels.
+  AnalyticModel M = paperModel();
+  VfModel Vf = VfModel::paperDefault();
+  ModeTable T3 = ModeTable::evenVoltageLevels(3, 0.7, 1.65, Vf);
+  ModeTable T13 = ModeTable::evenVoltageLevels(13, 0.7, 1.65, Vf);
+  double Sum3 = 0.0, Sum13 = 0.0;
+  int Count = 0;
+  for (double DlScale : {1.2, 1.5, 2.0, 3.0}) {
+    AnalyticParams P = memoryDominatedParams();
+    P.TdeadlineSeconds =
+        M.totalTimeAt(P, M.vfModel().frequencyAt(1.65)) * DlScale;
+    DiscreteSolution D3 = M.solveDiscrete(P, T3);
+    DiscreteSolution D13 = M.solveDiscrete(P, T13);
+    if (D3.Kind == AnalyticCase::Infeasible)
+      continue;
+    Sum3 += D3.SavingRatio;
+    Sum13 += D13.SavingRatio;
+    ++Count;
+  }
+  ASSERT_GT(Count, 0);
+  EXPECT_GE(Sum3, Sum13);
+}
+
+TEST(Analytic, NestedTablesOnlyImprove) {
+  // Refining a mode table by *adding* levels (supersets) can only widen
+  // the discrete schedule space, so optimal energy weakly decreases.
+  //
+  // Note the continuous 2-voltage optimum is NOT a strict lower bound on
+  // the discrete construction: the memory-dominated y-sweep (after the
+  // paper, Section 3.4) may run the miss-window compute at a different
+  // speed than the hit-paced stream — two speeds inside region 1, which
+  // the single-v1 continuous analysis forbids itself. So we also only
+  // check the discrete result lands in the same ballpark as the
+  // continuous one, not above it.
+  AnalyticModel M = paperModel();
+  VfModel Vf = VfModel::paperDefault();
+  AnalyticParams P = memoryDominatedParams();
+
+  auto level = [&](double V) { return VoltageLevel{V, Vf.frequencyAt(V)}; };
+  ModeTable T2({level(0.7), level(1.65)});
+  ModeTable T3({level(0.7), level(1.175), level(1.65)});
+  ModeTable T5({level(0.7), level(0.94), level(1.175), level(1.41),
+                level(1.65)});
+  DiscreteSolution D2 = M.solveDiscrete(P, T2);
+  DiscreteSolution D3 = M.solveDiscrete(P, T3);
+  DiscreteSolution D5 = M.solveDiscrete(P, T5);
+  ASSERT_NE(D2.Kind, AnalyticCase::Infeasible);
+  EXPECT_LE(D3.EnergyMulti, D2.EnergyMulti * (1.0 + 1e-9));
+  EXPECT_LE(D5.EnergyMulti, D3.EnergyMulti * (1.0 + 1e-9));
+
+  ContinuousSolution C = M.solveContinuous(P);
+  EXPECT_GT(D5.EnergyMulti, 0.8 * C.EnergyMulti);
+  EXPECT_LT(D5.EnergyMulti, 1.5 * C.EnergyMulti);
+}
+
+TEST(Analytic, DiscreteEminYCurveHasFiniteMinimum) {
+  AnalyticModel M = paperModel();
+  ModeTable T = ModeTable::evenVoltageLevels(7, 0.7, 1.65,
+                                             VfModel::paperDefault());
+  AnalyticParams P = memoryDominatedParams();
+  DiscreteSolution D = M.solveDiscrete(P, T);
+  ASSERT_EQ(D.Kind, AnalyticCase::MemoryDominated);
+  double EAtBest = M.discreteEminAtY(P, T, D.BestY);
+  EXPECT_TRUE(std::isfinite(EAtBest));
+  // Scanning y must never find anything below the solver's choice.
+  double YLo = P.NcacheCycles / T.maxFrequency();
+  double YHi = P.TdeadlineSeconds - P.TinvariantSeconds -
+               P.NdependentCycles / T.maxFrequency();
+  for (int I = 1; I < 60; ++I) {
+    double Y = YLo + (YHi - YLo) * I / 60.0;
+    double E = M.discreteEminAtY(P, T, Y);
+    if (std::isfinite(E)) {
+      EXPECT_GE(E, EAtBest - 1e-6 * EAtBest) << "y=" << Y;
+    }
+  }
+}
+
+TEST(Analytic, SavingsRequirePaperConditions) {
+  // Section 3.3.3: savings require Noverlap > Ncache AND
+  // fideal > finvariant. Violate each and check zero savings.
+  AnalyticModel M = paperModel();
+  AnalyticParams P = memoryDominatedParams();
+  ContinuousSolution Good = M.solveContinuous(P);
+  EXPECT_GT(Good.SavingRatio, 0.0);
+
+  AnalyticParams NoOverlap = P;
+  NoOverlap.NoverlapCycles = NoOverlap.NcacheCycles / 2.0;
+  ContinuousSolution S1 = M.solveContinuous(NoOverlap);
+  EXPECT_LT(S1.SavingRatio, 1e-3);
+
+  AnalyticParams FastInv = P;
+  FastInv.TinvariantSeconds = 1e-7;
+  ContinuousSolution S2 = M.solveContinuous(FastInv);
+  EXPECT_LT(S2.SavingRatio, 1e-3);
+}
+
+} // namespace

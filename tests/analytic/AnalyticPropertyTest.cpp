@@ -1,0 +1,136 @@
+//===- tests/analytic/AnalyticPropertyTest.cpp - randomized model checks ---===//
+//
+// Property tests over random program-parameter points: invariants the
+// Section 3 model must satisfy everywhere, regardless of regime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analytic/AnalyticModel.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cdvs;
+
+namespace {
+
+AnalyticParams randomParams(Rng &R) {
+  AnalyticParams P;
+  P.NoverlapCycles = 1e5 + R.nextDouble() * 2e7;
+  P.NdependentCycles = 1e5 + R.nextDouble() * 5e7;
+  P.NcacheCycles = 1e4 + R.nextDouble() * 2e7;
+  P.TinvariantSeconds = R.nextDouble() * 30e-3;
+  P.TdeadlineSeconds = 1e-3 + R.nextDouble() * 200e-3;
+  return P;
+}
+
+class AnalyticRandom : public ::testing::TestWithParam<int> {
+protected:
+  AnalyticModel Model{VfModel::paperDefault(), 0.6, 1.65};
+  ModeTable Levels =
+      ModeTable::evenVoltageLevels(7, 0.7, 1.65, VfModel::paperDefault());
+};
+
+TEST_P(AnalyticRandom, SolutionsAreInternallyConsistent) {
+  Rng R(4200 + GetParam());
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    AnalyticParams P = randomParams(R);
+    AnalyticCase Kind = Model.classify(P);
+    ContinuousSolution C = Model.solveContinuous(P);
+    DiscreteSolution D = Model.solveDiscrete(P, Levels);
+
+    if (Kind == AnalyticCase::Infeasible) {
+      EXPECT_EQ(C.Kind, AnalyticCase::Infeasible);
+      // Discrete can only be infeasible too (the fastest level equals
+      // the continuous range's top).
+      EXPECT_EQ(D.Kind, AnalyticCase::Infeasible);
+      continue;
+    }
+
+    // Savings ratios live in [0, 1).
+    EXPECT_GE(C.SavingRatio, 0.0);
+    EXPECT_LT(C.SavingRatio, 1.0);
+    EXPECT_GE(D.SavingRatio, 0.0);
+    EXPECT_LT(D.SavingRatio, 1.0);
+
+    // Multi <= single for both models.
+    EXPECT_LE(C.EnergyMulti, C.EnergySingle * (1 + 1e-9));
+    EXPECT_LE(D.EnergyMulti, D.EnergySingle * (1 + 1e-9));
+
+    // Voltages inside the range; memory-dominated orders v1 <= v2.
+    EXPECT_GE(C.V1, 0.6 - 1e-9);
+    EXPECT_LE(C.V1, 1.65 + 1e-9);
+    if (C.Kind == AnalyticCase::MemoryDominated) {
+      EXPECT_LE(C.V1, C.V2 + 1e-6);
+    }
+
+    // The chosen operating points satisfy the deadline in the lumped
+    // model: region1(v1) + dependent(v2) <= tdl.
+    if (std::isfinite(C.EnergyMulti) && C.F1 > 0.0 && C.F2 > 0.0) {
+      double Region1 =
+          std::max(P.TinvariantSeconds + P.NcacheCycles / C.F1,
+                   P.NoverlapCycles / C.F1);
+      double T = Region1 + P.NdependentCycles / C.F2;
+      EXPECT_LE(T, P.TdeadlineSeconds * (1.0 + 1e-6));
+    }
+
+    // Only the no-savings conditions of Section 3.3.3 may zero out the
+    // continuous saving when memory dominated... and conversely,
+    // regimes without the conditions never save.
+    if (Kind != AnalyticCase::MemoryDominated) {
+      EXPECT_LT(C.SavingRatio, 1e-6);
+    }
+  }
+}
+
+TEST_P(AnalyticRandom, SingleFrequencyEnergyIsTightAtItsDeadline) {
+  // Tightening the deadline can only raise the single-frequency energy.
+  Rng R(9300 + GetParam());
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    AnalyticParams P = randomParams(R);
+    double E1 = Model.singleFrequencyEnergy(P);
+    AnalyticParams Tighter = P;
+    Tighter.TdeadlineSeconds *= 0.7;
+    double E2 = Model.singleFrequencyEnergy(Tighter);
+    if (std::isfinite(E2)) {
+      EXPECT_GE(E2, E1 * (1.0 - 1e-9));
+    }
+    AnalyticParams Laxer = P;
+    Laxer.TdeadlineSeconds *= 1.5;
+    double E3 = Model.singleFrequencyEnergy(Laxer);
+    if (std::isfinite(E1)) {
+      ASSERT_TRUE(std::isfinite(E3));
+      EXPECT_LE(E3, E1 * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST_P(AnalyticRandom, DiscreteSavingsShrinkWithRefinementOnAverage) {
+  // Aggregate trend across random points: a 13-level table saves no
+  // more than a 3-level one on average (the paper's headline).
+  Rng R(7700 + GetParam());
+  VfModel Vf = VfModel::paperDefault();
+  ModeTable T3 = ModeTable::evenVoltageLevels(3, 0.7, 1.65, Vf);
+  ModeTable T13 = ModeTable::evenVoltageLevels(13, 0.7, 1.65, Vf);
+  double Sum3 = 0.0, Sum13 = 0.0;
+  int Count = 0;
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    AnalyticParams P = randomParams(R);
+    DiscreteSolution D3 = Model.solveDiscrete(P, T3);
+    if (D3.Kind == AnalyticCase::Infeasible)
+      continue;
+    DiscreteSolution D13 = Model.solveDiscrete(P, T13);
+    Sum3 += D3.SavingRatio;
+    Sum13 += D13.SavingRatio;
+    ++Count;
+  }
+  if (Count >= 10) {
+    EXPECT_GE(Sum3, Sum13 * 0.95);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyticRandom, ::testing::Range(0, 6));
+
+} // namespace

@@ -1,0 +1,76 @@
+//===- tests/analytic/SingleSettingTest.cpp - inter-program by-product ----===//
+
+#include "analytic/AnalyticModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(SingleSetting, MeetsDeadlineExactlyOrAtRangeEdge) {
+  AnalyticModel M(VfModel::paperDefault(), 0.6, 1.65);
+  AnalyticParams P;
+  P.NoverlapCycles = 4e6;
+  P.NcacheCycles = 0.3e6;
+  P.NdependentCycles = 5.8e6;
+  P.TinvariantSeconds = 20e-3;
+  P.TdeadlineSeconds = 30e-3;
+  VoltageLevel L = M.optimalSingleSetting(P);
+  ASSERT_GT(L.Hertz, 0.0);
+  // Interior solution: running at the chosen frequency exactly consumes
+  // the deadline.
+  EXPECT_NEAR(M.totalTimeAt(P, L.Hertz), P.TdeadlineSeconds,
+              1e-6 * P.TdeadlineSeconds);
+  // Consistent with the energy function: E_single uses the same V.
+  double Cycles = std::max(P.NoverlapCycles, P.NcacheCycles) +
+                  P.NdependentCycles;
+  EXPECT_NEAR(M.singleFrequencyEnergy(P), Cycles * L.Volts * L.Volts,
+              1e-6 * M.singleFrequencyEnergy(P));
+}
+
+TEST(SingleSetting, ClampsToSlowestWhenDeadlineIsVeryLax) {
+  AnalyticModel M(VfModel::paperDefault(), 0.6, 1.65);
+  AnalyticParams P;
+  P.NoverlapCycles = 1e6;
+  P.NcacheCycles = 0.5e6;
+  P.NdependentCycles = 1e6;
+  P.TinvariantSeconds = 1e-3;
+  P.TdeadlineSeconds = 10.0; // ten seconds: anything works
+  VoltageLevel L = M.optimalSingleSetting(P);
+  EXPECT_NEAR(L.Volts, 0.6, 1e-9);
+}
+
+TEST(SingleSetting, InfeasibleReportsZero) {
+  AnalyticModel M(VfModel::paperDefault(), 0.6, 1.65);
+  AnalyticParams P;
+  P.NoverlapCycles = 1e9;
+  P.NdependentCycles = 1e9;
+  P.NcacheCycles = 1e8;
+  P.TinvariantSeconds = 1e-3;
+  P.TdeadlineSeconds = 1e-3;
+  VoltageLevel L = M.optimalSingleSetting(P);
+  EXPECT_DOUBLE_EQ(L.Volts, 0.0);
+  EXPECT_DOUBLE_EQ(L.Hertz, 0.0);
+}
+
+TEST(SingleSetting, MonotoneInDeadline) {
+  AnalyticModel M(VfModel::paperDefault(), 0.6, 1.65);
+  AnalyticParams P;
+  P.NoverlapCycles = 4e6;
+  P.NcacheCycles = 2e6;
+  P.NdependentCycles = 8e6;
+  P.TinvariantSeconds = 3e-3;
+  double Prev = 1e18;
+  for (double Tdl : {20e-3, 30e-3, 50e-3, 90e-3}) {
+    P.TdeadlineSeconds = Tdl;
+    VoltageLevel L = M.optimalSingleSetting(P);
+    ASSERT_GT(L.Hertz, 0.0);
+    EXPECT_LE(L.Hertz, Prev * (1 + 1e-12));
+    Prev = L.Hertz;
+  }
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+//===- tests/common/RandomProgram.h - random structured IR ------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random *structured* programs for property tests: a chain
+/// of regions, each a straight block, a bounded counted loop (possibly
+/// with memory traffic), or a data-dependent diamond. Programs always
+/// verify and always terminate, so they can be fed to the simulator,
+/// the parser, the passes, and the whole DVS pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_TESTS_COMMON_RANDOMPROGRAM_H
+#define CDVS_TESTS_COMMON_RANDOMPROGRAM_H
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <string>
+
+namespace cdvs {
+namespace testutil {
+
+/// Register conventions inside generated programs.
+///  r0       constant 0
+///  r1       constant 1
+///  r2       constant 2
+///  r3       scratch accumulator (data dependent)
+///  r4..r7   loop counters (by nesting depth)
+///  r8..r15  temporaries
+inline constexpr int RandomProgramRegs = 16;
+
+namespace detail {
+
+inline void emitComputePacket(IRBuilder &B, Rng &R) {
+  int Ops = 1 + static_cast<int>(R.nextBelow(6));
+  for (int I = 0; I < Ops; ++I) {
+    int T = 8 + static_cast<int>(R.nextBelow(8));
+    switch (R.nextBelow(6)) {
+    case 0:
+      B.add(3, 3, T);
+      break;
+    case 1:
+      B.mul(T, 3, 1);
+      break;
+    case 2:
+      B.xor_(3, 3, T);
+      break;
+    case 3:
+      B.shr(T, 3, 2);
+      break;
+    case 4:
+      B.fadd(3, 3, T);
+      break;
+    default:
+      B.movImm(T, static_cast<int64_t>(R.nextBelow(1000)));
+      break;
+    }
+  }
+}
+
+inline void emitMemoryPacket(IRBuilder &B, Rng &R, size_t MemBytes) {
+  // Address = (acc masked) into the image; always in range.
+  int64_t Mask = static_cast<int64_t>((MemBytes / 2) - 1) & ~3LL;
+  int T = 8 + static_cast<int>(R.nextBelow(8));
+  B.movImm(T, Mask);
+  B.and_(T, 3, T);
+  if (R.nextBool(0.6))
+    B.load(9, T, 0);
+  else
+    B.store(3, T, 0);
+  B.add(3, 3, 9);
+}
+
+} // namespace detail
+
+/// Builds a random structured program. \p Regions bounds the number of
+/// top-level regions; loops nest up to depth 2 with trips <= 9.
+inline Function makeRandomProgram(Rng &R, int Regions = 5,
+                                  size_t MemBytes = 8192) {
+  Function F("random", RandomProgramRegs, MemBytes);
+  IRBuilder B(F);
+
+  int Entry = B.createBlock("entry");
+  B.setInsertPoint(Entry);
+  B.movImm(0, 0);
+  B.movImm(1, 1);
+  B.movImm(2, 2);
+  B.movImm(3, static_cast<int64_t>(R.nextBelow(512)));
+  for (int T = 8; T < 16; ++T)
+    B.movImm(T, static_cast<int64_t>(R.nextBelow(64)));
+
+  // Recursive region emitter; returns with the insert point at the end
+  // of the emitted region's last block.
+  std::function<void(int, int)> emitRegion = [&](int Kind, int Depth) {
+    Rng &Rr = R;
+    switch (Kind) {
+    case 0: { // straight-line packet in the current block
+      detail::emitComputePacket(B, Rr);
+      if (Rr.nextBool(0.5))
+        detail::emitMemoryPacket(B, Rr, MemBytes);
+      break;
+    }
+    case 1: { // counted loop
+      int Counter = 4 + Depth;
+      int Trips = 2 + static_cast<int>(Rr.nextBelow(8));
+      int Head = B.createBlock("head_d" + std::to_string(Depth));
+      int Body = B.createBlock("body_d" + std::to_string(Depth));
+      int After = B.createBlock("after_d" + std::to_string(Depth));
+      B.movImm(Counter, Trips);
+      B.jump(Head);
+      B.setInsertPoint(Head);
+      B.cmpLt(10, 0, Counter); // 0 < counter
+      B.condBr(10, Body, After);
+      B.setInsertPoint(Body);
+      detail::emitComputePacket(B, Rr);
+      if (Rr.nextBool(0.7))
+        detail::emitMemoryPacket(B, Rr, MemBytes);
+      if (Depth < 2 && Rr.nextBool(0.35))
+        emitRegion(1, Depth + 1); // nested loop
+      B.sub(Counter, Counter, 1);
+      B.jump(Head);
+      B.setInsertPoint(After);
+      break;
+    }
+    default: { // data-dependent diamond
+      int Then = B.createBlock("then");
+      int Else = B.createBlock("else");
+      int Join = B.createBlock("join");
+      B.and_(10, 3, 1); // parity of the accumulator
+      B.condBr(10, Then, Else);
+      B.setInsertPoint(Then);
+      detail::emitComputePacket(B, Rr);
+      B.jump(Join);
+      B.setInsertPoint(Else);
+      detail::emitComputePacket(B, Rr);
+      if (Rr.nextBool(0.5))
+        detail::emitMemoryPacket(B, Rr, MemBytes);
+      B.jump(Join);
+      B.setInsertPoint(Join);
+      break;
+    }
+    }
+  };
+
+  for (int I = 0; I < Regions; ++I)
+    emitRegion(static_cast<int>(R.nextBelow(3)), 0);
+
+  B.ret();
+  return F;
+}
+
+} // namespace testutil
+} // namespace cdvs
+
+#endif // CDVS_TESTS_COMMON_RANDOMPROGRAM_H

@@ -1,0 +1,126 @@
+//===- tests/dvs/BaselinesTest.cpp - prior-work baselines -----------------===//
+
+#include "dvs/Baselines.h"
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+struct Harness {
+  Workload W;
+  std::unique_ptr<Simulator> Sim;
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  Profile Prof;
+  double Deadline = 0.0;
+
+  explicit Harness(const std::string &Name) : W(workloadByName(Name)) {
+    Sim = std::make_unique<Simulator>(*W.Fn);
+    W.defaultInput().Setup(*Sim);
+    Prof = collectProfile(*Sim, Modes);
+    Deadline = 0.5 * (Prof.TotalTimeAtMode.front() +
+                      Prof.TotalTimeAtMode.back());
+  }
+};
+
+TEST(HsuKremer, MeetsDeadlineOnProfiledInput) {
+  Harness S("gsm");
+  ErrorOr<ScheduleResult> R = scheduleHsuKremer(
+      *S.W.Fn, S.Prof, S.Modes, S.Reg, S.Deadline, 2);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  RunStats Run = S.Sim->run(S.Modes, R->Assignment, S.Reg);
+  EXPECT_LE(Run.TimeSeconds, S.Deadline * 1.02);
+}
+
+TEST(HsuKremer, SlowsMemoryBoundRegionsFirst) {
+  // With generous slack, the heuristic must downshift at least the
+  // most memory-bound hot block.
+  Harness S("epic");
+  double Lax = S.Prof.TotalTimeAtMode.front() * 0.9;
+  ErrorOr<ScheduleResult> R = scheduleHsuKremer(
+      *S.W.Fn, S.Prof, S.Modes, S.Reg, Lax, 2);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  int SlowEdges = 0;
+  for (const auto &[E, M] : R->Assignment.EdgeMode)
+    SlowEdges += (M == 0);
+  EXPECT_GT(SlowEdges, 0);
+  RunStats Run = S.Sim->run(S.Modes, R->Assignment, S.Reg);
+  // Cheaper than the all-fastest run.
+  EXPECT_LT(Run.EnergyJoules, S.Prof.TotalEnergyAtMode.back());
+}
+
+TEST(HsuKremer, InfeasibleDeadlineErrs) {
+  Harness S("ghostscript");
+  ErrorOr<ScheduleResult> R = scheduleHsuKremer(
+      *S.W.Fn, S.Prof, S.Modes, S.Reg,
+      S.Prof.TotalTimeAtMode.back() * 0.5, 2);
+  EXPECT_FALSE(R.hasValue());
+}
+
+TEST(Saputra, PredictsNoTransitionEnergy) {
+  // The no-cost MILP's *prediction* excludes switch energy entirely, so
+  // it can only be <= the transition-aware MILP's prediction.
+  Harness S("mpeg_decode");
+  DvsOptions O;
+  O.InitialMode = 2;
+  ErrorOr<ScheduleResult> Sap = scheduleIgnoringTransitionCosts(
+      *S.W.Fn, S.Prof, S.Modes, S.Deadline, O);
+  ASSERT_TRUE(Sap.hasValue()) << Sap.message();
+  DvsScheduler Full(*S.W.Fn, S.Prof, S.Modes, S.Reg, O);
+  ErrorOr<ScheduleResult> Milp = Full.schedule(S.Deadline);
+  ASSERT_TRUE(Milp.hasValue()) << Milp.message();
+  EXPECT_LE(Sap->PredictedEnergyJoules,
+            Milp->PredictedEnergyJoules * (1.0 + 1e-9));
+}
+
+TEST(Saputra, RealizedRunPaysUnmodeledCosts) {
+  // Executed under a heavy regulator, the cost-blind schedule's real
+  // energy exceeds its own prediction (the gap the paper closes).
+  Harness S("mpeg_decode");
+  TransitionModel Heavy = TransitionModel::withCapacitance(40e-6);
+  DvsOptions O;
+  O.InitialMode = 2;
+  ErrorOr<ScheduleResult> Sap = scheduleIgnoringTransitionCosts(
+      *S.W.Fn, S.Prof, S.Modes, S.Deadline, O);
+  ASSERT_TRUE(Sap.hasValue()) << Sap.message();
+  RunStats Run = S.Sim->run(S.Modes, Sap->Assignment, Heavy);
+  if (Run.Transitions > 100) {
+    EXPECT_GT(Run.EnergyJoules,
+              Sap->PredictedEnergyJoules * 1.05);
+  }
+  // The transition-aware MILP, by contrast, stays close to its
+  // prediction when run under the model it optimized for.
+  DvsScheduler Full(*S.W.Fn, S.Prof, S.Modes, Heavy, O);
+  ErrorOr<ScheduleResult> Milp = Full.schedule(S.Deadline);
+  ASSERT_TRUE(Milp.hasValue()) << Milp.message();
+  RunStats MilpRun = S.Sim->run(S.Modes, Milp->Assignment, Heavy);
+  EXPECT_NEAR(MilpRun.EnergyJoules, Milp->PredictedEnergyJoules,
+              0.05 * MilpRun.EnergyJoules);
+  EXPECT_LE(MilpRun.TimeSeconds, S.Deadline * 1.0001);
+}
+
+TEST(Baselines, MilpNeverLosesToHeuristicOnPredictions) {
+  for (const char *Name : {"gsm", "adpcm"}) {
+    Harness S(Name);
+    DvsOptions O;
+    O.InitialMode = 2;
+    ErrorOr<ScheduleResult> HK = scheduleHsuKremer(
+        *S.W.Fn, S.Prof, S.Modes, S.Reg, S.Deadline, 2);
+    DvsScheduler Full(*S.W.Fn, S.Prof, S.Modes, S.Reg, O);
+    ErrorOr<ScheduleResult> Milp = Full.schedule(S.Deadline);
+    ASSERT_TRUE(HK.hasValue() && Milp.hasValue()) << Name;
+    RunStats HKRun = S.Sim->run(S.Modes, HK->Assignment, S.Reg);
+    RunStats MilpRun = S.Sim->run(S.Modes, Milp->Assignment, S.Reg);
+    // Both meet the deadline; the exact optimizer wins on energy
+    // (small tolerance for profile-vs-run skew).
+    EXPECT_LE(MilpRun.TimeSeconds, S.Deadline * 1.0001) << Name;
+    EXPECT_LE(HKRun.TimeSeconds, S.Deadline * 1.02) << Name;
+    EXPECT_LE(MilpRun.EnergyJoules, HKRun.EnergyJoules * 1.05) << Name;
+  }
+}
+
+} // namespace

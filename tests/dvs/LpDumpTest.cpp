@@ -1,0 +1,55 @@
+//===- tests/dvs/LpDumpTest.cpp - scheduler LP-format dump -----------------===//
+
+#include "dvs/DvsScheduler.h"
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(LpDump, SchedulerEmitsWellFormedLpText) {
+  Workload W = workloadByName("ghostscript");
+  Simulator Sim(*W.Fn);
+  W.defaultInput().Setup(Sim);
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  Profile Prof = collectProfile(Sim, Modes);
+
+  DvsOptions O;
+  O.InitialMode = 2;
+  O.DumpLp = true;
+  DvsScheduler S(*W.Fn, Prof, Modes, Reg, O);
+  double Deadline =
+      0.5 * (Prof.TotalTimeAtMode.front() + Prof.TotalTimeAtMode.back());
+  ErrorOr<ScheduleResult> R = S.schedule(Deadline);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+
+  const std::string &LP = R->LpText;
+  ASSERT_FALSE(LP.empty());
+  EXPECT_NE(LP.find("Minimize"), std::string::npos);
+  EXPECT_NE(LP.find("Subject To"), std::string::npos);
+  EXPECT_NE(LP.find("Binaries"), std::string::npos);
+  EXPECT_NE(LP.find("k_g"), std::string::npos); // mode variables
+  EXPECT_NE(LP.find("End"), std::string::npos);
+  // Every mode binary appears somewhere in the dump. (The pinned
+  // entry-group variables are emitted under Bounds/Generals because
+  // branching fixed their bounds away from [0,1].)
+  int Count = 0;
+  for (size_t Pos = LP.find("k_g"); Pos != std::string::npos;
+       Pos = LP.find("k_g", Pos + 1))
+    ++Count;
+  EXPECT_GE(Count, R->NumBinaries);
+
+  // Off by default.
+  DvsOptions NoDump;
+  NoDump.InitialMode = 2;
+  DvsScheduler S2(*W.Fn, Prof, Modes, Reg, NoDump);
+  ErrorOr<ScheduleResult> R2 = S2.schedule(Deadline);
+  ASSERT_TRUE(R2.hasValue());
+  EXPECT_TRUE(R2->LpText.empty());
+}
+
+} // namespace

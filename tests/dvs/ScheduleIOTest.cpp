@@ -1,0 +1,79 @@
+//===- tests/dvs/ScheduleIOTest.cpp - mode-set listing output -------------===//
+
+#include "dvs/ScheduleIO.h"
+
+#include "dvs/DvsScheduler.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+struct Fixture {
+  Workload W = workloadByName("gsm");
+  std::unique_ptr<Simulator> Sim;
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  Profile Prof;
+  ModeAssignment Assignment;
+
+  Fixture() {
+    Sim = std::make_unique<Simulator>(*W.Fn);
+    W.defaultInput().Setup(*Sim);
+    Prof = collectProfile(*Sim, Modes);
+    DvsOptions O;
+    O.InitialMode = 2;
+    DvsScheduler S(*W.Fn, Prof, Modes, Reg, O);
+    double Deadline = 0.5 * (Prof.TotalTimeAtMode.front() +
+                             Prof.TotalTimeAtMode.back());
+    ErrorOr<ScheduleResult> R = S.schedule(Deadline);
+    assert(R.hasValue());
+    Assignment = R->Assignment;
+  }
+};
+
+TEST(ScheduleIO, ListingHasOneLinePerEdge) {
+  Fixture F;
+  std::string Out = printAssignment(*F.W.Fn, F.Assignment, F.Modes);
+  size_t Lines = 0;
+  for (char C : Out)
+    Lines += (C == '\n');
+  // Header + one line per assigned edge.
+  EXPECT_EQ(Lines, 1 + F.Assignment.EdgeMode.size());
+  EXPECT_NE(Out.find("initial mode 2"), std::string::npos);
+  EXPECT_NE(Out.find("set-mode"), std::string::npos);
+}
+
+TEST(ScheduleIO, ProfiledListingMarksLoopBackEdgesSilent) {
+  Fixture F;
+  std::string Out =
+      printAssignment(*F.W.Fn, F.Assignment, F.Modes, &F.Prof);
+  // The hot LTP loop's back edge stays in its own mode: silent.
+  EXPECT_NE(Out.find("silent"), std::string::npos);
+  EXPECT_NE(Out.find("count"), std::string::npos);
+}
+
+TEST(ScheduleIO, SummaryCountsEveryEdgeOnce) {
+  Fixture F;
+  std::string S = summarizeAssignment(F.Assignment, F.Modes);
+  // Parse back the counts and compare with the edge total.
+  int Total = 0;
+  size_t Pos = 0;
+  while ((Pos = S.find(':', Pos)) != std::string::npos) {
+    Total += std::atoi(S.c_str() + Pos + 1);
+    ++Pos;
+  }
+  EXPECT_EQ(Total, static_cast<int>(F.Assignment.EdgeMode.size()));
+}
+
+TEST(ScheduleIO, UniformAssignmentListsNothing) {
+  Fixture F;
+  ModeAssignment Uniform = ModeAssignment::uniform(1);
+  std::string Out = printAssignment(*F.W.Fn, Uniform, F.Modes);
+  EXPECT_NE(Out.find("initial mode 1"), std::string::npos);
+  EXPECT_EQ(Out.find("set-mode"), std::string::npos);
+}
+
+} // namespace

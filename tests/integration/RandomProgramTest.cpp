@@ -1,0 +1,116 @@
+//===- tests/integration/RandomProgramTest.cpp - fuzz the whole stack -----===//
+//
+// Property tests over randomly generated structured programs: every
+// layer of the stack must hold its invariants on programs nobody
+// hand-tuned — verifier, parser round trip, passes-preserve-semantics,
+// simulator physics, and the end-to-end MILP pipeline's deadline
+// guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../common/RandomProgram.h"
+
+#include "dvs/DvsScheduler.h"
+#include "ir/Parser.h"
+#include "ir/Passes.h"
+#include "profile/Profile.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+using namespace cdvs::testutil;
+
+namespace {
+
+class RandomPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPrograms, AlwaysVerifyAndTerminate) {
+  Rng R(11000 + GetParam());
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    Function F = makeRandomProgram(R);
+    ErrorOr<bool> Ok = F.verify();
+    ASSERT_TRUE(Ok.hasValue()) << Ok.message() << "\n" << F.print();
+    Simulator Sim(F);
+    RunStats S = Sim.runAtLevel({1.65, 800e6});
+    EXPECT_TRUE(S.Completed) << F.print();
+    EXPECT_GT(S.Instructions, 10u);
+  }
+}
+
+TEST_P(RandomPrograms, ParserRoundTrips) {
+  Rng R(12000 + GetParam());
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    Function F = makeRandomProgram(R);
+    std::string Printed = F.print();
+    ErrorOr<Function> Back = parseFunction(Printed);
+    ASSERT_TRUE(Back.hasValue()) << Back.message();
+    EXPECT_EQ(Back->print(), Printed);
+  }
+}
+
+TEST_P(RandomPrograms, PassesPreserveSemanticsAndInstructionCount) {
+  Rng R(13000 + GetParam());
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    Function F = makeRandomProgram(R);
+    Simulator Before(F);
+    RunStats SB = Before.runAtLevel({1.65, 800e6});
+
+    Function G = F;
+    simplifyCfg(G);
+    ASSERT_TRUE(G.verify().hasValue());
+    Simulator After(G);
+    RunStats SA = After.runAtLevel({1.65, 800e6});
+    EXPECT_EQ(SB.FinalRegs, SA.FinalRegs) << F.print();
+    EXPECT_EQ(countStaticInstructions(F), countStaticInstructions(G));
+    // Merging can only reduce terminator executions, never grow work.
+    EXPECT_LE(SA.Instructions, SB.Instructions);
+  }
+}
+
+TEST_P(RandomPrograms, SimulatorPhysicsHold) {
+  Rng R(14000 + GetParam());
+  ModeTable Modes = ModeTable::xscale3();
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    Function F = makeRandomProgram(R);
+    Simulator Sim(F);
+    RunStats Slow = Sim.runAtLevel(Modes.level(0));
+    RunStats Fast = Sim.runAtLevel(Modes.level(2));
+    EXPECT_EQ(Slow.Instructions, Fast.Instructions);
+    EXPECT_GE(Slow.TimeSeconds, Fast.TimeSeconds);
+    EXPECT_LE(Slow.EnergyJoules, Fast.EnergyJoules);
+    EXPECT_NEAR(Slow.TinvariantSeconds, Fast.TinvariantSeconds, 1e-12);
+  }
+}
+
+TEST_P(RandomPrograms, EndToEndScheduleMeetsDeadline) {
+  Rng R(15000 + GetParam());
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  for (int Trial = 0; Trial < 3; ++Trial) {
+    Function F = makeRandomProgram(R, /*Regions=*/6);
+    Simulator Sim(F);
+    Profile Prof = collectProfile(Sim, Modes);
+    for (double Alpha : {0.2, 0.7}) {
+      double Deadline = (1.0 - Alpha) * Prof.TotalTimeAtMode.back() +
+                        Alpha * Prof.TotalTimeAtMode.front();
+      DvsOptions O;
+      O.InitialMode = 2;
+      DvsScheduler Sched(F, Prof, Modes, Reg, O);
+      ErrorOr<ScheduleResult> Res = Sched.schedule(Deadline);
+      ASSERT_TRUE(Res.hasValue())
+          << Res.message() << " alpha=" << Alpha;
+      RunStats Run = Sim.run(Modes, Res->Assignment, Reg);
+      EXPECT_LE(Run.TimeSeconds, Deadline * 1.0001)
+          << "alpha=" << Alpha << "\n" << F.print();
+      // Never worse than the all-fastest run plus one switch.
+      EXPECT_LE(Run.EnergyJoules,
+                Prof.TotalEnergyAtMode.back() * 1.001 +
+                    Reg.switchEnergy(Modes.maxVoltage(),
+                                     Modes.minVoltage()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms, ::testing::Range(0, 10));
+
+} // namespace

@@ -1,0 +1,71 @@
+//===- tests/integration/SensitivityTest.cpp - profile-input sensitivity --===//
+//
+// The paper's Section 6.4 closing observation: schedules are fairly
+// robust to which (same-category) input was profiled — energy results
+// vary only modestly across profile inputs. These tests quantify that
+// on every workload with multiple inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/DvsScheduler.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+class CrossInput : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CrossInput, SameCategoryScheduleTransfersWell) {
+  Workload W = workloadByName(GetParam());
+  // First two inputs of the same workload (mpeg's first two are both
+  // noB; the others' pairs share a category by construction).
+  ASSERT_GE(W.Inputs.size(), 2u);
+  const WorkloadInput &InA = W.Inputs[0];
+  const WorkloadInput &InB = W.Inputs[1];
+
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+
+  Simulator SimA(*W.Fn);
+  InA.Setup(SimA);
+  Profile ProfA = collectProfile(SimA, Modes);
+  Simulator SimB(*W.Fn);
+  InB.Setup(SimB);
+  Profile ProfB = collectProfile(SimB, Modes);
+
+  // Schedule on A at a lax-ish target; apply to B with B's own target.
+  auto deadlineOf = [](const Profile &P) {
+    return 0.3 * P.TotalTimeAtMode.back() +
+           0.7 * P.TotalTimeAtMode.front();
+  };
+  DvsOptions O;
+  O.InitialMode = 2;
+  DvsScheduler SchedA(*W.Fn, ProfA, Modes, Reg, O);
+  ErrorOr<ScheduleResult> RA = SchedA.schedule(deadlineOf(ProfA));
+  ASSERT_TRUE(RA.hasValue()) << RA.message();
+
+  DvsScheduler SchedB(*W.Fn, ProfB, Modes, Reg, O);
+  ErrorOr<ScheduleResult> RB = SchedB.schedule(deadlineOf(ProfB));
+  ASSERT_TRUE(RB.hasValue()) << RB.message();
+
+  RunStats BSelf = SimB.run(Modes, RB->Assignment, Reg);
+  RunStats BCross = SimB.run(Modes, RA->Assignment, Reg);
+
+  EXPECT_TRUE(BCross.Completed);
+  // Cross-profiled energy within 25% of self-profiled (paper: "fairly
+  // modest" sensitivity), and runtime within 40% of the self-profiled
+  // one (the deadline itself shifts with input size).
+  EXPECT_LT(BCross.EnergyJoules,
+            BSelf.EnergyJoules * 1.25 + 2e-6)
+      << GetParam();
+  EXPECT_LT(BCross.TimeSeconds, BSelf.TimeSeconds * 1.4) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CrossInput,
+                         ::testing::Values("adpcm", "epic", "gsm",
+                                           "mpg123", "mpeg_decode"));
+
+} // namespace

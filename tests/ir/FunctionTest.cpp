@@ -1,0 +1,172 @@
+//===- tests/ir/FunctionTest.cpp - IR structure and verifier --------------===//
+
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+Function makeDiamond() {
+  Function F("diamond", 8, 64);
+  IRBuilder B(F);
+  int Entry = B.createBlock("entry");
+  int Left = B.createBlock("left");
+  int Right = B.createBlock("right");
+  int Exit = B.createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(1, 5);
+  B.condBr(1, Left, Right);
+  B.setInsertPoint(Left);
+  B.add(2, 1, 1);
+  B.jump(Exit);
+  B.setInsertPoint(Right);
+  B.sub(2, 1, 1);
+  B.jump(Exit);
+  B.setInsertPoint(Exit);
+  B.ret();
+  return F;
+}
+
+TEST(Function, DiamondVerifies) {
+  Function F = makeDiamond();
+  ErrorOr<bool> Ok = F.verify();
+  EXPECT_TRUE(Ok.hasValue()) << (Ok ? "" : Ok.message());
+}
+
+TEST(Function, EdgesEnumerated) {
+  Function F = makeDiamond();
+  std::vector<CfgEdge> E = F.edges();
+  ASSERT_EQ(E.size(), 4u);
+  EXPECT_TRUE((E[0] == CfgEdge{0, 1}));
+  EXPECT_TRUE((E[1] == CfgEdge{0, 2}));
+  EXPECT_TRUE((E[2] == CfgEdge{1, 3}));
+  EXPECT_TRUE((E[3] == CfgEdge{2, 3}));
+}
+
+TEST(Function, Predecessors) {
+  Function F = makeDiamond();
+  auto Preds = F.predecessors();
+  EXPECT_TRUE(Preds[0].empty());
+  ASSERT_EQ(Preds[3].size(), 2u);
+  EXPECT_EQ(Preds[3][0], 1);
+  EXPECT_EQ(Preds[3][1], 2);
+}
+
+TEST(Function, VerifyRejectsEmptyFunction) {
+  Function F("empty", 4, 64);
+  EXPECT_FALSE(F.verify().hasValue());
+}
+
+TEST(Function, VerifyRejectsBadRegister) {
+  Function F("badreg", 2, 64);
+  IRBuilder B(F);
+  int E = B.createBlock("entry");
+  B.setInsertPoint(E);
+  B.add(5, 0, 0); // register 5 out of range
+  B.ret();
+  ErrorOr<bool> Ok = F.verify();
+  ASSERT_FALSE(Ok.hasValue());
+  EXPECT_NE(Ok.message().find("register"), std::string::npos);
+}
+
+TEST(Function, VerifyRejectsCondBrWithEqualSuccessors) {
+  Function F("dup", 4, 64);
+  IRBuilder B(F);
+  int E = B.createBlock("entry");
+  int X = B.createBlock("exit");
+  B.setInsertPoint(E);
+  B.condBr(0, X, X); // duplicate edge
+  B.setInsertPoint(X);
+  B.ret();
+  EXPECT_FALSE(F.verify().hasValue());
+}
+
+TEST(Function, VerifyRejectsMissingRet) {
+  Function F("loop", 4, 64);
+  IRBuilder B(F);
+  int A = B.createBlock("a");
+  int C = B.createBlock("b");
+  B.setInsertPoint(A);
+  B.jump(C);
+  B.setInsertPoint(C);
+  B.jump(A);
+  EXPECT_FALSE(F.verify().hasValue());
+}
+
+TEST(Function, VerifyRejectsUnreachableRet) {
+  Function F("unreach", 4, 64);
+  IRBuilder B(F);
+  int A = B.createBlock("spin_a");
+  int C = B.createBlock("spin_b");
+  int R = B.createBlock("island_ret");
+  B.setInsertPoint(A);
+  B.jump(C);
+  B.setInsertPoint(C);
+  B.jump(A);
+  B.setInsertPoint(R);
+  B.ret();
+  ErrorOr<bool> Ok = F.verify();
+  ASSERT_FALSE(Ok.hasValue());
+  EXPECT_NE(Ok.message().find("reachable"), std::string::npos);
+}
+
+TEST(Function, VerifyRejectsSuccessorOutOfRange) {
+  Function F("badsucc", 4, 64);
+  IRBuilder B(F);
+  int E = B.createBlock("entry");
+  B.setInsertPoint(E);
+  B.jump(7); // no such block
+  EXPECT_FALSE(F.verify().hasValue());
+}
+
+TEST(Function, PrintContainsBlocksAndOpcodes) {
+  Function F = makeDiamond();
+  std::string S = F.print();
+  EXPECT_NE(S.find("entry"), std::string::npos);
+  EXPECT_NE(S.find("condbr"), std::string::npos);
+  EXPECT_NE(S.find("movimm"), std::string::npos);
+  EXPECT_NE(S.find("ret"), std::string::npos);
+}
+
+TEST(Function, DotOutputWellFormed) {
+  Function F = makeDiamond();
+  std::string S = F.printDot();
+  EXPECT_EQ(S.rfind("digraph", 0), 0u);
+  EXPECT_NE(S.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(S.find("}"), std::string::npos);
+}
+
+TEST(Opcode, NamesAndClasses) {
+  EXPECT_STREQ(opcodeName(Opcode::Add), "add");
+  EXPECT_STREQ(opcodeName(Opcode::FDiv), "fdiv");
+  EXPECT_EQ(opClass(Opcode::Add), OpClass::IntAlu);
+  EXPECT_EQ(opClass(Opcode::Mul), OpClass::IntMul);
+  EXPECT_EQ(opClass(Opcode::Rem), OpClass::IntDiv);
+  EXPECT_EQ(opClass(Opcode::FMul), OpClass::FpMul);
+  EXPECT_EQ(opClass(Opcode::Load), OpClass::MemLoad);
+  EXPECT_EQ(opClass(Opcode::Store), OpClass::MemStore);
+  EXPECT_TRUE(isMemoryOp(Opcode::Load));
+  EXPECT_TRUE(isMemoryOp(Opcode::Store));
+  EXPECT_FALSE(isMemoryOp(Opcode::Xor));
+}
+
+TEST(IRBuilder, EmitsIntoSelectedBlock) {
+  Function F("sel", 4, 64);
+  IRBuilder B(F);
+  int A = B.createBlock("a");
+  int C = B.createBlock("b");
+  B.setInsertPoint(A);
+  B.movImm(0, 1);
+  B.jump(C);
+  B.setInsertPoint(C);
+  B.movImm(1, 2);
+  B.ret();
+  EXPECT_EQ(F.block(A).Insts.size(), 1u);
+  EXPECT_EQ(F.block(C).Insts.size(), 1u);
+  EXPECT_EQ(F.block(C).Insts[0].Imm, 2);
+}
+
+} // namespace

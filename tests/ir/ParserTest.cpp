@@ -1,0 +1,119 @@
+//===- tests/ir/ParserTest.cpp - text-format parser round trips -----------===//
+
+#include "ir/Parser.h"
+
+#include "ir/IRBuilder.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+/// Structural equality via the printer (stable, canonical).
+void expectRoundTrip(const Function &F) {
+  std::string Printed = F.print();
+  ErrorOr<Function> Parsed = parseFunction(Printed);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.message();
+  EXPECT_EQ(Parsed->print(), Printed);
+}
+
+TEST(Parser, MinimalFunction) {
+  ErrorOr<Function> F = parseFunction("function tiny (regs=4, mem=64)\n"
+                                      "0: entry\n"
+                                      "  ret\n");
+  ASSERT_TRUE(F.hasValue()) << F.message();
+  EXPECT_EQ(F->name(), "tiny");
+  EXPECT_EQ(F->numRegs(), 4);
+  EXPECT_EQ(F->memBytes(), 64u);
+  EXPECT_EQ(F->numBlocks(), 1);
+}
+
+TEST(Parser, InstructionFields) {
+  ErrorOr<Function> F = parseFunction(
+      "function k (regs=8, mem=64)\n"
+      "0: entry\n"
+      "  movimm  d=r1  s1=r0  s2=r0  imm=42\n"
+      "  add     d=r2  s1=r1  s2=r1  imm=0\n"
+      "  load    d=r3  s1=r2  s2=r0  imm=-8\n"
+      "  ret\n");
+  ASSERT_TRUE(F.hasValue()) << F.message();
+  const BasicBlock &BB = F->block(0);
+  ASSERT_EQ(BB.Insts.size(), 3u);
+  EXPECT_EQ(BB.Insts[0].Op, Opcode::MovImm);
+  EXPECT_EQ(BB.Insts[0].Imm, 42);
+  EXPECT_EQ(BB.Insts[2].Op, Opcode::Load);
+  EXPECT_EQ(BB.Insts[2].Imm, -8);
+}
+
+TEST(Parser, ControlFlowAndComments) {
+  ErrorOr<Function> F = parseFunction(
+      "# a loop\n"
+      "function loop (regs=8, mem=64)\n"
+      "0: entry\n"
+      "  movimm d=r1 s1=r0 s2=r0 imm=0\n"
+      "  jump -> 1\n"
+      "1: head   # header\n"
+      "  cmplt d=r2 s1=r1 s2=r3 imm=0\n"
+      "  condbr r2 -> 2, 3\n"
+      "2: body\n"
+      "  add d=r1 s1=r1 s2=r4 imm=0\n"
+      "  jump -> 1\n"
+      "3: exit\n"
+      "  ret\n");
+  ASSERT_TRUE(F.hasValue()) << F.message();
+  EXPECT_EQ(F->numBlocks(), 4);
+  EXPECT_EQ(F->block(1).Term, TermKind::CondBr);
+  EXPECT_EQ(F->block(1).Succs[0], 2);
+  EXPECT_EQ(F->block(1).Succs[1], 3);
+}
+
+TEST(Parser, RejectsUnknownOpcode) {
+  ErrorOr<Function> F = parseFunction("function f (regs=4, mem=64)\n"
+                                      "0: entry\n"
+                                      "  frobnicate d=r1 s1=r0 s2=r0 "
+                                      "imm=0\n"
+                                      "  ret\n");
+  ASSERT_FALSE(F.hasValue());
+  EXPECT_NE(F.message().find("unknown opcode"), std::string::npos);
+}
+
+TEST(Parser, RejectsOutOfOrderBlockIds) {
+  ErrorOr<Function> F = parseFunction("function f (regs=4, mem=64)\n"
+                                      "1: entry\n"
+                                      "  ret\n");
+  ASSERT_FALSE(F.hasValue());
+  EXPECT_NE(F.message().find("dense"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnverifiableProgram) {
+  // Jump to a nonexistent block.
+  ErrorOr<Function> F = parseFunction("function f (regs=4, mem=64)\n"
+                                      "0: entry\n"
+                                      "  jump -> 7\n");
+  ASSERT_FALSE(F.hasValue());
+  EXPECT_NE(F.message().find("verification"), std::string::npos);
+}
+
+TEST(Parser, RejectsGarbageHeader) {
+  EXPECT_FALSE(parseFunction("garbage\n").hasValue());
+  EXPECT_FALSE(parseFunction("").hasValue());
+}
+
+TEST(Parser, OpcodeTableCoversEveryMnemonic) {
+  // Every opcode's printed name parses back to itself.
+  for (int Raw = 0; Raw <= static_cast<int>(Opcode::Store); ++Raw) {
+    Opcode Op = static_cast<Opcode>(Raw);
+    ErrorOr<Opcode> Back = opcodeByName(opcodeName(Op));
+    ASSERT_TRUE(Back.hasValue()) << opcodeName(Op);
+    EXPECT_EQ(*Back, Op);
+  }
+}
+
+TEST(Parser, RoundTripsEveryWorkload) {
+  for (const Workload &W : allWorkloads())
+    expectRoundTrip(*W.Fn);
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- tests/ir/PassesTest.cpp - CFG cleanup passes -----------------------===//
+
+#include "ir/Passes.h"
+
+#include "ir/IRBuilder.h"
+#include "sim/Simulator.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+const VoltageLevel Fast{1.65, 800e6};
+
+TEST(Passes, RemovesUnreachableBlocks) {
+  Function F("dead", 4, 64);
+  IRBuilder B(F);
+  int Entry = B.createBlock("entry");
+  int Dead = B.createBlock("dead");
+  int Exit = B.createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.jump(Exit);
+  B.setInsertPoint(Dead);
+  B.movImm(1, 9);
+  B.jump(Exit);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  PassStats S = removeUnreachableBlocks(F);
+  EXPECT_EQ(S.BlocksRemoved, 1);
+  EXPECT_EQ(F.numBlocks(), 2);
+  ASSERT_TRUE(F.verify().hasValue());
+  // Successor ids were remapped: entry now jumps to block 1.
+  EXPECT_EQ(F.block(0).Succs[0], 1);
+}
+
+TEST(Passes, RemoveUnreachableIsNoOpOnCleanCfg) {
+  Workload W = workloadByName("gsm");
+  Function F = *W.Fn;
+  PassStats S = removeUnreachableBlocks(F);
+  EXPECT_EQ(S.BlocksRemoved, 0);
+  EXPECT_EQ(F.numBlocks(), W.Fn->numBlocks());
+}
+
+TEST(Passes, MergesStraightLineChain) {
+  // entry -> a -> b -> exit, all unconditional: collapses into one
+  // block chain (entry absorbs a, b; exit has multiple preds? no: one).
+  Function F("chain", 4, 64);
+  IRBuilder B(F);
+  int Entry = B.createBlock("entry");
+  int A = B.createBlock("a");
+  int C = B.createBlock("b");
+  int Exit = B.createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(1, 1);
+  B.jump(A);
+  B.setInsertPoint(A);
+  B.movImm(2, 2);
+  B.jump(C);
+  B.setInsertPoint(C);
+  B.movImm(3, 3);
+  B.jump(Exit);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  PassStats S = simplifyCfg(F);
+  EXPECT_EQ(S.BlocksMerged, 3);
+  EXPECT_EQ(F.numBlocks(), 1);
+  EXPECT_EQ(F.block(0).Insts.size(), 3u);
+  ASSERT_TRUE(F.verify().hasValue());
+}
+
+TEST(Passes, DoesNotMergeAcrossJoinPoints) {
+  // Diamond: the join block has two predecessors and must survive.
+  Function F("diamond", 4, 64);
+  IRBuilder B(F);
+  int Entry = B.createBlock("entry");
+  int L = B.createBlock("l");
+  int R = B.createBlock("r");
+  int Join = B.createBlock("join");
+  B.setInsertPoint(Entry);
+  B.movImm(1, 1);
+  B.condBr(1, L, R);
+  B.setInsertPoint(L);
+  B.jump(Join);
+  B.setInsertPoint(R);
+  B.jump(Join);
+  B.setInsertPoint(Join);
+  B.ret();
+
+  PassStats S = simplifyCfg(F);
+  EXPECT_EQ(S.BlocksMerged, 0);
+  EXPECT_EQ(F.numBlocks(), 4);
+}
+
+TEST(Passes, DoesNotMergeLoopLatchIntoHeader) {
+  // body jumps to head, but head has two preds (entry + body): no merge.
+  Function F("loop", 8, 64);
+  IRBuilder B(F);
+  int Entry = B.createBlock("entry");
+  int Head = B.createBlock("head");
+  int Body = B.createBlock("body");
+  int Exit = B.createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(1, 0);
+  B.movImm(2, 3);
+  B.movImm(3, 1);
+  B.jump(Head);
+  B.setInsertPoint(Head);
+  B.cmpLt(4, 1, 2);
+  B.condBr(4, Body, Exit);
+  B.setInsertPoint(Body);
+  B.add(1, 1, 3);
+  B.jump(Head);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  PassStats S = simplifyCfg(F);
+  EXPECT_EQ(S.BlocksMerged, 0);
+  ASSERT_TRUE(F.verify().hasValue());
+}
+
+TEST(Passes, SimplifyPreservesSemantics) {
+  // A program with a mergeable preamble chain: final register state
+  // must be identical before and after simplification.
+  Function F("sem", 8, 256);
+  IRBuilder B(F);
+  int Entry = B.createBlock("entry");
+  int Mid = B.createBlock("mid");
+  int Head = B.createBlock("head");
+  int Body = B.createBlock("body");
+  int Exit = B.createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(1, 0);
+  B.movImm(2, 8);
+  B.movImm(3, 1);
+  B.jump(Mid);
+  B.setInsertPoint(Mid);
+  B.movImm(5, 100);
+  B.jump(Head);
+  B.setInsertPoint(Head);
+  B.cmpLt(4, 1, 2);
+  B.condBr(4, Body, Exit);
+  B.setInsertPoint(Body);
+  B.add(5, 5, 1);
+  B.add(1, 1, 3);
+  B.jump(Head);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  Simulator Before(F);
+  RunStats SB = Before.runAtLevel(Fast);
+
+  Function G = F;
+  PassStats St = simplifyCfg(G);
+  EXPECT_GT(St.BlocksMerged, 0);
+  Simulator After(G);
+  RunStats SA = After.runAtLevel(Fast);
+  EXPECT_EQ(SB.FinalRegs, SA.FinalRegs);
+  // Fewer blocks, same instruction count.
+  EXPECT_LT(G.numBlocks(), F.numBlocks());
+  EXPECT_EQ(countStaticInstructions(F), countStaticInstructions(G));
+}
+
+TEST(Passes, CountStaticInstructions) {
+  Workload W = workloadByName("adpcm");
+  EXPECT_GT(countStaticInstructions(*W.Fn), 20);
+}
+
+TEST(Passes, WorkloadsAreAlreadyMinimal) {
+  // The handwritten workloads should not contain dead or trivially
+  // mergeable blocks (loop headers all have >= 2 preds).
+  for (const Workload &W : allWorkloads()) {
+    Function F = *W.Fn;
+    PassStats S = simplifyCfg(F);
+    EXPECT_EQ(S.BlocksRemoved, 0) << W.Name;
+    EXPECT_EQ(S.BlocksMerged, 0) << W.Name;
+  }
+}
+
+} // namespace

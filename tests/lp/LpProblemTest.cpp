@@ -1,0 +1,72 @@
+//===- tests/lp/LpProblemTest.cpp - LP model builder ----------------------===//
+
+#include "lp/LpProblem.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(LpProblem, AddVariablesAndRows) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 10.0, 1.0, "x");
+  int Y = P.addVariable(0.0, lpInf(), 2.0, "y");
+  EXPECT_EQ(X, 0);
+  EXPECT_EQ(Y, 1);
+  EXPECT_EQ(P.numVariables(), 2);
+  int R = P.addRow(RowSense::LE, 5.0, {{X, 1.0}, {Y, 1.0}});
+  EXPECT_EQ(R, 0);
+  EXPECT_EQ(P.numRows(), 1);
+  EXPECT_EQ(P.name(X), "x");
+  EXPECT_DOUBLE_EQ(P.cost(Y), 2.0);
+  EXPECT_DOUBLE_EQ(P.rhs(0), 5.0);
+}
+
+TEST(LpProblem, ObjectiveAndActivity) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 10.0, 3.0);
+  int Y = P.addVariable(0.0, 10.0, -1.0);
+  P.addRow(RowSense::LE, 4.0, {{X, 2.0}, {Y, 1.0}});
+  std::vector<double> Point = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(P.objectiveAt(Point), 3.0 * 1.0 - 1.0 * 2.0);
+  EXPECT_DOUBLE_EQ(P.rowActivityAt(0, Point), 2.0 + 2.0);
+}
+
+TEST(LpProblem, FeasibilityCheck) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 1.0, 1.0);
+  P.addRow(RowSense::GE, 0.5, {{X, 1.0}});
+  EXPECT_TRUE(P.isFeasible({0.7}));
+  EXPECT_FALSE(P.isFeasible({0.2}));  // row violated
+  EXPECT_FALSE(P.isFeasible({1.5}));  // bound violated
+  EXPECT_FALSE(P.isFeasible({}));     // wrong arity
+}
+
+TEST(LpProblem, EqualityFeasibility) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 10.0, 0.0);
+  int Y = P.addVariable(0.0, 10.0, 0.0);
+  P.addRow(RowSense::EQ, 3.0, {{X, 1.0}, {Y, 1.0}});
+  EXPECT_TRUE(P.isFeasible({1.0, 2.0}));
+  EXPECT_FALSE(P.isFeasible({1.0, 2.5}));
+}
+
+TEST(LpProblem, SetCostAndBounds) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 1.0, 1.0);
+  P.setCost(X, 5.0);
+  EXPECT_DOUBLE_EQ(P.cost(X), 5.0);
+  P.setBounds(X, 0.25, 0.75);
+  EXPECT_DOUBLE_EQ(P.lowerBound(X), 0.25);
+  EXPECT_DOUBLE_EQ(P.upperBound(X), 0.75);
+}
+
+TEST(LpProblem, RepeatedTermsAccumulateInActivity) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 10.0, 0.0);
+  P.addRow(RowSense::LE, 5.0, {{X, 1.0}, {X, 2.0}});
+  EXPECT_DOUBLE_EQ(P.rowActivityAt(0, {1.0}), 3.0);
+}
+
+} // namespace

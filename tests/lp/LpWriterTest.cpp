@@ -1,0 +1,58 @@
+//===- tests/lp/LpWriterTest.cpp - LP-format export ------------------------===//
+
+#include "lp/LpWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(LpWriter, MinimalProblem) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 4.0, 2.0, "x");
+  int Y = P.addVariable(0.0, lpInf(), -1.0, "y");
+  P.addRow(RowSense::LE, 10.0, {{X, 1.0}, {Y, 3.0}});
+  P.addRow(RowSense::EQ, 2.0, {{X, 1.0}});
+  std::string S = writeLpFormat(P);
+  EXPECT_NE(S.find("Minimize"), std::string::npos);
+  EXPECT_NE(S.find("obj: 2 x - 1 y"), std::string::npos);
+  EXPECT_NE(S.find("c0: 1 x + 3 y <= 10"), std::string::npos);
+  EXPECT_NE(S.find("c1: 1 x = 2"), std::string::npos);
+  EXPECT_NE(S.find("0 <= x <= 4"), std::string::npos);
+  // Infinite upper bound leaves the right side open.
+  EXPECT_NE(S.find("0 <= y\n"), std::string::npos);
+  EXPECT_NE(S.find("End"), std::string::npos);
+}
+
+TEST(LpWriter, BinaryAndGeneralSections) {
+  LpProblem P;
+  int B = P.addVariable(0.0, 1.0, 1.0, "b");
+  int G = P.addVariable(0.0, 9.0, 1.0, "g");
+  P.addRow(RowSense::GE, 1.0, {{B, 1.0}, {G, 1.0}});
+  std::string S = writeLpFormat(P, {B, G});
+  EXPECT_NE(S.find("Binaries\n b"), std::string::npos);
+  EXPECT_NE(S.find("Generals\n g"), std::string::npos);
+  EXPECT_NE(S.find(">= 1"), std::string::npos);
+}
+
+TEST(LpWriter, UnnamedVariablesGetIndexNames) {
+  LpProblem P;
+  P.addVariable(0.0, 1.0, 1.0);
+  P.addVariable(0.0, 1.0, 1.0);
+  P.addRow(RowSense::LE, 1.0, {{0, 1.0}, {1, 1.0}});
+  std::string S = writeLpFormat(P);
+  EXPECT_NE(S.find("x0"), std::string::npos);
+  EXPECT_NE(S.find("x1"), std::string::npos);
+}
+
+TEST(LpWriter, EmptyObjectiveStillWellFormed) {
+  LpProblem P;
+  P.addVariable(0.0, 1.0, 0.0, "z");
+  P.addRow(RowSense::LE, 1.0, {{0, 1.0}});
+  std::string S = writeLpFormat(P);
+  // Zero-cost objective falls back to an explicit 0-coefficient term.
+  EXPECT_NE(S.find("obj: 0 z"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+//===- tests/lp/SimplexPropertyTest.cpp - randomized LP cross-checks ------===//
+//
+// Property test: random bounded LPs, constructed to be feasible, are
+// solved by the simplex and cross-checked against an independent exact
+// optimum computed by brute-force vertex enumeration (every vertex of a
+// bounded polytope is the intersection of n tight constraints).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/SimplexSolver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+using namespace cdvs;
+
+namespace {
+
+/// One linear condition a^T x (<=|>=) b used by the brute-force checker.
+struct Condition {
+  std::vector<double> A;
+  double B;
+  bool IsGe; // a^T x >= b if true, else <=
+};
+
+/// Solves the n-by-n system M x = R by Gaussian elimination with partial
+/// pivoting; returns nullopt if singular.
+std::optional<std::vector<double>>
+solveSquare(std::vector<std::vector<double>> M, std::vector<double> R) {
+  const int N = static_cast<int>(R.size());
+  for (int Col = 0; Col < N; ++Col) {
+    int Piv = Col;
+    for (int I = Col + 1; I < N; ++I)
+      if (std::fabs(M[I][Col]) > std::fabs(M[Piv][Col]))
+        Piv = I;
+    if (std::fabs(M[Piv][Col]) < 1e-10)
+      return std::nullopt;
+    std::swap(M[Piv], M[Col]);
+    std::swap(R[Piv], R[Col]);
+    for (int I = 0; I < N; ++I) {
+      if (I == Col)
+        continue;
+      double F = M[I][Col] / M[Col][Col];
+      for (int J = Col; J < N; ++J)
+        M[I][J] -= F * M[Col][J];
+      R[I] -= F * R[Col];
+    }
+  }
+  std::vector<double> X(N);
+  for (int I = 0; I < N; ++I)
+    X[I] = R[I] / M[I][I];
+  return X;
+}
+
+/// Exact optimum of a bounded feasible LP by vertex enumeration.
+double bruteForceOptimum(const LpProblem &P,
+                         const std::vector<Condition> &Conds) {
+  const int N = P.numVariables();
+  double Best = std::numeric_limits<double>::infinity();
+  const int Total = static_cast<int>(Conds.size());
+  std::vector<int> Pick(N, 0);
+
+  // Enumerate all N-subsets of conditions.
+  std::function<void(int, int)> Rec = [&](int Start, int Chosen) {
+    if (Chosen == N) {
+      std::vector<std::vector<double>> M;
+      std::vector<double> R;
+      for (int I = 0; I < N; ++I) {
+        M.push_back(Conds[Pick[I]].A);
+        R.push_back(Conds[Pick[I]].B);
+      }
+      auto X = solveSquare(M, R);
+      if (!X)
+        return;
+      // Feasibility of the candidate vertex.
+      for (const Condition &C : Conds) {
+        double Act = 0.0;
+        for (int J = 0; J < N; ++J)
+          Act += C.A[J] * (*X)[J];
+        if (C.IsGe ? Act < C.B - 1e-6 : Act > C.B + 1e-6)
+          return;
+      }
+      Best = std::min(Best, P.objectiveAt(*X));
+      return;
+    }
+    for (int I = Start; I <= Total - (N - Chosen); ++I) {
+      Pick[Chosen] = I;
+      Rec(I + 1, Chosen + 1);
+    }
+  };
+  Rec(0, 0);
+  return Best;
+}
+
+struct RandomLpCase {
+  LpProblem P;
+  std::vector<Condition> Conds;
+  std::vector<double> FeasiblePoint;
+};
+
+RandomLpCase makeRandomLp(Rng &R, int NumVars, int NumRows) {
+  RandomLpCase Case;
+  std::vector<double> Ub(NumVars);
+  std::vector<double> X0(NumVars);
+  for (int J = 0; J < NumVars; ++J) {
+    Ub[J] = 1.0 + R.nextDouble() * 4.0;
+    X0[J] = R.nextDouble() * Ub[J];
+    double Cost = R.nextDouble() * 10.0 - 5.0;
+    Case.P.addVariable(0.0, Ub[J], Cost);
+    // Bound conditions for the brute-force checker.
+    Condition LoC, HiC;
+    LoC.A.assign(NumVars, 0.0);
+    LoC.A[J] = 1.0;
+    LoC.B = 0.0;
+    LoC.IsGe = true;
+    HiC.A.assign(NumVars, 0.0);
+    HiC.A[J] = 1.0;
+    HiC.B = Ub[J];
+    HiC.IsGe = false;
+    Case.Conds.push_back(LoC);
+    Case.Conds.push_back(HiC);
+  }
+  for (int I = 0; I < NumRows; ++I) {
+    std::vector<double> A(NumVars);
+    double Act = 0.0;
+    for (int J = 0; J < NumVars; ++J) {
+      A[J] = R.nextDouble() * 6.0 - 3.0;
+      Act += A[J] * X0[J];
+    }
+    bool IsGe = R.nextBool(0.5);
+    double Slack = R.nextDouble() * 2.0;
+    double B = IsGe ? Act - Slack : Act + Slack;
+    std::vector<LpTerm> Terms;
+    for (int J = 0; J < NumVars; ++J)
+      Terms.push_back({J, A[J]});
+    Case.P.addRow(IsGe ? RowSense::GE : RowSense::LE, B, Terms);
+    Case.Conds.push_back({A, B, IsGe});
+  }
+  Case.FeasiblePoint = X0;
+  return Case;
+}
+
+class SimplexRandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomLp, MatchesBruteForceVertexEnumeration) {
+  Rng R(1000 + GetParam());
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    int NumVars = 2 + static_cast<int>(R.nextBelow(2)); // 2 or 3
+    int NumRows = 1 + static_cast<int>(R.nextBelow(4)); // 1..4
+    RandomLpCase C = makeRandomLp(R, NumVars, NumRows);
+
+    LpSolution S = solveLp(C.P);
+    ASSERT_EQ(S.Status, LpStatus::Optimal)
+        << "seed " << GetParam() << " trial " << Trial;
+    EXPECT_TRUE(C.P.isFeasible(S.X, 1e-5))
+        << "seed " << GetParam() << " trial " << Trial;
+    // Cannot be worse than the known feasible point.
+    EXPECT_LE(S.Objective, C.P.objectiveAt(C.FeasiblePoint) + 1e-6);
+
+    double Exact = bruteForceOptimum(C.P, C.Conds);
+    ASSERT_TRUE(std::isfinite(Exact));
+    EXPECT_NEAR(S.Objective, Exact, 1e-5 * (1.0 + std::fabs(Exact)))
+        << "seed " << GetParam() << " trial " << Trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomLp,
+                         ::testing::Range(0, 10));
+
+TEST(SimplexStress, ManySmallDenseLps) {
+  // Bigger random instances: only feasibility and improvement over the
+  // seed point are checked (vertex enumeration would be too slow).
+  Rng R(42);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    int NumVars = 5 + static_cast<int>(R.nextBelow(10));
+    int NumRows = 3 + static_cast<int>(R.nextBelow(10));
+    RandomLpCase C = makeRandomLp(R, NumVars, NumRows);
+    LpSolution S = solveLp(C.P);
+    ASSERT_EQ(S.Status, LpStatus::Optimal) << "trial " << Trial;
+    EXPECT_TRUE(C.P.isFeasible(S.X, 1e-5)) << "trial " << Trial;
+    EXPECT_LE(S.Objective, C.P.objectiveAt(C.FeasiblePoint) + 1e-6);
+  }
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- tests/lp/SimplexTest.cpp - known-answer simplex tests --------------===//
+
+#include "lp/SimplexSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(Simplex, TwoVarMaximizationClassic) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj 36.
+  // As minimization of -(3x + 5y).
+  LpProblem P;
+  int X = P.addVariable(0.0, lpInf(), -3.0);
+  int Y = P.addVariable(0.0, lpInf(), -5.0);
+  P.addRow(RowSense::LE, 4.0, {{X, 1.0}});
+  P.addRow(RowSense::LE, 12.0, {{Y, 2.0}});
+  P.addRow(RowSense::LE, 18.0, {{X, 3.0}, {Y, 2.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Objective, -36.0, 1e-7);
+  EXPECT_NEAR(S.X[X], 2.0, 1e-7);
+  EXPECT_NEAR(S.X[Y], 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y == 10, x <= 4 -> x=4, y=6, obj 16.
+  LpProblem P;
+  int X = P.addVariable(0.0, 4.0, 1.0);
+  int Y = P.addVariable(0.0, lpInf(), 2.0);
+  P.addRow(RowSense::EQ, 10.0, {{X, 1.0}, {Y, 1.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 16.0, 1e-7);
+  EXPECT_NEAR(S.X[X], 4.0, 1e-7);
+  EXPECT_NEAR(S.X[Y], 6.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualRows) {
+  // min 2x + 3y s.t. x + y >= 4, x + 3y >= 6 -> x=3, y=1, obj 9.
+  LpProblem P;
+  int X = P.addVariable(0.0, lpInf(), 2.0);
+  int Y = P.addVariable(0.0, lpInf(), 3.0);
+  P.addRow(RowSense::GE, 4.0, {{X, 1.0}, {Y, 1.0}});
+  P.addRow(RowSense::GE, 6.0, {{X, 1.0}, {Y, 3.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 9.0, 1e-7);
+  EXPECT_NEAR(S.X[X], 3.0, 1e-7);
+  EXPECT_NEAR(S.X[Y], 1.0, 1e-7);
+}
+
+TEST(Simplex, Infeasible) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 1.0, 1.0);
+  P.addRow(RowSense::GE, 5.0, {{X, 1.0}});
+  LpSolution S = solveLp(P);
+  EXPECT_EQ(S.Status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, InfeasibleEqualitySystem) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 10.0, 1.0);
+  int Y = P.addVariable(0.0, 10.0, 1.0);
+  P.addRow(RowSense::EQ, 3.0, {{X, 1.0}, {Y, 1.0}});
+  P.addRow(RowSense::EQ, 7.0, {{X, 1.0}, {Y, 1.0}});
+  LpSolution S = solveLp(P);
+  EXPECT_EQ(S.Status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, Unbounded) {
+  // min -x with x unbounded above.
+  LpProblem P;
+  int X = P.addVariable(0.0, lpInf(), -1.0);
+  P.addRow(RowSense::GE, 0.0, {{X, 1.0}});
+  LpSolution S = solveLp(P);
+  EXPECT_EQ(S.Status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, BoundedVariableOptimumAtUpperBound) {
+  // min -x - y with x in [0, 2], y in [0, 3], x + y <= 10: both at upper.
+  LpProblem P;
+  int X = P.addVariable(0.0, 2.0, -1.0);
+  int Y = P.addVariable(0.0, 3.0, -1.0);
+  P.addRow(RowSense::LE, 10.0, {{X, 1.0}, {Y, 1.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.X[X], 2.0, 1e-8);
+  EXPECT_NEAR(S.X[Y], 3.0, 1e-8);
+  EXPECT_NEAR(S.Objective, -5.0, 1e-8);
+}
+
+TEST(Simplex, NonzeroLowerBounds) {
+  // min x + y with x >= 2, y >= 3, x + y >= 7 -> obj 7.
+  LpProblem P;
+  int X = P.addVariable(2.0, lpInf(), 1.0);
+  int Y = P.addVariable(3.0, lpInf(), 1.0);
+  P.addRow(RowSense::GE, 7.0, {{X, 1.0}, {Y, 1.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 7.0, 1e-7);
+}
+
+TEST(Simplex, FixedVariable) {
+  // x fixed at 2; min y s.t. y >= x -> y = 2.
+  LpProblem P;
+  int X = P.addVariable(2.0, 2.0, 0.0);
+  int Y = P.addVariable(0.0, lpInf(), 1.0);
+  P.addRow(RowSense::GE, 0.0, {{Y, 1.0}, {X, -1.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.X[X], 2.0, 1e-9);
+  EXPECT_NEAR(S.X[Y], 2.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Classic degeneracy: several constraints meet at the optimum.
+  LpProblem P;
+  int X = P.addVariable(0.0, lpInf(), -1.0);
+  int Y = P.addVariable(0.0, lpInf(), -1.0);
+  P.addRow(RowSense::LE, 1.0, {{X, 1.0}});
+  P.addRow(RowSense::LE, 1.0, {{Y, 1.0}});
+  P.addRow(RowSense::LE, 2.0, {{X, 1.0}, {Y, 1.0}});
+  P.addRow(RowSense::LE, 2.0, {{X, 2.0}, {Y, 1.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  // Optimum: 2x + y <= 2 and y <= 1 give x = 0.5, y = 1, obj -1.5.
+  EXPECT_NEAR(S.Objective, -1.5, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsLeRowNeedsPhase1) {
+  // x + y <= -1 cannot hold with x,y >= 0 unless coefficients negative:
+  // use -x <= -2, i.e. x >= 2 in LE form.
+  LpProblem P;
+  int X = P.addVariable(0.0, lpInf(), 1.0);
+  P.addRow(RowSense::LE, -2.0, {{X, -1.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.X[X], 2.0, 1e-7);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // Two identical equality rows: phase 1 must cope with the redundancy.
+  LpProblem P;
+  int X = P.addVariable(0.0, 10.0, 1.0);
+  int Y = P.addVariable(0.0, 10.0, 1.0);
+  P.addRow(RowSense::EQ, 4.0, {{X, 1.0}, {Y, 1.0}});
+  P.addRow(RowSense::EQ, 4.0, {{X, 1.0}, {Y, 1.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 4.0, 1e-7);
+}
+
+TEST(Simplex, ObjectiveWithAllZeroCosts) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 5.0, 0.0);
+  P.addRow(RowSense::GE, 1.0, {{X, 1.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_DOUBLE_EQ(S.Objective, 0.0);
+  EXPECT_GE(S.X[X], 1.0 - 1e-7);
+}
+
+TEST(Simplex, AssignmentLikeEqualityStructure) {
+  // Mimics the DVS structure: k0 + k1 + k2 == 1, minimize costs.
+  LpProblem P;
+  int K0 = P.addVariable(0.0, 1.0, 5.0);
+  int K1 = P.addVariable(0.0, 1.0, 2.0);
+  int K2 = P.addVariable(0.0, 1.0, 7.0);
+  P.addRow(RowSense::EQ, 1.0, {{K0, 1.0}, {K1, 1.0}, {K2, 1.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 2.0, 1e-8);
+  EXPECT_NEAR(S.X[K1], 1.0, 1e-8);
+}
+
+TEST(Simplex, LargerDiet) {
+  // A small diet problem with a known optimum.
+  // min 1.2a + 1.0b  s.t. 10a + 4b >= 20, 5a + 5b >= 20, a,b >= 0.
+  // Vertices: (4,0) obj 4.8; (0,5) obj 5; intersection a=2/3, b=10/3
+  // obj 1.2*2/3 + 10/3 = 4.133... -> interior vertex wins.
+  LpProblem P;
+  int A = P.addVariable(0.0, lpInf(), 1.2);
+  int B = P.addVariable(0.0, lpInf(), 1.0);
+  P.addRow(RowSense::GE, 20.0, {{A, 10.0}, {B, 4.0}});
+  P.addRow(RowSense::GE, 20.0, {{A, 5.0}, {B, 5.0}});
+  LpSolution S = solveLp(P);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.X[A], 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(S.X[B], 10.0 / 3.0, 1e-6);
+  EXPECT_NEAR(S.Objective, 1.2 * 2.0 / 3.0 + 10.0 / 3.0, 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+//===- tests/milp/MilpPropertyTest.cpp - randomized MILP cross-checks -----===//
+//
+// Property tests: random binary programs small enough to brute-force by
+// enumerating all 2^n assignments; the branch-and-bound must match the
+// enumerated optimum exactly (both objective and feasibility status).
+//
+//===----------------------------------------------------------------------===//
+
+#include "milp/MilpSolver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+using namespace cdvs;
+
+namespace {
+
+struct BinaryCase {
+  LpProblem P;
+  std::vector<int> Binaries;
+};
+
+/// Brute-force optimum over all assignments of the binaries (continuous
+/// variables are absent in these cases). Returns +inf if infeasible.
+double bruteForce(const BinaryCase &C) {
+  int N = static_cast<int>(C.Binaries.size());
+  double Best = std::numeric_limits<double>::infinity();
+  for (int Mask = 0; Mask < (1 << N); ++Mask) {
+    std::vector<double> X(C.P.numVariables(), 0.0);
+    for (int I = 0; I < N; ++I)
+      X[C.Binaries[I]] = (Mask >> I) & 1 ? 1.0 : 0.0;
+    if (C.P.isFeasible(X, 1e-9))
+      Best = std::min(Best, C.P.objectiveAt(X));
+  }
+  return Best;
+}
+
+BinaryCase makeRandomBinaryProgram(Rng &R, int NumVars, int NumRows) {
+  BinaryCase C;
+  for (int J = 0; J < NumVars; ++J) {
+    double Cost = R.nextDouble() * 20.0 - 10.0;
+    C.Binaries.push_back(C.P.addVariable(0.0, 1.0, Cost));
+  }
+  for (int I = 0; I < NumRows; ++I) {
+    std::vector<LpTerm> Terms;
+    double MaxAct = 0.0;
+    for (int J = 0; J < NumVars; ++J) {
+      double A = R.nextDouble() * 6.0 - 2.0; // skew positive
+      Terms.push_back({J, A});
+      MaxAct += std::max(0.0, A);
+    }
+    // Rhs between 0 and the max activity keeps a nontrivial mix of
+    // feasible and infeasible assignments.
+    double B = R.nextDouble() * MaxAct;
+    C.P.addRow(RowSense::LE, B, Terms);
+  }
+  return C;
+}
+
+class MilpRandomBinary : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpRandomBinary, MatchesExhaustiveEnumeration) {
+  Rng R(500 + GetParam());
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    int NumVars = 3 + static_cast<int>(R.nextBelow(8)); // 3..10
+    int NumRows = 1 + static_cast<int>(R.nextBelow(4));
+    BinaryCase C = makeRandomBinaryProgram(R, NumVars, NumRows);
+
+    double Exact = bruteForce(C);
+    MilpSolver S(C.P, C.Binaries);
+    MilpSolution Sol = S.solve();
+
+    if (!std::isfinite(Exact)) {
+      EXPECT_EQ(Sol.Status, MilpStatus::Infeasible)
+          << "seed " << GetParam() << " trial " << Trial;
+      continue;
+    }
+    ASSERT_EQ(Sol.Status, MilpStatus::Optimal)
+        << "seed " << GetParam() << " trial " << Trial;
+    EXPECT_NEAR(Sol.Objective, Exact, 1e-5 * (1.0 + std::fabs(Exact)))
+        << "seed " << GetParam() << " trial " << Trial;
+    EXPECT_TRUE(C.P.isFeasible(Sol.X, 1e-5));
+    // Every binary is integral in the reported solution.
+    for (int V : C.Binaries) {
+      double Val = Sol.X[V];
+      EXPECT_LT(std::fabs(Val - std::round(Val)), 1e-5);
+    }
+    // Root LP bound is a valid lower bound.
+    EXPECT_LE(Sol.RootBound, Exact + 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpRandomBinary, ::testing::Range(0, 8));
+
+/// Random "mode assignment" programs shaped like the paper's DVS MILP:
+/// G groups each choosing exactly one of M modes, a global resource row,
+/// and per-pick costs. Brute force enumerates M^G assignments.
+class MilpRandomAssignment : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpRandomAssignment, MatchesExhaustiveEnumeration) {
+  Rng R(900 + GetParam());
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    int Groups = 2 + static_cast<int>(R.nextBelow(4)); // 2..5
+    int Modes = 2 + static_cast<int>(R.nextBelow(3));  // 2..4
+    LpProblem P;
+    std::vector<std::vector<int>> Vars(Groups);
+    std::vector<std::vector<double>> Time(Groups);
+    std::vector<std::vector<double>> Energy(Groups);
+    std::vector<LpTerm> TimeRow;
+    double MaxTime = 0.0, MinTime = 0.0;
+    for (int G = 0; G < Groups; ++G) {
+      std::vector<LpTerm> Sum;
+      double GMin = 1e18, GMax = 0.0;
+      for (int M = 0; M < Modes; ++M) {
+        double E = 1.0 + R.nextDouble() * 9.0;
+        double T = 1.0 + R.nextDouble() * 9.0;
+        int V = P.addVariable(0.0, 1.0, E);
+        Vars[G].push_back(V);
+        Energy[G].push_back(E);
+        Time[G].push_back(T);
+        Sum.push_back({V, 1.0});
+        TimeRow.push_back({V, T});
+        GMin = std::min(GMin, T);
+        GMax = std::max(GMax, T);
+      }
+      P.addRow(RowSense::EQ, 1.0, Sum);
+      MaxTime += GMax;
+      MinTime += GMin;
+    }
+    // A deadline strictly between the loosest and tightest possibilities.
+    double Deadline = MinTime + (MaxTime - MinTime) * R.nextDouble();
+    P.addRow(RowSense::LE, Deadline, TimeRow);
+
+    // Brute force over mode choices.
+    double Exact = std::numeric_limits<double>::infinity();
+    std::vector<int> Choice(Groups, 0);
+    std::function<void(int, double, double)> Rec = [&](int G, double T,
+                                                       double E) {
+      if (T > Deadline + 1e-9)
+        return; // prune: times are nonnegative
+      if (G == Groups) {
+        Exact = std::min(Exact, E);
+        return;
+      }
+      for (int M = 0; M < Modes; ++M)
+        Rec(G + 1, T + Time[G][M], E + Energy[G][M]);
+    };
+    Rec(0, 0.0, 0.0);
+
+    std::vector<int> AllBinaries;
+    for (auto &V : Vars)
+      AllBinaries.insert(AllBinaries.end(), V.begin(), V.end());
+    MilpSolver S(P, AllBinaries);
+    for (auto &V : Vars)
+      S.addSos1Group(V);
+    MilpSolution Sol = S.solve();
+
+    if (!std::isfinite(Exact)) {
+      EXPECT_EQ(Sol.Status, MilpStatus::Infeasible);
+      continue;
+    }
+    ASSERT_EQ(Sol.Status, MilpStatus::Optimal) << "trial " << Trial;
+    EXPECT_NEAR(Sol.Objective, Exact, 1e-6 * (1.0 + Exact))
+        << "trial " << Trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpRandomAssignment,
+                         ::testing::Range(0, 8));
+
+} // namespace

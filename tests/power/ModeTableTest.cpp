@@ -1,0 +1,86 @@
+//===- tests/power/ModeTableTest.cpp - discrete operating points ---------===//
+
+#include "power/ModeTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(ModeTable, XScale3Levels) {
+  ModeTable T = ModeTable::xscale3();
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_DOUBLE_EQ(T.level(0).Volts, 0.70);
+  EXPECT_DOUBLE_EQ(T.level(0).Hertz, 200e6);
+  EXPECT_DOUBLE_EQ(T.level(1).Volts, 1.30);
+  EXPECT_DOUBLE_EQ(T.level(1).Hertz, 600e6);
+  EXPECT_DOUBLE_EQ(T.level(2).Volts, 1.65);
+  EXPECT_DOUBLE_EQ(T.level(2).Hertz, 800e6);
+}
+
+TEST(ModeTable, SortsByFrequency) {
+  ModeTable T({{1.65, 800e6}, {0.70, 200e6}});
+  EXPECT_DOUBLE_EQ(T.minFrequency(), 200e6);
+  EXPECT_DOUBLE_EQ(T.maxFrequency(), 800e6);
+  EXPECT_DOUBLE_EQ(T.minVoltage(), 0.70);
+  EXPECT_DOUBLE_EQ(T.maxVoltage(), 1.65);
+}
+
+TEST(ModeTable, EvenVoltageLevelsCountAndMonotonicity) {
+  VfModel M = VfModel::paperDefault();
+  for (int N : {3, 7, 13}) {
+    ModeTable T = ModeTable::evenVoltageLevels(N, 0.7, 1.65, M);
+    ASSERT_EQ(T.size(), static_cast<size_t>(N));
+    EXPECT_DOUBLE_EQ(T.minVoltage(), 0.7);
+    EXPECT_DOUBLE_EQ(T.maxVoltage(), 1.65);
+    for (size_t I = 1; I < T.size(); ++I) {
+      EXPECT_LT(T.level(I - 1).Volts, T.level(I).Volts);
+      EXPECT_LT(T.level(I - 1).Hertz, T.level(I).Hertz);
+    }
+  }
+}
+
+TEST(ModeTable, NeighborsOfVoltageInterior) {
+  ModeTable T = ModeTable::xscale3();
+  auto [Lo, Hi] = T.neighborsOfVoltage(1.0);
+  EXPECT_EQ(Lo, 0u);
+  EXPECT_EQ(Hi, 1u);
+}
+
+TEST(ModeTable, NeighborsOfVoltageClampsAtEnds) {
+  ModeTable T = ModeTable::xscale3();
+  auto [Lo1, Hi1] = T.neighborsOfVoltage(0.1);
+  EXPECT_EQ(Lo1, 0u);
+  EXPECT_EQ(Hi1, 0u);
+  auto [Lo2, Hi2] = T.neighborsOfVoltage(5.0);
+  EXPECT_EQ(Lo2, 2u);
+  EXPECT_EQ(Hi2, 2u);
+}
+
+TEST(ModeTable, NeighborsOfVoltageExactLevel) {
+  ModeTable T = ModeTable::xscale3();
+  auto [Lo, Hi] = T.neighborsOfVoltage(1.30);
+  // Exact hits bracket with the level itself on one side.
+  EXPECT_TRUE((Lo == 0 && Hi == 1) || (Lo == 1 && Hi == 1) ||
+              (Lo == 1 && Hi == 2));
+}
+
+TEST(ModeTable, NeighborsOfFrequency) {
+  ModeTable T = ModeTable::xscale3();
+  auto [Lo, Hi] = T.neighborsOfFrequency(400e6);
+  EXPECT_EQ(Lo, 0u);
+  EXPECT_EQ(Hi, 1u);
+}
+
+TEST(ModeTable, SlowestLevelAtLeast) {
+  ModeTable T = ModeTable::xscale3();
+  EXPECT_EQ(T.slowestLevelAtLeast(100e6), 0u);
+  EXPECT_EQ(T.slowestLevelAtLeast(200e6), 0u);
+  EXPECT_EQ(T.slowestLevelAtLeast(201e6), 1u);
+  EXPECT_EQ(T.slowestLevelAtLeast(700e6), 2u);
+  // Infeasible demand clamps to the fastest level.
+  EXPECT_EQ(T.slowestLevelAtLeast(900e6), 2u);
+}
+
+} // namespace

@@ -1,0 +1,55 @@
+//===- tests/power/TransitionModelTest.cpp - regulator switch costs ------===//
+
+#include "power/TransitionModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(TransitionModel, PaperTypicalMatchesPublishedXScaleCosts) {
+  // The paper: c = 10 uF gives a 12 us / 1.2 uJ cost for the
+  // 600 MHz @ 1.3 V -> 200 MHz @ 0.7 V transition.
+  TransitionModel M = TransitionModel::paperTypical();
+  EXPECT_NEAR(M.switchTime(1.3, 0.7), 12e-6, 1e-12);
+  EXPECT_NEAR(M.switchEnergy(1.3, 0.7), 1.2e-6, 1e-12);
+}
+
+TEST(TransitionModel, Symmetric) {
+  TransitionModel M = TransitionModel::paperTypical();
+  EXPECT_DOUBLE_EQ(M.switchEnergy(0.7, 1.3), M.switchEnergy(1.3, 0.7));
+  EXPECT_DOUBLE_EQ(M.switchTime(0.7, 1.3), M.switchTime(1.3, 0.7));
+}
+
+TEST(TransitionModel, SameVoltageIsFree) {
+  TransitionModel M = TransitionModel::paperTypical();
+  EXPECT_DOUBLE_EQ(M.switchEnergy(1.3, 1.3), 0.0);
+  EXPECT_DOUBLE_EQ(M.switchTime(1.3, 1.3), 0.0);
+}
+
+TEST(TransitionModel, ScalesLinearlyWithCapacitance) {
+  TransitionModel Small = TransitionModel::withCapacitance(1e-6);
+  TransitionModel Big = TransitionModel::withCapacitance(100e-6);
+  EXPECT_NEAR(Big.switchEnergy(1.3, 0.7) / Small.switchEnergy(1.3, 0.7),
+              100.0, 1e-9);
+  EXPECT_NEAR(Big.switchTime(1.3, 0.7) / Small.switchTime(1.3, 0.7),
+              100.0, 1e-9);
+}
+
+TEST(TransitionModel, Constants) {
+  TransitionModel M = TransitionModel::paperTypical();
+  EXPECT_NEAR(M.energyConstant(), 0.1 * 10e-6, 1e-15);
+  EXPECT_NEAR(M.timeConstant(), 2.0 * 10e-6 / 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(M.capacitance(), 10e-6);
+  EXPECT_DOUBLE_EQ(M.efficiency(), 0.9);
+  EXPECT_DOUBLE_EQ(M.maxCurrent(), 1.0);
+}
+
+TEST(TransitionModel, EnergyUsesSquaredVoltages) {
+  TransitionModel M = TransitionModel::withCapacitance(1.0);
+  // (1-u)*c = 0.1; |2^2 - 1^2| = 3.
+  EXPECT_NEAR(M.switchEnergy(2.0, 1.0), 0.1 * 3.0, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+//===- tests/power/VfModelTest.cpp - alpha-power-law model ---------------===//
+
+#include "power/VfModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(VfModel, CalibrationHitsReferencePoint) {
+  VfModel M = VfModel::calibrated(0.45, 1.5, 1.65, 800e6);
+  EXPECT_NEAR(M.frequencyAt(1.65), 800e6, 1.0);
+}
+
+TEST(VfModel, PaperDefaultMatchesXScaleTop) {
+  VfModel M = VfModel::paperDefault();
+  EXPECT_NEAR(M.frequencyAt(1.65), 800e6, 1.0);
+  EXPECT_DOUBLE_EQ(M.thresholdVoltage(), 0.45);
+  EXPECT_DOUBLE_EQ(M.alpha(), 1.5);
+}
+
+TEST(VfModel, FrequencyZeroAtOrBelowThreshold) {
+  VfModel M = VfModel::paperDefault();
+  EXPECT_DOUBLE_EQ(M.frequencyAt(0.45), 0.0);
+  EXPECT_DOUBLE_EQ(M.frequencyAt(0.1), 0.0);
+}
+
+TEST(VfModel, FrequencyStrictlyIncreasing) {
+  VfModel M = VfModel::paperDefault();
+  double Prev = 0.0;
+  for (double V = 0.5; V <= 3.0; V += 0.05) {
+    double F = M.frequencyAt(V);
+    EXPECT_GT(F, Prev) << "at V=" << V;
+    Prev = F;
+  }
+}
+
+TEST(VfModel, InverseRoundTrip) {
+  VfModel M = VfModel::paperDefault();
+  for (double V : {0.6, 0.9, 1.3, 1.65, 2.2}) {
+    double F = M.frequencyAt(V);
+    EXPECT_NEAR(M.voltageFor(F), V, 1e-8) << "V=" << V;
+  }
+}
+
+TEST(VfModel, VoltageForZeroIsThreshold) {
+  VfModel M = VfModel::paperDefault();
+  EXPECT_DOUBLE_EQ(M.voltageFor(0.0), 0.45);
+}
+
+TEST(VfModel, CycleEnergyQuadratic) {
+  EXPECT_DOUBLE_EQ(VfModel::cycleEnergy(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(VfModel::cycleEnergy(0.0), 0.0);
+}
+
+TEST(VfModel, LowerVoltageMuchSlowerNearThreshold) {
+  // The alpha-power law collapses frequency near threshold: check the
+  // qualitative shape the paper's DVS savings rely on.
+  VfModel M = VfModel::paperDefault();
+  double F07 = M.frequencyAt(0.7);
+  double F13 = M.frequencyAt(1.3);
+  EXPECT_LT(F07, F13 / 2.0);
+}
+
+} // namespace

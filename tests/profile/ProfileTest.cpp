@@ -1,0 +1,123 @@
+//===- tests/profile/ProfileTest.cpp - profile collection -----------------===//
+
+#include "profile/Profile.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+/// A loop with a data-dependent branch inside: profiles have nontrivial
+/// block, edge, and path structure.
+Function makeBranchyLoop() {
+  Function F("branchy", 10, 4096);
+  IRBuilder B(F);
+  int Entry = B.createBlock("entry");
+  int Head = B.createBlock("head");
+  int Odd = B.createBlock("odd");
+  int Even = B.createBlock("even");
+  int Latch = B.createBlock("latch");
+  int Exit = B.createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(1, 0);  // i
+  B.movImm(2, 64); // n
+  B.movImm(3, 1);
+  B.movImm(6, 0); // acc
+  B.jump(Head);
+  B.setInsertPoint(Head);
+  B.cmpLt(4, 1, 2);
+  B.condBr(4, Latch, Exit);
+  B.setInsertPoint(Latch);
+  B.and_(5, 1, 3);
+  B.condBr(5, Odd, Even);
+  B.setInsertPoint(Odd);
+  B.add(6, 6, 1);
+  B.add(1, 1, 3);
+  B.jump(Head);
+  B.setInsertPoint(Even);
+  B.mul(6, 6, 3);
+  B.add(1, 1, 3);
+  B.jump(Head);
+  B.setInsertPoint(Exit);
+  B.ret();
+  return F;
+}
+
+TEST(Profile, ShapesMatchModeTable) {
+  Function F = makeBranchyLoop();
+  Simulator Sim(F);
+  ModeTable Modes = ModeTable::xscale3();
+  Profile P = collectProfile(Sim, Modes);
+  EXPECT_EQ(P.NumBlocks, 6);
+  EXPECT_EQ(P.NumModes, 3);
+  EXPECT_EQ(P.TotalTimeAtMode.size(), 3u);
+  ASSERT_EQ(P.TimePerInvocation.size(), 6u);
+  ASSERT_EQ(P.TimePerInvocation[0].size(), 3u);
+}
+
+TEST(Profile, SlowerModesTakeLongerAndLessEnergy) {
+  Function F = makeBranchyLoop();
+  Simulator Sim(F);
+  ModeTable Modes = ModeTable::xscale3();
+  Profile P = collectProfile(Sim, Modes);
+  EXPECT_GT(P.TotalTimeAtMode[0], P.TotalTimeAtMode[2]);
+  EXPECT_LT(P.TotalEnergyAtMode[0], P.TotalEnergyAtMode[2]);
+}
+
+TEST(Profile, EdgeAndPathCountsConsistent) {
+  Function F = makeBranchyLoop();
+  Simulator Sim(F);
+  ModeTable Modes = ModeTable::xscale3();
+  Profile P = collectProfile(Sim, Modes);
+  // Odd and even paths split the 64 iterations evenly. Block ids by
+  // construction order: entry=0, head=1, odd=2, even=3, latch=4, exit=5.
+  EXPECT_EQ(P.EdgeCounts.at({4, 2}), 32u); // latch -> odd (i odd)
+  EXPECT_EQ(P.EdgeCounts.at({4, 3}), 32u); // latch -> even
+  EXPECT_EQ(P.EdgeCounts.at({1, 5}), 1u);  // head -> exit
+  // For every block: sum of incoming edge counts (+1 for the entry
+  // block's virtual start) equals its execution count.
+  std::vector<uint64_t> InCount(P.NumBlocks, 0);
+  for (const auto &[E, C] : P.EdgeCounts)
+    InCount[E.To] += C;
+  InCount[0] += 1;
+  for (int Blk = 0; Blk < P.NumBlocks; ++Blk)
+    EXPECT_EQ(InCount[Blk], P.BlockExecs[Blk]) << "block " << Blk;
+  // Path counts through a block sum to its non-final departures.
+  uint64_t PathsThroughHead = 0;
+  for (const auto &[Path, C] : P.PathCounts)
+    if (std::get<1>(Path) == 1)
+      PathsThroughHead += C;
+  EXPECT_EQ(PathsThroughHead, P.BlockExecs[1]); // head never ends the run
+}
+
+TEST(Profile, PerInvocationTimesAreAverages) {
+  Function F = makeBranchyLoop();
+  Simulator Sim(F);
+  ModeTable Modes = ModeTable::xscale3();
+  Profile P = collectProfile(Sim, Modes);
+  for (int M = 0; M < P.NumModes; ++M) {
+    double Sum = 0.0;
+    for (int Blk = 0; Blk < P.NumBlocks; ++Blk)
+      Sum += P.TimePerInvocation[Blk][M] *
+             static_cast<double>(P.BlockExecs[Blk]);
+    EXPECT_NEAR(Sum, P.TotalTimeAtMode[M], 1e-12) << "mode " << M;
+  }
+}
+
+TEST(Profile, ReferenceModeSelectable) {
+  Function F = makeBranchyLoop();
+  Simulator Sim(F);
+  ModeTable Modes = ModeTable::xscale3();
+  Profile P0 = collectProfile(Sim, Modes, 0);
+  Profile P2 = collectProfile(Sim, Modes, 2);
+  // Control flow is mode invariant, so counts agree.
+  EXPECT_EQ(P0.EdgeCounts, P2.EdgeCounts);
+  EXPECT_EQ(P0.Reference.Instructions, P2.Reference.Instructions);
+  // But the reference run's wall time differs.
+  EXPECT_GT(P0.Reference.TimeSeconds, P2.Reference.TimeSeconds);
+}
+
+} // namespace

@@ -1,0 +1,85 @@
+//===- tests/sim/CacheTest.cpp - set-associative LRU cache ----------------===//
+
+#include "sim/Cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  Cache C({1024, 2, 32});
+  EXPECT_FALSE(C.access(0));
+  EXPECT_TRUE(C.access(0));
+  EXPECT_TRUE(C.access(31)); // same block
+  EXPECT_FALSE(C.access(32)); // next block
+  EXPECT_EQ(C.hits(), 2u);
+  EXPECT_EQ(C.misses(), 2u);
+}
+
+TEST(Cache, GeometryDerivedCorrectly) {
+  Cache C({64 * 1024, 4, 32});
+  EXPECT_EQ(C.numSets(), 64u * 1024 / (4 * 32));
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // Direct-capacity set: 2 ways, addresses mapping to the same set.
+  Cache C({128, 2, 32}); // 2 sets
+  uint64_t SetStride = 64; // two sets * 32B blocks
+  EXPECT_FALSE(C.access(0));
+  EXPECT_FALSE(C.access(SetStride));     // same set, second way
+  EXPECT_TRUE(C.access(0));              // 0 is now MRU
+  EXPECT_FALSE(C.access(2 * SetStride)); // evicts LRU (SetStride)
+  EXPECT_TRUE(C.access(0));
+  EXPECT_FALSE(C.access(SetStride)); // was evicted
+}
+
+TEST(Cache, DistinctSetsDoNotConflict) {
+  Cache C({128, 2, 32}); // 2 sets
+  EXPECT_FALSE(C.access(0));  // set 0
+  EXPECT_FALSE(C.access(32)); // set 1
+  EXPECT_TRUE(C.access(0));
+  EXPECT_TRUE(C.access(32));
+}
+
+TEST(Cache, ResetClearsContentsAndStats) {
+  Cache C({1024, 2, 32});
+  C.access(0);
+  C.access(0);
+  C.reset();
+  EXPECT_EQ(C.hits(), 0u);
+  EXPECT_EQ(C.misses(), 0u);
+  EXPECT_FALSE(C.access(0)); // cold again
+}
+
+TEST(Cache, FullyAssociativeLikeSingleSet) {
+  Cache C({128, 4, 32}); // 1 set, 4 ways
+  for (uint64_t B = 0; B < 4; ++B)
+    EXPECT_FALSE(C.access(B * 32));
+  for (uint64_t B = 0; B < 4; ++B)
+    EXPECT_TRUE(C.access(B * 32));
+  // The re-touch loop went 0..3, so block 0 is now LRU; a fifth block
+  // evicts it.
+  EXPECT_FALSE(C.access(4 * 32));
+  EXPECT_FALSE(C.access(0 * 32)); // evicted
+  EXPECT_TRUE(C.access(2 * 32));
+}
+
+TEST(Cache, StreamingNeverHits) {
+  Cache C({1024, 4, 32});
+  for (uint64_t A = 0; A < 64 * 1024; A += 32)
+    C.access(A);
+  EXPECT_EQ(C.hits(), 0u);
+  EXPECT_EQ(C.misses(), 64u * 1024 / 32);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup) {
+  Cache C({4096, 4, 32});
+  for (int Round = 0; Round < 3; ++Round)
+    for (uint64_t A = 0; A < 2048; A += 32)
+      C.access(A);
+  EXPECT_EQ(C.misses(), 2048u / 32); // only the cold round misses
+}
+
+} // namespace

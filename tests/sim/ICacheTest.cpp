@@ -1,0 +1,80 @@
+//===- tests/sim/ICacheTest.cpp - optional instruction-cache model --------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+const VoltageLevel Fast{1.65, 800e6};
+
+TEST(ICache, OffByDefaultAndInvisible) {
+  Workload W = workloadByName("gsm");
+  Simulator Sim(*W.Fn);
+  W.defaultInput().Setup(Sim);
+  RunStats S = Sim.runAtLevel(Fast);
+  EXPECT_EQ(S.L1IMisses, 0u);
+}
+
+TEST(ICache, ColdMissesOnlyForResidentCode) {
+  // A small hot loop: with I-cache modeling on, only the cold fetches
+  // miss; steady state hits. Functional results are identical.
+  Workload W = workloadByName("adpcm");
+  SimConfig On;
+  On.ModelICache = true;
+  Simulator SimOn(*W.Fn, On);
+  W.defaultInput().Setup(SimOn);
+  RunStats SOn = SimOn.runAtLevel(Fast);
+
+  Simulator SimOff(*W.Fn);
+  W.defaultInput().Setup(SimOff);
+  RunStats SOff = SimOff.runAtLevel(Fast);
+
+  EXPECT_GT(SOn.L1IMisses, 0u);
+  // The whole program is a few hundred bytes of code: a handful of cold
+  // block fetches, vanishing against millions of executed instructions.
+  EXPECT_LT(SOn.L1IMisses, 64u);
+  EXPECT_EQ(SOn.Instructions, SOff.Instructions);
+  EXPECT_EQ(SOn.FinalRegs, SOff.FinalRegs);
+  // Fetch misses add (a little) time and energy.
+  EXPECT_GE(SOn.TimeSeconds, SOff.TimeSeconds);
+  EXPECT_GE(SOn.EnergyJoules, SOff.EnergyJoules);
+}
+
+TEST(ICache, ThrashingWhenCodeExceedsCapacity) {
+  // A giant straight-line block larger than a tiny I-cache: every
+  // revisit re-misses (capacity), unlike the resident-code case.
+  Function F("bigcode", 8, 1024);
+  IRBuilder B(F);
+  int Entry = B.createBlock("entry");
+  int Loop = B.createBlock("huge");
+  int Exit = B.createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(1, 0);
+  B.movImm(2, 8); // trips
+  B.movImm(3, 1);
+  B.jump(Loop);
+  B.setInsertPoint(Loop);
+  for (int I = 0; I < 600; ++I) // 2400 B of code
+    B.add(4, 4, 3);
+  B.add(1, 1, 3);
+  B.cmpLt(5, 1, 2);
+  B.condBr(5, Loop, Exit);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  SimConfig Tiny;
+  Tiny.ModelICache = true;
+  Tiny.L1I = {1024, 2, 32}; // 1 KB I-cache < 2.4 KB of loop code
+  Simulator Sim(F, Tiny);
+  RunStats S = Sim.runAtLevel(Fast);
+  // Each of the 8 trips re-fetches most of the loop's ~75 blocks' worth
+  // of lines: misses scale with trips, not just cold lines.
+  EXPECT_GT(S.L1IMisses, 8u * 30u);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+//===- tests/sim/SimPropertyTest.cpp - cross-workload sim invariants ------===//
+//
+// Parameterized invariants that must hold for every workload at every
+// operating point — the physics of the simulator's model:
+//  * energy scales exactly quadratically with voltage (same op stream);
+//  * wall time decreases monotonically with frequency;
+//  * the frequency-invariant DRAM time is identical at every frequency;
+//  * compute cycle counts (overlap + dependent) conserve across modes;
+//  * DVS-aware execution with a uniform assignment equals runAtLevel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+class SimInvariants : public ::testing::TestWithParam<std::string> {
+protected:
+  void SetUp() override {
+    W = workloadByName(GetParam());
+    Sim = std::make_unique<Simulator>(*W.Fn);
+    W.defaultInput().Setup(*Sim);
+  }
+
+  Workload W;
+  std::unique_ptr<Simulator> Sim;
+  ModeTable Modes = ModeTable::xscale3();
+};
+
+TEST_P(SimInvariants, EnergyIsExactlyQuadraticInVoltage) {
+  RunStats A = Sim->runAtLevel(Modes.level(0));
+  RunStats B = Sim->runAtLevel(Modes.level(2));
+  double V0 = Modes.level(0).Volts, V2 = Modes.level(2).Volts;
+  // Identical instruction streams, per-op energy = Ceff * V^2.
+  EXPECT_NEAR(A.EnergyJoules / B.EnergyJoules, (V0 * V0) / (V2 * V2),
+              1e-9);
+}
+
+TEST_P(SimInvariants, TimeMonotoneInFrequency) {
+  double Prev = 1e18;
+  for (size_t M = 0; M < Modes.size(); ++M) {
+    RunStats S = Sim->runAtLevel(Modes.level(M));
+    EXPECT_LT(S.TimeSeconds, Prev) << "mode " << M;
+    Prev = S.TimeSeconds;
+  }
+}
+
+TEST_P(SimInvariants, InvariantMemoryTimeIsFrequencyIndependent) {
+  RunStats A = Sim->runAtLevel(Modes.level(0));
+  RunStats B = Sim->runAtLevel(Modes.level(2));
+  EXPECT_NEAR(A.TinvariantSeconds, B.TinvariantSeconds,
+              1e-12 + 1e-9 * A.TinvariantSeconds);
+  EXPECT_EQ(A.L2Misses, B.L2Misses);
+  EXPECT_EQ(A.L1DMisses, B.L1DMisses);
+}
+
+TEST_P(SimInvariants, CycleAccountingConservesAcrossModes) {
+  // Overlap vs dependent classification shifts with frequency (shorter
+  // windows at lower clocks), but their sum — total compute/memory
+  // cycles issued — is an instruction-stream property.
+  RunStats A = Sim->runAtLevel(Modes.level(0));
+  RunStats B = Sim->runAtLevel(Modes.level(2));
+  EXPECT_EQ(A.NoverlapCycles + A.NdependentCycles + A.NcacheCycles,
+            B.NoverlapCycles + B.NdependentCycles + B.NcacheCycles);
+}
+
+TEST_P(SimInvariants, UniformAssignmentMatchesRunAtLevel) {
+  TransitionModel Free(0.0, 0.0, 1.0);
+  RunStats Direct = Sim->runAtLevel(Modes.level(1));
+  RunStats ViaDvs = Sim->run(Modes, ModeAssignment::uniform(1), Free);
+  EXPECT_DOUBLE_EQ(Direct.TimeSeconds, ViaDvs.TimeSeconds);
+  EXPECT_DOUBLE_EQ(Direct.EnergyJoules, ViaDvs.EnergyJoules);
+  EXPECT_EQ(ViaDvs.Transitions, 0u);
+}
+
+TEST_P(SimInvariants, TimeLowerBoundedByComputeAndMemory) {
+  // Wall time can never beat either pure-compute time or the invariant
+  // memory time.
+  for (size_t M = 0; M < Modes.size(); ++M) {
+    RunStats S = Sim->runAtLevel(Modes.level(M));
+    double CycleTime = 1.0 / Modes.level(M).Hertz;
+    double ComputeFloor =
+        static_cast<double>(S.NoverlapCycles + S.NdependentCycles +
+                            S.NcacheCycles) *
+        CycleTime;
+    EXPECT_GE(S.TimeSeconds * (1 + 1e-9), ComputeFloor) << "mode " << M;
+    EXPECT_GE(S.TimeSeconds * (1 + 1e-9), S.TinvariantSeconds)
+        << "mode " << M;
+  }
+}
+
+TEST_P(SimInvariants, GatedTimePlusBusyTimeIsConsistent) {
+  // Gated (zero-energy) stall time never exceeds total time.
+  RunStats S = Sim->runAtLevel(Modes.level(2));
+  EXPECT_GE(S.GatedSeconds, 0.0);
+  EXPECT_LE(S.GatedSeconds, S.TimeSeconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SimInvariants,
+                         ::testing::Values("adpcm", "epic", "gsm",
+                                           "mpeg_decode", "mpg123",
+                                           "ghostscript"));
+
+} // namespace

@@ -1,0 +1,54 @@
+//===- tests/support/ErrorTest.cpp - ErrorOr behaviour -------------------===//
+
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace cdvs;
+
+namespace {
+
+ErrorOr<int> parsePositive(int X) {
+  if (X <= 0)
+    return makeError("not positive");
+  return X;
+}
+
+TEST(ErrorOr, HoldsValue) {
+  ErrorOr<int> R = parsePositive(42);
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(*R, 42);
+  EXPECT_EQ(R.get(), 42);
+}
+
+TEST(ErrorOr, HoldsError) {
+  ErrorOr<int> R = parsePositive(-1);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_EQ(R.message(), "not positive");
+}
+
+TEST(ErrorOr, MoveOnlyPayload) {
+  ErrorOr<std::unique_ptr<int>> R = std::make_unique<int>(7);
+  ASSERT_TRUE(R.hasValue());
+  std::unique_ptr<int> P = std::move(*R);
+  EXPECT_EQ(*P, 7);
+}
+
+TEST(ErrorOr, ArrowOperator) {
+  ErrorOr<std::string> R = std::string("abc");
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(R->size(), 3u);
+}
+
+TEST(ErrorOr, CopyableResult) {
+  ErrorOr<std::string> R = std::string("xyz");
+  ErrorOr<std::string> Copy = R;
+  ASSERT_TRUE(Copy.hasValue());
+  EXPECT_EQ(*Copy, "xyz");
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+//===- tests/support/NumericTest.cpp - 1-D numeric routines --------------===//
+
+#include "support/Numeric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(GoldenSection, QuadraticMinimum) {
+  auto F = [](double X) { return (X - 3.0) * (X - 3.0) + 2.0; };
+  MinResult R = goldenSectionMinimize(F, -10.0, 10.0);
+  EXPECT_NEAR(R.X, 3.0, 1e-6);
+  EXPECT_NEAR(R.Fx, 2.0, 1e-10);
+}
+
+TEST(GoldenSection, MinimumAtBoundary) {
+  auto F = [](double X) { return X; };
+  MinResult R = goldenSectionMinimize(F, 1.0, 5.0);
+  EXPECT_NEAR(R.X, 1.0, 1e-6);
+}
+
+TEST(GoldenSection, DegenerateBracket) {
+  auto F = [](double X) { return X * X; };
+  MinResult R = goldenSectionMinimize(F, 2.0, 2.0);
+  EXPECT_DOUBLE_EQ(R.X, 2.0);
+  EXPECT_DOUBLE_EQ(R.Fx, 4.0);
+}
+
+TEST(BisectRoot, FindsSqrtTwo) {
+  auto F = [](double X) { return X * X - 2.0; };
+  double Root = bisectRoot(F, 0.0, 2.0);
+  EXPECT_NEAR(Root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(BisectRoot, EndpointRoot) {
+  auto F = [](double X) { return X - 1.0; };
+  EXPECT_DOUBLE_EQ(bisectRoot(F, 1.0, 3.0), 1.0);
+}
+
+TEST(GridRefine, FindsGlobalAmongLocalMinima) {
+  // Two local minima: x = -2 (f = 1) and x = 2.5 (f = 0.2).
+  auto F = [](double X) {
+    double A = (X + 2.0) * (X + 2.0) + 1.0;
+    double B = (X - 2.5) * (X - 2.5) + 0.2;
+    return std::min(A, B);
+  };
+  MinResult R = gridRefineMinimize(F, -5.0, 5.0, 256);
+  EXPECT_NEAR(R.X, 2.5, 1e-5);
+  EXPECT_NEAR(R.Fx, 0.2, 1e-8);
+}
+
+TEST(GridRefine, StaircaseObjective) {
+  // Piecewise-constant steps with the lowest step in the middle.
+  auto F = [](double X) { return std::floor(std::fabs(X - 0.4) * 3.0); };
+  MinResult R = gridRefineMinimize(F, -2.0, 2.0, 512);
+  EXPECT_NEAR(R.Fx, 0.0, 1e-12);
+  EXPECT_NEAR(R.X, 0.4, 0.34); // anywhere on the zero step
+}
+
+TEST(Simpson, IntegratesPolynomialExactly) {
+  // Simpson is exact for cubics.
+  auto F = [](double X) { return X * X * X - X + 1.0; };
+  double I = simpson(F, 0.0, 2.0, 2);
+  EXPECT_NEAR(I, 4.0 - 2.0 + 2.0, 1e-12);
+}
+
+TEST(Simpson, EmptyInterval) {
+  auto F = [](double X) { return X; };
+  EXPECT_DOUBLE_EQ(simpson(F, 1.0, 1.0), 0.0);
+}
+
+TEST(Simpson, SineIntegral) {
+  double I = simpson([](double X) { return std::sin(X); }, 0.0, M_PI, 512);
+  EXPECT_NEAR(I, 2.0, 1e-8);
+}
+
+} // namespace

@@ -1,0 +1,79 @@
+//===- tests/support/RngTest.cpp - deterministic RNG ---------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(12345), B(12345);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += (A.next() == B.next());
+  EXPECT_LT(Same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng A(777);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(777);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng R(9);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng R(9);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(5);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 5000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng R(11);
+  double Sum = 0.0;
+  for (int I = 0; I < 20000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+    Sum += D;
+  }
+  EXPECT_NEAR(Sum / 20000.0, 0.5, 0.02); // rough uniformity
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng R(13);
+  int Hits = 0;
+  for (int I = 0; I < 20000; ++I)
+    Hits += R.nextBool(0.25);
+  EXPECT_NEAR(Hits / 20000.0, 0.25, 0.02);
+}
+
+} // namespace

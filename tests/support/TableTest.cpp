@@ -1,0 +1,68 @@
+//===- tests/support/TableTest.cpp - text table emission -----------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+std::string renderCsv(const Table &T) {
+  char *Buf = nullptr;
+  size_t Size = 0;
+  std::FILE *Mem = open_memstream(&Buf, &Size);
+  T.printCsv(Mem);
+  std::fclose(Mem);
+  std::string Out(Buf, Size);
+  free(Buf);
+  return Out;
+}
+
+std::string renderText(const Table &T) {
+  char *Buf = nullptr;
+  size_t Size = 0;
+  std::FILE *Mem = open_memstream(&Buf, &Size);
+  T.print(Mem);
+  std::fclose(Mem);
+  std::string Out(Buf, Size);
+  free(Buf);
+  return Out;
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table T({"a", "b"});
+  T.addRow({"1", "2"});
+  T.addRow({"x", "y"});
+  EXPECT_EQ(renderCsv(T), "a,b\n1,2\nx,y\n");
+}
+
+TEST(Table, TextAlignsColumns) {
+  Table T({"name", "v"});
+  T.addRow({"long-name-here", "1"});
+  std::string Out = renderText(T);
+  EXPECT_NE(Out.find("| name"), std::string::npos);
+  EXPECT_NE(Out.find("long-name-here"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(Out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RowAccess) {
+  Table T({"x"});
+  T.addRow({"7"});
+  ASSERT_EQ(T.numRows(), 1u);
+  EXPECT_EQ(T.row(0)[0], "7");
+}
+
+TEST(FormatHelpers, Doubles) {
+  EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(formatDouble(-0.5, 3), "-0.500");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(FormatHelpers, Ints) {
+  EXPECT_EQ(formatInt(0), "0");
+  EXPECT_EQ(formatInt(-12345678901LL), "-12345678901");
+}
+
+} // namespace
