@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_fig18_deadline.dir/bench_fig17_fig18_deadline.cpp.o"
+  "CMakeFiles/bench_fig17_fig18_deadline.dir/bench_fig17_fig18_deadline.cpp.o.d"
+  "bench_fig17_fig18_deadline"
+  "bench_fig17_fig18_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_fig18_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig17_fig18_deadline.
+# This may be replaced when dependencies are built.

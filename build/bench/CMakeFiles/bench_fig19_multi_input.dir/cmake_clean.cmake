@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_multi_input.dir/bench_fig19_multi_input.cpp.o"
+  "CMakeFiles/bench_fig19_multi_input.dir/bench_fig19_multi_input.cpp.o.d"
+  "bench_fig19_multi_input"
+  "bench_fig19_multi_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_multi_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

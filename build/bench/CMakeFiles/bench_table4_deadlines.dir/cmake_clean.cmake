@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_deadlines.dir/bench_table4_deadlines.cpp.o"
+  "CMakeFiles/bench_table4_deadlines.dir/bench_table4_deadlines.cpp.o.d"
+  "bench_table4_deadlines"
+  "bench_table4_deadlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_kernel.cpp" "examples/CMakeFiles/custom_kernel.dir/custom_kernel.cpp.o" "gcc" "examples/CMakeFiles/custom_kernel.dir/custom_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dvs/CMakeFiles/cdvs_dvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/cdvs_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cdvs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/cdvs_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cdvs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/cdvs_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cdvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cdvs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cdvs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cdvs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

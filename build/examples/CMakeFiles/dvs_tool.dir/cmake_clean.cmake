@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_tool.dir/dvs_tool.cpp.o"
+  "CMakeFiles/dvs_tool.dir/dvs_tool.cpp.o.d"
+  "dvs_tool"
+  "dvs_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

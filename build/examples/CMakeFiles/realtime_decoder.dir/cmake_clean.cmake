@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_decoder.dir/realtime_decoder.cpp.o"
+  "CMakeFiles/realtime_decoder.dir/realtime_decoder.cpp.o.d"
+  "realtime_decoder"
+  "realtime_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("power")
+subdirs("lp")
+subdirs("milp")
+subdirs("ir")
+subdirs("sim")
+subdirs("profile")
+subdirs("analytic")
+subdirs("dvs")
+subdirs("workloads")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvs_analytic.dir/AnalyticModel.cpp.o"
+  "CMakeFiles/cdvs_analytic.dir/AnalyticModel.cpp.o.d"
+  "libcdvs_analytic.a"
+  "libcdvs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

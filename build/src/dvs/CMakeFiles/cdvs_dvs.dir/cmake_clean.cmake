@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvs_dvs.dir/Baselines.cpp.o"
+  "CMakeFiles/cdvs_dvs.dir/Baselines.cpp.o.d"
+  "CMakeFiles/cdvs_dvs.dir/DvsScheduler.cpp.o"
+  "CMakeFiles/cdvs_dvs.dir/DvsScheduler.cpp.o.d"
+  "CMakeFiles/cdvs_dvs.dir/PathScheduler.cpp.o"
+  "CMakeFiles/cdvs_dvs.dir/PathScheduler.cpp.o.d"
+  "CMakeFiles/cdvs_dvs.dir/ScheduleIO.cpp.o"
+  "CMakeFiles/cdvs_dvs.dir/ScheduleIO.cpp.o.d"
+  "libcdvs_dvs.a"
+  "libcdvs_dvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvs_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/cdvs_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/cdvs_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/cdvs_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/cdvs_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Passes.cpp" "src/ir/CMakeFiles/cdvs_ir.dir/Passes.cpp.o" "gcc" "src/ir/CMakeFiles/cdvs_ir.dir/Passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cdvs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

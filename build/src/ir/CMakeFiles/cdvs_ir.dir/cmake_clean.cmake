@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvs_ir.dir/Function.cpp.o"
+  "CMakeFiles/cdvs_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/cdvs_ir.dir/Parser.cpp.o"
+  "CMakeFiles/cdvs_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/cdvs_ir.dir/Passes.cpp.o"
+  "CMakeFiles/cdvs_ir.dir/Passes.cpp.o.d"
+  "libcdvs_ir.a"
+  "libcdvs_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvs_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvs_lp.dir/LpProblem.cpp.o"
+  "CMakeFiles/cdvs_lp.dir/LpProblem.cpp.o.d"
+  "CMakeFiles/cdvs_lp.dir/LpWriter.cpp.o"
+  "CMakeFiles/cdvs_lp.dir/LpWriter.cpp.o.d"
+  "CMakeFiles/cdvs_lp.dir/SimplexSolver.cpp.o"
+  "CMakeFiles/cdvs_lp.dir/SimplexSolver.cpp.o.d"
+  "libcdvs_lp.a"
+  "libcdvs_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvs_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

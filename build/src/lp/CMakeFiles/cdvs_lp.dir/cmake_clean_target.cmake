@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdvs_lp.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvs_milp.dir/MilpSolver.cpp.o"
+  "CMakeFiles/cdvs_milp.dir/MilpSolver.cpp.o.d"
+  "libcdvs_milp.a"
+  "libcdvs_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvs_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvs_power.dir/ModeTable.cpp.o"
+  "CMakeFiles/cdvs_power.dir/ModeTable.cpp.o.d"
+  "CMakeFiles/cdvs_power.dir/VfModel.cpp.o"
+  "CMakeFiles/cdvs_power.dir/VfModel.cpp.o.d"
+  "libcdvs_power.a"
+  "libcdvs_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvs_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cdvs_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvs_profile.dir/Profile.cpp.o"
+  "CMakeFiles/cdvs_profile.dir/Profile.cpp.o.d"
+  "libcdvs_profile.a"
+  "libcdvs_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvs_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

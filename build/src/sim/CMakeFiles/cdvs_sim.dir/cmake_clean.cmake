@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvs_sim.dir/Cache.cpp.o"
+  "CMakeFiles/cdvs_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/cdvs_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/cdvs_sim.dir/Simulator.cpp.o.d"
+  "libcdvs_sim.a"
+  "libcdvs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvs_support.dir/Numeric.cpp.o"
+  "CMakeFiles/cdvs_support.dir/Numeric.cpp.o.d"
+  "CMakeFiles/cdvs_support.dir/Table.cpp.o"
+  "CMakeFiles/cdvs_support.dir/Table.cpp.o.d"
+  "libcdvs_support.a"
+  "libcdvs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

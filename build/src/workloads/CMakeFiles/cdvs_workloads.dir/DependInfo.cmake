@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Adpcm.cpp" "src/workloads/CMakeFiles/cdvs_workloads.dir/Adpcm.cpp.o" "gcc" "src/workloads/CMakeFiles/cdvs_workloads.dir/Adpcm.cpp.o.d"
+  "/root/repo/src/workloads/AllWorkloads.cpp" "src/workloads/CMakeFiles/cdvs_workloads.dir/AllWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/cdvs_workloads.dir/AllWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/Epic.cpp" "src/workloads/CMakeFiles/cdvs_workloads.dir/Epic.cpp.o" "gcc" "src/workloads/CMakeFiles/cdvs_workloads.dir/Epic.cpp.o.d"
+  "/root/repo/src/workloads/Ghostscript.cpp" "src/workloads/CMakeFiles/cdvs_workloads.dir/Ghostscript.cpp.o" "gcc" "src/workloads/CMakeFiles/cdvs_workloads.dir/Ghostscript.cpp.o.d"
+  "/root/repo/src/workloads/Gsm.cpp" "src/workloads/CMakeFiles/cdvs_workloads.dir/Gsm.cpp.o" "gcc" "src/workloads/CMakeFiles/cdvs_workloads.dir/Gsm.cpp.o.d"
+  "/root/repo/src/workloads/MpegDecode.cpp" "src/workloads/CMakeFiles/cdvs_workloads.dir/MpegDecode.cpp.o" "gcc" "src/workloads/CMakeFiles/cdvs_workloads.dir/MpegDecode.cpp.o.d"
+  "/root/repo/src/workloads/Mpg123.cpp" "src/workloads/CMakeFiles/cdvs_workloads.dir/Mpg123.cpp.o" "gcc" "src/workloads/CMakeFiles/cdvs_workloads.dir/Mpg123.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cdvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cdvs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cdvs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cdvs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

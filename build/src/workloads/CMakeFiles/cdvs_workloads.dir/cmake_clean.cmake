@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvs_workloads.dir/Adpcm.cpp.o"
+  "CMakeFiles/cdvs_workloads.dir/Adpcm.cpp.o.d"
+  "CMakeFiles/cdvs_workloads.dir/AllWorkloads.cpp.o"
+  "CMakeFiles/cdvs_workloads.dir/AllWorkloads.cpp.o.d"
+  "CMakeFiles/cdvs_workloads.dir/Epic.cpp.o"
+  "CMakeFiles/cdvs_workloads.dir/Epic.cpp.o.d"
+  "CMakeFiles/cdvs_workloads.dir/Ghostscript.cpp.o"
+  "CMakeFiles/cdvs_workloads.dir/Ghostscript.cpp.o.d"
+  "CMakeFiles/cdvs_workloads.dir/Gsm.cpp.o"
+  "CMakeFiles/cdvs_workloads.dir/Gsm.cpp.o.d"
+  "CMakeFiles/cdvs_workloads.dir/MpegDecode.cpp.o"
+  "CMakeFiles/cdvs_workloads.dir/MpegDecode.cpp.o.d"
+  "CMakeFiles/cdvs_workloads.dir/Mpg123.cpp.o"
+  "CMakeFiles/cdvs_workloads.dir/Mpg123.cpp.o.d"
+  "libcdvs_workloads.a"
+  "libcdvs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytic/AnalyticModelTest.cpp" "tests/CMakeFiles/analytic_test.dir/analytic/AnalyticModelTest.cpp.o" "gcc" "tests/CMakeFiles/analytic_test.dir/analytic/AnalyticModelTest.cpp.o.d"
+  "/root/repo/tests/analytic/AnalyticPropertyTest.cpp" "tests/CMakeFiles/analytic_test.dir/analytic/AnalyticPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/analytic_test.dir/analytic/AnalyticPropertyTest.cpp.o.d"
+  "/root/repo/tests/analytic/SingleSettingTest.cpp" "tests/CMakeFiles/analytic_test.dir/analytic/SingleSettingTest.cpp.o" "gcc" "tests/CMakeFiles/analytic_test.dir/analytic/SingleSettingTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytic/CMakeFiles/cdvs_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cdvs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cdvs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

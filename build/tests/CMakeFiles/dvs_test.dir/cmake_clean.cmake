@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_test.dir/dvs/BaselinesTest.cpp.o"
+  "CMakeFiles/dvs_test.dir/dvs/BaselinesTest.cpp.o.d"
+  "CMakeFiles/dvs_test.dir/dvs/DvsSchedulerTest.cpp.o"
+  "CMakeFiles/dvs_test.dir/dvs/DvsSchedulerTest.cpp.o.d"
+  "CMakeFiles/dvs_test.dir/dvs/LpDumpTest.cpp.o"
+  "CMakeFiles/dvs_test.dir/dvs/LpDumpTest.cpp.o.d"
+  "CMakeFiles/dvs_test.dir/dvs/PathSchedulerTest.cpp.o"
+  "CMakeFiles/dvs_test.dir/dvs/PathSchedulerTest.cpp.o.d"
+  "CMakeFiles/dvs_test.dir/dvs/ScheduleIOTest.cpp.o"
+  "CMakeFiles/dvs_test.dir/dvs/ScheduleIOTest.cpp.o.d"
+  "dvs_test"
+  "dvs_test.pdb"
+  "dvs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

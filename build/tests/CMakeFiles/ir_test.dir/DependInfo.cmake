@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/FunctionTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/FunctionTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/FunctionTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/ParserTest.cpp.o.d"
+  "/root/repo/tests/ir/PassesTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/PassesTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/PassesTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cdvs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cdvs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cdvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cdvs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cdvs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

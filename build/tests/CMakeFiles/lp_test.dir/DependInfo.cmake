@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lp/LpProblemTest.cpp" "tests/CMakeFiles/lp_test.dir/lp/LpProblemTest.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/LpProblemTest.cpp.o.d"
+  "/root/repo/tests/lp/LpWriterTest.cpp" "tests/CMakeFiles/lp_test.dir/lp/LpWriterTest.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/LpWriterTest.cpp.o.d"
+  "/root/repo/tests/lp/SimplexPropertyTest.cpp" "tests/CMakeFiles/lp_test.dir/lp/SimplexPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/SimplexPropertyTest.cpp.o.d"
+  "/root/repo/tests/lp/SimplexRegressionTest.cpp" "tests/CMakeFiles/lp_test.dir/lp/SimplexRegressionTest.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/SimplexRegressionTest.cpp.o.d"
+  "/root/repo/tests/lp/SimplexTest.cpp" "tests/CMakeFiles/lp_test.dir/lp/SimplexTest.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/SimplexTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/cdvs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cdvs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_test.dir/lp/LpProblemTest.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/LpProblemTest.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/LpWriterTest.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/LpWriterTest.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/SimplexPropertyTest.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/SimplexPropertyTest.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/SimplexRegressionTest.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/SimplexRegressionTest.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/SimplexTest.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/SimplexTest.cpp.o.d"
+  "lp_test"
+  "lp_test.pdb"
+  "lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milp_test.dir/milp/MilpPropertyTest.cpp.o"
+  "CMakeFiles/milp_test.dir/milp/MilpPropertyTest.cpp.o.d"
+  "CMakeFiles/milp_test.dir/milp/MilpTest.cpp.o"
+  "CMakeFiles/milp_test.dir/milp/MilpTest.cpp.o.d"
+  "milp_test"
+  "milp_test.pdb"
+  "milp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

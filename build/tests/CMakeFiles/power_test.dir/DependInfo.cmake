@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power/ModeTableTest.cpp" "tests/CMakeFiles/power_test.dir/power/ModeTableTest.cpp.o" "gcc" "tests/CMakeFiles/power_test.dir/power/ModeTableTest.cpp.o.d"
+  "/root/repo/tests/power/TransitionModelTest.cpp" "tests/CMakeFiles/power_test.dir/power/TransitionModelTest.cpp.o" "gcc" "tests/CMakeFiles/power_test.dir/power/TransitionModelTest.cpp.o.d"
+  "/root/repo/tests/power/VfModelTest.cpp" "tests/CMakeFiles/power_test.dir/power/VfModelTest.cpp.o" "gcc" "tests/CMakeFiles/power_test.dir/power/VfModelTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/cdvs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cdvs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/CacheTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/CacheTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/ICacheTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/ICacheTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/SimPropertyTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/SimPropertyTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/SimulatorTest.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/SimulatorTest.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

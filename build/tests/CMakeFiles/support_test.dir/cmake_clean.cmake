@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support/ErrorTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/ErrorTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/NumericTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/NumericTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/RngTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/RngTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/TableTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/TableTest.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+  "support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
