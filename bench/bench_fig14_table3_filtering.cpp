@@ -8,55 +8,89 @@
 // Setup mirrors the paper: 6 MediaBench-class programs, c = 10 uF
 // regulator, one mid-range deadline per program.
 //
+// The 6 x 2 benchmark/threshold grid is swept with parallelFor; each
+// point gets its own simulator and a single-threaded MILP. --threads=N
+// overrides the sweep width (default: one per core).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace cdvs;
 using namespace cdvs::bench;
 
-int main() {
+namespace {
+
+struct Point {
+  ScheduleResult R;
+  double EnergyJoules = 0.0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int SweepThreads = resolveThreads(0);
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--threads=", 10) == 0)
+      SweepThreads = resolveThreads(std::atoi(argv[I] + 10));
+
   ModeTable Modes = ModeTable::xscale3();
   TransitionModel Regulator = TransitionModel::paperTypical();
+
+  // Phase 1 (serial): per-workload profile and mid-range deadline.
+  std::vector<std::string> Names = milpBenchmarks();
+  int NumW = static_cast<int>(Names.size());
+  std::vector<Profile> Profiles(NumW);
+  std::vector<double> Deadlines(NumW);
+  for (int WI = 0; WI < NumW; ++WI) {
+    Workload W = workloadByName(Names[WI]);
+    auto Sim = makeSimulator(W, W.defaultInput());
+    Profiles[WI] = collectProfile(*Sim, Modes);
+    Deadlines[WI] = 0.5 * (Profiles[WI].TotalTimeAtMode.front() +
+                           Profiles[WI].TotalTimeAtMode.back());
+  }
+
+  // Phase 2 (parallel): each (workload, threshold) point schedules and
+  // simulates independently. Threshold index 0 = full edge set, 1 =
+  // filtered at the paper's 2%.
+  const double Thresholds[2] = {0.0, 0.02};
+  std::vector<Point> Grid(NumW * 2);
+  parallelFor(NumW * 2, SweepThreads, [&](int Idx) {
+    int WI = Idx / 2;
+    Workload W = workloadByName(Names[WI]);
+    auto Sim = makeSimulator(W, W.defaultInput());
+    DvsOptions O;
+    O.FilterThreshold = Thresholds[Idx % 2];
+    O.InitialMode = static_cast<int>(Modes.size()) - 1;
+    O.Milp.NumThreads = 1;
+    DvsScheduler Sched(*W.Fn, Profiles[WI], Modes, Regulator, O);
+    ErrorOr<ScheduleResult> R = Sched.schedule(Deadlines[WI]);
+    if (!R)
+      cdvsUnreachable(("mid deadline infeasible for " + Names[WI]).c_str());
+    RunStats Run = Sim->run(Modes, R->Assignment, Regulator);
+    Grid[Idx] = {*R, Run.EnergyJoules};
+  });
 
   std::printf("== Figure 14 / Table 3: edge filtering ==\n");
   Table T({"benchmark", "edges", "groups(all)", "groups(filt)",
            "solve(all) ms", "solve(filt) ms", "speedup",
            "energy(all) uJ", "energy(filt) uJ"});
-
-  for (const std::string &Name : milpBenchmarks()) {
-    Workload W = workloadByName(Name);
-    auto Sim = makeSimulator(W, W.defaultInput());
-    Profile Prof = collectProfile(*Sim, Modes);
-    double Deadline =
-        0.5 * (Prof.TotalTimeAtMode.front() + Prof.TotalTimeAtMode.back());
-
-    auto solveWith = [&](double Threshold) {
-      DvsOptions O;
-      O.FilterThreshold = Threshold;
-      O.InitialMode = static_cast<int>(Modes.size()) - 1;
-      DvsScheduler Sched(*W.Fn, Prof, Modes, Regulator, O);
-      ErrorOr<ScheduleResult> R = Sched.schedule(Deadline);
-      if (!R)
-        cdvsUnreachable(("mid deadline infeasible for " + Name).c_str());
-      RunStats Run = Sim->run(Modes, R->Assignment, Regulator);
-      return std::make_pair(*R, Run.EnergyJoules);
-    };
-
-    auto [All, EAll] = solveWith(0.0);
-    auto [Filt, EFilt] = solveWith(0.02);
-    T.addRow({Name, formatInt(All.NumEdges),
-              formatInt(All.NumIndependentGroups),
-              formatInt(Filt.NumIndependentGroups),
-              formatDouble(All.SolveSeconds * 1e3, 2),
-              formatDouble(Filt.SolveSeconds * 1e3, 2),
-              formatDouble(All.SolveSeconds /
-                               std::max(Filt.SolveSeconds, 1e-9),
+  for (int WI = 0; WI < NumW; ++WI) {
+    const Point &All = Grid[WI * 2], &Filt = Grid[WI * 2 + 1];
+    T.addRow({Names[WI], formatInt(All.R.NumEdges),
+              formatInt(All.R.NumIndependentGroups),
+              formatInt(Filt.R.NumIndependentGroups),
+              formatDouble(All.R.SolveSeconds * 1e3, 2),
+              formatDouble(Filt.R.SolveSeconds * 1e3, 2),
+              formatDouble(All.R.SolveSeconds /
+                               std::max(Filt.R.SolveSeconds, 1e-9),
                            1),
-              formatDouble(EAll * 1e6, 1),
-              formatDouble(EFilt * 1e6, 1)});
+              formatDouble(All.EnergyJoules * 1e6, 1),
+              formatDouble(Filt.EnergyJoules * 1e6, 1)});
   }
   T.print();
   std::printf("\n(deadline: midpoint of slowest/fastest single-mode "

@@ -11,54 +11,95 @@
 // Absolute schedule energy (uJ) is printed too, making the factor-of-2+
 // absolute trend of the paper visible directly.
 //
+// The 6 x 5 benchmark/deadline grid is embarrassingly parallel: profiles
+// are collected once per workload, then every point gets its own
+// simulator and scheduler and the grid is swept with parallelFor.
+// --threads=N overrides the sweep width (default: one per core); each
+// point's MILP runs single-threaded to avoid oversubscription.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace cdvs;
 using namespace cdvs::bench;
 
-int main() {
+namespace {
+
+struct Point {
+  std::string Norm = "-", Abs = "-", Solve = "-";
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int SweepThreads = resolveThreads(0);
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--threads=", 10) == 0)
+      SweepThreads = resolveThreads(std::atoi(argv[I] + 10));
+
   ModeTable Modes = ModeTable::xscale3();
   TransitionModel Regulator = TransitionModel::paperTypical();
+
+  // Phase 1 (serial): profiles and deadline ladders per workload.
+  std::vector<std::string> Names = milpBenchmarks();
+  int NumW = static_cast<int>(Names.size());
+  std::vector<Profile> Profiles(NumW);
+  std::vector<std::vector<double>> Deadlines(NumW);
+  for (int WI = 0; WI < NumW; ++WI) {
+    Workload W = workloadByName(Names[WI]);
+    auto Sim = makeSimulator(W, W.defaultInput());
+    Profiles[WI] = collectProfile(*Sim, Modes);
+    Deadlines[WI] = fiveDeadlines(Profiles[WI]);
+  }
+
+  // Phase 2 (parallel): one schedule + simulated run per grid point.
+  // Every point builds its own simulator; Simulator::run mutates state.
+  const int PerW = 5;
+  std::vector<Point> Grid(NumW * PerW);
+  parallelFor(NumW * PerW, SweepThreads, [&](int Idx) {
+    int WI = Idx / PerW, DI = Idx % PerW;
+    Workload W = workloadByName(Names[WI]);
+    auto Sim = makeSimulator(W, W.defaultInput());
+    const Profile &Prof = Profiles[WI];
+    double Deadline = Deadlines[WI][DI];
+
+    DvsOptions O;
+    O.InitialMode = static_cast<int>(Modes.size()) - 1;
+    O.Milp.NumThreads = 1;
+    DvsScheduler Sched(*W.Fn, Prof, Modes, Regulator, O);
+    ErrorOr<ScheduleResult> R = Sched.schedule(Deadline);
+    if (!R)
+      return;
+    RunStats Run = Sim->run(Modes, R->Assignment, Regulator);
+    double BestSingle = -1.0;
+    for (size_t M = 0; M < Modes.size(); ++M)
+      if (Prof.TotalTimeAtMode[M] <= Deadline &&
+          (BestSingle < 0.0 || Prof.TotalEnergyAtMode[M] < BestSingle))
+        BestSingle = Prof.TotalEnergyAtMode[M];
+    Point &Pt = Grid[Idx];
+    Pt.Norm = BestSingle > 0.0
+                  ? formatDouble(Run.EnergyJoules / BestSingle, 3)
+                  : "n/a";
+    Pt.Abs = formatDouble(Run.EnergyJoules * 1e6, 1);
+    Pt.Solve = formatDouble(R->SolveSeconds * 1e3, 2);
+  });
 
   Table TNorm({"benchmark", "D1", "D2", "D3", "D4", "D5"});
   Table TAbs = TNorm;
   Table TSolve = TNorm;
-
-  for (const std::string &Name : milpBenchmarks()) {
-    Workload W = workloadByName(Name);
-    auto Sim = makeSimulator(W, W.defaultInput());
-    Profile Prof = collectProfile(*Sim, Modes);
-    std::vector<double> Deadlines = fiveDeadlines(Prof);
-
-    std::vector<std::string> RowN = {Name}, RowA = {Name},
-                             RowS = {Name};
-    for (double Deadline : Deadlines) {
-      DvsOptions O;
-      O.InitialMode = static_cast<int>(Modes.size()) - 1;
-      DvsScheduler Sched(*W.Fn, Prof, Modes, Regulator, O);
-      ErrorOr<ScheduleResult> R = Sched.schedule(Deadline);
-      if (!R) {
-        RowN.push_back("-");
-        RowA.push_back("-");
-        RowS.push_back("-");
-        continue;
-      }
-      RunStats Run = Sim->run(Modes, R->Assignment, Regulator);
-      double BestSingle = -1.0;
-      for (size_t M = 0; M < Modes.size(); ++M)
-        if (Prof.TotalTimeAtMode[M] <= Deadline &&
-            (BestSingle < 0.0 ||
-             Prof.TotalEnergyAtMode[M] < BestSingle))
-          BestSingle = Prof.TotalEnergyAtMode[M];
-      RowN.push_back(BestSingle > 0.0
-                         ? formatDouble(Run.EnergyJoules / BestSingle, 3)
-                         : "n/a");
-      RowA.push_back(formatDouble(Run.EnergyJoules * 1e6, 1));
-      RowS.push_back(formatDouble(R->SolveSeconds * 1e3, 2));
+  for (int WI = 0; WI < NumW; ++WI) {
+    std::vector<std::string> RowN = {Names[WI]}, RowA = {Names[WI]},
+                             RowS = {Names[WI]};
+    for (int DI = 0; DI < PerW; ++DI) {
+      const Point &Pt = Grid[WI * PerW + DI];
+      RowN.push_back(Pt.Norm);
+      RowA.push_back(Pt.Abs);
+      RowS.push_back(Pt.Solve);
     }
     TNorm.addRow(RowN);
     TAbs.addRow(RowA);

@@ -1,49 +1,35 @@
 //===- bench/bench_solver_micro.cpp - solver microbenchmarks ---------------===//
 //
 // google-benchmark timings of the from-scratch substrates: the dense
-// bounded-variable simplex, the branch-and-bound MILP, the cycle-level
-// simulator, and end-to-end DVS scheduling. These are the pieces whose
-// wall-clock cost the paper's Figures 14/18 measure; the microbenches
-// track their throughput across instance sizes.
+// bounded-variable simplex, the branch-and-bound MILP (warm-started and
+// cold, serial and threaded), the cycle-level simulator, and end-to-end
+// DVS scheduling. These are the pieces whose wall-clock cost the paper's
+// Figures 14/18 measure; the microbenches track their throughput across
+// instance sizes. Run with no arguments the binary also writes its
+// results to BENCH_solver.json (google-benchmark JSON format).
 //
 //===----------------------------------------------------------------------===//
 
+#include "../tests/common/RandomMilp.h"
 #include "BenchCommon.h"
 #include "support/Rng.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+
 using namespace cdvs;
 using namespace cdvs::bench;
+using testutil::makeModeAssignment;
+using testutil::makeRandomLp;
+using testutil::ModeAssignmentCase;
 
 namespace {
 
-/// Random dense feasible LP with the given shape.
-LpProblem makeLp(int Vars, int Rows, uint64_t Seed) {
-  Rng R(Seed);
-  LpProblem P;
-  std::vector<double> X0(Vars);
-  for (int J = 0; J < Vars; ++J) {
-    double Ub = 1.0 + R.nextDouble() * 4.0;
-    X0[J] = R.nextDouble() * Ub;
-    P.addVariable(0.0, Ub, R.nextDouble() * 10.0 - 5.0);
-  }
-  for (int I = 0; I < Rows; ++I) {
-    std::vector<LpTerm> Terms;
-    double Act = 0.0;
-    for (int J = 0; J < Vars; ++J) {
-      double A = R.nextDouble() * 6.0 - 3.0;
-      Terms.push_back({J, A});
-      Act += A * X0[J];
-    }
-    P.addRow(RowSense::LE, Act + R.nextDouble() * 2.0, Terms);
-  }
-  return P;
-}
-
 void BM_SimplexDense(benchmark::State &State) {
   int N = static_cast<int>(State.range(0));
-  LpProblem P = makeLp(N, N / 2, 42);
+  LpProblem P = makeRandomLp(N, N / 2, 42);
   for (auto _ : State) {
     LpSolution S = solveLp(P);
     benchmark::DoNotOptimize(S.Objective);
@@ -51,44 +37,86 @@ void BM_SimplexDense(benchmark::State &State) {
 }
 BENCHMARK(BM_SimplexDense)->Arg(20)->Arg(60)->Arg(120)->Arg(240);
 
-void BM_MilpModeAssignment(benchmark::State &State) {
-  // Mode-assignment MILP: G groups x 3 modes + deadline row.
-  int Groups = static_cast<int>(State.range(0));
-  Rng R(7);
-  LpProblem P;
-  std::vector<std::vector<int>> K(Groups);
-  std::vector<LpTerm> TimeRow;
-  double MinT = 0, MaxT = 0;
-  for (int G = 0; G < Groups; ++G) {
-    std::vector<LpTerm> Sum;
-    double GMin = 1e18, GMax = 0;
-    for (int M = 0; M < 3; ++M) {
-      double E = 1.0 + R.nextDouble() * 9.0;
-      double T = 1.0 + R.nextDouble() * 9.0;
-      int V = P.addVariable(0.0, 1.0, E);
-      K[G].push_back(V);
-      Sum.push_back({V, 1.0});
-      TimeRow.push_back({V, T});
-      GMin = std::min(GMin, T);
-      GMax = std::max(GMax, T);
-    }
-    P.addRow(RowSense::EQ, 1.0, Sum);
-    MinT += GMin;
-    MaxT += GMax;
-  }
-  P.addRow(RowSense::LE, 0.5 * (MinT + MaxT), TimeRow);
-  std::vector<int> Ints;
-  for (auto &G : K)
-    Ints.insert(Ints.end(), G.begin(), G.end());
+/// Warm re-solve throughput: one engine, a bound toggled per iteration.
+/// The cold equivalent is BM_SimplexDense — here only a few dual pivots
+/// run per solve.
+void BM_SimplexWarmResolve(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  LpProblem P = makeRandomLp(N, N / 2, 42);
+  SimplexEngine Engine(P);
+  benchmark::DoNotOptimize(Engine.solve().Objective);
+  double Hi = P.upperBound(0);
+  bool Shrunk = false;
   for (auto _ : State) {
-    MilpSolver S(P, Ints);
-    for (auto &G : K)
-      S.addSos1Group(G);
-    MilpSolution Sol = S.solve();
-    benchmark::DoNotOptimize(Sol.Objective);
+    Shrunk = !Shrunk;
+    Engine.setBounds(0, 0.0, Shrunk ? 0.25 * Hi : Hi);
+    LpSolution S = Engine.solve();
+    benchmark::DoNotOptimize(S.Objective);
   }
 }
+BENCHMARK(BM_SimplexWarmResolve)->Arg(20)->Arg(60)->Arg(120)->Arg(240);
+
+/// Solves one mode-assignment instance with the given options.
+double solveModeAssignment(const ModeAssignmentCase &C,
+                           const MilpOptions &Opts) {
+  MilpSolver S(C.P, C.Integers, Opts);
+  for (const auto &G : C.Groups)
+    S.addSos1Group(G);
+  return S.solve().Objective;
+}
+
+/// Mode-assignment MILP with the historical mid-range deadline
+/// (tightness 0.5): the rounding heuristic proves optimality at the
+/// root, so this tracks root-LP + heuristic cost, not tree search.
+void BM_MilpModeAssignment(benchmark::State &State) {
+  int Groups = static_cast<int>(State.range(0));
+  ModeAssignmentCase C = makeModeAssignment(Groups, 0.5, 7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveModeAssignment(C, MilpOptions()));
+}
 BENCHMARK(BM_MilpModeAssignment)->Arg(6)->Arg(12)->Arg(24);
+
+/// Tight-deadline mode assignment: range(1) is the deadline tightness in
+/// percent. Tight deadlines force real branch-and-bound trees (tens to
+/// hundreds of nodes), which is where warm-started node LPs pay off.
+void BM_MilpTightDeadline(benchmark::State &State) {
+  ModeAssignmentCase C = makeModeAssignment(
+      static_cast<int>(State.range(0)),
+      static_cast<double>(State.range(1)) / 100.0, 7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveModeAssignment(C, MilpOptions()));
+}
+BENCHMARK(BM_MilpTightDeadline)
+    ->Args({24, 15})
+    ->Args({24, 5})
+    ->Args({48, 10});
+
+/// The same instances with warm starting disabled: every node runs the
+/// cold two-phase simplex, which is what the solver did before the
+/// persistent-engine rework. The ratio to BM_MilpTightDeadline is the
+/// warm-start speedup.
+void BM_MilpColdStart(benchmark::State &State) {
+  ModeAssignmentCase C = makeModeAssignment(
+      static_cast<int>(State.range(0)),
+      static_cast<double>(State.range(1)) / 100.0, 7);
+  MilpOptions O;
+  O.WarmStart = false;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveModeAssignment(C, O));
+}
+BENCHMARK(BM_MilpColdStart)->Args({24, 15})->Args({24, 5})->Args({48, 10});
+
+/// Thread scaling on one hard instance; range(0) is NumThreads. On a
+/// single-core container this mostly measures the coordination overhead
+/// of the work-stealing pool.
+void BM_MilpThreads(benchmark::State &State) {
+  ModeAssignmentCase C = makeModeAssignment(48, 0.10, 7);
+  MilpOptions O;
+  O.NumThreads = static_cast<int>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveModeAssignment(C, O));
+}
+BENCHMARK(BM_MilpThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SimulatorThroughput(benchmark::State &State) {
   Workload W = workloadByName("gsm");
@@ -136,4 +164,26 @@ BENCHMARK(BM_EndToEndSchedule)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_solver.json (JSON format) so every run leaves a machine-readable
+// record next to the printed table. Explicit --benchmark_out wins.
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  std::string OutFlag = "--benchmark_out=BENCH_solver.json";
+  std::string FormatFlag = "--benchmark_out_format=json";
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--benchmark_out=", 16) == 0)
+      HasOut = true;
+  if (!HasOut) {
+    Args.push_back(OutFlag.data());
+    Args.push_back(FormatFlag.data());
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+#===- scripts/check.sh - tier-1 tests + TSan solver pass ------------------===#
+#
+# The repo's verification gate:
+#   1. default build + full ctest suite (the tier-1 command of ROADMAP.md);
+#   2. ThreadSanitizer build of the solver stack, running the LP and MILP
+#      test binaries (the concurrent pieces: work-stealing branch-and-
+#      bound, shared incumbent, warm-start engines).
+#
+# Usage: scripts/check.sh [jobs]   (default: nproc)
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: default build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+(cd build && ctest --output-on-failure -j"$JOBS")
+
+echo
+echo "== TSan: solver stack (lp_test, milp_test) =="
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j"$JOBS" --target lp_test milp_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lp_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/milp_test
+
+echo
+echo "All checks passed."

@@ -17,6 +17,21 @@
 // incrementally in Beta and refreshed periodically from the transformed
 // RHS to bound numerical drift.
 //
+// The same Core drives two front ends:
+//  * SimplexSolver — one-shot cold solve: build, phase 1 via artificials,
+//    phase 2 primal;
+//  * SimplexEngine — persistent warm solves: after a bound change the old
+//    basis stays dual feasible (costs are untouched), so a bounded-
+//    variable dual simplex restores primal feasibility and primal phase 2
+//    finishes. A basis snapshot (SimplexBasis) can be exported and
+//    re-entered by refactorizing a raw tableau around it.
+//
+// The dual phase's infeasibility verdict does not lean on reduced costs:
+// when no entering column is sign-eligible for a violated row, that row
+// alone certifies primal infeasibility (every nonbasic movement pushes
+// the basic variable further out of bounds), which is what makes it safe
+// for branch-and-bound pruning.
+//
 //===----------------------------------------------------------------------===//
 
 #include "lp/SimplexSolver.h"
@@ -46,11 +61,9 @@ namespace {
 
 enum class VarState : unsigned char { AtLower, AtUpper, Basic };
 
-} // namespace
-
-struct SimplexSolver::Impl {
-  const LpProblem &P;
-  const SimplexOptions &O;
+struct Core {
+  const LpProblem *P;
+  SimplexOptions O;
 
   int NumStruct = 0;
   int NumRows = 0;
@@ -59,16 +72,18 @@ struct SimplexSolver::Impl {
   int RhsCol = 0;  // == NumCols
 
   std::vector<double> Tab; // NumRows x (NumCols + 1)
-  std::vector<double> Lo, Hi, Cost;
+  std::vector<double> Lo, Hi;
   std::vector<VarState> State;
   std::vector<int> BasisOfRow;
   std::vector<int> RowOfBasic;
   std::vector<double> Beta;
   std::vector<double> D;
   long Iterations = 0;
+  long IterBase = 0; // Iterations at the start of the current solve
+  long TotalPivots = 0;
   int DegenRun = 0;
 
-  Impl(const LpProblem &P, const SimplexOptions &O) : P(P), O(O) {}
+  Core(const LpProblem *P, SimplexOptions O) : P(P), O(O) {}
 
   double &at(int R, int C) {
     return Tab[static_cast<size_t>(R) * (NumCols + 1) + C];
@@ -83,32 +98,42 @@ struct SimplexSolver::Impl {
     return State[C] == VarState::AtUpper ? Hi[C] : Lo[C];
   }
 
-  void build();
+  void buildCold();
+  void buildRaw();
   void computeReducedCosts(const std::vector<double> &Costs);
+  void computePhase2Costs();
   void pivot(int Row, int Col);
   void refreshBeta();
   LpStatus runPhase();
+  LpStatus dualPhase(long Cap);
   bool driveOutArtificials();
   double phase1Infeasibility() const;
   LpSolution finish(LpStatus Status);
+
+  LpSolution solveCold();
+  LpSolution solveWarm(long DualCap);
+
+  void setBounds(int Var, double Lo, double Hi);
+  void exportBasis(SimplexBasis &B) const;
+  bool refactorizeFrom(const SimplexBasis &B);
 };
 
-void SimplexSolver::Impl::build() {
-  NumStruct = P.numVariables();
-  NumRows = P.numRows();
+void Core::buildCold() {
+  NumStruct = P->numVariables();
+  NumRows = P->numRows();
 
   // First pass: initial slack values with all structurals at lower bound.
   std::vector<double> SlackVal(NumRows, 0.0);
   std::vector<bool> NeedsArt(NumRows, false);
   for (int I = 0; I < NumRows; ++I) {
-    double Sign = P.sense(I) == RowSense::GE ? -1.0 : 1.0;
+    double Sign = P->sense(I) == RowSense::GE ? -1.0 : 1.0;
     double Act = 0.0;
-    for (const LpTerm &T : P.rowTerms(I))
-      Act += Sign * T.Coeff * P.lowerBound(T.Var);
-    double B = Sign * P.rhs(I);
+    for (const LpTerm &T : P->rowTerms(I))
+      Act += Sign * T.Coeff * P->lowerBound(T.Var);
+    double B = Sign * P->rhs(I);
     double S = B - Act;
     SlackVal[I] = S;
-    bool IsEq = P.sense(I) == RowSense::EQ;
+    bool IsEq = P->sense(I) == RowSense::EQ;
     if (S < -O.FeasTol || (IsEq && S > O.FeasTol))
       NeedsArt[I] = true;
   }
@@ -120,28 +145,27 @@ void SimplexSolver::Impl::build() {
   Tab.assign(static_cast<size_t>(NumRows) * (NumCols + 1), 0.0);
   Lo.assign(NumCols, 0.0);
   Hi.assign(NumCols, 0.0);
-  Cost.assign(NumCols, 0.0);
   State.assign(NumCols, VarState::AtLower);
   BasisOfRow.assign(NumRows, -1);
   RowOfBasic.assign(NumCols, -1);
   Beta.assign(NumRows, 0.0);
+  D.assign(NumCols, 0.0);
 
   for (int J = 0; J < NumStruct; ++J) {
-    Lo[J] = P.lowerBound(J);
-    Hi[J] = P.upperBound(J);
-    Cost[J] = P.cost(J);
+    Lo[J] = P->lowerBound(J);
+    Hi[J] = P->upperBound(J);
   }
 
   int NextArt = NumStruct + NumRows;
   for (int I = 0; I < NumRows; ++I) {
-    double Sign = P.sense(I) == RowSense::GE ? -1.0 : 1.0;
-    for (const LpTerm &T : P.rowTerms(I))
+    double Sign = P->sense(I) == RowSense::GE ? -1.0 : 1.0;
+    for (const LpTerm &T : P->rowTerms(I))
       at(I, T.Var) += Sign * T.Coeff;
     int SlackCol = NumStruct + I;
     at(I, SlackCol) = 1.0;
     Lo[SlackCol] = 0.0;
-    Hi[SlackCol] = P.sense(I) == RowSense::EQ ? 0.0 : lpInf();
-    at(I, RhsCol) = Sign * P.rhs(I);
+    Hi[SlackCol] = P->sense(I) == RowSense::EQ ? 0.0 : lpInf();
+    at(I, RhsCol) = Sign * P->rhs(I);
 
     if (NeedsArt[I]) {
       int ArtCol = NextArt++;
@@ -169,8 +193,41 @@ void SimplexSolver::Impl::build() {
   }
 }
 
-void SimplexSolver::Impl::computeReducedCosts(
-    const std::vector<double> &Costs) {
+void Core::buildRaw() {
+  // Artificial-free layout with the all-slack basis; used as the canvas
+  // for refactorizing around an imported basis.
+  NumStruct = P->numVariables();
+  NumRows = P->numRows();
+  NumArt = 0;
+  NumCols = NumStruct + NumRows;
+  RhsCol = NumCols;
+
+  Tab.assign(static_cast<size_t>(NumRows) * (NumCols + 1), 0.0);
+  Lo.assign(NumCols, 0.0);
+  Hi.assign(NumCols, 0.0);
+  State.assign(NumCols, VarState::AtLower);
+  BasisOfRow.assign(NumRows, -1);
+  RowOfBasic.assign(NumCols, -1);
+  Beta.assign(NumRows, 0.0);
+  D.assign(NumCols, 0.0);
+
+  for (int J = 0; J < NumStruct; ++J) {
+    Lo[J] = P->lowerBound(J);
+    Hi[J] = P->upperBound(J);
+  }
+  for (int I = 0; I < NumRows; ++I) {
+    double Sign = P->sense(I) == RowSense::GE ? -1.0 : 1.0;
+    for (const LpTerm &T : P->rowTerms(I))
+      at(I, T.Var) += Sign * T.Coeff;
+    int SlackCol = NumStruct + I;
+    at(I, SlackCol) = 1.0;
+    Lo[SlackCol] = 0.0;
+    Hi[SlackCol] = P->sense(I) == RowSense::EQ ? 0.0 : lpInf();
+    at(I, RhsCol) = Sign * P->rhs(I);
+  }
+}
+
+void Core::computeReducedCosts(const std::vector<double> &Costs) {
   D = Costs;
   D.resize(NumCols, 0.0);
   for (int I = 0; I < NumRows; ++I) {
@@ -184,7 +241,14 @@ void SimplexSolver::Impl::computeReducedCosts(
     D[BasisOfRow[I]] = 0.0;
 }
 
-void SimplexSolver::Impl::pivot(int Row, int Col) {
+void Core::computePhase2Costs() {
+  std::vector<double> Costs(NumCols, 0.0);
+  for (int C = 0; C < NumStruct; ++C)
+    Costs[C] = P->cost(C);
+  computeReducedCosts(Costs);
+}
+
+void Core::pivot(int Row, int Col) {
   double Piv = at(Row, Col);
   assert(std::fabs(Piv) > 1e-12 && "pivot too small");
   double Inv = 1.0 / Piv;
@@ -209,9 +273,10 @@ void SimplexSolver::Impl::pivot(int Row, int Col) {
       D[C] -= Fd * at(Row, C);
     D[Col] = 0.0;
   }
+  ++TotalPivots;
 }
 
-void SimplexSolver::Impl::refreshBeta() {
+void Core::refreshBeta() {
   // Beta = transformed RHS minus contributions of nonbasic columns that
   // rest at a nonzero bound.
   std::vector<std::pair<int, double>> NonzeroNonbasic;
@@ -230,9 +295,9 @@ void SimplexSolver::Impl::refreshBeta() {
   }
 }
 
-LpStatus SimplexSolver::Impl::runPhase() {
+LpStatus Core::runPhase() {
   for (;;) {
-    if (Iterations >= O.MaxIterations)
+    if (Iterations - IterBase >= O.MaxIterations)
       return LpStatus::IterationLimit;
     bool UseBland = DegenRun > O.BlandThreshold;
 
@@ -337,12 +402,101 @@ LpStatus SimplexSolver::Impl::runPhase() {
       pivot(LeaveRow, Enter);
     }
 
-    if (Iterations % O.RefreshInterval == 0)
+    if ((Iterations - IterBase) % O.RefreshInterval == 0)
       refreshBeta();
   }
 }
 
-double SimplexSolver::Impl::phase1Infeasibility() const {
+LpStatus Core::dualPhase(long Cap) {
+  // Bounded-variable dual simplex: drive out basic variables that violate
+  // their bounds while the (unchanged) costs keep the basis dual feasible.
+  long Start = Iterations;
+  for (;;) {
+    if (Iterations - Start >= Cap)
+      return LpStatus::IterationLimit;
+
+    // Leaving: the most-violated basic variable.
+    int Row = -1;
+    bool ViolLower = false;
+    double BestViol = O.FeasTol;
+    for (int I = 0; I < NumRows; ++I) {
+      int B = BasisOfRow[I];
+      double VLo = Lo[B] - Beta[I];
+      if (VLo > BestViol) {
+        BestViol = VLo;
+        Row = I;
+        ViolLower = true;
+      }
+      if (std::isfinite(Hi[B])) {
+        double VHi = Beta[I] - Hi[B];
+        if (VHi > BestViol) {
+          BestViol = VHi;
+          Row = I;
+          ViolLower = false;
+        }
+      }
+    }
+    if (Row < 0)
+      return LpStatus::Optimal; // primal feasible
+
+    int BCol = BasisOfRow[Row];
+    double Delta = ViolLower ? Beta[Row] - Lo[BCol] : Beta[Row] - Hi[BCol];
+
+    // Entering: minimum dual ratio |D|/|alpha| over sign-eligible
+    // nonbasic columns. If none is eligible, the row itself certifies
+    // primal infeasibility: every admissible nonbasic move pushes the
+    // basic variable further outside its bound, independent of D.
+    int Enter = -1;
+    double BestRatio = std::numeric_limits<double>::infinity();
+    double BestAlpha = 0.0;
+    for (int C = 0; C < NumCols; ++C) {
+      if (State[C] == VarState::Basic || Lo[C] == Hi[C])
+        continue;
+      double Alpha = atC(Row, C);
+      bool AtLowerC = State[C] == VarState::AtLower;
+      bool Eligible;
+      if (ViolLower)
+        Eligible = (AtLowerC && Alpha < -O.PivotTol) ||
+                   (!AtLowerC && Alpha > O.PivotTol);
+      else
+        Eligible = (AtLowerC && Alpha > O.PivotTol) ||
+                   (!AtLowerC && Alpha < -O.PivotTol);
+      if (!Eligible)
+        continue;
+      double Ratio = std::fabs(D[C]) / std::fabs(Alpha);
+      bool Better =
+          Ratio < BestRatio - 1e-12 ||
+          (Ratio < BestRatio + 1e-12 &&
+           std::fabs(Alpha) > std::fabs(BestAlpha));
+      if (Better) {
+        BestRatio = Ratio;
+        Enter = C;
+        BestAlpha = Alpha;
+      }
+    }
+    if (Enter < 0)
+      return LpStatus::Infeasible;
+
+    ++Iterations;
+    double T = Delta / BestAlpha; // entering step away from its bound
+    double EnterVal = boundValue(Enter) + T;
+    for (int I = 0; I < NumRows; ++I)
+      if (I != Row)
+        Beta[I] -= T * atC(I, Enter);
+    State[BCol] = ViolLower ? VarState::AtLower : VarState::AtUpper;
+    RowOfBasic[BCol] = -1;
+    BasisOfRow[Row] = Enter;
+    RowOfBasic[Enter] = Row;
+    State[Enter] = VarState::Basic;
+    Beta[Row] = EnterVal;
+    pivot(Row, Enter);
+
+    if ((Iterations - Start) % O.RefreshInterval == 0)
+      refreshBeta();
+  }
+}
+
+double Core::phase1Infeasibility() const {
   double Sum = 0.0;
   for (int I = 0; I < NumRows; ++I)
     if (isArtificial(BasisOfRow[I]))
@@ -350,7 +504,7 @@ double SimplexSolver::Impl::phase1Infeasibility() const {
   return Sum;
 }
 
-bool SimplexSolver::Impl::driveOutArtificials() {
+bool Core::driveOutArtificials() {
   for (int I = 0; I < NumRows; ++I) {
     int BCol = BasisOfRow[I];
     if (!isArtificial(BCol))
@@ -386,10 +540,10 @@ bool SimplexSolver::Impl::driveOutArtificials() {
   return true;
 }
 
-LpSolution SimplexSolver::Impl::finish(LpStatus Status) {
+LpSolution Core::finish(LpStatus Status) {
   LpSolution Sol;
   Sol.Status = Status;
-  Sol.Iterations = Iterations;
+  Sol.Iterations = Iterations - IterBase;
   Sol.X.assign(NumStruct, 0.0);
   for (int J = 0; J < NumStruct; ++J) {
     if (State[J] == VarState::Basic)
@@ -399,42 +553,296 @@ LpSolution SimplexSolver::Impl::finish(LpStatus Status) {
     // Clamp tiny bound violations from numerical drift.
     Sol.X[J] = std::min(std::max(Sol.X[J], Lo[J]), Hi[J]);
   }
-  Sol.Objective = P.objectiveAt(Sol.X);
+  Sol.Objective = P->objectiveAt(Sol.X);
   return Sol;
 }
+
+LpSolution Core::solveCold() {
+  IterBase = Iterations;
+  buildCold();
+
+  if (NumArt > 0) {
+    std::vector<double> Phase1Cost(NumCols, 0.0);
+    for (int C = NumStruct + NumRows; C < NumCols; ++C)
+      Phase1Cost[C] = 1.0;
+    DegenRun = 0;
+    computeReducedCosts(Phase1Cost);
+    LpStatus S = runPhase();
+    if (S == LpStatus::IterationLimit)
+      return finish(S);
+    assert(S != LpStatus::Unbounded && "phase 1 cannot be unbounded");
+    refreshBeta();
+    if (phase1Infeasibility() > O.FeasTol * 10.0)
+      return finish(LpStatus::Infeasible);
+    driveOutArtificials();
+  }
+
+  DegenRun = 0;
+  computePhase2Costs();
+  LpStatus S = runPhase();
+  refreshBeta();
+  return finish(S);
+}
+
+LpSolution Core::solveWarm(long DualCap) {
+  IterBase = Iterations;
+  // Costs never change between warm solves, so the held basis is dual
+  // feasible; recompute D and Beta exactly to shed incremental drift.
+  computePhase2Costs();
+  refreshBeta();
+  DegenRun = 0;
+  LpStatus S = dualPhase(DualCap);
+  if (S == LpStatus::Optimal)
+    S = runPhase();
+  refreshBeta();
+  return finish(S);
+}
+
+void Core::setBounds(int Var, double NewLo, double NewHi) {
+  assert(Var >= 0 && Var < NumStruct && "not a structural variable");
+  Lo[Var] = NewLo;
+  Hi[Var] = NewHi;
+  // A nonbasic variable must rest at an existing bound; Beta is
+  // recomputed from the resting values at the start of the next warm
+  // solve (refreshBeta), so only the state needs fixing here.
+  if (State[Var] == VarState::AtUpper && !std::isfinite(NewHi))
+    State[Var] = VarState::AtLower;
+}
+
+void Core::exportBasis(SimplexBasis &B) const {
+  int NumReal = NumStruct + NumRows;
+  B.ColState.assign(NumReal, 0);
+  for (int C = 0; C < NumReal; ++C)
+    B.ColState[C] = static_cast<unsigned char>(State[C]);
+  B.BasisOfRow.assign(NumRows, -1);
+  for (int I = 0; I < NumRows; ++I)
+    if (!isArtificial(BasisOfRow[I]))
+      B.BasisOfRow[I] = BasisOfRow[I];
+}
+
+bool Core::refactorizeFrom(const SimplexBasis &B) {
+  if (static_cast<int>(B.BasisOfRow.size()) != P->numRows() ||
+      static_cast<int>(B.ColState.size()) !=
+          P->numVariables() + P->numRows())
+    return false;
+  buildRaw();
+
+  // Nonbasic resting states from the snapshot (Basic entries are set
+  // below as rows are pivoted in).
+  for (int C = 0; C < NumCols; ++C) {
+    auto S = static_cast<VarState>(B.ColState[C]);
+    State[C] = S == VarState::AtUpper && std::isfinite(Hi[C])
+                   ? VarState::AtUpper
+                   : VarState::AtLower;
+  }
+
+  // Target column per row; rows whose export was an artificial (-1) fall
+  // back to their own slack, duplicates resolved greedily afterwards.
+  std::vector<int> Tgt(NumRows, -1);
+  std::vector<char> ColUsed(NumCols, 0);
+  for (int I = 0; I < NumRows; ++I) {
+    int C = B.BasisOfRow[I];
+    if (C >= 0 && C < NumCols && !ColUsed[C]) {
+      Tgt[I] = C;
+      ColUsed[C] = 1;
+    }
+  }
+  for (int I = 0; I < NumRows; ++I) {
+    if (Tgt[I] >= 0)
+      continue;
+    int SlackCol = NumStruct + I;
+    if (!ColUsed[SlackCol]) {
+      Tgt[I] = SlackCol;
+      ColUsed[SlackCol] = 1;
+    }
+  }
+
+  auto installBasic = [&](int Row, int Col) {
+    State[Col] = VarState::Basic;
+    BasisOfRow[Row] = Col;
+    RowOfBasic[Col] = Row;
+    pivot(Row, Col);
+  };
+
+  // Gaussian elimination into the target basis: pivot whichever
+  // remaining (row, target) pair currently has a usable entry; a row
+  // whose target entry was eliminated picks any unused column instead.
+  std::vector<char> Done(NumRows, 0);
+  int Remaining = NumRows;
+  while (Remaining > 0) {
+    bool Progress = false;
+    for (int I = 0; I < NumRows; ++I) {
+      if (Done[I] || Tgt[I] < 0)
+        continue;
+      if (std::fabs(at(I, Tgt[I])) <= 1e-7)
+        continue;
+      installBasic(I, Tgt[I]);
+      Done[I] = 1;
+      --Remaining;
+      Progress = true;
+    }
+    if (Progress)
+      continue;
+    int PickRow = -1, PickCol = -1;
+    double BestA = 1e-7;
+    for (int I = 0; I < NumRows && PickRow < 0; ++I) {
+      if (Done[I])
+        continue;
+      for (int C = 0; C < NumCols; ++C) {
+        if (ColUsed[C])
+          continue;
+        double A = std::fabs(at(I, C));
+        if (A > BestA) {
+          BestA = A;
+          PickRow = I;
+          PickCol = C;
+        }
+      }
+    }
+    if (PickRow < 0)
+      return false;
+    if (Tgt[PickRow] >= 0)
+      ColUsed[Tgt[PickRow]] = 0; // release the unusable target
+    Tgt[PickRow] = PickCol;
+    ColUsed[PickCol] = 1;
+    installBasic(PickRow, PickCol);
+    Done[PickRow] = 1;
+    --Remaining;
+  }
+
+  refreshBeta();
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SimplexSolver: one-shot cold solves
+//===----------------------------------------------------------------------===//
+
+struct SimplexSolver::Impl : Core {
+  using Core::Core;
+};
 
 SimplexSolver::SimplexSolver(const LpProblem &Problem, SimplexOptions Opts)
     : Problem(Problem), Opts(Opts) {}
 
 LpSolution SimplexSolver::solve() {
-  Impl I(Problem, Opts);
-  I.build();
+  Impl I(&Problem, Opts);
+  return I.solveCold();
+}
 
-  if (I.NumArt > 0) {
-    std::vector<double> Phase1Cost(I.NumCols, 0.0);
-    for (int C = I.NumStruct + I.NumRows; C < I.NumCols; ++C)
-      Phase1Cost[C] = 1.0;
-    I.computeReducedCosts(Phase1Cost);
-    LpStatus S = I.runPhase();
-    if (S == LpStatus::IterationLimit)
-      return I.finish(S);
-    assert(S != LpStatus::Unbounded && "phase 1 cannot be unbounded");
-    I.refreshBeta();
-    if (I.phase1Infeasibility() > Opts.FeasTol * 10.0)
-      return I.finish(LpStatus::Infeasible);
-    I.driveOutArtificials();
-  }
-
-  std::vector<double> Phase2Cost(I.NumCols, 0.0);
-  for (int C = 0; C < I.NumStruct; ++C)
-    Phase2Cost[C] = Problem.cost(C);
-  I.DegenRun = 0;
-  I.computeReducedCosts(Phase2Cost);
-  LpStatus S = I.runPhase();
-  I.refreshBeta();
-  return I.finish(S);
+LpSolution SimplexSolver::solve(SimplexBasis &ExportBasis) {
+  Impl I(&Problem, Opts);
+  LpSolution S = I.solveCold();
+  I.exportBasis(ExportBasis);
+  return S;
 }
 
 LpSolution cdvs::solveLp(const LpProblem &Problem, SimplexOptions Opts) {
   return SimplexSolver(Problem, Opts).solve();
 }
+
+//===----------------------------------------------------------------------===//
+// SimplexEngine: persistent warm-started solves
+//===----------------------------------------------------------------------===//
+
+struct SimplexEngine::Impl {
+  LpProblem P; // owned; address-stable behind the unique_ptr
+  Core C;
+  bool HasBasis = false;
+  long PivotsAtRebuild = 0;
+  long Warm = 0, Cold = 0;
+
+  /// Full refactorization cadence: a cold solve performs on the order of
+  /// rows-many pivots with no refactorization at all, so re-pivoting the
+  /// basis from a raw tableau every few thousand pivots keeps the warm
+  /// path's accumulated error no worse than the cold baseline's.
+  static constexpr long RebuildPivots = 2048;
+
+  Impl(LpProblem Problem, SimplexOptions Opts)
+      : P(std::move(Problem)), C(&P, Opts) {}
+
+  LpSolution solve();
+};
+
+LpSolution SimplexEngine::Impl::solve() {
+  if (HasBasis && C.TotalPivots - PivotsAtRebuild > RebuildPivots) {
+    SimplexBasis B;
+    C.exportBasis(B);
+    HasBasis = C.refactorizeFrom(B);
+    PivotsAtRebuild = C.TotalPivots;
+  }
+
+  if (HasBasis) {
+    long DualCap = 64 + 4L * (C.NumRows + C.NumStruct);
+    LpSolution S = C.solveWarm(DualCap);
+    bool Trust = false;
+    switch (S.Status) {
+    case LpStatus::Optimal:
+      // Cheap end-to-end check against the original rows; any violation
+      // beyond what the cold path would tolerate voids the warm result.
+      Trust = P.isFeasible(S.X, 1e-5);
+      break;
+    case LpStatus::Infeasible:
+    case LpStatus::Unbounded:
+      Trust = true;
+      break;
+    case LpStatus::IterationLimit:
+      Trust = false;
+      break;
+    }
+    if (Trust) {
+      ++Warm;
+      return S;
+    }
+    HasBasis = false;
+  }
+
+  ++Cold;
+  LpSolution S = C.solveCold();
+  PivotsAtRebuild = C.TotalPivots;
+  HasBasis = S.Status == LpStatus::Optimal;
+  return S;
+}
+
+SimplexEngine::SimplexEngine(LpProblem Problem, SimplexOptions Opts)
+    : I(std::make_unique<Impl>(std::move(Problem), Opts)) {}
+
+SimplexEngine::~SimplexEngine() = default;
+SimplexEngine::SimplexEngine(SimplexEngine &&) noexcept = default;
+SimplexEngine &SimplexEngine::operator=(SimplexEngine &&) noexcept = default;
+
+const LpProblem &SimplexEngine::problem() const { return I->P; }
+
+void SimplexEngine::setBounds(int Var, double Lo, double Hi) {
+  I->P.setBounds(Var, Lo, Hi);
+  // Before any solve the tableau is empty; bounds are picked up by the
+  // first (cold) build instead.
+  if (I->C.NumCols > 0)
+    I->C.setBounds(Var, Lo, Hi);
+}
+
+LpSolution SimplexEngine::solve() { return I->solve(); }
+
+void SimplexEngine::exportBasis(SimplexBasis &Out) const {
+  if (I->HasBasis)
+    I->C.exportBasis(Out);
+  else {
+    Out.ColState.clear();
+    Out.BasisOfRow.clear();
+  }
+}
+
+bool SimplexEngine::loadBasis(const SimplexBasis &Basis) {
+  if (Basis.empty()) {
+    I->HasBasis = false;
+    return false;
+  }
+  I->HasBasis = I->C.refactorizeFrom(Basis);
+  I->PivotsAtRebuild = I->C.TotalPivots;
+  return I->HasBasis;
+}
+
+long SimplexEngine::warmSolves() const { return I->Warm; }
+long SimplexEngine::coldSolves() const { return I->Cold; }

@@ -27,6 +27,7 @@
 
 #include "lp/LpProblem.h"
 
+#include <memory>
 #include <vector>
 
 namespace cdvs {
@@ -60,6 +61,23 @@ struct SimplexOptions {
   int RefreshInterval = 256;
 };
 
+/// Snapshot of a simplex basis over the structural and slack columns.
+/// A basis is valid for any problem with the same rows and costs — the
+/// branch-and-bound exports a parent node's basis and re-enters it in a
+/// child whose only difference is one variable-bound change.
+struct SimplexBasis {
+  /// Per-column resting state (VarState as unsigned char), size
+  /// numVariables() + numRows(). Basic columns are identified by
+  /// BasisOfRow, not by this array.
+  std::vector<unsigned char> ColState;
+  /// Column basic in each row; -1 marks a row whose basic column cannot
+  /// be exported (a phase-1 artificial pinned in a redundant row) — the
+  /// importer substitutes the row's own slack.
+  std::vector<int> BasisOfRow;
+
+  bool empty() const { return BasisOfRow.empty(); }
+};
+
 /// Dense two-phase bounded-variable primal simplex.
 class SimplexSolver {
 public:
@@ -70,6 +88,9 @@ public:
   /// the structural variables of the original problem.
   LpSolution solve();
 
+  /// Like solve(), but also exports the final basis for warm starts.
+  LpSolution solve(SimplexBasis &ExportBasis);
+
 private:
   struct Impl;
   const LpProblem &Problem;
@@ -79,6 +100,57 @@ private:
 /// Convenience: build a solver and solve.
 LpSolution solveLp(const LpProblem &Problem,
                    SimplexOptions Opts = SimplexOptions());
+
+/// A persistent simplex engine for sequences of related solves.
+///
+/// The engine owns a copy of the problem and keeps the factorized
+/// tableau alive between solves. After setBounds() the previous optimal
+/// basis is usually dual feasible (costs are unchanged), so solve()
+/// repairs primal feasibility with a bounded-variable dual simplex and
+/// polishes with primal phase 2 — no tableau rebuild, no phase 1. This
+/// is the branch-and-bound's per-node path: one bound change between
+/// parent and child, a handful of dual pivots instead of a cold solve.
+///
+/// Robustness: any numerical doubt (failed refactorization, iteration
+/// cap, a warm "optimal" that fails a feasibility check) falls back to
+/// the proven cold two-phase path, so warm starting is strictly an
+/// optimization, never a correctness risk.
+class SimplexEngine {
+public:
+  explicit SimplexEngine(LpProblem Problem,
+                         SimplexOptions Opts = SimplexOptions());
+  ~SimplexEngine();
+  SimplexEngine(SimplexEngine &&) noexcept;
+  SimplexEngine &operator=(SimplexEngine &&) noexcept;
+
+  /// The engine's problem copy; bounds reflect every setBounds() call.
+  const LpProblem &problem() const;
+
+  /// Changes one structural variable's bounds. Cheap: O(rows) when the
+  /// variable is nonbasic, O(1) when basic (the violation, if any, is
+  /// repaired by the next solve()).
+  void setBounds(int Var, double Lo, double Hi);
+
+  /// Solves the problem at the current bounds: warm from the held basis
+  /// when one exists, cold otherwise.
+  LpSolution solve();
+
+  /// Exports the basis held after the last solve (empty if none).
+  void exportBasis(SimplexBasis &Out) const;
+
+  /// Re-enters \p Basis by refactorizing the tableau around it.
+  /// \returns false (and keeps no basis) if the refactorization fails;
+  /// the next solve() then runs cold.
+  bool loadBasis(const SimplexBasis &Basis);
+
+  /// Solve-path counters (diagnostics for benches/tests).
+  long warmSolves() const;
+  long coldSolves() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 } // namespace cdvs
 

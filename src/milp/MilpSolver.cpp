@@ -3,14 +3,41 @@
 // Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// Parallel explicit-node-list branch-and-bound.
+//
+// Each worker owns a mutex-guarded deque of nodes: it pushes/pops children
+// at the back (depth-first, so the engine's basis is almost always the
+// just-solved parent's) and victims are stolen from the front (the
+// shallowest, largest subtrees — the classic B&B stealing policy). A node
+// is just a bound-change delta chained to its parent, so the live tree
+// costs O(depth) per branch path and siblings share their prefix.
+//
+// Per worker there is one persistent SimplexEngine; moving from the
+// previously solved node to the next applies the bound diff between the
+// two and re-solves warm (dual simplex repair from the held basis). The
+// incumbent is shared through an atomic mirror for lock-free pruning
+// reads, with a mutex protecting the authoritative value and its X.
+//
+// The search never prunes against anything but a proven incumbent, so the
+// final objective equals the serial solver's within AbsGap regardless of
+// thread count or exploration order.
+//
+//===----------------------------------------------------------------------===//
 
 #include "milp/MilpSolver.h"
 
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <thread>
 
 using namespace cdvs;
 
@@ -30,15 +57,58 @@ const char *cdvs::milpStatusName(MilpStatus Status) {
   cdvsUnreachable("bad MilpStatus");
 }
 
-struct MilpSolver::SearchState {
-  double Incumbent = std::numeric_limits<double>::infinity();
-  std::vector<double> BestX;
-  long Nodes = 0;
+/// Deeper nodes re-run the rounding heuristic after this many nodes have
+/// been processed by the *same worker* since its last rounding attempt.
+/// (A global node counter would almost never hit an exact multiple per
+/// worker once several workers interleave increments.)
+static constexpr long RoundingInterval = 512;
+
+/// One tree node: a single bound change relative to the parent. The root
+/// has Var == -1 and carries no change.
+struct MilpSolver::Node {
+  std::shared_ptr<const Node> Parent;
+  int Var = -1;
+  double Lo = 0.0, Hi = 0.0;
+  /// Parent's LP relaxation objective: a valid lower bound for the whole
+  /// subtree, used for best-bound pruning before the node's LP is solved.
+  double Bound = -std::numeric_limits<double>::infinity();
+  int Depth = 0;
+};
+
+struct MilpSolver::Worker {
+  /// Lazily built so workers that never receive a node (tiny trees)
+  /// never pay for a problem copy or tableau.
+  std::unique_ptr<SimplexEngine> Engine;
+  /// Bounds currently applied to Engine, indexed by variable.
+  std::vector<double> CurLo, CurHi;
+  /// Scratch for resolving a node's absolute bounds.
+  std::vector<double> NewLo, NewHi;
+  std::vector<long> Mark; // epoch marks for delta-chain resolution
+  long Epoch = 0;
+  long SinceRounding = 0;
   long LpIterations = 0;
-  bool Truncated = false;
-  bool RootUnbounded = false;
-  double RootBound = 0.0;
+  long ColdLps = 0; // cold solves issued outside the engine (WarmStart off)
+
+  std::mutex QM;
+  std::deque<std::shared_ptr<Node>> Queue;
+};
+
+struct MilpSolver::Shared {
+  std::deque<Worker> Workers; // deque: Worker holds a mutex, is immovable
+  std::atomic<long> NodesSolved{0};
+  /// Nodes pushed but not yet fully processed; 0 means the tree is
+  /// exhausted and idle workers may exit.
+  std::atomic<long> Outstanding{0};
+  std::atomic<bool> Truncated{false};
+  std::atomic<bool> RootUnbounded{false};
+  /// Lock-free mirror of IncumbentVal for pruning reads.
+  std::atomic<double> Incumbent{std::numeric_limits<double>::infinity()};
+  std::mutex IncM;
+  double IncumbentVal = std::numeric_limits<double>::infinity();
+  std::vector<double> BestX; // guarded by IncM
+  double RootBound = 0.0;    // written only by the root node's worker
   std::chrono::steady_clock::time_point Deadline;
+  int NumWorkers = 1;
 };
 
 MilpSolver::MilpSolver(LpProblem Problem, std::vector<int> IntegerVars,
@@ -100,13 +170,26 @@ int MilpSolver::pickBranchVariable(const std::vector<double> &X) const {
   return BestVar;
 }
 
-bool MilpSolver::tryRounding(SearchState &S,
+/// Solves a worker's LP at its currently applied bounds: warm through
+/// the engine, or cold when warm starting is disabled (ablation path).
+static LpSolution solveNodeLpImpl(SimplexEngine &Engine, bool WarmStart,
+                                  const SimplexOptions &LpOpts,
+                                  long &ColdLps) {
+  if (WarmStart)
+    return Engine.solve();
+  ++ColdLps;
+  return solveLp(Engine.problem(), LpOpts);
+}
+
+bool MilpSolver::tryRounding(Shared &S, Worker &W,
                              const std::vector<double> &Relaxed) {
   // Save bounds we are about to clobber.
   std::vector<std::pair<int, std::pair<double, double>>> Saved;
   auto fixVar = [&](int V, double Value) {
-    Saved.push_back({V, {Problem.lowerBound(V), Problem.upperBound(V)}});
-    Problem.setBounds(V, Value, Value);
+    Saved.push_back({V, {W.CurLo[V], W.CurHi[V]}});
+    W.Engine->setBounds(V, Value, Value);
+    W.CurLo[V] = Value;
+    W.CurHi[V] = Value;
   };
 
   // Snap each SOS1 group to its largest LP value.
@@ -118,7 +201,7 @@ bool MilpSolver::tryRounding(SearchState &S,
         Arg = V;
     for (int V : Group) {
       // Respect pre-existing fixings from the current branch.
-      if (Problem.lowerBound(V) == Problem.upperBound(V)) {
+      if (W.CurLo[V] == W.CurHi[V]) {
         Handled[V] = true;
         continue;
       }
@@ -127,131 +210,255 @@ bool MilpSolver::tryRounding(SearchState &S,
     }
   }
   for (int V : IntegerVars) {
-    if (Handled[V] || Problem.lowerBound(V) == Problem.upperBound(V))
+    if (Handled[V] || W.CurLo[V] == W.CurHi[V])
       continue;
     double R = std::round(Relaxed[V]);
-    R = std::min(std::max(R, Problem.lowerBound(V)),
-                 Problem.upperBound(V));
+    R = std::min(std::max(R, W.CurLo[V]), W.CurHi[V]);
     fixVar(V, R);
   }
 
-  LpSolution R = solveLp(Problem, Opts.LpOpts);
-  S.LpIterations += R.Iterations;
+  LpSolution R = solveNodeLpImpl(*W.Engine, Opts.WarmStart, Opts.LpOpts,
+                                 W.ColdLps);
+  W.LpIterations += R.Iterations;
   bool Improved = false;
-  if (R.Status == LpStatus::Optimal &&
-      R.Objective < S.Incumbent - Opts.AbsGap) {
-    S.Incumbent = R.Objective;
-    S.BestX = R.X;
-    Improved = true;
+  if (R.Status == LpStatus::Optimal) {
+    std::lock_guard<std::mutex> Lock(S.IncM);
+    if (R.Objective < S.IncumbentVal - Opts.AbsGap) {
+      S.IncumbentVal = R.Objective;
+      S.BestX = R.X;
+      S.Incumbent.store(R.Objective);
+      Improved = true;
+    }
   }
 
-  for (auto It = Saved.rbegin(); It != Saved.rend(); ++It)
-    Problem.setBounds(It->first, It->second.first, It->second.second);
+  for (auto It = Saved.rbegin(); It != Saved.rend(); ++It) {
+    W.Engine->setBounds(It->first, It->second.first, It->second.second);
+    W.CurLo[It->first] = It->second.first;
+    W.CurHi[It->first] = It->second.second;
+  }
   return Improved;
 }
 
-void MilpSolver::dfs(SearchState &S, int Depth) {
-  if (S.Truncated)
+void MilpSolver::processNode(Shared &S, Worker &W,
+                             const std::shared_ptr<Node> &N) {
+  // Best-bound prune on the parent relaxation before any LP work.
+  if (N->Bound >= S.Incumbent.load() - Opts.AbsGap)
     return;
-  if (S.Nodes >= Opts.MaxNodes ||
+  if (S.NodesSolved.load() >= Opts.MaxNodes ||
       std::chrono::steady_clock::now() > S.Deadline) {
-    S.Truncated = true;
+    S.Truncated.store(true);
     return;
   }
 
-  LpSolution R = solveLp(Problem, Opts.LpOpts);
-  ++S.Nodes;
-  S.LpIterations += R.Iterations;
+  if (!W.Engine) {
+    W.Engine = std::make_unique<SimplexEngine>(Problem, Opts.LpOpts);
+    int N2 = Problem.numVariables();
+    W.CurLo.resize(N2);
+    W.CurHi.resize(N2);
+    for (int V = 0; V < N2; ++V) {
+      W.CurLo[V] = Problem.lowerBound(V);
+      W.CurHi[V] = Problem.upperBound(V);
+    }
+    W.NewLo = W.CurLo;
+    W.NewHi = W.CurHi;
+    W.Mark.assign(N2, 0);
+  }
+
+  // Resolve the node's absolute bounds: root bounds overlaid with the
+  // delta chain, child-most change winning. Only the integer-variable
+  // entries of NewLo/NewHi are ever read.
+  ++W.Epoch;
+  for (int V : IntegerVars) {
+    W.NewLo[V] = Problem.lowerBound(V);
+    W.NewHi[V] = Problem.upperBound(V);
+  }
+  for (const Node *A = N.get(); A && A->Var >= 0; A = A->Parent.get()) {
+    if (W.Mark[A->Var] != W.Epoch) {
+      W.Mark[A->Var] = W.Epoch;
+      W.NewLo[A->Var] = A->Lo;
+      W.NewHi[A->Var] = A->Hi;
+    }
+  }
+  // Only integer variables ever carry branch or rounding fixings, so the
+  // diff against the engine's applied bounds is confined to them.
+  for (int V : IntegerVars) {
+    if (W.NewLo[V] != W.CurLo[V] || W.NewHi[V] != W.CurHi[V]) {
+      W.Engine->setBounds(V, W.NewLo[V], W.NewHi[V]);
+      W.CurLo[V] = W.NewLo[V];
+      W.CurHi[V] = W.NewHi[V];
+    }
+  }
+
+  LpSolution R = solveNodeLpImpl(*W.Engine, Opts.WarmStart, Opts.LpOpts,
+                                 W.ColdLps);
+  S.NodesSolved.fetch_add(1);
+  W.LpIterations += R.Iterations;
 
   if (R.Status == LpStatus::Infeasible)
     return;
   if (R.Status == LpStatus::Unbounded) {
-    if (Depth == 0)
-      S.RootUnbounded = true;
+    if (N->Depth == 0)
+      S.RootUnbounded.store(true);
     // An unbounded node with integer restrictions still pending cannot be
     // pruned soundly in general; for our formulations (bounded binaries,
     // nonnegative costs) this never happens below the root.
     return;
   }
   if (R.Status == LpStatus::IterationLimit) {
-    S.Truncated = true;
+    S.Truncated.store(true);
     return;
   }
 
-  if (Depth == 0) {
+  if (N->Depth == 0) {
     S.RootBound = R.Objective;
     if (Opts.UseRounding)
-      tryRounding(S, R.X);
+      tryRounding(S, W, R.X);
   }
 
-  if (R.Objective >= S.Incumbent - Opts.AbsGap)
+  if (R.Objective >= S.Incumbent.load() - Opts.AbsGap)
     return; // Prune: cannot beat the incumbent.
 
   int BranchVar = pickBranchVariable(R.X);
   if (BranchVar < 0) {
-    // Integer feasible: new incumbent.
-    S.Incumbent = R.Objective;
-    S.BestX = R.X;
-    return;
-  }
-
-  // Periodic rounding deeper in the tree keeps the incumbent fresh.
-  if (Opts.UseRounding && Depth > 0 && S.Nodes % 512 == 0)
-    tryRounding(S, R.X);
-
-  double Value = R.X[BranchVar];
-  double SavedLo = Problem.lowerBound(BranchVar);
-  double SavedHi = Problem.upperBound(BranchVar);
-  bool IsBinary = SavedLo >= -Opts.IntTol && SavedHi <= 1.0 + Opts.IntTol;
-
-  if (IsBinary) {
-    // Explore the likelier side first.
-    double First = Value >= 0.5 ? 1.0 : 0.0;
-    for (double Side : {First, 1.0 - First}) {
-      Problem.setBounds(BranchVar, Side, Side);
-      dfs(S, Depth + 1);
-      Problem.setBounds(BranchVar, SavedLo, SavedHi);
-      if (S.Truncated)
-        return;
+    // Integer feasible: candidate incumbent.
+    std::lock_guard<std::mutex> Lock(S.IncM);
+    if (R.Objective < S.IncumbentVal - Opts.AbsGap) {
+      S.IncumbentVal = R.Objective;
+      S.BestX = R.X;
+      S.Incumbent.store(R.Objective);
     }
     return;
   }
 
-  // General integer: floor/ceiling split.
-  double Floor = std::floor(Value);
-  Problem.setBounds(BranchVar, SavedLo, Floor);
-  dfs(S, Depth + 1);
-  Problem.setBounds(BranchVar, SavedLo, SavedHi);
-  if (S.Truncated)
-    return;
-  Problem.setBounds(BranchVar, Floor + 1.0, SavedHi);
-  dfs(S, Depth + 1);
-  Problem.setBounds(BranchVar, SavedLo, SavedHi);
+  // Periodic rounding deeper in the tree keeps the incumbent fresh.
+  if (Opts.UseRounding && N->Depth > 0 &&
+      ++W.SinceRounding >= RoundingInterval) {
+    W.SinceRounding = 0;
+    tryRounding(S, W, R.X);
+  }
+
+  double Value = R.X[BranchVar];
+  double SavedLo = W.CurLo[BranchVar];
+  double SavedHi = W.CurHi[BranchVar];
+  bool IsBinary = SavedLo >= -Opts.IntTol && SavedHi <= 1.0 + Opts.IntTol;
+
+  auto makeChild = [&](double Lo, double Hi) {
+    auto C = std::make_shared<Node>();
+    C->Parent = N;
+    C->Var = BranchVar;
+    C->Lo = Lo;
+    C->Hi = Hi;
+    C->Bound = R.Objective;
+    C->Depth = N->Depth + 1;
+    return C;
+  };
+
+  std::shared_ptr<Node> First, Second;
+  if (IsBinary) {
+    // The likelier side is explored first: it is pushed last so the
+    // depth-first pop-from-back takes it next, while the other side
+    // waits at the front where idle workers steal.
+    double Likely = Value >= 0.5 ? 1.0 : 0.0;
+    First = makeChild(1.0 - Likely, 1.0 - Likely);
+    Second = makeChild(Likely, Likely);
+  } else {
+    // General integer: floor/ceiling split, floor side first (as the
+    // serial solver did).
+    double Floor = std::floor(Value);
+    First = makeChild(Floor + 1.0, SavedHi);
+    Second = makeChild(SavedLo, Floor);
+  }
+
+  S.Outstanding.fetch_add(2);
+  {
+    std::lock_guard<std::mutex> Lock(W.QM);
+    W.Queue.push_back(std::move(First));
+    W.Queue.push_back(std::move(Second));
+  }
+}
+
+void MilpSolver::workerLoop(Shared &S, int WorkerIndex) {
+  Worker &W = S.Workers[WorkerIndex];
+  for (;;) {
+    if (S.Truncated.load())
+      return;
+
+    std::shared_ptr<Node> N;
+    {
+      std::lock_guard<std::mutex> Lock(W.QM);
+      if (!W.Queue.empty()) {
+        N = std::move(W.Queue.back());
+        W.Queue.pop_back();
+      }
+    }
+    if (!N) {
+      // Steal the shallowest node from another worker.
+      for (int Off = 1; Off < S.NumWorkers && !N; ++Off) {
+        Worker &V = S.Workers[(WorkerIndex + Off) % S.NumWorkers];
+        std::lock_guard<std::mutex> Lock(V.QM);
+        if (!V.Queue.empty()) {
+          N = std::move(V.Queue.front());
+          V.Queue.pop_front();
+        }
+      }
+    }
+    if (!N) {
+      if (S.Outstanding.load() == 0)
+        return;
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+      continue;
+    }
+
+    processNode(S, W, N);
+    S.Outstanding.fetch_sub(1);
+  }
 }
 
 MilpSolution MilpSolver::solve() {
-  SearchState S;
+  Shared S;
   S.Deadline = std::chrono::steady_clock::now() +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                    std::chrono::duration<double>(Opts.TimeLimitSec));
 
-  dfs(S, 0);
+  // A tree over k integer variables cannot keep more than ~k workers
+  // busy; capping also spares thread spawns on the many tiny MILPs the
+  // schedulers produce.
+  int Threads = resolveThreads(Opts.NumThreads);
+  Threads = std::min(
+      Threads, 1 + static_cast<int>(IntegerVars.size()) / 4);
+  S.NumWorkers = std::max(1, Threads);
+  for (int W = 0; W < S.NumWorkers; ++W)
+    S.Workers.emplace_back();
+
+  auto Root = std::make_shared<Node>();
+  S.Workers[0].Queue.push_back(std::move(Root));
+  S.Outstanding.store(1);
+
+  runOnWorkers(S.NumWorkers, [&](int W) { workerLoop(S, W); });
 
   MilpSolution Sol;
-  Sol.Nodes = S.Nodes;
-  Sol.LpIterations = S.LpIterations;
+  Sol.Nodes = S.NodesSolved.load();
+  for (Worker &W : S.Workers) {
+    Sol.LpIterations += W.LpIterations;
+    Sol.ColdLps += W.ColdLps;
+    if (W.Engine) {
+      Sol.WarmLps += W.Engine->warmSolves();
+      Sol.ColdLps += W.Engine->coldSolves();
+    }
+  }
   Sol.RootBound = S.RootBound;
-  if (S.RootUnbounded) {
+  if (S.RootUnbounded.load()) {
     Sol.Status = MilpStatus::Unbounded;
     return Sol;
   }
+  bool Truncated = S.Truncated.load();
   bool HasIncumbent = !S.BestX.empty();
   if (HasIncumbent) {
-    Sol.Status = S.Truncated ? MilpStatus::Feasible : MilpStatus::Optimal;
-    Sol.Objective = S.Incumbent;
+    Sol.Status = Truncated ? MilpStatus::Feasible : MilpStatus::Optimal;
+    Sol.Objective = S.IncumbentVal;
     Sol.X = S.BestX;
   } else {
-    Sol.Status = S.Truncated ? MilpStatus::Limit : MilpStatus::Infeasible;
+    Sol.Status = Truncated ? MilpStatus::Limit : MilpStatus::Infeasible;
   }
   return Sol;
 }

@@ -16,10 +16,20 @@
 ///    fractional member to 1 / 0 (fixing to 1 collapses the whole group);
 ///  * a rounding heuristic that snaps each group to its largest LP value
 ///    and re-solves the continuous rest, giving an early incumbent that
-///    makes depth-first pruning effective.
+///    makes best-bound pruning effective.
 ///
-/// Depth-first search with incumbent pruning is exact: on natural
-/// termination the incumbent is a proven optimum.
+/// Search architecture: an explicit node list on a work-stealing worker
+/// pool. Each node stores only its bound-change delta against its parent
+/// (an O(depth) chain shared between siblings); each worker owns a
+/// persistent SimplexEngine whose LP is morphed from node to node by
+/// applying the bound diff and re-solving warm from the previous basis —
+/// a handful of dual-simplex pivots instead of a cold two-phase solve.
+/// Workers share an atomic incumbent used for best-bound pruning.
+///
+/// The search is exact on natural termination: node exploration order
+/// varies with thread count, but every pruning decision compares against
+/// a proven incumbent, so the returned objective is the true optimum
+/// (within AbsGap) for any NumThreads.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +39,7 @@
 #include "lp/LpProblem.h"
 #include "lp/SimplexSolver.h"
 
+#include <memory>
 #include <vector>
 
 namespace cdvs {
@@ -53,6 +64,8 @@ struct MilpSolution {
   long Nodes = 0;
   long LpIterations = 0;
   double RootBound = 0.0;
+  long WarmLps = 0; ///< Node LPs solved warm from a held basis.
+  long ColdLps = 0; ///< Node LPs that ran the cold two-phase path.
 };
 
 /// Tuning knobs for the branch-and-bound.
@@ -62,6 +75,13 @@ struct MilpOptions {
   long MaxNodes = 2000000;  ///< Node budget.
   double TimeLimitSec = 600.0;
   bool UseRounding = true;  ///< Enable the group-rounding heuristic.
+  /// Worker threads for the tree search; 0 means one per hardware core.
+  /// The effective count is additionally capped by the number of integer
+  /// variables (tiny trees cannot feed many workers).
+  int NumThreads = 0;
+  /// Warm-start node LPs from the previous basis (dual simplex repair).
+  /// Disable to force the cold two-phase path at every node (ablation).
+  bool WarmStart = true;
   SimplexOptions LpOpts;
 };
 
@@ -81,9 +101,12 @@ public:
   MilpSolution solve();
 
 private:
-  struct SearchState;
-  void dfs(SearchState &S, int Depth);
-  bool tryRounding(SearchState &S, const std::vector<double> &Relaxed);
+  struct Shared;
+  struct Worker;
+  struct Node;
+  void workerLoop(Shared &S, int WorkerIndex);
+  void processNode(Shared &S, Worker &W, const std::shared_ptr<Node> &N);
+  bool tryRounding(Shared &S, Worker &W, const std::vector<double> &Relaxed);
   int pickBranchVariable(const std::vector<double> &X) const;
 
   LpProblem Problem;

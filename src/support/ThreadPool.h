@@ -1,0 +1,47 @@
+//===- support/ThreadPool.h - Fork/join worker pool -------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fork/join pool for the solver stack: run the same worker
+/// function on N threads (the caller doubles as worker 0) and join.
+/// Scheduling policy — e.g. the branch-and-bound's work-stealing node
+/// deques — lives with the caller; this file only owns thread lifetime,
+/// so it stays reusable for the bench drivers' independent-point sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SUPPORT_THREADPOOL_H
+#define CDVS_SUPPORT_THREADPOOL_H
+
+#include <functional>
+
+namespace cdvs {
+
+/// \returns the number of hardware threads, always at least 1.
+int hardwareThreads();
+
+/// Resolves a user thread-count knob: \p Requested <= 0 means "one per
+/// hardware core"; anything else is clamped to at least 1.
+int resolveThreads(int Requested);
+
+/// Fork/join pool: runs \p Body as Body(WorkerIndex) on \p NumThreads
+/// workers concurrently and returns when all have finished. Worker 0 runs
+/// on the calling thread, so NumThreads == 1 spawns nothing and is an
+/// ordinary call. \p Body must not throw.
+void runOnWorkers(int NumThreads, const std::function<void(int)> &Body);
+
+/// Dynamic parallel-for over [0, End): workers pull the next index from a
+/// shared counter, so uneven per-index costs (e.g. MILP solves at
+/// different deadlines) balance automatically. Runs on
+/// resolveThreads(NumThreads) workers; \p Body must not throw and must
+/// synchronize any shared writes itself (writing to distinct slots of a
+/// pre-sized vector is safe).
+void parallelFor(int End, int NumThreads,
+                 const std::function<void(int)> &Body);
+
+} // namespace cdvs
+
+#endif // CDVS_SUPPORT_THREADPOOL_H

@@ -1,0 +1,98 @@
+//===- tests/common/RandomMilp.h - random LP/MILP instances -----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random LP and mode-assignment MILP generators shared by
+/// the solver property tests and bench_solver_micro. The mode-assignment
+/// shape mirrors the paper's DVS formulation: SOS1 groups of binary mode
+/// variables plus one coupling deadline row whose tightness controls how
+/// much branching the instance needs (0 = only the all-fastest point
+/// fits, 1 = even the all-slowest point fits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_TESTS_COMMON_RANDOMMILP_H
+#define CDVS_TESTS_COMMON_RANDOMMILP_H
+
+#include "lp/LpProblem.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cdvs {
+namespace testutil {
+
+/// Random dense feasible LP with the given shape (all rows are <= with
+/// slack at a known interior point, so the problem is never infeasible).
+inline LpProblem makeRandomLp(int Vars, int Rows, uint64_t Seed) {
+  Rng R(Seed);
+  LpProblem P;
+  std::vector<double> X0(Vars);
+  for (int J = 0; J < Vars; ++J) {
+    double Ub = 1.0 + R.nextDouble() * 4.0;
+    X0[J] = R.nextDouble() * Ub;
+    P.addVariable(0.0, Ub, R.nextDouble() * 10.0 - 5.0);
+  }
+  for (int I = 0; I < Rows; ++I) {
+    std::vector<LpTerm> Terms;
+    double Act = 0.0;
+    for (int J = 0; J < Vars; ++J) {
+      double A = R.nextDouble() * 6.0 - 3.0;
+      Terms.push_back({J, A});
+      Act += A * X0[J];
+    }
+    P.addRow(RowSense::LE, Act + R.nextDouble() * 2.0, Terms);
+  }
+  return P;
+}
+
+/// A mode-assignment MILP instance: binary variables in SOS1 groups of
+/// ModesPerGroup, one EQ row per group, one global LE deadline row.
+struct ModeAssignmentCase {
+  LpProblem P;
+  std::vector<std::vector<int>> Groups;
+  std::vector<int> Integers;
+};
+
+/// Builds a mode-assignment MILP. \p Tightness in [0, 1] places the
+/// deadline between the sum of per-group minimum times (0) and maximum
+/// times (1); values around 0.05-0.2 force substantial branching.
+inline ModeAssignmentCase makeModeAssignment(int NumGroups, double Tightness,
+                                             uint64_t Seed,
+                                             int ModesPerGroup = 3) {
+  Rng R(Seed);
+  ModeAssignmentCase C;
+  std::vector<LpTerm> TimeRow;
+  double MinT = 0.0, MaxT = 0.0;
+  C.Groups.resize(NumGroups);
+  for (int G = 0; G < NumGroups; ++G) {
+    std::vector<LpTerm> Sum;
+    double GMin = 1e18, GMax = 0.0;
+    for (int M = 0; M < ModesPerGroup; ++M) {
+      double E = 1.0 + R.nextDouble() * 9.0;
+      double T = 1.0 + R.nextDouble() * 9.0;
+      int V = C.P.addVariable(0.0, 1.0, E);
+      C.Groups[G].push_back(V);
+      Sum.push_back({V, 1.0});
+      TimeRow.push_back({V, T});
+      GMin = std::min(GMin, T);
+      GMax = std::max(GMax, T);
+    }
+    C.P.addRow(RowSense::EQ, 1.0, Sum);
+    MinT += GMin;
+    MaxT += GMax;
+  }
+  C.P.addRow(RowSense::LE, MinT + Tightness * (MaxT - MinT), TimeRow);
+  for (const auto &G : C.Groups)
+    C.Integers.insert(C.Integers.end(), G.begin(), G.end());
+  return C;
+}
+
+} // namespace testutil
+} // namespace cdvs
+
+#endif // CDVS_TESTS_COMMON_RANDOMMILP_H

@@ -1,0 +1,118 @@
+//===- tests/milp/MilpParallelTest.cpp - thread/warm-start invariance -----===//
+//
+// The branch-and-bound explores nodes in a different order for every
+// thread count and solves node LPs warm or cold, but all of those are
+// pure search-strategy choices: the returned status must be identical
+// and the objective must agree within AbsGap on every instance. These
+// tests sweep randomized mode-assignment MILPs (the paper's DVS shape)
+// across deadline tightnesses that range from trivial (root-only) to
+// branching-heavy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../common/RandomMilp.h"
+#include "milp/MilpSolver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cdvs;
+using testutil::makeModeAssignment;
+using testutil::ModeAssignmentCase;
+
+namespace {
+
+MilpSolution solveCase(const ModeAssignmentCase &C, const MilpOptions &O) {
+  MilpSolver S(C.P, C.Integers, O);
+  for (const auto &G : C.Groups)
+    S.addSos1Group(G);
+  return S.solve();
+}
+
+void expectAgree(const MilpSolution &A, const MilpSolution &B,
+                 const char *What) {
+  ASSERT_EQ(A.Status, B.Status)
+      << What << ": " << milpStatusName(A.Status) << " vs "
+      << milpStatusName(B.Status);
+  if (A.Status == MilpStatus::Optimal)
+    EXPECT_NEAR(A.Objective, B.Objective,
+                1e-7 * (1.0 + std::fabs(A.Objective)))
+        << What;
+}
+
+class MilpThreadInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpThreadInvariance, MatchesSingleThreadedSolve) {
+  int Tightness = GetParam(); // percent
+  for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+    ModeAssignmentCase C =
+        makeModeAssignment(10, Tightness / 100.0, 42 + Seed);
+    MilpOptions Serial;
+    Serial.NumThreads = 1;
+    MilpSolution Ref = solveCase(C, Serial);
+
+    for (int Threads : {2, 4}) {
+      MilpOptions O;
+      O.NumThreads = Threads;
+      MilpSolution Par = solveCase(C, O);
+      expectAgree(Ref, Par, "threaded vs serial");
+      if (Par.Status == MilpStatus::Optimal) {
+        EXPECT_TRUE(C.P.isFeasible(Par.X, 1e-5));
+        for (int V : C.Integers)
+          EXPECT_NEAR(Par.X[V], std::round(Par.X[V]), 1e-6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tightness, MilpThreadInvariance,
+                         ::testing::Values(50, 20, 8));
+
+TEST(MilpWarmStartInvariance, WarmMatchesColdNodeSolves) {
+  for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+    ModeAssignmentCase C = makeModeAssignment(10, 0.10, 900 + Seed);
+    MilpOptions Warm;
+    Warm.NumThreads = 1;
+    MilpOptions Cold = Warm;
+    Cold.WarmStart = false;
+    MilpSolution A = solveCase(C, Warm);
+    MilpSolution B = solveCase(C, Cold);
+    expectAgree(A, B, "warm vs cold");
+    // On branching-heavy instances the warm path must actually engage.
+    if (A.Nodes > 4)
+      EXPECT_GT(A.WarmLps, 0);
+    EXPECT_EQ(B.WarmLps, 0);
+  }
+}
+
+TEST(MilpWarmStartInvariance, RoundingDisabledStillAgrees) {
+  // Without the rounding heuristic the incumbent arrives late and the
+  // tree is larger — more warm re-solves, same answer.
+  for (uint64_t Seed = 0; Seed < 4; ++Seed) {
+    ModeAssignmentCase C = makeModeAssignment(9, 0.12, 1300 + Seed);
+    MilpOptions Plain;
+    Plain.NumThreads = 1;
+    MilpOptions NoRound = Plain;
+    NoRound.UseRounding = false;
+    expectAgree(solveCase(C, Plain), solveCase(C, NoRound),
+                "rounding vs none");
+  }
+}
+
+TEST(MilpParallel, ThreadCapRespectsTinyTrees) {
+  // A 1-integer problem cannot feed many workers; asking for 8 threads
+  // must still work (the solver caps internally) and stay exact.
+  LpProblem P;
+  int X = P.addVariable(0.0, 1.0, -1.0);
+  int Y = P.addVariable(0.0, 5.0, -0.1);
+  P.addRow(RowSense::LE, 5.2, {{X, 3.0}, {Y, 1.0}});
+  MilpOptions O;
+  O.NumThreads = 8;
+  MilpSolution S = MilpSolver(P, {X}, O).solve();
+  ASSERT_EQ(S.Status, MilpStatus::Optimal);
+  EXPECT_NEAR(S.Objective, -1.0 - 0.1 * 2.2, 1e-6);
+}
+
+} // namespace
