@@ -15,10 +15,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "support/ArgParse.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
-#include <cstring>
 
 using namespace cdvs;
 using namespace cdvs::bench;
@@ -33,10 +33,14 @@ struct Point {
 } // namespace
 
 int main(int argc, char **argv) {
-  int SweepThreads = resolveThreads(0);
-  for (int I = 1; I < argc; ++I)
-    if (std::strncmp(argv[I], "--threads=", 10) == 0)
-      SweepThreads = resolveThreads(std::atoi(argv[I] + 10));
+  ArgParser P("bench_fig14_table3_filtering",
+              "Figure 14 / Table 3: edge-filtering MILP speedup and "
+              "schedule-energy impact");
+  int &Threads =
+      P.addInt("threads", 0, "sweep width; 0 = one per core");
+  if (!P.parseOrExit(argc, argv))
+    return 0;
+  int SweepThreads = resolveThreads(Threads);
 
   ModeTable Modes = ModeTable::xscale3();
   TransitionModel Regulator = TransitionModel::paperTypical();

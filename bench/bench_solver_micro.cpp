@@ -12,11 +12,11 @@
 
 #include "../tests/common/RandomMilp.h"
 #include "BenchCommon.h"
+#include "support/ArgParse.h"
 #include "support/Rng.h"
 
 #include <benchmark/benchmark.h>
 
-#include <cstring>
 #include <string>
 
 using namespace cdvs;
@@ -166,19 +166,31 @@ BENCHMARK(BM_EndToEndSchedule)->Unit(benchmark::kMillisecond);
 
 // Like BENCHMARK_MAIN(), but defaults --benchmark_out to
 // BENCH_solver.json (JSON format) so every run leaves a machine-readable
-// record next to the printed table. Explicit --benchmark_out wins.
+// record next to the printed table. Unrecognized --benchmark_* flags
+// pass through to google-benchmark untouched.
 int main(int argc, char **argv) {
-  std::vector<char *> Args(argv, argv + argc);
-  std::string OutFlag = "--benchmark_out=BENCH_solver.json";
-  std::string FormatFlag = "--benchmark_out_format=json";
-  bool HasOut = false;
-  for (int I = 1; I < argc; ++I)
-    if (std::strncmp(argv[I], "--benchmark_out=", 16) == 0)
-      HasOut = true;
-  if (!HasOut) {
-    Args.push_back(OutFlag.data());
-    Args.push_back(FormatFlag.data());
-  }
+  ArgParser P("bench_solver_micro",
+              "google-benchmark microbenches of the simplex, MILP, "
+              "simulator, and end-to-end scheduling substrates");
+  std::string &Out = P.addString("benchmark_out", "BENCH_solver.json",
+                                 "results file (google-benchmark)");
+  std::string &Format = P.addString("benchmark_out_format", "json",
+                                    "results format (google-benchmark)");
+  P.allowUnknown(true);
+  if (!P.parseOrExit(argc, argv))
+    return 0;
+
+  // Rebuild an argv for benchmark::Initialize from the parsed values (so
+  // the defaults apply) plus every pass-through --benchmark_* flag.
+  std::vector<std::string> Rebuilt;
+  Rebuilt.push_back(argv[0]);
+  Rebuilt.push_back("--benchmark_out=" + Out);
+  Rebuilt.push_back("--benchmark_out_format=" + Format);
+  for (const std::string &A : P.unparsed())
+    Rebuilt.push_back(A);
+  std::vector<char *> Args;
+  for (std::string &A : Rebuilt)
+    Args.push_back(A.data());
   int Argc = static_cast<int>(Args.size());
   benchmark::Initialize(&Argc, Args.data());
   if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))

@@ -5,7 +5,11 @@
 #   1. default build + full ctest suite (the tier-1 command of ROADMAP.md);
 #   2. ThreadSanitizer build of the solver stack, running the LP and MILP
 #      test binaries (the concurrent pieces: work-stealing branch-and-
-#      bound, shared incumbent, warm-start engines).
+#      bound, shared incumbent, warm-start engines);
+#   3. ThreadSanitizer pass over the scheduling service (TaskPool,
+#      sharded single-flight cache, admission queue) plus bench_service,
+#      whose asserts prove cache-hit schedules byte-identical to fresh
+#      solves and 16 concurrent duplicates collapse to one MILP.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 #
@@ -27,6 +31,17 @@ cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$JOBS" --target lp_test milp_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lp_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/milp_test
+
+echo
+echo "== TSan: scheduling service (support_test, service_test) =="
+cmake --build build-tsan -j"$JOBS" --target support_test service_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/support_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/service_test
+
+echo
+echo "== bench_service: cached == fresh, duplicates collapse =="
+cmake --build build -j"$JOBS" --target bench_service
+(cd build/bench && ./bench_service)
 
 echo
 echo "All checks passed."

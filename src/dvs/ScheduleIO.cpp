@@ -6,7 +6,10 @@
 
 #include "dvs/ScheduleIO.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <vector>
 
@@ -86,4 +89,217 @@ std::string cdvs::summarizeAssignment(const ModeAssignment &Assignment,
     Out += Buf;
   }
   return Out;
+}
+
+std::string cdvs::writeSchedule(const ModeAssignment &Assignment) {
+  std::string Out = "cdvs-schedule v1\n";
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "initial %d\n", Assignment.InitialMode);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "edges %zu\n",
+                Assignment.EdgeMode.size());
+  Out += Buf;
+  for (const auto &[E, M] : Assignment.EdgeMode) {
+    std::snprintf(Buf, sizeof(Buf), "%d %d %d\n", E.From, E.To, M);
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "paths %zu\n",
+                Assignment.PathMode.size());
+  Out += Buf;
+  for (const auto &[P, M] : Assignment.PathMode) {
+    auto [H, I, J] = P;
+    std::snprintf(Buf, sizeof(Buf), "%d %d %d %d\n", H, I, J, M);
+    Out += Buf;
+  }
+  Out += "end\n";
+  return Out;
+}
+
+namespace {
+
+/// Sequential line scanner that remembers the 1-based number of the line
+/// it last produced, for error messages.
+struct LineReader {
+  const std::string &Text;
+  size_t Pos = 0;
+  int LineNo = 0;
+
+  explicit LineReader(const std::string &Text) : Text(Text) {}
+
+  /// \returns the next line without its terminator, or false at EOF.
+  bool next(std::string &Line) {
+    if (Pos >= Text.size())
+      return false;
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos) {
+      Line = Text.substr(Pos);
+      Pos = Text.size();
+    } else {
+      Line = Text.substr(Pos, Nl - Pos);
+      Pos = Nl + 1;
+    }
+    ++LineNo;
+    return true;
+  }
+};
+
+Err truncated(const char *What) {
+  return makeError(std::string("schedule: truncated input (missing ") +
+                   What + ")");
+}
+
+Err badLine(int LineNo, const std::string &Line) {
+  return makeError("schedule: malformed line " + std::to_string(LineNo) +
+                   ": '" + Line + "'");
+}
+
+/// Validates a parsed mode index against the optional table size.
+bool modeOk(int Mode, int NumModes) {
+  return Mode >= 0 && (NumModes < 0 || Mode < NumModes);
+}
+
+Err badMode(int Mode, int NumModes, int LineNo) {
+  std::string Msg = "schedule: unknown mode index " +
+                    std::to_string(Mode) + " on line " +
+                    std::to_string(LineNo);
+  if (NumModes >= 0)
+    Msg += " (mode table has " + std::to_string(NumModes) + " modes)";
+  return makeError(Msg);
+}
+
+/// sscanf wrapper that also rejects trailing junk on the line. \p Fmt
+/// must end in %n (bound to the consumed-character counter) and carry
+/// exactly \p N int conversions before it.
+bool scanInts(const std::string &Line, const char *Fmt, int N, int *A,
+              int *B = nullptr, int *C = nullptr, int *D = nullptr) {
+  int Consumed = -1;
+  switch (N) {
+  case 1:
+    std::sscanf(Line.c_str(), Fmt, A, &Consumed);
+    break;
+  case 3:
+    std::sscanf(Line.c_str(), Fmt, A, B, C, &Consumed);
+    break;
+  case 4:
+    std::sscanf(Line.c_str(), Fmt, A, B, C, D, &Consumed);
+    break;
+  default:
+    cdvsUnreachable("scanInts arity");
+  }
+  if (Consumed < 0)
+    return false;
+  // Only whitespace may follow the matched prefix.
+  for (size_t I = static_cast<size_t>(Consumed); I < Line.size(); ++I)
+    if (!std::isspace(static_cast<unsigned char>(Line[I])))
+      return false;
+  return true;
+}
+
+} // namespace
+
+ErrorOr<ModeAssignment> cdvs::readSchedule(const std::string &Text,
+                                           int NumModes) {
+  LineReader R(Text);
+  std::string Line;
+
+  if (!R.next(Line))
+    return truncated("header");
+  if (Line != "cdvs-schedule v1")
+    return makeError("schedule: bad magic line '" + Line +
+                     "' (expected 'cdvs-schedule v1')");
+
+  ModeAssignment A;
+  if (!R.next(Line))
+    return truncated("initial mode");
+  if (!scanInts(Line, "initial %d%n", 1, &A.InitialMode))
+    return badLine(R.LineNo, Line);
+  if (!modeOk(A.InitialMode, NumModes))
+    return badMode(A.InitialMode, NumModes, R.LineNo);
+
+  int NumEdges = 0;
+  if (!R.next(Line))
+    return truncated("edge count");
+  if (!scanInts(Line, "edges %d%n", 1, &NumEdges) || NumEdges < 0)
+    return badLine(R.LineNo, Line);
+  for (int I = 0; I < NumEdges; ++I) {
+    if (!R.next(Line))
+      return truncated("edge lines");
+    int From, To, Mode;
+    if (!scanInts(Line, "%d %d %d%n", 3, &From, &To, &Mode))
+      return badLine(R.LineNo, Line);
+    if (From < -1 || To < 0)
+      return makeError("schedule: invalid edge " + std::to_string(From) +
+                       " -> " + std::to_string(To) + " on line " +
+                       std::to_string(R.LineNo));
+    if (!modeOk(Mode, NumModes))
+      return badMode(Mode, NumModes, R.LineNo);
+    if (!A.EdgeMode.emplace(CfgEdge{From, To}, Mode).second)
+      return makeError("schedule: duplicate edge " + std::to_string(From) +
+                       " -> " + std::to_string(To) + " on line " +
+                       std::to_string(R.LineNo));
+  }
+
+  int NumPaths = 0;
+  if (!R.next(Line))
+    return truncated("path count");
+  if (!scanInts(Line, "paths %d%n", 1, &NumPaths) || NumPaths < 0)
+    return badLine(R.LineNo, Line);
+  for (int I = 0; I < NumPaths; ++I) {
+    if (!R.next(Line))
+      return truncated("path lines");
+    int H, From, To, Mode;
+    if (!scanInts(Line, "%d %d %d %d%n", 4, &H, &From, &To, &Mode))
+      return badLine(R.LineNo, Line);
+    if (H < -1 || From < 0 || To < 0)
+      return makeError("schedule: invalid path on line " +
+                       std::to_string(R.LineNo));
+    if (!modeOk(Mode, NumModes))
+      return badMode(Mode, NumModes, R.LineNo);
+    if (!A.PathMode.emplace(std::make_tuple(H, From, To), Mode).second)
+      return makeError("schedule: duplicate path on line " +
+                       std::to_string(R.LineNo));
+  }
+
+  if (!R.next(Line))
+    return truncated("'end' marker");
+  if (Line != "end")
+    return badLine(R.LineNo, Line);
+  while (R.next(Line))
+    for (char C : Line)
+      if (!std::isspace(static_cast<unsigned char>(C)))
+        return makeError("schedule: trailing data on line " +
+                         std::to_string(R.LineNo));
+  return A;
+}
+
+ErrorOr<bool> cdvs::writeScheduleFile(const std::string &Path,
+                                      const ModeAssignment &Assignment) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return makeError("schedule: cannot open '" + Path + "' for writing: " +
+                     std::strerror(errno));
+  std::string Text = writeSchedule(Assignment);
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size() && std::fclose(F) == 0;
+  if (!Ok)
+    return makeError("schedule: short write to '" + Path + "'");
+  return true;
+}
+
+ErrorOr<ModeAssignment> cdvs::readScheduleFile(const std::string &Path,
+                                               int NumModes) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return makeError("schedule: cannot open '" + Path + "': " +
+                     std::strerror(errno));
+  std::string Text;
+  char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, Got);
+  bool ReadErr = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadErr)
+    return makeError("schedule: read error on '" + Path + "'");
+  return readSchedule(Text, NumModes);
 }

@@ -11,6 +11,24 @@
 /// path (same mode as the dominant predecessor — the paper's "silent
 /// mode-set on the back edge" observation).
 ///
+/// Also the schedule serialization used by the scheduling service and
+/// the dvsd CLI: a canonical line-based text format,
+///
+///   cdvs-schedule v1
+///   initial <mode>
+///   edges <n>
+///   <from> <to> <mode>     x n   (ascending (from, to); from may be -1)
+///   paths <k>
+///   <h> <i> <j> <mode>     x k   (ascending (h, i, j))
+///   end
+///
+/// The format is canonical — the maps' sorted iteration order fixes the
+/// bytes — so write(read(write(A))) == write(A) byte for byte, which is
+/// what lets the service cache compare cached and fresh schedules by
+/// string equality. Readers return errors (never crash) on truncated
+/// input, malformed lines, duplicate edges, and out-of-range mode
+/// indices.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CDVS_DVS_SCHEDULEIO_H
@@ -19,6 +37,7 @@
 #include "power/ModeTable.h"
 #include "profile/Profile.h"
 #include "sim/ModeAssignment.h"
+#include "support/Error.h"
 
 #include <string>
 
@@ -37,6 +56,24 @@ std::string printAssignment(const Function &Fn,
 /// One-line summary: modes used and how many edges select each.
 std::string summarizeAssignment(const ModeAssignment &Assignment,
                                 const ModeTable &Modes);
+
+/// Serializes \p Assignment in the canonical `cdvs-schedule v1` format
+/// (see the file comment). Byte-deterministic for equal assignments.
+std::string writeSchedule(const ModeAssignment &Assignment);
+
+/// Parses a `cdvs-schedule v1` document. With \p NumModes >= 0, any mode
+/// index outside [0, NumModes) is rejected as unknown; negative modes
+/// are always rejected. Errors name the offending line.
+ErrorOr<ModeAssignment> readSchedule(const std::string &Text,
+                                     int NumModes = -1);
+
+/// writeSchedule straight to \p Path; errors on I/O failure.
+ErrorOr<bool> writeScheduleFile(const std::string &Path,
+                                const ModeAssignment &Assignment);
+
+/// readSchedule from \p Path; errors on unreadable files.
+ErrorOr<ModeAssignment> readScheduleFile(const std::string &Path,
+                                         int NumModes = -1);
 
 } // namespace cdvs
 

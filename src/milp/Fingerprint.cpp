@@ -1,0 +1,104 @@
+//===- milp/Fingerprint.cpp - Content address of a DVS MILP instance ------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "milp/Fingerprint.h"
+
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cdvs;
+
+namespace {
+
+/// Folds the MILP-relevant profile content into \p H. Maps iterate in
+/// key order, so the traversal is deterministic.
+void hashProfileContent(HashBuilder &H, const Profile &P) {
+  H.add(std::string("profile"));
+  H.add(P.NumBlocks);
+  H.add(P.NumModes);
+  for (const auto &Row : P.TimePerInvocation) {
+    H.add(static_cast<uint64_t>(Row.size()));
+    for (double T : Row)
+      H.add(T);
+  }
+  for (const auto &Row : P.EnergyPerInvocation) {
+    H.add(static_cast<uint64_t>(Row.size()));
+    for (double E : Row)
+      H.add(E);
+  }
+  H.add(static_cast<uint64_t>(P.EdgeCounts.size()));
+  for (const auto &[E, Count] : P.EdgeCounts) {
+    H.add(E.From);
+    H.add(E.To);
+    H.add(static_cast<uint64_t>(Count));
+  }
+  H.add(static_cast<uint64_t>(P.PathCounts.size()));
+  for (const auto &[Path, Count] : P.PathCounts) {
+    auto [Hd, I, J] = Path;
+    H.add(Hd);
+    H.add(I);
+    H.add(J);
+    H.add(static_cast<uint64_t>(Count));
+  }
+}
+
+} // namespace
+
+std::string cdvs::fingerprintProfile(const Profile &P) {
+  HashBuilder H;
+  hashProfileContent(H, P);
+  return H.digest();
+}
+
+std::string cdvs::fingerprintDvsInstance(
+    const std::vector<CategoryProfile> &Categories,
+    const std::vector<double> &DeadlinesSeconds, const ModeTable &Modes,
+    const TransitionModel &Transitions, double FilterThreshold,
+    int InitialMode) {
+  assert(!Categories.empty() && "fingerprint of an empty instance");
+  assert((DeadlinesSeconds.size() == 1 ||
+          DeadlinesSeconds.size() == Categories.size()) &&
+         "one shared deadline or one per category");
+
+  HashBuilder Root;
+  Root.add(std::string("cdvs-dvs-instance-v1"));
+
+  // Voltage set in the table's canonical ascending-frequency order.
+  Root.add(static_cast<uint64_t>(Modes.size()));
+  for (const VoltageLevel &L : Modes.levels()) {
+    Root.add(L.Volts);
+    Root.add(L.Hertz);
+  }
+
+  // The transition model enters the MILP only through CE and CT.
+  Root.add(Transitions.energyConstant());
+  Root.add(Transitions.timeConstant());
+
+  Root.add(FilterThreshold);
+  Root.add(InitialMode);
+
+  // Categories: digest each (profile, weight, deadline) and fold the
+  // digests in sorted order — the weighted-sum objective and per-category
+  // deadline rows are order-free.
+  std::vector<std::string> Digests;
+  Digests.reserve(Categories.size());
+  for (size_t C = 0; C < Categories.size(); ++C) {
+    HashBuilder Sub;
+    hashProfileContent(Sub, Categories[C].Data);
+    Sub.add(Categories[C].Probability);
+    Sub.add(DeadlinesSeconds.size() == 1 ? DeadlinesSeconds[0]
+                                         : DeadlinesSeconds[C]);
+    Digests.push_back(Sub.digest());
+  }
+  std::sort(Digests.begin(), Digests.end());
+  Root.add(static_cast<uint64_t>(Digests.size()));
+  for (const std::string &D : Digests)
+    Root.add(D);
+
+  return Root.digest();
+}

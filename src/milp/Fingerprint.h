@@ -1,0 +1,61 @@
+//===- milp/Fingerprint.h - Content address of a DVS MILP instance -*- C++ -*-//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A canonical 128-bit fingerprint of a normalized DVS mode-assignment
+/// MILP instance, used as the content address for the service result
+/// cache (service/ResultCache.h): two requests with the same fingerprint
+/// describe the same optimization problem and may share one solved
+/// schedule.
+///
+/// The fingerprint covers everything that determines the solved MILP —
+/// per-mode block costs (Tjm, Ejm), CFG edge counts Gij and local-path
+/// counts Dhij, category weights, per-category deadlines, the voltage/
+/// frequency table, the regulator's transition constants CE and CT, the
+/// edge-filter threshold, and the initial mode — and nothing that does
+/// not (function names, profile bookkeeping like single-mode totals,
+/// solver knobs that cannot change the optimum).
+///
+/// Normalizations make equivalent-but-reordered inputs collide on
+/// purpose:
+///  * input categories are hashed individually (profile + weight +
+///    deadline) and folded in sorted digest order, since the weighted
+///    objective is a commutative sum;
+///  * the voltage set is hashed in the ModeTable's canonical ascending-
+///    frequency order, so shuffled level lists fingerprint identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_MILP_FINGERPRINT_H
+#define CDVS_MILP_FINGERPRINT_H
+
+#include "power/ModeTable.h"
+#include "power/TransitionModel.h"
+#include "profile/Profile.h"
+
+#include <string>
+#include <vector>
+
+namespace cdvs {
+
+/// \returns the 32-hex-char content address of the DVS MILP instance
+/// defined by profiled \p Categories under \p DeadlinesSeconds (one
+/// shared deadline, or one per category), the \p Modes table, the
+/// \p Transitions cost model, the Section 5.2 edge-\p FilterThreshold,
+/// and the pre-launch \p InitialMode.
+std::string fingerprintDvsInstance(
+    const std::vector<CategoryProfile> &Categories,
+    const std::vector<double> &DeadlinesSeconds, const ModeTable &Modes,
+    const TransitionModel &Transitions, double FilterThreshold,
+    int InitialMode);
+
+/// Fingerprint of one profile's MILP-relevant content (block costs, edge
+/// and path counts). Also the key of the service's profile cache.
+std::string fingerprintProfile(const Profile &P);
+
+} // namespace cdvs
+
+#endif // CDVS_MILP_FINGERPRINT_H

@@ -1,0 +1,112 @@
+//===- service/Job.h - DVS scheduling job requests and results --*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/response vocabulary of the scheduling service. A
+/// JobRequest names a workload (plus optional input categories) and a
+/// deadline — either absolute seconds or a tightness fraction of the
+/// profile's single-mode time range — along with the processor and
+/// regulator configuration. A JobResult carries the serialized schedule
+/// (dvs/ScheduleIO format), the instance fingerprint it is cached under,
+/// cache/single-flight provenance, and per-stage latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SERVICE_JOB_H
+#define CDVS_SERVICE_JOB_H
+
+#include "milp/MilpSolver.h"
+
+#include <string>
+#include <vector>
+
+namespace cdvs {
+
+/// One input category of a job: a named workload input plus its
+/// occurrence probability (the paper's Section 4.3 weights).
+struct JobCategory {
+  std::string Input;
+  double Weight = 1.0;
+};
+
+/// A batch DVS-scheduling request.
+struct JobRequest {
+  /// Caller-chosen identifier, echoed in the result.
+  std::string Id;
+  /// Workload name from workloads/Workloads.h (e.g. "gsm").
+  std::string Workload;
+  /// Input categories; empty means the workload's default input with
+  /// weight 1. Weights are normalized to probabilities by the service.
+  std::vector<JobCategory> Categories;
+
+  /// Absolute deadline in seconds; a value > 0 wins over the tightness.
+  double DeadlineSeconds = 0.0;
+  /// Relative deadline when DeadlineSeconds <= 0: 0 is the fastest
+  /// single-mode time (stringent), 1 the slowest (lax), resolved per
+  /// category as Tfast + t * (Tslow - Tfast) on that category's profile.
+  double DeadlineTightness = 0.5;
+
+  /// Section 5.2 edge-filter threshold (0 disables filtering).
+  double FilterThreshold = 0.02;
+  /// Pre-launch mode index; -1 means the fastest level.
+  int InitialMode = -1;
+  /// Voltage levels: 0 selects the paper's XScale-like 3-mode table,
+  /// otherwise evenVoltageLevels(NumLevels) over the paper's 0.7-1.65 V
+  /// range with the alpha-power-law V/f curve.
+  int NumLevels = 0;
+  /// Regulator capacitance in farads (efficiency 0.9 and Imax 1 A are
+  /// fixed, as in the paper's typical configuration).
+  double CapacitanceF = 10e-6;
+};
+
+/// Terminal state of a job.
+enum class JobStatus {
+  Done,       ///< Schedule produced (possibly from cache).
+  Rejected,   ///< Refused at admission (backpressure or shutdown).
+  Infeasible, ///< No schedule meets the deadline.
+  Failed,     ///< Malformed request (unknown workload/input, bad knobs).
+};
+
+/// \returns a printable lower-case name for a JobStatus.
+const char *jobStatusName(JobStatus Status);
+
+/// The service's answer to one JobRequest.
+struct JobResult {
+  std::string Id;
+  JobStatus Status = JobStatus::Failed;
+  /// Rejection/failure/infeasibility explanation; empty on Done.
+  std::string Reason;
+
+  /// Content address of the solved instance (milp/Fingerprint.h).
+  std::string Fingerprint;
+  /// True when the schedule came from the result cache.
+  bool CacheHit = false;
+  /// True when this request waited on another in-flight identical solve
+  /// (single-flight collapse) instead of solving itself.
+  bool SharedFlight = false;
+
+  /// The schedule in dvs/ScheduleIO `cdvs-schedule v1` text form.
+  std::string ScheduleText;
+  double PredictedEnergyJoules = 0.0;
+  /// Deadline-free analytic lower bound on any schedule's energy (every
+  /// block at its cheapest mode, transitions free).
+  double LowerBoundJoules = 0.0;
+  /// Resolved absolute deadline (first category's, for reporting).
+  double DeadlineSeconds = 0.0;
+  MilpStatus Milp = MilpStatus::Limit;
+
+  double QueueSeconds = 0.0;   ///< admission to worker pickup
+  double ProfileSeconds = 0.0; ///< profiling stage (0 on profile-cache hit)
+  double SolveSeconds = 0.0;   ///< MILP stage of the original solve
+  double TotalSeconds = 0.0;   ///< admission to completion
+  /// Global pickup order (0-based); exposes the deadline-aware priority
+  /// queue's decisions to tests and the CLI. -1 when never dequeued.
+  long DequeueSeq = -1;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_SERVICE_JOB_H

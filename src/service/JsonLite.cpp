@@ -1,0 +1,244 @@
+//===- service/JsonLite.cpp - Minimal JSON reader/writer -------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/JsonLite.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cdvs;
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string; Pos is the cursor.
+struct Parser {
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "json: " + Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+
+  bool literal(const char *Word) {
+    for (const char *P = Word; *P; ++P, ++Pos)
+      if (Pos >= Text.size() || Text[Pos] != *P)
+        return fail(std::string("bad literal (expected ") + Word + ")");
+    return true;
+  }
+
+  /// Appends \p Code as UTF-8 (basic multilingual plane only).
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xc0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else {
+      Out += static_cast<char>(0xe0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (++Pos >= Text.size())
+          return fail("unterminated escape");
+        char E = Text[Pos++];
+        switch (E) {
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        case '/': Out += '/'; break;
+        case 'b': Out += '\b'; break;
+        case 'f': Out += '\f'; break;
+        case 'n': Out += '\n'; break;
+        case 'r': Out += '\r'; break;
+        case 't': Out += '\t'; break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return fail("short \\u escape");
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos++];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad \\u escape digit");
+          }
+          appendUtf8(Out, Code);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        continue;
+      }
+      Out += C;
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(JsonValue &V) {
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      V.K = JsonValue::Kind::Object;
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        skipSpace();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        if (!consume(':'))
+          return false;
+        JsonValue Member;
+        if (!parseValue(Member))
+          return false;
+        V.Obj.emplace_back(std::move(Key), std::move(Member));
+        skipSpace();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      V.K = JsonValue::Kind::Array;
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        JsonValue Elem;
+        if (!parseValue(Elem))
+          return false;
+        V.Arr.push_back(std::move(Elem));
+        skipSpace();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (C == '"') {
+      V.K = JsonValue::Kind::String;
+      return parseString(V.Str);
+    }
+    if (C == 't') {
+      V.K = JsonValue::Kind::Bool;
+      V.B = true;
+      return literal("true");
+    }
+    if (C == 'f') {
+      V.K = JsonValue::Kind::Bool;
+      V.B = false;
+      return literal("false");
+    }
+    if (C == 'n') {
+      V.K = JsonValue::Kind::Null;
+      return literal("null");
+    }
+    // Number.
+    char *End = nullptr;
+    V.Num = std::strtod(Text.c_str() + Pos, &End);
+    if (End == Text.c_str() + Pos)
+      return fail("invalid value");
+    V.K = JsonValue::Kind::Number;
+    Pos = static_cast<size_t>(End - Text.c_str());
+    return true;
+  }
+};
+
+} // namespace
+
+ErrorOr<JsonValue> cdvs::parseJson(const std::string &Text) {
+  Parser P(Text);
+  JsonValue V;
+  if (!P.parseValue(V))
+    return makeError(P.Error);
+  P.skipSpace();
+  if (P.Pos != Text.size())
+    return makeError("json: trailing data at offset " +
+                     std::to_string(P.Pos));
+  return V;
+}
+
+std::string cdvs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}

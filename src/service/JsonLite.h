@@ -1,0 +1,59 @@
+//===- service/JsonLite.h - Minimal JSON reader/writer ----------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough JSON for the dvsd request/response protocol: a recursive-
+/// descent parser into a small value tree, and string escaping for the
+/// emit side (responses are assembled by hand — they are flat). Supports
+/// the full value grammar with numbers as doubles; \uXXXX escapes decode
+/// basic-plane code points to UTF-8. No external dependency, matching
+/// the container constraint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SERVICE_JSONLITE_H
+#define CDVS_SERVICE_JSONLITE_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cdvs {
+
+/// A parsed JSON value. Object member order is preserved.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *find(const std::string &Key) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+ErrorOr<JsonValue> parseJson(const std::string &Text);
+
+/// Escapes \p S for embedding inside a JSON string literal (no quotes
+/// added).
+std::string jsonEscape(const std::string &S);
+
+} // namespace cdvs
+
+#endif // CDVS_SERVICE_JSONLITE_H

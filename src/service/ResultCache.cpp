@@ -1,0 +1,110 @@
+//===- service/ResultCache.cpp - Sharded LRU schedule cache ----------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultCache.h"
+
+#include <cassert>
+
+using namespace cdvs;
+
+ResultCache::ResultCache(size_t Capacity, size_t NumShards) {
+  if (NumShards == 0)
+    NumShards = 1;
+  PerShardCap = Capacity / NumShards;
+  if (PerShardCap == 0)
+    PerShardCap = 1;
+  Shards.reserve(NumShards);
+  for (size_t I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::Shard &ResultCache::shardOf(const std::string &Key) {
+  return *Shards[std::hash<std::string>{}(Key) % Shards.size()];
+}
+
+const ResultCache::Shard &
+ResultCache::shardOf(const std::string &Key) const {
+  return *Shards[std::hash<std::string>{}(Key) % Shards.size()];
+}
+
+ResultCache::Lookup
+ResultCache::getOrCompute(const std::string &Key,
+                          const ComputeFn &Compute) {
+  Shard &S = shardOf(Key);
+  std::shared_ptr<Flight> F;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(Key);
+    if (It != S.Map.end()) {
+      // Hit: refresh recency.
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruIt);
+      ++S.Hits;
+      return {It->second.Value, /*Hit=*/true, /*Shared=*/false};
+    }
+    auto FIt = S.InFlight.find(Key);
+    if (FIt != S.InFlight.end()) {
+      F = FIt->second;
+      ++S.SharedFlights;
+    } else {
+      F = std::make_shared<Flight>();
+      S.InFlight.emplace(Key, F);
+      Leader = true;
+      ++S.Misses;
+    }
+  }
+
+  if (!Leader) {
+    std::unique_lock<std::mutex> FLock(F->Mu);
+    F->Cv.wait(FLock, [&] { return F->Done; });
+    return {F->Value, /*Hit=*/false, /*Shared=*/true};
+  }
+
+  // Leader: solve with no shard lock held.
+  std::shared_ptr<const CachedSchedule> Value = Compute();
+
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (Value) {
+      S.Lru.push_front(Key);
+      S.Map[Key] = {Value, S.Lru.begin()};
+      while (S.Map.size() > PerShardCap) {
+        S.Map.erase(S.Lru.back());
+        S.Lru.pop_back();
+        ++S.Evictions;
+      }
+    }
+    S.InFlight.erase(Key);
+  }
+  {
+    std::lock_guard<std::mutex> FLock(F->Mu);
+    F->Value = Value;
+    F->Done = true;
+  }
+  F->Cv.notify_all();
+  return {Value, /*Hit=*/false, /*Shared=*/false};
+}
+
+std::shared_ptr<const CachedSchedule>
+ResultCache::peek(const std::string &Key) const {
+  const Shard &S = shardOf(Key);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(Key);
+  return It == S.Map.end() ? nullptr : It->second.Value;
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats Total;
+  for (const auto &SP : Shards) {
+    std::lock_guard<std::mutex> Lock(SP->Mu);
+    Total.Hits += SP->Hits;
+    Total.Misses += SP->Misses;
+    Total.SharedFlights += SP->SharedFlights;
+    Total.Evictions += SP->Evictions;
+    Total.Entries += SP->Map.size();
+  }
+  return Total;
+}

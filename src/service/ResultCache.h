@@ -1,0 +1,121 @@
+//===- service/ResultCache.h - Sharded LRU schedule cache -------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The content-addressed result store at the heart of the scheduling
+/// service: solved schedules keyed by instance fingerprint
+/// (milp/Fingerprint.h) in a sharded LRU map, with single-flight
+/// deduplication — when N workers ask for the same key concurrently, one
+/// becomes the leader and solves while the other N-1 block on the
+/// leader's flight and share its result, so N identical requests cost
+/// one solve.
+///
+/// Sharding keeps the lock a solve-duration-free point: a shard's mutex
+/// is only ever held for map/list operations; leaders compute with no
+/// lock held. Values are immutable shared_ptrs, so readers never copy
+/// the schedule text under the lock either.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SERVICE_RESULTCACHE_H
+#define CDVS_SERVICE_RESULTCACHE_H
+
+#include "milp/MilpSolver.h"
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cdvs {
+
+/// An immutable cached solve outcome. Infeasible outcomes are cached
+/// too (Feasible = false): infeasibility is as deterministic a property
+/// of the instance as the optimal schedule is.
+struct CachedSchedule {
+  bool Feasible = true;
+  std::string Reason; ///< infeasibility explanation when !Feasible
+  std::string ScheduleText;
+  double PredictedEnergyJoules = 0.0;
+  double LowerBoundJoules = 0.0;
+  MilpStatus Milp = MilpStatus::Limit;
+  double SolveSeconds = 0.0; ///< MILP time of the original solve
+};
+
+/// Counters for the cache and its single-flight layer.
+struct CacheStats {
+  long Hits = 0;
+  long Misses = 0; ///< leader computes (== solves attempted)
+  long SharedFlights = 0; ///< followers that waited on a leader
+  long Evictions = 0;
+  size_t Entries = 0;
+};
+
+/// Sharded LRU + single-flight store; see the file comment.
+class ResultCache {
+public:
+  /// \p Capacity total entries, split evenly over \p NumShards shards
+  /// (each shard keeps at least one entry).
+  explicit ResultCache(size_t Capacity, size_t NumShards = 8);
+
+  using ComputeFn =
+      std::function<std::shared_ptr<const CachedSchedule>()>;
+
+  /// What getOrCompute observed for a key.
+  struct Lookup {
+    std::shared_ptr<const CachedSchedule> Value;
+    bool Hit = false;    ///< served from the store
+    bool Shared = false; ///< served by waiting on another's solve
+  };
+
+  /// \returns the cached value for \p Key, computing it with \p Compute
+  /// on a miss. Concurrent calls for the same key collapse to one
+  /// Compute. A Compute returning nullptr (transient failure) is handed
+  /// to its waiters but not stored, so a later request retries.
+  Lookup getOrCompute(const std::string &Key, const ComputeFn &Compute);
+
+  /// Non-computing probe (does not touch hit/miss counters or recency).
+  std::shared_ptr<const CachedSchedule>
+  peek(const std::string &Key) const;
+
+  CacheStats stats() const;
+  size_t capacity() const { return PerShardCap * Shards.size(); }
+
+private:
+  struct Flight {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    bool Done = false;
+    std::shared_ptr<const CachedSchedule> Value;
+  };
+
+  struct Shard {
+    mutable std::mutex Mu;
+    /// Most-recently-used first; entries hold iterators into this list.
+    std::list<std::string> Lru;
+    struct Entry {
+      std::shared_ptr<const CachedSchedule> Value;
+      std::list<std::string>::iterator LruIt;
+    };
+    std::unordered_map<std::string, Entry> Map;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> InFlight;
+    long Hits = 0, Misses = 0, SharedFlights = 0, Evictions = 0;
+  };
+
+  Shard &shardOf(const std::string &Key);
+  const Shard &shardOf(const std::string &Key) const;
+
+  size_t PerShardCap;
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_SERVICE_RESULTCACHE_H

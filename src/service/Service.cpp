@@ -1,0 +1,439 @@
+//===- service/Service.cpp - Batch DVS-scheduling service ------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "dvs/DvsScheduler.h"
+#include "dvs/ScheduleIO.h"
+#include "milp/Fingerprint.h"
+#include "power/VfModel.h"
+#include "support/Hash.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+
+using namespace cdvs;
+
+const char *cdvs::jobStatusName(JobStatus Status) {
+  switch (Status) {
+  case JobStatus::Done:
+    return "done";
+  case JobStatus::Rejected:
+    return "rejected";
+  case JobStatus::Infeasible:
+    return "infeasible";
+  case JobStatus::Failed:
+    return "failed";
+  }
+  cdvsUnreachable("bad JobStatus");
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+/// The service's workload registry, built once per process. Workload
+/// functions are immutable after construction, so sharing them across
+/// worker threads is safe.
+const std::map<std::string, Workload> &workloadRegistry() {
+  static const std::map<std::string, Workload> Registry = [] {
+    std::map<std::string, Workload> M;
+    for (Workload &W : allWorkloads())
+      M.emplace(W.Name, std::move(W));
+    return M;
+  }();
+  return Registry;
+}
+
+std::string knownWorkloadNames() {
+  std::string Names;
+  for (const auto &[Name, W] : workloadRegistry())
+    Names += (Names.empty() ? "" : ", ") + Name;
+  return Names;
+}
+
+/// Content digest of a mode table, for profile-cache keys.
+std::string modeTableDigest(const ModeTable &Modes) {
+  HashBuilder H;
+  H.add(static_cast<uint64_t>(Modes.size()));
+  for (const VoltageLevel &L : Modes.levels()) {
+    H.add(L.Volts);
+    H.add(L.Hertz);
+  }
+  return H.digest();
+}
+
+/// Deadline-free lower bound on any schedule's energy: every block at
+/// its cheapest mode, transitions free. Valid because transition
+/// energies are nonnegative and every k[e][m] choice pays at least the
+/// cheapest per-invocation energy of the destination block.
+double energyLowerBound(const std::vector<CategoryProfile> &Categories) {
+  double Bound = 0.0;
+  for (const CategoryProfile &C : Categories) {
+    double CatBound = 0.0;
+    const Profile &P = C.Data;
+    for (int J = 0; J < P.NumBlocks; ++J) {
+      if (P.EnergyPerInvocation[J].empty())
+        continue;
+      double Cheapest = P.EnergyPerInvocation[J][0];
+      for (double E : P.EnergyPerInvocation[J])
+        Cheapest = std::min(Cheapest, E);
+      CatBound +=
+          static_cast<double>(P.BlockExecs[J]) * Cheapest;
+    }
+    Bound += C.Probability * CatBound;
+  }
+  return Bound;
+}
+
+} // namespace
+
+SchedulerService::SchedulerService(ServiceOptions Options)
+    : Opts(Options), Cache(Options.CacheCapacity, Options.CacheShards),
+      Paused(Options.StartPaused), Pool(Options.NumWorkers) {
+  for (int W = 0; W < Pool.numThreads(); ++W)
+    Pool.submit([this] { workerLoop(); });
+}
+
+SchedulerService::~SchedulerService() { shutdown(); }
+
+std::future<JobResult> SchedulerService::submit(JobRequest Request) {
+  std::promise<JobResult> Promise;
+  std::future<JobResult> Fut = Promise.get_future();
+
+  // Urgency: tighter deadlines run first. Absolute deadlines and
+  // tightness fractions are both "smaller = more stringent"; mixing the
+  // two in one queue is a heuristic, but batches are normally uniform.
+  double Urgency = Request.DeadlineSeconds > 0.0
+                       ? Request.DeadlineSeconds
+                       : Request.DeadlineTightness;
+
+  std::string RejectReason;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopping) {
+      RejectReason = "service is shutting down";
+    } else if (Queue.size() >= Opts.QueueCapacity) {
+      RejectReason = "queue full (capacity " +
+                     std::to_string(Opts.QueueCapacity) + ", " +
+                     std::to_string(Queue.size()) + " jobs pending)";
+    } else {
+      auto Job = std::make_unique<PendingJob>();
+      Job->Request = std::move(Request);
+      Job->Promise = std::move(Promise);
+      Job->Enqueued = Clock::now();
+      Queue.emplace(QueueKey{Urgency, AdmitSeq++}, std::move(Job));
+    }
+  }
+
+  if (!RejectReason.empty()) {
+    JobResult R;
+    R.Id = Request.Id;
+    R.Status = JobStatus::Rejected;
+    R.Reason = RejectReason;
+    Promise.set_value(std::move(R));
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.Rejected;
+  } else {
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.Submitted;
+    }
+    Cv.notify_one();
+  }
+  return Fut;
+}
+
+std::vector<JobResult>
+SchedulerService::runBatch(std::vector<JobRequest> Requests) {
+  std::vector<std::future<JobResult>> Futures;
+  Futures.reserve(Requests.size());
+  for (JobRequest &R : Requests)
+    Futures.push_back(submit(std::move(R)));
+  std::vector<JobResult> Results;
+  Results.reserve(Futures.size());
+  for (std::future<JobResult> &F : Futures)
+    Results.push_back(F.get());
+  return Results;
+}
+
+void SchedulerService::pause() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Paused = true;
+}
+
+void SchedulerService::resume() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Paused = false;
+  }
+  Cv.notify_all();
+}
+
+void SchedulerService::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  Cv.notify_all();
+  Pool.shutdown(); // joins the worker loops; they drain the queue first
+}
+
+ServiceStats SchedulerService::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  return Counters;
+}
+
+CacheStats SchedulerService::cacheStats() const { return Cache.stats(); }
+
+void SchedulerService::workerLoop() {
+  for (;;) {
+    std::unique_ptr<PendingJob> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Cv.wait(Lock, [this] {
+        return Stopping || (!Paused && !Queue.empty());
+      });
+      if (Queue.empty()) {
+        if (Stopping)
+          return;
+        continue;
+      }
+      if (Paused && !Stopping)
+        continue; // re-check the predicate; shutdown overrides pause
+      auto It = Queue.begin();
+      Job = std::move(It->second);
+      Queue.erase(It);
+    }
+    long Seq = DequeueSeq.fetch_add(1, std::memory_order_relaxed);
+    double QueueSeconds =
+        std::chrono::duration<double>(Clock::now() - Job->Enqueued)
+            .count();
+    JobResult R = execute(Job->Request, QueueSeconds, Seq);
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      switch (R.Status) {
+      case JobStatus::Done:
+        ++Counters.Completed;
+        break;
+      case JobStatus::Infeasible:
+        ++Counters.Infeasible;
+        break;
+      default:
+        ++Counters.Failed;
+        break;
+      }
+    }
+    Job->Promise.set_value(std::move(R));
+  }
+}
+
+ErrorOr<std::vector<CategoryProfile>>
+SchedulerService::profileStage(const JobRequest &Request,
+                               const ModeTable &Modes,
+                               double *ProfileSeconds) {
+  auto RegIt = workloadRegistry().find(Request.Workload);
+  if (RegIt == workloadRegistry().end())
+    return makeError("unknown workload '" + Request.Workload +
+                     "' (known: " + knownWorkloadNames() + ")");
+  const Workload &W = RegIt->second;
+
+  // Default category: the workload's first input, weight 1.
+  std::vector<JobCategory> Categories = Request.Categories;
+  if (Categories.empty())
+    Categories.push_back({W.Inputs.front().Name, 1.0});
+
+  double WeightSum = 0.0;
+  for (const JobCategory &C : Categories) {
+    if (C.Weight <= 0.0)
+      return makeError("category weight must be positive (input '" +
+                       C.Input + "')");
+    WeightSum += C.Weight;
+  }
+
+  std::string ModesKey = modeTableDigest(Modes);
+  std::vector<CategoryProfile> Out;
+  Out.reserve(Categories.size());
+  for (const JobCategory &C : Categories) {
+    const WorkloadInput *Input = nullptr;
+    for (const WorkloadInput &In : W.Inputs)
+      if (In.Name == C.Input)
+        Input = &In;
+    if (!Input) {
+      std::string Known;
+      for (const WorkloadInput &In : W.Inputs)
+        Known += (Known.empty() ? "" : ", ") + In.Name;
+      return makeError("unknown input '" + C.Input + "' for workload '" +
+                       Request.Workload + "' (known: " + Known + ")");
+    }
+
+    std::string Key =
+        Request.Workload + "\x1f" + C.Input + "\x1f" + ModesKey;
+    std::shared_ptr<const Profile> Cached;
+    {
+      std::lock_guard<std::mutex> Lock(ProfileMu);
+      auto It = ProfileCache.find(Key);
+      if (It != ProfileCache.end())
+        Cached = It->second;
+    }
+    if (!Cached) {
+      // Collect outside the lock: profiling runs the simulator once per
+      // mode. A racing duplicate collection is idempotent.
+      auto T0 = Clock::now();
+      Simulator Sim(*W.Fn);
+      Input->Setup(Sim);
+      auto Collected =
+          std::make_shared<const Profile>(collectProfile(Sim, Modes));
+      *ProfileSeconds += secondsSince(T0);
+      std::lock_guard<std::mutex> Lock(ProfileMu);
+      // If a racing worker inserted first, its (identical) profile wins.
+      Cached = ProfileCache.emplace(Key, Collected).first->second;
+      std::lock_guard<std::mutex> SLock(StatsMu);
+      ++Counters.ProfileCacheMisses;
+    } else {
+      std::lock_guard<std::mutex> SLock(StatsMu);
+      ++Counters.ProfileCacheHits;
+    }
+    Out.push_back({*Cached, C.Weight / WeightSum});
+  }
+  return Out;
+}
+
+JobResult SchedulerService::execute(const JobRequest &Request,
+                                    double QueueSeconds, long DequeueSeq) {
+  auto T0 = Clock::now();
+  JobResult R;
+  R.Id = Request.Id;
+  R.QueueSeconds = QueueSeconds;
+  R.DequeueSeq = DequeueSeq;
+
+  auto finish = [&](JobStatus Status, std::string Reason = "") {
+    R.Status = Status;
+    R.Reason = std::move(Reason);
+    R.TotalSeconds = QueueSeconds + secondsSince(T0);
+    return R;
+  };
+
+  // Request validation (stage 0): reject malformed knobs with reasons.
+  if (Request.Workload.empty())
+    return finish(JobStatus::Failed, "missing workload name");
+  if (Request.FilterThreshold < 0.0 || Request.FilterThreshold >= 1.0)
+    return finish(JobStatus::Failed,
+                  "filter threshold must be in [0, 1)");
+  if (Request.DeadlineSeconds <= 0.0 && Request.DeadlineTightness < 0.0)
+    return finish(JobStatus::Failed,
+                  "deadline tightness must be nonnegative");
+  if (Request.NumLevels != 0 &&
+      (Request.NumLevels < 2 || Request.NumLevels > 64))
+    return finish(JobStatus::Failed,
+                  "voltage level count must be 0 (XScale table) or in "
+                  "[2, 64]");
+  if (Request.CapacitanceF < 0.0)
+    return finish(JobStatus::Failed,
+                  "regulator capacitance must be nonnegative");
+
+  ModeTable Modes =
+      Request.NumLevels == 0
+          ? ModeTable::xscale3()
+          : ModeTable::evenVoltageLevels(Request.NumLevels, 0.7, 1.65,
+                                         VfModel::paperDefault());
+  int InitialMode = Request.InitialMode < 0
+                        ? static_cast<int>(Modes.size()) - 1
+                        : Request.InitialMode;
+  if (InitialMode >= static_cast<int>(Modes.size()))
+    return finish(JobStatus::Failed,
+                  "initial mode " + std::to_string(InitialMode) +
+                      " out of range (table has " +
+                      std::to_string(Modes.size()) + " modes)");
+  TransitionModel Transitions(Request.CapacitanceF, 0.9, 1.0);
+
+  // Stage 1: profiles (memoized).
+  ErrorOr<std::vector<CategoryProfile>> Profiled =
+      profileStage(Request, Modes, &R.ProfileSeconds);
+  if (!Profiled)
+    return finish(JobStatus::Failed, Profiled.message());
+  std::vector<CategoryProfile> &Categories = *Profiled;
+
+  // Stage 2: deadline resolution, early feasibility, lower bound.
+  std::vector<double> Deadlines(Categories.size(), 0.0);
+  for (size_t C = 0; C < Categories.size(); ++C) {
+    const Profile &P = Categories[C].Data;
+    double TFast = P.TotalTimeAtMode.back();
+    double TSlow = P.TotalTimeAtMode.front();
+    Deadlines[C] =
+        Request.DeadlineSeconds > 0.0
+            ? Request.DeadlineSeconds
+            : TFast + Request.DeadlineTightness * (TSlow - TFast);
+    if (Deadlines[C] < TFast)
+      return finish(
+          JobStatus::Infeasible,
+          "deadline " + std::to_string(Deadlines[C] * 1e3) +
+              " ms is below the fastest single-mode time " +
+              std::to_string(TFast * 1e3) + " ms (category " +
+              std::to_string(C) + ")");
+  }
+  R.DeadlineSeconds = Deadlines.front();
+  R.LowerBoundJoules = energyLowerBound(Categories);
+
+  // Stage 3: fingerprint, then solve through the content-addressed
+  // cache with single-flight deduplication.
+  R.Fingerprint = fingerprintDvsInstance(
+      Categories, Deadlines, Modes, Transitions, Request.FilterThreshold,
+      InitialMode);
+
+  const Workload &W = workloadRegistry().at(Request.Workload);
+  double LowerBound = R.LowerBoundJoules;
+  std::string TransientError;
+  ResultCache::Lookup L = Cache.getOrCompute(
+      R.Fingerprint,
+      [&]() -> std::shared_ptr<const CachedSchedule> {
+        DvsOptions O;
+        O.FilterThreshold = Request.FilterThreshold;
+        O.InitialMode = InitialMode;
+        O.Milp.NumThreads = Opts.MilpThreadsPerJob;
+        DvsScheduler Scheduler(*W.Fn, Categories, Modes, Transitions, O);
+        auto TSolve = Clock::now();
+        ErrorOr<ScheduleResult> SR = Scheduler.schedule(Deadlines);
+        auto C = std::make_shared<CachedSchedule>();
+        C->SolveSeconds = secondsSince(TSolve);
+        C->LowerBoundJoules = LowerBound;
+        if (!SR) {
+          // Infeasibility is a deterministic property of the instance:
+          // cache it. Search-limit failures are transient: don't.
+          if (SR.message().find("infeasible") == std::string::npos) {
+            TransientError = SR.message();
+            return nullptr;
+          }
+          C->Feasible = false;
+          C->Reason = SR.message();
+          C->Milp = MilpStatus::Infeasible;
+          return C;
+        }
+        C->ScheduleText = writeSchedule(SR->Assignment);
+        C->PredictedEnergyJoules = SR->PredictedEnergyJoules;
+        C->Milp = SR->Status;
+        return C;
+      });
+
+  R.CacheHit = L.Hit;
+  R.SharedFlight = L.Shared;
+  if (!L.Value)
+    return finish(JobStatus::Failed,
+                  TransientError.empty()
+                      ? std::string("shared solve failed; retry")
+                      : TransientError);
+  R.ScheduleText = L.Value->ScheduleText;
+  R.PredictedEnergyJoules = L.Value->PredictedEnergyJoules;
+  R.Milp = L.Value->Milp;
+  R.SolveSeconds = L.Value->SolveSeconds;
+  if (!L.Value->Feasible)
+    return finish(JobStatus::Infeasible, L.Value->Reason);
+  return finish(JobStatus::Done);
+}

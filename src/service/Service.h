@@ -1,0 +1,158 @@
+//===- service/Service.h - Batch DVS-scheduling service ---------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-process scheduling service that turns the reproduction into a
+/// servable system: callers submit DVS jobs (service/Job.h) and get
+/// futures of serialized schedules. Each accepted job runs a staged
+/// pipeline on a persistent support/TaskPool:
+///
+///   1. profile   — resolve the workload, collect per-mode profiles
+///                  (memoized: identical (workload, input, mode table)
+///                  tuples profile once per service);
+///   2. bound     — resolve the deadline, reject infeasible deadlines
+///                  early, compute the deadline-free energy lower bound
+///                  (every block at its cheapest mode);
+///   3. schedule  — fingerprint the normalized MILP instance
+///                  (milp/Fingerprint.h) and solve through the
+///                  content-addressed ResultCache, so repeated and
+///                  concurrent identical instances cost one MILP.
+///
+/// Admission control and backpressure: the pending queue is bounded
+/// (ServiceOptions::QueueCapacity); submissions beyond it complete
+/// immediately as Rejected with a reason instead of queueing without
+/// bound. Pending jobs are ordered by deadline urgency (absolute seconds
+/// or tightness — smaller first), FIFO within a tie, so stringent jobs
+/// never starve behind lax batch work.
+///
+/// shutdown() is drain-and-stop: accepted work completes, new work is
+/// rejected; it is idempotent and runs from the destructor too.
+/// pause()/resume() hold workers between dequeues — deterministic
+/// backpressure and priority tests hinge on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SERVICE_SERVICE_H
+#define CDVS_SERVICE_SERVICE_H
+
+#include "power/ModeTable.h"
+#include "profile/Profile.h"
+#include "service/Job.h"
+#include "service/ResultCache.h"
+#include "support/Error.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace cdvs {
+
+/// Sizing and policy knobs for a SchedulerService.
+struct ServiceOptions {
+  /// Pipeline worker threads; 0 means one per hardware core.
+  int NumWorkers = 0;
+  /// Pending-job bound; submissions past it are rejected (backpressure).
+  size_t QueueCapacity = 128;
+  /// Result-cache entries across all shards.
+  size_t CacheCapacity = 512;
+  size_t CacheShards = 8;
+  /// MILP threads per job; 1 keeps node exploration deterministic so
+  /// cache hits are byte-identical to fresh solves, and lets job-level
+  /// parallelism own the cores.
+  int MilpThreadsPerJob = 1;
+  /// Start with workers paused (tests build deterministic queues).
+  bool StartPaused = false;
+};
+
+/// Service-level counters (cache counters live in CacheStats).
+struct ServiceStats {
+  long Submitted = 0; ///< accepted into the queue
+  long Rejected = 0;  ///< refused at admission
+  long Completed = 0; ///< finished Done
+  long Infeasible = 0;
+  long Failed = 0;
+  long ProfileCacheHits = 0;
+  long ProfileCacheMisses = 0;
+};
+
+/// The batch DVS-scheduling service; see the file comment.
+class SchedulerService {
+public:
+  explicit SchedulerService(ServiceOptions Opts = ServiceOptions());
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService &) = delete;
+  SchedulerService &operator=(const SchedulerService &) = delete;
+
+  /// Submits one job. Admission happens synchronously: the returned
+  /// future is already resolved (Rejected) when the queue is full or the
+  /// service is shutting down.
+  std::future<JobResult> submit(JobRequest Request);
+
+  /// Submits every request, then waits; results come back in request
+  /// order.
+  std::vector<JobResult> runBatch(std::vector<JobRequest> Requests);
+
+  /// Holds workers before their next dequeue (queued work stays queued).
+  void pause();
+  /// Releases paused workers.
+  void resume();
+
+  /// Drains accepted work, then stops the workers. Idempotent; new
+  /// submissions are rejected once shutdown begins.
+  void shutdown();
+
+  ServiceStats stats() const;
+  CacheStats cacheStats() const;
+
+private:
+  struct PendingJob {
+    JobRequest Request;
+    std::promise<JobResult> Promise;
+    std::chrono::steady_clock::time_point Enqueued;
+  };
+  /// Priority key: (urgency, admission sequence) — smaller runs first.
+  using QueueKey = std::pair<double, long>;
+
+  void workerLoop();
+  JobResult execute(const JobRequest &Request, double QueueSeconds,
+                    long DequeueSeq);
+  /// Stage 1. \returns the per-category profiles (memoized) or an error.
+  ErrorOr<std::vector<CategoryProfile>>
+  profileStage(const JobRequest &Request, const ModeTable &Modes,
+               double *ProfileSeconds);
+
+  ServiceOptions Opts;
+  ResultCache Cache;
+
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::map<QueueKey, std::unique_ptr<PendingJob>> Queue;
+  bool Paused = false;
+  bool Stopping = false;
+  long AdmitSeq = 0;
+
+  /// (workload|input|modes digest) -> collected profile. Grows with the
+  /// distinct profiled inputs — a handful per workload — so unbounded is
+  /// the right bound.
+  std::map<std::string, std::shared_ptr<const Profile>> ProfileCache;
+  std::mutex ProfileMu;
+
+  std::atomic<long> DequeueSeq{0};
+  mutable std::mutex StatsMu;
+  ServiceStats Counters;
+
+  /// Workers run as long-lived pool tasks; the pool outlives the queue.
+  TaskPool Pool;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_SERVICE_SERVICE_H

@@ -1,0 +1,195 @@
+//===- support/ArgParse.cpp - Tiny command-line option parser --------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace cdvs;
+
+ArgParser::ArgParser(std::string Program, std::string Overview)
+    : Program(std::move(Program)), Overview(std::move(Overview)) {}
+
+ArgParser::Option &ArgParser::addOption(const std::string &Name, Kind K,
+                                        std::string Help) {
+  assert(!find(Name) && "duplicate option name");
+  Options.push_back(std::make_unique<Option>());
+  Option &O = *Options.back();
+  O.Name = Name;
+  O.K = K;
+  O.Help = std::move(Help);
+  return O;
+}
+
+int &ArgParser::addInt(const std::string &Name, int Default,
+                       std::string Help) {
+  Option &O = addOption(Name, Kind::Int, std::move(Help));
+  IntStore.push_back(std::make_unique<int>(Default));
+  O.IntVal = IntStore.back().get();
+  O.Default = std::to_string(Default);
+  return *O.IntVal;
+}
+
+double &ArgParser::addDouble(const std::string &Name, double Default,
+                             std::string Help) {
+  Option &O = addOption(Name, Kind::Double, std::move(Help));
+  DoubleStore.push_back(std::make_unique<double>(Default));
+  O.DoubleVal = DoubleStore.back().get();
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%g", Default);
+  O.Default = Buf;
+  return *O.DoubleVal;
+}
+
+std::string &ArgParser::addString(const std::string &Name,
+                                  std::string Default, std::string Help) {
+  Option &O = addOption(Name, Kind::String, std::move(Help));
+  StrStore.push_back(std::make_unique<std::string>(std::move(Default)));
+  O.StrVal = StrStore.back().get();
+  O.Default = *O.StrVal;
+  return *O.StrVal;
+}
+
+bool &ArgParser::addFlag(const std::string &Name, std::string Help) {
+  Option &O = addOption(Name, Kind::Flag, std::move(Help));
+  FlagStore.push_back(std::make_unique<bool>(false));
+  O.FlagVal = FlagStore.back().get();
+  O.Default = "false";
+  return *O.FlagVal;
+}
+
+ArgParser::Option *ArgParser::find(const std::string &Name) {
+  for (auto &O : Options)
+    if (O->Name == Name)
+      return O.get();
+  return nullptr;
+}
+
+const ArgParser::Option *ArgParser::find(const std::string &Name) const {
+  for (const auto &O : Options)
+    if (O->Name == Name)
+      return O.get();
+  return nullptr;
+}
+
+bool ArgParser::wasSet(const std::string &Name) const {
+  const Option *O = find(Name);
+  return O && O->Seen;
+}
+
+ErrorOr<bool> ArgParser::parse(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--", 2) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg + 2;
+    std::string Name = Body, Value;
+    bool HasValue = false;
+    if (size_t Eq = Body.find('='); Eq != std::string::npos) {
+      Name = Body.substr(0, Eq);
+      Value = Body.substr(Eq + 1);
+      HasValue = true;
+    }
+    if (Name == "help" && !HasValue) {
+      HelpSeen = true;
+      continue;
+    }
+    Option *O = find(Name);
+    if (!O) {
+      if (AllowUnknown) {
+        Unknown.push_back(Arg);
+        continue;
+      }
+      return makeError(Program + ": unknown option --" + Name +
+                       " (try --help)");
+    }
+    O->Seen = true;
+    switch (O->K) {
+    case Kind::Flag:
+      if (HasValue)
+        return makeError(Program + ": flag --" + Name +
+                         " does not take a value");
+      *O->FlagVal = true;
+      break;
+    case Kind::Int: {
+      if (!HasValue)
+        return makeError(Program + ": option --" + Name +
+                         " requires =<int>");
+      char *End = nullptr;
+      long V = std::strtol(Value.c_str(), &End, 10);
+      if (Value.empty() || *End != '\0')
+        return makeError(Program + ": invalid integer '" + Value +
+                         "' for --" + Name);
+      *O->IntVal = static_cast<int>(V);
+      break;
+    }
+    case Kind::Double: {
+      if (!HasValue)
+        return makeError(Program + ": option --" + Name +
+                         " requires =<number>");
+      char *End = nullptr;
+      double V = std::strtod(Value.c_str(), &End);
+      if (Value.empty() || *End != '\0')
+        return makeError(Program + ": invalid number '" + Value +
+                         "' for --" + Name);
+      *O->DoubleVal = V;
+      break;
+    }
+    case Kind::String:
+      if (!HasValue)
+        return makeError(Program + ": option --" + Name +
+                         " requires =<value>");
+      *O->StrVal = Value;
+      break;
+    }
+  }
+  return true;
+}
+
+bool ArgParser::parseOrExit(int Argc, char **Argv) {
+  ErrorOr<bool> R = parse(Argc, Argv);
+  if (!R) {
+    std::fprintf(stderr, "%s\n", R.message().c_str());
+    std::exit(1);
+  }
+  if (HelpSeen) {
+    std::fputs(usage().c_str(), stdout);
+    return false;
+  }
+  return true;
+}
+
+std::string ArgParser::usage() const {
+  std::string Out = "usage: " + Program + " [options]\n";
+  if (!Overview.empty())
+    Out += "  " + Overview + "\n";
+  Out += "options:\n";
+  for (const auto &O : Options) {
+    std::string Left = "  --" + O->Name;
+    switch (O->K) {
+    case Kind::Int:
+      Left += "=<int>";
+      break;
+    case Kind::Double:
+      Left += "=<num>";
+      break;
+    case Kind::String:
+      Left += "=<str>";
+      break;
+    case Kind::Flag:
+      break;
+    }
+    while (Left.size() < 26)
+      Left += ' ';
+    Out += Left + O->Help + " (default: " + O->Default + ")\n";
+  }
+  Out += "  --help                  print this message\n";
+  return Out;
+}

@@ -1,0 +1,114 @@
+//===- support/ArgParse.h - Tiny command-line option parser -----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `--name=value` option parser shared by the experiment binaries and
+/// the dvsd service CLI, replacing the per-main strncmp loops. Options
+/// are registered up front and bind to references, so a main reads as
+///
+///   ArgParser P("bench_x", "what this binary measures");
+///   int &Threads = P.addInt("threads", 0, "sweep width; 0 = per core");
+///   if (!P.parseOrExit(Argc, Argv)) return 0;   // --help was printed
+///
+/// Syntax: `--name=value` for valued options, bare `--name` for flags,
+/// `--help` for the generated usage text. Anything not starting with
+/// `--` is collected as a positional argument. Unknown `--` options are
+/// an error unless allowUnknown(true), in which case they are collected
+/// verbatim for pass-through (e.g. to google-benchmark).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SUPPORT_ARGPARSE_H
+#define CDVS_SUPPORT_ARGPARSE_H
+
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cdvs {
+
+/// Declarative `--name=value` parser; see the file comment for usage.
+class ArgParser {
+public:
+  explicit ArgParser(std::string Program, std::string Overview = "");
+
+  /// Registers an integer option; \returns a reference holding the
+  /// default that parse() overwrites.
+  int &addInt(const std::string &Name, int Default, std::string Help);
+  /// Registers a floating-point option.
+  double &addDouble(const std::string &Name, double Default,
+                    std::string Help);
+  /// Registers a string option.
+  std::string &addString(const std::string &Name, std::string Default,
+                         std::string Help);
+  /// Registers a boolean flag (bare `--name` sets it to true).
+  bool &addFlag(const std::string &Name, std::string Help);
+
+  /// Unknown `--` options become pass-through arguments (unparsed())
+  /// instead of errors.
+  void allowUnknown(bool Allow) { AllowUnknown = Allow; }
+
+  /// Parses the command line. \returns an error for malformed or (when
+  /// not allowed) unknown options; on success, helpRequested() tells
+  /// whether --help was seen.
+  ErrorOr<bool> parse(int Argc, char **Argv);
+
+  /// parse() + the standard main() prologue: prints errors to stderr and
+  /// exits 1, prints usage on --help. \returns false when the caller
+  /// should return 0 immediately (--help was handled).
+  bool parseOrExit(int Argc, char **Argv);
+
+  /// True when parse() consumed a --help.
+  bool helpRequested() const { return HelpSeen; }
+  /// True when the named option appeared on the command line.
+  bool wasSet(const std::string &Name) const;
+
+  /// Non-option arguments, in order.
+  const std::vector<std::string> &positional() const { return Positional; }
+  /// Unrecognized `--` options (only populated with allowUnknown(true)).
+  const std::vector<std::string> &unparsed() const { return Unknown; }
+
+  /// The generated usage text.
+  std::string usage() const;
+
+private:
+  enum class Kind { Int, Double, String, Flag };
+  struct Option {
+    std::string Name;
+    Kind K;
+    std::string Help;
+    std::string Default; // rendered for usage()
+    bool Seen = false;
+    int *IntVal = nullptr;
+    double *DoubleVal = nullptr;
+    std::string *StrVal = nullptr;
+    bool *FlagVal = nullptr;
+  };
+
+  Option &addOption(const std::string &Name, Kind K, std::string Help);
+  Option *find(const std::string &Name);
+  const Option *find(const std::string &Name) const;
+
+  std::string Program;
+  std::string Overview;
+  // Deque-like stability: options live behind unique_ptr so the returned
+  // value references stay valid as more options are registered.
+  std::vector<std::unique_ptr<Option>> Options;
+  std::vector<std::unique_ptr<int>> IntStore;
+  std::vector<std::unique_ptr<double>> DoubleStore;
+  std::vector<std::unique_ptr<std::string>> StrStore;
+  std::vector<std::unique_ptr<bool>> FlagStore;
+  std::vector<std::string> Positional;
+  std::vector<std::string> Unknown;
+  bool AllowUnknown = false;
+  bool HelpSeen = false;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_SUPPORT_ARGPARSE_H

@@ -1,0 +1,73 @@
+//===- support/Hash.cpp - Stable content hashing ---------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace cdvs;
+
+namespace {
+
+constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+/// Finalizing avalanche (splitmix64) so short inputs still spread over
+/// the whole digest.
+uint64_t avalanche(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+void HashBuilder::addBytes(const void *Data, size_t Size) {
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Size; ++I) {
+    LaneA = (LaneA ^ Bytes[I]) * FnvPrime;
+    LaneB = (LaneB ^ (Bytes[I] + 0x5a)) * FnvPrime;
+  }
+}
+
+void HashBuilder::add(uint64_t V) {
+  // Explicit little-endian serialization keeps the digest independent of
+  // host byte order.
+  unsigned char Buf[8];
+  for (int I = 0; I < 8; ++I)
+    Buf[I] = static_cast<unsigned char>(V >> (8 * I));
+  addBytes(Buf, sizeof(Buf));
+}
+
+void HashBuilder::add(double V) {
+  if (std::isnan(V)) {
+    add(static_cast<uint64_t>(0x7ff8000000000000ULL));
+    return;
+  }
+  if (V == 0.0)
+    V = 0.0; // folds -0.0 into +0.0
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double is not 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  add(Bits);
+}
+
+void HashBuilder::add(const std::string &S) {
+  add(static_cast<uint64_t>(S.size()));
+  addBytes(S.data(), S.size());
+}
+
+std::string HashBuilder::digest() const {
+  static const char Hex[] = "0123456789abcdef";
+  uint64_t A = avalanche(LaneA), B = avalanche(LaneB ^ (LaneA * FnvPrime));
+  std::string Out(32, '0');
+  for (int I = 0; I < 16; ++I) {
+    Out[15 - I] = Hex[(A >> (4 * I)) & 0xf];
+    Out[31 - I] = Hex[(B >> (4 * I)) & 0xf];
+  }
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- support/Hash.h - Stable content hashing -------------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stable, platform-independent content hash for fingerprinting solver
+/// instances (milp/Fingerprint.h) and keying the service result cache.
+/// Two independent 64-bit FNV-1a lanes give a 128-bit digest, rendered as
+/// 32 lowercase hex characters. The digest depends only on the bytes fed
+/// in — never on pointer values, container addresses, or iteration order
+/// of unordered containers — so equal content always produces equal keys
+/// across processes and runs.
+///
+/// Scalars are length-ambiguity-free: strings are hashed length-prefixed,
+/// and doubles are canonicalized (-0.0 folds to +0.0, every NaN to one
+/// quiet NaN bit pattern) before their bits are added, so numerically
+/// equal instances hash identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SUPPORT_HASH_H
+#define CDVS_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace cdvs {
+
+/// Incremental 128-bit content hash (two independent FNV-1a lanes).
+class HashBuilder {
+public:
+  /// Hashes \p Size raw bytes.
+  void addBytes(const void *Data, size_t Size);
+
+  /// Hashes one unsigned 64-bit value (little-endian byte order).
+  void add(uint64_t V);
+  /// Hashes one signed value via its two's-complement bits.
+  void add(int64_t V) { add(static_cast<uint64_t>(V)); }
+  void add(int V) { add(static_cast<int64_t>(V)); }
+
+  /// Hashes one double after canonicalization: -0.0 becomes +0.0 and all
+  /// NaNs collapse to a single bit pattern.
+  void add(double V);
+
+  /// Hashes a string, length-prefixed so "ab"+"c" != "a"+"bc".
+  void add(const std::string &S);
+
+  /// \returns the 32-hex-character digest of everything added so far.
+  /// Non-destructive: more content may be added afterwards.
+  std::string digest() const;
+
+private:
+  // FNV-1a offset bases; LaneB starts from a different basis and twists
+  // each byte so the lanes stay independent.
+  uint64_t LaneA = 0xcbf29ce484222325ULL;
+  uint64_t LaneB = 0x84222325cbf29ce4ULL;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_SUPPORT_HASH_H

@@ -7,8 +7,7 @@
 #include "support/ThreadPool.h"
 
 #include <atomic>
-#include <thread>
-#include <vector>
+#include <utility>
 
 using namespace cdvs;
 
@@ -55,4 +54,58 @@ void cdvs::parallelFor(int End, int NumThreads,
       Body(I);
     }
   });
+}
+
+TaskPool::TaskPool(int NumThreads) : Num(resolveThreads(NumThreads)) {
+  Threads.reserve(Num);
+  for (int W = 0; W < Num; ++W)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool() { shutdown(); }
+
+bool TaskPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stop)
+      return false;
+    Queue.push_back(std::move(Task));
+  }
+  Cv.notify_one();
+  return true;
+}
+
+void TaskPool::shutdown() {
+  // Claim the thread list under the lock so concurrent shutdown() calls
+  // never join the same thread twice: exactly one caller gets the
+  // non-empty vector, everyone else joins nothing.
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+    ToJoin.swap(Threads);
+  }
+  Cv.notify_all();
+  for (std::thread &T : ToJoin)
+    T.join();
+}
+
+bool TaskPool::stopped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stop;
+}
+
+void TaskPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Cv.wait(Lock, [this] { return Stop || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stop set and nothing left to drain
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
 }

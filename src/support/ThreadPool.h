@@ -16,7 +16,12 @@
 #ifndef CDVS_SUPPORT_THREADPOOL_H
 #define CDVS_SUPPORT_THREADPOOL_H
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace cdvs {
 
@@ -41,6 +46,56 @@ void runOnWorkers(int NumThreads, const std::function<void(int)> &Body);
 /// pre-sized vector is safe).
 void parallelFor(int End, int NumThreads,
                  const std::function<void(int)> &Body);
+
+/// A persistent task pool for long-lived components (the scheduling
+/// service): N worker threads drain a FIFO of submitted closures. Unlike
+/// runOnWorkers this owns its threads for the pool's whole lifetime, so
+/// submitters never pay thread spawn cost.
+///
+/// Lifecycle rules are fully defined (no UB corners):
+///  * submit() after shutdown() returns false and drops the task;
+///  * shutdown() is idempotent — the second and later calls (from any
+///    thread) are no-ops;
+///  * shutdown() drains: tasks already queued still run before the
+///    workers exit, and the call returns only once they have;
+///  * the destructor calls shutdown().
+///
+/// Tasks must not throw. A task may submit further tasks, but a task
+/// submitted by a task racing with shutdown() may be dropped (submit
+/// reports this by returning false).
+class TaskPool {
+public:
+  /// Spawns resolveThreads(\p NumThreads) workers.
+  explicit TaskPool(int NumThreads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool &) = delete;
+  TaskPool &operator=(const TaskPool &) = delete;
+
+  /// Enqueues \p Task; \returns false (without running or keeping the
+  /// task) when the pool has been shut down.
+  bool submit(std::function<void()> Task);
+
+  /// Stops accepting work, runs everything still queued, and joins the
+  /// workers. Safe to call repeatedly and from multiple threads.
+  void shutdown();
+
+  /// True once shutdown() has begun.
+  bool stopped() const;
+
+  /// The configured worker count (constant over the pool's lifetime).
+  int numThreads() const { return Num; }
+
+private:
+  void workerLoop();
+
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Threads;
+  int Num;
+  bool Stop = false;
+};
 
 } // namespace cdvs
 

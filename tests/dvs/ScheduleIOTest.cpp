@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 using namespace cdvs;
 
 namespace {
@@ -74,6 +76,145 @@ TEST(ScheduleIO, UniformAssignmentListsNothing) {
   std::string Out = printAssignment(*F.W.Fn, Uniform, F.Modes);
   EXPECT_NE(Out.find("initial mode 1"), std::string::npos);
   EXPECT_EQ(Out.find("set-mode"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// cdvs-schedule v1 serialization
+//===----------------------------------------------------------------------===//
+
+/// write -> read -> write must be byte-identical (the service cache
+/// compares schedules by string equality, so this is a hard invariant).
+void expectByteExactRoundTrip(const ModeAssignment &A, int NumModes) {
+  std::string Text = writeSchedule(A);
+  ErrorOr<ModeAssignment> Back = readSchedule(Text, NumModes);
+  ASSERT_TRUE(Back.hasValue()) << Back.message();
+  EXPECT_EQ(Back->InitialMode, A.InitialMode);
+  EXPECT_EQ(Back->EdgeMode, A.EdgeMode);
+  EXPECT_EQ(Back->PathMode, A.PathMode);
+  EXPECT_EQ(writeSchedule(*Back), Text);
+}
+
+TEST(ScheduleIO, RoundTripsEveryWorkloadSchedule) {
+  // Real schedules from every workload in the registry, solved at a
+  // mid-range deadline.
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  for (const Workload &W : allWorkloads()) {
+    Simulator Sim(*W.Fn);
+    W.defaultInput().Setup(Sim);
+    Profile Prof = collectProfile(Sim, Modes);
+    DvsOptions O;
+    O.InitialMode = 2;
+    DvsScheduler S(*W.Fn, Prof, Modes, Reg, O);
+    double Deadline = 0.5 * (Prof.TotalTimeAtMode.front() +
+                             Prof.TotalTimeAtMode.back());
+    ErrorOr<ScheduleResult> R = S.schedule(Deadline);
+    ASSERT_TRUE(R.hasValue()) << W.Name << ": " << R.message();
+    SCOPED_TRACE(W.Name);
+    expectByteExactRoundTrip(R->Assignment,
+                             static_cast<int>(Modes.size()));
+  }
+}
+
+TEST(ScheduleIO, RoundTripsPathModeEntries) {
+  // PathMode (and a launch edge from block -1) exercises the `paths`
+  // section, which MILP edge schedules never populate.
+  ModeAssignment A;
+  A.InitialMode = 1;
+  A.EdgeMode[{-1, 0}] = 2;
+  A.EdgeMode[{0, 3}] = 0;
+  A.EdgeMode[{3, 0}] = 1;
+  A.PathMode[{0, 3, 0}] = 2;
+  A.PathMode[{3, 0, 3}] = 0;
+  expectByteExactRoundTrip(A, 3);
+}
+
+TEST(ScheduleIO, RoundTripsEmptyAssignment) {
+  expectByteExactRoundTrip(ModeAssignment::uniform(0), 3);
+}
+
+TEST(ScheduleIO, ReaderRejectsBadMagic) {
+  ErrorOr<ModeAssignment> R = readSchedule("not-a-schedule\n");
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("cdvs-schedule"), std::string::npos);
+}
+
+TEST(ScheduleIO, ReaderRejectsTruncation) {
+  std::string Full = writeSchedule([] {
+    ModeAssignment A;
+    A.InitialMode = 1;
+    A.EdgeMode[{0, 1}] = 2;
+    A.PathMode[{0, 1, 0}] = 1;
+    return A;
+  }());
+  // Every proper prefix that drops at least one line must fail cleanly.
+  for (size_t Pos = Full.find('\n'); Pos + 1 < Full.size();
+       Pos = Full.find('\n', Pos + 1)) {
+    ErrorOr<ModeAssignment> R = readSchedule(Full.substr(0, Pos + 1));
+    EXPECT_FALSE(R.hasValue()) << "prefix of " << Pos + 1 << " bytes";
+  }
+}
+
+TEST(ScheduleIO, ReaderRejectsUnknownModeIndex) {
+  ModeAssignment A;
+  A.InitialMode = 0;
+  A.EdgeMode[{0, 1}] = 7;
+  std::string Text = writeSchedule(A);
+  // Without a mode table the index is accepted...
+  EXPECT_TRUE(readSchedule(Text).hasValue());
+  // ...with one, it is named in the error.
+  ErrorOr<ModeAssignment> R = readSchedule(Text, 3);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("unknown mode index 7"), std::string::npos);
+  EXPECT_NE(R.message().find("3 modes"), std::string::npos);
+}
+
+TEST(ScheduleIO, ReaderRejectsNegativeModeAndBadEndpoints) {
+  EXPECT_FALSE(readSchedule("cdvs-schedule v1\ninitial -1\nedges 0\n"
+                            "paths 0\nend\n")
+                   .hasValue());
+  EXPECT_FALSE(readSchedule("cdvs-schedule v1\ninitial 0\nedges 1\n"
+                            "-2 0 1\npaths 0\nend\n")
+                   .hasValue());
+}
+
+TEST(ScheduleIO, ReaderRejectsDuplicatesAndTrailingData) {
+  EXPECT_FALSE(readSchedule("cdvs-schedule v1\ninitial 0\nedges 2\n"
+                            "0 1 1\n0 1 2\npaths 0\nend\n")
+                   .hasValue());
+  ModeAssignment A;
+  A.EdgeMode[{0, 1}] = 1;
+  EXPECT_FALSE(readSchedule(writeSchedule(A) + "junk\n").hasValue());
+}
+
+TEST(ScheduleIO, FileRoundTripAndErrors) {
+  ModeAssignment A;
+  A.InitialMode = 2;
+  A.EdgeMode[{-1, 0}] = 1;
+  A.EdgeMode[{1, 4}] = 0;
+  A.PathMode[{1, 4, 1}] = 2;
+  std::string Path =
+      testing::TempDir() + "/cdvs_schedule_io_test.cdvs";
+  ErrorOr<bool> W = writeScheduleFile(Path, A);
+  ASSERT_TRUE(W.hasValue()) << W.message();
+  ErrorOr<ModeAssignment> Back = readScheduleFile(Path, 3);
+  ASSERT_TRUE(Back.hasValue()) << Back.message();
+  EXPECT_EQ(writeSchedule(*Back), writeSchedule(A));
+
+  // Missing file: an error naming the path, not a crash.
+  ErrorOr<ModeAssignment> Missing =
+      readScheduleFile(Path + ".does-not-exist");
+  ASSERT_FALSE(Missing.hasValue());
+  EXPECT_NE(Missing.message().find("does-not-exist"), std::string::npos);
+
+  // A file truncated on disk fails like truncated text.
+  std::string Text = writeSchedule(A);
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fwrite(Text.data(), 1, Text.size() / 2, F);
+  std::fclose(F);
+  EXPECT_FALSE(readScheduleFile(Path).hasValue());
+  std::remove(Path.c_str());
 }
 
 } // namespace

@@ -1,0 +1,171 @@
+//===- tests/service/CacheTest.cpp - sharded LRU + single-flight ----------===//
+
+#include "service/ResultCache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+using namespace cdvs;
+
+namespace {
+
+std::shared_ptr<const CachedSchedule> makeValue(const std::string &Text) {
+  auto V = std::make_shared<CachedSchedule>();
+  V->ScheduleText = Text;
+  return V;
+}
+
+TEST(ResultCache, ComputesOnceThenHits) {
+  ResultCache Cache(8, 1);
+  int Computes = 0;
+  auto Compute = [&] {
+    ++Computes;
+    return makeValue("sched");
+  };
+  ResultCache::Lookup First = Cache.getOrCompute("k", Compute);
+  EXPECT_FALSE(First.Hit);
+  EXPECT_FALSE(First.Shared);
+  ASSERT_NE(First.Value, nullptr);
+  EXPECT_EQ(First.Value->ScheduleText, "sched");
+
+  ResultCache::Lookup Second = Cache.getOrCompute("k", Compute);
+  EXPECT_TRUE(Second.Hit);
+  EXPECT_EQ(Second.Value, First.Value); // same immutable object
+  EXPECT_EQ(Computes, 1);
+
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1);
+  EXPECT_EQ(S.Misses, 1);
+  EXPECT_EQ(S.Entries, 1u);
+}
+
+TEST(ResultCache, PeekDoesNotComputeOrCount) {
+  ResultCache Cache(8, 1);
+  EXPECT_EQ(Cache.peek("absent"), nullptr);
+  Cache.getOrCompute("k", [] { return makeValue("v"); });
+  EXPECT_NE(Cache.peek("k"), nullptr);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 0);
+  EXPECT_EQ(S.Misses, 1);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  // Single shard, capacity 2: touching "a" makes "b" the LRU victim.
+  ResultCache Cache(2, 1);
+  EXPECT_EQ(Cache.capacity(), 2u);
+  auto Fill = [&](const std::string &K) {
+    Cache.getOrCompute(K, [&K] { return makeValue(K); });
+  };
+  Fill("a");
+  Fill("b");
+  Cache.getOrCompute("a", [] { return makeValue("recompute!"); });
+  Fill("c"); // evicts b, the least recently used
+  EXPECT_NE(Cache.peek("a"), nullptr);
+  EXPECT_EQ(Cache.peek("b"), nullptr);
+  EXPECT_NE(Cache.peek("c"), nullptr);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 1);
+  EXPECT_EQ(S.Entries, 2u);
+}
+
+TEST(ResultCache, CapacitySplitsAcrossShardsWithFloorOne) {
+  EXPECT_EQ(ResultCache(16, 4).capacity(), 16u);
+  // Fewer entries than shards: every shard still holds one.
+  EXPECT_EQ(ResultCache(2, 8).capacity(), 8u);
+}
+
+TEST(ResultCache, ConcurrentSameKeyCollapsesToOneCompute) {
+  ResultCache Cache(8, 4);
+  std::atomic<int> Computes{0};
+  std::atomic<int> Waiting{0};
+  const int NumThreads = 8;
+
+  auto Compute = [&]() -> std::shared_ptr<const CachedSchedule> {
+    Computes.fetch_add(1);
+    // Hold the flight open until every thread has called in, plus a
+    // beat for stragglers to reach the flight wait, so followers
+    // genuinely wait instead of hitting the stored entry.
+    while (Waiting.load() < NumThreads)
+      std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return makeValue("once");
+  };
+
+  std::vector<std::future<ResultCache::Lookup>> Futures;
+  for (int I = 0; I < NumThreads; ++I)
+    Futures.push_back(std::async(std::launch::async, [&] {
+      Waiting.fetch_add(1);
+      return Cache.getOrCompute("hot", Compute);
+    }));
+
+  int Leaders = 0, Shared = 0, Hits = 0;
+  for (auto &F : Futures) {
+    ResultCache::Lookup L = F.get();
+    ASSERT_NE(L.Value, nullptr);
+    EXPECT_EQ(L.Value->ScheduleText, "once");
+    Leaders += (!L.Hit && !L.Shared);
+    Shared += L.Shared;
+    Hits += L.Hit;
+  }
+  // Exactly one solve; everyone else either joined the flight or (in
+  // the narrow window between install and their shard lookup) hit the
+  // freshly stored entry. The latch guarantees at least one follower
+  // was already waiting when the leader finished.
+  EXPECT_EQ(Computes.load(), 1);
+  EXPECT_EQ(Leaders, 1);
+  EXPECT_EQ(Shared + Hits, NumThreads - 1);
+  EXPECT_GE(Shared, 1);
+  EXPECT_EQ(Cache.stats().SharedFlights, Shared);
+}
+
+TEST(ResultCache, NullComputeIsHandedToWaitersButNotCached) {
+  ResultCache Cache(8, 1);
+  int Computes = 0;
+  auto Failing = [&]() -> std::shared_ptr<const CachedSchedule> {
+    ++Computes;
+    return nullptr;
+  };
+  ResultCache::Lookup L = Cache.getOrCompute("k", Failing);
+  EXPECT_EQ(L.Value, nullptr);
+  EXPECT_EQ(Cache.peek("k"), nullptr);
+  // The failure was not stored: the next call retries the compute.
+  ResultCache::Lookup Retry =
+      Cache.getOrCompute("k", [] { return makeValue("recovered"); });
+  EXPECT_FALSE(Retry.Hit);
+  ASSERT_NE(Retry.Value, nullptr);
+  EXPECT_EQ(Retry.Value->ScheduleText, "recovered");
+  EXPECT_EQ(Computes, 1);
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+}
+
+TEST(ResultCache, DistinctKeysComputeIndependentlyUnderLoad) {
+  ResultCache Cache(64, 4);
+  std::atomic<int> Computes{0};
+  std::vector<std::future<void>> Futures;
+  for (int T = 0; T < 4; ++T)
+    Futures.push_back(std::async(std::launch::async, [&Cache, &Computes] {
+      for (int I = 0; I < 32; ++I) {
+        std::string Key = "k" + std::to_string(I);
+        ResultCache::Lookup L = Cache.getOrCompute(Key, [&] {
+          Computes.fetch_add(1);
+          return makeValue(Key);
+        });
+        ASSERT_NE(L.Value, nullptr);
+        EXPECT_EQ(L.Value->ScheduleText, Key);
+      }
+    }));
+  for (auto &F : Futures)
+    F.get();
+  // Each of the 32 keys computed at least once and was never computed
+  // after being stored; flights may collapse racing first-computes.
+  EXPECT_GE(Computes.load(), 32);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, Computes.load());
+  EXPECT_EQ(S.Hits + S.SharedFlights + S.Misses, 4 * 32);
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+//===- tests/service/FingerprintTest.cpp - instance content address -------===//
+//
+// The fingerprint is the cache key for solved MILP instances, so two
+// properties carry all the weight: *stability* (equal instances hash
+// equal, across category order, voltage-level order, and independent
+// profile collections) and *sensitivity* (any input that changes the
+// MILP must change the hash).
+//
+//===----------------------------------------------------------------------===//
+
+#include "milp/Fingerprint.h"
+
+#include "power/TransitionModel.h"
+#include "profile/Profile.h"
+#include "sim/Simulator.h"
+#include "support/Hash.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cdvs;
+
+namespace {
+
+struct Fixture {
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  std::vector<CategoryProfile> Cats;
+
+  Fixture() {
+    Workload W = workloadByName("gsm");
+    for (const WorkloadInput &In : W.Inputs) {
+      Simulator Sim(*W.Fn);
+      In.Setup(Sim);
+      Cats.push_back({collectProfile(Sim, Modes), 0.0});
+    }
+    assert(Cats.size() >= 2 && "need two categories for order tests");
+    Cats.resize(2);
+    Cats[0].Probability = 0.25;
+    Cats[1].Probability = 0.75;
+  }
+
+  std::string fp(const std::vector<CategoryProfile> &Categories,
+                 const std::vector<double> &Deadlines,
+                 double Filter = 0.02, int Initial = 2) const {
+    return fingerprintDvsInstance(Categories, Deadlines, Modes, Reg,
+                                  Filter, Initial);
+  }
+};
+
+TEST(Fingerprint, IsDeterministic) {
+  Fixture F;
+  std::string A = F.fp(F.Cats, {0.01, 0.02});
+  EXPECT_EQ(A, F.fp(F.Cats, {0.01, 0.02}));
+  EXPECT_EQ(A.size(), 32u);
+  EXPECT_EQ(A.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(Fingerprint, CategoryOrderDoesNotMatter) {
+  // The weighted MILP objective is a sum over categories, so category
+  // order is presentation, not content.
+  Fixture F;
+  std::vector<CategoryProfile> Rev = {F.Cats[1], F.Cats[0]};
+  EXPECT_EQ(F.fp(F.Cats, {0.01, 0.02}), F.fp(Rev, {0.02, 0.01}));
+}
+
+TEST(Fingerprint, DeadlinePairingSurvivesReordering) {
+  // Per-category deadlines travel with their category when the list is
+  // permuted; swapping deadlines *without* swapping categories is a
+  // different instance.
+  Fixture F;
+  EXPECT_NE(F.fp(F.Cats, {0.01, 0.02}), F.fp(F.Cats, {0.02, 0.01}));
+}
+
+TEST(Fingerprint, ModeOrderIsCanonicalized) {
+  // The same physical mode set listed in any order is the same machine.
+  Fixture F;
+  std::vector<VoltageLevel> Levels;
+  for (size_t M = 0; M < F.Modes.size(); ++M)
+    Levels.push_back(F.Modes.level(M));
+  std::reverse(Levels.begin(), Levels.end());
+  // ModeTable itself canonicalizes (sorts by frequency at construction),
+  // so a shuffled level list is the same machine — and must fingerprint
+  // identically.
+  ModeTable Shuffled(Levels);
+  std::string A = fingerprintDvsInstance(F.Cats, {0.01, 0.02}, F.Modes,
+                                         F.Reg, 0.02, 2);
+  EXPECT_EQ(A, fingerprintDvsInstance(F.Cats, {0.01, 0.02}, Shuffled,
+                                      F.Reg, 0.02, 2));
+}
+
+TEST(Fingerprint, SensitiveToEveryKnob) {
+  Fixture F;
+  std::string Base = F.fp(F.Cats, {0.01, 0.02});
+  // Deadline, filter threshold, initial mode, regulator, probability.
+  EXPECT_NE(Base, F.fp(F.Cats, {0.010001, 0.02}));
+  EXPECT_NE(Base, F.fp(F.Cats, {0.01, 0.02}, 0.05));
+  EXPECT_NE(Base, F.fp(F.Cats, {0.01, 0.02}, 0.02, 0));
+  TransitionModel OtherReg(2e-5, 0.9, 1.0);
+  EXPECT_NE(Base, fingerprintDvsInstance(F.Cats, {0.01, 0.02}, F.Modes,
+                                         OtherReg, 0.02, 2));
+  std::vector<CategoryProfile> Reweighted = F.Cats;
+  Reweighted[0].Probability = 0.5;
+  Reweighted[1].Probability = 0.5;
+  EXPECT_NE(Base, F.fp(Reweighted, {0.01, 0.02}));
+  // Dropping a category changes the instance.
+  EXPECT_NE(Base, F.fp({F.Cats[0]}, {0.01}));
+}
+
+TEST(Fingerprint, SharedDeadlineBroadcasts) {
+  // One deadline for N categories means the same instance as that
+  // deadline repeated per category.
+  Fixture F;
+  EXPECT_EQ(F.fp(F.Cats, {0.015}), F.fp(F.Cats, {0.015, 0.015}));
+}
+
+TEST(Fingerprint, StableAcrossIndependentProfileCollections) {
+  // Re-simulating the same deterministic workload must reproduce the
+  // profile bit for bit — otherwise the cache could never hit across
+  // service restarts.
+  Fixture F;
+  Workload W = workloadByName("gsm");
+  std::vector<CategoryProfile> Fresh;
+  for (const WorkloadInput &In : W.Inputs) {
+    Simulator Sim(*W.Fn);
+    In.Setup(Sim);
+    Fresh.push_back({collectProfile(Sim, F.Modes), 0.0});
+  }
+  Fresh.resize(2);
+  Fresh[0].Probability = 0.25;
+  Fresh[1].Probability = 0.75;
+  EXPECT_EQ(F.fp(F.Cats, {0.01, 0.02}), F.fp(Fresh, {0.01, 0.02}));
+}
+
+TEST(Fingerprint, ProfileDigestSeparatesInputs) {
+  Fixture F;
+  EXPECT_NE(fingerprintProfile(F.Cats[0].Data),
+            fingerprintProfile(F.Cats[1].Data));
+  EXPECT_EQ(fingerprintProfile(F.Cats[0].Data),
+            fingerprintProfile(F.Cats[0].Data));
+}
+
+//===----------------------------------------------------------------------===//
+// HashBuilder
+//===----------------------------------------------------------------------===//
+
+TEST(HashBuilder, CanonicalizesTrickyDoubles) {
+  auto H = [](double V) {
+    HashBuilder B;
+    B.add(V);
+    return B.digest();
+  };
+  EXPECT_EQ(H(0.0), H(-0.0));
+  EXPECT_EQ(H(std::nan("1")), H(std::nan("2")));
+  EXPECT_NE(H(1.0), H(2.0));
+}
+
+TEST(HashBuilder, LengthPrefixPreventsConcatenationCollisions) {
+  HashBuilder A, B;
+  A.add(std::string("ab"));
+  A.add(std::string("c"));
+  B.add(std::string("a"));
+  B.add(std::string("bc"));
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+//===- tests/service/JsonLiteTest.cpp - request-line JSON parser ----------===//
+
+#include "service/JsonLite.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(JsonLite, ParsesARequestLine) {
+  ErrorOr<JsonValue> V = parseJson(
+      R"({"id":"j1","workload":"gsm","tightness":0.5,"levels":8,)"
+      R"("categories":[{"input":"speech1","weight":2}],"quiet":true,)"
+      R"("note":null})");
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  ASSERT_TRUE(V->isObject());
+  EXPECT_EQ(V->find("id")->Str, "j1");
+  EXPECT_DOUBLE_EQ(V->find("tightness")->Num, 0.5);
+  EXPECT_DOUBLE_EQ(V->find("levels")->Num, 8.0);
+  ASSERT_TRUE(V->find("categories")->isArray());
+  const JsonValue &Cat = V->find("categories")->Arr[0];
+  EXPECT_EQ(Cat.find("input")->Str, "speech1");
+  EXPECT_DOUBLE_EQ(Cat.find("weight")->Num, 2.0);
+  EXPECT_TRUE(V->find("quiet")->isBool());
+  EXPECT_TRUE(V->find("quiet")->B);
+  EXPECT_TRUE(V->find("note")->isNull());
+  EXPECT_EQ(V->find("absent"), nullptr);
+}
+
+TEST(JsonLite, ParsesNumbersAndNesting) {
+  ErrorOr<JsonValue> V =
+      parseJson(R"([-1, 2.5e-3, 0, [true, false], {"k": [1]}])");
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  ASSERT_TRUE(V->isArray());
+  EXPECT_DOUBLE_EQ(V->Arr[0].Num, -1.0);
+  EXPECT_DOUBLE_EQ(V->Arr[1].Num, 2.5e-3);
+  EXPECT_DOUBLE_EQ(V->Arr[4].find("k")->Arr[0].Num, 1.0);
+}
+
+TEST(JsonLite, DecodesEscapes) {
+  ErrorOr<JsonValue> V = parseJson(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  EXPECT_EQ(V->Str, "a\"b\\c\n\tA");
+}
+
+TEST(JsonLite, RejectsMalformedDocuments) {
+  for (const char *Bad :
+       {"", "{", "{\"a\":}", "[1,]", "{\"a\" 1}", "tru", "1 2",
+        "\"unterminated", "{\"a\":1}extra", "nul"}) {
+    EXPECT_FALSE(parseJson(Bad).hasValue()) << "accepted: " << Bad;
+  }
+}
+
+TEST(JsonLite, EscapeRoundTripsThroughParse) {
+  std::string Nasty = "quote\" slash\\ newline\n tab\t bell\x07";
+  std::string Doc = "\"";
+  Doc += jsonEscape(Nasty);
+  Doc += '"';
+  ErrorOr<JsonValue> V = parseJson(Doc);
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  EXPECT_EQ(V->Str, Nasty);
+}
+
+} // namespace

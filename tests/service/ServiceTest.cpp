@@ -1,0 +1,246 @@
+//===- tests/service/ServiceTest.cpp - scheduling service end to end ------===//
+//
+// The SchedulerService through its public surface: jobs in, schedules
+// out, plus the admission-control, priority, caching, and lifecycle
+// behavior the tentpole promises. gsm/adpcm keep the pipeline runs
+// cheap; pause()/resume() and DequeueSeq make the queue-order tests
+// deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "dvs/ScheduleIO.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+
+using namespace cdvs;
+
+namespace {
+
+JobRequest gsmJob(const std::string &Id, double Tightness = 0.5) {
+  JobRequest R;
+  R.Id = Id;
+  R.Workload = "gsm";
+  R.DeadlineTightness = Tightness;
+  return R;
+}
+
+TEST(Service, SolvesAJobEndToEnd) {
+  SchedulerService Service;
+  JobResult R = Service.submit(gsmJob("one")).get();
+  ASSERT_EQ(R.Status, JobStatus::Done) << R.Reason;
+  EXPECT_EQ(R.Id, "one");
+  EXPECT_EQ(R.Reason, "");
+  EXPECT_EQ(R.Fingerprint.size(), 32u);
+  EXPECT_FALSE(R.CacheHit);
+  EXPECT_GT(R.DeadlineSeconds, 0.0);
+  EXPECT_GT(R.PredictedEnergyJoules, 0.0);
+  // The analytic bound is a true lower bound on the MILP optimum.
+  EXPECT_LE(R.LowerBoundJoules, R.PredictedEnergyJoules);
+  EXPECT_GT(R.LowerBoundJoules, 0.0);
+
+  // The schedule text parses and re-serializes byte-identically.
+  ErrorOr<ModeAssignment> A = readSchedule(R.ScheduleText, 3);
+  ASSERT_TRUE(A.hasValue()) << A.message();
+  EXPECT_EQ(writeSchedule(*A), R.ScheduleText);
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Submitted, 1);
+  EXPECT_EQ(S.Completed, 1);
+  EXPECT_EQ(S.Rejected, 0);
+}
+
+TEST(Service, ResubmissionHitsTheCacheByteIdentically) {
+  SchedulerService Service;
+  JobResult First = Service.submit(gsmJob("cold")).get();
+  ASSERT_EQ(First.Status, JobStatus::Done) << First.Reason;
+  JobResult Second = Service.submit(gsmJob("warm")).get();
+  ASSERT_EQ(Second.Status, JobStatus::Done) << Second.Reason;
+  EXPECT_TRUE(Second.CacheHit);
+  EXPECT_EQ(Second.Fingerprint, First.Fingerprint);
+  EXPECT_EQ(Second.ScheduleText, First.ScheduleText);
+  EXPECT_EQ(Second.PredictedEnergyJoules, First.PredictedEnergyJoules);
+  EXPECT_EQ(Service.cacheStats().Hits, 1);
+  // Profiles were memoized too: one collection served both jobs.
+  EXPECT_EQ(Service.stats().ProfileCacheMisses, 1);
+  EXPECT_EQ(Service.stats().ProfileCacheHits, 1);
+}
+
+TEST(Service, DifferentKnobsMissTheCache) {
+  SchedulerService Service;
+  ASSERT_EQ(Service.submit(gsmJob("a", 0.4)).get().Status,
+            JobStatus::Done);
+  JobResult B = Service.submit(gsmJob("b", 0.6)).get();
+  ASSERT_EQ(B.Status, JobStatus::Done);
+  EXPECT_FALSE(B.CacheHit);
+  EXPECT_EQ(Service.cacheStats().Misses, 2);
+}
+
+TEST(Service, RejectsWhenTheQueueIsFull) {
+  // Paused workers + capacity 2: the third submission must be bounced
+  // immediately with an explanation, not queued without bound.
+  ServiceOptions O;
+  O.NumWorkers = 1;
+  O.QueueCapacity = 2;
+  O.StartPaused = true;
+  SchedulerService Service(O);
+  std::future<JobResult> A = Service.submit(gsmJob("a"));
+  std::future<JobResult> B = Service.submit(gsmJob("b"));
+  std::future<JobResult> Rejected = Service.submit(gsmJob("c"));
+  // The rejection is synchronous: the future is already resolved.
+  ASSERT_EQ(Rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  JobResult R = Rejected.get();
+  EXPECT_EQ(R.Status, JobStatus::Rejected);
+  EXPECT_NE(R.Reason.find("queue full"), std::string::npos);
+  EXPECT_NE(R.Reason.find("capacity 2"), std::string::npos);
+
+  // Draining the queue re-opens admission.
+  Service.resume();
+  EXPECT_EQ(A.get().Status, JobStatus::Done);
+  EXPECT_EQ(B.get().Status, JobStatus::Done);
+  EXPECT_EQ(Service.submit(gsmJob("d")).get().Status, JobStatus::Done);
+  EXPECT_EQ(Service.stats().Rejected, 1);
+}
+
+TEST(Service, DequeuesByDeadlineUrgency) {
+  // Four jobs queued while paused, one worker: pickup order must follow
+  // deadline tightness (most stringent first), not submission order.
+  ServiceOptions O;
+  O.NumWorkers = 1;
+  O.StartPaused = true;
+  SchedulerService Service(O);
+  std::future<JobResult> Lax = Service.submit(gsmJob("lax", 0.9));
+  std::future<JobResult> Mid = Service.submit(gsmJob("mid", 0.5));
+  std::future<JobResult> Tight = Service.submit(gsmJob("tight", 0.1));
+  std::future<JobResult> Mid2 = Service.submit(gsmJob("mid2", 0.5));
+  Service.resume();
+  JobResult RL = Lax.get(), RM = Mid.get(), RT = Tight.get(),
+            RM2 = Mid2.get();
+  EXPECT_LT(RT.DequeueSeq, RM.DequeueSeq);
+  EXPECT_LT(RM.DequeueSeq, RL.DequeueSeq);
+  // FIFO within a tie.
+  EXPECT_LT(RM.DequeueSeq, RM2.DequeueSeq);
+  EXPECT_LT(RM2.DequeueSeq, RL.DequeueSeq);
+}
+
+TEST(Service, AbsoluteDeadlinesOutrankTightness) {
+  // An absolute deadline in seconds is far smaller than any tightness
+  // fraction >= it competes with... so express both jobs in absolute
+  // terms to compare like with like.
+  ServiceOptions O;
+  O.NumWorkers = 1;
+  O.StartPaused = true;
+  SchedulerService Service(O);
+  JobRequest Loose = gsmJob("loose");
+  Loose.DeadlineSeconds = 0.5; // half a second: very lax
+  JobRequest Tight = gsmJob("tight");
+  Tight.DeadlineSeconds = 0.02;
+  std::future<JobResult> FL = Service.submit(Loose);
+  std::future<JobResult> FT = Service.submit(Tight);
+  Service.resume();
+  EXPECT_LT(FT.get().DequeueSeq, FL.get().DequeueSeq);
+}
+
+TEST(Service, ReportsInfeasibleDeadlines) {
+  SchedulerService Service;
+  JobRequest R = gsmJob("impossible");
+  R.DeadlineSeconds = 1e-9; // below the fastest single-mode time
+  JobResult Res = Service.submit(R).get();
+  EXPECT_EQ(Res.Status, JobStatus::Infeasible);
+  EXPECT_NE(Res.Reason.find("deadline"), std::string::npos);
+  EXPECT_EQ(Service.stats().Infeasible, 1);
+}
+
+TEST(Service, FailsUnknownWorkloadAndInput) {
+  SchedulerService Service;
+  JobRequest Bad = gsmJob("bad");
+  Bad.Workload = "quake3";
+  JobResult R = Service.submit(Bad).get();
+  EXPECT_EQ(R.Status, JobStatus::Failed);
+  EXPECT_NE(R.Reason.find("quake3"), std::string::npos);
+  EXPECT_NE(R.Reason.find("gsm"), std::string::npos) // names the options
+      << R.Reason;
+
+  JobRequest BadInput = gsmJob("badinput");
+  BadInput.Categories.push_back({"no-such-input", 1.0});
+  JobResult R2 = Service.submit(BadInput).get();
+  EXPECT_EQ(R2.Status, JobStatus::Failed);
+  EXPECT_NE(R2.Reason.find("no-such-input"), std::string::npos);
+}
+
+TEST(Service, ValidatesKnobsBeforeProfiling) {
+  SchedulerService Service;
+  JobRequest R = gsmJob("badfilter");
+  R.FilterThreshold = 1.5;
+  EXPECT_EQ(Service.submit(R).get().Status, JobStatus::Failed);
+
+  JobRequest R2 = gsmJob("badlevels");
+  R2.NumLevels = 1;
+  EXPECT_EQ(Service.submit(R2).get().Status, JobStatus::Failed);
+
+  JobRequest R3 = gsmJob("badmode");
+  R3.InitialMode = 7; // xscale3 has modes 0..2
+  EXPECT_EQ(Service.submit(R3).get().Status, JobStatus::Failed);
+
+  JobRequest R4 = gsmJob("badweight");
+  R4.Categories.push_back({"speech1", 0.0});
+  EXPECT_EQ(Service.submit(R4).get().Status, JobStatus::Failed);
+}
+
+TEST(Service, WeightedCategoriesSolveAndReport) {
+  SchedulerService Service;
+  JobRequest R;
+  R.Id = "multi";
+  R.Workload = "adpcm";
+  Workload W = workloadByName("adpcm");
+  ASSERT_GE(W.Inputs.size(), 2u);
+  R.Categories.push_back({W.Inputs[0].Name, 3.0});
+  R.Categories.push_back({W.Inputs[1].Name, 1.0});
+  JobResult Res = Service.submit(R).get();
+  ASSERT_EQ(Res.Status, JobStatus::Done) << Res.Reason;
+  EXPECT_LE(Res.LowerBoundJoules, Res.PredictedEnergyJoules);
+  // Two categories, one workload: two profile collections.
+  EXPECT_EQ(Service.stats().ProfileCacheMisses, 2);
+}
+
+TEST(Service, RunBatchPreservesRequestOrder) {
+  SchedulerService Service;
+  std::vector<JobRequest> Batch = {gsmJob("x", 0.3), gsmJob("y", 0.6),
+                                   gsmJob("z", 0.9)};
+  std::vector<JobResult> Results = Service.runBatch(Batch);
+  ASSERT_EQ(Results.size(), 3u);
+  EXPECT_EQ(Results[0].Id, "x");
+  EXPECT_EQ(Results[1].Id, "y");
+  EXPECT_EQ(Results[2].Id, "z");
+  for (const JobResult &R : Results)
+    EXPECT_EQ(R.Status, JobStatus::Done) << R.Id << ": " << R.Reason;
+}
+
+TEST(Service, ShutdownDrainsThenRejects) {
+  ServiceOptions O;
+  O.NumWorkers = 2;
+  SchedulerService Service(O);
+  std::vector<std::future<JobResult>> Accepted;
+  for (int I = 0; I < 4; ++I) {
+    std::string Name = "j";
+    Name += std::to_string(I);
+    Accepted.push_back(Service.submit(gsmJob(Name)));
+  }
+  Service.shutdown();
+  // Every job accepted before shutdown completed.
+  for (auto &F : Accepted)
+    EXPECT_EQ(F.get().Status, JobStatus::Done);
+  // New work is refused, and a second shutdown is a no-op.
+  JobResult Late = Service.submit(gsmJob("late")).get();
+  EXPECT_EQ(Late.Status, JobStatus::Rejected);
+  EXPECT_NE(Late.Reason.find("shutting down"), std::string::npos);
+  Service.shutdown();
+}
+
+} // namespace

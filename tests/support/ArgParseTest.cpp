@@ -1,0 +1,122 @@
+//===- tests/support/ArgParseTest.cpp - option parser behavior ------------===//
+
+#include "support/ArgParse.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace cdvs;
+
+namespace {
+
+/// Runs parse() over a brace-list of arguments (argv[0] included).
+ErrorOr<bool> parseArgs(ArgParser &P, std::vector<const char *> Args) {
+  return P.parse(static_cast<int>(Args.size()),
+                 const_cast<char **>(Args.data()));
+}
+
+TEST(ArgParse, ParsesEveryKindAndKeepsDefaults) {
+  ArgParser P("prog");
+  int &N = P.addInt("n", 7, "an int");
+  double &X = P.addDouble("x", 1.5, "a double");
+  std::string &S = P.addString("s", "dflt", "a string");
+  bool &F = P.addFlag("f", "a flag");
+  int &Untouched = P.addInt("untouched", 42, "left alone");
+
+  ErrorOr<bool> R =
+      parseArgs(P, {"prog", "--n=3", "--x=2.25", "--s=hello", "--f"});
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(N, 3);
+  EXPECT_DOUBLE_EQ(X, 2.25);
+  EXPECT_EQ(S, "hello");
+  EXPECT_TRUE(F);
+  EXPECT_EQ(Untouched, 42);
+  EXPECT_TRUE(P.wasSet("n"));
+  EXPECT_FALSE(P.wasSet("untouched"));
+  EXPECT_FALSE(P.helpRequested());
+}
+
+TEST(ArgParse, CollectsPositionalArguments) {
+  ArgParser P("prog");
+  P.addInt("n", 0, "");
+  ErrorOr<bool> R = parseArgs(P, {"prog", "one", "--n=2", "three"});
+  ASSERT_TRUE(R.hasValue());
+  ASSERT_EQ(P.positional().size(), 2u);
+  EXPECT_EQ(P.positional()[0], "one");
+  EXPECT_EQ(P.positional()[1], "three");
+}
+
+TEST(ArgParse, RejectsMalformedNumbers) {
+  ArgParser P("prog");
+  P.addInt("n", 0, "");
+  ErrorOr<bool> R = parseArgs(P, {"prog", "--n=3x"});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("n"), std::string::npos);
+
+  ArgParser P2("prog");
+  P2.addDouble("x", 0.0, "");
+  EXPECT_FALSE(parseArgs(P2, {"prog", "--x=abc"}).hasValue());
+}
+
+TEST(ArgParse, UnknownOptionIsAnErrorByDefault) {
+  ArgParser P("prog");
+  P.addInt("n", 0, "");
+  ErrorOr<bool> R = parseArgs(P, {"prog", "--bogus=1"});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParse, AllowUnknownCollectsPassThrough) {
+  ArgParser P("prog");
+  int &N = P.addInt("n", 0, "");
+  P.allowUnknown(true);
+  ErrorOr<bool> R =
+      parseArgs(P, {"prog", "--n=5", "--benchmark_filter=Simplex"});
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(N, 5);
+  ASSERT_EQ(P.unparsed().size(), 1u);
+  EXPECT_EQ(P.unparsed()[0], "--benchmark_filter=Simplex");
+}
+
+TEST(ArgParse, FlagRejectsValueAndValueOptionRequiresOne) {
+  ArgParser P("prog");
+  P.addFlag("f", "");
+  EXPECT_FALSE(parseArgs(P, {"prog", "--f=1"}).hasValue());
+
+  ArgParser P2("prog");
+  P2.addInt("n", 0, "");
+  EXPECT_FALSE(parseArgs(P2, {"prog", "--n"}).hasValue());
+}
+
+TEST(ArgParse, HelpIsReportedNotParsedPast) {
+  ArgParser P("prog", "what prog does");
+  P.addInt("n", 1, "count of things");
+  ErrorOr<bool> R = parseArgs(P, {"prog", "--help"});
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_TRUE(P.helpRequested());
+
+  std::string U = P.usage();
+  EXPECT_NE(U.find("prog"), std::string::npos);
+  EXPECT_NE(U.find("what prog does"), std::string::npos);
+  EXPECT_NE(U.find("--n=<int>"), std::string::npos);
+  EXPECT_NE(U.find("count of things"), std::string::npos);
+  EXPECT_NE(U.find("--help"), std::string::npos);
+}
+
+TEST(ArgParse, ReferencesStayValidAcrossManyRegistrations) {
+  // Options live behind stable storage; registering more must not move
+  // earlier bindings (this is what lets mains hold plain references).
+  ArgParser P("prog");
+  int &First = P.addInt("first", 1, "");
+  std::vector<int *> Later;
+  for (int I = 0; I < 50; ++I)
+    Later.push_back(&P.addInt("opt" + std::to_string(I), I, ""));
+  ErrorOr<bool> R = parseArgs(P, {"prog", "--first=99", "--opt7=70"});
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(First, 99);
+  EXPECT_EQ(*Later[7], 70);
+  EXPECT_EQ(*Later[49], 49);
+}
+
+} // namespace

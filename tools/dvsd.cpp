@@ -1,0 +1,222 @@
+//===- tools/dvsd.cpp - Batch DVS-scheduling service CLI -------------------===//
+//
+// Front end of the scheduling service (service/Service.h): reads one
+// JSON job request per line from a file or stdin, runs the batch through
+// a SchedulerService, and emits one JSON result per line plus a final
+// stats record. Request fields (all but "workload" optional):
+//
+//   {"id": "j1", "workload": "gsm", "input": "speech1",
+//    "categories": [{"input": "speech2", "weight": 0.5}, ...],
+//    "deadline": 0.0012,        // absolute seconds; wins over tightness
+//    "tightness": 0.5,          // 0 = stringent ... 1 = lax
+//    "filter": 0.02, "initial_mode": -1, "levels": 0,
+//    "capacitance": 1e-5}
+//
+// Responses carry status, cache provenance (hit / single-flight), the
+// instance fingerprint, per-stage latency, and predicted energy; with
+// --schedules=DIR each solved schedule is also written to
+// DIR/<fingerprint>.cdvs in the ScheduleIO text format. Lines starting
+// with '#' and blank lines are skipped. --repeat=N replays the whole
+// batch N times (a quick cache demonstration: pass 2+ and watch
+// cache_hit flip to true at microsecond latencies).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/ScheduleIO.h"
+#include "service/JsonLite.h"
+#include "service/Service.h"
+#include "support/ArgParse.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace cdvs;
+
+namespace {
+
+/// Maps a parsed JSON object onto a JobRequest; unknown fields error so
+/// typos fail loudly instead of silently scheduling the default.
+ErrorOr<JobRequest> requestFromJson(const JsonValue &V) {
+  if (!V.isObject())
+    return makeError("request must be a JSON object");
+  JobRequest R;
+  for (const auto &[Key, Field] : V.Obj) {
+    if (Key == "id" && Field.isString()) {
+      R.Id = Field.Str;
+    } else if (Key == "workload" && Field.isString()) {
+      R.Workload = Field.Str;
+    } else if (Key == "input" && Field.isString()) {
+      R.Categories.push_back({Field.Str, 1.0});
+    } else if (Key == "categories" && Field.isArray()) {
+      for (const JsonValue &C : Field.Arr) {
+        const JsonValue *In = C.find("input");
+        const JsonValue *Wt = C.find("weight");
+        if (!In || !In->isString())
+          return makeError("category entries need a string 'input'");
+        R.Categories.push_back(
+            {In->Str, Wt && Wt->isNumber() ? Wt->Num : 1.0});
+      }
+    } else if (Key == "deadline" && Field.isNumber()) {
+      R.DeadlineSeconds = Field.Num;
+    } else if (Key == "tightness" && Field.isNumber()) {
+      R.DeadlineTightness = Field.Num;
+    } else if (Key == "filter" && Field.isNumber()) {
+      R.FilterThreshold = Field.Num;
+    } else if (Key == "initial_mode" && Field.isNumber()) {
+      R.InitialMode = static_cast<int>(Field.Num);
+    } else if (Key == "levels" && Field.isNumber()) {
+      R.NumLevels = static_cast<int>(Field.Num);
+    } else if (Key == "capacitance" && Field.isNumber()) {
+      R.CapacitanceF = Field.Num;
+    } else {
+      return makeError("unknown or mistyped request field '" + Key +
+                       "'");
+    }
+  }
+  if (R.Workload.empty())
+    return makeError("request is missing 'workload'");
+  return R;
+}
+
+std::string resultToJson(const JobResult &R,
+                         const std::string &ScheduleFile) {
+  char Buf[256];
+  std::string Out = "{\"id\":\"" + jsonEscape(R.Id) + "\",\"status\":\"";
+  Out += jobStatusName(R.Status);
+  Out += "\"";
+  if (!R.Reason.empty())
+    Out += ",\"reason\":\"" + jsonEscape(R.Reason) + "\"";
+  if (!R.Fingerprint.empty())
+    Out += ",\"fingerprint\":\"" + R.Fingerprint + "\"";
+  std::snprintf(Buf, sizeof(Buf),
+                ",\"cache_hit\":%s,\"shared_flight\":%s",
+                R.CacheHit ? "true" : "false",
+                R.SharedFlight ? "true" : "false");
+  Out += Buf;
+  if (R.Status == JobStatus::Done) {
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"energy_uj\":%.3f,\"lower_bound_uj\":%.3f,"
+                  "\"deadline_ms\":%.4f,\"milp\":\"%s\"",
+                  R.PredictedEnergyJoules * 1e6,
+                  R.LowerBoundJoules * 1e6, R.DeadlineSeconds * 1e3,
+                  milpStatusName(R.Milp));
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                ",\"queue_ms\":%.3f,\"profile_ms\":%.3f,"
+                "\"solve_ms\":%.3f,\"total_ms\":%.3f",
+                R.QueueSeconds * 1e3, R.ProfileSeconds * 1e3,
+                R.SolveSeconds * 1e3, R.TotalSeconds * 1e3);
+  Out += Buf;
+  if (!ScheduleFile.empty())
+    Out += ",\"schedule_file\":\"" + jsonEscape(ScheduleFile) + "\"";
+  Out += "}";
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ArgParser P("dvsd",
+              "batch DVS-scheduling service: JSON-lines requests in, "
+              "JSON-lines schedules out");
+  std::string &RequestsPath = P.addString(
+      "requests", "-", "request file; '-' reads stdin");
+  int &Threads =
+      P.addInt("threads", 0, "pipeline workers; 0 = one per core");
+  int &QueueCap = P.addInt("queue", 128, "admission queue capacity");
+  int &CacheCap = P.addInt("cache", 512, "result cache entries");
+  int &Repeat =
+      P.addInt("repeat", 1, "times to replay the whole batch");
+  std::string &SchedulesDir = P.addString(
+      "schedules", "", "directory for <fingerprint>.cdvs schedule files");
+  bool &Quiet =
+      P.addFlag("quiet", "suppress per-job lines; print only stats");
+  if (!P.parseOrExit(argc, argv))
+    return 0;
+  if (!P.positional().empty())
+    RequestsPath = P.positional().front();
+
+  std::FILE *In = stdin;
+  if (RequestsPath != "-") {
+    In = std::fopen(RequestsPath.c_str(), "r");
+    if (!In) {
+      std::fprintf(stderr, "dvsd: cannot open '%s'\n",
+                   RequestsPath.c_str());
+      return 1;
+    }
+  }
+
+  // Parse the whole request batch up front; malformed lines become
+  // immediate per-line error records, not fatal errors.
+  std::vector<JobRequest> Batch;
+  std::string Line;
+  int LineNo = 0, ParseErrors = 0;
+  char Buf[16384];
+  while (std::fgets(Buf, sizeof(Buf), In)) {
+    ++LineNo;
+    Line = Buf;
+    while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
+      Line.pop_back();
+    size_t First = Line.find_first_not_of(" \t");
+    if (First == std::string::npos || Line[First] == '#')
+      continue;
+    ErrorOr<JsonValue> V = parseJson(Line);
+    ErrorOr<JobRequest> R =
+        V ? requestFromJson(*V) : ErrorOr<JobRequest>(Err(V.message()));
+    if (!R) {
+      std::printf("{\"line\":%d,\"status\":\"parse_error\","
+                  "\"reason\":\"%s\"}\n",
+                  LineNo, jsonEscape(R.message()).c_str());
+      ++ParseErrors;
+      continue;
+    }
+    if (R->Id.empty())
+      R->Id = "line" + std::to_string(LineNo);
+    Batch.push_back(std::move(*R));
+  }
+  if (In != stdin)
+    std::fclose(In);
+
+  ServiceOptions O;
+  O.NumWorkers = Threads;
+  O.QueueCapacity = static_cast<size_t>(QueueCap < 1 ? 1 : QueueCap);
+  O.CacheCapacity = static_cast<size_t>(CacheCap < 1 ? 1 : CacheCap);
+  SchedulerService Service(O);
+
+  long Done = 0, NotDone = ParseErrors;
+  for (int Round = 0; Round < (Repeat < 1 ? 1 : Repeat); ++Round) {
+    std::vector<JobResult> Results = Service.runBatch(Batch);
+    for (const JobResult &R : Results) {
+      std::string ScheduleFile;
+      if (!SchedulesDir.empty() && R.Status == JobStatus::Done) {
+        ScheduleFile = SchedulesDir + "/" + R.Fingerprint + ".cdvs";
+        ErrorOr<ModeAssignment> A = readSchedule(R.ScheduleText);
+        ErrorOr<bool> Wrote =
+            A ? writeScheduleFile(ScheduleFile, *A)
+              : ErrorOr<bool>(Err(A.message()));
+        if (!Wrote) {
+          std::fprintf(stderr, "dvsd: %s\n", Wrote.message().c_str());
+          ScheduleFile.clear();
+        }
+      }
+      (R.Status == JobStatus::Done ? Done : NotDone) += 1;
+      if (!Quiet)
+        std::printf("%s\n", resultToJson(R, ScheduleFile).c_str());
+    }
+  }
+
+  ServiceStats S = Service.stats();
+  CacheStats C = Service.cacheStats();
+  std::printf(
+      "{\"type\":\"stats\",\"submitted\":%ld,\"completed\":%ld,"
+      "\"rejected\":%ld,\"infeasible\":%ld,\"failed\":%ld,"
+      "\"parse_errors\":%d,\"cache\":{\"hits\":%ld,\"misses\":%ld,"
+      "\"shared_flights\":%ld,\"evictions\":%ld,\"entries\":%zu},"
+      "\"profile_cache\":{\"hits\":%ld,\"misses\":%ld}}\n",
+      S.Submitted, S.Completed, S.Rejected, S.Infeasible, S.Failed,
+      ParseErrors, C.Hits, C.Misses, C.SharedFlights, C.Evictions,
+      C.Entries, S.ProfileCacheHits, S.ProfileCacheMisses);
+  return NotDone == 0 ? 0 : (Done > 0 ? 0 : 1);
+}
