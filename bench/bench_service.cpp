@@ -101,6 +101,36 @@ int main(int argc, char **argv) {
   double Speedup = ColdSec / WarmSec;
   std::printf("cold %.3f s  warm %.6f s  speedup %.0fx\n\n", ColdSec,
               WarmSec, Speedup);
+
+  // Stage breakdown of the cold pass: where a fresh batch spends its
+  // time (profiling dominates; the MILP and serialization are the part
+  // the cache removes).
+  double StageQueue = 0, StageProfile = 0, StageBound = 0,
+         StageSolve = 0, StageSerialize = 0, StageTotal = 0;
+  for (const JobResult &C : Cold) {
+    StageQueue += C.QueueSeconds;
+    StageProfile += C.ProfileSeconds;
+    StageBound += C.BoundSeconds;
+    StageSolve += C.SolveSeconds;
+    StageSerialize += C.SerializeSeconds;
+    StageTotal += C.TotalSeconds;
+  }
+  Table Stages({"stage", "total_ms", "mean_ms", "share"});
+  auto stageRow = [&](const char *Name, double Sum) {
+    Stages.addRow({Name, formatDouble(Sum * 1e3, 2),
+                   formatDouble(Sum * 1e3 / double(Cold.size()), 3),
+                   formatDouble(StageTotal > 0 ? Sum / StageTotal : 0.0,
+                                3)});
+  };
+  stageRow("queue", StageQueue);
+  stageRow("profile", StageProfile);
+  stageRow("bound", StageBound);
+  stageRow("solve", StageSolve);
+  stageRow("serialize", StageSerialize);
+  stageRow("total", StageTotal);
+  std::printf("== cold-pass stage breakdown ==\n");
+  Stages.print();
+  std::printf("\n");
   assert(WarmHits == Batch.size() &&
          "warm pass was not served entirely from the result cache");
   assert(Identical == Batch.size() &&
@@ -189,6 +219,14 @@ int main(int argc, char **argv) {
       "  \"warm_speedup\": %.1f,\n"
       "  \"warm_cache_hits\": %zu,\n"
       "  \"byte_identical_schedules\": %zu,\n"
+      "  \"cold_stage_seconds\": {\n"
+      "    \"queue\": %.6f,\n"
+      "    \"profile\": %.6f,\n"
+      "    \"bound\": %.6f,\n"
+      "    \"solve\": %.6f,\n"
+      "    \"serialize\": %.6f,\n"
+      "    \"total\": %.6f\n"
+      "  },\n"
       "  \"single_flight\": {\n"
       "    \"requests\": %d,\n"
       "    \"milp_solves\": %ld,\n"
@@ -197,7 +235,8 @@ int main(int argc, char **argv) {
       "  }\n"
       "}\n",
       Batch.size(), ColdSec, WarmSec, Speedup, WarmHits, Identical,
-      NumDup, DupMisses, DupShared, DupHits);
+      StageQueue, StageProfile, StageBound, StageSolve, StageSerialize,
+      StageTotal, NumDup, DupMisses, DupShared, DupHits);
   std::fclose(Out);
   std::printf("wrote %s\n", OutPath.c_str());
   return 0;

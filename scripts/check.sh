@@ -7,9 +7,15 @@
 #      test binaries (the concurrent pieces: work-stealing branch-and-
 #      bound, shared incumbent, warm-start engines);
 #   3. ThreadSanitizer pass over the scheduling service (TaskPool,
-#      sharded single-flight cache, admission queue) plus bench_service,
-#      whose asserts prove cache-hit schedules byte-identical to fresh
-#      solves and 16 concurrent duplicates collapse to one MILP.
+#      sharded single-flight cache, admission queue) and the metrics/
+#      trace instruments (obs_test's concurrent-increment tests), plus
+#      bench_service, whose asserts prove cache-hit schedules
+#      byte-identical to fresh solves and 16 concurrent duplicates
+#      collapse to one MILP;
+#   4. observability smoke: a dvsd batch with tracing enabled must emit
+#      a Prometheus snapshot that dvs-stat --check validates (format +
+#      every canonical family from scripts/metric_names.txt present)
+#      and a Chrome trace with the per-job pipeline spans.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 #
@@ -33,15 +39,44 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lp_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/milp_test
 
 echo
-echo "== TSan: scheduling service (support_test, service_test) =="
-cmake --build build-tsan -j"$JOBS" --target support_test service_test
+echo "== TSan: scheduling service (support_test, service_test, obs_test) =="
+cmake --build build-tsan -j"$JOBS" --target support_test service_test obs_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/support_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/service_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
 
 echo
 echo "== bench_service: cached == fresh, duplicates collapse =="
 cmake --build build -j"$JOBS" --target bench_service
 (cd build/bench && ./bench_service)
+
+echo
+echo "== observability: dvsd metrics + trace round trip =="
+cmake --build build -j"$JOBS" --target dvsd dvs-stat
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+printf '%s\n' \
+  '{"id":"a","workload":"gsm","tightness":0.5}' \
+  '{"id":"b","workload":"gsm","tightness":0.5}' \
+  '{"id":"c","workload":"adpcm","tightness":0.3}' \
+  > "$OBS_TMP/jobs.jsonl"
+./build/tools/dvsd --threads=2 --repeat=2 --quiet \
+  --metrics-out="$OBS_TMP/metrics.prom" \
+  --metrics-json="$OBS_TMP/metrics.json" \
+  --trace-out="$OBS_TMP/trace.json" \
+  "$OBS_TMP/jobs.jsonl"
+# Prometheus format + every canonical family present.
+./build/tools/dvs-stat --check --names=scripts/metric_names.txt \
+  "$OBS_TMP/metrics.prom"
+# The trace must carry the per-job pipeline spans.
+for span in '"job"' '"profile"' '"bound"' '"solve"' '"milp_solve"'; do
+  grep -q "$span" "$OBS_TMP/trace.json" \
+    || { echo "trace is missing span $span"; exit 1; }
+done
+# The registry's JSON dump must stay parseable (obs_test proves this
+# in-process; this catches drift in the dvsd wiring).
+grep -q '"cdvs_stage_latency_seconds"' "$OBS_TMP/metrics.json" \
+  || { echo "metrics JSON dump is missing stage latencies"; exit 1; }
 
 echo
 echo "All checks passed."

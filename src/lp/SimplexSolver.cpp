@@ -846,3 +846,4 @@ bool SimplexEngine::loadBasis(const SimplexBasis &Basis) {
 
 long SimplexEngine::warmSolves() const { return I->Warm; }
 long SimplexEngine::coldSolves() const { return I->Cold; }
+long SimplexEngine::totalPivots() const { return I->C.TotalPivots; }

@@ -143,9 +143,13 @@ public:
   /// the next solve() then runs cold.
   bool loadBasis(const SimplexBasis &Basis);
 
-  /// Solve-path counters (diagnostics for benches/tests).
+  /// Solve-path counters (diagnostics for benches/tests/metrics).
   long warmSolves() const;
   long coldSolves() const;
+  /// Simplex pivots executed over the engine's lifetime, refactorization
+  /// re-pivots included — the truest "simplex effort" odometer the
+  /// observability layer exports per B&B worker.
+  long totalPivots() const;
 
 private:
   struct Impl;

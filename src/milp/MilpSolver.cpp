@@ -27,6 +27,9 @@
 
 #include "milp/MilpSolver.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/Clock.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
 
@@ -88,14 +91,17 @@ struct MilpSolver::Worker {
   long SinceRounding = 0;
   long LpIterations = 0;
   long ColdLps = 0; // cold solves issued outside the engine (WarmStart off)
-
-  std::mutex QM;
-  std::deque<std::shared_ptr<Node>> Queue;
+  long Pruned = 0;  // best-bound prunes (pre-LP and post-LP)
+  int Index = 0;    // this worker's slot in Shared::Queues
 };
 
 struct MilpSolver::Shared {
-  std::deque<Worker> Workers; // deque: Worker holds a mutex, is immovable
+  std::deque<Worker> Workers; // deque: Worker holds an engine, keep stable
+  /// The node deques, one per worker, with front-stealing (see
+  /// support/ThreadPool.h). Built once NumWorkers is known.
+  std::unique_ptr<WorkStealingDeques<std::shared_ptr<Node>>> Queues;
   std::atomic<long> NodesSolved{0};
+  std::atomic<long> IncumbentUpdates{0};
   /// Nodes pushed but not yet fully processed; 0 means the tree is
   /// exhausted and idle workers may exit.
   std::atomic<long> Outstanding{0};
@@ -230,6 +236,10 @@ bool MilpSolver::tryRounding(Shared &S, Worker &W,
       Improved = true;
     }
   }
+  if (Improved) {
+    S.IncumbentUpdates.fetch_add(1, std::memory_order_relaxed);
+    obs::traceInstant("incumbent", "milp", "objective", R.Objective);
+  }
 
   for (auto It = Saved.rbegin(); It != Saved.rend(); ++It) {
     W.Engine->setBounds(It->first, It->second.first, It->second.second);
@@ -242,8 +252,10 @@ bool MilpSolver::tryRounding(Shared &S, Worker &W,
 void MilpSolver::processNode(Shared &S, Worker &W,
                              const std::shared_ptr<Node> &N) {
   // Best-bound prune on the parent relaxation before any LP work.
-  if (N->Bound >= S.Incumbent.load() - Opts.AbsGap)
+  if (N->Bound >= S.Incumbent.load() - Opts.AbsGap) {
+    ++W.Pruned;
     return;
+  }
   if (S.NodesSolved.load() >= Opts.MaxNodes ||
       std::chrono::steady_clock::now() > S.Deadline) {
     S.Truncated.store(true);
@@ -315,17 +327,27 @@ void MilpSolver::processNode(Shared &S, Worker &W,
       tryRounding(S, W, R.X);
   }
 
-  if (R.Objective >= S.Incumbent.load() - Opts.AbsGap)
+  if (R.Objective >= S.Incumbent.load() - Opts.AbsGap) {
+    ++W.Pruned;
     return; // Prune: cannot beat the incumbent.
+  }
 
   int BranchVar = pickBranchVariable(R.X);
   if (BranchVar < 0) {
     // Integer feasible: candidate incumbent.
-    std::lock_guard<std::mutex> Lock(S.IncM);
-    if (R.Objective < S.IncumbentVal - Opts.AbsGap) {
-      S.IncumbentVal = R.Objective;
-      S.BestX = R.X;
-      S.Incumbent.store(R.Objective);
+    bool Improved = false;
+    {
+      std::lock_guard<std::mutex> Lock(S.IncM);
+      if (R.Objective < S.IncumbentVal - Opts.AbsGap) {
+        S.IncumbentVal = R.Objective;
+        S.BestX = R.X;
+        S.Incumbent.store(R.Objective);
+        Improved = true;
+      }
+    }
+    if (Improved) {
+      S.IncumbentUpdates.fetch_add(1, std::memory_order_relaxed);
+      obs::traceInstant("incumbent", "milp", "objective", R.Objective);
     }
     return;
   }
@@ -370,11 +392,8 @@ void MilpSolver::processNode(Shared &S, Worker &W,
   }
 
   S.Outstanding.fetch_add(2);
-  {
-    std::lock_guard<std::mutex> Lock(W.QM);
-    W.Queue.push_back(std::move(First));
-    W.Queue.push_back(std::move(Second));
-  }
+  S.Queues->push(W.Index, std::move(First));
+  S.Queues->push(W.Index, std::move(Second));
 }
 
 void MilpSolver::workerLoop(Shared &S, int WorkerIndex) {
@@ -383,26 +402,10 @@ void MilpSolver::workerLoop(Shared &S, int WorkerIndex) {
     if (S.Truncated.load())
       return;
 
+    // Own newest node first (depth-first), else steal a victim's
+    // shallowest; the deques count the steal traffic for us.
     std::shared_ptr<Node> N;
-    {
-      std::lock_guard<std::mutex> Lock(W.QM);
-      if (!W.Queue.empty()) {
-        N = std::move(W.Queue.back());
-        W.Queue.pop_back();
-      }
-    }
-    if (!N) {
-      // Steal the shallowest node from another worker.
-      for (int Off = 1; Off < S.NumWorkers && !N; ++Off) {
-        Worker &V = S.Workers[(WorkerIndex + Off) % S.NumWorkers];
-        std::lock_guard<std::mutex> Lock(V.QM);
-        if (!V.Queue.empty()) {
-          N = std::move(V.Queue.front());
-          V.Queue.pop_front();
-        }
-      }
-    }
-    if (!N) {
+    if (!S.Queues->tryPop(WorkerIndex, N)) {
       if (S.Outstanding.load() == 0)
         return;
       std::this_thread::sleep_for(std::chrono::microseconds(20));
@@ -414,7 +417,55 @@ void MilpSolver::workerLoop(Shared &S, int WorkerIndex) {
   }
 }
 
+/// Folds one finished solve into the process-wide registry. Instrument
+/// references are resolved once and cached (static locals), so the per-
+/// solve cost is a handful of relaxed atomic adds.
+static void exportSolveMetrics(const MilpSolution &Sol) {
+  using namespace obs;
+  static Counter &Solves = metrics().counter(
+      "cdvs_milp_solves_total", "Branch-and-bound searches run");
+  static Counter &Nodes = metrics().counter(
+      "cdvs_milp_nodes_total", "B&B nodes whose LP relaxation was solved");
+  static Counter &Pruned = metrics().counter(
+      "cdvs_milp_nodes_pruned_total",
+      "B&B nodes discarded by best-bound pruning");
+  static Counter &Stolen = metrics().counter(
+      "cdvs_milp_nodes_stolen_total",
+      "B&B nodes taken from another worker's deque");
+  static Counter &LpIters = metrics().counter(
+      "cdvs_milp_lp_iterations_total",
+      "Simplex iterations across all node LPs");
+  static Counter &Warm = metrics().counter(
+      "cdvs_milp_warm_lps_total",
+      "Node LPs re-solved warm from a held basis");
+  static Counter &Cold = metrics().counter(
+      "cdvs_milp_cold_lps_total",
+      "Node LPs solved through the cold two-phase path");
+  static Counter &Pivots = metrics().counter(
+      "cdvs_milp_lp_pivots_total",
+      "Simplex pivots across the workers' engines, refactorization "
+      "included");
+  static Counter &Incumbents = metrics().counter(
+      "cdvs_milp_incumbent_updates_total",
+      "Improving integer-feasible points found");
+  static Histogram &SolveLatency = metrics().histogram(
+      "cdvs_milp_solve_seconds", "Wall time of one B&B search",
+      latencyBucketsSeconds());
+  Solves.inc();
+  Nodes.inc(static_cast<double>(Sol.Nodes));
+  Pruned.inc(static_cast<double>(Sol.Pruned));
+  Stolen.inc(static_cast<double>(Sol.Steals));
+  LpIters.inc(static_cast<double>(Sol.LpIterations));
+  Warm.inc(static_cast<double>(Sol.WarmLps));
+  Cold.inc(static_cast<double>(Sol.ColdLps));
+  Pivots.inc(static_cast<double>(Sol.LpPivots));
+  Incumbents.inc(static_cast<double>(Sol.IncumbentUpdates));
+  SolveLatency.observe(Sol.SolveSeconds);
+}
+
 MilpSolution MilpSolver::solve() {
+  obs::TraceSpan Span("milp_solve", "milp");
+  uint64_t T0 = monotonicNanos();
   Shared S;
   S.Deadline = std::chrono::steady_clock::now() +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -427,11 +478,15 @@ MilpSolution MilpSolver::solve() {
   Threads = std::min(
       Threads, 1 + static_cast<int>(IntegerVars.size()) / 4);
   S.NumWorkers = std::max(1, Threads);
-  for (int W = 0; W < S.NumWorkers; ++W)
+  S.Queues = std::make_unique<WorkStealingDeques<std::shared_ptr<Node>>>(
+      S.NumWorkers);
+  for (int W = 0; W < S.NumWorkers; ++W) {
     S.Workers.emplace_back();
+    S.Workers.back().Index = W;
+  }
 
   auto Root = std::make_shared<Node>();
-  S.Workers[0].Queue.push_back(std::move(Root));
+  S.Queues->push(0, std::move(Root));
   S.Outstanding.store(1);
 
   runOnWorkers(S.NumWorkers, [&](int W) { workerLoop(S, W); });
@@ -441,24 +496,32 @@ MilpSolution MilpSolver::solve() {
   for (Worker &W : S.Workers) {
     Sol.LpIterations += W.LpIterations;
     Sol.ColdLps += W.ColdLps;
+    Sol.Pruned += W.Pruned;
     if (W.Engine) {
       Sol.WarmLps += W.Engine->warmSolves();
       Sol.ColdLps += W.Engine->coldSolves();
+      Sol.LpPivots += W.Engine->totalPivots();
     }
   }
+  Sol.Steals = S.Queues->steals();
+  Sol.IncumbentUpdates = S.IncumbentUpdates.load();
+  Sol.SolveSeconds = nanosToSeconds(monotonicNanos() - T0);
   Sol.RootBound = S.RootBound;
   if (S.RootUnbounded.load()) {
     Sol.Status = MilpStatus::Unbounded;
-    return Sol;
-  }
-  bool Truncated = S.Truncated.load();
-  bool HasIncumbent = !S.BestX.empty();
-  if (HasIncumbent) {
-    Sol.Status = Truncated ? MilpStatus::Feasible : MilpStatus::Optimal;
-    Sol.Objective = S.IncumbentVal;
-    Sol.X = S.BestX;
   } else {
-    Sol.Status = Truncated ? MilpStatus::Limit : MilpStatus::Infeasible;
+    bool Truncated = S.Truncated.load();
+    bool HasIncumbent = !S.BestX.empty();
+    if (HasIncumbent) {
+      Sol.Status = Truncated ? MilpStatus::Feasible : MilpStatus::Optimal;
+      Sol.Objective = S.IncumbentVal;
+      Sol.X = S.BestX;
+    } else {
+      Sol.Status = Truncated ? MilpStatus::Limit : MilpStatus::Infeasible;
+    }
   }
+  Span.arg("nodes", static_cast<double>(Sol.Nodes));
+  Span.arg("steals", static_cast<double>(Sol.Steals));
+  exportSolveMetrics(Sol);
   return Sol;
 }

@@ -56,7 +56,9 @@ enum class MilpStatus {
 /// \returns a printable name for a MilpStatus.
 const char *milpStatusName(MilpStatus Status);
 
-/// Solution of a MILP solve.
+/// Solution of a MILP solve. The counter block doubles as the solver's
+/// Stats surface: tests and the metrics exporter read search effort
+/// (nodes, prunes, steals, LP work) from here.
 struct MilpSolution {
   MilpStatus Status = MilpStatus::Limit;
   double Objective = 0.0;
@@ -66,6 +68,11 @@ struct MilpSolution {
   double RootBound = 0.0;
   long WarmLps = 0; ///< Node LPs solved warm from a held basis.
   long ColdLps = 0; ///< Node LPs that ran the cold two-phase path.
+  long LpPivots = 0; ///< Engine pivots, refactorization included.
+  long Pruned = 0; ///< Nodes discarded by best-bound pruning.
+  long Steals = 0; ///< Nodes a worker took from another's deque.
+  long IncumbentUpdates = 0; ///< Times a better integer point was found.
+  double SolveSeconds = 0.0; ///< Wall time of the whole search.
 };
 
 /// Tuning knobs for the branch-and-bound.

@@ -1,0 +1,336 @@
+//===- obs/Metrics.cpp - Process-wide metrics registry ---------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace cdvs;
+using namespace cdvs::obs;
+
+namespace {
+
+/// Prometheus metric-name grammar: [a-zA-Z_:][a-zA-Z0-9_:]*
+bool validMetricName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  auto Head = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+           C == ':';
+  };
+  if (!Head(Name[0]))
+    return false;
+  for (char C : Name.substr(1))
+    if (!Head(C) && !(C >= '0' && C <= '9'))
+      return false;
+  return true;
+}
+
+/// Label-name grammar: [a-zA-Z_][a-zA-Z0-9_]*
+bool validLabelName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  auto Head = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+  };
+  if (!Head(Name[0]))
+    return false;
+  for (char C : Name.substr(1))
+    if (!Head(C) && !(C >= '0' && C <= '9'))
+      return false;
+  return true;
+}
+
+/// Shortest round-trippable-enough decimal for exposition values.
+std::string formatValue(double V) {
+  if (std::isinf(V))
+    return V > 0 ? "+Inf" : "-Inf";
+  if (V == std::floor(V) && std::fabs(V) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", V);
+    return Buf;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  return Buf;
+}
+
+/// Escapes a label value per the exposition format (\\, \", \n).
+std::string escapeLabelValue(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+/// Renders {a="x",b="y"}; \p Extra appends one more pair (histogram le).
+std::string labelBlock(const Labels &L, const std::string &ExtraKey = "",
+                       const std::string &ExtraVal = "") {
+  if (L.empty() && ExtraKey.empty())
+    return "";
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[K, V] : L) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += K + "=\"" + escapeLabelValue(V) + "\"";
+  }
+  if (!ExtraKey.empty()) {
+    if (!First)
+      Out += ",";
+    Out += ExtraKey + "=\"" + ExtraVal + "\"";
+  }
+  return Out + "}";
+}
+
+/// Escapes for a JSON string literal (the subset JsonLite understands).
+std::string jsonStr(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '\\' || C == '"')
+      (Out += '\\') += C;
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out + "\"";
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Ub(std::move(UpperBounds)),
+      Buckets(new std::atomic<uint64_t>[Ub.size() + 1]) {
+  for (size_t I = 0; I + 1 < Ub.size(); ++I)
+    assert(Ub[I] < Ub[I + 1] && "histogram bounds must ascend");
+  for (size_t I = 0; I <= Ub.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double Value) {
+  // First bound >= Value (le semantics); past-the-end is the +Inf bucket.
+  size_t I = std::lower_bound(Ub.begin(), Ub.end(), Value) - Ub.begin();
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+}
+
+std::vector<double> cdvs::obs::linearBuckets(double Start, double Width,
+                                             int Count) {
+  std::vector<double> B;
+  for (int I = 0; I < Count; ++I)
+    B.push_back(Start + Width * I);
+  return B;
+}
+
+std::vector<double> cdvs::obs::exponentialBuckets(double Start,
+                                                  double Factor,
+                                                  int Count) {
+  std::vector<double> B;
+  double V = Start;
+  for (int I = 0; I < Count; ++I, V *= Factor)
+    B.push_back(V);
+  return B;
+}
+
+const std::vector<double> &cdvs::obs::latencyBucketsSeconds() {
+  static const std::vector<double> B =
+      exponentialBuckets(1e-6, 4.0, 12); // 1us .. ~4.2s, +Inf above
+  return B;
+}
+
+MetricsRegistry::Series &
+MetricsRegistry::getOrCreate(const std::string &Name,
+                             const std::string &Help, Kind K,
+                             const Labels &L,
+                             const std::vector<double> *Buckets) {
+  assert(validMetricName(Name) && "bad metric name");
+  for ([[maybe_unused]] const auto &[LK, LV] : L)
+    assert(validLabelName(LK) && "bad label name");
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto [It, Inserted] = Families.try_emplace(Name);
+  Family &F = It->second;
+  if (Inserted) {
+    F.K = K;
+    F.Help = Help;
+    if (Buckets)
+      F.Buckets = *Buckets;
+  } else {
+    assert(F.K == K && "metric re-registered with a different kind");
+  }
+  for (auto &S : F.SeriesList)
+    if (S->L == L)
+      return *S;
+  auto S = std::make_unique<Series>();
+  S->L = L;
+  switch (K) {
+  case Kind::Counter:
+    S->C = std::make_unique<Counter>();
+    break;
+  case Kind::Gauge:
+    S->G = std::make_unique<Gauge>();
+    break;
+  case Kind::Histogram:
+    S->H = std::make_unique<Histogram>(F.Buckets);
+    break;
+  }
+  F.SeriesList.push_back(std::move(S));
+  return *F.SeriesList.back();
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help, Labels L) {
+  return *getOrCreate(Name, Help, Kind::Counter, L, nullptr).C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const std::string &Help, Labels L) {
+  return *getOrCreate(Name, Help, Kind::Gauge, L, nullptr).G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const std::string &Help,
+                                      const std::vector<double> &Ub,
+                                      Labels L) {
+  return *getOrCreate(Name, Help, Kind::Histogram, L, &Ub).H;
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  for (const auto &[Name, F] : Families) {
+    Out += "# HELP " + Name + " " + F.Help + "\n";
+    Out += "# TYPE " + Name + " ";
+    Out += F.K == Kind::Counter
+               ? "counter"
+               : (F.K == Kind::Gauge ? "gauge" : "histogram");
+    Out += "\n";
+    for (const auto &S : F.SeriesList) {
+      switch (F.K) {
+      case Kind::Counter:
+        Out += Name + labelBlock(S->L) + " " +
+               formatValue(S->C->value()) + "\n";
+        break;
+      case Kind::Gauge:
+        Out += Name + labelBlock(S->L) + " " +
+               formatValue(S->G->value()) + "\n";
+        break;
+      case Kind::Histogram: {
+        const Histogram &H = *S->H;
+        uint64_t Cum = 0;
+        for (size_t I = 0; I < H.upperBounds().size(); ++I) {
+          Cum += H.bucketCount(I);
+          Out += Name + "_bucket" +
+                 labelBlock(S->L, "le",
+                            formatValue(H.upperBounds()[I])) +
+                 " " + std::to_string(Cum) + "\n";
+        }
+        Cum += H.bucketCount(H.upperBounds().size());
+        Out += Name + "_bucket" + labelBlock(S->L, "le", "+Inf") + " " +
+               std::to_string(Cum) + "\n";
+        Out += Name + "_sum" + labelBlock(S->L) + " " +
+               formatValue(H.sum()) + "\n";
+        Out += Name + "_count" + labelBlock(S->L) + " " +
+               std::to_string(H.count()) + "\n";
+        break;
+      }
+      }
+    }
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::renderJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{";
+  bool FirstFam = true;
+  for (const auto &[Name, F] : Families) {
+    if (!FirstFam)
+      Out += ",";
+    FirstFam = false;
+    Out += jsonStr(Name) + ":{\"type\":";
+    Out += F.K == Kind::Counter
+               ? "\"counter\""
+               : (F.K == Kind::Gauge ? "\"gauge\"" : "\"histogram\"");
+    Out += ",\"help\":" + jsonStr(F.Help) + ",\"series\":[";
+    bool FirstSer = true;
+    for (const auto &S : F.SeriesList) {
+      if (!FirstSer)
+        Out += ",";
+      FirstSer = false;
+      Out += "{\"labels\":{";
+      bool FirstLab = true;
+      for (const auto &[K, V] : S->L) {
+        if (!FirstLab)
+          Out += ",";
+        FirstLab = false;
+        Out += jsonStr(K) + ":" + jsonStr(V);
+      }
+      Out += "}";
+      switch (F.K) {
+      case Kind::Counter:
+        Out += ",\"value\":" + formatValue(S->C->value());
+        break;
+      case Kind::Gauge:
+        Out += ",\"value\":" + formatValue(S->G->value());
+        break;
+      case Kind::Histogram: {
+        // Counts are cumulative, matching the Prometheus meaning of an
+        // `le` bound, so both exports describe the same distribution.
+        const Histogram &H = *S->H;
+        Out += ",\"buckets\":[";
+        uint64_t Cum = 0;
+        for (size_t I = 0; I <= H.upperBounds().size(); ++I) {
+          if (I)
+            Out += ",";
+          std::string Le = I < H.upperBounds().size()
+                               ? formatValue(H.upperBounds()[I])
+                               : "+Inf";
+          Cum += H.bucketCount(I);
+          Out += "{\"le\":" + jsonStr(Le) +
+                 ",\"count\":" + std::to_string(Cum) + "}";
+        }
+        Out += "],\"sum\":" + formatValue(H.sum()) +
+               ",\"count\":" + std::to_string(H.count());
+        break;
+      }
+      }
+      Out += "}";
+    }
+    Out += "]}";
+  }
+  return Out + "}";
+}
+
+std::vector<std::string> MetricsRegistry::familyNames() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Names;
+  Names.reserve(Families.size());
+  for (const auto &[Name, F] : Families)
+    Names.push_back(Name);
+  return Names;
+}
+
+MetricsRegistry &cdvs::obs::metrics() {
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}

@@ -1,0 +1,177 @@
+//===- obs/Metrics.h - Process-wide metrics registry ------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repo's metrics vocabulary: counters, gauges, and fixed-bucket
+/// histograms, registered once by name (+ optional labels) in a
+/// MetricsRegistry and updated lock-free afterwards — every mutation is
+/// a single relaxed atomic op, so instrumented hot paths (B&B nodes,
+/// simulator runs, cache shards) pay nanoseconds, not locks.
+///
+/// Registration is get-or-create and idempotent: a (name, labels) pair
+/// always resolves to the same instrument, and the reference stays valid
+/// for the registry's lifetime (instruments are never deallocated), so
+/// call sites cache `static Counter &C = metrics().counter(...)` and
+/// never touch the registry lock again.
+///
+/// Export: renderPrometheus() emits the text exposition format
+/// (HELP/TYPE headers, labeled series, cumulative `_bucket{le=...}` +
+/// `_sum`/`_count` for histograms) and renderJson() the same snapshot as
+/// one JSON object, parseable by service/JsonLite. Snapshots taken while
+/// writers run are per-instrument atomic, not globally consistent —
+/// exactly the Prometheus scrape contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_OBS_METRICS_H
+#define CDVS_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cdvs {
+namespace obs {
+
+/// Monotonically increasing value. Doubles keep energy/seconds totals
+/// exact enough (integers are exact to 2^53).
+class Counter {
+public:
+  void inc(double Delta = 1.0) {
+    V.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// A value that can go up and down (queue depths, configuration).
+class Gauge {
+public:
+  void set(double Value) { V.store(Value, std::memory_order_relaxed); }
+  void add(double Delta) { V.fetch_add(Delta, std::memory_order_relaxed); }
+  /// Raises the gauge to \p Value if larger (peak tracking).
+  void max(double Value) {
+    double Cur = V.load(std::memory_order_relaxed);
+    while (Cur < Value &&
+           !V.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+      ;
+  }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: an observation
+/// V lands in the first bucket whose upper bound satisfies V <= le; a
+/// +Inf overflow bucket is implicit. Bucket counts are stored
+/// non-cumulative and summed at export.
+class Histogram {
+public:
+  /// \p UpperBounds must be strictly ascending and finite.
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  void observe(double Value);
+
+  /// Finite bucket bounds (excludes the implicit +Inf bucket).
+  const std::vector<double> &upperBounds() const { return Ub; }
+  /// Non-cumulative count of bucket \p I; I == upperBounds().size() is
+  /// the +Inf bucket.
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+
+private:
+  std::vector<double> Ub;
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets; ///< Ub.size() + 1
+  std::atomic<uint64_t> N{0};
+  std::atomic<double> Sum{0.0};
+};
+
+/// Label set of one series; order is preserved into the exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// `Count` buckets spaced linearly: Start, Start + Width, ...
+std::vector<double> linearBuckets(double Start, double Width, int Count);
+/// `Count` buckets spaced geometrically: Start, Start * Factor, ...
+std::vector<double> exponentialBuckets(double Start, double Factor,
+                                       int Count);
+/// The default latency ladder: 1 us .. ~4.2 s, factor 4 (12 buckets).
+/// One ladder everywhere keeps stage latencies cross-comparable.
+const std::vector<double> &latencyBucketsSeconds();
+
+/// Name-keyed instrument store; see the file comment.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// Get-or-create. \p Name must match the Prometheus metric-name
+  /// grammar; re-registering an existing (name, labels) pair returns the
+  /// existing instrument (the kind must match). References stay valid
+  /// for the registry's lifetime.
+  Counter &counter(const std::string &Name, const std::string &Help,
+                   Labels L = {});
+  Gauge &gauge(const std::string &Name, const std::string &Help,
+               Labels L = {});
+  /// \p UpperBounds is consulted only on first registration.
+  Histogram &histogram(const std::string &Name, const std::string &Help,
+                       const std::vector<double> &UpperBounds,
+                       Labels L = {});
+
+  /// Prometheus text exposition format, families sorted by name.
+  std::string renderPrometheus() const;
+  /// The same snapshot as one JSON object keyed by family name.
+  std::string renderJson() const;
+
+  /// Sorted names of every registered family (rename tripwire for
+  /// scripts/check.sh).
+  std::vector<std::string> familyNames() const;
+
+private:
+  enum class Kind { Counter, Gauge, Histogram };
+
+  struct Series {
+    Labels L;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<Histogram> H;
+  };
+
+  struct Family {
+    Kind K = Kind::Counter;
+    std::string Help;
+    std::vector<double> Buckets; ///< histogram families only
+    std::vector<std::unique_ptr<Series>> SeriesList;
+  };
+
+  Series &getOrCreate(const std::string &Name, const std::string &Help,
+                      Kind K, const Labels &L,
+                      const std::vector<double> *Buckets);
+
+  mutable std::mutex Mu;
+  std::map<std::string, Family> Families;
+};
+
+/// The process-wide registry every subsystem instruments into. Never
+/// destroyed (leaked on exit) so instrumented code may run during static
+/// teardown.
+MetricsRegistry &metrics();
+
+} // namespace obs
+} // namespace cdvs
+
+#endif // CDVS_OBS_METRICS_H

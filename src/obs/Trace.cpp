@@ -1,0 +1,135 @@
+//===- obs/Trace.cpp - Structured tracing with a ring-buffer sink ----------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <cstdio>
+
+using namespace cdvs;
+using namespace cdvs::obs;
+
+TraceRecorder::TraceRecorder(size_t Capacity) : Ring(Capacity) {}
+
+void TraceRecorder::reset(size_t Capacity) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Ring.reset(Capacity);
+  Dropped = 0;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Ring.clear();
+  Dropped = 0;
+}
+
+void TraceRecorder::record(const TraceEvent &E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Ring.push(E))
+    ++Dropped;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Ring.size();
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dropped;
+}
+
+namespace {
+
+/// JSON string escape for names/categories (literals in practice, but
+/// stay correct for any content).
+std::string jsonStr(const char *S) {
+  std::string Out = "\"";
+  for (; *S; ++S) {
+    if (*S == '\\' || *S == '"')
+      (Out += '\\') += *S;
+    else if (*S == '\n')
+      Out += "\\n";
+    else
+      Out += *S;
+  }
+  return Out + "\"";
+}
+
+std::string formatNum(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  return Buf;
+}
+
+/// Microsecond timestamp with sub-us precision, as trace_event wants.
+std::string formatUs(uint64_t Nanos) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.3f",
+                static_cast<double>(Nanos) / 1000.0);
+  return Buf;
+}
+
+} // namespace
+
+std::string TraceRecorder::renderChromeTrace() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  Ring.forEach([&](const TraceEvent &E) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "{\"name\":" + jsonStr(E.Name) +
+           ",\"cat\":" + jsonStr(E.Cat) + ",\"ph\":\"";
+    Out += E.Phase;
+    Out += "\",\"pid\":1,\"tid\":" + std::to_string(E.Tid) +
+           ",\"ts\":" + formatUs(E.StartNs);
+    if (E.Phase == 'X')
+      Out += ",\"dur\":" + formatUs(E.DurNs);
+    if (E.Phase == 'i')
+      Out += ",\"s\":\"t\""; // thread-scoped instant
+    if (E.ArgKey0) {
+      Out += ",\"args\":{" + jsonStr(E.ArgKey0) + ":" +
+             formatNum(E.ArgVal0);
+      if (E.ArgKey1)
+        Out += "," + jsonStr(E.ArgKey1) + ":" + formatNum(E.ArgVal1);
+      Out += "}";
+    }
+    Out += "}";
+  });
+  Out += "]}";
+  return Out;
+}
+
+TraceRecorder &cdvs::obs::trace() {
+  static TraceRecorder *R = new TraceRecorder();
+  return *R;
+}
+
+uint32_t cdvs::obs::traceThreadId() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Id =
+      Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+void cdvs::obs::traceInstant(const char *Name, const char *Cat,
+                             const char *ArgKey, double ArgVal) {
+  TraceRecorder &R = trace();
+  if (!R.enabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Phase = 'i';
+  E.Tid = traceThreadId();
+  E.StartNs = monotonicNanos();
+  if (ArgKey) {
+    E.ArgKey0 = ArgKey;
+    E.ArgVal0 = ArgVal;
+  }
+  R.record(E);
+}

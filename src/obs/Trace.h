@@ -1,0 +1,166 @@
+//===- obs/Trace.h - Structured tracing with a ring-buffer sink -*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scoped-span tracing for the scheduling pipeline. A TraceSpan stamps
+/// monotonic begin/end times (support/Clock.h) for a named scope; spans
+/// on the same thread nest by time containment, which is exactly how the
+/// Chrome trace_event viewer (about:tracing, Perfetto) reconstructs call
+/// trees, so no explicit parent ids are carried. Instant events mark
+/// points in time (incumbent updates, admissions).
+///
+/// The sink is a bounded drop-oldest ring (support/RingBuffer.h): a long
+/// run keeps the newest events and never grows. flushChromeTrace()
+/// serializes the surviving events as Chrome trace_event JSON.
+///
+/// Overhead discipline: tracing is compiled in but DISABLED by default.
+/// Every entry point checks one relaxed atomic bool first; a disabled
+/// span construct/destruct is a load + branch and touches no clock, no
+/// lock, no memory. Enabled spans take the recorder mutex only at scope
+/// exit (one push per span). Span and category names must be string
+/// literals (or otherwise outlive the recorder) — events store the
+/// pointers, never copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_OBS_TRACE_H
+#define CDVS_OBS_TRACE_H
+
+#include "support/Clock.h"
+#include "support/RingBuffer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace cdvs {
+namespace obs {
+
+/// One trace event. Complete spans ('X') carry a duration; instants
+/// ('i') are points. Up to two numeric args ride along and land in the
+/// viewer's args pane.
+struct TraceEvent {
+  const char *Name = nullptr;
+  const char *Cat = "cdvs";
+  char Phase = 'X'; ///< 'X' complete, 'i' instant
+  uint32_t Tid = 0;
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  const char *ArgKey0 = nullptr;
+  double ArgVal0 = 0.0;
+  const char *ArgKey1 = nullptr;
+  double ArgVal1 = 0.0;
+};
+
+/// Bounded trace sink; see the file comment.
+class TraceRecorder {
+public:
+  explicit TraceRecorder(size_t Capacity = 1 << 16);
+
+  /// Flips recording on or off; off drops events at the check, not the
+  /// sink.
+  void setEnabled(bool On) {
+    Enabled.store(On, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return Enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all buffered events and re-sizes the ring.
+  void reset(size_t Capacity);
+  /// Drops all buffered events (capacity kept, dropped count cleared).
+  void clear();
+
+  void record(const TraceEvent &E);
+
+  size_t size() const;
+  /// Events lost to ring overwrite since the last clear/reset.
+  uint64_t dropped() const;
+
+  /// Serializes the surviving events (oldest first) as Chrome
+  /// trace_event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  /// Timestamps are microseconds on the monotonic axis; load the file in
+  /// Perfetto or about:tracing.
+  std::string renderChromeTrace() const;
+
+private:
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mu;
+  RingBuffer<TraceEvent> Ring;
+  uint64_t Dropped = 0;
+};
+
+/// The process-wide recorder (never destroyed, like obs::metrics()).
+TraceRecorder &trace();
+
+/// Small dense id for the calling thread (0, 1, 2... in first-use
+/// order) — stabler across runs than the platform thread id, and what
+/// the Chrome viewer groups tracks by.
+uint32_t traceThreadId();
+
+/// Records an instant event if tracing is enabled.
+void traceInstant(const char *Name, const char *Cat = "cdvs",
+                  const char *ArgKey = nullptr, double ArgVal = 0.0);
+
+/// RAII span: stamps the interval from construction to destruction on
+/// the current thread's track. All work is skipped when tracing is
+/// disabled at construction time.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name, const char *Cat = "cdvs") {
+    if (trace().enabled()) {
+      E.Name = Name;
+      E.Cat = Cat;
+      E.StartNs = monotonicNanos();
+    }
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+  ~TraceSpan() {
+    if (E.Name) {
+      E.DurNs = monotonicNanos() - E.StartNs;
+      E.Tid = traceThreadId();
+      trace().record(E);
+    }
+  }
+
+  /// Attaches a numeric arg (at most two; extras are dropped). \p Key
+  /// must outlive the recorder (use literals).
+  void arg(const char *Key, double Value) {
+    if (!E.Name)
+      return;
+    if (!E.ArgKey0) {
+      E.ArgKey0 = Key;
+      E.ArgVal0 = Value;
+    } else if (!E.ArgKey1) {
+      E.ArgKey1 = Key;
+      E.ArgVal1 = Value;
+    }
+  }
+
+  /// Closes the span now instead of at scope exit (for stages whose
+  /// lexical scope outlives the measured region). Idempotent.
+  void end() {
+    if (E.Name) {
+      E.DurNs = monotonicNanos() - E.StartNs;
+      E.Tid = traceThreadId();
+      trace().record(E);
+      E.Name = nullptr;
+    }
+  }
+
+  /// True when this span is live (tracing was enabled at construction).
+  bool active() const { return E.Name != nullptr; }
+
+private:
+  TraceEvent E;
+};
+
+} // namespace obs
+} // namespace cdvs
+
+#endif // CDVS_OBS_TRACE_H

@@ -6,6 +6,8 @@
 
 #include "service/ResultCache.h"
 
+#include "obs/Trace.h"
+
 #include <cassert>
 
 using namespace cdvs;
@@ -17,8 +19,21 @@ ResultCache::ResultCache(size_t Capacity, size_t NumShards) {
   if (PerShardCap == 0)
     PerShardCap = 1;
   Shards.reserve(NumShards);
-  for (size_t I = 0; I < NumShards; ++I)
+  for (size_t I = 0; I < NumShards; ++I) {
     Shards.push_back(std::make_unique<Shard>());
+    Shard &S = *Shards.back();
+    obs::Labels L{{"shard", std::to_string(I)}};
+    S.MHits = &obs::metrics().counter(
+        "cdvs_cache_hits_total", "Result-cache lookups served from the store", L);
+    S.MMisses = &obs::metrics().counter(
+        "cdvs_cache_misses_total",
+        "Result-cache lookups that led a fresh solve", L);
+    S.MShared = &obs::metrics().counter(
+        "cdvs_cache_shared_flights_total",
+        "Lookups that waited on another request's in-flight solve", L);
+    S.MEvictions = &obs::metrics().counter(
+        "cdvs_cache_evictions_total", "LRU entries displaced", L);
+  }
 }
 
 ResultCache::Shard &ResultCache::shardOf(const std::string &Key) {
@@ -43,21 +58,27 @@ ResultCache::getOrCompute(const std::string &Key,
       // Hit: refresh recency.
       S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruIt);
       ++S.Hits;
+      S.MHits->inc();
       return {It->second.Value, /*Hit=*/true, /*Shared=*/false};
     }
     auto FIt = S.InFlight.find(Key);
     if (FIt != S.InFlight.end()) {
       F = FIt->second;
       ++S.SharedFlights;
+      S.MShared->inc();
     } else {
       F = std::make_shared<Flight>();
       S.InFlight.emplace(Key, F);
       Leader = true;
       ++S.Misses;
+      S.MMisses->inc();
     }
   }
 
   if (!Leader) {
+    // The wait is where single-flight followers spend their stage time;
+    // make it a first-class span so a trace shows collapse, not hangs.
+    obs::TraceSpan Wait("cache_wait", "cache");
     std::unique_lock<std::mutex> FLock(F->Mu);
     F->Cv.wait(FLock, [&] { return F->Done; });
     return {F->Value, /*Hit=*/false, /*Shared=*/true};
@@ -75,6 +96,7 @@ ResultCache::getOrCompute(const std::string &Key,
         S.Map.erase(S.Lru.back());
         S.Lru.pop_back();
         ++S.Evictions;
+        S.MEvictions->inc();
       }
     }
     S.InFlight.erase(Key);

@@ -24,6 +24,7 @@
 #define CDVS_SERVICE_RESULTCACHE_H
 
 #include "milp/MilpSolver.h"
+#include "obs/Metrics.h"
 
 #include <condition_variable>
 #include <functional>
@@ -47,6 +48,7 @@ struct CachedSchedule {
   double LowerBoundJoules = 0.0;
   MilpStatus Milp = MilpStatus::Limit;
   double SolveSeconds = 0.0; ///< MILP time of the original solve
+  double SerializeSeconds = 0.0; ///< schedule emission time, ditto
 };
 
 /// Counters for the cache and its single-flight layer.
@@ -107,6 +109,11 @@ private:
     std::unordered_map<std::string, Entry> Map;
     std::unordered_map<std::string, std::shared_ptr<Flight>> InFlight;
     long Hits = 0, Misses = 0, SharedFlights = 0, Evictions = 0;
+    /// Shard-labeled mirrors in the process registry, so an exported
+    /// snapshot shows whether load skews onto one shard. Registered at
+    /// cache construction; increments ride the shard lock.
+    obs::Counter *MHits = nullptr, *MMisses = nullptr,
+                 *MShared = nullptr, *MEvictions = nullptr;
   };
 
   Shard &shardOf(const std::string &Key);

@@ -9,7 +9,10 @@
 #include "dvs/DvsScheduler.h"
 #include "dvs/ScheduleIO.h"
 #include "milp/Fingerprint.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "power/VfModel.h"
+#include "support/Clock.h"
 #include "support/Hash.h"
 #include "workloads/Workloads.h"
 
@@ -93,6 +96,48 @@ double energyLowerBound(const std::vector<CategoryProfile> &Categories) {
   return Bound;
 }
 
+/// Process-registry handles for the service pipeline, resolved once.
+/// Job terminal states are counters; queue depth is a gauge pair
+/// (instantaneous + monotone peak); stage latencies share one histogram
+/// family keyed by a `stage` label so dashboards can overlay them.
+struct ServiceMetrics {
+  obs::Counter &Submitted, &Rejected, &Completed, &Infeasible, &Failed;
+  obs::Gauge &QueueDepth, &QueueDepthPeak;
+  obs::Histogram &Queue, &Profile, &Bound, &Solve, &Serialize, &Total;
+};
+
+ServiceMetrics &serviceMetrics() {
+  auto stageHist = [](const char *Stage) -> obs::Histogram & {
+    return obs::metrics().histogram(
+        "cdvs_stage_latency_seconds",
+        "Per-stage job latency through the scheduling pipeline",
+        obs::latencyBucketsSeconds(), obs::Labels{{"stage", Stage}});
+  };
+  static ServiceMetrics M{
+      obs::metrics().counter("cdvs_jobs_submitted_total",
+                             "Jobs accepted into the admission queue"),
+      obs::metrics().counter("cdvs_jobs_rejected_total",
+                             "Jobs refused at admission"),
+      obs::metrics().counter("cdvs_jobs_completed_total",
+                             "Jobs that produced a schedule"),
+      obs::metrics().counter("cdvs_jobs_infeasible_total",
+                             "Jobs whose deadline no schedule can meet"),
+      obs::metrics().counter("cdvs_jobs_failed_total",
+                             "Jobs that failed (malformed or transient)"),
+      obs::metrics().gauge("cdvs_admission_queue_depth",
+                           "Jobs currently pending admission"),
+      obs::metrics().gauge("cdvs_admission_queue_depth_peak",
+                           "Deepest the admission queue has been"),
+      stageHist("queue"),
+      stageHist("profile"),
+      stageHist("bound"),
+      stageHist("solve"),
+      stageHist("serialize"),
+      stageHist("total"),
+  };
+  return M;
+}
+
 } // namespace
 
 SchedulerService::SchedulerService(ServiceOptions Options)
@@ -105,6 +150,7 @@ SchedulerService::SchedulerService(ServiceOptions Options)
 SchedulerService::~SchedulerService() { shutdown(); }
 
 std::future<JobResult> SchedulerService::submit(JobRequest Request) {
+  obs::TraceSpan Admit("admit", "service");
   std::promise<JobResult> Promise;
   std::future<JobResult> Fut = Promise.get_future();
 
@@ -116,6 +162,7 @@ std::future<JobResult> SchedulerService::submit(JobRequest Request) {
                        : Request.DeadlineTightness;
 
   std::string RejectReason;
+  size_t Depth = 0;
   {
     std::lock_guard<std::mutex> Lock(Mu);
     if (Stopping) {
@@ -130,21 +177,29 @@ std::future<JobResult> SchedulerService::submit(JobRequest Request) {
       Job->Promise = std::move(Promise);
       Job->Enqueued = Clock::now();
       Queue.emplace(QueueKey{Urgency, AdmitSeq++}, std::move(Job));
+      Depth = Queue.size();
     }
   }
+  Admit.arg("queue_depth", static_cast<double>(Depth));
 
+  ServiceMetrics &M = serviceMetrics();
   if (!RejectReason.empty()) {
     JobResult R;
     R.Id = Request.Id;
     R.Status = JobStatus::Rejected;
     R.Reason = RejectReason;
     Promise.set_value(std::move(R));
+    M.Rejected.inc();
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Counters.Rejected;
   } else {
+    M.Submitted.inc();
+    M.QueueDepth.set(static_cast<double>(Depth));
+    M.QueueDepthPeak.max(static_cast<double>(Depth));
     {
       std::lock_guard<std::mutex> Lock(StatsMu);
       ++Counters.Submitted;
+      Counters.PeakQueueDepth = std::max(Counters.PeakQueueDepth, Depth);
     }
     Cv.notify_one();
   }
@@ -211,23 +266,29 @@ void SchedulerService::workerLoop() {
       auto It = Queue.begin();
       Job = std::move(It->second);
       Queue.erase(It);
+      serviceMetrics().QueueDepth.set(
+          static_cast<double>(Queue.size()));
     }
     long Seq = DequeueSeq.fetch_add(1, std::memory_order_relaxed);
     double QueueSeconds =
         std::chrono::duration<double>(Clock::now() - Job->Enqueued)
             .count();
     JobResult R = execute(Job->Request, QueueSeconds, Seq);
+    ServiceMetrics &M = serviceMetrics();
     {
       std::lock_guard<std::mutex> Lock(StatsMu);
       switch (R.Status) {
       case JobStatus::Done:
         ++Counters.Completed;
+        M.Completed.inc();
         break;
       case JobStatus::Infeasible:
         ++Counters.Infeasible;
+        M.Infeasible.inc();
         break;
       default:
         ++Counters.Failed;
+        M.Failed.inc();
         break;
       }
     }
@@ -308,6 +369,8 @@ SchedulerService::profileStage(const JobRequest &Request,
 
 JobResult SchedulerService::execute(const JobRequest &Request,
                                     double QueueSeconds, long DequeueSeq) {
+  obs::TraceSpan JobSpan("job", "service");
+  JobSpan.arg("dequeue_seq", static_cast<double>(DequeueSeq));
   auto T0 = Clock::now();
   JobResult R;
   R.Id = Request.Id;
@@ -318,6 +381,20 @@ JobResult SchedulerService::execute(const JobRequest &Request,
     R.Status = Status;
     R.Reason = std::move(Reason);
     R.TotalSeconds = QueueSeconds + secondsSince(T0);
+    ServiceMetrics &M = serviceMetrics();
+    M.Queue.observe(R.QueueSeconds);
+    M.Total.observe(R.TotalSeconds);
+    // Per-stage observations only for stages the job reached; a
+    // validation failure should not pollute the profile histogram with
+    // zeros.
+    if (R.ProfileSeconds > 0.0 || Status == JobStatus::Done)
+      M.Profile.observe(R.ProfileSeconds);
+    if (R.BoundSeconds > 0.0 || Status == JobStatus::Done)
+      M.Bound.observe(R.BoundSeconds);
+    if (Status == JobStatus::Done && !R.CacheHit && !R.SharedFlight) {
+      M.Solve.observe(R.SolveSeconds);
+      M.Serialize.observe(R.SerializeSeconds);
+    }
     return R;
   };
 
@@ -355,13 +432,18 @@ JobResult SchedulerService::execute(const JobRequest &Request,
   TransitionModel Transitions(Request.CapacitanceF, 0.9, 1.0);
 
   // Stage 1: profiles (memoized).
-  ErrorOr<std::vector<CategoryProfile>> Profiled =
-      profileStage(Request, Modes, &R.ProfileSeconds);
+  ErrorOr<std::vector<CategoryProfile>> Profiled = [&] {
+    obs::TraceSpan Span("profile", "service");
+    return profileStage(Request, Modes, &R.ProfileSeconds);
+  }();
   if (!Profiled)
     return finish(JobStatus::Failed, Profiled.message());
   std::vector<CategoryProfile> &Categories = *Profiled;
 
-  // Stage 2: deadline resolution, early feasibility, lower bound.
+  // Stage 2: deadline resolution, early feasibility, lower bound, and
+  // the instance fingerprint (all the analytic, pre-MILP work).
+  obs::TraceSpan BoundSpan("bound", "service");
+  uint64_t BoundT0 = monotonicNanos();
   std::vector<double> Deadlines(Categories.size(), 0.0);
   for (size_t C = 0; C < Categories.size(); ++C) {
     const Profile &P = Categories[C].Data;
@@ -371,13 +453,15 @@ JobResult SchedulerService::execute(const JobRequest &Request,
         Request.DeadlineSeconds > 0.0
             ? Request.DeadlineSeconds
             : TFast + Request.DeadlineTightness * (TSlow - TFast);
-    if (Deadlines[C] < TFast)
+    if (Deadlines[C] < TFast) {
+      R.BoundSeconds = nanosToSeconds(monotonicNanos() - BoundT0);
       return finish(
           JobStatus::Infeasible,
           "deadline " + std::to_string(Deadlines[C] * 1e3) +
               " ms is below the fastest single-mode time " +
               std::to_string(TFast * 1e3) + " ms (category " +
               std::to_string(C) + ")");
+    }
   }
   R.DeadlineSeconds = Deadlines.front();
   R.LowerBoundJoules = energyLowerBound(Categories);
@@ -387,10 +471,13 @@ JobResult SchedulerService::execute(const JobRequest &Request,
   R.Fingerprint = fingerprintDvsInstance(
       Categories, Deadlines, Modes, Transitions, Request.FilterThreshold,
       InitialMode);
+  R.BoundSeconds = nanosToSeconds(monotonicNanos() - BoundT0);
+  BoundSpan.end();
 
   const Workload &W = workloadRegistry().at(Request.Workload);
   double LowerBound = R.LowerBoundJoules;
   std::string TransientError;
+  obs::TraceSpan SolveSpan("solve", "service");
   ResultCache::Lookup L = Cache.getOrCompute(
       R.Fingerprint,
       [&]() -> std::shared_ptr<const CachedSchedule> {
@@ -416,11 +503,19 @@ JobResult SchedulerService::execute(const JobRequest &Request,
           C->Milp = MilpStatus::Infeasible;
           return C;
         }
-        C->ScheduleText = writeSchedule(SR->Assignment);
+        {
+          obs::TraceSpan Serialize("serialize", "service");
+          uint64_t SerT0 = monotonicNanos();
+          C->ScheduleText = writeSchedule(SR->Assignment);
+          C->SerializeSeconds = nanosToSeconds(monotonicNanos() - SerT0);
+        }
         C->PredictedEnergyJoules = SR->PredictedEnergyJoules;
         C->Milp = SR->Status;
         return C;
       });
+  SolveSpan.arg("cache_hit", L.Hit ? 1.0 : 0.0);
+  SolveSpan.arg("shared_flight", L.Shared ? 1.0 : 0.0);
+  SolveSpan.end();
 
   R.CacheHit = L.Hit;
   R.SharedFlight = L.Shared;
@@ -433,6 +528,7 @@ JobResult SchedulerService::execute(const JobRequest &Request,
   R.PredictedEnergyJoules = L.Value->PredictedEnergyJoules;
   R.Milp = L.Value->Milp;
   R.SolveSeconds = L.Value->SolveSeconds;
+  R.SerializeSeconds = L.Value->SerializeSeconds;
   if (!L.Value->Feasible)
     return finish(JobStatus::Infeasible, L.Value->Reason);
   return finish(JobStatus::Done);

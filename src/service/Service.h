@@ -80,6 +80,8 @@ struct ServiceStats {
   long Failed = 0;
   long ProfileCacheHits = 0;
   long ProfileCacheMisses = 0;
+  /// Deepest the admission queue has been (backpressure headroom).
+  size_t PeakQueueDepth = 0;
 };
 
 /// The batch DVS-scheduling service; see the file comment.
@@ -111,6 +113,8 @@ public:
 
   ServiceStats stats() const;
   CacheStats cacheStats() const;
+  /// Queue-pressure counters of the underlying TaskPool.
+  PoolStats poolStats() const { return Pool.stats(); }
 
 private:
   struct PendingJob {

@@ -24,6 +24,9 @@
 
 #include "sim/Simulator.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -117,9 +120,51 @@ int64_t evalBinary(Opcode Op, int64_t A, int64_t B) {
 
 } // namespace
 
+/// Folds one finished run into the process-wide registry: simulated
+/// instruction/cycle/energy/stall totals, so a service or bench exposes
+/// how much simulation work hid behind its profiling stages. Called once
+/// per run — the per-instruction hot loop is untouched.
+static void exportRunMetrics(const RunStats &S) {
+  using namespace obs;
+  static Counter &Runs = metrics().counter(
+      "cdvs_sim_runs_total", "Simulated executions completed");
+  static Counter &Insts = metrics().counter(
+      "cdvs_sim_instructions_total", "Simulated instructions retired");
+  static Counter &SimSeconds = metrics().counter(
+      "cdvs_sim_simulated_seconds_total",
+      "Simulated wall time accumulated across runs");
+  static Counter &Energy = metrics().counter(
+      "cdvs_sim_energy_joules_total",
+      "Simulated processor energy accumulated across runs");
+  static Counter &Gated = metrics().counter(
+      "cdvs_sim_gated_seconds_total",
+      "Simulated clock-gated (memory stall) time");
+  static Counter &Transitions = metrics().counter(
+      "cdvs_sim_mode_transitions_total",
+      "Voltage/frequency transitions executed in simulation");
+  static Counter &Overlap = metrics().counter(
+      "cdvs_sim_overlap_cycles_total",
+      "Compute cycles overlapped with an open DRAM miss");
+  static Counter &Dependent = metrics().counter(
+      "cdvs_sim_dependent_cycles_total",
+      "Compute cycles with no open DRAM miss");
+  static Counter &L2Misses = metrics().counter(
+      "cdvs_sim_l2_misses_total", "Simulated L2 misses (DRAM accesses)");
+  Runs.inc();
+  Insts.inc(static_cast<double>(S.Instructions));
+  SimSeconds.inc(S.TimeSeconds);
+  Energy.inc(S.EnergyJoules);
+  Gated.inc(S.GatedSeconds);
+  Transitions.inc(static_cast<double>(S.Transitions));
+  Overlap.inc(static_cast<double>(S.NoverlapCycles));
+  Dependent.inc(static_cast<double>(S.NdependentCycles));
+  L2Misses.inc(static_cast<double>(S.L2Misses));
+}
+
 RunStats Simulator::run(const ModeTable &Modes,
                         const ModeAssignment &Assignment,
                         const TransitionModel &Transitions) {
+  obs::TraceSpan Span("sim_run", "sim");
   Machine M;
   M.Regs = InitRegs;
   M.Mem = InitMem;
@@ -189,6 +234,8 @@ RunStats Simulator::run(const ModeTable &Modes,
       S.Completed = false;
       S.TimeSeconds = Now;
       S.FinalRegs = M.Regs;
+      Span.arg("instructions", static_cast<double>(S.Instructions));
+      exportRunMetrics(S);
       return S;
     }
     ++S.BlockExecs[Block];
@@ -322,6 +369,8 @@ RunStats Simulator::run(const ModeTable &Modes,
       S.Completed = true;
       S.TimeSeconds = Now;
       S.FinalRegs = M.Regs;
+      Span.arg("instructions", static_cast<double>(S.Instructions));
+      exportRunMetrics(S);
       return S;
     }
     case TermKind::Jump: {

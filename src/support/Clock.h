@@ -1,0 +1,41 @@
+//===- support/Clock.h - Monotonic nanosecond clock -------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one monotonic clock every timestamp in the repo should come from.
+/// Tracing spans, stage latencies, and solver deadlines all need times
+/// that can be subtracted across threads; steady_clock gives that, and
+/// funneling it through one helper keeps the unit (nanoseconds since an
+/// arbitrary process-local epoch) uniform so trace events from different
+/// subsystems land on one comparable axis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SUPPORT_CLOCK_H
+#define CDVS_SUPPORT_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace cdvs {
+
+/// Nanoseconds on the process-wide monotonic axis. Never decreases;
+/// differences are valid across threads.
+inline uint64_t monotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Converts a monotonicNanos() difference to seconds.
+inline double nanosToSeconds(uint64_t Nanos) {
+  return static_cast<double>(Nanos) * 1e-9;
+}
+
+} // namespace cdvs
+
+#endif // CDVS_SUPPORT_CLOCK_H

@@ -1,0 +1,83 @@
+//===- support/RingBuffer.h - Bounded drop-oldest ring ----------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity ring that keeps the newest elements: pushing into a
+/// full ring overwrites the oldest entry. This is the storage discipline
+/// a trace sink wants — a long run must keep the tail of the story, not
+/// the head, and memory must stay bounded no matter how chatty the
+/// instrumentation is. Not thread-safe; the owner provides locking (the
+/// trace recorder serializes pushes under its own mutex).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SUPPORT_RINGBUFFER_H
+#define CDVS_SUPPORT_RINGBUFFER_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace cdvs {
+
+/// Bounded drop-oldest ring; see the file comment.
+template <typename T> class RingBuffer {
+public:
+  explicit RingBuffer(size_t Capacity) : Cap(Capacity ? Capacity : 1) {
+    Slots.reserve(Cap);
+  }
+
+  /// Appends \p Value, overwriting the oldest element when full.
+  /// \returns false exactly when an element was overwritten (lost).
+  bool push(T Value) {
+    if (Slots.size() < Cap) {
+      Slots.push_back(std::move(Value));
+      return true;
+    }
+    Slots[Head] = std::move(Value);
+    Head = (Head + 1) % Cap;
+    return false;
+  }
+
+  size_t size() const { return Slots.size(); }
+  size_t capacity() const { return Cap; }
+  bool empty() const { return Slots.empty(); }
+
+  /// Drops everything; capacity is kept.
+  void clear() {
+    Slots.clear();
+    Head = 0;
+  }
+
+  /// Drops everything and re-sizes the ring.
+  void reset(size_t Capacity) {
+    Cap = Capacity ? Capacity : 1;
+    Slots.clear();
+    Slots.reserve(Cap);
+    Head = 0;
+  }
+
+  /// The I-th surviving element, oldest first.
+  const T &at(size_t I) const {
+    assert(I < Slots.size() && "ring index out of range");
+    return Slots[(Head + I) % Slots.size()];
+  }
+
+  /// Visits the surviving elements oldest-to-newest.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (size_t I = 0; I < Slots.size(); ++I)
+      F(at(I));
+  }
+
+private:
+  size_t Cap;
+  size_t Head = 0; ///< index of the oldest element once full
+  std::vector<T> Slots;
+};
+
+} // namespace cdvs
+
+#endif // CDVS_SUPPORT_RINGBUFFER_H

@@ -69,7 +69,10 @@ bool TaskPool::submit(std::function<void()> Task) {
     std::lock_guard<std::mutex> Lock(Mu);
     if (Stop)
       return false;
-    Queue.push_back(std::move(Task));
+    Queue.push_back({std::move(Task), monotonicNanos()});
+    ++Counters.TasksSubmitted;
+    if (Queue.size() > Counters.PeakQueueDepth)
+      Counters.PeakQueueDepth = Queue.size();
   }
   Cv.notify_one();
   return true;
@@ -103,9 +106,18 @@ void TaskPool::workerLoop() {
       Cv.wait(Lock, [this] { return Stop || !Queue.empty(); });
       if (Queue.empty())
         return; // Stop set and nothing left to drain
-      Task = std::move(Queue.front());
+      Counters.TotalWaitSeconds +=
+          nanosToSeconds(monotonicNanos() - Queue.front().EnqueuedNs);
+      Task = std::move(Queue.front().Fn);
       Queue.pop_front();
     }
     Task();
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Counters.TasksExecuted;
   }
+}
+
+PoolStats TaskPool::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters;
 }

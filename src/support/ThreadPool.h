@@ -16,6 +16,9 @@
 #ifndef CDVS_SUPPORT_THREADPOOL_H
 #define CDVS_SUPPORT_THREADPOOL_H
 
+#include "support/Clock.h"
+
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -46,6 +49,90 @@ void runOnWorkers(int NumThreads, const std::function<void(int)> &Body);
 /// pre-sized vector is safe).
 void parallelFor(int End, int NumThreads,
                  const std::function<void(int)> &Body);
+
+/// Observability counters of one TaskPool, snapshot via stats().
+/// PeakQueueDepth and TotalWaitSeconds make queueing pressure visible:
+/// a deep queue with long waits means the pool is undersized, a flat
+/// one that the submit path itself is the bottleneck.
+struct PoolStats {
+  long TasksSubmitted = 0; ///< accepted by submit()
+  long TasksExecuted = 0;  ///< finished running
+  size_t PeakQueueDepth = 0;
+  double TotalWaitSeconds = 0.0; ///< enqueue -> dequeue, summed
+};
+
+/// Per-worker LIFO deques with front-stealing — the scheduling policy of
+/// the branch-and-bound extracted so any owner of worker loops can reuse
+/// it and so the steal traffic is observable. Each worker pushes and
+/// pops at the back of its own deque (depth-first; the hot path stays on
+/// one worker, which is what keeps warm-started LP bases relevant) while
+/// idle workers steal from the FRONT of a victim's deque (the
+/// shallowest, largest subtrees). Mutex-per-deque: contention is one
+/// cache line per steal attempt, and the owner's uncontended
+/// lock/unlock pair is a few nanoseconds.
+template <typename T> class WorkStealingDeques {
+public:
+  explicit WorkStealingDeques(int NumWorkers)
+      : Deques(static_cast<size_t>(NumWorkers < 1 ? 1 : NumWorkers)) {}
+
+  int numWorkers() const { return static_cast<int>(Deques.size()); }
+
+  /// Pushes \p Item onto \p Worker's own deque (LIFO end).
+  void push(int Worker, T Item) {
+    Deque &D = Deques[Worker];
+    std::lock_guard<std::mutex> Lock(D.Mu);
+    D.Q.push_back(std::move(Item));
+    size_t Depth = D.Q.size();
+    size_t Peak = PeakDepth.load(std::memory_order_relaxed);
+    while (Depth > Peak &&
+           !PeakDepth.compare_exchange_weak(Peak, Depth,
+                                            std::memory_order_relaxed))
+      ;
+  }
+
+  /// Pops \p Worker's newest item, or steals another worker's oldest.
+  /// \returns false when every deque is empty (the caller decides
+  /// whether that means "done" or "spin").
+  bool tryPop(int Worker, T &Out) {
+    {
+      Deque &D = Deques[Worker];
+      std::lock_guard<std::mutex> Lock(D.Mu);
+      if (!D.Q.empty()) {
+        Out = std::move(D.Q.back());
+        D.Q.pop_back();
+        return true;
+      }
+    }
+    int N = numWorkers();
+    for (int Off = 1; Off < N; ++Off) {
+      Deque &V = Deques[(Worker + Off) % N];
+      std::lock_guard<std::mutex> Lock(V.Mu);
+      if (!V.Q.empty()) {
+        Out = std::move(V.Q.front());
+        V.Q.pop_front();
+        Steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Items taken from a deque their owner did not push them to.
+  long steals() const { return Steals.load(std::memory_order_relaxed); }
+  /// Deepest any single deque has been.
+  size_t peakDepth() const {
+    return PeakDepth.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Deque {
+    std::mutex Mu;
+    std::deque<T> Q;
+  };
+  std::deque<Deque> Deques; ///< deque: Deque holds a mutex, is immovable
+  std::atomic<long> Steals{0};
+  std::atomic<size_t> PeakDepth{0};
+};
 
 /// A persistent task pool for long-lived components (the scheduling
 /// service): N worker threads drain a FIFO of submitted closures. Unlike
@@ -86,15 +173,24 @@ public:
   /// The configured worker count (constant over the pool's lifetime).
   int numThreads() const { return Num; }
 
+  /// Queue-pressure counters; cheap enough to call at any time.
+  PoolStats stats() const;
+
 private:
   void workerLoop();
 
+  struct QueuedTask {
+    std::function<void()> Fn;
+    uint64_t EnqueuedNs = 0;
+  };
+
   mutable std::mutex Mu;
   std::condition_variable Cv;
-  std::deque<std::function<void()>> Queue;
+  std::deque<QueuedTask> Queue;
   std::vector<std::thread> Threads;
   int Num;
   bool Stop = false;
+  PoolStats Counters; ///< guarded by Mu
 };
 
 } // namespace cdvs

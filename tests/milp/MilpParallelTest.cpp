@@ -101,6 +101,43 @@ TEST(MilpWarmStartInvariance, RoundingDisabledStillAgrees) {
   }
 }
 
+TEST(MilpSolutionStats, IntrospectionFieldsArePopulated) {
+  // The solver's Stats surface: nodes, prunes, pivots, incumbent
+  // updates, and wall time must come back self-consistent.
+  ModeAssignmentCase C = makeModeAssignment(10, 0.10, 77);
+  MilpOptions O;
+  O.NumThreads = 1;
+  MilpSolution S = solveCase(C, O);
+  ASSERT_EQ(S.Status, MilpStatus::Optimal);
+  EXPECT_GE(S.Nodes, 1L);
+  EXPECT_GE(S.Pruned, 0L);
+  EXPECT_LE(S.Pruned, S.Nodes);
+  EXPECT_GT(S.LpPivots, 0L);
+  EXPECT_GE(S.IncumbentUpdates, 1L); // an optimum implies an incumbent
+  EXPECT_GT(S.SolveSeconds, 0.0);
+  // One thread, one deque: nothing to steal from.
+  EXPECT_EQ(S.Steals, 0L);
+}
+
+TEST(MilpSolutionStats, ParallelSolvesReportStealsConsistently) {
+  // Steals are a property of the run, not the answer: whatever count
+  // comes back must be bounded by the explored nodes, and the answer
+  // must match the serial one (covered above, re-checked here).
+  for (uint64_t Seed = 0; Seed < 4; ++Seed) {
+    ModeAssignmentCase C = makeModeAssignment(10, 0.08, 500 + Seed);
+    MilpOptions Serial;
+    Serial.NumThreads = 1;
+    MilpOptions Par;
+    Par.NumThreads = 4;
+    MilpSolution A = solveCase(C, Serial);
+    MilpSolution B = solveCase(C, Par);
+    expectAgree(A, B, "stats run");
+    EXPECT_GE(B.Steals, 0L);
+    EXPECT_LE(B.Steals, B.Nodes);
+    EXPECT_GT(B.SolveSeconds, 0.0);
+  }
+}
+
 TEST(MilpParallel, ThreadCapRespectsTinyTrees) {
   // A 1-integer problem cannot feed many workers; asking for 8 threads
   // must still work (the solver caps internally) and stay exact.

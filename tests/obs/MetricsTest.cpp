@@ -1,0 +1,225 @@
+//===- tests/obs/MetricsTest.cpp - Metrics registry tests ------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "service/JsonLite.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace cdvs;
+
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::Counter C;
+  EXPECT_EQ(C.value(), 0.0);
+  C.inc();
+  C.inc(2.5);
+  EXPECT_DOUBLE_EQ(C.value(), 3.5);
+}
+
+TEST(Counter, ConcurrentIncrementsAllLand) {
+  // Exercised under TSan by the tsan preset: relaxed fetch_add must be
+  // data-race free and lose no increments.
+  obs::Counter C;
+  constexpr int Threads = 8, PerThread = 10000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&C] {
+      for (int I = 0; I < PerThread; ++I)
+        C.inc();
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_DOUBLE_EQ(C.value(), double(Threads) * PerThread);
+}
+
+TEST(Gauge, SetAddMax) {
+  obs::Gauge G;
+  G.set(5.0);
+  EXPECT_DOUBLE_EQ(G.value(), 5.0);
+  G.add(-2.0);
+  EXPECT_DOUBLE_EQ(G.value(), 3.0);
+  G.max(10.0);
+  EXPECT_DOUBLE_EQ(G.value(), 10.0);
+  G.max(7.0); // smaller: no effect
+  EXPECT_DOUBLE_EQ(G.value(), 10.0);
+}
+
+TEST(Gauge, ConcurrentMaxKeepsTheLargest) {
+  obs::Gauge G;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 8; ++T)
+    Ts.emplace_back([&G, T] {
+      for (int I = 0; I < 5000; ++I)
+        G.max(double(T * 5000 + I));
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_DOUBLE_EQ(G.value(), 7.0 * 5000 + 4999);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  // Prometheus le semantics: V lands in the first bucket with V <= le.
+  obs::Histogram H({1.0, 2.0, 4.0});
+  H.observe(0.5); // bucket 0
+  H.observe(1.0); // bucket 0: boundary is inclusive
+  H.observe(1.5); // bucket 1
+  H.observe(2.0); // bucket 1
+  H.observe(4.0); // bucket 2
+  H.observe(4.1); // +Inf bucket
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 2u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 1u); // +Inf
+  EXPECT_EQ(H.count(), 6u);
+  EXPECT_DOUBLE_EQ(H.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.1);
+}
+
+TEST(Histogram, ConcurrentObservationsAllCounted) {
+  obs::Histogram H(obs::linearBuckets(0.0, 1.0, 8));
+  constexpr int Threads = 4, PerThread = 20000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&H, T] {
+      for (int I = 0; I < PerThread; ++I)
+        H.observe(double(T));
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(H.count(), uint64_t(Threads) * PerThread);
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_EQ(H.bucketCount(T), uint64_t(PerThread)) << "bucket " << T;
+}
+
+TEST(Buckets, LinearAndExponentialLadders) {
+  std::vector<double> Lin = obs::linearBuckets(1.0, 0.5, 4);
+  ASSERT_EQ(Lin.size(), 4u);
+  EXPECT_DOUBLE_EQ(Lin[0], 1.0);
+  EXPECT_DOUBLE_EQ(Lin[3], 2.5);
+
+  std::vector<double> Exp = obs::exponentialBuckets(1e-6, 4.0, 12);
+  ASSERT_EQ(Exp.size(), 12u);
+  EXPECT_DOUBLE_EQ(Exp[0], 1e-6);
+  EXPECT_DOUBLE_EQ(Exp[1], 4e-6);
+  // Strictly ascending — required by Histogram.
+  for (size_t I = 1; I < Exp.size(); ++I)
+    EXPECT_LT(Exp[I - 1], Exp[I]);
+  EXPECT_EQ(obs::latencyBucketsSeconds().size(), 12u);
+}
+
+TEST(MetricsRegistry, GetOrCreateIsIdempotent) {
+  obs::MetricsRegistry R;
+  obs::Counter &A = R.counter("cdvs_test_total", "help");
+  A.inc(3.0);
+  obs::Counter &B = R.counter("cdvs_test_total", "help");
+  EXPECT_EQ(&A, &B);
+  EXPECT_DOUBLE_EQ(B.value(), 3.0);
+
+  // Distinct labels are distinct series in the same family.
+  obs::Counter &L0 =
+      R.counter("cdvs_test_labeled_total", "help", {{"shard", "0"}});
+  obs::Counter &L1 =
+      R.counter("cdvs_test_labeled_total", "help", {{"shard", "1"}});
+  EXPECT_NE(&L0, &L1);
+  EXPECT_EQ(&L0, &R.counter("cdvs_test_labeled_total", "help",
+                            {{"shard", "0"}}));
+}
+
+TEST(MetricsRegistry, PrometheusExposition) {
+  obs::MetricsRegistry R;
+  R.counter("cdvs_a_total", "counts things").inc(2.0);
+  R.gauge("cdvs_b", "measures things").set(1.5);
+  obs::Histogram &H =
+      R.histogram("cdvs_lat_seconds", "latency", {0.1, 1.0});
+  H.observe(0.05);
+  H.observe(0.5);
+  H.observe(5.0);
+
+  std::string Text = R.renderPrometheus();
+  EXPECT_NE(Text.find("# HELP cdvs_a_total counts things\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE cdvs_a_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("cdvs_a_total 2\n"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE cdvs_b gauge\n"), std::string::npos);
+  EXPECT_NE(Text.find("cdvs_b 1.5\n"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == _count.
+  EXPECT_NE(Text.find("cdvs_lat_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("cdvs_lat_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("cdvs_lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("cdvs_lat_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, LabelsRenderInPrometheusSeries) {
+  obs::MetricsRegistry R;
+  R.counter("cdvs_sharded_total", "per shard", {{"shard", "3"}})
+      .inc(7.0);
+  std::string Text = R.renderPrometheus();
+  EXPECT_NE(Text.find("cdvs_sharded_total{shard=\"3\"} 7\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonDumpParsesBack) {
+  obs::MetricsRegistry R;
+  R.counter("cdvs_a_total", "counts").inc(2.0);
+  R.gauge("cdvs_b", "level", {{"stage", "solve"}}).set(0.25);
+  obs::Histogram &H = R.histogram("cdvs_h_seconds", "lat", {1.0, 2.0});
+  H.observe(0.5);
+  H.observe(3.0);
+
+  ErrorOr<JsonValue> V = parseJson(R.renderJson());
+  ASSERT_TRUE(bool(V)) << V.message();
+  ASSERT_TRUE(V->isObject());
+
+  const JsonValue *A = V->find("cdvs_a_total");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->find("type")->Str, "counter");
+  ASSERT_EQ(A->find("series")->Arr.size(), 1u);
+  EXPECT_DOUBLE_EQ(A->find("series")->Arr[0].find("value")->Num, 2.0);
+
+  const JsonValue *B = V->find("cdvs_b");
+  ASSERT_NE(B, nullptr);
+  const JsonValue &Series = B->find("series")->Arr[0];
+  EXPECT_EQ(Series.find("labels")->find("stage")->Str, "solve");
+  EXPECT_DOUBLE_EQ(Series.find("value")->Num, 0.25);
+
+  const JsonValue *HJ = V->find("cdvs_h_seconds");
+  ASSERT_NE(HJ, nullptr);
+  EXPECT_EQ(HJ->find("type")->Str, "histogram");
+  const JsonValue &HS = HJ->find("series")->Arr[0];
+  EXPECT_DOUBLE_EQ(HS.find("count")->Num, 2.0);
+  EXPECT_DOUBLE_EQ(HS.find("sum")->Num, 3.5);
+  const std::vector<JsonValue> &Buckets = HS.find("buckets")->Arr;
+  ASSERT_EQ(Buckets.size(), 3u); // two finite + +Inf
+  EXPECT_DOUBLE_EQ(Buckets[0].find("count")->Num, 1.0); // cumulative
+  EXPECT_DOUBLE_EQ(Buckets[1].find("count")->Num, 1.0);
+  EXPECT_DOUBLE_EQ(Buckets[2].find("count")->Num, 2.0);
+}
+
+TEST(MetricsRegistry, FamilyNamesAreSorted) {
+  obs::MetricsRegistry R;
+  R.counter("cdvs_z_total", "z");
+  R.counter("cdvs_a_total", "a");
+  std::vector<std::string> Names = R.familyNames();
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "cdvs_a_total");
+  EXPECT_EQ(Names[1], "cdvs_z_total");
+}
+
+TEST(MetricsRegistry, ProcessSingletonIsStable) {
+  EXPECT_EQ(&obs::metrics(), &obs::metrics());
+}
+
+} // namespace

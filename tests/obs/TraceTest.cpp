@@ -1,0 +1,149 @@
+//===- tests/obs/TraceTest.cpp - Trace recorder tests ----------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "service/JsonLite.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+using namespace cdvs;
+
+namespace {
+
+/// The recorder is process-global; every test starts disabled and empty
+/// and leaves it that way.
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::trace().setEnabled(false);
+    obs::trace().reset(1024);
+  }
+  void TearDown() override {
+    obs::trace().setEnabled(false);
+    obs::trace().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    obs::TraceSpan S("quiet", "test");
+    EXPECT_FALSE(S.active());
+    S.arg("ignored", 1.0);
+  }
+  obs::traceInstant("also_quiet");
+  EXPECT_EQ(obs::trace().size(), 0u);
+}
+
+TEST_F(TraceTest, SpansStampDurations) {
+  obs::trace().setEnabled(true);
+  {
+    obs::TraceSpan S("outer", "test");
+    EXPECT_TRUE(S.active());
+  }
+  EXPECT_EQ(obs::trace().size(), 1u);
+}
+
+TEST_F(TraceTest, EndIsIdempotentAndEarly) {
+  obs::trace().setEnabled(true);
+  obs::TraceSpan S("early", "test");
+  S.end();
+  S.end(); // second end must not double-record
+  EXPECT_EQ(obs::trace().size(), 1u);
+  EXPECT_FALSE(S.active());
+}
+
+TEST_F(TraceTest, RingDropsOldestBeyondCapacity) {
+  obs::trace().reset(8);
+  obs::trace().setEnabled(true);
+  for (int I = 0; I < 20; ++I)
+    obs::traceInstant("tick", "test");
+  EXPECT_EQ(obs::trace().size(), 8u);
+  EXPECT_EQ(obs::trace().dropped(), 12u);
+  obs::trace().clear();
+  EXPECT_EQ(obs::trace().size(), 0u);
+  EXPECT_EQ(obs::trace().dropped(), 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  obs::trace().setEnabled(true);
+  {
+    obs::TraceSpan Job("job", "service");
+    Job.arg("dequeue_seq", 7.0);
+    {
+      obs::TraceSpan Child("profile", "service");
+    }
+    obs::traceInstant("incumbent", "milp", "objective", 42.5);
+  }
+  obs::trace().setEnabled(false);
+
+  ErrorOr<JsonValue> V = parseJson(obs::trace().renderChromeTrace());
+  ASSERT_TRUE(bool(V)) << V.message();
+  ASSERT_TRUE(V->isObject());
+  EXPECT_EQ(V->find("displayTimeUnit")->Str, "ms");
+
+  const JsonValue *Events = V->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_EQ(Events->Arr.size(), 3u);
+
+  // Destructor order: child closes first, then the instant rides inside,
+  // then the outer span.
+  const JsonValue &Child = Events->Arr[0];
+  EXPECT_EQ(Child.find("name")->Str, "profile");
+  EXPECT_EQ(Child.find("ph")->Str, "X");
+  EXPECT_GE(Child.find("dur")->Num, 0.0);
+
+  const JsonValue &Instant = Events->Arr[1];
+  EXPECT_EQ(Instant.find("name")->Str, "incumbent");
+  EXPECT_EQ(Instant.find("ph")->Str, "i");
+  EXPECT_EQ(Instant.find("s")->Str, "t");
+  EXPECT_DOUBLE_EQ(Instant.find("args")->find("objective")->Num, 42.5);
+
+  const JsonValue &Job = Events->Arr[2];
+  EXPECT_EQ(Job.find("name")->Str, "job");
+  EXPECT_EQ(Job.find("cat")->Str, "service");
+  EXPECT_DOUBLE_EQ(Job.find("args")->find("dequeue_seq")->Num, 7.0);
+
+  // Nesting is by time containment per thread: the child's interval
+  // must sit inside the parent's.
+  double ChildTs = Child.find("ts")->Num;
+  double ChildEnd = ChildTs + Child.find("dur")->Num;
+  double JobTs = Job.find("ts")->Num;
+  double JobEnd = JobTs + Job.find("dur")->Num;
+  EXPECT_GE(ChildTs, JobTs);
+  EXPECT_LE(ChildEnd, JobEnd);
+  EXPECT_EQ(Child.find("tid")->Num, Job.find("tid")->Num);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctDenseIds) {
+  uint32_t Main = obs::traceThreadId();
+  EXPECT_EQ(Main, obs::traceThreadId()); // stable per thread
+  uint32_t Other = Main;
+  std::thread T([&Other] { Other = obs::traceThreadId(); });
+  T.join();
+  EXPECT_NE(Main, Other);
+}
+
+TEST_F(TraceTest, ConcurrentSpansAllRecorded) {
+  obs::trace().reset(4096);
+  obs::trace().setEnabled(true);
+  constexpr int Threads = 4, PerThread = 100;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([] {
+      for (int I = 0; I < PerThread; ++I)
+        obs::TraceSpan S("work", "test");
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(obs::trace().size(), size_t(Threads) * PerThread);
+  EXPECT_EQ(obs::trace().dropped(), 0u);
+}
+
+} // namespace

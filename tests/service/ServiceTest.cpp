@@ -222,6 +222,50 @@ TEST(Service, RunBatchPreservesRequestOrder) {
     EXPECT_EQ(R.Status, JobStatus::Done) << R.Id << ": " << R.Reason;
 }
 
+TEST(Service, ReportsStageLatenciesAndPoolStats) {
+  SchedulerService Service;
+  JobResult Cold = Service.submit(gsmJob("cold")).get();
+  ASSERT_EQ(Cold.Status, JobStatus::Done) << Cold.Reason;
+  // A cold job exercises every stage; each must report nonzero wall
+  // time, and the stages can only account for part of the total.
+  EXPECT_GT(Cold.ProfileSeconds, 0.0);
+  EXPECT_GT(Cold.BoundSeconds, 0.0);
+  EXPECT_GT(Cold.SolveSeconds, 0.0);
+  EXPECT_GT(Cold.SerializeSeconds, 0.0);
+  EXPECT_GE(Cold.QueueSeconds, 0.0);
+  EXPECT_LE(Cold.SolveSeconds + Cold.SerializeSeconds,
+            Cold.TotalSeconds);
+
+  // A warm job reuses the cached solve but reports the ORIGINAL solve
+  // and serialize cost (the cache's provenance contract).
+  JobResult Warm = Service.submit(gsmJob("warm")).get();
+  ASSERT_EQ(Warm.Status, JobStatus::Done) << Warm.Reason;
+  EXPECT_TRUE(Warm.CacheHit);
+  EXPECT_EQ(Warm.SolveSeconds, Cold.SolveSeconds);
+  EXPECT_EQ(Warm.SerializeSeconds, Cold.SerializeSeconds);
+
+  PoolStats PS = Service.poolStats();
+  // The workers are long-lived pool tasks: one submission per worker.
+  EXPECT_EQ(PS.TasksSubmitted, Service.poolStats().TasksSubmitted);
+  EXPECT_GE(PS.TasksSubmitted, 1);
+}
+
+TEST(Service, TracksPeakQueueDepth) {
+  ServiceOptions O;
+  O.NumWorkers = 1;
+  O.StartPaused = true;
+  SchedulerService Service(O);
+  std::vector<std::future<JobResult>> Fs;
+  for (int I = 0; I < 3; ++I)
+    Fs.push_back(Service.submit(gsmJob("q" + std::to_string(I))));
+  EXPECT_EQ(Service.stats().PeakQueueDepth, 3u);
+  Service.resume();
+  for (auto &F : Fs)
+    EXPECT_EQ(F.get().Status, JobStatus::Done);
+  // Peak is monotone: draining must not lower it.
+  EXPECT_EQ(Service.stats().PeakQueueDepth, 3u);
+}
+
 TEST(Service, ShutdownDrainsThenRejects) {
   ServiceOptions O;
   O.NumWorkers = 2;

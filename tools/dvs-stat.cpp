@@ -1,0 +1,544 @@
+//===- tools/dvs-stat.cpp - Metrics snapshot pretty-printer ----------------===//
+//
+// Reads a Prometheus text-exposition snapshot (as written by
+// `dvsd --metrics-out=FILE`, or any scrape) and renders it for humans:
+// counters and gauges as one aligned table, histograms as another with
+// count/sum/mean and interpolated p50/p90/p99.
+//
+//   dvs-stat metrics.prom            # pretty tables
+//   dvs-stat --check metrics.prom    # strict format validation, exit 1
+//                                    # on any violation
+//   dvs-stat --check --names=scripts/metric_names.txt metrics.prom
+//                                    # ...plus: every canonical family
+//                                    # name must be present
+//
+// The checker enforces the parts of the exposition format a scraper
+// trips over: metric/label name grammar, TYPE-before-samples, duplicate
+// series, histogram bucket cumulativity, the +Inf bucket, and
+// _count/+Inf agreement. check.sh gate 4 runs it over a live dvsd
+// snapshot so a format regression fails CI, not the dashboard.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace cdvs;
+
+namespace {
+
+/// One parsed sample line: full sample name (with _bucket/_sum/_count
+/// suffix intact), sorted label text, and the value.
+struct Sample {
+  std::string Name;
+  std::string Labels; ///< canonical `k="v",...` text, sorted by key
+  double Le = 0.0;    ///< `le` bound for _bucket samples
+  bool HasLe = false;
+  double Value = 0.0;
+  int LineNo = 0;
+};
+
+/// A metric family: TYPE/HELP metadata plus its samples.
+struct Family {
+  std::string Type; ///< "counter", "gauge", "histogram", ... ("" = none)
+  std::string Help;
+  int TypeLine = 0;
+  std::vector<Sample> Samples;
+};
+
+struct ParseResult {
+  /// Family name -> family. Histogram samples are filed under the base
+  /// name (without _bucket/_sum/_count).
+  std::map<std::string, Family> Families;
+  std::vector<std::string> Errors;
+  int Lines = 0;
+};
+
+bool validMetricName(const std::string &N) {
+  if (N.empty())
+    return false;
+  auto head = [](char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+           C == ':';
+  };
+  if (!head(N[0]))
+    return false;
+  for (char C : N)
+    if (!head(C) && !std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+  return true;
+}
+
+bool validLabelName(const std::string &N) {
+  if (N.empty() || N[0] == ':')
+    return false;
+  return validMetricName(N);
+}
+
+bool parseValue(const std::string &S, double *Out) {
+  if (S == "+Inf" || S == "Inf") {
+    *Out = HUGE_VAL;
+    return true;
+  }
+  if (S == "-Inf") {
+    *Out = -HUGE_VAL;
+    return true;
+  }
+  if (S == "NaN") {
+    *Out = NAN;
+    return true;
+  }
+  char *End = nullptr;
+  *Out = std::strtod(S.c_str(), &End);
+  return End && *End == '\0' && End != S.c_str();
+}
+
+/// Strips a histogram sample suffix; \returns the base family name and
+/// sets \p Part to "bucket"/"sum"/"count" (empty for plain samples).
+std::string histogramBase(const std::string &Name, std::string *Part) {
+  auto ends = [&](const char *Suffix) {
+    size_t L = std::strlen(Suffix);
+    return Name.size() > L &&
+           Name.compare(Name.size() - L, L, Suffix) == 0;
+  };
+  if (ends("_bucket")) {
+    *Part = "bucket";
+    return Name.substr(0, Name.size() - 7);
+  }
+  if (ends("_sum")) {
+    *Part = "sum";
+    return Name.substr(0, Name.size() - 4);
+  }
+  if (ends("_count")) {
+    *Part = "count";
+    return Name.substr(0, Name.size() - 6);
+  }
+  Part->clear();
+  return Name;
+}
+
+/// Parses one `{k="v",...}` block into sorted canonical label text.
+/// \returns false (with \p Err set) on malformed labels.
+bool parseLabels(const std::string &Block, int LineNo, Sample *S,
+                 std::string *Err) {
+  std::vector<std::pair<std::string, std::string>> Labels;
+  size_t I = 0;
+  while (I < Block.size()) {
+    size_t Eq = Block.find('=', I);
+    if (Eq == std::string::npos) {
+      *Err = "line " + std::to_string(LineNo) +
+             ": label without '=' in {" + Block + "}";
+      return false;
+    }
+    std::string Key = Block.substr(I, Eq - I);
+    if (!validLabelName(Key)) {
+      *Err = "line " + std::to_string(LineNo) + ": bad label name '" +
+             Key + "'";
+      return false;
+    }
+    if (Eq + 1 >= Block.size() || Block[Eq + 1] != '"') {
+      *Err = "line " + std::to_string(LineNo) + ": label '" + Key +
+             "' value is not quoted";
+      return false;
+    }
+    std::string Value;
+    size_t J = Eq + 2;
+    for (; J < Block.size() && Block[J] != '"'; ++J) {
+      if (Block[J] == '\\' && J + 1 < Block.size())
+        ++J; // \" \\ \n escapes: keep the escaped char
+      Value += Block[J];
+    }
+    if (J >= Block.size()) {
+      *Err = "line " + std::to_string(LineNo) + ": unterminated label "
+             "value for '" + Key + "'";
+      return false;
+    }
+    Labels.emplace_back(Key, Value);
+    I = J + 1;
+    if (I < Block.size()) {
+      if (Block[I] != ',') {
+        *Err = "line " + std::to_string(LineNo) +
+               ": expected ',' between labels";
+        return false;
+      }
+      ++I;
+    }
+  }
+  std::sort(Labels.begin(), Labels.end());
+  std::string Canon;
+  for (const auto &[K, V] : Labels) {
+    if (K == "le") {
+      S->HasLe = true;
+      if (!parseValue(V, &S->Le)) {
+        *Err = "line " + std::to_string(LineNo) +
+               ": unparsable le bound '" + V + "'";
+        return false;
+      }
+      continue; // bucket bound is positional, not identity
+    }
+    Canon += (Canon.empty() ? "" : ",") + K + "=\"" + V + "\"";
+  }
+  S->Labels = Canon;
+  return true;
+}
+
+ParseResult parseExposition(std::FILE *In) {
+  ParseResult R;
+  char Buf[65536];
+  int LineNo = 0;
+  std::set<std::string> SeenSeries;
+  while (std::fgets(Buf, sizeof(Buf), In)) {
+    ++LineNo;
+    ++R.Lines;
+    std::string Line(Buf);
+    while (!Line.empty() &&
+           (Line.back() == '\n' || Line.back() == '\r'))
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+
+    if (Line[0] == '#') {
+      // `# HELP <name> <text>` / `# TYPE <name> <type>`; other
+      // comments are free-form.
+      if (Line.rfind("# HELP ", 0) == 0 ||
+          Line.rfind("# TYPE ", 0) == 0) {
+        bool IsType = Line[2] == 'T';
+        std::string Rest = Line.substr(7);
+        size_t Sp = Rest.find(' ');
+        std::string Name = Rest.substr(0, Sp);
+        std::string Text =
+            Sp == std::string::npos ? "" : Rest.substr(Sp + 1);
+        if (!validMetricName(Name)) {
+          R.Errors.push_back("line " + std::to_string(LineNo) +
+                             ": bad metric name '" + Name +
+                             "' in metadata");
+          continue;
+        }
+        Family &F = R.Families[Name];
+        if (IsType) {
+          if (!F.Type.empty())
+            R.Errors.push_back("line " + std::to_string(LineNo) +
+                               ": duplicate TYPE for '" + Name + "'");
+          if (!F.Samples.empty())
+            R.Errors.push_back("line " + std::to_string(LineNo) +
+                               ": TYPE for '" + Name +
+                               "' appears after its samples");
+          F.Type = Text;
+          F.TypeLine = LineNo;
+        } else {
+          F.Help = Text;
+        }
+      }
+      continue;
+    }
+
+    // Sample: name[{labels}] value
+    size_t NameEnd = Line.find_first_of("{ ");
+    if (NameEnd == std::string::npos) {
+      R.Errors.push_back("line " + std::to_string(LineNo) +
+                         ": sample has no value");
+      continue;
+    }
+    Sample S;
+    S.LineNo = LineNo;
+    S.Name = Line.substr(0, NameEnd);
+    if (!validMetricName(S.Name)) {
+      R.Errors.push_back("line " + std::to_string(LineNo) +
+                         ": bad metric name '" + S.Name + "'");
+      continue;
+    }
+    size_t ValStart = NameEnd;
+    if (Line[NameEnd] == '{') {
+      size_t Close = Line.find('}', NameEnd);
+      if (Close == std::string::npos) {
+        R.Errors.push_back("line " + std::to_string(LineNo) +
+                           ": unterminated label block");
+        continue;
+      }
+      std::string Err;
+      if (!parseLabels(
+              Line.substr(NameEnd + 1, Close - NameEnd - 1), LineNo,
+              &S, &Err)) {
+        R.Errors.push_back(Err);
+        continue;
+      }
+      ValStart = Close + 1;
+    }
+    size_t VS = Line.find_first_not_of(' ', ValStart);
+    if (VS == std::string::npos) {
+      R.Errors.push_back("line " + std::to_string(LineNo) +
+                         ": sample has no value");
+      continue;
+    }
+    std::string ValText = Line.substr(VS);
+    // Trailing timestamp (optional in the format) — split it off.
+    size_t Sp = ValText.find(' ');
+    if (Sp != std::string::npos)
+      ValText = ValText.substr(0, Sp);
+    if (!parseValue(ValText, &S.Value)) {
+      R.Errors.push_back("line " + std::to_string(LineNo) +
+                         ": unparsable value '" + ValText + "'");
+      continue;
+    }
+
+    std::string Part;
+    std::string Base = histogramBase(S.Name, &Part);
+    bool IsHistPart =
+        !Part.empty() && R.Families.count(Base) &&
+        R.Families[Base].Type == "histogram";
+    std::string FamilyName = IsHistPart ? Base : S.Name;
+
+    std::string SeriesKey = S.Name + "{" + S.Labels + "}";
+    if (S.HasLe) {
+      char LeKey[32];
+      std::snprintf(LeKey, sizeof(LeKey), "|le=%.17g", S.Le);
+      SeriesKey += LeKey;
+    }
+    if (!SeenSeries.insert(SeriesKey).second)
+      R.Errors.push_back("line " + std::to_string(LineNo) +
+                         ": duplicate series " + SeriesKey);
+    R.Families[FamilyName].Samples.push_back(std::move(S));
+  }
+  return R;
+}
+
+/// Cross-sample histogram checks: per label set, buckets must be
+/// cumulative and non-decreasing, end in +Inf, and agree with _count.
+void checkHistograms(ParseResult &R) {
+  for (auto &[Name, F] : R.Families) {
+    if (F.Type != "histogram")
+      continue;
+    // Group this family's samples by label set.
+    std::map<std::string,
+             std::vector<const Sample *>> ByLabels;
+    for (const Sample &S : F.Samples)
+      ByLabels[S.Labels].push_back(&S);
+    for (auto &[Labels, Samples] : ByLabels) {
+      std::vector<std::pair<double, double>> Buckets; // (le, count)
+      double Count = -1.0;
+      bool HaveSum = false;
+      for (const Sample *S : Samples) {
+        std::string Part;
+        histogramBase(S->Name, &Part);
+        if (Part == "bucket") {
+          if (!S->HasLe)
+            R.Errors.push_back("line " + std::to_string(S->LineNo) +
+                               ": " + Name +
+                               "_bucket sample without an le label");
+          else
+            Buckets.emplace_back(S->Le, S->Value);
+        } else if (Part == "count") {
+          Count = S->Value;
+        } else if (Part == "sum") {
+          HaveSum = true;
+        }
+      }
+      std::string Where =
+          Name + (Labels.empty() ? "" : "{" + Labels + "}");
+      std::sort(Buckets.begin(), Buckets.end());
+      for (size_t I = 1; I < Buckets.size(); ++I)
+        if (Buckets[I].second < Buckets[I - 1].second)
+          R.Errors.push_back(Where + ": bucket counts not cumulative "
+                             "(le=" +
+                             std::to_string(Buckets[I].first) + ")");
+      if (Buckets.empty() || !std::isinf(Buckets.back().first))
+        R.Errors.push_back(Where + ": missing +Inf bucket");
+      else if (Count >= 0.0 && Buckets.back().second != Count)
+        R.Errors.push_back(Where +
+                           ": +Inf bucket disagrees with _count");
+      if (Count < 0.0)
+        R.Errors.push_back(Where + ": missing _count sample");
+      if (!HaveSum)
+        R.Errors.push_back(Where + ": missing _sum sample");
+    }
+  }
+}
+
+/// Interpolated quantile from cumulative buckets, Prometheus
+/// histogram_quantile style. \p Buckets must be (le, cumulative) sorted
+/// ascending and end with +Inf.
+double bucketQuantile(const std::vector<std::pair<double, double>> &Buckets,
+                      double Q) {
+  if (Buckets.empty())
+    return 0.0;
+  double Total = Buckets.back().second;
+  if (Total <= 0.0)
+    return 0.0;
+  double Rank = Q * Total;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    if (Buckets[I].second >= Rank) {
+      double Lo = I == 0 ? 0.0 : Buckets[I - 1].first;
+      double LoCount = I == 0 ? 0.0 : Buckets[I - 1].second;
+      double Hi = Buckets[I].first;
+      if (std::isinf(Hi))
+        return Lo; // best knowable bound
+      double Span = Buckets[I].second - LoCount;
+      double Frac = Span > 0.0 ? (Rank - LoCount) / Span : 0.0;
+      return Lo + Frac * (Hi - Lo);
+    }
+  }
+  return Buckets.back().first;
+}
+
+void prettyPrint(const ParseResult &R) {
+  Table Scalars({"metric", "labels", "type", "value"});
+  Table Hists({"histogram", "labels", "count", "sum", "mean", "p50",
+               "p90", "p99"});
+  for (const auto &[Name, F] : R.Families) {
+    if (F.Type == "histogram") {
+      std::map<std::string,
+               std::vector<std::pair<double, double>>> Buckets;
+      std::map<std::string, double> Sums;
+      for (const Sample &S : F.Samples) {
+        std::string Part;
+        histogramBase(S.Name, &Part);
+        if (Part == "bucket" && S.HasLe)
+          Buckets[S.Labels].emplace_back(S.Le, S.Value);
+        else if (Part == "sum")
+          Sums[S.Labels] = S.Value;
+      }
+      for (auto &[Labels, B] : Buckets) {
+        std::sort(B.begin(), B.end());
+        double Count = B.empty() ? 0.0 : B.back().second;
+        double Sum = Sums.count(Labels) ? Sums[Labels] : 0.0;
+        Hists.addRow(
+            {Name, Labels.empty() ? "-" : Labels,
+             formatInt(static_cast<long long>(Count)),
+             formatDouble(Sum, 6),
+             formatDouble(Count > 0.0 ? Sum / Count : 0.0, 6),
+             formatDouble(bucketQuantile(B, 0.5), 6),
+             formatDouble(bucketQuantile(B, 0.9), 6),
+             formatDouble(bucketQuantile(B, 0.99), 6)});
+      }
+    } else {
+      for (const Sample &S : F.Samples)
+        Scalars.addRow({Name, S.Labels.empty() ? "-" : S.Labels,
+                        F.Type.empty() ? "untyped" : F.Type,
+                        formatDouble(S.Value, 6)});
+    }
+  }
+  if (Scalars.numRows()) {
+    std::printf("counters and gauges:\n");
+    Scalars.print();
+  }
+  if (Hists.numRows()) {
+    std::printf("%shistograms (seconds where latency):\n",
+                Scalars.numRows() ? "\n" : "");
+    Hists.print();
+  }
+  if (!Scalars.numRows() && !Hists.numRows())
+    std::printf("no metrics found\n");
+}
+
+/// Reads the canonical-names file: one family name per line, '#'
+/// comments and blanks skipped.
+std::vector<std::string> readNamesFile(const std::string &Path,
+                                       bool *Ok) {
+  std::vector<std::string> Names;
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F) {
+    std::fprintf(stderr, "dvs-stat: cannot open names file '%s'\n",
+                 Path.c_str());
+    *Ok = false;
+    return Names;
+  }
+  *Ok = true;
+  char Buf[512];
+  while (std::fgets(Buf, sizeof(Buf), F)) {
+    std::string Line(Buf);
+    while (!Line.empty() && std::isspace(static_cast<unsigned char>(
+                                Line.back())))
+      Line.pop_back();
+    size_t First = Line.find_first_not_of(" \t");
+    if (First == std::string::npos || Line[First] == '#')
+      continue;
+    Names.push_back(Line.substr(First));
+  }
+  std::fclose(F);
+  return Names;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ArgParser P("dvs-stat",
+              "pretty-print and validate Prometheus metrics snapshots "
+              "written by dvsd --metrics-out");
+  bool &Check = P.addFlag(
+      "check", "validate the exposition format; exit 1 on violations");
+  std::string &NamesPath = P.addString(
+      "names", "",
+      "canonical family-name list; with --check, every listed name "
+      "must be present");
+  if (!P.parseOrExit(argc, argv))
+    return 0;
+
+  std::string Path =
+      P.positional().empty() ? "-" : P.positional().front();
+  std::FILE *In = stdin;
+  if (Path != "-") {
+    In = std::fopen(Path.c_str(), "r");
+    if (!In) {
+      std::fprintf(stderr, "dvs-stat: cannot open '%s'\n",
+                   Path.c_str());
+      return 1;
+    }
+  }
+  ParseResult R = parseExposition(In);
+  if (In != stdin)
+    std::fclose(In);
+
+  checkHistograms(R);
+
+  int Missing = 0;
+  if (!NamesPath.empty()) {
+    bool Ok = true;
+    std::vector<std::string> Canonical = readNamesFile(NamesPath, &Ok);
+    if (!Ok)
+      return 1;
+    for (const std::string &Name : Canonical) {
+      if (!R.Families.count(Name) ||
+          R.Families[Name].Samples.empty()) {
+        std::fprintf(stderr,
+                     "dvs-stat: canonical metric '%s' is missing\n",
+                     Name.c_str());
+        ++Missing;
+      }
+    }
+    std::set<std::string> Want(Canonical.begin(), Canonical.end());
+    for (const auto &[Name, F] : R.Families)
+      if (!F.Samples.empty() && !Want.count(Name))
+        std::fprintf(stderr,
+                     "dvs-stat: note: metric '%s' is not in '%s'\n",
+                     Name.c_str(), NamesPath.c_str());
+  }
+
+  if (Check) {
+    for (const std::string &E : R.Errors)
+      std::fprintf(stderr, "dvs-stat: %s\n", E.c_str());
+    size_t Series = 0;
+    for (const auto &[Name, F] : R.Families)
+      Series += F.Samples.size();
+    std::printf("%d lines, %zu families, %zu samples, %zu format "
+                "errors, %d missing canonical names\n",
+                R.Lines, R.Families.size(), Series, R.Errors.size(),
+                Missing);
+    return R.Errors.empty() && Missing == 0 ? 0 : 1;
+  }
+
+  for (const std::string &E : R.Errors)
+    std::fprintf(stderr, "dvs-stat: warning: %s\n", E.c_str());
+  prettyPrint(R);
+  return 0;
+}

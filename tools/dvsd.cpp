@@ -20,13 +20,22 @@
 // batch N times (a quick cache demonstration: pass 2+ and watch
 // cache_hit flip to true at microsecond latencies).
 //
+// Observability: --metrics-out=FILE writes the process metrics registry
+// in Prometheus text exposition format after the batch ('-' = stderr);
+// --metrics-json=FILE writes the same registry as JSON; --trace-out=FILE
+// enables span tracing for the run and writes Chrome trace_event JSON
+// loadable in Perfetto / about:tracing.
+//
 //===----------------------------------------------------------------------===//
 
 #include "dvs/ScheduleIO.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "service/JsonLite.h"
 #include "service/Service.h"
 #include "support/ArgParse.h"
 
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -105,14 +114,66 @@ std::string resultToJson(const JobResult &R,
   }
   std::snprintf(Buf, sizeof(Buf),
                 ",\"queue_ms\":%.3f,\"profile_ms\":%.3f,"
-                "\"solve_ms\":%.3f,\"total_ms\":%.3f",
+                "\"bound_ms\":%.3f,\"solve_ms\":%.3f,"
+                "\"serialize_ms\":%.3f,\"total_ms\":%.3f",
                 R.QueueSeconds * 1e3, R.ProfileSeconds * 1e3,
-                R.SolveSeconds * 1e3, R.TotalSeconds * 1e3);
+                R.BoundSeconds * 1e3, R.SolveSeconds * 1e3,
+                R.SerializeSeconds * 1e3, R.TotalSeconds * 1e3);
   Out += Buf;
   if (!ScheduleFile.empty())
     Out += ",\"schedule_file\":\"" + jsonEscape(ScheduleFile) + "\"";
   Out += "}";
   return Out;
+}
+
+/// Set once a stdout write fails — the consumer closed the pipe (e.g.
+/// `dvsd | head`). Result lines stop, but the batch still completes and
+/// the final stats record falls back to stderr.
+bool StdoutBroken = false;
+
+void emitLine(const std::string &Line) {
+  if (StdoutBroken)
+    return;
+  if (std::printf("%s\n", Line.c_str()) < 0 ||
+      std::fflush(stdout) == EOF)
+    StdoutBroken = true;
+}
+
+/// Writes \p Text to \p Path ('-' = stderr). \returns false (after a
+/// diagnostic) when the file cannot be opened.
+bool writeTextFile(const std::string &Path, const std::string &Text,
+                   const char *What) {
+  std::FILE *F = Path == "-" ? stderr : std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "dvsd: cannot write %s file '%s'\n", What,
+                 Path.c_str());
+    return false;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  if (F != stderr)
+    std::fclose(F);
+  return true;
+}
+
+/// Mirrors the TaskPool's counters into registry gauges so an exported
+/// snapshot carries queue-pressure data without support/ depending on
+/// obs/.
+void exportPoolStats(const PoolStats &PS) {
+  obs::metrics()
+      .gauge("cdvs_pool_tasks_submitted", "Tasks handed to the pool")
+      .set(static_cast<double>(PS.TasksSubmitted));
+  obs::metrics()
+      .gauge("cdvs_pool_tasks_executed", "Tasks the pool finished")
+      .set(static_cast<double>(PS.TasksExecuted));
+  obs::metrics()
+      .gauge("cdvs_pool_peak_queue_depth",
+             "Deepest the pool's task queue has been")
+      .set(static_cast<double>(PS.PeakQueueDepth));
+  obs::metrics()
+      .gauge("cdvs_pool_task_wait_seconds",
+             "Total seconds tasks sat queued before a worker picked "
+             "them up")
+      .set(PS.TotalWaitSeconds);
 }
 
 } // namespace
@@ -133,10 +194,28 @@ int main(int argc, char **argv) {
       "schedules", "", "directory for <fingerprint>.cdvs schedule files");
   bool &Quiet =
       P.addFlag("quiet", "suppress per-job lines; print only stats");
+  std::string &MetricsOut = P.addString(
+      "metrics-out", "",
+      "write Prometheus text metrics here after the batch ('-' = "
+      "stderr)");
+  std::string &MetricsJson = P.addString(
+      "metrics-json", "", "write the metrics registry as JSON here");
+  std::string &TraceOut = P.addString(
+      "trace-out", "",
+      "enable span tracing; write Chrome trace_event JSON here (load "
+      "in Perfetto)");
   if (!P.parseOrExit(argc, argv))
     return 0;
   if (!P.positional().empty())
     RequestsPath = P.positional().front();
+
+  // A consumer that stops reading (head, a closed socket) must not kill
+  // the batch mid-flight; writes fail with EPIPE instead and emitLine
+  // degrades gracefully.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!TraceOut.empty())
+    obs::trace().setEnabled(true);
 
   std::FILE *In = stdin;
   if (RequestsPath != "-") {
@@ -166,9 +245,9 @@ int main(int argc, char **argv) {
     ErrorOr<JobRequest> R =
         V ? requestFromJson(*V) : ErrorOr<JobRequest>(Err(V.message()));
     if (!R) {
-      std::printf("{\"line\":%d,\"status\":\"parse_error\","
-                  "\"reason\":\"%s\"}\n",
-                  LineNo, jsonEscape(R.message()).c_str());
+      emitLine("{\"line\":" + std::to_string(LineNo) +
+               ",\"status\":\"parse_error\",\"reason\":\"" +
+               jsonEscape(R.message()) + "\"}");
       ++ParseErrors;
       continue;
     }
@@ -203,20 +282,45 @@ int main(int argc, char **argv) {
       }
       (R.Status == JobStatus::Done ? Done : NotDone) += 1;
       if (!Quiet)
-        std::printf("%s\n", resultToJson(R, ScheduleFile).c_str());
+        emitLine(resultToJson(R, ScheduleFile));
     }
   }
 
   ServiceStats S = Service.stats();
   CacheStats C = Service.cacheStats();
-  std::printf(
+  exportPoolStats(Service.poolStats());
+
+  char StatsBuf[1024];
+  std::snprintf(
+      StatsBuf, sizeof(StatsBuf),
       "{\"type\":\"stats\",\"submitted\":%ld,\"completed\":%ld,"
       "\"rejected\":%ld,\"infeasible\":%ld,\"failed\":%ld,"
-      "\"parse_errors\":%d,\"cache\":{\"hits\":%ld,\"misses\":%ld,"
+      "\"parse_errors\":%d,\"peak_queue_depth\":%zu,"
+      "\"cache\":{\"hits\":%ld,\"misses\":%ld,"
       "\"shared_flights\":%ld,\"evictions\":%ld,\"entries\":%zu},"
-      "\"profile_cache\":{\"hits\":%ld,\"misses\":%ld}}\n",
+      "\"profile_cache\":{\"hits\":%ld,\"misses\":%ld}}",
       S.Submitted, S.Completed, S.Rejected, S.Infeasible, S.Failed,
-      ParseErrors, C.Hits, C.Misses, C.SharedFlights, C.Evictions,
-      C.Entries, S.ProfileCacheHits, S.ProfileCacheMisses);
+      ParseErrors, S.PeakQueueDepth, C.Hits, C.Misses, C.SharedFlights,
+      C.Evictions, C.Entries, S.ProfileCacheHits,
+      S.ProfileCacheMisses);
+  // The aggregate record is the batch's receipt; when the consumer hung
+  // up early it still lands on stderr instead of vanishing.
+  emitLine(StatsBuf);
+  if (StdoutBroken)
+    std::fprintf(stderr, "%s\n", StatsBuf);
+
+  if (!MetricsOut.empty())
+    writeTextFile(MetricsOut, obs::metrics().renderPrometheus(),
+                  "metrics");
+  if (!MetricsJson.empty())
+    writeTextFile(MetricsJson, obs::metrics().renderJson(),
+                  "metrics JSON");
+  if (!TraceOut.empty())
+    writeTextFile(TraceOut, obs::trace().renderChromeTrace(), "trace");
+
+  // Any rejected job means the batch was not fully served — surface
+  // that in the exit code so scripted callers notice backpressure.
+  if (S.Rejected > 0)
+    return 1;
   return NotDone == 0 ? 0 : (Done > 0 ? 0 : 1);
 }
