@@ -22,7 +22,9 @@
 #include "BenchCommon.h"
 #include "support/ArgParse.h"
 #include "support/ThreadPool.h"
+#include "verify/CertificateChecker.h"
 
+#include <atomic>
 #include <cstdio>
 
 using namespace cdvs;
@@ -65,6 +67,7 @@ int main(int argc, char **argv) {
   // Every point builds its own simulator; Simulator::run mutates state.
   const int PerW = 5;
   std::vector<Point> Grid(NumW * PerW);
+  std::atomic<long> Certified{0};
   parallelFor(NumW * PerW, SweepThreads, [&](int Idx) {
     int WI = Idx / PerW, DI = Idx % PerW;
     Workload W = workloadByName(Names[WI]);
@@ -75,10 +78,20 @@ int main(int argc, char **argv) {
     DvsOptions O;
     O.InitialMode = static_cast<int>(Modes.size()) - 1;
     O.Milp.NumThreads = 1;
+    O.KeepArtifacts = true;
     DvsScheduler Sched(*W.Fn, Prof, Modes, Regulator, O);
     ErrorOr<ScheduleResult> R = Sched.schedule(Deadline);
     if (!R)
       return;
+    // Every solved point must pass the independent MILP certificate.
+    verify::Certificate Cert = verify::checkCertificate(
+        R->Artifacts->Problem, R->Artifacts->IntegerVars,
+        R->Artifacts->Solution);
+    if (!Cert.Checked || !Cert.R.ok() || Cert.MaxRowViolation >= 1e-6)
+      cdvsUnreachable(("MILP certificate failed for " + Names[WI] +
+                       ": " + Cert.R.firstError())
+                          .c_str());
+    Certified.fetch_add(1, std::memory_order_relaxed);
     RunStats Run = Sim->run(Modes, R->Assignment, Regulator);
     double BestSingle = -1.0;
     for (size_t M = 0; M < Modes.size(); ++M)
@@ -118,5 +131,8 @@ int main(int argc, char **argv) {
   std::printf("\n== Figure 18: MILP solution time (ms) per deadline "
               "==\n");
   TSolve.print();
+  std::printf("\n(%ld/%d solved points passed the independent MILP "
+              "certificate check)\n",
+              Certified.load(), NumW * PerW);
   return 0;
 }

@@ -15,7 +15,17 @@
 #   4. observability smoke: a dvsd batch with tracing enabled must emit
 #      a Prometheus snapshot that dvs-stat --check validates (format +
 #      every canonical family from scripts/metric_names.txt present)
-#      and a Chrome trace with the per-job pipeline spans.
+#      and a Chrome trace with the per-job pipeline spans;
+#   5. static analysis: dvs-lint audits every bundled workload's CFG and
+#      profile (and, with --solve, certifies one MILP solution), and
+#      scripts/lint.sh reports clang-tidy findings (advisory — skipped
+#      when clang-tidy is not installed);
+#   6. verification round trip: dvsd re-runs the observability batch
+#      under --verify=strict, so every schedule the service emits is
+#      independently audited (legality + MILP certificate) and any
+#      verification error fails the job, and therefore this gate;
+#   7. ASan+UBSan build of the full test suite (memory errors and UB in
+#      the solver arithmetic and the service lifecycle).
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 #
@@ -77,6 +87,39 @@ done
 # in-process; this catches drift in the dvsd wiring).
 grep -q '"cdvs_stage_latency_seconds"' "$OBS_TMP/metrics.json" \
   || { echo "metrics JSON dump is missing stage latencies"; exit 1; }
+
+echo
+echo "== static analysis: dvs-lint over the bundled workloads =="
+cmake --build build -j"$JOBS" --target dvs-lint
+# Every workload x input: CFG structure + profile conservation laws.
+./build/tools/dvs-lint
+# One solved instance end to end: schedule legality + MILP certificate.
+./build/tools/dvs-lint --solve --workload=gsm --quiet
+
+echo
+echo "== static analysis: clang-tidy (advisory) =="
+scripts/lint.sh build || true
+
+echo
+echo "== dvsd --verify=strict: every emitted schedule audits clean =="
+# bench_service's job set: every bundled workload at three deadline
+# tightnesses, run twice (cold solve + cached verdict). Any audit error
+# fails the job under strict mode, and dvsd's exit code fails the gate.
+: > "$OBS_TMP/verify_jobs.jsonl"
+for w in adpcm epic gsm mpeg_decode mpg123 ghostscript; do
+  for t in 0.15 0.5 0.85; do
+    echo "{\"id\":\"$w@$t\",\"workload\":\"$w\",\"tightness\":$t}" \
+      >> "$OBS_TMP/verify_jobs.jsonl"
+  done
+done
+./build/tools/dvsd --threads="$JOBS" --repeat=2 --quiet --verify=strict \
+  "$OBS_TMP/verify_jobs.jsonl"
+
+echo
+echo "== ASan+UBSan: full test suite =="
+cmake --preset asan-ubsan >/dev/null
+cmake --build build-asan-ubsan -j"$JOBS"
+(cd build-asan-ubsan && ctest --output-on-failure -j"$JOBS")
 
 echo
 echo "All checks passed."

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+#===- scripts/lint.sh - clang-tidy over the library and tool sources -----===#
+#
+# Runs clang-tidy (configuration: .clang-tidy at the repo root — the
+# bugprone/performance/concurrency families) across src/, tools/, and
+# bench/ using the compile_commands.json of the default build.
+#
+# The gate is advisory: check.sh runs it non-fatally, so a finding is a
+# report to read, not a red build. The script itself exits nonzero only
+# on infrastructure problems (no compile database), never on findings,
+# and exits 0 with a notice when clang-tidy is not installed — the
+# toolchain image ships gcc only, so most CI runs take that path.
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build)
+#
+#===----------------------------------------------------------------------===#
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [[ -z "$TIDY" ]]; then
+  echo "lint.sh: clang-tidy not installed; skipping static analysis."
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "lint.sh: $BUILD_DIR/compile_commands.json not found." >&2
+  echo "lint.sh: configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." >&2
+  exit 1
+fi
+
+# Library and tool translation units; tests are excluded (gtest macros
+# trip bugprone checks by design).
+mapfile -t SOURCES < <(find src tools bench examples -name '*.cpp' | sort)
+
+echo "lint.sh: clang-tidy over ${#SOURCES[@]} files ($TIDY)"
+FINDINGS=0
+for f in "${SOURCES[@]}"; do
+  OUT="$("$TIDY" -p "$BUILD_DIR" --quiet "$f" 2>/dev/null)"
+  if [[ -n "$OUT" ]]; then
+    echo "$OUT"
+    FINDINGS=$((FINDINGS + 1))
+  fi
+done
+
+if [[ "$FINDINGS" -eq 0 ]]; then
+  echo "lint.sh: clean."
+else
+  echo "lint.sh: findings in $FINDINGS file(s) (advisory)."
+fi
+exit 0

@@ -6,6 +6,7 @@
 
 #include "dvs/DvsScheduler.h"
 
+#include "dvs/EdgeGroups.h"
 #include "lp/LpWriter.h"
 
 #include <algorithm>
@@ -16,29 +17,6 @@
 #include <numeric>
 
 using namespace cdvs;
-
-namespace {
-
-/// Plain union-find over edge indices.
-class UnionFind {
-public:
-  explicit UnionFind(int N) : Parent(N) {
-    std::iota(Parent.begin(), Parent.end(), 0);
-  }
-  int find(int X) {
-    while (Parent[X] != X) {
-      Parent[X] = Parent[Parent[X]];
-      X = Parent[X];
-    }
-    return X;
-  }
-  void unite(int A, int B) { Parent[find(A)] = find(B); }
-
-private:
-  std::vector<int> Parent;
-};
-
-} // namespace
 
 DvsScheduler::DvsScheduler(const Function &Fn, const Profile &Prof,
                            const ModeTable &Modes,
@@ -69,86 +47,12 @@ DvsScheduler::DvsScheduler(const Function &Fn,
 }
 
 void DvsScheduler::buildGroups() {
-  // Edge 0 is the virtual entry edge (-1 -> 0) carrying the initial mode.
-  Edges.clear();
-  Edges.push_back({-1, 0});
-  for (const CfgEdge &E : Fn.edges())
-    Edges.push_back(E);
-  const int NumEdges = static_cast<int>(Edges.size());
-
-  std::map<CfgEdge, int> EdgeIndex;
-  for (int I = 0; I < NumEdges; ++I)
-    EdgeIndex[Edges[I]] = I;
-
-  // Probability-weighted execution count and destination energy (at the
-  // reference mode: fastest) per edge.
-  const int RefMode = static_cast<int>(Modes.size()) - 1;
-  std::vector<double> Count(NumEdges, 0.0);
-  std::vector<double> DestEnergy(NumEdges, 0.0);
-  Count[0] = 1.0;
-  for (const CategoryProfile &C : Categories) {
-    DestEnergy[0] +=
-        C.Probability * C.Data.EnergyPerInvocation[0][RefMode];
-    for (const auto &[E, G] : C.Data.EdgeCounts) {
-      auto It = EdgeIndex.find(E);
-      assert(It != EdgeIndex.end() && "profiled edge missing from CFG");
-      Count[It->second] += C.Probability * static_cast<double>(G);
-      DestEnergy[It->second] +=
-          C.Probability * static_cast<double>(G) *
-          C.Data.EnergyPerInvocation[E.To][RefMode];
-    }
-  }
-
-  UnionFind UF(NumEdges);
-  if (Opts.FilterThreshold > 0.0 && NumEdges > 1) {
-    double Total = std::accumulate(DestEnergy.begin(), DestEnergy.end(),
-                                   0.0);
-    // Real edges sorted by ascending destination energy.
-    std::vector<int> Order;
-    for (int I = 1; I < NumEdges; ++I)
-      Order.push_back(I);
-    std::sort(Order.begin(), Order.end(), [&](int A, int B) {
-      return DestEnergy[A] < DestEnergy[B];
-    });
-
-    double Cum = 0.0;
-    for (int E : Order) {
-      if (Cum + DestEnergy[E] > Opts.FilterThreshold * Total)
-        break;
-      Cum += DestEnergy[E];
-      // Edges the profile never saw stay independent: they must keep
-      // their "unprofiled" status so decoding can pin them to the
-      // slowest mode instead of inheriting a hot group's speed.
-      if (Count[E] == 0.0)
-        continue;
-      // Tie this edge to the dominant incoming edge of its source block.
-      int Src = Edges[E].From;
-      assert(Src >= 0 && "virtual edge cannot be filtered");
-      int Best = -1;
-      double BestCount = -1.0;
-      for (int Other = 0; Other < NumEdges; ++Other) {
-        if (Edges[Other].To != Src)
-          continue;
-        if (Count[Other] > BestCount) {
-          BestCount = Count[Other];
-          Best = Other;
-        }
-      }
-      if (Best >= 0)
-        UF.unite(E, Best);
-    }
-  }
-
-  GroupOf.assign(NumEdges, -1);
-  std::map<int, int> RepToGroup;
-  for (int I = 0; I < NumEdges; ++I) {
-    int Rep = UF.find(I);
-    auto [It, Inserted] =
-        RepToGroup.insert({Rep, static_cast<int>(RepToGroup.size())});
-    (void)Inserted;
-    GroupOf[I] = It->second;
-  }
-  NumGroups = static_cast<int>(RepToGroup.size());
+  // Shared with the static verifier (verify/ScheduleChecker), which must
+  // recompute exactly this partition to audit filtered placements.
+  EdgeGroups G = computeEdgeGroups(Fn, Categories, Opts.FilterThreshold);
+  Edges = std::move(G.Edges);
+  GroupOf = std::move(G.GroupOf);
+  NumGroups = G.NumGroups;
 }
 
 int DvsScheduler::numIndependentGroups() const { return NumGroups; }
@@ -314,6 +218,15 @@ DvsScheduler::schedule(const std::vector<double> &DeadlineSeconds) {
   std::string LpText;
   if (Opts.DumpLp)
     LpText = writeLpFormat(P, Integers);
+  // Copy (problem, integer vars) before the solve: the solver owns its
+  // own copy and mutates bounds while branching, so this snapshot is the
+  // instance the certificate is checked against.
+  std::shared_ptr<SolverArtifacts> Artifacts;
+  if (Opts.KeepArtifacts) {
+    Artifacts = std::make_shared<SolverArtifacts>();
+    Artifacts->Problem = P;
+    Artifacts->IntegerVars = Integers;
+  }
   MilpSolver Solver(P, Integers, Opts.Milp);
   for (auto &Group : K)
     Solver.addSos1Group(Group);
@@ -331,6 +244,10 @@ DvsScheduler::schedule(const std::vector<double> &DeadlineSeconds) {
   R.NumIndependentGroups = NumGroups;
   R.NumBinaries = static_cast<int>(Integers.size());
   R.LpText = std::move(LpText);
+  if (Artifacts) {
+    Artifacts->Solution = Sol;
+    R.Artifacts = Artifacts;
+  }
 
   if (Sol.Status == MilpStatus::Infeasible)
     return makeError("deadline is infeasible for this program");

@@ -47,6 +47,7 @@
 #include "sim/ModeAssignment.h"
 #include "support/Error.h"
 
+#include <memory>
 #include <vector>
 
 namespace cdvs {
@@ -62,7 +63,20 @@ struct DvsOptions {
   /// When set, ScheduleResult::LpText carries the full MILP in CPLEX
   /// LP format (the AMPL/CPLEX escape hatch; see lp/LpWriter.h).
   bool DumpLp = false;
+  /// When set, ScheduleResult::Artifacts carries the exact LpProblem
+  /// handed to the solver plus the raw solution, so an independent
+  /// certificate check (verify/CertificateChecker.h) can re-evaluate
+  /// every constraint row instead of trusting the solver's objective.
+  bool KeepArtifacts = false;
   MilpOptions Milp;
+};
+
+/// The solver-facing instance and its raw answer, retained for
+/// independent verification (DvsOptions::KeepArtifacts).
+struct SolverArtifacts {
+  LpProblem Problem;            ///< bounds include the entry-mode pin
+  std::vector<int> IntegerVars; ///< the mode binaries, group-major
+  MilpSolution Solution;        ///< raw X vector and search counters
 };
 
 /// Outcome of scheduling: the per-edge assignment plus solver metrics.
@@ -79,6 +93,9 @@ struct ScheduleResult {
   /// CPLEX LP-format dump of the solved MILP (only with DvsOptions::
   /// DumpLp).
   std::string LpText;
+  /// Problem + raw solution for certificate checking (only with
+  /// DvsOptions::KeepArtifacts; shared so results stay cheap to copy).
+  std::shared_ptr<const SolverArtifacts> Artifacts;
 };
 
 /// Profile-driven MILP DVS scheduler.

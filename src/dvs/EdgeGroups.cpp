@@ -1,0 +1,124 @@
+//===- dvs/EdgeGroups.cpp - Edge-filtering group computation --------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/EdgeGroups.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+using namespace cdvs;
+
+namespace {
+
+/// Plain union-find over edge indices.
+class UnionFind {
+public:
+  explicit UnionFind(int N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+  int find(int X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void unite(int A, int B) { Parent[find(A)] = find(B); }
+
+private:
+  std::vector<int> Parent;
+};
+
+} // namespace
+
+EdgeGroups
+cdvs::computeEdgeGroups(const Function &Fn,
+                        const std::vector<CategoryProfile> &Categories,
+                        double FilterThreshold) {
+  EdgeGroups G;
+  // Edge 0 is the virtual entry edge (-1 -> 0) carrying the initial mode.
+  G.Edges.push_back({-1, 0});
+  for (const CfgEdge &E : Fn.edges())
+    G.Edges.push_back(E);
+  const int NumEdges = static_cast<int>(G.Edges.size());
+
+  std::map<CfgEdge, int> EdgeIndex;
+  for (int I = 0; I < NumEdges; ++I)
+    EdgeIndex[G.Edges[I]] = I;
+
+  // Probability-weighted execution count and destination energy (at the
+  // reference mode: fastest) per edge.
+  const int RefMode =
+      Categories.empty() ? 0 : Categories.front().Data.NumModes - 1;
+  G.Count.assign(NumEdges, 0.0);
+  std::vector<double> DestEnergy(NumEdges, 0.0);
+  G.Count[0] = 1.0;
+  for (const CategoryProfile &C : Categories) {
+    DestEnergy[0] += C.Probability * C.Data.EnergyPerInvocation[0][RefMode];
+    for (const auto &[E, Cnt] : C.Data.EdgeCounts) {
+      auto It = EdgeIndex.find(E);
+      assert(It != EdgeIndex.end() && "profiled edge missing from CFG");
+      G.Count[It->second] += C.Probability * static_cast<double>(Cnt);
+      DestEnergy[It->second] +=
+          C.Probability * static_cast<double>(Cnt) *
+          C.Data.EnergyPerInvocation[E.To][RefMode];
+    }
+  }
+
+  UnionFind UF(NumEdges);
+  if (FilterThreshold > 0.0 && NumEdges > 1) {
+    double Total =
+        std::accumulate(DestEnergy.begin(), DestEnergy.end(), 0.0);
+    // Real edges sorted by ascending destination energy.
+    std::vector<int> Order;
+    for (int I = 1; I < NumEdges; ++I)
+      Order.push_back(I);
+    std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+      return DestEnergy[A] < DestEnergy[B];
+    });
+
+    double Cum = 0.0;
+    for (int E : Order) {
+      if (Cum + DestEnergy[E] > FilterThreshold * Total)
+        break;
+      Cum += DestEnergy[E];
+      // Edges the profile never saw stay independent: they must keep
+      // their "unprofiled" status so decoding can pin them to the
+      // slowest mode instead of inheriting a hot group's speed.
+      if (G.Count[E] == 0.0)
+        continue;
+      // Tie this edge to the dominant incoming edge of its source block.
+      int Src = G.Edges[E].From;
+      assert(Src >= 0 && "virtual edge cannot be filtered");
+      int Best = -1;
+      double BestCount = -1.0;
+      for (int Other = 0; Other < NumEdges; ++Other) {
+        if (G.Edges[Other].To != Src)
+          continue;
+        if (G.Count[Other] > BestCount) {
+          BestCount = G.Count[Other];
+          Best = Other;
+        }
+      }
+      if (Best >= 0)
+        UF.unite(E, Best);
+    }
+  }
+
+  G.GroupOf.assign(NumEdges, -1);
+  std::map<int, int> RepToGroup;
+  for (int I = 0; I < NumEdges; ++I) {
+    int Rep = UF.find(I);
+    auto [It, Inserted] =
+        RepToGroup.insert({Rep, static_cast<int>(RepToGroup.size())});
+    (void)Inserted;
+    G.GroupOf[I] = It->second;
+  }
+  G.NumGroups = static_cast<int>(RepToGroup.size());
+  return G;
+}

@@ -1,0 +1,53 @@
+//===- dvs/EdgeGroups.h - Edge-filtering group computation ------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5.2 edge-filtering partition, factored out of the
+/// scheduler so the static verifier (src/verify) can recompute exactly
+/// the groups the MILP used and check placements against them. Edges in
+/// the cumulative low-energy tail are tied to the dominant incoming edge
+/// of their source block; each resulting group shares one set of mode
+/// binaries, so a legal schedule must assign every edge of a group the
+/// same mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_DVS_EDGEGROUPS_H
+#define CDVS_DVS_EDGEGROUPS_H
+
+#include "ir/Function.h"
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace cdvs {
+
+/// The edge-filtering partition of a function's CFG edges.
+struct EdgeGroups {
+  /// All edges; index 0 is the virtual entry edge (-1 -> 0) that carries
+  /// the initial mode, followed by Function::edges() order.
+  std::vector<CfgEdge> Edges;
+  /// Group id per edge (index into [0, NumGroups)).
+  std::vector<int> GroupOf;
+  int NumGroups = 0;
+  /// Probability-weighted execution count per edge (reference data for
+  /// diagnostics; Count[0] == 1 for the virtual entry edge).
+  std::vector<double> Count;
+};
+
+/// Computes the paper's Section 5.2 edge-filtering groups: edges whose
+/// destination energy falls in the cumulative \p FilterThreshold tail
+/// are united with the dominant incoming edge of their source block.
+/// \p FilterThreshold <= 0 leaves every edge in its own group. Edges the
+/// profiles never saw always stay independent (decoding pins them to
+/// the slowest mode). Deterministic for fixed inputs.
+EdgeGroups computeEdgeGroups(const Function &Fn,
+                             const std::vector<CategoryProfile> &Categories,
+                             double FilterThreshold);
+
+} // namespace cdvs
+
+#endif // CDVS_DVS_EDGEGROUPS_H

@@ -98,11 +98,18 @@ struct JobResult {
   double DeadlineSeconds = 0.0;
   MilpStatus Milp = MilpStatus::Limit;
 
+  /// Post-solve verification: error-severity diagnostic count, or -1
+  /// when verification was off / did not run for this instance.
+  int VerifyErrors = -1;
+  /// First verify error (rendered line) when VerifyErrors > 0.
+  std::string VerifyDetail;
+
   double QueueSeconds = 0.0;   ///< admission to worker pickup
   double ProfileSeconds = 0.0; ///< profiling stage (0 on profile-cache hit)
   double BoundSeconds = 0.0;   ///< deadline resolution + energy lower bound
   double SolveSeconds = 0.0;   ///< MILP stage of the original solve
   double SerializeSeconds = 0.0; ///< schedule text emission (original solve)
+  double VerifySeconds = 0.0;  ///< verify stage (original solve)
   double TotalSeconds = 0.0;   ///< admission to completion
   /// Global pickup order (0-based); exposes the deadline-aware priority
   /// queue's decisions to tests and the CLI. -1 when never dequeued.

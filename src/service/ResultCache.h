@@ -49,6 +49,12 @@ struct CachedSchedule {
   MilpStatus Milp = MilpStatus::Limit;
   double SolveSeconds = 0.0; ///< MILP time of the original solve
   double SerializeSeconds = 0.0; ///< schedule emission time, ditto
+  /// Post-solve verification outcome of the original solve: number of
+  /// error-severity diagnostics, or -1 when the verify stage did not
+  /// run (ServiceOptions::Verify == Off, or an infeasible instance).
+  int VerifyErrors = -1;
+  std::string VerifyDetail; ///< first error line when VerifyErrors > 0
+  double VerifySeconds = 0.0; ///< verify-pass time, ditto
 };
 
 /// Counters for the cache and its single-flight layer.

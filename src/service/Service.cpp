@@ -14,6 +14,7 @@
 #include "power/VfModel.h"
 #include "support/Clock.h"
 #include "support/Hash.h"
+#include "verify/Verify.h"
 #include "workloads/Workloads.h"
 
 #include <algorithm>
@@ -32,6 +33,30 @@ const char *cdvs::jobStatusName(JobStatus Status) {
     return "failed";
   }
   cdvsUnreachable("bad JobStatus");
+}
+
+const char *cdvs::verifyModeName(VerifyMode Mode) {
+  switch (Mode) {
+  case VerifyMode::Off:
+    return "off";
+  case VerifyMode::Warn:
+    return "warn";
+  case VerifyMode::Strict:
+    return "strict";
+  }
+  cdvsUnreachable("bad VerifyMode");
+}
+
+bool cdvs::parseVerifyMode(const std::string &Text, VerifyMode &Out) {
+  if (Text == "off")
+    Out = VerifyMode::Off;
+  else if (Text == "warn")
+    Out = VerifyMode::Warn;
+  else if (Text == "strict")
+    Out = VerifyMode::Strict;
+  else
+    return false;
+  return true;
 }
 
 namespace {
@@ -102,6 +127,7 @@ double energyLowerBound(const std::vector<CategoryProfile> &Categories) {
 /// family keyed by a `stage` label so dashboards can overlay them.
 struct ServiceMetrics {
   obs::Counter &Submitted, &Rejected, &Completed, &Infeasible, &Failed;
+  obs::Counter &VerifyFailures;
   obs::Gauge &QueueDepth, &QueueDepthPeak;
   obs::Histogram &Queue, &Profile, &Bound, &Solve, &Serialize, &Total;
 };
@@ -124,6 +150,9 @@ ServiceMetrics &serviceMetrics() {
                              "Jobs whose deadline no schedule can meet"),
       obs::metrics().counter("cdvs_jobs_failed_total",
                              "Jobs that failed (malformed or transient)"),
+      obs::metrics().counter(
+          "cdvs_verify_failures_total",
+          "Jobs whose post-solve verification drew errors"),
       obs::metrics().gauge("cdvs_admission_queue_depth",
                            "Jobs currently pending admission"),
       obs::metrics().gauge("cdvs_admission_queue_depth_peak",
@@ -485,6 +514,9 @@ JobResult SchedulerService::execute(const JobRequest &Request,
         O.FilterThreshold = Request.FilterThreshold;
         O.InitialMode = InitialMode;
         O.Milp.NumThreads = Opts.MilpThreadsPerJob;
+        // The certificate pass needs the exact MILP instance and raw
+        // solution the scheduler otherwise discards.
+        O.KeepArtifacts = Opts.Verify != VerifyMode::Off;
         DvsScheduler Scheduler(*W.Fn, Categories, Modes, Transitions, O);
         auto TSolve = Clock::now();
         ErrorOr<ScheduleResult> SR = Scheduler.schedule(Deadlines);
@@ -511,6 +543,23 @@ JobResult SchedulerService::execute(const JobRequest &Request,
         }
         C->PredictedEnergyJoules = SR->PredictedEnergyJoules;
         C->Milp = SR->Status;
+        if (Opts.Verify != VerifyMode::Off) {
+          // Verify the fresh solve once; hits and shared flights reuse
+          // the outcome (the instance, and hence the verdict, is
+          // content-addressed by the same fingerprint).
+          obs::TraceSpan VerifySpan("verify", "service");
+          uint64_t VerT0 = monotonicNanos();
+          verify::AuditOptions AOpts;
+          AOpts.FilterThreshold = Request.FilterThreshold;
+          verify::Audit A = verify::auditScheduleResult(
+              *W.Fn, Categories, Modes, Transitions, *SR, Deadlines,
+              AOpts);
+          C->VerifyErrors = A.R.errorCount();
+          C->VerifyDetail = A.R.firstError();
+          C->VerifySeconds = nanosToSeconds(monotonicNanos() - VerT0);
+          VerifySpan.arg("errors",
+                         static_cast<double>(C->VerifyErrors));
+        }
         return C;
       });
   SolveSpan.arg("cache_hit", L.Hit ? 1.0 : 0.0);
@@ -529,7 +578,22 @@ JobResult SchedulerService::execute(const JobRequest &Request,
   R.Milp = L.Value->Milp;
   R.SolveSeconds = L.Value->SolveSeconds;
   R.SerializeSeconds = L.Value->SerializeSeconds;
+  R.VerifySeconds = L.Value->VerifySeconds;
+  R.VerifyErrors = L.Value->VerifyErrors;
+  R.VerifyDetail = L.Value->VerifyDetail;
   if (!L.Value->Feasible)
     return finish(JobStatus::Infeasible, L.Value->Reason);
+  if (R.VerifyErrors > 0) {
+    serviceMetrics().VerifyFailures.inc();
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.VerifyFailures;
+    }
+    if (Opts.Verify == VerifyMode::Strict)
+      return finish(JobStatus::Failed,
+                    "verification failed (" +
+                        std::to_string(R.VerifyErrors) + " errors): " +
+                        R.VerifyDetail);
+  }
   return finish(JobStatus::Done);
 }

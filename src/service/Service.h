@@ -54,6 +54,18 @@
 
 namespace cdvs {
 
+/// Post-solve static verification policy (src/verify). Off skips the
+/// passes entirely; Warn runs them and records findings on the result;
+/// Strict additionally fails jobs whose schedule draws any
+/// error-severity diagnostic.
+enum class VerifyMode { Off, Warn, Strict };
+
+/// \returns a printable lower-case name ("off", "warn", "strict").
+const char *verifyModeName(VerifyMode Mode);
+
+/// Parses "off"/"warn"/"strict"; \returns false on anything else.
+bool parseVerifyMode(const std::string &Text, VerifyMode &Out);
+
 /// Sizing and policy knobs for a SchedulerService.
 struct ServiceOptions {
   /// Pipeline worker threads; 0 means one per hardware core.
@@ -69,6 +81,9 @@ struct ServiceOptions {
   int MilpThreadsPerJob = 1;
   /// Start with workers paused (tests build deterministic queues).
   bool StartPaused = false;
+  /// Post-solve verification: run the src/verify passes over every
+  /// fresh schedule (Warn records, Strict fails the job on errors).
+  VerifyMode Verify = VerifyMode::Off;
 };
 
 /// Service-level counters (cache counters live in CacheStats).
@@ -80,6 +95,8 @@ struct ServiceStats {
   long Failed = 0;
   long ProfileCacheHits = 0;
   long ProfileCacheMisses = 0;
+  /// Jobs whose post-solve verification drew at least one error.
+  long VerifyFailures = 0;
   /// Deepest the admission queue has been (backpressure headroom).
   size_t PeakQueueDepth = 0;
 };

@@ -19,6 +19,34 @@
 
 namespace cdvs {
 
+/// Kahan (compensated) summation accumulator. The verify passes
+/// re-evaluate MILP constraint rows and objectives with this so their
+/// tolerance reflects the model, not accumulated rounding: the error of
+/// n compensated additions is O(eps), independent of n, versus O(n*eps)
+/// for a naive running sum.
+class KahanSum {
+public:
+  KahanSum() = default;
+  explicit KahanSum(double Initial) : S(Initial) {}
+
+  void add(double X) {
+    double Y = X - C;
+    double T = S + Y;
+    C = (T - S) - Y;
+    S = T;
+  }
+  KahanSum &operator+=(double X) {
+    add(X);
+    return *this;
+  }
+
+  double value() const { return S; }
+
+private:
+  double S = 0.0;
+  double C = 0.0; ///< running compensation (lost low-order bits)
+};
+
 /// Result of a scalar minimization: the argmin and the function value.
 struct MinResult {
   double X = 0.0;

@@ -1,0 +1,56 @@
+//===- verify/CfgChecker.h - CFG/profile structural analysis ----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pass 1 of the static verifier: structural soundness of a profiled
+/// CFG, the substrate every energy number in the repo stands on. The
+/// MILP's coefficients are G_ij edge counts and D_hij local-path counts
+/// (Section 4.2); if those violate flow conservation the objective is
+/// measuring a program that never ran. Checks:
+///
+///  * the Function itself verifies (entry, terminators, ranges);
+///  * per-mode times/energies are finite and nonnegative ("negative
+///    count" detection in the double domain);
+///  * every profiled edge and local path lies on the CFG;
+///  * reachability — executed blocks must be reachable from the entry
+///    and must reach an exit; unreachable dead blocks are warnings;
+///  * flow conservation at every block: sum of in-edge counts (plus the
+///    launch at the entry) == block executions == sum of out-edge
+///    counts (plus returns at exit blocks), within FlowTolerance;
+///  * path/edge consistency: sum_h D_hij == G_ij for every edge;
+///  * dead edges — CFG edges the profile never crossed (warnings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_VERIFY_CFGCHECKER_H
+#define CDVS_VERIFY_CFGCHECKER_H
+
+#include "profile/Profile.h"
+#include "verify/Report.h"
+
+namespace cdvs {
+namespace verify {
+
+/// Knobs for the CFG/profile analysis.
+struct CfgCheckOptions {
+  /// Absolute slack on count-sum comparisons. Counts are integers, so
+  /// the default catches any real imbalance while tolerating the
+  /// double-domain accumulation the checker itself performs.
+  double FlowTolerance = 0.5;
+  /// Report CFG edges the profile never crossed as warnings.
+  bool WarnDeadEdges = true;
+};
+
+/// Runs the structural analysis of \p Prof against \p Fn. The pass name
+/// on every diagnostic is "cfg". \returns the collected report; ok()
+/// means the profile is flow-conservative and safe to feed the MILP.
+Report checkCfgProfile(const Function &Fn, const Profile &Prof,
+                       const CfgCheckOptions &Opts = CfgCheckOptions());
+
+} // namespace verify
+} // namespace cdvs
+
+#endif // CDVS_VERIFY_CFGCHECKER_H

@@ -1,0 +1,65 @@
+//===- verify/Report.cpp - Structured verification diagnostics ------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Report.h"
+
+#include "support/Error.h"
+
+using namespace cdvs;
+using namespace cdvs::verify;
+
+const char *verify::severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  cdvsUnreachable("bad Severity");
+}
+
+std::string Diagnostic::render() const {
+  std::string Out = severityName(Sev);
+  Out += ": [" + Pass + "]";
+  if (!Location.empty())
+    Out += " " + Location + ":";
+  Out += " " + Message;
+  return Out;
+}
+
+void Report::add(Severity Sev, std::string Pass, std::string Location,
+                 std::string Message) {
+  if (Sev == Severity::Error)
+    ++Errors;
+  else if (Sev == Severity::Warning)
+    ++Warnings;
+  Diags.push_back(
+      {Sev, std::move(Pass), std::move(Location), std::move(Message)});
+}
+
+void Report::merge(const Report &Other) {
+  Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+  Errors += Other.Errors;
+  Warnings += Other.Warnings;
+}
+
+std::string Report::render() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render();
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string Report::firstError() const {
+  for (const Diagnostic &D : Diags)
+    if (D.Sev == Severity::Error)
+      return D.render();
+  return "";
+}

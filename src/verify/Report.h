@@ -1,0 +1,91 @@
+//===- verify/Report.h - Structured verification diagnostics ----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic vocabulary shared by every verify pass (CfgChecker,
+/// ScheduleChecker, CertificateChecker): a Diagnostic names the pass
+/// that found it, a severity, a location inside the artifact ("block 3",
+/// "edge 2->5", "row 17"), and a message; a Report collects them. The
+/// contract consumers rely on: a pass succeeded iff its report carries
+/// zero errors — warnings are advisory (dead edges, unexecuted blocks)
+/// and never fail a strict gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_VERIFY_REPORT_H
+#define CDVS_VERIFY_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace cdvs {
+namespace verify {
+
+/// How bad a finding is. Errors fail strict gates; warnings and notes
+/// are advisory.
+enum class Severity { Error, Warning, Note };
+
+/// \returns a printable lower-case name ("error", "warning", "note").
+const char *severityName(Severity S);
+
+/// One finding of a verify pass.
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  std::string Pass;     ///< pass that produced it: "cfg", "schedule", ...
+  std::string Location; ///< artifact coordinate: "block 3", "row 17", ...
+  std::string Message;
+
+  /// "error: [cfg] block 3: flow imbalance ..." — one line, no newline.
+  std::string render() const;
+};
+
+/// An ordered bag of diagnostics from one or more passes.
+class Report {
+public:
+  void error(std::string Pass, std::string Location, std::string Message) {
+    add(Severity::Error, std::move(Pass), std::move(Location),
+        std::move(Message));
+  }
+  void warning(std::string Pass, std::string Location,
+               std::string Message) {
+    add(Severity::Warning, std::move(Pass), std::move(Location),
+        std::move(Message));
+  }
+  void note(std::string Pass, std::string Location, std::string Message) {
+    add(Severity::Note, std::move(Pass), std::move(Location),
+        std::move(Message));
+  }
+  void add(Severity Sev, std::string Pass, std::string Location,
+           std::string Message);
+
+  /// Appends every diagnostic of \p Other.
+  void merge(const Report &Other);
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  int errorCount() const { return Errors; }
+  int warningCount() const { return Warnings; }
+
+  /// True iff no error-severity diagnostic was recorded.
+  bool ok() const { return Errors == 0; }
+
+  /// All diagnostics, one rendered line each (trailing newline included
+  /// when non-empty).
+  std::string render() const;
+
+  /// The first error's rendered line, or "" when ok() — the one-line
+  /// reason strict service mode attaches to a failed job.
+  std::string firstError() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  int Errors = 0;
+  int Warnings = 0;
+};
+
+} // namespace verify
+} // namespace cdvs
+
+#endif // CDVS_VERIFY_REPORT_H

@@ -187,6 +187,32 @@ TEST(ScheduleIO, ReaderRejectsDuplicatesAndTrailingData) {
   EXPECT_FALSE(readSchedule(writeSchedule(A) + "junk\n").hasValue());
 }
 
+TEST(ScheduleIO, ReaderRejectsDuplicatePathEntries) {
+  ErrorOr<ModeAssignment> R =
+      readSchedule("cdvs-schedule v1\ninitial 0\nedges 0\npaths 2\n"
+                   "0 1 2 1\n0 1 2 0\nend\n");
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("duplicate path"), std::string::npos);
+}
+
+TEST(ScheduleIO, ReaderRejectsOutOfRangePathMode) {
+  // Accepted without a table, named in the error with one.
+  std::string Text = "cdvs-schedule v1\ninitial 0\nedges 0\npaths 1\n"
+                     "0 1 2 5\nend\n";
+  EXPECT_TRUE(readSchedule(Text).hasValue());
+  ErrorOr<ModeAssignment> R = readSchedule(Text, 3);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("unknown mode index 5"), std::string::npos);
+  // Negative path modes are rejected even without a table.
+  EXPECT_FALSE(readSchedule("cdvs-schedule v1\ninitial 0\nedges 0\n"
+                            "paths 1\n0 1 2 -1\nend\n")
+                   .hasValue());
+  // Bad path endpoints (interior blocks cannot be negative).
+  EXPECT_FALSE(readSchedule("cdvs-schedule v1\ninitial 0\nedges 0\n"
+                            "paths 1\n0 -1 2 1\nend\n")
+                   .hasValue());
+}
+
 TEST(ScheduleIO, FileRoundTripAndErrors) {
   ModeAssignment A;
   A.InitialMode = 2;

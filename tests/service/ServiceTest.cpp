@@ -266,6 +266,65 @@ TEST(Service, TracksPeakQueueDepth) {
   EXPECT_EQ(Service.stats().PeakQueueDepth, 3u);
 }
 
+TEST(Service, VerifyModesParseAndRoundTrip) {
+  VerifyMode M;
+  EXPECT_TRUE(parseVerifyMode("off", M));
+  EXPECT_EQ(M, VerifyMode::Off);
+  EXPECT_TRUE(parseVerifyMode("warn", M));
+  EXPECT_EQ(M, VerifyMode::Warn);
+  EXPECT_TRUE(parseVerifyMode("strict", M));
+  EXPECT_EQ(M, VerifyMode::Strict);
+  EXPECT_FALSE(parseVerifyMode("paranoid", M));
+  EXPECT_STREQ(verifyModeName(VerifyMode::Warn), "warn");
+  EXPECT_STREQ(verifyModeName(VerifyMode::Strict), "strict");
+}
+
+TEST(Service, VerifyOffLeavesResultsUnaudited) {
+  SchedulerService Service; // Verify defaults to Off
+  JobResult R = Service.submit(gsmJob("plain")).get();
+  ASSERT_EQ(R.Status, JobStatus::Done) << R.Reason;
+  EXPECT_EQ(R.VerifyErrors, -1);
+  EXPECT_EQ(R.VerifyDetail, "");
+  EXPECT_EQ(Service.stats().VerifyFailures, 0);
+}
+
+TEST(Service, StrictVerifyPassesCleanSolvesAndCachesTheVerdict) {
+  ServiceOptions O;
+  O.Verify = VerifyMode::Strict;
+  SchedulerService Service(O);
+  JobResult Cold = Service.submit(gsmJob("cold")).get();
+  ASSERT_EQ(Cold.Status, JobStatus::Done) << Cold.Reason;
+  EXPECT_EQ(Cold.VerifyErrors, 0) << Cold.VerifyDetail;
+  EXPECT_GT(Cold.VerifySeconds, 0.0);
+
+  // A cache hit reuses the stored verdict instead of re-auditing.
+  JobResult Warm = Service.submit(gsmJob("warm")).get();
+  ASSERT_EQ(Warm.Status, JobStatus::Done) << Warm.Reason;
+  EXPECT_TRUE(Warm.CacheHit);
+  EXPECT_EQ(Warm.VerifyErrors, 0);
+  EXPECT_EQ(Warm.VerifySeconds, Cold.VerifySeconds);
+  EXPECT_EQ(Service.stats().VerifyFailures, 0);
+}
+
+TEST(Service, WarnVerifyAuditsABatch) {
+  // bench_service's shape in miniature: a mixed batch under --verify=warn
+  // completes with every solve audited clean.
+  ServiceOptions O;
+  O.Verify = VerifyMode::Warn;
+  SchedulerService Service(O);
+  std::vector<JobRequest> Batch = {gsmJob("g1", 0.3), gsmJob("g2", 0.7)};
+  JobRequest A;
+  A.Id = "a1";
+  A.Workload = "adpcm";
+  A.DeadlineTightness = 0.5;
+  Batch.push_back(A);
+  for (const JobResult &R : Service.runBatch(Batch)) {
+    ASSERT_EQ(R.Status, JobStatus::Done) << R.Id << ": " << R.Reason;
+    EXPECT_EQ(R.VerifyErrors, 0) << R.Id << ": " << R.VerifyDetail;
+  }
+  EXPECT_EQ(Service.stats().VerifyFailures, 0);
+}
+
 TEST(Service, ShutdownDrainsThenRejects) {
   ServiceOptions O;
   O.NumWorkers = 2;

@@ -78,4 +78,44 @@ TEST(Simpson, SineIntegral) {
   EXPECT_NEAR(I, 2.0, 1e-8);
 }
 
+TEST(KahanSum, BeatsNaiveSumOnSmallAddends) {
+  // 1 + 1e7 * 1e-9: each tiny addend loses bits against the running
+  // total in a naive sum; the compensated sum stays exact to 1 ulp.
+  KahanSum K(1.0);
+  double Naive = 1.0;
+  for (int I = 0; I < 10000000; ++I) {
+    K += 1e-9;
+    Naive += 1e-9;
+  }
+  double Exact = 1.0 + 1e7 * 1e-9;
+  EXPECT_NEAR(K.value(), Exact, 1e-15);
+  // The naive sum drifts by orders of magnitude more than Kahan.
+  EXPECT_GT(std::fabs(Naive - Exact),
+            100.0 * std::fabs(K.value() - Exact));
+}
+
+TEST(KahanSum, CarriesLowOrderBitsThroughALargeTerm) {
+  // 1e16 + (1.0 x 8) - 1e16: each 1.0 is below ulp(1e16)/2, so the
+  // naive sum drops them all and returns 0; compensation keeps them.
+  KahanSum K;
+  K.add(1e16);
+  double Naive = 1e16;
+  for (int I = 0; I < 8; ++I) {
+    K.add(1.0);
+    Naive += 1.0;
+  }
+  K.add(-1e16);
+  Naive += -1e16;
+  EXPECT_DOUBLE_EQ(K.value(), 8.0);
+  EXPECT_DOUBLE_EQ(Naive, 0.0);
+}
+
+TEST(KahanSum, InitialValueAndOperatorChaining) {
+  KahanSum K(2.5);
+  K += 0.5;
+  K += -1.0;
+  EXPECT_DOUBLE_EQ(K.value(), 2.0);
+  EXPECT_DOUBLE_EQ(KahanSum().value(), 0.0);
+}
+
 } // namespace

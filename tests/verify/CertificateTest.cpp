@@ -1,0 +1,157 @@
+//===- tests/verify/CertificateTest.cpp - MILP certificate pass -----------===//
+//
+// The acceptance-critical corruption fixtures: a genuine MilpSolution
+// must certify with max scaled violation < 1e-6, and each deliberate
+// corruption — perturbed objective, violated constraint row, mode
+// swapped inside one SOS1 group — must be flagged.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/CertificateChecker.h"
+
+#include "dvs/DvsScheduler.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cdvs;
+using verify::Certificate;
+
+namespace {
+
+/// One solved instance with retained artifacts, shared by the fixtures.
+struct Solved {
+  std::shared_ptr<Function> Fn;
+  std::shared_ptr<const SolverArtifacts> Artifacts;
+};
+
+const Solved &solvedAdpcm() {
+  static const Solved S = [] {
+    Solved Out;
+    Workload W = workloadByName("adpcm");
+    Out.Fn = W.Fn;
+    ModeTable Modes = ModeTable::xscale3();
+    Simulator Sim(*W.Fn);
+    W.defaultInput().Setup(Sim);
+    Profile P = collectProfile(Sim, Modes);
+    double Deadline = 0.5 * (P.TotalTimeAtMode.front() +
+                             P.TotalTimeAtMode.back());
+    TransitionModel Reg = TransitionModel::paperTypical();
+    DvsOptions O;
+    O.InitialMode = static_cast<int>(Modes.size()) - 1;
+    O.KeepArtifacts = true;
+    // The scheduler holds references to its inputs; every argument must
+    // outlive the schedule() call (a temporary here is a use-after-scope).
+    DvsScheduler Sched(*W.Fn, P, Modes, Reg, O);
+    ErrorOr<ScheduleResult> R = Sched.schedule(Deadline);
+    EXPECT_TRUE(static_cast<bool>(R)) << R.message();
+    EXPECT_TRUE(R->Artifacts != nullptr);
+    Out.Artifacts = R->Artifacts;
+    return Out;
+  }();
+  return S;
+}
+
+Certificate certify(const MilpSolution &Sol) {
+  const Solved &S = solvedAdpcm();
+  return verify::checkCertificate(S.Artifacts->Problem,
+                                  S.Artifacts->IntegerVars, Sol);
+}
+
+TEST(Certificate, GenuineSolutionCertifies) {
+  Certificate C = certify(solvedAdpcm().Artifacts->Solution);
+  EXPECT_TRUE(C.Checked);
+  EXPECT_TRUE(C.R.ok()) << C.R.render();
+  EXPECT_LT(C.MaxRowViolation, 1e-6);
+  EXPECT_LT(C.MaxBoundViolation, 1e-6);
+  EXPECT_LT(C.MaxIntegralityGap, 1e-6);
+  EXPECT_LT(C.ObjectiveMismatch,
+            1e-6 * std::max(1.0, C.RecomputedObjective));
+}
+
+TEST(Certificate, PerturbedObjectiveIsFlagged) {
+  MilpSolution Sol = solvedAdpcm().Artifacts->Solution;
+  Sol.Objective *= 0.9; // the solver "claims" 10% less energy
+  Certificate C = certify(Sol);
+  EXPECT_TRUE(C.Checked);
+  EXPECT_FALSE(C.R.ok());
+  EXPECT_GT(C.ObjectiveMismatch, 0.0);
+  EXPECT_NE(C.R.firstError().find("objective"), std::string::npos)
+      << C.R.render();
+}
+
+TEST(Certificate, ViolatedRowIsFlagged) {
+  // Zeroing one mode binary breaks its SOS1 row (sum_m k = 1).
+  const Solved &S = solvedAdpcm();
+  MilpSolution Sol = S.Artifacts->Solution;
+  ASSERT_FALSE(S.Artifacts->IntegerVars.empty());
+  int SetVar = -1;
+  for (int V : S.Artifacts->IntegerVars)
+    if (Sol.X[V] > 0.5) {
+      SetVar = V;
+      break;
+    }
+  ASSERT_GE(SetVar, 0);
+  Sol.X[SetVar] = 0.0;
+  Certificate C = certify(Sol);
+  EXPECT_TRUE(C.Checked);
+  EXPECT_FALSE(C.R.ok()) << "zeroed k should violate its SOS1 row";
+  EXPECT_GT(C.MaxRowViolation, 1e-6);
+}
+
+TEST(Certificate, SwappedModeInOneGroupIsFlagged) {
+  // Move the selected binary within one SOS1 group: the group row still
+  // sums to 1 and integrality holds, but the objective (and possibly
+  // the deadline row) no longer matches the reported optimum.
+  const Solved &S = solvedAdpcm();
+  MilpSolution Sol = S.Artifacts->Solution;
+  const std::vector<int> &Ints = S.Artifacts->IntegerVars;
+  // Mode binaries are group-major: consecutive runs of NumModes values.
+  // Swap the adjacent pair with the largest objective-cost difference,
+  // so the recomputed c^T x moves well past the certificate tolerance.
+  int BestV = -1, BestW = -1;
+  double BestDiff = 0.0;
+  for (size_t I = 0; I + 1 < Ints.size(); ++I) {
+    int V = Ints[I], W = Ints[I + 1];
+    if (Sol.X[V] > 0.5 && Sol.X[W] < 0.5) {
+      double Diff = std::fabs(S.Artifacts->Problem.cost(V) -
+                              S.Artifacts->Problem.cost(W));
+      if (Diff > BestDiff) {
+        BestDiff = Diff;
+        BestV = V;
+        BestW = W;
+      }
+    }
+  }
+  ASSERT_GE(BestV, 0) << "no adjacent swap with distinct costs found";
+  ASSERT_GT(BestDiff, 2e-6) << "cost gap too small to detect";
+  Sol.X[BestV] = 0.0;
+  Sol.X[BestW] = 1.0;
+  Certificate C = certify(Sol);
+  EXPECT_TRUE(C.Checked);
+  EXPECT_FALSE(C.R.ok())
+      << "mode swap must break the objective match or a constraint row:\n"
+      << C.R.render();
+}
+
+TEST(Certificate, NonPointStatusIsNotChecked) {
+  MilpSolution Sol;
+  Sol.Status = MilpStatus::Infeasible;
+  Certificate C = certify(Sol);
+  EXPECT_FALSE(C.Checked);
+  EXPECT_TRUE(C.R.ok()); // a note, not an error
+  EXPECT_FALSE(C.R.diagnostics().empty());
+}
+
+TEST(Certificate, WrongSizePointIsAnError) {
+  MilpSolution Sol = solvedAdpcm().Artifacts->Solution;
+  Sol.X.pop_back();
+  Certificate C = certify(Sol);
+  EXPECT_FALSE(C.Checked);
+  EXPECT_FALSE(C.R.ok());
+}
+
+} // namespace

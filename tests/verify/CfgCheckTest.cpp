@@ -1,0 +1,175 @@
+//===- tests/verify/CfgCheckTest.cpp - CFG/profile structural pass --------===//
+
+#include "verify/CfgChecker.h"
+
+#include "ir/IRBuilder.h"
+#include "power/ModeTable.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+using verify::Diagnostic;
+using verify::Report;
+using verify::Severity;
+
+namespace {
+
+/// Diamond with a loop: entry -> head; head -> left|right; both -> latch;
+/// latch -> head|exit.
+std::shared_ptr<Function> makeDiamondLoop() {
+  auto Fn = std::make_shared<Function>("diamond", 8, 4096);
+  IRBuilder B(*Fn);
+  int Entry = B.createBlock("entry");
+  int Head = B.createBlock("head");
+  int Left = B.createBlock("left");
+  int Right = B.createBlock("right");
+  int Latch = B.createBlock("latch");
+  int Exit = B.createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  B.movImm(1, 0);  // i
+  B.movImm(2, 10); // trips
+  B.movImm(3, 1);
+  B.jump(Head);
+
+  B.setInsertPoint(Head);
+  B.and_(4, 1, 3); // parity picks the arm
+  B.condBr(4, Left, Right);
+
+  B.setInsertPoint(Left);
+  B.add(5, 5, 3);
+  B.jump(Latch);
+
+  B.setInsertPoint(Right);
+  B.mul(5, 5, 3);
+  B.jump(Latch);
+
+  B.setInsertPoint(Latch);
+  B.add(1, 1, 3);
+  B.cmpLt(4, 1, 2);
+  B.condBr(4, Head, Exit);
+
+  B.setInsertPoint(Exit);
+  B.ret();
+  return Fn;
+}
+
+Profile profileOf(Function &Fn) {
+  Simulator Sim(Fn);
+  return collectProfile(Sim, ModeTable::xscale3());
+}
+
+bool hasError(const Report &R, const std::string &Needle) {
+  for (const Diagnostic &D : R.diagnostics())
+    if (D.Sev == Severity::Error &&
+        D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(CfgCheck, CleanProfilePasses) {
+  auto Fn = makeDiamondLoop();
+  Profile P = profileOf(*Fn);
+  Report R = verify::checkCfgProfile(*Fn, P);
+  EXPECT_TRUE(R.ok()) << R.render();
+}
+
+TEST(CfgCheck, CorruptedEdgeCountBreaksFlowConservation) {
+  auto Fn = makeDiamondLoop();
+  Profile P = profileOf(*Fn);
+  ASSERT_FALSE(P.EdgeCounts.empty());
+  P.EdgeCounts.begin()->second += 7;
+  Report R = verify::checkCfgProfile(*Fn, P);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasError(R, "flow imbalance") ||
+              hasError(R, "in-edge counts"))
+      << R.render();
+}
+
+TEST(CfgCheck, NegativeTimeIsAnError) {
+  auto Fn = makeDiamondLoop();
+  Profile P = profileOf(*Fn);
+  P.TimePerInvocation[1][0] = -1e-9;
+  Report R = verify::checkCfgProfile(*Fn, P);
+  EXPECT_TRUE(hasError(R, "negative time")) << R.render();
+}
+
+TEST(CfgCheck, NonCfgEdgeIsAnError) {
+  auto Fn = makeDiamondLoop();
+  Profile P = profileOf(*Fn);
+  P.EdgeCounts[{2, 3}] = 5; // left -> right does not exist
+  Report R = verify::checkCfgProfile(*Fn, P);
+  EXPECT_TRUE(hasError(R, "not a CFG edge")) << R.render();
+}
+
+TEST(CfgCheck, PathEdgeMismatchIsAnError) {
+  auto Fn = makeDiamondLoop();
+  Profile P = profileOf(*Fn);
+  ASSERT_FALSE(P.PathCounts.empty());
+  P.PathCounts.begin()->second += 3;
+  Report R = verify::checkCfgProfile(*Fn, P);
+  EXPECT_TRUE(hasError(R, "path counts sum")) << R.render();
+}
+
+TEST(CfgCheck, DeadEdgeIsOnlyAWarning) {
+  // A branch whose condition is always false: the true arm's edge is
+  // dead in the profile but the counts stay perfectly conservative.
+  auto Fn = std::make_shared<Function>("biased", 8, 4096);
+  IRBuilder B(*Fn);
+  int Entry = B.createBlock("entry");
+  int Head = B.createBlock("head");
+  int Cold = B.createBlock("cold");
+  int Hot = B.createBlock("hot");
+  int Exit = B.createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(1, 0); // always-false condition
+  B.movImm(2, 0);
+  B.movImm(3, 1);
+  B.movImm(4, 5); // trips
+  B.jump(Head);
+  B.setInsertPoint(Head);
+  B.condBr(1, Cold, Hot);
+  B.setInsertPoint(Cold);
+  B.add(5, 5, 3);
+  B.jump(Exit);
+  B.setInsertPoint(Hot);
+  B.add(2, 2, 3);
+  B.cmpLt(6, 2, 4);
+  B.condBr(6, Head, Exit);
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  Profile P = profileOf(*Fn);
+  Report R = verify::checkCfgProfile(*Fn, P);
+  EXPECT_EQ(R.errorCount(), 0) << R.render();
+  bool DeadEdgeWarned = false;
+  for (const Diagnostic &D : R.diagnostics())
+    if (D.Sev == Severity::Warning &&
+        D.Message.find("dead edge") != std::string::npos)
+      DeadEdgeWarned = true;
+  EXPECT_TRUE(DeadEdgeWarned) << R.render();
+}
+
+TEST(CfgCheck, ProfileShapeMismatchIsAnError) {
+  auto Fn = makeDiamondLoop();
+  Profile P = profileOf(*Fn);
+  P.NumBlocks = 3;
+  Report R = verify::checkCfgProfile(*Fn, P);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(CfgCheck, AllBundledWorkloadsPassClean) {
+  ModeTable Modes = ModeTable::xscale3();
+  for (const Workload &W : allWorkloads()) {
+    Simulator Sim(*W.Fn);
+    W.defaultInput().Setup(Sim);
+    Profile P = collectProfile(Sim, Modes);
+    Report R = verify::checkCfgProfile(*W.Fn, P);
+    EXPECT_EQ(R.errorCount(), 0)
+        << W.Name << ":\n"
+        << R.render();
+  }
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+//===- tools/dvs-lint.cpp - Static analysis CLI for DVS artifacts ----------===//
+//
+// Front end of the src/verify static-analysis library. Three ways to run:
+//
+//   dvs-lint                      lint every bundled workload: collect
+//                                 per-mode profiles for every input and
+//                                 run the CFG/profile structural pass
+//                                 (reachability, flow conservation,
+//                                 path/edge consistency, dead edges);
+//   dvs-lint --solve              additionally schedule each input and
+//                                 run the schedule-legality and MILP
+//                                 certificate passes over the result
+//                                 (deadline from --tightness, filter
+//                                 from --filter);
+//   dvs-lint --schedule=FILE --workload=NAME [--input=NAME]
+//                                 check one serialized schedule
+//                                 (dvs/ScheduleIO format) against the
+//                                 named workload's profile.
+//
+// --workload=NAME restricts the first two modes to one workload. Every
+// diagnostic prints as one `severity: [pass] location: message` line;
+// --quiet drops warnings and notes. Exit code: 0 when no errors, 1 when
+// any pass drew an error, 2 on usage/input problems.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/DvsScheduler.h"
+#include "dvs/ScheduleIO.h"
+#include "power/VfModel.h"
+#include "support/ArgParse.h"
+#include "verify/Verify.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace cdvs;
+
+namespace {
+
+struct LintConfig {
+  int NumLevels = 0; // 0 = XScale-like 3-mode table
+  double Tightness = 0.5;
+  double Filter = 0.02;
+  double CapacitanceF = 10e-6;
+  bool Solve = false;
+  bool Quiet = false;
+};
+
+ModeTable makeModes(const LintConfig &Cfg) {
+  return Cfg.NumLevels == 0
+             ? ModeTable::xscale3()
+             : ModeTable::evenVoltageLevels(Cfg.NumLevels, 0.7, 1.65,
+                                            VfModel::paperDefault());
+}
+
+/// Prints \p R under the "workload/input" banner; \returns its error
+/// count.
+int emitReport(const verify::Report &R, const std::string &Where,
+               bool Quiet) {
+  for (const verify::Diagnostic &D : R.diagnostics()) {
+    if (Quiet && D.Sev != verify::Severity::Error)
+      continue;
+    std::printf("%s: %s\n", Where.c_str(), D.render().c_str());
+  }
+  return R.errorCount();
+}
+
+/// Lints one workload input: the structural pass, plus schedule +
+/// certificate passes with --solve. \returns the error count.
+int lintInput(const Workload &W, const WorkloadInput &Input,
+              const LintConfig &Cfg) {
+  std::string Where = W.Name + "/" + Input.Name;
+  ModeTable Modes = makeModes(Cfg);
+  Simulator Sim(*W.Fn);
+  Input.Setup(Sim);
+  Profile P = collectProfile(Sim, Modes);
+
+  int Errors =
+      emitReport(verify::checkCfgProfile(*W.Fn, P), Where, Cfg.Quiet);
+  if (!Cfg.Solve)
+    return Errors;
+
+  std::vector<CategoryProfile> Categories{{P, 1.0}};
+  double TFast = P.TotalTimeAtMode.back();
+  double TSlow = P.TotalTimeAtMode.front();
+  double Deadline = TFast + Cfg.Tightness * (TSlow - TFast);
+  TransitionModel Transitions(Cfg.CapacitanceF, 0.9, 1.0);
+
+  DvsOptions O;
+  O.FilterThreshold = Cfg.Filter;
+  O.InitialMode = static_cast<int>(Modes.size()) - 1;
+  O.KeepArtifacts = true;
+  DvsScheduler Scheduler(*W.Fn, Categories, Modes, Transitions, O);
+  ErrorOr<ScheduleResult> SR = Scheduler.schedule(Deadline);
+  if (!SR) {
+    std::printf("%s: error: [schedule] solve failed: %s\n",
+                Where.c_str(), SR.message().c_str());
+    return Errors + 1;
+  }
+
+  verify::AuditOptions AOpts;
+  AOpts.FilterThreshold = Cfg.Filter;
+  AOpts.CheckProfiles = false; // pass 1 already ran above
+  verify::Audit A = verify::auditScheduleResult(
+      *W.Fn, Categories, Modes, Transitions, *SR, {Deadline}, AOpts);
+  Errors += emitReport(A.R, Where, Cfg.Quiet);
+  if (!Cfg.Quiet)
+    std::printf("%s: note: [certificate] max row violation %.3g, "
+                "objective mismatch %.3g J\n",
+                Where.c_str(), A.Cert.MaxRowViolation,
+                A.Cert.ObjectiveMismatch);
+  return Errors;
+}
+
+/// Checks one serialized schedule file against a workload input.
+int lintScheduleFile(const std::string &Path, const Workload &W,
+                     const WorkloadInput &Input, const LintConfig &Cfg) {
+  std::string Where = Path + " vs " + W.Name + "/" + Input.Name;
+  ModeTable Modes = makeModes(Cfg);
+  ErrorOr<ModeAssignment> A =
+      readScheduleFile(Path, static_cast<int>(Modes.size()));
+  if (!A) {
+    std::printf("%s: error: [schedule] %s\n", Where.c_str(),
+                A.message().c_str());
+    return 1;
+  }
+  Simulator Sim(*W.Fn);
+  Input.Setup(Sim);
+  Profile P = collectProfile(Sim, Modes);
+  std::vector<CategoryProfile> Categories{{P, 1.0}};
+  double TFast = P.TotalTimeAtMode.back();
+  double TSlow = P.TotalTimeAtMode.front();
+  double Deadline = TFast + Cfg.Tightness * (TSlow - TFast);
+  TransitionModel Transitions(Cfg.CapacitanceF, 0.9, 1.0);
+
+  int Errors =
+      emitReport(verify::checkCfgProfile(*W.Fn, P), Where, Cfg.Quiet);
+  verify::ScheduleCheckOptions SOpts;
+  SOpts.FilterThreshold = Cfg.Filter;
+  verify::ScheduleCheck SC = verify::checkSchedule(
+      *W.Fn, Categories, Modes, Transitions, *A, {Deadline}, SOpts);
+  Errors += emitReport(SC.R, Where, Cfg.Quiet);
+  if (!Cfg.Quiet && !SC.CategoryTimeSeconds.empty())
+    std::printf("%s: note: [schedule] recomputed time %.4f ms, energy "
+                "%.3f uJ (deadline %.4f ms)\n",
+                Where.c_str(), SC.CategoryTimeSeconds.front() * 1e3,
+                SC.EnergyJoules * 1e6, Deadline * 1e3);
+  return Errors;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ArgParser P("dvs-lint",
+              "static analysis over DVS profiles, schedules, and MILP "
+              "solutions");
+  std::string &WorkloadName = P.addString(
+      "workload", "", "restrict to one workload (default: all)");
+  std::string &InputName = P.addString(
+      "input", "", "input name for --schedule (default: first input)");
+  std::string &SchedulePath = P.addString(
+      "schedule", "", "check this serialized schedule file");
+  int &Levels = P.addInt(
+      "levels", 0, "voltage levels; 0 = the XScale-like 3-mode table");
+  double &Tightness = P.addDouble(
+      "tightness", 0.5, "deadline between fastest (0) and slowest (1)");
+  double &Filter =
+      P.addDouble("filter", 0.02, "Section 5.2 edge-filter threshold");
+  double &Capacitance = P.addDouble(
+      "capacitance", 10e-6, "regulator capacitance in farads");
+  bool &Solve = P.addFlag(
+      "solve", "schedule each input and certify the MILP solution");
+  bool &Quiet = P.addFlag("quiet", "print errors only");
+  if (!P.parseOrExit(argc, argv))
+    return 0;
+
+  LintConfig Cfg;
+  Cfg.NumLevels = Levels;
+  Cfg.Tightness = Tightness;
+  Cfg.Filter = Filter;
+  Cfg.CapacitanceF = Capacitance;
+  Cfg.Solve = Solve;
+  Cfg.Quiet = Quiet;
+  if (Cfg.Filter < 0.0 || Cfg.Filter >= 1.0) {
+    std::fprintf(stderr, "dvs-lint: --filter must be in [0, 1)\n");
+    return 2;
+  }
+
+  std::vector<Workload> All = allWorkloads();
+  const Workload *Selected = nullptr;
+  if (!WorkloadName.empty()) {
+    for (const Workload &W : All)
+      if (W.Name == WorkloadName)
+        Selected = &W;
+    if (!Selected) {
+      std::fprintf(stderr, "dvs-lint: unknown workload '%s'\n",
+                   WorkloadName.c_str());
+      return 2;
+    }
+  }
+
+  int Errors = 0;
+  if (!SchedulePath.empty()) {
+    if (!Selected) {
+      std::fprintf(stderr,
+                   "dvs-lint: --schedule needs --workload=NAME\n");
+      return 2;
+    }
+    const WorkloadInput *Input = &Selected->defaultInput();
+    if (!InputName.empty()) {
+      Input = nullptr;
+      for (const WorkloadInput &In : Selected->Inputs)
+        if (In.Name == InputName)
+          Input = &In;
+      if (!Input) {
+        std::fprintf(stderr, "dvs-lint: unknown input '%s'\n",
+                     InputName.c_str());
+        return 2;
+      }
+    }
+    Errors = lintScheduleFile(SchedulePath, *Selected, *Input, Cfg);
+  } else {
+    int Inputs = 0;
+    for (const Workload &W : All) {
+      if (Selected && &W != Selected)
+        continue;
+      for (const WorkloadInput &In : W.Inputs) {
+        Errors += lintInput(W, In, Cfg);
+        ++Inputs;
+      }
+    }
+    if (!Cfg.Quiet)
+      std::printf("dvs-lint: %d input(s) checked, %d error(s)\n", Inputs,
+                  Errors);
+  }
+  return Errors == 0 ? 0 : 1;
+}

@@ -20,6 +20,11 @@
 // batch N times (a quick cache demonstration: pass 2+ and watch
 // cache_hit flip to true at microsecond latencies).
 //
+// --verify={off,warn,strict} runs the src/verify static passes over
+// every fresh schedule: warn records verify_errors/verify_detail on the
+// result line, strict additionally fails jobs whose schedule draws any
+// error-severity diagnostic.
+//
 // Observability: --metrics-out=FILE writes the process metrics registry
 // in Prometheus text exposition format after the batch ('-' = stderr);
 // --metrics-json=FILE writes the same registry as JSON; --trace-out=FILE
@@ -112,13 +117,22 @@ std::string resultToJson(const JobResult &R,
                   milpStatusName(R.Milp));
     Out += Buf;
   }
+  if (R.VerifyErrors >= 0) {
+    std::snprintf(Buf, sizeof(Buf), ",\"verify_errors\":%d",
+                  R.VerifyErrors);
+    Out += Buf;
+    if (!R.VerifyDetail.empty())
+      Out += ",\"verify_detail\":\"" + jsonEscape(R.VerifyDetail) + "\"";
+  }
   std::snprintf(Buf, sizeof(Buf),
                 ",\"queue_ms\":%.3f,\"profile_ms\":%.3f,"
                 "\"bound_ms\":%.3f,\"solve_ms\":%.3f,"
-                "\"serialize_ms\":%.3f,\"total_ms\":%.3f",
+                "\"serialize_ms\":%.3f,\"verify_ms\":%.3f,"
+                "\"total_ms\":%.3f",
                 R.QueueSeconds * 1e3, R.ProfileSeconds * 1e3,
                 R.BoundSeconds * 1e3, R.SolveSeconds * 1e3,
-                R.SerializeSeconds * 1e3, R.TotalSeconds * 1e3);
+                R.SerializeSeconds * 1e3, R.VerifySeconds * 1e3,
+                R.TotalSeconds * 1e3);
   Out += Buf;
   if (!ScheduleFile.empty())
     Out += ",\"schedule_file\":\"" + jsonEscape(ScheduleFile) + "\"";
@@ -204,8 +218,20 @@ int main(int argc, char **argv) {
       "trace-out", "",
       "enable span tracing; write Chrome trace_event JSON here (load "
       "in Perfetto)");
+  std::string &VerifyArg = P.addString(
+      "verify", "off",
+      "post-solve static verification: off, warn (record findings), or "
+      "strict (fail jobs with errors)");
   if (!P.parseOrExit(argc, argv))
     return 0;
+  VerifyMode Verify = VerifyMode::Off;
+  if (!parseVerifyMode(VerifyArg, Verify)) {
+    std::fprintf(stderr,
+                 "dvsd: --verify must be off, warn, or strict (got "
+                 "'%s')\n",
+                 VerifyArg.c_str());
+    return 1;
+  }
   if (!P.positional().empty())
     RequestsPath = P.positional().front();
 
@@ -262,6 +288,7 @@ int main(int argc, char **argv) {
   O.NumWorkers = Threads;
   O.QueueCapacity = static_cast<size_t>(QueueCap < 1 ? 1 : QueueCap);
   O.CacheCapacity = static_cast<size_t>(CacheCap < 1 ? 1 : CacheCap);
+  O.Verify = Verify;
   SchedulerService Service(O);
 
   long Done = 0, NotDone = ParseErrors;
@@ -296,12 +323,13 @@ int main(int argc, char **argv) {
       "{\"type\":\"stats\",\"submitted\":%ld,\"completed\":%ld,"
       "\"rejected\":%ld,\"infeasible\":%ld,\"failed\":%ld,"
       "\"parse_errors\":%d,\"peak_queue_depth\":%zu,"
+      "\"verify_failures\":%ld,"
       "\"cache\":{\"hits\":%ld,\"misses\":%ld,"
       "\"shared_flights\":%ld,\"evictions\":%ld,\"entries\":%zu},"
       "\"profile_cache\":{\"hits\":%ld,\"misses\":%ld}}",
       S.Submitted, S.Completed, S.Rejected, S.Infeasible, S.Failed,
-      ParseErrors, S.PeakQueueDepth, C.Hits, C.Misses, C.SharedFlights,
-      C.Evictions, C.Entries, S.ProfileCacheHits,
+      ParseErrors, S.PeakQueueDepth, S.VerifyFailures, C.Hits, C.Misses,
+      C.SharedFlights, C.Evictions, C.Entries, S.ProfileCacheHits,
       S.ProfileCacheMisses);
   // The aggregate record is the batch's receipt; when the consumer hung
   // up early it still lands on stderr instead of vanishing.
@@ -319,8 +347,10 @@ int main(int argc, char **argv) {
     writeTextFile(TraceOut, obs::trace().renderChromeTrace(), "trace");
 
   // Any rejected job means the batch was not fully served — surface
-  // that in the exit code so scripted callers notice backpressure.
-  if (S.Rejected > 0)
+  // that in the exit code so scripted callers notice backpressure. A
+  // verification failure is never tolerated: an audited-bad schedule
+  // must fail the batch even when other jobs completed.
+  if (S.Rejected > 0 || S.VerifyFailures > 0)
     return 1;
   return NotDone == 0 ? 0 : (Done > 0 ? 0 : 1);
 }
