@@ -25,7 +25,13 @@
 #      independently audited (legality + MILP certificate) and any
 #      verification error fails the job, and therefore this gate;
 #   7. ASan+UBSan build of the full test suite (memory errors and UB in
-#      the solver arithmetic and the service lifecycle).
+#      the solver arithmetic and the service lifecycle);
+#   8. network round trip: dvs-server + dvs-loadgen over loopback under
+#      TSan, then a default-build load run whose schedules must be
+#      byte-identical to dvsd's for the same jobs (BENCH_net.json is
+#      this run's record), a malformed-frame + slow-client probe the
+#      server must survive, and dvs-stat --check over the server's
+#      metrics snapshot (scripts/metric_names_net.txt).
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 #
@@ -120,6 +126,91 @@ echo "== ASan+UBSan: full test suite =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build build-asan-ubsan -j"$JOBS"
 (cd build-asan-ubsan && ctest --output-on-failure -j"$JOBS")
+
+echo
+echo "== net: TSan loopback round trip (net_test, dvs-server + dvs-loadgen) =="
+cmake --build build-tsan -j"$JOBS" --target net_test dvs-server dvs-loadgen
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_test
+NET_TMP="$OBS_TMP/net"
+mkdir -p "$NET_TMP"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-server \
+  --port=0 --threads=2 --port-file="$NET_TMP/tsan_port" \
+  > "$NET_TMP/tsan_server.log" &
+TSAN_SRV=$!
+for _ in $(seq 1 100); do
+  [ -s "$NET_TMP/tsan_port" ] && break
+  sleep 0.1
+done
+[ -s "$NET_TMP/tsan_port" ] || { echo "TSan dvs-server never listened"; exit 1; }
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-loadgen \
+  --port="$(cat "$NET_TMP/tsan_port")" --connections=4 --rate=1000 \
+  --requests=2000 --distinct=8 \
+  --benchmark_out="$NET_TMP/tsan_bench.json"
+kill -TERM "$TSAN_SRV"
+wait "$TSAN_SRV"
+
+echo
+echo "== net: throughput + schedules byte-identical to dvsd =="
+cmake --build build -j"$JOBS" --target dvs-server dvs-loadgen
+DISTINCT=16
+./build/tools/dvs-server --port=0 --threads="$JOBS" \
+  --idle-timeout-ms=500 --port-file="$NET_TMP/port" \
+  --metrics-out="$NET_TMP/net_metrics.prom" \
+  > "$NET_TMP/server.log" &
+NET_SRV=$!
+for _ in $(seq 1 100); do
+  [ -s "$NET_TMP/port" ] && break
+  sleep 0.1
+done
+[ -s "$NET_TMP/port" ] || { echo "dvs-server never listened"; exit 1; }
+NET_PORT="$(cat "$NET_TMP/port")"
+mkdir -p "$NET_TMP/netsched"
+./build/tools/dvs-loadgen --port="$NET_PORT" --connections=8 \
+  --rate=6000 --requests=18000 --distinct="$DISTINCT" \
+  --schedules="$NET_TMP/netsched" --benchmark_out=BENCH_net.json
+# The cached steady state must sustain at least 5k req/s end to end.
+awk -F'"throughput_rps":' '{split($2,a,","); if (a[1] < 5000.0) {
+  printf "throughput %.0f rps is below the 5000 rps floor\n", a[1];
+  exit 1 } }' BENCH_net.json
+
+# A garbage frame draws a reject, then a close — and must not take the
+# server down.
+exec 3<>"/dev/tcp/127.0.0.1/$NET_PORT"
+printf 'NOT A CDVS FRAME' >&3
+timeout 5 head -c 1 <&3 >/dev/null
+exec 3<&- 3>&-
+# A silent client is evicted by the idle timeout, nothing more.
+exec 4<>"/dev/tcp/127.0.0.1/$NET_PORT"
+sleep 1
+exec 4<&- 4>&-
+# The server still serves after both probes.
+./build/tools/dvs-loadgen --port="$NET_PORT" --connections=2 \
+  --rate=1000 --requests=500 --distinct=4 \
+  --benchmark_out="$NET_TMP/probe_bench.json"
+kill -TERM "$NET_SRV"
+wait "$NET_SRV"
+grep -q '"protocol_errors":1,' "$NET_TMP/server.log" \
+  || { echo "garbage frame was not counted as a protocol error"; exit 1; }
+grep -q '"idle_closes":1,' "$NET_TMP/server.log" \
+  || { echo "silent client was not evicted by the idle timeout"; exit 1; }
+
+# The wire serves bit-for-bit what dvsd serves: solve the same distinct
+# jobs through the CLI and diff the schedule files.
+: > "$NET_TMP/net_jobs.jsonl"
+for k in $(seq 0 $((DISTINCT - 1))); do
+  awk -v k="$k" -v n="$DISTINCT" 'BEGIN {
+    printf "{\"id\":\"k%d\",\"workload\":\"gsm\",\"tightness\":%.17g}\n",
+           k, 0.2 + 0.6 * k / n }' >> "$NET_TMP/net_jobs.jsonl"
+done
+mkdir -p "$NET_TMP/dsched"
+./build/tools/dvsd --threads="$JOBS" --quiet \
+  --schedules="$NET_TMP/dsched" "$NET_TMP/net_jobs.jsonl"
+diff -r "$NET_TMP/netsched" "$NET_TMP/dsched" \
+  || { echo "wire schedules differ from dvsd schedules"; exit 1; }
+
+# Every canonical net metric family made it into the snapshot.
+./build/tools/dvs-stat --check --names=scripts/metric_names_net.txt \
+  "$NET_TMP/net_metrics.prom"
 
 echo
 echo "All checks passed."

@@ -1,0 +1,169 @@
+//===- net/Client.cpp - Blocking cdvs-wire v1 client -----------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include "net/EventLoop.h"
+#include "service/JobIO.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace cdvs;
+using namespace cdvs::net;
+
+Client::~Client() { close(); }
+
+Client::Client(Client &&Other) noexcept
+    : Fd(Other.Fd), NextCorrelation(Other.NextCorrelation),
+      Parser(std::move(Other.Parser)) {
+  Other.Fd = -1;
+}
+
+Client &Client::operator=(Client &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    NextCorrelation = Other.NextCorrelation;
+    Parser = std::move(Other.Parser);
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+ErrorOr<Client> Client::connect(const std::string &Host, uint16_t Port,
+                                ClientOptions Opts) {
+  ErrorOr<int> Fd = connectTcp(Host, Port, Opts.ConnectTimeoutMs);
+  if (!Fd)
+    return makeError(Fd.message());
+  Client C;
+  C.Fd = *Fd;
+  C.Parser = FrameParser(Opts.MaxFrameBytes);
+  return C;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void Client::shutdownWrite() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_WR);
+}
+
+ErrorOr<bool> Client::sendRaw(const void *Data, size_t Len) {
+  if (Fd < 0)
+    return makeError("not connected");
+  const char *P = static_cast<const char *>(Data);
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::send(Fd, P + Off, Len - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return makeError(std::string("send failed: ") +
+                       std::strerror(errno));
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+ErrorOr<uint64_t> Client::sendRequest(const JobRequest &Request,
+                                      uint64_t Correlation) {
+  if (Correlation == 0)
+    Correlation = NextCorrelation++;
+  std::string F = encodeFrame(FrameType::Request, Correlation,
+                              jobRequestToJson(Request));
+  ErrorOr<bool> S = sendRaw(F.data(), F.size());
+  if (!S)
+    return makeError(S.message());
+  return Correlation;
+}
+
+ErrorOr<uint64_t> Client::ping(uint64_t Correlation) {
+  if (Correlation == 0)
+    Correlation = NextCorrelation++;
+  std::string F =
+      encodeFrame(FrameType::Ping, Correlation, std::string());
+  ErrorOr<bool> S = sendRaw(F.data(), F.size());
+  if (!S)
+    return makeError(S.message());
+  return Correlation;
+}
+
+ErrorOr<Frame> Client::readFrame(int TimeoutMs) {
+  if (Fd < 0)
+    return makeError("not connected");
+  for (;;) {
+    Frame F;
+    FrameParser::Next R = Parser.next(F);
+    if (R == FrameParser::Next::Frame)
+      return F;
+    if (R == FrameParser::Next::Error)
+      return makeError(std::string("protocol error: ") +
+                       wireStatusName(Parser.error()));
+
+    struct pollfd P;
+    P.fd = Fd;
+    P.events = POLLIN;
+    P.revents = 0;
+    int PR = ::poll(&P, 1, TimeoutMs);
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      return makeError(std::string("poll failed: ") +
+                       std::strerror(errno));
+    }
+    if (PR == 0)
+      return makeError("timed out waiting for a frame");
+
+    char Buf[64 * 1024];
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      Parser.feed(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return makeError(std::string("recv failed: ") +
+                       std::strerror(errno));
+    }
+    if (Parser.buffered() > 0)
+      return makeError("connection closed mid-frame");
+    return makeError("connection closed");
+  }
+}
+
+ErrorOr<JobResult> Client::call(const JobRequest &Request, int TimeoutMs) {
+  ErrorOr<uint64_t> Corr = sendRequest(Request);
+  if (!Corr)
+    return makeError(Corr.message());
+  for (;;) {
+    ErrorOr<Frame> F = readFrame(TimeoutMs);
+    if (!F)
+      return makeError(F.message());
+    if (F->Correlation != *Corr)
+      continue; // pipelined traffic for other correlation ids
+    if (F->Type == FrameType::Reject) {
+      ErrorOr<RejectInfo> R = decodeReject(F->Payload);
+      if (!R)
+        return makeError("rejected (unparseable reject payload)");
+      return makeError("rejected: " + R->Code + ": " + R->Reason);
+    }
+    if (F->Type != FrameType::Response)
+      continue; // e.g. a Pong that reused the id; keep waiting
+    return jobResultFromJsonText(F->Payload);
+  }
+}

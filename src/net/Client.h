@@ -1,0 +1,98 @@
+//===- net/Client.h - Blocking cdvs-wire v1 client --------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client for net::Server: connect, send Request
+/// frames (pipelined, correlation ids chosen here or by the caller),
+/// read whatever frames come back. call() is the synchronous
+/// convenience — one request, wait for its response — while the
+/// send/read halves are exposed separately so the load generator can
+/// pipeline and the protocol tests can speak raw bytes (sendRaw) and
+/// half-close (shutdownWrite).
+///
+/// One Client is one connection and is not thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_NET_CLIENT_H
+#define CDVS_NET_CLIENT_H
+
+#include "net/Wire.h"
+#include "service/Job.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cdvs {
+namespace net {
+
+/// Connection-level knobs for net::Client.
+struct ClientOptions {
+  int ConnectTimeoutMs = 5'000;
+  /// Per-frame payload cap applied to *received* frames.
+  size_t MaxFrameBytes = kDefaultMaxPayloadBytes;
+};
+
+/// Blocking cdvs-wire client; see the file comment.
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(Client &&Other) noexcept;
+  Client &operator=(Client &&Other) noexcept;
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to \p Host:\p Port. \returns the connected client.
+  static ErrorOr<Client> connect(const std::string &Host, uint16_t Port,
+                                 ClientOptions Opts = ClientOptions());
+
+  bool connected() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Sends one Request frame carrying \p Request as JSON. \returns the
+  /// correlation id used (auto-assigned from an internal counter when
+  /// \p Correlation is 0).
+  ErrorOr<uint64_t> sendRequest(const JobRequest &Request,
+                                uint64_t Correlation = 0);
+
+  /// Sends one Ping frame. \returns its correlation id.
+  ErrorOr<uint64_t> ping(uint64_t Correlation = 0);
+
+  /// Writes raw bytes to the socket — protocol tests send truncated and
+  /// corrupted frames through this.
+  ErrorOr<bool> sendRaw(const void *Data, size_t Len);
+
+  /// Blocks up to \p TimeoutMs for the next complete frame (-1 waits
+  /// forever). Errors on timeout, protocol violations, and EOF (EOF
+  /// with a clean buffer reports "connection closed").
+  ErrorOr<Frame> readFrame(int TimeoutMs);
+
+  /// Synchronous round trip: send \p Request, then read frames until
+  /// this request's correlation id answers (other frames are dropped —
+  /// use the split halves to pipeline). A Reject for this id is an
+  /// error of the form "rejected: <code>: <reason>".
+  ErrorOr<JobResult> call(const JobRequest &Request, int TimeoutMs);
+
+  /// Half-close: no more writes; the server answers what is in flight,
+  /// flushes, and closes (readFrame then reports EOF).
+  void shutdownWrite();
+
+  /// Closes the connection.
+  void close();
+
+private:
+  int Fd = -1;
+  uint64_t NextCorrelation = 1;
+  FrameParser Parser{kDefaultMaxPayloadBytes};
+};
+
+} // namespace net
+} // namespace cdvs
+
+#endif // CDVS_NET_CLIENT_H

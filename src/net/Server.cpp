@@ -1,0 +1,643 @@
+//===- net/Server.cpp - epoll-based DVS scheduling server ------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+
+#include "obs/Metrics.h"
+#include "service/JobIO.h"
+#include "support/Clock.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace cdvs;
+using namespace cdvs::net;
+
+namespace {
+
+obs::Counter &framesCounter(FrameType Type, const char *Dir) {
+  return obs::metrics().counter(
+      "cdvs_net_frames_total", "cdvs-wire frames by type and direction",
+      {{"type", frameTypeName(Type)}, {"dir", Dir}});
+}
+
+obs::Counter &bytesCounter(const char *Dir) {
+  return obs::metrics().counter("cdvs_net_bytes_total",
+                                "cdvs-wire payload+header bytes by direction",
+                                {{"dir", Dir}});
+}
+
+obs::Gauge &connGauge(const char *State) {
+  return obs::metrics().gauge("cdvs_net_connections",
+                              "Open server connections by state",
+                              {{"state", State}});
+}
+
+obs::Histogram &requestLatency() {
+  return obs::metrics().histogram(
+      "cdvs_net_request_latency_seconds",
+      "Request receipt to response enqueue, per completed request",
+      obs::latencyBucketsSeconds());
+}
+
+} // namespace
+
+Server::Server(ServerOptions O)
+    : Opts(std::move(O)), Service(Opts.Service) {}
+
+Server::~Server() { stop(); }
+
+ErrorOr<bool> Server::start() {
+  if (LoopThread.joinable())
+    return makeError("server already started");
+  if (!Wakeup.valid())
+    return makeError("wakeup descriptor unavailable");
+  Io = Poller::create(Opts.ForcePoll);
+  if (!Io)
+    return makeError("no poll backend available");
+  Backend = Io->backendName();
+
+  ErrorOr<int> LFd = listenTcp(Opts.BindAddress, Opts.Port, Opts.Backlog);
+  if (!LFd)
+    return makeError(LFd.message());
+  ListenFd = *LFd;
+  ErrorOr<uint16_t> P = localPort(ListenFd);
+  if (!P) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return makeError(P.message());
+  }
+  BoundPort = *P;
+
+  if (!Io->add(ListenFd, EvIn) || !Io->add(Wakeup.fd(), EvIn)) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return makeError("failed to register listener with poller");
+  }
+  LoopThread = std::thread([this] { loop(); });
+  return true;
+}
+
+void Server::beginDrain() {
+  DrainRequested.store(true, std::memory_order_release);
+  Wakeup.notify();
+}
+
+bool Server::waitDrained(double TimeoutSeconds) {
+  std::unique_lock<std::mutex> L(StateMu);
+  if (TimeoutSeconds <= 0)
+    return Drained;
+  return DrainedCv.wait_for(L,
+                            std::chrono::duration<double>(TimeoutSeconds),
+                            [this] { return Drained; });
+}
+
+void Server::stop() {
+  StopRequested.store(true, std::memory_order_release);
+  Wakeup.notify();
+  if (LoopThread.joinable())
+    LoopThread.join();
+  // The loop is gone: late worker callbacks only append to Completions
+  // and poke the wakeup fd, both of which stay valid until the members
+  // destruct — after this shutdown() returns, no callback is running.
+  Service.shutdown();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> L(StateMu);
+  return Counters;
+}
+
+//===----------------------------------------------------------------------===//
+// Event loop (everything below runs on LoopThread only)
+//===----------------------------------------------------------------------===//
+
+void Server::loop() {
+  std::vector<PollEvent> Events;
+  while (!StopRequested.load(std::memory_order_acquire)) {
+    if (DrainRequested.load(std::memory_order_acquire) && !DrainStarted)
+      startDrainOnLoop();
+
+    uint64_t Now = monotonicNanos();
+    Wheel.advance(Now);
+    handleCompletions(Now);
+    finishDrainIfIdle();
+    if (StopRequested.load(std::memory_order_acquire))
+      break;
+
+    int TimeoutMs = Wheel.pollTimeoutMs(monotonicNanos());
+    int N = Io->wait(Events, TimeoutMs);
+    if (N < 0)
+      continue;
+    Now = monotonicNanos();
+    for (const PollEvent &E : Events) {
+      if (E.Fd == Wakeup.fd()) {
+        Wakeup.drain();
+        continue;
+      }
+      if (E.Fd == ListenFd) {
+        acceptReady(Now);
+        continue;
+      }
+      auto It = ByFd.find(E.Fd);
+      if (It == ByFd.end())
+        continue;
+      Connection &C = *It->second;
+      uint64_t Id = C.Id;
+      if (E.Events & EvErr) {
+        closeConnection(Id);
+        continue;
+      }
+      if (E.Events & EvOut) {
+        writeReady(C);
+        if (!ById.count(Id))
+          continue;
+      }
+      if (E.Events & (EvIn | EvHup))
+        readReady(C, Now);
+    }
+  }
+
+  // Teardown: close every connection, then the listener.
+  std::vector<uint64_t> Ids;
+  Ids.reserve(ById.size());
+  for (const auto &[Id, C] : ById)
+    Ids.push_back(Id);
+  for (uint64_t Id : Ids)
+    closeConnection(Id);
+  if (ListenFd >= 0) {
+    Io->remove(ListenFd);
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  Io->remove(Wakeup.fd());
+}
+
+void Server::acceptReady(uint64_t NowNs) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // EAGAIN, or transient (ECONNABORTED, EMFILE): retry on
+             // the next readiness edge
+    }
+    setNonBlocking(Fd);
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    if (Opts.SocketSendBufferBytes > 0)
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Opts.SocketSendBufferBytes,
+                   sizeof(Opts.SocketSendBufferBytes));
+
+    if (ByFd.size() >= Opts.MaxConnections) {
+      // Over the limit: one structured Reject, best effort, then close.
+      std::string F = encodeFrame(FrameType::Reject, 0,
+                                  encodeReject("overloaded",
+                                               "connection limit reached"));
+      (void)::send(Fd, F.data(), F.size(), MSG_NOSIGNAL);
+      framesCounter(FrameType::Reject, "out").inc();
+      // Count before close: a peer that has seen EOF must also see the
+      // rejection in stats().
+      {
+        std::lock_guard<std::mutex> L(StateMu);
+        ++Counters.ConnectionsRejected;
+        ++Counters.RejectsSent;
+      }
+      ::close(Fd);
+      obs::traceInstant("conn_reject", "net");
+      continue;
+    }
+
+    auto C = std::make_unique<Connection>(Opts.MaxFrameBytes);
+    C->Fd = Fd;
+    C->Id = NextConnId++;
+    C->Span = std::make_unique<obs::TraceSpan>("conn", "net");
+    C->Subscribed = EvIn;
+    Io->add(Fd, EvIn);
+    armIdleTimer(*C, NowNs);
+    ById[C->Id] = C.get();
+    ByFd[Fd] = std::move(C);
+    {
+      std::lock_guard<std::mutex> L(StateMu);
+      ++Counters.ConnectionsAccepted;
+      Counters.OpenConnections = ByFd.size();
+    }
+    updateConnectionGauges();
+  }
+}
+
+void Server::readReady(Connection &C, uint64_t NowNs) {
+  if (C.ReadPaused || C.CloseAfterFlush || C.SawEof || DrainStarted)
+    return;
+  uint64_t Id = C.Id;
+  char Buf[64 * 1024];
+  long long Got = 0;
+  bool PeerClosed = false;
+  for (;;) {
+    ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      C.Parser.feed(Buf, static_cast<size_t>(N));
+      Got += N;
+      continue;
+    }
+    if (N == 0) {
+      PeerClosed = true;
+      break;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    closeConnection(Id);
+    return;
+  }
+  if (Got > 0) {
+    bytesCounter("in").inc(static_cast<double>(Got));
+    std::lock_guard<std::mutex> L(StateMu);
+    Counters.BytesIn += Got;
+  }
+  armIdleTimer(C, NowNs);
+  processFrames(C, NowNs);
+  if (!ById.count(Id))
+    return;
+  if (PeerClosed) {
+    if (C.Parser.buffered() > 0 && C.Parser.error() == WireStatus::Ok &&
+        !C.CloseAfterFlush) {
+      // Peer hung up mid-frame: a truncated frame is a framing error.
+      {
+        std::lock_guard<std::mutex> L(StateMu);
+        ++Counters.ProtocolErrors;
+      }
+      sendReject(C, 0, "bad_frame", "connection closed mid-frame");
+      if (!ById.count(Id))
+        return;
+      C.CloseAfterFlush = true;
+    }
+    // Half close: no more requests will arrive; answer what is in
+    // flight, flush, then close.
+    C.SawEof = true;
+    writeReady(C);
+  }
+}
+
+void Server::processFrames(Connection &C, uint64_t NowNs) {
+  uint64_t Id = C.Id;
+  for (;;) {
+    if (C.CloseAfterFlush)
+      return;
+    Frame F;
+    FrameParser::Next R = C.Parser.next(F);
+    if (R == FrameParser::Next::NeedMore)
+      return;
+    if (R == FrameParser::Next::Error) {
+      // The stream cannot be resynchronized: name the error, close.
+      {
+        std::lock_guard<std::mutex> L(StateMu);
+        ++Counters.ProtocolErrors;
+      }
+      const char *Code = wireStatusName(C.Parser.error());
+      sendReject(C, 0, Code, std::string("framing error: ") + Code);
+      if (!ById.count(Id))
+        return;
+      C.CloseAfterFlush = true;
+      updateSubscription(C);
+      writeReady(C);
+      return;
+    }
+
+    framesCounter(F.Type, "in").inc();
+    {
+      std::lock_guard<std::mutex> L(StateMu);
+      ++Counters.FramesIn;
+    }
+    obs::TraceSpan Span("frame", "net");
+    Span.arg("bytes", static_cast<double>(F.Payload.size()));
+
+    switch (F.Type) {
+    case FrameType::Ping:
+      enqueueFrame(C, FrameType::Pong, F.Correlation, std::string());
+      break;
+    case FrameType::Request:
+      handleRequest(C, F, NowNs);
+      break;
+    default:
+      // Response/Reject/Pong are server-to-client only.
+      {
+        std::lock_guard<std::mutex> L(StateMu);
+        ++Counters.ProtocolErrors;
+      }
+      sendReject(C, F.Correlation, "bad_frame",
+                 std::string("unexpected client frame type '") +
+                     frameTypeName(F.Type) + "'");
+      if (!ById.count(Id))
+        return;
+      C.CloseAfterFlush = true;
+      updateSubscription(C);
+      writeReady(C);
+      return;
+    }
+    if (!ById.count(Id))
+      return;
+  }
+}
+
+void Server::handleRequest(Connection &C, Frame &F, uint64_t NowNs) {
+  if (DrainStarted) {
+    sendReject(C, F.Correlation, "draining", "server is draining");
+    return;
+  }
+  if (C.StartNs.count(F.Correlation) || C.TimedOut.count(F.Correlation)) {
+    sendReject(C, F.Correlation, "bad_request",
+               "correlation id already in flight");
+    return;
+  }
+  ErrorOr<JobRequest> Req = jobRequestFromJsonText(F.Payload);
+  if (!Req) {
+    sendReject(C, F.Correlation, "bad_request", Req.message());
+    return;
+  }
+
+  uint64_t ConnId = C.Id;
+  uint64_t Corr = F.Correlation;
+  C.StartNs[Corr] = NowNs;
+  ++C.InFlight;
+  if (Opts.RequestTimeoutMs > 0) {
+    uint64_t Tid = Wheel.schedule(
+        NowNs, Opts.RequestTimeoutMs * 1'000'000ull, [this, ConnId, Corr] {
+          auto It = ById.find(ConnId);
+          if (It == ById.end())
+            return;
+          Connection &TC = *It->second;
+          if (!TC.StartNs.erase(Corr))
+            return; // already answered
+          TC.RequestTimers.erase(Corr);
+          TC.TimedOut.insert(Corr);
+          --TC.InFlight;
+          {
+            std::lock_guard<std::mutex> L(StateMu);
+            ++Counters.RequestTimeouts;
+          }
+          sendReject(TC, Corr, "timeout", "request timed out");
+        });
+    C.RequestTimers[Corr] = Tid;
+  }
+
+  // The callback runs on a pipeline worker (or inline on this thread
+  // when admission rejects): serialize there, hand the bytes to the
+  // loop, wake it. Never touches connection state directly.
+  Service.submitAsync(std::move(*Req), [this, ConnId, Corr](JobResult R) {
+    Completion Cp;
+    Cp.ConnId = ConnId;
+    Cp.Correlation = Corr;
+    Cp.Payload = jobResultToJson(R, /*IncludeSchedule=*/true);
+    {
+      std::lock_guard<std::mutex> L(CompletionsMu);
+      Completions.push_back(std::move(Cp));
+    }
+    Wakeup.notify();
+  });
+}
+
+void Server::handleCompletions(uint64_t NowNs) {
+  std::vector<Completion> Batch;
+  {
+    std::lock_guard<std::mutex> L(CompletionsMu);
+    Batch.swap(Completions);
+  }
+  for (Completion &Cp : Batch) {
+    auto It = ById.find(Cp.ConnId);
+    if (It == ById.end()) {
+      std::lock_guard<std::mutex> L(StateMu);
+      ++Counters.OrphanCompletions;
+      continue;
+    }
+    Connection &C = *It->second;
+    if (C.TimedOut.erase(Cp.Correlation)) {
+      // Answered late; the client already got Reject{"timeout"}.
+      std::lock_guard<std::mutex> L(StateMu);
+      ++Counters.OrphanCompletions;
+      continue;
+    }
+    auto SIt = C.StartNs.find(Cp.Correlation);
+    if (SIt != C.StartNs.end()) {
+      requestLatency().observe(
+          static_cast<double>(NowNs - SIt->second) * 1e-9);
+      C.StartNs.erase(SIt);
+    }
+    if (auto TIt = C.RequestTimers.find(Cp.Correlation);
+        TIt != C.RequestTimers.end()) {
+      Wheel.cancel(TIt->second);
+      C.RequestTimers.erase(TIt);
+    }
+    --C.InFlight;
+    enqueueFrame(C, FrameType::Response, Cp.Correlation, Cp.Payload);
+  }
+}
+
+void Server::enqueueFrame(Connection &C, FrameType Type,
+                          uint64_t Correlation,
+                          const std::string &Payload) {
+  uint64_t Id = C.Id;
+  std::string Data = encodeFrame(Type, Correlation, Payload);
+  C.WriteQBytes += Data.size();
+  C.WriteQ.push_back(std::move(Data));
+  framesCounter(Type, "out").inc();
+  {
+    std::lock_guard<std::mutex> L(StateMu);
+    ++Counters.FramesOut;
+  }
+  writeReady(C);
+  if (!ById.count(Id))
+    return;
+  if (!C.ReadPaused && C.WriteQBytes > Opts.WriteQueueHighWater) {
+    // Backpressure: stop reading this connection; the kernel socket
+    // buffer then pushes back on the sender.
+    C.ReadPaused = true;
+    {
+      std::lock_guard<std::mutex> L(StateMu);
+      ++Counters.ReadPauses;
+    }
+    obs::traceInstant("read_pause", "net", "queued_bytes",
+                      static_cast<double>(C.WriteQBytes));
+    updateSubscription(C);
+  }
+}
+
+void Server::sendReject(Connection &C, uint64_t Correlation,
+                        const std::string &Code,
+                        const std::string &Reason) {
+  {
+    std::lock_guard<std::mutex> L(StateMu);
+    ++Counters.RejectsSent;
+  }
+  enqueueFrame(C, FrameType::Reject, Correlation,
+               encodeReject(Code, Reason));
+}
+
+void Server::writeReady(Connection &C) {
+  uint64_t Id = C.Id;
+  long long Sent = 0;
+  bool Dead = false;
+  {
+    // Count under the lock, held across the sends: a peer that has
+    // received a frame and then asks stats() must see its bytes — the
+    // snapshot blocks until this loop's increments are in.
+    std::lock_guard<std::mutex> L(StateMu);
+    while (!C.WriteQ.empty()) {
+      const std::string &Front = C.WriteQ.front();
+      ssize_t N = ::send(C.Fd, Front.data() + C.WriteOff,
+                         Front.size() - C.WriteOff, MSG_NOSIGNAL);
+      if (N > 0) {
+        Sent += N;
+        Counters.BytesOut += N;
+        C.WriteOff += static_cast<size_t>(N);
+        if (C.WriteOff == Front.size()) {
+          C.WriteQBytes -= Front.size();
+          C.WriteQ.pop_front();
+          C.WriteOff = 0;
+        }
+        continue;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        break;
+      Dead = true;
+      break;
+    }
+  }
+  if (Dead) {
+    closeConnection(Id);
+    return;
+  }
+  if (Sent > 0)
+    bytesCounter("out").inc(static_cast<double>(Sent));
+  if (C.ReadPaused && !C.CloseAfterFlush &&
+      C.WriteQBytes < Opts.WriteQueueLowWater) {
+    C.ReadPaused = false;
+    obs::traceInstant("read_resume", "net");
+  }
+  if (C.WriteQ.empty()) {
+    bool Done = C.CloseAfterFlush ||
+                ((C.SawEof || DrainStarted) && C.InFlight == 0);
+    if (Done) {
+      closeConnection(Id);
+      return;
+    }
+  }
+  updateSubscription(C);
+}
+
+void Server::updateSubscription(Connection &C) {
+  unsigned Want = 0;
+  if (!C.ReadPaused && !C.CloseAfterFlush && !C.SawEof && !DrainStarted)
+    Want |= EvIn;
+  if (!C.WriteQ.empty())
+    Want |= EvOut;
+  if (Want != C.Subscribed) {
+    Io->update(C.Fd, Want);
+    C.Subscribed = Want;
+  }
+}
+
+void Server::armIdleTimer(Connection &C, uint64_t NowNs) {
+  if (Opts.IdleTimeoutMs == 0)
+    return;
+  if (C.IdleTimer)
+    Wheel.cancel(C.IdleTimer);
+  uint64_t ConnId = C.Id;
+  C.IdleTimer = Wheel.schedule(
+      NowNs, Opts.IdleTimeoutMs * 1'000'000ull, [this, ConnId] {
+        auto It = ById.find(ConnId);
+        if (It == ById.end())
+          return;
+        Connection &IC = *It->second;
+        IC.IdleTimer = 0;
+        if (IC.InFlight > 0 || !IC.WriteQ.empty()) {
+          // Waiting on our own pipeline is not idleness; re-arm.
+          armIdleTimer(IC, monotonicNanos());
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> L(StateMu);
+          ++Counters.IdleCloses;
+        }
+        IC.CloseAfterFlush = true;
+        sendReject(IC, 0, "idle_timeout", "connection idle");
+      });
+}
+
+void Server::closeConnection(uint64_t ConnId) {
+  auto It = ById.find(ConnId);
+  if (It == ById.end())
+    return;
+  Connection *C = It->second;
+  if (C->IdleTimer)
+    Wheel.cancel(C->IdleTimer);
+  for (const auto &[Corr, Tid] : C->RequestTimers)
+    Wheel.cancel(Tid);
+  Io->remove(C->Fd);
+  ::close(C->Fd);
+  int Fd = C->Fd;
+  ById.erase(It);
+  ByFd.erase(Fd); // destroys C; its Span records the conn lifetime
+  {
+    std::lock_guard<std::mutex> L(StateMu);
+    ++Counters.ConnectionsClosed;
+    Counters.OpenConnections = ByFd.size();
+  }
+  updateConnectionGauges();
+  finishDrainIfIdle();
+}
+
+void Server::startDrainOnLoop() {
+  DrainStarted = true;
+  obs::traceInstant("drain_begin", "net");
+  if (ListenFd >= 0) {
+    Io->remove(ListenFd);
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  std::vector<uint64_t> Ids;
+  Ids.reserve(ById.size());
+  for (const auto &[Id, C] : ById)
+    Ids.push_back(Id);
+  for (uint64_t Id : Ids) {
+    auto It = ById.find(Id);
+    if (It == ById.end())
+      continue;
+    // Stop reading; flush what is queued; writeReady closes the
+    // connection once nothing is queued and nothing is in flight.
+    updateSubscription(*It->second);
+    writeReady(*It->second);
+  }
+  updateConnectionGauges();
+  finishDrainIfIdle();
+}
+
+void Server::finishDrainIfIdle() {
+  if (!DrainStarted || !ByFd.empty())
+    return;
+  {
+    std::lock_guard<std::mutex> L(StateMu);
+    if (Drained)
+      return;
+    Drained = true;
+  }
+  obs::traceInstant("drain_done", "net");
+  DrainedCv.notify_all();
+}
+
+void Server::updateConnectionGauges() {
+  connGauge("open").set(static_cast<double>(ByFd.size()));
+  connGauge("draining").set(
+      DrainStarted ? static_cast<double>(ByFd.size()) : 0.0);
+}

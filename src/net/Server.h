@@ -1,0 +1,231 @@
+//===- net/Server.h - epoll-based DVS scheduling server ---------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network front end of the scheduling service: one event-loop
+/// thread drives nonblocking accept/read/write over cdvs-wire v1 frames
+/// (net/Wire.h) and bridges Request frames onto an embedded
+/// SchedulerService. Jobs run on the service's persistent TaskPool;
+/// completions come back to the loop through a WakeupFd-signalled queue,
+/// so responses stream out of order per connection, matched by the
+/// correlation id the client chose.
+///
+/// Robustness edges, all enforced per connection:
+///
+///  * framing errors (bad magic/version/type/reserved, oversized
+///    payloads, a peer that hangs up mid-frame) answer with one
+///    structured Reject frame, then close — the stream cannot be
+///    resynchronized;
+///  * write backpressure: when a connection's queued response bytes
+///    exceed WriteQueueHighWater the loop stops reading it (the kernel
+///    socket buffer then pushes back on the client) and resumes below
+///    WriteQueueLowWater;
+///  * idle and request timeouts ride a hashed timer wheel: a silent
+///    connection is closed after IdleTimeoutMs, a request older than
+///    RequestTimeoutMs answers Reject{"timeout"} (the late result is
+///    dropped when it eventually lands);
+///  * MaxConnections: surplus accepts get Reject{"overloaded"} and an
+///    immediate close; admission-queue backpressure inside the service
+///    surfaces as an ordinary rejected Response, exactly like dvsd;
+///  * graceful drain (beginDrain(), wired to SIGTERM in dvs-server):
+///    the listener closes, reading stops, every already-admitted job
+///    completes and flushes, then connections close and waitDrained()
+///    observers wake.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_NET_SERVER_H
+#define CDVS_NET_SERVER_H
+
+#include "net/EventLoop.h"
+#include "net/Wire.h"
+#include "obs/Trace.h"
+#include "service/Service.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cdvs {
+namespace net {
+
+/// Sizing and policy knobs for a net::Server.
+struct ServerOptions {
+  std::string BindAddress = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via Server::port().
+  uint16_t Port = 0;
+  int Backlog = 128;
+  /// Accepted connections beyond this answer Reject{"overloaded"}.
+  size_t MaxConnections = 256;
+  /// Per-frame payload cap; longer headers answer Reject{"too_large"}.
+  size_t MaxFrameBytes = kDefaultMaxPayloadBytes;
+  /// Stop reading a connection once its queued response bytes pass
+  /// this...
+  size_t WriteQueueHighWater = 4u << 20;
+  /// ...and resume once they fall below this.
+  size_t WriteQueueLowWater = 1u << 20;
+  /// Close connections silent for this long; 0 disables.
+  uint64_t IdleTimeoutMs = 60'000;
+  /// Reject{"timeout"} requests in flight longer than this; 0 disables.
+  uint64_t RequestTimeoutMs = 0;
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests
+  /// shrink it so write backpressure triggers with small payloads.
+  int SocketSendBufferBytes = 0;
+  /// Use the portable poll(2) backend even where epoll exists.
+  bool ForcePoll = false;
+  /// Configuration of the embedded SchedulerService.
+  ServiceOptions Service;
+};
+
+/// Loop-side counters, snapshot via Server::stats().
+struct ServerStats {
+  long ConnectionsAccepted = 0;
+  long ConnectionsRejected = 0; ///< over MaxConnections
+  long ConnectionsClosed = 0;
+  long FramesIn = 0;
+  long FramesOut = 0;
+  long long BytesIn = 0;
+  long long BytesOut = 0;
+  long RejectsSent = 0;    ///< Reject frames of any code
+  long ProtocolErrors = 0; ///< framing errors (reject-then-close)
+  long IdleCloses = 0;
+  long RequestTimeouts = 0;
+  long ReadPauses = 0;         ///< backpressure engagements
+  long OrphanCompletions = 0;  ///< job finished after its conn closed
+  size_t OpenConnections = 0;  ///< currently open
+};
+
+/// The scheduling server; see the file comment.
+class Server {
+public:
+  explicit Server(ServerOptions Opts = ServerOptions());
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds, listens, and spawns the event-loop thread. Errors (port in
+  /// use, bad address) are returned, not retried.
+  ErrorOr<bool> start();
+
+  /// The bound port (after start(); useful with Port = 0).
+  uint16_t port() const { return BoundPort; }
+  /// "epoll" or "poll" (after start()).
+  const char *backendName() const { return Backend; }
+
+  /// The embedded scheduling service (tests pause/resume it; the tool
+  /// reads its stats).
+  SchedulerService &service() { return Service; }
+
+  /// Starts a graceful drain: stop accepting, stop reading, let every
+  /// admitted job complete and flush, then close. Idempotent,
+  /// thread-safe, safe from signal-handler-adjacent contexts (one
+  /// atomic store + one write syscall).
+  void beginDrain();
+
+  /// Waits until the drain finished (every connection closed). \returns
+  /// false on timeout. TimeoutSeconds <= 0 polls once.
+  bool waitDrained(double TimeoutSeconds);
+
+  /// Hard stop: drains nothing, closes everything, joins the loop, and
+  /// shuts the service down. The destructor calls this.
+  void stop();
+
+  ServerStats stats() const;
+
+private:
+  struct Connection {
+    int Fd = -1;
+    uint64_t Id = 0;
+    FrameParser Parser;
+    std::deque<std::string> WriteQ;
+    size_t WriteQBytes = 0;
+    size_t WriteOff = 0; ///< bytes of WriteQ.front() already sent
+    int InFlight = 0;    ///< jobs admitted, response not yet queued
+    bool ReadPaused = false;
+    /// Hard close: drop the connection once WriteQ drains (framing
+    /// error, idle timeout).
+    bool CloseAfterFlush = false;
+    /// Soft close (peer half-closed): close once WriteQ drains AND
+    /// every in-flight job has answered.
+    bool SawEof = false;
+    unsigned Subscribed = 0; ///< EvIn/EvOut bits currently registered
+    uint64_t IdleTimer = 0;  ///< wheel id, 0 = none
+    /// In-flight request bookkeeping, keyed by correlation id.
+    std::map<uint64_t, uint64_t> StartNs;
+    std::map<uint64_t, uint64_t> RequestTimers;
+    std::set<uint64_t> TimedOut;
+    /// Lifetime span ("conn" on the net category); ends at close.
+    std::unique_ptr<obs::TraceSpan> Span;
+
+    explicit Connection(size_t MaxPayload) : Parser(MaxPayload) {}
+  };
+
+  struct Completion {
+    uint64_t ConnId = 0;
+    uint64_t Correlation = 0;
+    std::string Payload; ///< response JSON, serialized on the worker
+  };
+
+  void loop();
+  void acceptReady(uint64_t NowNs);
+  void readReady(Connection &C, uint64_t NowNs);
+  void writeReady(Connection &C);
+  void processFrames(Connection &C, uint64_t NowNs);
+  void handleRequest(Connection &C, Frame &F, uint64_t NowNs);
+  void handleCompletions(uint64_t NowNs);
+  void enqueueFrame(Connection &C, FrameType Type, uint64_t Correlation,
+                    const std::string &Payload);
+  void sendReject(Connection &C, uint64_t Correlation,
+                  const std::string &Code, const std::string &Reason);
+  void updateSubscription(Connection &C);
+  void armIdleTimer(Connection &C, uint64_t NowNs);
+  void closeConnection(uint64_t ConnId);
+  void startDrainOnLoop();
+  void finishDrainIfIdle();
+  void updateConnectionGauges();
+
+  ServerOptions Opts;
+  SchedulerService Service;
+
+  std::unique_ptr<Poller> Io;
+  TimerWheel Wheel;
+  WakeupFd Wakeup;
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  const char *Backend = "";
+  std::thread LoopThread;
+
+  // Loop-thread-only connection state.
+  std::map<int, std::unique_ptr<Connection>> ByFd;
+  std::map<uint64_t, Connection *> ById;
+  uint64_t NextConnId = 1;
+  bool DrainStarted = false; ///< loop-side latch of DrainRequested
+
+  // Cross-thread handoff.
+  std::atomic<bool> StopRequested{false};
+  std::atomic<bool> DrainRequested{false};
+  std::mutex CompletionsMu;
+  std::vector<Completion> Completions;
+
+  mutable std::mutex StateMu;
+  std::condition_variable DrainedCv;
+  bool Drained = false;
+  ServerStats Counters; ///< guarded by StateMu
+};
+
+} // namespace net
+} // namespace cdvs
+
+#endif // CDVS_NET_SERVER_H

@@ -1,0 +1,170 @@
+//===- net/Wire.cpp - cdvs-wire v1 framed protocol -------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Wire.h"
+
+#include "service/JsonLite.h"
+
+#include <cstring>
+
+using namespace cdvs;
+using namespace cdvs::net;
+
+const char *cdvs::net::frameTypeName(FrameType Type) {
+  switch (Type) {
+  case FrameType::Request:
+    return "request";
+  case FrameType::Response:
+    return "response";
+  case FrameType::Reject:
+    return "reject";
+  case FrameType::Ping:
+    return "ping";
+  case FrameType::Pong:
+    return "pong";
+  }
+  cdvsUnreachable("bad FrameType");
+}
+
+bool cdvs::net::validFrameType(uint8_t Raw) {
+  return Raw >= static_cast<uint8_t>(FrameType::Request) &&
+         Raw <= static_cast<uint8_t>(FrameType::Pong);
+}
+
+const char *cdvs::net::wireStatusName(WireStatus Status) {
+  switch (Status) {
+  case WireStatus::Ok:
+    return "ok";
+  case WireStatus::NeedMore:
+    return "need_more";
+  case WireStatus::BadMagic:
+    return "bad_magic";
+  case WireStatus::BadVersion:
+    return "bad_version";
+  case WireStatus::BadType:
+    return "bad_type";
+  case WireStatus::BadReserved:
+    return "bad_reserved";
+  case WireStatus::Oversized:
+    return "too_large";
+  }
+  cdvsUnreachable("bad WireStatus");
+}
+
+void cdvs::net::encodeFrameHeader(const FrameHeader &H,
+                                  unsigned char Out[kFrameHeaderBytes]) {
+  std::memcpy(Out, kWireMagic, 4);
+  Out[4] = kWireVersion;
+  Out[5] = static_cast<unsigned char>(H.Type);
+  Out[6] = 0;
+  Out[7] = 0;
+  for (int I = 0; I < 8; ++I)
+    Out[8 + I] = static_cast<unsigned char>(H.Correlation >> (8 * I));
+  for (int I = 0; I < 4; ++I)
+    Out[16 + I] = static_cast<unsigned char>(H.PayloadBytes >> (8 * I));
+}
+
+std::string cdvs::net::encodeFrame(FrameType Type, uint64_t Correlation,
+                                   const std::string &Payload) {
+  FrameHeader H;
+  H.Type = Type;
+  H.Correlation = Correlation;
+  H.PayloadBytes = static_cast<uint32_t>(Payload.size());
+  unsigned char Hdr[kFrameHeaderBytes];
+  encodeFrameHeader(H, Hdr);
+  std::string Out;
+  Out.reserve(kFrameHeaderBytes + Payload.size());
+  Out.append(reinterpret_cast<const char *>(Hdr), kFrameHeaderBytes);
+  Out += Payload;
+  return Out;
+}
+
+WireStatus cdvs::net::decodeFrameHeader(const unsigned char *Data,
+                                        size_t Len, size_t MaxPayloadBytes,
+                                        FrameHeader &Out) {
+  if (Len < kFrameHeaderBytes)
+    return WireStatus::NeedMore;
+  if (std::memcmp(Data, kWireMagic, 4) != 0)
+    return WireStatus::BadMagic;
+  if (Data[4] != kWireVersion)
+    return WireStatus::BadVersion;
+  if (!validFrameType(Data[5]))
+    return WireStatus::BadType;
+  if (Data[6] != 0 || Data[7] != 0)
+    return WireStatus::BadReserved;
+  Out.Type = static_cast<FrameType>(Data[5]);
+  Out.Correlation = 0;
+  for (int I = 7; I >= 0; --I)
+    Out.Correlation = (Out.Correlation << 8) | Data[8 + I];
+  Out.PayloadBytes = 0;
+  for (int I = 3; I >= 0; --I)
+    Out.PayloadBytes = (Out.PayloadBytes << 8) | Data[16 + I];
+  if (Out.PayloadBytes > MaxPayloadBytes)
+    return WireStatus::Oversized;
+  return WireStatus::Ok;
+}
+
+WireStatus cdvs::net::validateHeaderPrefix(const unsigned char *Data,
+                                           size_t Len) {
+  size_t MagicLen = Len < 4 ? Len : 4;
+  if (std::memcmp(Data, kWireMagic, MagicLen) != 0)
+    return WireStatus::BadMagic;
+  if (Len > 4 && Data[4] != kWireVersion)
+    return WireStatus::BadVersion;
+  if (Len > 5 && !validFrameType(Data[5]))
+    return WireStatus::BadType;
+  if ((Len > 6 && Data[6] != 0) || (Len > 7 && Data[7] != 0))
+    return WireStatus::BadReserved;
+  return WireStatus::Ok;
+}
+
+FrameParser::Next FrameParser::next(Frame &Out) {
+  if (Err != WireStatus::Ok)
+    return Next::Error;
+  FrameHeader H;
+  WireStatus S = decodeFrameHeader(
+      reinterpret_cast<const unsigned char *>(Buf.data()), Buf.size(),
+      MaxPayload, H);
+  if (S == WireStatus::NeedMore) {
+    // Garbage should fail on its first bytes, not stall until 20 of
+    // them arrive (a peer that sends junk may never send more).
+    WireStatus P = validateHeaderPrefix(
+        reinterpret_cast<const unsigned char *>(Buf.data()), Buf.size());
+    if (P != WireStatus::Ok) {
+      Err = P;
+      return Next::Error;
+    }
+    return Next::NeedMore;
+  }
+  if (S != WireStatus::Ok) {
+    Err = S;
+    return Next::Error;
+  }
+  if (Buf.size() < kFrameHeaderBytes + H.PayloadBytes)
+    return Next::NeedMore;
+  Out.Type = H.Type;
+  Out.Correlation = H.Correlation;
+  Out.Payload.assign(Buf, kFrameHeaderBytes, H.PayloadBytes);
+  Buf.erase(0, kFrameHeaderBytes + H.PayloadBytes);
+  return Next::Frame;
+}
+
+std::string cdvs::net::encodeReject(const std::string &Code,
+                                    const std::string &Reason) {
+  return "{\"code\":\"" + jsonEscape(Code) + "\",\"reason\":\"" +
+         jsonEscape(Reason) + "\"}";
+}
+
+ErrorOr<RejectInfo> cdvs::net::decodeReject(const std::string &Payload) {
+  ErrorOr<JsonValue> V = parseJson(Payload);
+  if (!V)
+    return makeError("reject payload: " + V.message());
+  const JsonValue *Code = V->find("code");
+  const JsonValue *Reason = V->find("reason");
+  if (!Code || !Code->isString() || !Reason || !Reason->isString())
+    return makeError("reject payload needs string 'code' and 'reason'");
+  return RejectInfo{Code->Str, Reason->Str};
+}

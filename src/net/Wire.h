@@ -1,0 +1,176 @@
+//===- net/Wire.h - cdvs-wire v1 framed protocol ----------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `cdvs-wire v1` framing shared by net::Server, net::Client, and
+/// the load generator. Every frame is a fixed 20-byte header followed by
+/// an opaque payload:
+///
+///   offset  size  field
+///        0     4  magic "CDVS"
+///        4     1  version (currently 1)
+///        5     1  frame type (FrameType)
+///        6     2  reserved, must be zero
+///        8     8  correlation id, little-endian
+///       16     4  payload length in bytes, little-endian
+///       20     n  payload
+///
+/// Payloads are the service's existing request/response vocabulary in
+/// JSON (service/JobIO.h) — a Request carries one dvsd-style request
+/// object, a Response one result object whose `schedule` field is the
+/// `cdvs-schedule v1` text (dvs/ScheduleIO.h). Reject payloads are a
+/// small {"code","reason"} object; Ping/Pong payloads are empty. The
+/// correlation id is chosen by the client and echoed verbatim, which is
+/// what lets responses stream back out of order over one connection.
+///
+/// Decoding is strict: wrong magic, unknown version or type, a nonzero
+/// reserved field, or a payload length above the receiver's limit are
+/// distinct errors, not best-effort skips — the peer is told (a Reject
+/// frame) and the connection is closed, because a framing error means
+/// the byte stream can no longer be trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_NET_WIRE_H
+#define CDVS_NET_WIRE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cdvs {
+namespace net {
+
+/// The four magic bytes every frame starts with.
+inline constexpr char kWireMagic[4] = {'C', 'D', 'V', 'S'};
+/// The one protocol version this build speaks.
+inline constexpr uint8_t kWireVersion = 1;
+/// Header size in bytes; the payload follows immediately.
+inline constexpr size_t kFrameHeaderBytes = 20;
+/// Default per-frame payload cap (1 MiB) — far above any real request
+/// or serialized schedule, small enough to bound per-connection memory.
+inline constexpr size_t kDefaultMaxPayloadBytes = 1u << 20;
+
+/// Frame kinds of cdvs-wire v1.
+enum class FrameType : uint8_t {
+  Request = 1,  ///< client -> server: one JSON job request
+  Response = 2, ///< server -> client: one JSON job result
+  Reject = 3,   ///< server -> client: structured {"code","reason"}
+  Ping = 4,     ///< either direction: liveness probe, empty payload
+  Pong = 5,     ///< answer to Ping, correlation id echoed
+};
+
+/// \returns a printable lower-case name ("request", "response", ...).
+const char *frameTypeName(FrameType Type);
+
+/// True when \p Raw is a FrameType this version understands.
+bool validFrameType(uint8_t Raw);
+
+/// The decoded fixed-size frame header.
+struct FrameHeader {
+  FrameType Type = FrameType::Ping;
+  uint64_t Correlation = 0;
+  uint32_t PayloadBytes = 0;
+};
+
+/// One complete frame (header fields + payload bytes).
+struct Frame {
+  FrameType Type = FrameType::Ping;
+  uint64_t Correlation = 0;
+  std::string Payload;
+};
+
+/// Outcome of decoding a header prefix.
+enum class WireStatus {
+  Ok,          ///< header decoded into the out-param
+  NeedMore,    ///< fewer than kFrameHeaderBytes available
+  BadMagic,    ///< first four bytes are not "CDVS"
+  BadVersion,  ///< version byte this build does not speak
+  BadType,     ///< unknown frame type
+  BadReserved, ///< reserved field nonzero
+  Oversized,   ///< payload length above the receiver's cap
+};
+
+/// \returns a printable name for a WireStatus ("ok", "bad_magic", ...).
+const char *wireStatusName(WireStatus Status);
+
+/// Serializes a header into \p Out (exactly kFrameHeaderBytes bytes).
+void encodeFrameHeader(const FrameHeader &H,
+                       unsigned char Out[kFrameHeaderBytes]);
+
+/// Builds a complete frame: header + \p Payload.
+std::string encodeFrame(FrameType Type, uint64_t Correlation,
+                        const std::string &Payload);
+
+/// Decodes a header from \p Data (length \p Len). Payload lengths above
+/// \p MaxPayloadBytes decode as Oversized (the header itself is still
+/// written to \p Out so the receiver can name the offending length).
+WireStatus decodeFrameHeader(const unsigned char *Data, size_t Len,
+                             size_t MaxPayloadBytes, FrameHeader &Out);
+
+/// Validates however much of a header prefix is present (\p Len may be
+/// less than kFrameHeaderBytes): magic, version, type, and the reserved
+/// field are checked as soon as their bytes exist. Ok means "no error
+/// yet", not "complete" — callers that need a full header still use
+/// decodeFrameHeader. This is what lets FrameParser reject garbage on
+/// its first bytes instead of stalling until 20 of them arrive.
+WireStatus validateHeaderPrefix(const unsigned char *Data, size_t Len);
+
+/// Incremental frame assembler for one byte stream: feed() appends
+/// whatever arrived, next() yields complete frames until the buffer
+/// runs dry or a framing error is hit — header-prefix errors (bad
+/// magic/version/type/reserved) surface as soon as the offending byte
+/// is buffered, without waiting for a full header. After an error the
+/// parser is poisoned — the stream cannot be resynchronized — and every
+/// further next() reports the same error.
+class FrameParser {
+public:
+  explicit FrameParser(size_t MaxPayloadBytes = kDefaultMaxPayloadBytes)
+      : MaxPayload(MaxPayloadBytes) {}
+
+  /// Appends \p Len raw bytes from the stream.
+  void feed(const char *Data, size_t Len) { Buf.append(Data, Len); }
+
+  enum class Next {
+    Frame,    ///< one frame extracted into the out-param
+    NeedMore, ///< the buffer holds no complete frame
+    Error,    ///< framing error; see error()
+  };
+
+  /// Extracts the next complete frame, if any.
+  Next next(Frame &Out);
+
+  /// The framing error after Next::Error (WireStatus::Ok otherwise).
+  WireStatus error() const { return Err; }
+
+  /// Bytes buffered but not yet consumed by next(). Nonzero at stream
+  /// EOF means the peer hung up mid-frame (a truncated frame).
+  size_t buffered() const { return Buf.size(); }
+
+private:
+  std::string Buf;
+  size_t MaxPayload;
+  WireStatus Err = WireStatus::Ok;
+};
+
+/// Structured payload of a Reject frame.
+struct RejectInfo {
+  std::string Code;   ///< stable machine-readable cause, e.g. "too_large"
+  std::string Reason; ///< human-readable detail
+};
+
+/// Serializes a Reject payload ({"code":...,"reason":...}).
+std::string encodeReject(const std::string &Code,
+                         const std::string &Reason);
+
+/// Parses a Reject payload; errors on anything but the expected shape.
+ErrorOr<RejectInfo> decodeReject(const std::string &Payload);
+
+} // namespace net
+} // namespace cdvs
+
+#endif // CDVS_NET_WIRE_H

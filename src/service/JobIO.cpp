@@ -1,0 +1,223 @@
+//===- service/JobIO.cpp - JSON codec for job requests/results -------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/JobIO.h"
+
+#include "milp/MilpSolver.h"
+
+#include <cstdio>
+
+using namespace cdvs;
+
+ErrorOr<JobRequest> cdvs::jobRequestFromJson(const JsonValue &V) {
+  if (!V.isObject())
+    return makeError("request must be a JSON object");
+  JobRequest R;
+  for (const auto &[Key, Field] : V.Obj) {
+    if (Key == "id" && Field.isString()) {
+      R.Id = Field.Str;
+    } else if (Key == "workload" && Field.isString()) {
+      R.Workload = Field.Str;
+    } else if (Key == "input" && Field.isString()) {
+      R.Categories.push_back({Field.Str, 1.0});
+    } else if (Key == "categories" && Field.isArray()) {
+      for (const JsonValue &C : Field.Arr) {
+        const JsonValue *In = C.find("input");
+        const JsonValue *Wt = C.find("weight");
+        if (!In || !In->isString())
+          return makeError("category entries need a string 'input'");
+        R.Categories.push_back(
+            {In->Str, Wt && Wt->isNumber() ? Wt->Num : 1.0});
+      }
+    } else if (Key == "deadline" && Field.isNumber()) {
+      R.DeadlineSeconds = Field.Num;
+    } else if (Key == "tightness" && Field.isNumber()) {
+      R.DeadlineTightness = Field.Num;
+    } else if (Key == "filter" && Field.isNumber()) {
+      R.FilterThreshold = Field.Num;
+    } else if (Key == "initial_mode" && Field.isNumber()) {
+      R.InitialMode = static_cast<int>(Field.Num);
+    } else if (Key == "levels" && Field.isNumber()) {
+      R.NumLevels = static_cast<int>(Field.Num);
+    } else if (Key == "capacitance" && Field.isNumber()) {
+      R.CapacitanceF = Field.Num;
+    } else {
+      return makeError("unknown or mistyped request field '" + Key + "'");
+    }
+  }
+  if (R.Workload.empty())
+    return makeError("request is missing 'workload'");
+  return R;
+}
+
+ErrorOr<JobRequest> cdvs::jobRequestFromJsonText(const std::string &Text) {
+  ErrorOr<JsonValue> V = parseJson(Text);
+  if (!V)
+    return makeError(V.message());
+  return jobRequestFromJson(*V);
+}
+
+std::string cdvs::jobRequestToJson(const JobRequest &R) {
+  char Buf[64];
+  std::string Out = "{\"workload\":\"" + jsonEscape(R.Workload) + "\"";
+  if (!R.Id.empty())
+    Out += ",\"id\":\"" + jsonEscape(R.Id) + "\"";
+  if (!R.Categories.empty()) {
+    Out += ",\"categories\":[";
+    for (size_t I = 0; I < R.Categories.size(); ++I) {
+      std::snprintf(Buf, sizeof(Buf), "\"weight\":%.17g",
+                    R.Categories[I].Weight);
+      Out += std::string(I ? "," : "") + "{\"input\":\"" +
+             jsonEscape(R.Categories[I].Input) + "\"," + Buf + "}";
+    }
+    Out += "]";
+  }
+  auto addNum = [&](const char *Key, double Val, double Default) {
+    if (Val == Default)
+      return;
+    std::snprintf(Buf, sizeof(Buf), ",\"%s\":%.17g", Key, Val);
+    Out += Buf;
+  };
+  JobRequest Defaults;
+  addNum("deadline", R.DeadlineSeconds, Defaults.DeadlineSeconds);
+  addNum("tightness", R.DeadlineTightness, Defaults.DeadlineTightness);
+  addNum("filter", R.FilterThreshold, Defaults.FilterThreshold);
+  addNum("initial_mode", R.InitialMode, Defaults.InitialMode);
+  addNum("levels", R.NumLevels, Defaults.NumLevels);
+  addNum("capacitance", R.CapacitanceF, Defaults.CapacitanceF);
+  Out += "}";
+  return Out;
+}
+
+std::string cdvs::jobResultToJson(const JobResult &R, bool IncludeSchedule,
+                                  const std::string &ScheduleFile) {
+  char Buf[256];
+  std::string Out = "{\"id\":\"" + jsonEscape(R.Id) + "\",\"status\":\"";
+  Out += jobStatusName(R.Status);
+  Out += "\"";
+  if (!R.Reason.empty())
+    Out += ",\"reason\":\"" + jsonEscape(R.Reason) + "\"";
+  if (!R.Fingerprint.empty())
+    Out += ",\"fingerprint\":\"" + R.Fingerprint + "\"";
+  std::snprintf(Buf, sizeof(Buf),
+                ",\"cache_hit\":%s,\"shared_flight\":%s",
+                R.CacheHit ? "true" : "false",
+                R.SharedFlight ? "true" : "false");
+  Out += Buf;
+  if (R.Status == JobStatus::Done) {
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"energy_uj\":%.3f,\"lower_bound_uj\":%.3f,"
+                  "\"deadline_ms\":%.4f,\"milp\":\"%s\"",
+                  R.PredictedEnergyJoules * 1e6, R.LowerBoundJoules * 1e6,
+                  R.DeadlineSeconds * 1e3, milpStatusName(R.Milp));
+    Out += Buf;
+  }
+  if (R.VerifyErrors >= 0) {
+    std::snprintf(Buf, sizeof(Buf), ",\"verify_errors\":%d",
+                  R.VerifyErrors);
+    Out += Buf;
+    if (!R.VerifyDetail.empty())
+      Out += ",\"verify_detail\":\"" + jsonEscape(R.VerifyDetail) + "\"";
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                ",\"queue_ms\":%.3f,\"profile_ms\":%.3f,"
+                "\"bound_ms\":%.3f,\"solve_ms\":%.3f,"
+                "\"serialize_ms\":%.3f,\"verify_ms\":%.3f,"
+                "\"total_ms\":%.3f",
+                R.QueueSeconds * 1e3, R.ProfileSeconds * 1e3,
+                R.BoundSeconds * 1e3, R.SolveSeconds * 1e3,
+                R.SerializeSeconds * 1e3, R.VerifySeconds * 1e3,
+                R.TotalSeconds * 1e3);
+  Out += Buf;
+  if (!ScheduleFile.empty())
+    Out += ",\"schedule_file\":\"" + jsonEscape(ScheduleFile) + "\"";
+  if (IncludeSchedule && !R.ScheduleText.empty())
+    Out += ",\"schedule\":\"" + jsonEscape(R.ScheduleText) + "\"";
+  Out += "}";
+  return Out;
+}
+
+namespace {
+
+bool parseJobStatus(const std::string &Name, JobStatus &Out) {
+  for (JobStatus S : {JobStatus::Done, JobStatus::Rejected,
+                      JobStatus::Infeasible, JobStatus::Failed}) {
+    if (Name == jobStatusName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parseMilpStatus(const std::string &Name, MilpStatus &Out) {
+  for (MilpStatus S :
+       {MilpStatus::Optimal, MilpStatus::Feasible, MilpStatus::Infeasible,
+        MilpStatus::Unbounded, MilpStatus::Limit}) {
+    if (Name == milpStatusName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+ErrorOr<JobResult> cdvs::jobResultFromJson(const JsonValue &V) {
+  if (!V.isObject())
+    return makeError("result must be a JSON object");
+  const JsonValue *Status = V.find("status");
+  if (!Status || !Status->isString())
+    return makeError("result is missing string 'status'");
+  JobResult R;
+  if (!parseJobStatus(Status->Str, R.Status))
+    return makeError("unknown result status '" + Status->Str + "'");
+
+  auto str = [&](const char *Key, std::string &Out) {
+    if (const JsonValue *F = V.find(Key); F && F->isString())
+      Out = F->Str;
+  };
+  auto num = [&](const char *Key, double &Out, double Scale = 1.0) {
+    if (const JsonValue *F = V.find(Key); F && F->isNumber())
+      Out = F->Num * Scale;
+  };
+  auto boolean = [&](const char *Key, bool &Out) {
+    if (const JsonValue *F = V.find(Key); F && F->isBool())
+      Out = F->B;
+  };
+
+  str("id", R.Id);
+  str("reason", R.Reason);
+  str("fingerprint", R.Fingerprint);
+  boolean("cache_hit", R.CacheHit);
+  boolean("shared_flight", R.SharedFlight);
+  num("energy_uj", R.PredictedEnergyJoules, 1e-6);
+  num("lower_bound_uj", R.LowerBoundJoules, 1e-6);
+  num("deadline_ms", R.DeadlineSeconds, 1e-3);
+  if (const JsonValue *F = V.find("milp"); F && F->isString())
+    if (!parseMilpStatus(F->Str, R.Milp))
+      return makeError("unknown milp status '" + F->Str + "'");
+  if (const JsonValue *F = V.find("verify_errors"); F && F->isNumber())
+    R.VerifyErrors = static_cast<int>(F->Num);
+  str("verify_detail", R.VerifyDetail);
+  num("queue_ms", R.QueueSeconds, 1e-3);
+  num("profile_ms", R.ProfileSeconds, 1e-3);
+  num("bound_ms", R.BoundSeconds, 1e-3);
+  num("solve_ms", R.SolveSeconds, 1e-3);
+  num("serialize_ms", R.SerializeSeconds, 1e-3);
+  num("verify_ms", R.VerifySeconds, 1e-3);
+  num("total_ms", R.TotalSeconds, 1e-3);
+  str("schedule", R.ScheduleText);
+  return R;
+}
+
+ErrorOr<JobResult> cdvs::jobResultFromJsonText(const std::string &Text) {
+  ErrorOr<JsonValue> V = parseJson(Text);
+  if (!V)
+    return makeError(V.message());
+  return jobResultFromJson(*V);
+}

@@ -1,0 +1,66 @@
+//===- service/JobIO.h - JSON codec for job requests/results ----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON vocabulary for service::JobRequest / service::JobResult,
+/// shared by the dvsd JSON-lines CLI, the cdvs-wire v1 network protocol
+/// (src/net), and the load generator — factored here so the three front
+/// ends cannot drift apart. Request objects are the dvsd line format:
+///
+///   {"id": "j1", "workload": "gsm", "input": "speech1",
+///    "categories": [{"input": "speech2", "weight": 0.5}, ...],
+///    "deadline": 0.0012, "tightness": 0.5, "filter": 0.02,
+///    "initial_mode": -1, "levels": 0, "capacitance": 1e-5}
+///
+/// Unknown request fields are errors, so a typo fails loudly instead of
+/// silently scheduling the default. Result objects carry status, cache
+/// provenance, per-stage latency, and (when asked) the schedule itself
+/// as `cdvs-schedule v1` text under "schedule" — that raw text is what
+/// the byte-identity checks diff against dvsd's --schedules output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_SERVICE_JOBIO_H
+#define CDVS_SERVICE_JOBIO_H
+
+#include "service/JsonLite.h"
+#include "service/Job.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace cdvs {
+
+/// Maps a parsed JSON object onto a JobRequest; unknown or mistyped
+/// fields are errors.
+ErrorOr<JobRequest> jobRequestFromJson(const JsonValue &V);
+
+/// Parses one JSON request document (a dvsd request line).
+ErrorOr<JobRequest> jobRequestFromJsonText(const std::string &Text);
+
+/// Serializes \p R as one request object. Only fields that differ from
+/// the defaults are emitted, so the output round-trips through
+/// jobRequestFromJson to an equivalent request.
+std::string jobRequestToJson(const JobRequest &R);
+
+/// Serializes \p R as one result object (dvsd's line format). With
+/// \p IncludeSchedule the `cdvs-schedule v1` text rides along under
+/// "schedule"; \p ScheduleFile, when nonempty, is recorded as
+/// "schedule_file" (dvsd's --schedules=DIR receipts).
+std::string jobResultToJson(const JobResult &R, bool IncludeSchedule,
+                            const std::string &ScheduleFile = "");
+
+/// Maps a parsed result object back onto a JobResult (client side).
+/// Numeric fields survive at the emitters' printed precision; the
+/// schedule text survives byte-exactly.
+ErrorOr<JobResult> jobResultFromJson(const JsonValue &V);
+
+/// Parses one JSON result document.
+ErrorOr<JobResult> jobResultFromJsonText(const std::string &Text);
+
+} // namespace cdvs
+
+#endif // CDVS_SERVICE_JOBIO_H

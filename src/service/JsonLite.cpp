@@ -58,18 +58,43 @@ struct Parser {
     return true;
   }
 
-  /// Appends \p Code as UTF-8 (basic multilingual plane only).
+  /// Appends \p Code as UTF-8 (up to U+10FFFF).
   static void appendUtf8(std::string &Out, unsigned Code) {
     if (Code < 0x80) {
       Out += static_cast<char>(Code);
     } else if (Code < 0x800) {
       Out += static_cast<char>(0xc0 | (Code >> 6));
       Out += static_cast<char>(0x80 | (Code & 0x3f));
-    } else {
+    } else if (Code < 0x10000) {
       Out += static_cast<char>(0xe0 | (Code >> 12));
       Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
       Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else {
+      Out += static_cast<char>(0xf0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3f));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
     }
+  }
+
+  /// Reads the 4 hex digits of a \u escape into \p Code.
+  bool hex4(unsigned &Code) {
+    if (Pos + 4 > Text.size())
+      return fail("unterminated \\u escape");
+    Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char H = Text[Pos++];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= static_cast<unsigned>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        Code |= static_cast<unsigned>(H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        Code |= static_cast<unsigned>(H - 'A' + 10);
+      else
+        return fail("bad \\u escape digit");
+    }
+    return true;
   }
 
   bool parseString(std::string &Out) {
@@ -95,20 +120,24 @@ struct Parser {
         case 'r': Out += '\r'; break;
         case 't': Out += '\t'; break;
         case 'u': {
-          if (Pos + 4 > Text.size())
-            return fail("short \\u escape");
           unsigned Code = 0;
-          for (int I = 0; I < 4; ++I) {
-            char H = Text[Pos++];
-            Code <<= 4;
-            if (H >= '0' && H <= '9')
-              Code |= static_cast<unsigned>(H - '0');
-            else if (H >= 'a' && H <= 'f')
-              Code |= static_cast<unsigned>(H - 'a' + 10);
-            else if (H >= 'A' && H <= 'F')
-              Code |= static_cast<unsigned>(H - 'A' + 10);
-            else
-              return fail("bad \\u escape digit");
+          if (!hex4(Code))
+            return false;
+          if (Code >= 0xdc00 && Code <= 0xdfff)
+            return fail("unpaired low surrogate in \\u escape");
+          if (Code >= 0xd800 && Code <= 0xdbff) {
+            // A high surrogate is only meaningful as half of a pair;
+            // a lone one would decode to CESU-8 garbage.
+            if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+                Text[Pos + 1] != 'u')
+              return fail("unpaired high surrogate in \\u escape");
+            Pos += 2;
+            unsigned Low = 0;
+            if (!hex4(Low))
+              return false;
+            if (Low < 0xdc00 || Low > 0xdfff)
+              return fail("bad low surrogate in \\u escape");
+            Code = 0x10000 + ((Code - 0xd800) << 10) + (Low - 0xdc00);
           }
           appendUtf8(Out, Code);
           break;
@@ -147,6 +176,11 @@ struct Parser {
         JsonValue Member;
         if (!parseValue(Member))
           return false;
+        // Duplicate keys would make find() answer for one member while
+        // the sender meant the other; ambiguity is an error here.
+        for (const auto &[Name, Existing] : V.Obj)
+          if (Name == Key)
+            return fail("duplicate object key '" + Key + "'");
         V.Obj.emplace_back(std::move(Key), std::move(Member));
         skipSpace();
         if (Pos < Text.size() && Text[Pos] == ',') {

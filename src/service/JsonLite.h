@@ -9,8 +9,11 @@
 /// descent parser into a small value tree, and string escaping for the
 /// emit side (responses are assembled by hand — they are flat). Supports
 /// the full value grammar with numbers as doubles; \uXXXX escapes decode
-/// basic-plane code points to UTF-8. No external dependency, matching
-/// the container constraint.
+/// to UTF-8, with surrogate pairs combined and lone surrogates rejected.
+/// Malformed input fails loudly: duplicate object keys and truncated
+/// \u escapes are errors, never silently resolved — requests arrive over
+/// the network, and an ambiguous request must not schedule anything. No
+/// external dependency, matching the container constraint.
 ///
 //===----------------------------------------------------------------------===//
 

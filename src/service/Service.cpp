@@ -178,17 +178,15 @@ SchedulerService::SchedulerService(ServiceOptions Options)
 
 SchedulerService::~SchedulerService() { shutdown(); }
 
-std::future<JobResult> SchedulerService::submit(JobRequest Request) {
+std::string SchedulerService::admit(std::unique_ptr<PendingJob> &Job) {
   obs::TraceSpan Admit("admit", "service");
-  std::promise<JobResult> Promise;
-  std::future<JobResult> Fut = Promise.get_future();
 
   // Urgency: tighter deadlines run first. Absolute deadlines and
   // tightness fractions are both "smaller = more stringent"; mixing the
   // two in one queue is a heuristic, but batches are normally uniform.
-  double Urgency = Request.DeadlineSeconds > 0.0
-                       ? Request.DeadlineSeconds
-                       : Request.DeadlineTightness;
+  double Urgency = Job->Request.DeadlineSeconds > 0.0
+                       ? Job->Request.DeadlineSeconds
+                       : Job->Request.DeadlineTightness;
 
   std::string RejectReason;
   size_t Depth = 0;
@@ -201,9 +199,6 @@ std::future<JobResult> SchedulerService::submit(JobRequest Request) {
                      std::to_string(Opts.QueueCapacity) + ", " +
                      std::to_string(Queue.size()) + " jobs pending)";
     } else {
-      auto Job = std::make_unique<PendingJob>();
-      Job->Request = std::move(Request);
-      Job->Promise = std::move(Promise);
       Job->Enqueued = Clock::now();
       Queue.emplace(QueueKey{Urgency, AdmitSeq++}, std::move(Job));
       Depth = Queue.size();
@@ -213,11 +208,6 @@ std::future<JobResult> SchedulerService::submit(JobRequest Request) {
 
   ServiceMetrics &M = serviceMetrics();
   if (!RejectReason.empty()) {
-    JobResult R;
-    R.Id = Request.Id;
-    R.Status = JobStatus::Rejected;
-    R.Reason = RejectReason;
-    Promise.set_value(std::move(R));
     M.Rejected.inc();
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Counters.Rejected;
@@ -232,7 +222,41 @@ std::future<JobResult> SchedulerService::submit(JobRequest Request) {
     }
     Cv.notify_one();
   }
+  return RejectReason;
+}
+
+std::future<JobResult> SchedulerService::submit(JobRequest Request) {
+  auto Job = std::make_unique<PendingJob>();
+  Job->Request = std::move(Request);
+  std::future<JobResult> Fut = Job->Promise.get_future();
+
+  std::string RejectReason = admit(Job);
+  if (!RejectReason.empty()) {
+    JobResult R;
+    R.Id = Job->Request.Id;
+    R.Status = JobStatus::Rejected;
+    R.Reason = RejectReason;
+    Job->Promise.set_value(std::move(R));
+  }
   return Fut;
+}
+
+bool SchedulerService::submitAsync(JobRequest Request,
+                                   std::function<void(JobResult)> OnDone) {
+  assert(OnDone && "submitAsync needs a completion callback");
+  auto Job = std::make_unique<PendingJob>();
+  Job->Request = std::move(Request);
+  Job->OnDone = std::move(OnDone);
+
+  std::string RejectReason = admit(Job);
+  if (RejectReason.empty())
+    return true;
+  JobResult R;
+  R.Id = Job->Request.Id;
+  R.Status = JobStatus::Rejected;
+  R.Reason = RejectReason;
+  Job->OnDone(std::move(R));
+  return false;
 }
 
 std::vector<JobResult>
@@ -321,7 +345,10 @@ void SchedulerService::workerLoop() {
         break;
       }
     }
-    Job->Promise.set_value(std::move(R));
+    if (Job->OnDone)
+      Job->OnDone(std::move(R));
+    else
+      Job->Promise.set_value(std::move(R));
   }
 }
 

@@ -47,6 +47,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -115,6 +116,17 @@ public:
   /// service is shutting down.
   std::future<JobResult> submit(JobRequest Request);
 
+  /// Callback-style submission for event-driven callers (the network
+  /// front end): \p OnDone runs exactly once with the result — on a
+  /// pipeline worker thread when the job was admitted, or inline (before
+  /// this call returns, with a Rejected result) when admission refused
+  /// it. \returns true when the job was admitted. \p OnDone must not
+  /// throw and must not block the worker for long; shutdown() still
+  /// drains admitted jobs, so every accepted callback fires before
+  /// shutdown() returns.
+  bool submitAsync(JobRequest Request,
+                   std::function<void(JobResult)> OnDone);
+
   /// Submits every request, then waits; results come back in request
   /// order.
   std::vector<JobResult> runBatch(std::vector<JobRequest> Requests);
@@ -136,13 +148,20 @@ public:
 private:
   struct PendingJob {
     JobRequest Request;
+    /// Exactly one completion channel is used: OnDone when nonempty
+    /// (submitAsync), the promise otherwise (submit).
     std::promise<JobResult> Promise;
+    std::function<void(JobResult)> OnDone;
     std::chrono::steady_clock::time_point Enqueued;
   };
   /// Priority key: (urgency, admission sequence) — smaller runs first.
   using QueueKey = std::pair<double, long>;
 
   void workerLoop();
+  /// Shared admission path of submit/submitAsync: enqueues \p Job
+  /// (moving from it) or returns the nonempty rejection reason
+  /// (backpressure, shutdown), leaving \p Job with the caller.
+  std::string admit(std::unique_ptr<PendingJob> &Job);
   JobResult execute(const JobRequest &Request, double QueueSeconds,
                     long DequeueSeq);
   /// Stage 1. \returns the per-category profiles (memoized) or an error.

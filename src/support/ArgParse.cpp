@@ -6,6 +6,7 @@
 
 #include "support/ArgParse.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +64,47 @@ bool &ArgParser::addFlag(const std::string &Name, std::string Help) {
   return *O.FlagVal;
 }
 
+namespace {
+
+/// Plain Levenshtein distance, small strings only (option names).
+size_t editDistance(const std::string &A, const std::string &B) {
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Diag = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Next = std::min(
+          {Row[J] + 1, Row[J - 1] + 1,
+           Diag + (A[I - 1] == B[J - 1] ? 0 : 1)});
+      Diag = Row[J];
+      Row[J] = Next;
+    }
+  }
+  return Row[B.size()];
+}
+
+} // namespace
+
+std::string ArgParser::nearestOption(const std::string &Name) const {
+  std::string Best;
+  // Only suggest when the typo is plausibly the candidate: within two
+  // edits, or one third of the name for long names.
+  size_t BestDist = std::max<size_t>(2, Name.size() / 3) + 1;
+  auto consider = [&](const std::string &Candidate) {
+    size_t D = editDistance(Name, Candidate);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = Candidate;
+    }
+  };
+  for (const auto &O : Options)
+    consider(O->Name);
+  consider("help");
+  return Best;
+}
+
 ArgParser::Option *ArgParser::find(const std::string &Name) {
   for (auto &O : Options)
     if (O->Name == Name)
@@ -107,10 +149,22 @@ ErrorOr<bool> ArgParser::parse(int Argc, char **Argv) {
         Unknown.push_back(Arg);
         continue;
       }
+      std::string Near = nearestOption(Name);
+      if (!Near.empty() && Near != Name)
+        return makeError(Program + ": unknown option --" + Name +
+                         " (did you mean --" + Near + "?)");
       return makeError(Program + ": unknown option --" + Name +
                        " (try --help)");
     }
     O->Seen = true;
+    // Valued options also accept the space form `--name value`: consume
+    // the next argument unless it looks like another option, so a
+    // forgotten value is an error instead of silently eating a flag.
+    if (!HasValue && O->K != Kind::Flag && I + 1 < Argc &&
+        std::strncmp(Argv[I + 1], "--", 2) != 0) {
+      Value = Argv[++I];
+      HasValue = true;
+    }
     switch (O->K) {
     case Kind::Flag:
       if (HasValue)
@@ -121,7 +175,8 @@ ErrorOr<bool> ArgParser::parse(int Argc, char **Argv) {
     case Kind::Int: {
       if (!HasValue)
         return makeError(Program + ": option --" + Name +
-                         " requires =<int>");
+                         " requires a value (--" + Name +
+                         "=<int> or --" + Name + " <int>)");
       char *End = nullptr;
       long V = std::strtol(Value.c_str(), &End, 10);
       if (Value.empty() || *End != '\0')
@@ -133,7 +188,8 @@ ErrorOr<bool> ArgParser::parse(int Argc, char **Argv) {
     case Kind::Double: {
       if (!HasValue)
         return makeError(Program + ": option --" + Name +
-                         " requires =<number>");
+                         " requires a value (--" + Name +
+                         "=<num> or --" + Name + " <num>)");
       char *End = nullptr;
       double V = std::strtod(Value.c_str(), &End);
       if (Value.empty() || *End != '\0')
@@ -145,7 +201,8 @@ ErrorOr<bool> ArgParser::parse(int Argc, char **Argv) {
     case Kind::String:
       if (!HasValue)
         return makeError(Program + ": option --" + Name +
-                         " requires =<value>");
+                         " requires a value (--" + Name +
+                         "=<str> or --" + Name + " <str>)");
       *O->StrVal = Value;
       break;
     }

@@ -13,11 +13,14 @@
 ///   int &Threads = P.addInt("threads", 0, "sweep width; 0 = per core");
 ///   if (!P.parseOrExit(Argc, Argv)) return 0;   // --help was printed
 ///
-/// Syntax: `--name=value` for valued options, bare `--name` for flags,
-/// `--help` for the generated usage text. Anything not starting with
-/// `--` is collected as a positional argument. Unknown `--` options are
-/// an error unless allowUnknown(true), in which case they are collected
-/// verbatim for pass-through (e.g. to google-benchmark).
+/// Syntax: `--name=value` or `--name value` for valued options (the
+/// space form takes the next argument unless it starts with `--`, so a
+/// forgotten value is still caught), bare `--name` for flags, `--help`
+/// for the generated usage text. Anything not starting with `--` is
+/// collected as a positional argument. Unknown `--` options are an
+/// error naming the nearest registered option, unless allowUnknown(true),
+/// in which case they are collected verbatim for pass-through (e.g. to
+/// google-benchmark).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -93,6 +96,9 @@ private:
   Option &addOption(const std::string &Name, Kind K, std::string Help);
   Option *find(const std::string &Name);
   const Option *find(const std::string &Name) const;
+  /// The registered option name closest to \p Name (edit distance), or
+  /// "" when nothing is plausibly close — powers the did-you-mean hint.
+  std::string nearestOption(const std::string &Name) const;
 
   std::string Program;
   std::string Overview;

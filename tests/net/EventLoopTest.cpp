@@ -1,0 +1,112 @@
+//===- tests/net/EventLoopTest.cpp - timer wheel + wakeup fd ---------------===//
+//
+// The event-loop building blocks in isolation, driven with synthetic
+// clocks: timer scheduling/cancellation, the same-tick rescan rule
+// (regression: a timer due later within an already-scanned tick must
+// fire on the next advance, not one wheel rotation later), deadlines
+// beyond one rotation, and WakeupFd's notify/drain round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/EventLoop.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs::net;
+
+namespace {
+
+constexpr uint64_t kTick = 10'000'000; // 10 ms, the server's default
+
+TEST(TimerWheel, FiresAtTheDeadlineNotBefore) {
+  TimerWheel W(kTick, 512);
+  int Fired = 0;
+  W.schedule(/*NowNanos=*/0, /*DelayNanos=*/3 * kTick, [&] { ++Fired; });
+  EXPECT_EQ(W.advance(2 * kTick), 0u);
+  EXPECT_EQ(Fired, 0);
+  EXPECT_EQ(W.advance(3 * kTick), 1u);
+  EXPECT_EQ(Fired, 1);
+  EXPECT_EQ(W.pending(), 0u);
+}
+
+TEST(TimerWheel, FiresWithinTheCurrentTickOnALaterAdvance) {
+  // Regression: the first advance lands early in the deadline's tick
+  // (timer not yet due); the second lands past the deadline in the SAME
+  // tick. The wheel must rescan that slot and fire now — the original
+  // implementation marked the tick done and sat on the timer for a full
+  // rotation (512 ticks = 5.12 s at server defaults).
+  TimerWheel W(kTick, 512);
+  int Fired = 0;
+  W.schedule(/*NowNanos=*/1'000'000, /*DelayNanos=*/5'000'000,
+             [&] { ++Fired; }); // deadline 6 ms, inside tick 0
+  EXPECT_EQ(W.advance(2'000'000), 0u); // tick 0, before the deadline
+  EXPECT_EQ(Fired, 0);
+  EXPECT_EQ(W.advance(7'000'000), 1u); // tick 0 again, past it
+  EXPECT_EQ(Fired, 1);
+}
+
+TEST(TimerWheel, CancelUnfilesAPendingTimer) {
+  TimerWheel W(kTick, 512);
+  int Fired = 0;
+  uint64_t Id = W.schedule(0, 2 * kTick, [&] { ++Fired; });
+  EXPECT_TRUE(W.cancel(Id));
+  EXPECT_FALSE(W.cancel(Id)); // already gone
+  EXPECT_EQ(W.advance(10 * kTick), 0u);
+  EXPECT_EQ(Fired, 0);
+  EXPECT_EQ(W.pending(), 0u);
+}
+
+TEST(TimerWheel, DeadlineBeyondOneRotationWaitsItsTurn) {
+  TimerWheel W(kTick, /*Slots=*/8);
+  int Fired = 0;
+  // 20 ticks out with an 8-slot wheel: shares a slot with tick 4.
+  W.schedule(0, 20 * kTick, [&] { ++Fired; });
+  EXPECT_EQ(W.advance(4 * kTick), 0u); // slot scanned, deadline not due
+  EXPECT_EQ(Fired, 0);
+  EXPECT_EQ(W.advance(12 * kTick), 0u); // second visit, still early
+  EXPECT_EQ(W.advance(20 * kTick), 1u);
+  EXPECT_EQ(Fired, 1);
+}
+
+TEST(TimerWheel, CallbacksMayReschedule) {
+  TimerWheel W(kTick, 512);
+  int Fired = 0;
+  W.schedule(0, kTick, [&] {
+    ++Fired;
+    W.schedule(1 * kTick, kTick, [&] { ++Fired; });
+  });
+  EXPECT_EQ(W.advance(1 * kTick), 1u);
+  EXPECT_EQ(W.advance(2 * kTick), 1u);
+  EXPECT_EQ(Fired, 2);
+}
+
+TEST(TimerWheel, PollTimeoutTracksPendingTimers) {
+  TimerWheel W(kTick, 512);
+  EXPECT_EQ(W.pollTimeoutMs(0), -1); // nothing filed: sleep forever
+  uint64_t Id = W.schedule(0, 5 * kTick, [] {});
+  int Ms = W.pollTimeoutMs(0);
+  EXPECT_GE(Ms, 1);
+  EXPECT_LE(Ms, 10); // never oversleeps a tick boundary
+  W.cancel(Id);
+  EXPECT_EQ(W.pollTimeoutMs(0), -1);
+}
+
+TEST(WakeupFd, NotifyMakesTheFdReadableUntilDrained) {
+  WakeupFd W;
+  ASSERT_GE(W.fd(), 0);
+  W.notify();
+  W.notify(); // coalesces; must not block or error
+
+  std::unique_ptr<Poller> Io = Poller::create(false);
+  ASSERT_TRUE(Io != nullptr);
+  Io->add(W.fd(), EvIn);
+  std::vector<PollEvent> Events;
+  ASSERT_GT(Io->wait(Events, 1'000), 0);
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Fd, W.fd());
+
+  W.drain();
+  EXPECT_EQ(Io->wait(Events, 0), 0); // readable edge consumed
+}
+
+} // namespace

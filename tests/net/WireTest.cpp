@@ -1,0 +1,252 @@
+//===- tests/net/WireTest.cpp - cdvs-wire v1 framing -----------------------===//
+//
+// The framed protocol in isolation: header layout down to the byte,
+// round trips at the size extremes (zero payload, exactly the cap),
+// incremental reassembly from a dribbling stream, and the strict-decode
+// error taxonomy (bad magic / version / type / reserved / oversized)
+// with the parser poisoned afterwards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace cdvs;
+using namespace cdvs::net;
+
+namespace {
+
+TEST(Wire, HeaderLayoutIsLittleEndianAndTwentyBytes) {
+  FrameHeader H;
+  H.Type = FrameType::Request;
+  H.Correlation = 0x0102030405060708ull;
+  H.PayloadBytes = 0xAABBCCDDu;
+  unsigned char B[kFrameHeaderBytes];
+  encodeFrameHeader(H, B);
+
+  EXPECT_EQ(B[0], 'C');
+  EXPECT_EQ(B[1], 'D');
+  EXPECT_EQ(B[2], 'V');
+  EXPECT_EQ(B[3], 'S');
+  EXPECT_EQ(B[4], kWireVersion);
+  EXPECT_EQ(B[5], static_cast<unsigned char>(FrameType::Request));
+  EXPECT_EQ(B[6], 0u); // reserved
+  EXPECT_EQ(B[7], 0u);
+  EXPECT_EQ(B[8], 0x08u); // correlation, little-endian
+  EXPECT_EQ(B[15], 0x01u);
+  EXPECT_EQ(B[16], 0xDDu); // payload length, little-endian
+  EXPECT_EQ(B[19], 0xAAu);
+
+  FrameHeader Out;
+  ASSERT_EQ(decodeFrameHeader(B, sizeof(B), ~size_t{0}, Out),
+            WireStatus::Ok);
+  EXPECT_EQ(Out.Type, FrameType::Request);
+  EXPECT_EQ(Out.Correlation, H.Correlation);
+  EXPECT_EQ(Out.PayloadBytes, H.PayloadBytes);
+}
+
+TEST(Wire, RoundTripsZeroPayloadFrame) {
+  std::string Bytes = encodeFrame(FrameType::Ping, 7, "");
+  EXPECT_EQ(Bytes.size(), kFrameHeaderBytes);
+
+  FrameParser Parser;
+  Parser.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(Parser.next(F), FrameParser::Next::Frame);
+  EXPECT_EQ(F.Type, FrameType::Ping);
+  EXPECT_EQ(F.Correlation, 7u);
+  EXPECT_TRUE(F.Payload.empty());
+  EXPECT_EQ(Parser.buffered(), 0u);
+  EXPECT_EQ(Parser.next(F), FrameParser::Next::NeedMore);
+}
+
+TEST(Wire, RoundTripsMaxSizePayloadFrame) {
+  const size_t Cap = 4096;
+  std::string Payload(Cap, '\0');
+  for (size_t I = 0; I < Payload.size(); ++I)
+    Payload[I] = static_cast<char>(I * 31 + 7);
+  std::string Bytes =
+      encodeFrame(FrameType::Response, ~uint64_t{0}, Payload);
+
+  FrameParser Parser(Cap);
+  Parser.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(Parser.next(F), FrameParser::Next::Frame);
+  EXPECT_EQ(F.Type, FrameType::Response);
+  EXPECT_EQ(F.Correlation, ~uint64_t{0});
+  EXPECT_EQ(F.Payload, Payload); // byte-exact at exactly the cap
+}
+
+TEST(Wire, ReassemblesFramesFedOneByteAtATime) {
+  std::string Stream = encodeFrame(FrameType::Request, 1, "alpha") +
+                       encodeFrame(FrameType::Request, 2, "") +
+                       encodeFrame(FrameType::Ping, 3, "bb");
+  FrameParser Parser;
+  std::vector<Frame> Got;
+  for (char C : Stream) {
+    Parser.feed(&C, 1);
+    Frame F;
+    while (Parser.next(F) == FrameParser::Next::Frame)
+      Got.push_back(F);
+  }
+  ASSERT_EQ(Got.size(), 3u);
+  EXPECT_EQ(Got[0].Correlation, 1u);
+  EXPECT_EQ(Got[0].Payload, "alpha");
+  EXPECT_EQ(Got[1].Correlation, 2u);
+  EXPECT_TRUE(Got[1].Payload.empty());
+  EXPECT_EQ(Got[2].Type, FrameType::Ping);
+  EXPECT_EQ(Got[2].Payload, "bb");
+}
+
+TEST(Wire, TruncatedFrameStaysPendingAndIsVisibleAsBufferedBytes) {
+  std::string Bytes = encodeFrame(FrameType::Request, 5, "payload");
+  FrameParser Parser;
+  Parser.feed(Bytes.data(), Bytes.size() - 3);
+  Frame F;
+  EXPECT_EQ(Parser.next(F), FrameParser::Next::NeedMore);
+  // At stream EOF, buffered() > 0 is how the server detects the peer
+  // hung up mid-frame.
+  EXPECT_GT(Parser.buffered(), 0u);
+}
+
+TEST(Wire, RejectsBadMagic) {
+  std::string Bytes = encodeFrame(FrameType::Ping, 1, "");
+  Bytes[0] = 'X';
+  FrameParser Parser;
+  Parser.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(Parser.next(F), FrameParser::Next::Error);
+  EXPECT_EQ(Parser.error(), WireStatus::BadMagic);
+  EXPECT_STREQ(wireStatusName(Parser.error()), "bad_magic");
+}
+
+TEST(Wire, RejectsGarbageBeforeAFullHeaderArrives) {
+  // A peer that writes junk may never send 20 bytes; the first wrong
+  // byte is enough to poison the stream.
+  FrameParser Parser;
+  Parser.feed("NOT A CDVS FRAME", 16);
+  Frame F;
+  ASSERT_EQ(Parser.next(F), FrameParser::Next::Error);
+  EXPECT_EQ(Parser.error(), WireStatus::BadMagic);
+
+  FrameParser OneByte;
+  OneByte.feed("X", 1);
+  ASSERT_EQ(OneByte.next(F), FrameParser::Next::Error);
+  EXPECT_EQ(OneByte.error(), WireStatus::BadMagic);
+
+  // A short but valid prefix is still just "need more".
+  FrameParser Prefix;
+  Prefix.feed("CDV", 3);
+  EXPECT_EQ(Prefix.next(F), FrameParser::Next::NeedMore);
+  std::string Good = encodeFrame(FrameType::Ping, 3, "");
+  Prefix.feed(Good.data() + 3, Good.size() - 3);
+  ASSERT_EQ(Prefix.next(F), FrameParser::Next::Frame);
+  EXPECT_EQ(F.Correlation, 3u);
+
+  // Wrong version/type/reserved also fail as soon as their byte lands.
+  FrameParser Version;
+  Version.feed("CDVS\x09", 5);
+  ASSERT_EQ(Version.next(F), FrameParser::Next::Error);
+  EXPECT_EQ(Version.error(), WireStatus::BadVersion);
+
+  FrameParser Type;
+  Type.feed("CDVS\x01\x7f", 6);
+  ASSERT_EQ(Type.next(F), FrameParser::Next::Error);
+  EXPECT_EQ(Type.error(), WireStatus::BadType);
+
+  FrameParser Reserved;
+  Reserved.feed("CDVS\x01\x01\x01", 7);
+  ASSERT_EQ(Reserved.next(F), FrameParser::Next::Error);
+  EXPECT_EQ(Reserved.error(), WireStatus::BadReserved);
+}
+
+TEST(Wire, RejectsBadVersionTypeAndReserved) {
+  {
+    std::string B = encodeFrame(FrameType::Ping, 1, "");
+    B[4] = 9;
+    FrameParser P;
+    P.feed(B.data(), B.size());
+    Frame F;
+    ASSERT_EQ(P.next(F), FrameParser::Next::Error);
+    EXPECT_EQ(P.error(), WireStatus::BadVersion);
+  }
+  {
+    std::string B = encodeFrame(FrameType::Ping, 1, "");
+    B[5] = 0x7f;
+    FrameParser P;
+    P.feed(B.data(), B.size());
+    Frame F;
+    ASSERT_EQ(P.next(F), FrameParser::Next::Error);
+    EXPECT_EQ(P.error(), WireStatus::BadType);
+  }
+  {
+    std::string B = encodeFrame(FrameType::Ping, 1, "");
+    B[6] = 1;
+    FrameParser P;
+    P.feed(B.data(), B.size());
+    Frame F;
+    ASSERT_EQ(P.next(F), FrameParser::Next::Error);
+    EXPECT_EQ(P.error(), WireStatus::BadReserved);
+  }
+}
+
+TEST(Wire, RejectsOversizedPayloadFromHeaderAlone) {
+  // One byte over the receiver's cap, announced in the header — the
+  // payload itself never needs to arrive for the reject.
+  FrameHeader H;
+  H.Type = FrameType::Request;
+  H.Correlation = 9;
+  H.PayloadBytes = 1025;
+  unsigned char B[kFrameHeaderBytes];
+  encodeFrameHeader(H, B);
+
+  FrameParser Parser(1024);
+  Parser.feed(reinterpret_cast<const char *>(B), sizeof(B));
+  Frame F;
+  ASSERT_EQ(Parser.next(F), FrameParser::Next::Error);
+  EXPECT_EQ(Parser.error(), WireStatus::Oversized);
+  EXPECT_STREQ(wireStatusName(Parser.error()), "too_large");
+}
+
+TEST(Wire, ParserIsPoisonedAfterAnError) {
+  std::string Bad = encodeFrame(FrameType::Ping, 1, "");
+  Bad[0] = 'X';
+  std::string Good = encodeFrame(FrameType::Ping, 2, "");
+  FrameParser Parser;
+  Parser.feed(Bad.data(), Bad.size());
+  Parser.feed(Good.data(), Good.size());
+  Frame F;
+  ASSERT_EQ(Parser.next(F), FrameParser::Next::Error);
+  // The good frame behind the error is unreachable by design: the
+  // stream cannot be resynchronized.
+  EXPECT_EQ(Parser.next(F), FrameParser::Next::Error);
+  EXPECT_EQ(Parser.error(), WireStatus::BadMagic);
+}
+
+TEST(Wire, RejectPayloadRoundTrips) {
+  std::string Payload = encodeReject("too_large", "payload of 2 MiB");
+  ErrorOr<RejectInfo> R = decodeReject(Payload);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(R->Code, "too_large");
+  EXPECT_EQ(R->Reason, "payload of 2 MiB");
+
+  EXPECT_FALSE(decodeReject("not json").hasValue());
+  EXPECT_FALSE(decodeReject("{}").hasValue());
+}
+
+TEST(Wire, FrameTypeNamesAreStable) {
+  EXPECT_STREQ(frameTypeName(FrameType::Request), "request");
+  EXPECT_STREQ(frameTypeName(FrameType::Response), "response");
+  EXPECT_STREQ(frameTypeName(FrameType::Reject), "reject");
+  EXPECT_STREQ(frameTypeName(FrameType::Ping), "ping");
+  EXPECT_STREQ(frameTypeName(FrameType::Pong), "pong");
+  EXPECT_TRUE(validFrameType(1));
+  EXPECT_TRUE(validFrameType(5));
+  EXPECT_FALSE(validFrameType(0));
+  EXPECT_FALSE(validFrameType(6));
+}
+
+} // namespace

@@ -52,6 +52,55 @@ TEST(JsonLite, RejectsMalformedDocuments) {
   }
 }
 
+TEST(JsonLite, RejectsDuplicateObjectKeys) {
+  // Duplicate keys would make one of the two values win silently —
+  // reject them so a malformed network payload fails loudly instead.
+  ErrorOr<JsonValue> V = parseJson(R"({"id":"a","id":"b"})");
+  ASSERT_FALSE(V.hasValue());
+  EXPECT_NE(V.message().find("duplicate object key 'id'"),
+            std::string::npos)
+      << V.message();
+
+  // Nested objects are checked too; sibling objects may share names.
+  EXPECT_FALSE(
+      parseJson(R"({"o":{"k":1,"k":2}})").hasValue());
+  EXPECT_TRUE(
+      parseJson(R"([{"k":1},{"k":2}])").hasValue());
+}
+
+TEST(JsonLite, DecodesUnicodeEscapes) {
+  // BMP code points expand to UTF-8.
+  ErrorOr<JsonValue> V = parseJson(R"("Aé中")");
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  EXPECT_EQ(V->Str, "A\xc3\xa9\xe4\xb8\xad");
+
+  // A surrogate pair combines into one 4-byte code point (U+1F600).
+  ErrorOr<JsonValue> P = parseJson(R"("😀")");
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  EXPECT_EQ(P->Str, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonLite, RejectsBrokenUnicodeEscapes) {
+  struct Case {
+    const char *Doc;
+    const char *Expect;
+  } Cases[] = {
+      {R"("\u12")", "unterminated \\u escape"},
+      {R"("\u12zz")", "bad \\u escape digit"},
+      {R"("\ud800")", "unpaired high surrogate"},
+      {R"("\ud800x")", "unpaired high surrogate"},
+      {R"("\ud800\n")", "unpaired high surrogate"},
+      {R"("\ud800\u0041")", "bad low surrogate"},
+      {R"("\ude00")", "unpaired low surrogate"},
+  };
+  for (const Case &C : Cases) {
+    ErrorOr<JsonValue> V = parseJson(C.Doc);
+    ASSERT_FALSE(V.hasValue()) << "accepted: " << C.Doc;
+    EXPECT_NE(V.message().find(C.Expect), std::string::npos)
+        << C.Doc << " -> " << V.message();
+  }
+}
+
 TEST(JsonLite, EscapeRoundTripsThroughParse) {
   std::string Nasty = "quote\" slash\\ newline\n tab\t bell\x07";
   std::string Doc = "\"";

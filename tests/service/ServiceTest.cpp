@@ -15,8 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 
 using namespace cdvs;
 
@@ -344,6 +346,76 @@ TEST(Service, ShutdownDrainsThenRejects) {
   EXPECT_EQ(Late.Status, JobStatus::Rejected);
   EXPECT_NE(Late.Reason.find("shutting down"), std::string::npos);
   Service.shutdown();
+}
+
+TEST(Service, ShutdownWithUncollectedFuturesNeitherLeaksNorDeadlocks) {
+  // A caller that submits and walks away (drops or never gets() its
+  // futures) must not wedge shutdown: the promises are fulfilled into
+  // abandoned shared states and freed. TSan/ASan runs make the "no
+  // leak, no deadlock" claim real.
+  ServiceOptions O;
+  O.NumWorkers = 2;
+  O.StartPaused = true; // everything still queued when shutdown starts
+  auto Service = std::make_unique<SchedulerService>(O);
+  for (int I = 0; I < 6; ++I)
+    (void)Service->submit(gsmJob("orphan" + std::to_string(I)));
+  ASSERT_EQ(Service->stats().Submitted, 6);
+  Service->resume();
+  Service->shutdown(); // drains all six with nobody waiting
+  EXPECT_EQ(Service->stats().Completed, 6);
+  Service.reset(); // destructor after explicit shutdown is a no-op
+}
+
+TEST(Service, SubmitAsyncRunsTheCallbackExactlyOnce) {
+  SchedulerService Service;
+  std::promise<JobResult> Done;
+  bool Admitted = Service.submitAsync(gsmJob("cb"), [&](JobResult R) {
+    Done.set_value(std::move(R)); // a second call would throw here
+  });
+  EXPECT_TRUE(Admitted);
+  JobResult R = Done.get_future().get();
+  EXPECT_EQ(R.Status, JobStatus::Done) << R.Reason;
+  EXPECT_EQ(R.Id, "cb");
+}
+
+TEST(Service, SubmitAsyncRejectionRunsInline) {
+  ServiceOptions O;
+  O.NumWorkers = 1;
+  O.QueueCapacity = 1;
+  O.StartPaused = true;
+  SchedulerService Service(O);
+  ASSERT_TRUE(Service.submitAsync(gsmJob("fills"), [](JobResult) {}));
+
+  // The queue is full: the callback fires before submitAsync returns,
+  // on this thread, with the rejection.
+  bool SawInline = false;
+  bool Admitted = Service.submitAsync(gsmJob("over"), [&](JobResult R) {
+    SawInline = true;
+    EXPECT_EQ(R.Status, JobStatus::Rejected);
+    EXPECT_EQ(R.Id, "over");
+    EXPECT_NE(R.Reason.find("queue full"), std::string::npos) << R.Reason;
+  });
+  EXPECT_FALSE(Admitted);
+  EXPECT_TRUE(SawInline);
+  Service.resume();
+}
+
+TEST(Service, ShutdownFiresEveryAdmittedAsyncCallback) {
+  ServiceOptions O;
+  O.NumWorkers = 2;
+  O.StartPaused = true;
+  SchedulerService Service(O);
+  std::atomic<int> Fired{0};
+  const int N = 5;
+  for (int I = 0; I < N; ++I)
+    ASSERT_TRUE(Service.submitAsync(gsmJob("d" + std::to_string(I)),
+                                    [&](JobResult R) {
+                                      EXPECT_EQ(R.Status, JobStatus::Done);
+                                      ++Fired;
+                                    }));
+  Service.resume();
+  Service.shutdown(); // returns only after every callback ran
+  EXPECT_EQ(Fired.load(), N);
 }
 
 } // namespace

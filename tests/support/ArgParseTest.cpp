@@ -104,6 +104,81 @@ TEST(ArgParse, HelpIsReportedNotParsedPast) {
   EXPECT_NE(U.find("--help"), std::string::npos);
 }
 
+TEST(ArgParse, SpaceSeparatedValuesParseLikeEqualsForm) {
+  ArgParser P("prog");
+  int &N = P.addInt("n", 7, "an int");
+  double &X = P.addDouble("x", 1.5, "a double");
+  std::string &S = P.addString("s", "dflt", "a string");
+  bool &F = P.addFlag("f", "a flag");
+
+  ErrorOr<bool> R = parseArgs(
+      P, {"prog", "--n", "3", "--x", "2.25", "--f", "--s", "hello"});
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(N, 3);
+  EXPECT_DOUBLE_EQ(X, 2.25);
+  EXPECT_EQ(S, "hello");
+  EXPECT_TRUE(F);
+}
+
+TEST(ArgParse, SpaceFormNeverSwallowsAnotherOption) {
+  // "--s --x=1" must not bind "--x=1" as the value of --s: values that
+  // look like options only pass through the = form.
+  ArgParser P("prog");
+  P.addString("s", "", "");
+  P.addDouble("x", 0.0, "");
+  ErrorOr<bool> R = parseArgs(P, {"prog", "--s", "--x=1"});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("requires a value"), std::string::npos);
+
+  // The = form takes such values verbatim.
+  ArgParser P2("prog");
+  std::string &S = P2.addString("s", "", "");
+  ASSERT_TRUE(parseArgs(P2, {"prog", "--s=--x=1"}).hasValue());
+  EXPECT_EQ(S, "--x=1");
+}
+
+TEST(ArgParse, FlagsDoNotConsumeTheNextArgument) {
+  ArgParser P("prog");
+  bool &F = P.addFlag("f", "");
+  ErrorOr<bool> R = parseArgs(P, {"prog", "--f", "positional"});
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_TRUE(F);
+  ASSERT_EQ(P.positional().size(), 1u);
+  EXPECT_EQ(P.positional()[0], "positional");
+}
+
+TEST(ArgParse, TrailingValuelessOptionStillErrors) {
+  ArgParser P("prog");
+  P.addInt("n", 0, "");
+  ErrorOr<bool> R = parseArgs(P, {"prog", "--n"});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("requires a value"), std::string::npos);
+}
+
+TEST(ArgParse, UnknownOptionSuggestsTheNearestName) {
+  ArgParser P("prog");
+  P.addInt("connections", 1, "");
+  P.addInt("rate", 0, "");
+
+  ErrorOr<bool> R = parseArgs(P, {"prog", "--conections=2"});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("did you mean --connections?"),
+            std::string::npos)
+      << R.message();
+
+  // Nothing close: no guess, just the generic pointer to --help.
+  ErrorOr<bool> R2 = parseArgs(P, {"prog", "--zzzzqqqq=2"});
+  ASSERT_FALSE(R2.hasValue());
+  EXPECT_EQ(R2.message().find("did you mean"), std::string::npos);
+  EXPECT_NE(R2.message().find("try --help"), std::string::npos);
+
+  // "--hlep" is nearest to the built-in --help.
+  ErrorOr<bool> R3 = parseArgs(P, {"prog", "--hlep"});
+  ASSERT_FALSE(R3.hasValue());
+  EXPECT_NE(R3.message().find("did you mean --help?"), std::string::npos)
+      << R3.message();
+}
+
 TEST(ArgParse, ReferencesStayValidAcrossManyRegistrations) {
   // Options live behind stable storage; registering more must not move
   // earlier bindings (this is what lets mains hold plain references).

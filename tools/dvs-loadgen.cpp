@@ -1,0 +1,337 @@
+//===- tools/dvs-loadgen.cpp - Open-loop load generator for dvs-server -----===//
+//
+// Drives a running dvs-server with an open-loop request schedule: sends
+// at a fixed aggregate rate across N connections regardless of how fast
+// responses come back (so server-side queueing shows up as latency, not
+// as a slowed-down generator), pipelining on each connection and
+// matching responses by correlation id. Reports throughput and latency
+// quantiles as one JSON record (default BENCH_net.json).
+//
+// The default workload is one request repeated, which after the first
+// solve is a pure result-cache hit — the sustained-throughput number
+// measures the wire + event loop + cache path, not the MILP. Pass
+// --distinct=K to spread requests over K deadline variants instead.
+//
+// --schedules=DIR writes each distinct returned schedule to
+// DIR/<fingerprint>.cdvs (the same canonical form dvsd --schedules
+// writes), which is what the byte-identity gate diffs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dvs/ScheduleIO.h"
+#include "net/Client.h"
+#include "service/JobIO.h"
+#include "support/ArgParse.h"
+#include "support/Clock.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cdvs;
+
+namespace {
+
+struct SharedTally {
+  std::mutex Mu;
+  std::vector<double> LatenciesSec;
+  long Sent = 0;
+  long Done = 0;       ///< status "done"
+  long OtherStatus = 0; ///< completed, but rejected/infeasible/failed
+  long WireRejects = 0; ///< Reject frames
+  long Errors = 0;      ///< transport errors
+  long Unanswered = 0;  ///< outstanding at drain timeout
+  long CacheHits = 0;
+  std::map<std::string, std::string> Schedules; ///< fingerprint -> text
+};
+
+constexpr const char *kTimeoutMsg = "timed out waiting for a frame";
+
+struct WorkerConfig {
+  std::string Host;
+  uint16_t Port = 0;
+  long Quota = 0;
+  uint64_t IntervalNs = 0;
+  uint64_t StartNs = 0;
+  int Distinct = 1;
+  int DrainTimeoutMs = 10'000;
+  JobRequest Base;
+};
+
+void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
+  ErrorOr<net::Client> C = net::Client::connect(Cfg.Host, Cfg.Port);
+  if (!C) {
+    std::lock_guard<std::mutex> L(Tally.Mu);
+    ++Tally.Errors;
+    return;
+  }
+  std::map<uint64_t, uint64_t> PendingNs; // correlation -> send time
+  std::vector<double> Latencies;
+  long Sent = 0, Done = 0, Other = 0, Rejects = 0, Errors = 0,
+       Hits = 0;
+  std::map<std::string, std::string> Schedules;
+
+  // Stagger workers across one send interval so the aggregate stream
+  // is evenly spaced, not N-bursty.
+  uint64_t NextSend = Cfg.StartNs + static_cast<uint64_t>(Index) *
+                                        (Cfg.IntervalNs / 4 + 1);
+  uint64_t DrainDeadline = 0;
+
+  auto handleFrame = [&](const net::Frame &F) {
+    auto It = PendingNs.find(F.Correlation);
+    if (It != PendingNs.end()) {
+      Latencies.push_back(
+          static_cast<double>(monotonicNanos() - It->second) * 1e-9);
+      PendingNs.erase(It);
+    }
+    if (F.Type == net::FrameType::Reject) {
+      ++Rejects;
+      return;
+    }
+    if (F.Type != net::FrameType::Response)
+      return;
+    ErrorOr<JobResult> R = jobResultFromJsonText(F.Payload);
+    if (!R) {
+      ++Errors;
+      return;
+    }
+    if (R->Status == JobStatus::Done) {
+      ++Done;
+      if (R->CacheHit)
+        ++Hits;
+      if (!R->Fingerprint.empty() && !R->ScheduleText.empty())
+        Schedules.emplace(R->Fingerprint, R->ScheduleText);
+    } else {
+      ++Other;
+    }
+  };
+
+  bool Alive = true;
+  while (Alive) {
+    uint64_t Now = monotonicNanos();
+    if (Sent < Cfg.Quota && Now >= NextSend) {
+      JobRequest R = Cfg.Base;
+      R.Id = "c" + std::to_string(Index) + "-" + std::to_string(Sent);
+      if (Cfg.Distinct > 1)
+        R.DeadlineTightness =
+            0.2 + 0.6 * static_cast<double>(Sent % Cfg.Distinct) /
+                      static_cast<double>(Cfg.Distinct);
+      ErrorOr<uint64_t> Corr = C->sendRequest(R);
+      if (!Corr) {
+        ++Errors;
+        break;
+      }
+      PendingNs[*Corr] = Now;
+      ++Sent;
+      // Open loop: the schedule marches on even when we fall behind.
+      NextSend += Cfg.IntervalNs;
+      continue;
+    }
+    if (Sent >= Cfg.Quota) {
+      if (PendingNs.empty())
+        break;
+      if (DrainDeadline == 0)
+        DrainDeadline =
+            Now + static_cast<uint64_t>(Cfg.DrainTimeoutMs) * 1'000'000;
+      if (Now >= DrainDeadline)
+        break;
+    }
+    int TimeoutMs;
+    if (Sent < Cfg.Quota) {
+      uint64_t Until = NextSend > Now ? NextSend - Now : 0;
+      TimeoutMs = static_cast<int>(Until / 1'000'000);
+      if (TimeoutMs < 1)
+        TimeoutMs = PendingNs.empty() ? 1 : 0;
+    } else {
+      TimeoutMs = 50;
+    }
+    ErrorOr<net::Frame> F = C->readFrame(TimeoutMs);
+    if (F) {
+      handleFrame(*F);
+      continue;
+    }
+    if (F.message() == kTimeoutMsg)
+      continue;
+    ++Errors;
+    Alive = false;
+  }
+
+  std::lock_guard<std::mutex> L(Tally.Mu);
+  Tally.Sent += Sent;
+  Tally.Done += Done;
+  Tally.OtherStatus += Other;
+  Tally.WireRejects += Rejects;
+  Tally.Errors += Errors;
+  Tally.Unanswered += static_cast<long>(PendingNs.size());
+  Tally.CacheHits += Hits;
+  Tally.LatenciesSec.insert(Tally.LatenciesSec.end(), Latencies.begin(),
+                            Latencies.end());
+  for (auto &[Fp, Text] : Schedules)
+    Tally.Schedules.emplace(Fp, std::move(Text));
+}
+
+double quantile(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t I = static_cast<size_t>(Q * static_cast<double>(Sorted.size()));
+  if (I >= Sorted.size())
+    I = Sorted.size() - 1;
+  return Sorted[I];
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ArgParser P("dvs-loadgen",
+              "open-loop load generator for dvs-server: fixed-rate "
+              "cdvs-wire requests, latency quantiles out");
+  std::string &Host = P.addString("host", "127.0.0.1", "server address");
+  int &Port = P.addInt("port", 0, "server port (required)");
+  int &Connections = P.addInt("connections", 4, "parallel connections");
+  double &Rate = P.addDouble(
+      "rate", 2000.0, "aggregate requests/second across connections");
+  int &Requests =
+      P.addInt("requests", 10000, "total requests to send");
+  int &Distinct = P.addInt(
+      "distinct", 1,
+      "spread requests over this many deadline variants (1 = pure "
+      "cache-hit load)");
+  std::string &WorkloadName =
+      P.addString("workload", "gsm", "workload to schedule");
+  double &Tightness =
+      P.addDouble("tightness", 0.5, "relative deadline tightness");
+  int &Warmup = P.addInt(
+      "warmup", 1,
+      "synchronous priming calls before the timed run (fills the "
+      "result cache); 0 measures cold");
+  int &DrainTimeoutMs = P.addInt(
+      "drain-timeout-ms", 10000,
+      "how long to wait for outstanding responses after the last send");
+  std::string &SchedulesDir = P.addString(
+      "schedules", "",
+      "directory for <fingerprint>.cdvs files (byte-identity checks)");
+  std::string &OutPath = P.addString("benchmark_out", "BENCH_net.json",
+                                     "JSON results file ('' = none)");
+  if (!P.parseOrExit(argc, argv))
+    return 0;
+  if (Port <= 0 || Port > 65535) {
+    std::fprintf(stderr, "dvs-loadgen: --port is required\n");
+    return 1;
+  }
+  if (Connections < 1)
+    Connections = 1;
+  if (Rate <= 0.0)
+    Rate = 1.0;
+
+  JobRequest Base;
+  Base.Workload = WorkloadName;
+  Base.DeadlineTightness = Tightness;
+
+  // Prime the cache (and fail fast on a bad port/workload) before the
+  // clock starts.
+  for (int I = 0; I < (Warmup < 0 ? 0 : Warmup); ++I) {
+    ErrorOr<net::Client> C =
+        net::Client::connect(Host, static_cast<uint16_t>(Port));
+    if (!C) {
+      std::fprintf(stderr, "dvs-loadgen: connect failed: %s\n",
+                   C.message().c_str());
+      return 1;
+    }
+    JobRequest W = Base;
+    W.Id = "warmup-" + std::to_string(I);
+    ErrorOr<JobResult> R = C->call(W, 120'000);
+    if (!R) {
+      std::fprintf(stderr, "dvs-loadgen: warmup call failed: %s\n",
+                   R.message().c_str());
+      return 1;
+    }
+  }
+
+  SharedTally Tally;
+  WorkerConfig Cfg;
+  Cfg.Host = Host;
+  Cfg.Port = static_cast<uint16_t>(Port);
+  Cfg.IntervalNs = static_cast<uint64_t>(
+      1e9 * static_cast<double>(Connections) / Rate);
+  Cfg.Distinct = Distinct < 1 ? 1 : Distinct;
+  Cfg.DrainTimeoutMs = DrainTimeoutMs < 0 ? 0 : DrainTimeoutMs;
+  Cfg.Base = Base;
+
+  long PerConn = Requests / Connections;
+  uint64_t T0 = monotonicNanos();
+  Cfg.StartNs = T0;
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < Connections; ++I) {
+    WorkerConfig C = Cfg;
+    C.Quota = PerConn + (I < Requests % Connections ? 1 : 0);
+    Threads.emplace_back(
+        [I, C, &Tally] { runWorker(I, C, Tally); });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  double Elapsed = static_cast<double>(monotonicNanos() - T0) * 1e-9;
+
+  long Completed = Tally.Done + Tally.OtherStatus + Tally.WireRejects;
+  std::sort(Tally.LatenciesSec.begin(), Tally.LatenciesSec.end());
+  double P50 = quantile(Tally.LatenciesSec, 0.50);
+  double P90 = quantile(Tally.LatenciesSec, 0.90);
+  double P99 = quantile(Tally.LatenciesSec, 0.99);
+  double Max = Tally.LatenciesSec.empty() ? 0.0
+                                          : Tally.LatenciesSec.back();
+  double Throughput = Elapsed > 0.0
+                          ? static_cast<double>(Completed) / Elapsed
+                          : 0.0;
+
+  int ScheduleWriteErrors = 0;
+  if (!SchedulesDir.empty()) {
+    for (const auto &[Fp, Text] : Tally.Schedules) {
+      ErrorOr<ModeAssignment> A = readSchedule(Text);
+      ErrorOr<bool> Wrote =
+          A ? writeScheduleFile(SchedulesDir + "/" + Fp + ".cdvs", *A)
+            : ErrorOr<bool>(Err(A.message()));
+      if (!Wrote) {
+        std::fprintf(stderr, "dvs-loadgen: %s\n",
+                     Wrote.message().c_str());
+        ++ScheduleWriteErrors;
+      }
+    }
+  }
+
+  char Buf[1024];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"tool\":\"dvs-loadgen\",\"connections\":%d,"
+      "\"rate_target_rps\":%.1f,\"requests\":%d,\"sent\":%ld,"
+      "\"completed\":%ld,\"done\":%ld,\"other_status\":%ld,"
+      "\"wire_rejects\":%ld,\"errors\":%ld,\"unanswered\":%ld,"
+      "\"cache_hits\":%ld,\"elapsed_s\":%.3f,"
+      "\"throughput_rps\":%.1f,\"latency_s\":{\"p50\":%.6f,"
+      "\"p90\":%.6f,\"p99\":%.6f,\"max\":%.6f},"
+      "\"distinct_schedules\":%zu}",
+      Connections, Rate, Requests, Tally.Sent, Completed, Tally.Done,
+      Tally.OtherStatus, Tally.WireRejects, Tally.Errors,
+      Tally.Unanswered, Tally.CacheHits, Elapsed, Throughput, P50, P90,
+      P99, Max, Tally.Schedules.size());
+
+  std::printf("%s\n", Buf);
+  if (!OutPath.empty()) {
+    std::FILE *F = std::fopen(OutPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "dvs-loadgen: cannot write '%s'\n",
+                   OutPath.c_str());
+      return 1;
+    }
+    std::fprintf(F, "%s\n", Buf);
+    std::fclose(F);
+  }
+
+  if (Tally.Errors > 0 || Tally.Unanswered > 0 ||
+      ScheduleWriteErrors > 0)
+    return 1;
+  return Completed > 0 ? 0 : 1;
+}

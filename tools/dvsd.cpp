@@ -36,7 +36,7 @@
 #include "dvs/ScheduleIO.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
-#include "service/JsonLite.h"
+#include "service/JobIO.h"
 #include "service/Service.h"
 #include "support/ArgParse.h"
 
@@ -48,97 +48,6 @@
 using namespace cdvs;
 
 namespace {
-
-/// Maps a parsed JSON object onto a JobRequest; unknown fields error so
-/// typos fail loudly instead of silently scheduling the default.
-ErrorOr<JobRequest> requestFromJson(const JsonValue &V) {
-  if (!V.isObject())
-    return makeError("request must be a JSON object");
-  JobRequest R;
-  for (const auto &[Key, Field] : V.Obj) {
-    if (Key == "id" && Field.isString()) {
-      R.Id = Field.Str;
-    } else if (Key == "workload" && Field.isString()) {
-      R.Workload = Field.Str;
-    } else if (Key == "input" && Field.isString()) {
-      R.Categories.push_back({Field.Str, 1.0});
-    } else if (Key == "categories" && Field.isArray()) {
-      for (const JsonValue &C : Field.Arr) {
-        const JsonValue *In = C.find("input");
-        const JsonValue *Wt = C.find("weight");
-        if (!In || !In->isString())
-          return makeError("category entries need a string 'input'");
-        R.Categories.push_back(
-            {In->Str, Wt && Wt->isNumber() ? Wt->Num : 1.0});
-      }
-    } else if (Key == "deadline" && Field.isNumber()) {
-      R.DeadlineSeconds = Field.Num;
-    } else if (Key == "tightness" && Field.isNumber()) {
-      R.DeadlineTightness = Field.Num;
-    } else if (Key == "filter" && Field.isNumber()) {
-      R.FilterThreshold = Field.Num;
-    } else if (Key == "initial_mode" && Field.isNumber()) {
-      R.InitialMode = static_cast<int>(Field.Num);
-    } else if (Key == "levels" && Field.isNumber()) {
-      R.NumLevels = static_cast<int>(Field.Num);
-    } else if (Key == "capacitance" && Field.isNumber()) {
-      R.CapacitanceF = Field.Num;
-    } else {
-      return makeError("unknown or mistyped request field '" + Key +
-                       "'");
-    }
-  }
-  if (R.Workload.empty())
-    return makeError("request is missing 'workload'");
-  return R;
-}
-
-std::string resultToJson(const JobResult &R,
-                         const std::string &ScheduleFile) {
-  char Buf[256];
-  std::string Out = "{\"id\":\"" + jsonEscape(R.Id) + "\",\"status\":\"";
-  Out += jobStatusName(R.Status);
-  Out += "\"";
-  if (!R.Reason.empty())
-    Out += ",\"reason\":\"" + jsonEscape(R.Reason) + "\"";
-  if (!R.Fingerprint.empty())
-    Out += ",\"fingerprint\":\"" + R.Fingerprint + "\"";
-  std::snprintf(Buf, sizeof(Buf),
-                ",\"cache_hit\":%s,\"shared_flight\":%s",
-                R.CacheHit ? "true" : "false",
-                R.SharedFlight ? "true" : "false");
-  Out += Buf;
-  if (R.Status == JobStatus::Done) {
-    std::snprintf(Buf, sizeof(Buf),
-                  ",\"energy_uj\":%.3f,\"lower_bound_uj\":%.3f,"
-                  "\"deadline_ms\":%.4f,\"milp\":\"%s\"",
-                  R.PredictedEnergyJoules * 1e6,
-                  R.LowerBoundJoules * 1e6, R.DeadlineSeconds * 1e3,
-                  milpStatusName(R.Milp));
-    Out += Buf;
-  }
-  if (R.VerifyErrors >= 0) {
-    std::snprintf(Buf, sizeof(Buf), ",\"verify_errors\":%d",
-                  R.VerifyErrors);
-    Out += Buf;
-    if (!R.VerifyDetail.empty())
-      Out += ",\"verify_detail\":\"" + jsonEscape(R.VerifyDetail) + "\"";
-  }
-  std::snprintf(Buf, sizeof(Buf),
-                ",\"queue_ms\":%.3f,\"profile_ms\":%.3f,"
-                "\"bound_ms\":%.3f,\"solve_ms\":%.3f,"
-                "\"serialize_ms\":%.3f,\"verify_ms\":%.3f,"
-                "\"total_ms\":%.3f",
-                R.QueueSeconds * 1e3, R.ProfileSeconds * 1e3,
-                R.BoundSeconds * 1e3, R.SolveSeconds * 1e3,
-                R.SerializeSeconds * 1e3, R.VerifySeconds * 1e3,
-                R.TotalSeconds * 1e3);
-  Out += Buf;
-  if (!ScheduleFile.empty())
-    Out += ",\"schedule_file\":\"" + jsonEscape(ScheduleFile) + "\"";
-  Out += "}";
-  return Out;
-}
 
 /// Set once a stdout write fails — the consumer closed the pipe (e.g.
 /// `dvsd | head`). Result lines stop, but the batch still completes and
@@ -269,7 +178,7 @@ int main(int argc, char **argv) {
       continue;
     ErrorOr<JsonValue> V = parseJson(Line);
     ErrorOr<JobRequest> R =
-        V ? requestFromJson(*V) : ErrorOr<JobRequest>(Err(V.message()));
+        V ? jobRequestFromJson(*V) : ErrorOr<JobRequest>(Err(V.message()));
     if (!R) {
       emitLine("{\"line\":" + std::to_string(LineNo) +
                ",\"status\":\"parse_error\",\"reason\":\"" +
@@ -309,7 +218,8 @@ int main(int argc, char **argv) {
       }
       (R.Status == JobStatus::Done ? Done : NotDone) += 1;
       if (!Quiet)
-        emitLine(resultToJson(R, ScheduleFile));
+        emitLine(jobResultToJson(R, /*IncludeSchedule=*/false,
+                                 ScheduleFile));
     }
   }
 
