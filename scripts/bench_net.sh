@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+#===- scripts/bench_net.sh - reactor-count scaling rows for BENCH_net ----===#
+#
+# Measures dvs-server's warm-cache serving capacity at 1, 2, and 4
+# reactors on loopback and merges the rows into one BENCH_net.json:
+#
+#   {"tool":"bench_net","host_cores":N,"rows":[<dvs-loadgen row>, ...]}
+#
+# Each row is one dvs-loadgen record (its "reactors" field carries the
+# server's --reactors value). The load is open-loop at a rate well above
+# capacity with an admission queue deeper than the request count, so
+# every request completes "done" and done_rps measures the end-to-end
+# serving rate — rejects cannot inflate it.
+#
+# host_cores is recorded because reactor scaling is physical: on a
+# single-core host the rows collapse to ~1x and scripts/check.sh skips
+# its multi-reactor speedup floor (the single-reactor rps floor always
+# applies).
+#
+# Usage: scripts/bench_net.sh [out.json] [schedules_dir]
+#   out.json       merged results (default BENCH_net.json)
+#   schedules_dir  when set, the reactors=1 row also writes
+#                  <fingerprint>.cdvs files there (byte-identity diffs)
+#
+# Env: BENCH_NET_REQUESTS (default 18000), BENCH_NET_RATE (default
+# 40000), BENCH_NET_DISTINCT (default 16).
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_net.json}"
+SCHED="${2:-}"
+REQS="${BENCH_NET_REQUESTS:-18000}"
+RATE="${BENCH_NET_RATE:-40000}"
+DISTINCT="${BENCH_NET_DISTINCT:-16}"
+CORES="$(nproc)"
+
+TMP="$(mktemp -d)"
+SRV=""
+cleanup() {
+  [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+for R in 1 2 4; do
+  rm -f "$TMP/port"
+  ./build/tools/dvs-server --port=0 --reactors="$R" --threads=0 \
+    --queue=$((REQS + 64)) --cache=64 \
+    --port-file="$TMP/port" > "$TMP/server_$R.log" 2>&1 &
+  SRV=$!
+  for _ in $(seq 1 100); do
+    [ -s "$TMP/port" ] && break
+    sleep 0.1
+  done
+  [ -s "$TMP/port" ] || { echo "dvs-server (reactors=$R) never listened"; exit 1; }
+
+  EXTRA=()
+  if [ "$R" = 1 ] && [ -n "$SCHED" ]; then
+    mkdir -p "$SCHED"
+    EXTRA+=("--schedules=$SCHED")
+  fi
+  ./build/tools/dvs-loadgen --port="$(cat "$TMP/port")" \
+    --connections=8 --rate="$RATE" --requests="$REQS" \
+    --distinct="$DISTINCT" --drain-timeout-ms=120000 \
+    --meta-reactors="$R" --benchmark_out="$TMP/row_$R.json" \
+    "${EXTRA[@]}" > /dev/null
+
+  kill -TERM "$SRV" 2>/dev/null || true
+  wait "$SRV" 2>/dev/null || true
+  SRV=""
+done
+
+printf '{"tool":"bench_net","host_cores":%s,"rows":[%s,%s,%s]}\n' \
+  "$CORES" "$(cat "$TMP/row_1.json")" "$(cat "$TMP/row_2.json")" \
+  "$(cat "$TMP/row_4.json")" > "$OUT"
+
+echo "bench_net: wrote $OUT"
+for R in 1 2 4; do
+  awk -F'"done_rps":' -v r="$R" \
+    '{split($2,a,","); printf "  reactors=%s  done_rps=%s\n", r, a[1]}' \
+    "$TMP/row_$R.json"
+done

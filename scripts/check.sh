@@ -26,12 +26,18 @@
 #      verification error fails the job, and therefore this gate;
 #   7. ASan+UBSan build of the full test suite (memory errors and UB in
 #      the solver arithmetic and the service lifecycle);
-#   8. network round trip: dvs-server + dvs-loadgen over loopback under
-#      TSan, then a default-build load run whose schedules must be
-#      byte-identical to dvsd's for the same jobs (BENCH_net.json is
-#      this run's record), a malformed-frame + slow-client probe the
-#      server must survive, and dvs-stat --check over the server's
-#      metrics snapshot (scripts/metric_names_net.txt).
+#   8. network round trip: dvs-server (--reactors=2) + dvs-loadgen over
+#      loopback under TSan, then scripts/bench_net.sh rows at 1/2/4
+#      reactors (BENCH_net.json) with a 5k req/s single-reactor floor
+#      and, on hosts with >= 4 cores, a >= 2x-of-single-reactor floor
+#      for the 4-reactor row; the reactors=1 row's schedules must be
+#      byte-identical to dvsd's for the same jobs; a malformed-frame +
+#      slow-client probe the server must survive; an overload probe
+#      (connection churn + slowloris alongside healthy traffic) in
+#      which healthy p99 stays near the unloaded baseline and the
+#      attacks draw structured Rejects visible in cdvs_net_sheds_total;
+#      and dvs-stat --check over the server's metrics snapshot
+#      (scripts/metric_names_net.txt).
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 #
@@ -134,7 +140,7 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_test
 NET_TMP="$OBS_TMP/net"
 mkdir -p "$NET_TMP"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-server \
-  --port=0 --threads=2 --port-file="$NET_TMP/tsan_port" \
+  --port=0 --threads=2 --reactors=2 --port-file="$NET_TMP/tsan_port" \
   > "$NET_TMP/tsan_server.log" &
 TSAN_SRV=$!
 for _ in $(seq 1 100); do
@@ -150,10 +156,37 @@ kill -TERM "$TSAN_SRV"
 wait "$TSAN_SRV"
 
 echo
-echo "== net: throughput + schedules byte-identical to dvsd =="
+echo "== net: reactor-count scaling rows (BENCH_net.json) =="
 cmake --build build -j"$JOBS" --target dvs-server dvs-loadgen
 DISTINCT=16
-./build/tools/dvs-server --port=0 --threads="$JOBS" \
+BENCH_NET_DISTINCT="$DISTINCT" \
+  scripts/bench_net.sh BENCH_net.json "$NET_TMP/netsched"
+# The cached steady state must sustain at least 5k served req/s end to
+# end on one reactor.
+DONE1="$(awk -F'"done_rps":' '{split($2,a,","); printf "%s", a[1]}' \
+  BENCH_net.json)"
+DONE4="$(awk -F'"done_rps":' '{split($4,a,","); printf "%s", a[1]}' \
+  BENCH_net.json)"
+CORES="$(awk -F'"host_cores":' '{split($2,a,","); printf "%s", a[1]}' \
+  BENCH_net.json)"
+awk -v d="$DONE1" 'BEGIN { if (d + 0 < 5000.0) {
+  printf "single-reactor rate %.0f rps is below the 5000 rps floor\n", d;
+  exit 1 } }'
+# Reactor scaling is physical — the speedup floor only means something
+# with cores to scale onto.
+if [ "$CORES" -ge 4 ]; then
+  awk -v d1="$DONE1" -v d4="$DONE4" 'BEGIN {
+    if (d4 + 0 < 2.0 * d1) {
+      printf "4-reactor rate %.0f rps is below 2x the single-reactor %.0f\n",
+             d4, d1;
+      exit 1 } }'
+else
+  echo "  ($CORES-core host: skipping the 4-reactor >= 2x floor)"
+fi
+
+echo
+echo "== net: malformed-frame + slow-client probes =="
+./build/tools/dvs-server --port=0 --threads="$JOBS" --reactors=2 \
   --idle-timeout-ms=500 --port-file="$NET_TMP/port" \
   --metrics-out="$NET_TMP/net_metrics.prom" \
   > "$NET_TMP/server.log" &
@@ -164,14 +197,6 @@ for _ in $(seq 1 100); do
 done
 [ -s "$NET_TMP/port" ] || { echo "dvs-server never listened"; exit 1; }
 NET_PORT="$(cat "$NET_TMP/port")"
-mkdir -p "$NET_TMP/netsched"
-./build/tools/dvs-loadgen --port="$NET_PORT" --connections=8 \
-  --rate=6000 --requests=18000 --distinct="$DISTINCT" \
-  --schedules="$NET_TMP/netsched" --benchmark_out=BENCH_net.json
-# The cached steady state must sustain at least 5k req/s end to end.
-awk -F'"throughput_rps":' '{split($2,a,","); if (a[1] < 5000.0) {
-  printf "throughput %.0f rps is below the 5000 rps floor\n", a[1];
-  exit 1 } }' BENCH_net.json
 
 # A garbage frame draws a reject, then a close — and must not take the
 # server down.
@@ -193,6 +218,54 @@ grep -q '"protocol_errors":1,' "$NET_TMP/server.log" \
   || { echo "garbage frame was not counted as a protocol error"; exit 1; }
 grep -q '"idle_closes":1,' "$NET_TMP/server.log" \
   || { echo "silent client was not evicted by the idle timeout"; exit 1; }
+
+echo
+echo "== net: overload probe (churn + slowloris vs healthy traffic) =="
+./build/tools/dvs-server --port=0 --threads="$JOBS" --reactors=2 \
+  --queue=4096 --slow-frame-timeout-ms=200 --shed-high=256 \
+  --port-file="$NET_TMP/ol_port" \
+  --metrics-out="$NET_TMP/ol_metrics.prom" \
+  > "$NET_TMP/ol_server.log" &
+OL_SRV=$!
+for _ in $(seq 1 100); do
+  [ -s "$NET_TMP/ol_port" ] && break
+  sleep 0.1
+done
+[ -s "$NET_TMP/ol_port" ] || { echo "overload dvs-server never listened"; exit 1; }
+OL_PORT="$(cat "$NET_TMP/ol_port")"
+# Unloaded baseline: healthy traffic alone. Stringent deadlines keep
+# the healthy class out of the lax shed band.
+./build/tools/dvs-loadgen --port="$OL_PORT" --connections=2 \
+  --rate=1000 --requests=3000 --tightness=0.3 \
+  --benchmark_out="$NET_TMP/ol_base.json" > /dev/null
+# The same healthy load inside a churn + slowloris storm.
+./build/tools/dvs-loadgen --port="$OL_PORT" --connections=2 \
+  --rate=1000 --requests=3000 --tightness=0.3 \
+  --churn=2 --slowloris=4 --dribble-interval-ms=100 \
+  --benchmark_out="$NET_TMP/ol_load.json" > /dev/null
+kill -TERM "$OL_SRV"
+wait "$OL_SRV"
+# The attacks drew structured Rejects...
+awk -F'"attack_rejects":' '{split($2,a,"}"); if (a[1] + 0 < 1) {
+  print "slowloris clients were never rejected"; exit 1 } }' \
+  "$NET_TMP/ol_load.json"
+# ...the sheds are visible in the metrics snapshot...
+awk '/^cdvs_net_sheds_total\{/ { total += $NF }
+  END { if (total + 0 < 1) {
+    print "cdvs_net_sheds_total recorded no sheds"; exit 1 } }' \
+  "$NET_TMP/ol_metrics.prom"
+# ...and healthy-connection p99 stayed within 2x of the unloaded
+# baseline (with an absolute 20 ms guard against micro-baseline noise).
+BASE_P99="$(awk -F'"p99":' '{split($2,a,","); printf "%s", a[1]}' \
+  "$NET_TMP/ol_base.json")"
+LOAD_P99="$(awk -F'"p99":' '{split($2,a,","); printf "%s", a[1]}' \
+  "$NET_TMP/ol_load.json")"
+awk -v b="$BASE_P99" -v l="$LOAD_P99" 'BEGIN {
+  lim = 2.0 * b; if (lim < 0.020) lim = 0.020;
+  if (l + 0 > lim) {
+    printf "healthy p99 %.6fs under attack vs %.6fs unloaded (limit %.6fs)\n",
+           l, b, lim;
+    exit 1 } }'
 
 # The wire serves bit-for-bit what dvsd serves: solve the same distinct
 # jobs through the CLI and diff the schedule files.

@@ -299,12 +299,27 @@ bool cdvs::net::setNonBlocking(int Fd) {
 }
 
 ErrorOr<int> cdvs::net::listenTcp(const std::string &BindAddress,
-                                  uint16_t Port, int Backlog) {
+                                  uint16_t Port, int Backlog,
+                                  bool ReusePort) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
     return makeError(std::string("socket: ") + std::strerror(errno));
   int One = 1;
   ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (ReusePort) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(Fd, SOL_SOCKET, SO_REUSEPORT, &One, sizeof(One)) !=
+        0) {
+      std::string E = std::strerror(errno);
+      ::close(Fd);
+      return makeError("setsockopt(SO_REUSEPORT): " + E);
+    }
+#else
+    // Callers fall back to the accept-handoff path on this error.
+    ::close(Fd);
+    return makeError("SO_REUSEPORT unsupported on this platform");
+#endif
+  }
 
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;

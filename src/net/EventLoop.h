@@ -148,9 +148,14 @@ private:
 bool setNonBlocking(int Fd);
 
 /// Opens a nonblocking listening TCP socket on \p BindAddress:\p Port
-/// (SO_REUSEADDR; port 0 picks an ephemeral port). \returns the fd.
+/// (SO_REUSEADDR; port 0 picks an ephemeral port). With \p ReusePort
+/// the socket also sets SO_REUSEPORT so several listeners can share the
+/// port (one per reactor) and the kernel spreads accepts across them;
+/// where the platform lacks SO_REUSEPORT the call fails rather than
+/// silently binding exclusively, so callers can fall back to a
+/// single-acceptor handoff. \returns the fd.
 ErrorOr<int> listenTcp(const std::string &BindAddress, uint16_t Port,
-                       int Backlog);
+                       int Backlog, bool ReusePort = false);
 
 /// The locally bound port of \p Fd (after listenTcp with port 0).
 ErrorOr<uint16_t> localPort(int Fd);

@@ -1,4 +1,4 @@
-//===- net/Server.cpp - epoll-based DVS scheduling server ------------------===//
+//===- net/Server.cpp - multi-reactor DVS scheduling server ----------------===//
 //
 // Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
 //
@@ -6,10 +6,10 @@
 
 #include "net/Server.h"
 
-#include "obs/Metrics.h"
 #include "service/JobIO.h"
 #include "support/Clock.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -23,32 +23,75 @@ using namespace cdvs::net;
 
 namespace {
 
-obs::Counter &framesCounter(FrameType Type, const char *Dir) {
+std::string reactorLabel(int Index) { return std::to_string(Index); }
+
+obs::Counter &framesCounter(int Reactor, FrameType Type, const char *Dir) {
   return obs::metrics().counter(
       "cdvs_net_frames_total", "cdvs-wire frames by type and direction",
-      {{"type", frameTypeName(Type)}, {"dir", Dir}});
+      {{"type", frameTypeName(Type)},
+       {"dir", Dir},
+       {"reactor", reactorLabel(Reactor)}});
 }
 
-obs::Counter &bytesCounter(const char *Dir) {
-  return obs::metrics().counter("cdvs_net_bytes_total",
-                                "cdvs-wire payload+header bytes by direction",
-                                {{"dir", Dir}});
-}
-
-obs::Gauge &connGauge(const char *State) {
-  return obs::metrics().gauge("cdvs_net_connections",
-                              "Open server connections by state",
-                              {{"state", State}});
-}
-
-obs::Histogram &requestLatency() {
-  return obs::metrics().histogram(
-      "cdvs_net_request_latency_seconds",
-      "Request receipt to response enqueue, per completed request",
-      obs::latencyBucketsSeconds());
+obs::Counter &shedsCounter(int Reactor, const char *Class) {
+  return obs::metrics().counter(
+      "cdvs_net_sheds_total",
+      "Load-shedding rejects by reactor and deadline class",
+      {{"reactor", reactorLabel(Reactor)}, {"class", Class}});
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// CompletionQueue
+//===----------------------------------------------------------------------===//
+
+Server::CompletionQueue::~CompletionQueue() {
+  Node *N = Head.exchange(nullptr, std::memory_order_acquire);
+  while (N) {
+    Node *Next = N->Next;
+    delete N;
+    N = Next;
+  }
+}
+
+void Server::CompletionQueue::push(Completion C) {
+  Node *N = new Node{std::move(C), nullptr};
+  Node *Old = Head.load(std::memory_order_relaxed);
+  do {
+    N->Next = Old;
+  } while (!Head.compare_exchange_weak(Old, N, std::memory_order_release,
+                                       std::memory_order_relaxed));
+  Depth.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::CompletionQueue::drainTo(std::vector<Completion> &Out) {
+  Node *N = Head.exchange(nullptr, std::memory_order_acquire);
+  if (!N)
+    return;
+  // The Treiber list is LIFO; reverse it so completions deliver in
+  // rough arrival order.
+  Node *Prev = nullptr;
+  long Count = 0;
+  while (N) {
+    Node *Next = N->Next;
+    N->Next = Prev;
+    Prev = N;
+    N = Next;
+    ++Count;
+  }
+  for (N = Prev; N;) {
+    Out.push_back(std::move(N->C));
+    Node *Next = N->Next;
+    delete N;
+    N = Next;
+  }
+  Depth.fetch_sub(Count, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
 
 Server::Server(ServerOptions O)
     : Opts(std::move(O)), Service(Opts.Service) {}
@@ -56,39 +99,137 @@ Server::Server(ServerOptions O)
 Server::~Server() { stop(); }
 
 ErrorOr<bool> Server::start() {
-  if (LoopThread.joinable())
+  if (!Reactors.empty())
     return makeError("server already started");
-  if (!Wakeup.valid())
-    return makeError("wakeup descriptor unavailable");
-  Io = Poller::create(Opts.ForcePoll);
-  if (!Io)
-    return makeError("no poll backend available");
-  Backend = Io->backendName();
 
-  ErrorOr<int> LFd = listenTcp(Opts.BindAddress, Opts.Port, Opts.Backlog);
-  if (!LFd)
-    return makeError(LFd.message());
-  ListenFd = *LFd;
-  ErrorOr<uint16_t> P = localPort(ListenFd);
-  if (!P) {
-    ::close(ListenFd);
-    ListenFd = -1;
-    return makeError(P.message());
+  NumReactors = Opts.Reactors;
+  if (NumReactors <= 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    NumReactors = HW == 0 ? 1 : static_cast<int>(HW);
   }
-  BoundPort = *P;
+  NumReactors = std::min(NumReactors, 64);
 
-  if (!Io->add(ListenFd, EvIn) || !Io->add(Wakeup.fd(), EvIn)) {
-    ::close(ListenFd);
-    ListenFd = -1;
-    return makeError("failed to register listener with poller");
+  for (int I = 0; I < NumReactors; ++I) {
+    auto R = std::make_unique<Reactor>();
+    R->Index = I;
+    R->NextConnId = static_cast<uint64_t>(I) + 1;
+    if (!R->Wakeup.valid())
+      return makeError("wakeup descriptor unavailable");
+    R->Io = Poller::create(Opts.ForcePoll);
+    if (!R->Io)
+      return makeError("no poll backend available");
+    Reactors.push_back(std::move(R));
   }
-  LoopThread = std::thread([this] { loop(); });
+  Backend = Reactors[0]->Io->backendName();
+
+  auto CloseListeners = [this] {
+    for (auto &R : Reactors)
+      if (R->ListenFd >= 0) {
+        ::close(R->ListenFd);
+        R->ListenFd = -1;
+      }
+  };
+
+  // One REUSEPORT listener per reactor lets the kernel spread accepts;
+  // any bind failure (kernel without reusable ports) falls back to a
+  // single listener owned by reactor 0 plus fd handoff.
+  ReusePortActive = false;
+  if (NumReactors > 1 && !Opts.ForceAcceptHandoff) {
+    ErrorOr<int> First =
+        listenTcp(Opts.BindAddress, Opts.Port, Opts.Backlog,
+                  /*ReusePort=*/true);
+    if (First) {
+      Reactors[0]->ListenFd = *First;
+      ErrorOr<uint16_t> P = localPort(*First);
+      if (!P) {
+        CloseListeners();
+        return makeError(P.message());
+      }
+      BoundPort = *P;
+      ReusePortActive = true;
+      for (int I = 1; I < NumReactors && ReusePortActive; ++I) {
+        ErrorOr<int> LFd = listenTcp(Opts.BindAddress, BoundPort,
+                                     Opts.Backlog, /*ReusePort=*/true);
+        if (LFd)
+          Reactors[I]->ListenFd = *LFd;
+        else
+          ReusePortActive = false;
+      }
+      if (!ReusePortActive)
+        CloseListeners();
+    }
+  }
+  if (!ReusePortActive) {
+    ErrorOr<int> LFd =
+        listenTcp(Opts.BindAddress, Opts.Port, Opts.Backlog);
+    if (!LFd)
+      return makeError(LFd.message());
+    Reactors[0]->ListenFd = *LFd;
+    ErrorOr<uint16_t> P = localPort(*LFd);
+    if (!P) {
+      CloseListeners();
+      return makeError(P.message());
+    }
+    BoundPort = *P;
+  }
+
+  for (auto &R : Reactors) {
+    if ((R->ListenFd >= 0 && !R->Io->add(R->ListenFd, EvIn)) ||
+        !R->Io->add(R->Wakeup.fd(), EvIn)) {
+      CloseListeners();
+      return makeError("failed to register listener with poller");
+    }
+  }
+
+  obs::metrics()
+      .gauge("cdvs_net_reactors", "Reactor threads serving this process")
+      .set(static_cast<double>(NumReactors));
+  for (auto &RPtr : Reactors) {
+    Reactor &R = *RPtr;
+    obs::Labels L{{"reactor", reactorLabel(R.Index)}};
+    R.AcceptsCtr = &obs::metrics().counter(
+        "cdvs_net_accepts_total", "Connections accepted per reactor", L);
+    R.FramesInCtr = &framesCounter(R.Index, FrameType::Request, "in");
+    R.FramesOutCtr = &framesCounter(R.Index, FrameType::Response, "out");
+    R.BytesInCtr = &obs::metrics().counter(
+        "cdvs_net_bytes_total",
+        "cdvs-wire payload+header bytes by direction",
+        {{"dir", "in"}, {"reactor", reactorLabel(R.Index)}});
+    R.BytesOutCtr = &obs::metrics().counter(
+        "cdvs_net_bytes_total",
+        "cdvs-wire payload+header bytes by direction",
+        {{"dir", "out"}, {"reactor", reactorLabel(R.Index)}});
+    R.OpenGauge = &obs::metrics().gauge(
+        "cdvs_net_connections", "Open server connections by state",
+        {{"state", "open"}, {"reactor", reactorLabel(R.Index)}});
+    R.DrainGauge = &obs::metrics().gauge(
+        "cdvs_net_connections", "Open server connections by state",
+        {{"state", "draining"}, {"reactor", reactorLabel(R.Index)}});
+    R.CqDepthGauge = &obs::metrics().gauge(
+        "cdvs_net_completion_queue_depth",
+        "Peak completions drained from one reactor's queue in a batch",
+        L);
+    R.LatencyHist = &obs::metrics().histogram(
+        "cdvs_net_request_latency_seconds",
+        "Request receipt to response enqueue, per completed request",
+        obs::latencyBucketsSeconds(), L);
+    // Pre-register the shed classes so cdvs_net_sheds_total exists in
+    // every snapshot (dvs-stat --check), sheds or none.
+    for (const char *Cls : {"lax", "hard", "slow_frame"})
+      (void)shedsCounter(R.Index, Cls);
+  }
+
+  for (auto &R : Reactors) {
+    Reactor *RP = R.get();
+    R->Thread = std::thread([this, RP] { loop(*RP); });
+  }
   return true;
 }
 
 void Server::beginDrain() {
   DrainRequested.store(true, std::memory_order_release);
-  Wakeup.notify();
+  for (auto &R : Reactors)
+    R->Wakeup.notify();
 }
 
 bool Server::waitDrained(double TimeoutSeconds) {
@@ -102,88 +243,123 @@ bool Server::waitDrained(double TimeoutSeconds) {
 
 void Server::stop() {
   StopRequested.store(true, std::memory_order_release);
-  Wakeup.notify();
-  if (LoopThread.joinable())
-    LoopThread.join();
-  // The loop is gone: late worker callbacks only append to Completions
-  // and poke the wakeup fd, both of which stay valid until the members
-  // destruct — after this shutdown() returns, no callback is running.
+  for (auto &R : Reactors)
+    R->Wakeup.notify();
+  for (auto &R : Reactors)
+    if (R->Thread.joinable())
+      R->Thread.join();
+  // The reactors are gone: late worker callbacks only push onto a
+  // CompletionQueue and poke a wakeup fd, both of which stay valid
+  // until the members destruct — after this shutdown() returns, no
+  // callback is running.
   Service.shutdown();
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> L(StateMu);
-  return Counters;
+  ServerStats Out;
+  for (const auto &R : Reactors) {
+    std::lock_guard<std::mutex> L(R->StatsMu);
+    const ServerStats &C = R->Counters;
+    Out.ConnectionsAccepted += C.ConnectionsAccepted;
+    Out.ConnectionsRejected += C.ConnectionsRejected;
+    Out.ConnectionsClosed += C.ConnectionsClosed;
+    Out.FramesIn += C.FramesIn;
+    Out.FramesOut += C.FramesOut;
+    Out.BytesIn += C.BytesIn;
+    Out.BytesOut += C.BytesOut;
+    Out.RejectsSent += C.RejectsSent;
+    Out.ProtocolErrors += C.ProtocolErrors;
+    Out.IdleCloses += C.IdleCloses;
+    Out.RequestTimeouts += C.RequestTimeouts;
+    Out.SlowFrameCloses += C.SlowFrameCloses;
+    Out.LoadSheds += C.LoadSheds;
+    Out.HandoffAccepts += C.HandoffAccepts;
+    Out.ReadPauses += C.ReadPauses;
+    Out.OrphanCompletions += C.OrphanCompletions;
+    Out.OpenConnections += C.OpenConnections;
+  }
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//
-// Event loop (everything below runs on LoopThread only)
+// Reactor loop (everything below runs on one reactor's thread only)
 //===----------------------------------------------------------------------===//
 
-void Server::loop() {
+void Server::loop(Reactor &R) {
   std::vector<PollEvent> Events;
   while (!StopRequested.load(std::memory_order_acquire)) {
-    if (DrainRequested.load(std::memory_order_acquire) && !DrainStarted)
-      startDrainOnLoop();
+    if (DrainRequested.load(std::memory_order_acquire) && !R.DrainStarted)
+      startDrainOnLoop(R);
 
     uint64_t Now = monotonicNanos();
-    Wheel.advance(Now);
-    handleCompletions(Now);
-    finishDrainIfIdle();
+    R.Wheel.advance(Now);
+    adoptHandoff(R, Now);
+    handleCompletions(R, Now);
+    finishDrainIfIdle(R);
     if (StopRequested.load(std::memory_order_acquire))
       break;
 
-    int TimeoutMs = Wheel.pollTimeoutMs(monotonicNanos());
-    int N = Io->wait(Events, TimeoutMs);
+    int TimeoutMs = R.Wheel.pollTimeoutMs(monotonicNanos());
+    int N = R.Io->wait(Events, TimeoutMs);
     if (N < 0)
       continue;
     Now = monotonicNanos();
     for (const PollEvent &E : Events) {
-      if (E.Fd == Wakeup.fd()) {
-        Wakeup.drain();
+      if (E.Fd == R.Wakeup.fd()) {
+        R.Wakeup.drain();
         continue;
       }
-      if (E.Fd == ListenFd) {
-        acceptReady(Now);
+      if (E.Fd == R.ListenFd && R.ListenFd >= 0) {
+        acceptReady(R, Now);
         continue;
       }
-      auto It = ByFd.find(E.Fd);
-      if (It == ByFd.end())
+      auto It = R.ByFd.find(E.Fd);
+      if (It == R.ByFd.end())
         continue;
       Connection &C = *It->second;
       uint64_t Id = C.Id;
       if (E.Events & EvErr) {
-        closeConnection(Id);
+        closeConnection(R, Id);
         continue;
       }
       if (E.Events & EvOut) {
-        writeReady(C);
-        if (!ById.count(Id))
+        writeReady(R, C);
+        if (!R.ById.count(Id))
           continue;
       }
       if (E.Events & (EvIn | EvHup))
-        readReady(C, Now);
+        readReady(R, C, Now);
     }
   }
-
-  // Teardown: close every connection, then the listener.
-  std::vector<uint64_t> Ids;
-  Ids.reserve(ById.size());
-  for (const auto &[Id, C] : ById)
-    Ids.push_back(Id);
-  for (uint64_t Id : Ids)
-    closeConnection(Id);
-  if (ListenFd >= 0) {
-    Io->remove(ListenFd);
-    ::close(ListenFd);
-    ListenFd = -1;
-  }
-  Io->remove(Wakeup.fd());
+  teardown(R);
 }
 
-void Server::acceptReady(uint64_t NowNs) {
+void Server::teardown(Reactor &R) {
+  std::vector<uint64_t> Ids;
+  Ids.reserve(R.ById.size());
+  for (const auto &[Id, C] : R.ById)
+    Ids.push_back(Id);
+  for (uint64_t Id : Ids)
+    closeConnection(R, Id);
+  if (R.ListenFd >= 0) {
+    R.Io->remove(R.ListenFd);
+    ::close(R.ListenFd);
+    R.ListenFd = -1;
+  }
+  // Handed-off fds this reactor never adopted still need closing.
+  std::vector<int> Orphans;
+  {
+    std::lock_guard<std::mutex> L(R.HandoffMu);
+    Orphans.swap(R.Handoff);
+  }
+  for (int Fd : Orphans)
+    ::close(Fd);
+  R.Io->remove(R.Wakeup.fd());
+}
+
+void Server::acceptReady(Reactor &R, uint64_t NowNs) {
   for (;;) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int Fd = ::accept(R.ListenFd, nullptr, nullptr);
     if (Fd < 0) {
       if (errno == EINTR)
         continue;
@@ -197,45 +373,89 @@ void Server::acceptReady(uint64_t NowNs) {
       ::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Opts.SocketSendBufferBytes,
                    sizeof(Opts.SocketSendBufferBytes));
 
-    if (ByFd.size() >= Opts.MaxConnections) {
-      // Over the limit: one structured Reject, best effort, then close.
-      std::string F = encodeFrame(FrameType::Reject, 0,
-                                  encodeReject("overloaded",
-                                               "connection limit reached"));
-      (void)::send(Fd, F.data(), F.size(), MSG_NOSIGNAL);
-      framesCounter(FrameType::Reject, "out").inc();
-      // Count before close: a peer that has seen EOF must also see the
-      // rejection in stats().
-      {
-        std::lock_guard<std::mutex> L(StateMu);
-        ++Counters.ConnectionsRejected;
-        ++Counters.RejectsSent;
-      }
-      ::close(Fd);
-      obs::traceInstant("conn_reject", "net");
+    if (OpenConns.load(std::memory_order_relaxed) >=
+        static_cast<long>(Opts.MaxConnections)) {
+      rejectAccept(R, Fd);
       continue;
     }
 
-    auto C = std::make_unique<Connection>(Opts.MaxFrameBytes);
-    C->Fd = Fd;
-    C->Id = NextConnId++;
-    C->Span = std::make_unique<obs::TraceSpan>("conn", "net");
-    C->Subscribed = EvIn;
-    Io->add(Fd, EvIn);
-    armIdleTimer(*C, NowNs);
-    ById[C->Id] = C.get();
-    ByFd[Fd] = std::move(C);
-    {
-      std::lock_guard<std::mutex> L(StateMu);
-      ++Counters.ConnectionsAccepted;
-      Counters.OpenConnections = ByFd.size();
+    if (!ReusePortActive && NumReactors > 1) {
+      // Handoff fallback: round-robin accepted fds across the peers
+      // (including this reactor, so the acceptor serves its share).
+      Reactor &Target = *Reactors[HandoffCursor++ % NumReactors];
+      if (&Target != &R) {
+        {
+          std::lock_guard<std::mutex> L(Target.HandoffMu);
+          Target.Handoff.push_back(Fd);
+        }
+        Target.Wakeup.notify();
+        continue;
+      }
     }
-    updateConnectionGauges();
+    adoptConnection(R, Fd, NowNs);
   }
 }
 
-void Server::readReady(Connection &C, uint64_t NowNs) {
-  if (C.ReadPaused || C.CloseAfterFlush || C.SawEof || DrainStarted)
+void Server::rejectAccept(Reactor &R, int Fd) {
+  // Over the limit: one structured Reject, best effort, then close.
+  std::string F = encodeFrame(FrameType::Reject, 0,
+                              encodeReject("overloaded",
+                                           "connection limit reached"));
+  (void)::send(Fd, F.data(), F.size(), MSG_NOSIGNAL);
+  framesCounter(R.Index, FrameType::Reject, "out").inc();
+  // Count before close: a peer that has seen EOF must also see the
+  // rejection in stats().
+  {
+    std::lock_guard<std::mutex> L(R.StatsMu);
+    ++R.Counters.ConnectionsRejected;
+    ++R.Counters.RejectsSent;
+  }
+  ::close(Fd);
+  obs::traceInstant("conn_reject", "net");
+}
+
+void Server::adoptHandoff(Reactor &R, uint64_t NowNs) {
+  std::vector<int> Fds;
+  {
+    std::lock_guard<std::mutex> L(R.HandoffMu);
+    Fds.swap(R.Handoff);
+  }
+  for (int Fd : Fds) {
+    if (R.DrainStarted || StopRequested.load(std::memory_order_acquire)) {
+      ::close(Fd);
+      continue;
+    }
+    adoptConnection(R, Fd, NowNs);
+    {
+      std::lock_guard<std::mutex> L(R.StatsMu);
+      ++R.Counters.HandoffAccepts;
+    }
+  }
+}
+
+void Server::adoptConnection(Reactor &R, int Fd, uint64_t NowNs) {
+  auto C = std::make_unique<Connection>(Opts.MaxFrameBytes);
+  C->Fd = Fd;
+  C->Id = R.NextConnId;
+  R.NextConnId += static_cast<uint64_t>(NumReactors);
+  C->Span = std::make_unique<obs::TraceSpan>("conn", "net");
+  C->Subscribed = EvIn;
+  R.Io->add(Fd, EvIn);
+  armIdleTimer(R, *C, NowNs);
+  R.ById[C->Id] = C.get();
+  R.ByFd[Fd] = std::move(C);
+  OpenConns.fetch_add(1, std::memory_order_relaxed);
+  R.AcceptsCtr->inc();
+  {
+    std::lock_guard<std::mutex> L(R.StatsMu);
+    ++R.Counters.ConnectionsAccepted;
+    R.Counters.OpenConnections = R.ByFd.size();
+  }
+  updateConnectionGauges(R);
+}
+
+void Server::readReady(Reactor &R, Connection &C, uint64_t NowNs) {
+  if (C.ReadPaused || C.CloseAfterFlush || C.SawEof || R.DrainStarted)
     return;
   uint64_t Id = C.Id;
   char Buf[64 * 1024];
@@ -256,112 +476,147 @@ void Server::readReady(Connection &C, uint64_t NowNs) {
       continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK)
       break;
-    closeConnection(Id);
+    closeConnection(R, Id);
     return;
   }
   if (Got > 0) {
-    bytesCounter("in").inc(static_cast<double>(Got));
-    std::lock_guard<std::mutex> L(StateMu);
-    Counters.BytesIn += Got;
+    R.BytesInCtr->inc(static_cast<double>(Got));
+    std::lock_guard<std::mutex> L(R.StatsMu);
+    R.Counters.BytesIn += Got;
   }
-  armIdleTimer(C, NowNs);
-  processFrames(C, NowNs);
-  if (!ById.count(Id))
+  armIdleTimer(R, C, NowNs);
+  size_t Extracted = processFrames(R, C, NowNs);
+  if (!R.ById.count(Id))
     return;
+  trackFrameProgress(R, C, Extracted, NowNs);
   if (PeerClosed) {
     if (C.Parser.buffered() > 0 && C.Parser.error() == WireStatus::Ok &&
         !C.CloseAfterFlush) {
       // Peer hung up mid-frame: a truncated frame is a framing error.
       {
-        std::lock_guard<std::mutex> L(StateMu);
-        ++Counters.ProtocolErrors;
+        std::lock_guard<std::mutex> L(R.StatsMu);
+        ++R.Counters.ProtocolErrors;
       }
-      sendReject(C, 0, "bad_frame", "connection closed mid-frame");
-      if (!ById.count(Id))
+      sendReject(R, C, 0, "bad_frame", "connection closed mid-frame");
+      if (!R.ById.count(Id))
         return;
       C.CloseAfterFlush = true;
     }
     // Half close: no more requests will arrive; answer what is in
     // flight, flush, then close.
     C.SawEof = true;
-    writeReady(C);
+    writeReady(R, C);
   }
 }
 
-void Server::processFrames(Connection &C, uint64_t NowNs) {
+size_t Server::processFrames(Reactor &R, Connection &C, uint64_t NowNs) {
   uint64_t Id = C.Id;
+  size_t Extracted = 0;
   for (;;) {
     if (C.CloseAfterFlush)
-      return;
+      return Extracted;
     Frame F;
-    FrameParser::Next R = C.Parser.next(F);
-    if (R == FrameParser::Next::NeedMore)
-      return;
-    if (R == FrameParser::Next::Error) {
+    FrameParser::Next Res = C.Parser.next(F);
+    if (Res == FrameParser::Next::NeedMore)
+      return Extracted;
+    if (Res == FrameParser::Next::Error) {
       // The stream cannot be resynchronized: name the error, close.
       {
-        std::lock_guard<std::mutex> L(StateMu);
-        ++Counters.ProtocolErrors;
+        std::lock_guard<std::mutex> L(R.StatsMu);
+        ++R.Counters.ProtocolErrors;
       }
       const char *Code = wireStatusName(C.Parser.error());
-      sendReject(C, 0, Code, std::string("framing error: ") + Code);
-      if (!ById.count(Id))
-        return;
+      sendReject(R, C, 0, Code, std::string("framing error: ") + Code);
+      if (!R.ById.count(Id))
+        return Extracted;
       C.CloseAfterFlush = true;
-      updateSubscription(C);
-      writeReady(C);
-      return;
+      updateSubscription(R, C);
+      writeReady(R, C);
+      return Extracted;
     }
 
-    framesCounter(F.Type, "in").inc();
+    ++Extracted;
+    if (F.Type == FrameType::Request)
+      R.FramesInCtr->inc(); // hot path: skip the registry lock
+    else
+      framesCounter(R.Index, F.Type, "in").inc();
     {
-      std::lock_guard<std::mutex> L(StateMu);
-      ++Counters.FramesIn;
+      std::lock_guard<std::mutex> L(R.StatsMu);
+      ++R.Counters.FramesIn;
     }
     obs::TraceSpan Span("frame", "net");
     Span.arg("bytes", static_cast<double>(F.Payload.size()));
 
     switch (F.Type) {
     case FrameType::Ping:
-      enqueueFrame(C, FrameType::Pong, F.Correlation, std::string());
+      enqueueFrame(R, C, FrameType::Pong, F.Correlation, std::string());
       break;
     case FrameType::Request:
-      handleRequest(C, F, NowNs);
+      handleRequest(R, C, F, NowNs);
       break;
     default:
       // Response/Reject/Pong are server-to-client only.
       {
-        std::lock_guard<std::mutex> L(StateMu);
-        ++Counters.ProtocolErrors;
+        std::lock_guard<std::mutex> L(R.StatsMu);
+        ++R.Counters.ProtocolErrors;
       }
-      sendReject(C, F.Correlation, "bad_frame",
+      sendReject(R, C, F.Correlation, "bad_frame",
                  std::string("unexpected client frame type '") +
                      frameTypeName(F.Type) + "'");
-      if (!ById.count(Id))
-        return;
+      if (!R.ById.count(Id))
+        return Extracted;
       C.CloseAfterFlush = true;
-      updateSubscription(C);
-      writeReady(C);
-      return;
+      updateSubscription(R, C);
+      writeReady(R, C);
+      return Extracted;
     }
-    if (!ById.count(Id))
-      return;
+    if (!R.ById.count(Id))
+      return Extracted;
   }
 }
 
-void Server::handleRequest(Connection &C, Frame &F, uint64_t NowNs) {
-  if (DrainStarted) {
-    sendReject(C, F.Correlation, "draining", "server is draining");
+const char *Server::shedClass(const Reactor &R, const Frame &F) const {
+  if (Opts.ShedHighWater == 0 ||
+      static_cast<size_t>(R.PendingJobs) < Opts.ShedHighWater)
+    return nullptr;
+  size_t Hard = Opts.ShedHardWater ? Opts.ShedHardWater
+                                   : Opts.ShedHighWater * 2;
+  if (static_cast<size_t>(R.PendingJobs) >= Hard)
+    return "hard";
+  // Deadline class from a cheap payload scan — the full JSON parse is
+  // exactly what an overloaded reactor must not pay per shed request.
+  if (peekDeadlineTightness(F.Payload, /*Fallback=*/0.5) >=
+      Opts.ShedLaxTightness)
+    return "lax";
+  return nullptr;
+}
+
+void Server::handleRequest(Reactor &R, Connection &C, Frame &F,
+                           uint64_t NowNs) {
+  if (R.DrainStarted) {
+    sendReject(R, C, F.Correlation, "draining", "server is draining");
     return;
   }
   if (C.StartNs.count(F.Correlation) || C.TimedOut.count(F.Correlation)) {
-    sendReject(C, F.Correlation, "bad_request",
+    sendReject(R, C, F.Correlation, "bad_request",
                "correlation id already in flight");
+    return;
+  }
+  if (const char *Class = shedClass(R, F)) {
+    shedsCounter(R.Index, Class).inc();
+    {
+      std::lock_guard<std::mutex> L(R.StatsMu);
+      ++R.Counters.LoadSheds;
+    }
+    sendReject(R, C, F.Correlation, "shed",
+               std::string("overloaded: ") + Class +
+                   "-class request shed at " +
+                   std::to_string(R.PendingJobs) + " pending");
     return;
   }
   ErrorOr<JobRequest> Req = jobRequestFromJsonText(F.Payload);
   if (!Req) {
-    sendReject(C, F.Correlation, "bad_request", Req.message());
+    sendReject(R, C, F.Correlation, "bad_request", Req.message());
     return;
   }
 
@@ -369,11 +624,14 @@ void Server::handleRequest(Connection &C, Frame &F, uint64_t NowNs) {
   uint64_t Corr = F.Correlation;
   C.StartNs[Corr] = NowNs;
   ++C.InFlight;
+  ++R.PendingJobs;
   if (Opts.RequestTimeoutMs > 0) {
-    uint64_t Tid = Wheel.schedule(
-        NowNs, Opts.RequestTimeoutMs * 1'000'000ull, [this, ConnId, Corr] {
-          auto It = ById.find(ConnId);
-          if (It == ById.end())
+    Reactor *RP = &R;
+    uint64_t Tid = R.Wheel.schedule(
+        NowNs, Opts.RequestTimeoutMs * 1'000'000ull,
+        [this, RP, ConnId, Corr] {
+          auto It = RP->ById.find(ConnId);
+          if (It == RP->ById.end())
             return;
           Connection &TC = *It->second;
           if (!TC.StartNs.erase(Corr))
@@ -382,107 +640,110 @@ void Server::handleRequest(Connection &C, Frame &F, uint64_t NowNs) {
           TC.TimedOut.insert(Corr);
           --TC.InFlight;
           {
-            std::lock_guard<std::mutex> L(StateMu);
-            ++Counters.RequestTimeouts;
+            std::lock_guard<std::mutex> L(RP->StatsMu);
+            ++RP->Counters.RequestTimeouts;
           }
-          sendReject(TC, Corr, "timeout", "request timed out");
+          sendReject(*RP, TC, Corr, "timeout", "request timed out");
         });
     C.RequestTimers[Corr] = Tid;
   }
 
   // The callback runs on a pipeline worker (or inline on this thread
-  // when admission rejects): serialize there, hand the bytes to the
-  // loop, wake it. Never touches connection state directly.
-  Service.submitAsync(std::move(*Req), [this, ConnId, Corr](JobResult R) {
+  // when admission rejects): serialize there, push the bytes onto the
+  // owning reactor's lock-free completion queue, wake that reactor.
+  // Never touches connection state directly.
+  Reactor *RP = &R;
+  Service.submitAsync(std::move(*Req), [RP, ConnId, Corr](JobResult Res) {
     Completion Cp;
     Cp.ConnId = ConnId;
     Cp.Correlation = Corr;
-    Cp.Payload = jobResultToJson(R, /*IncludeSchedule=*/true);
-    {
-      std::lock_guard<std::mutex> L(CompletionsMu);
-      Completions.push_back(std::move(Cp));
-    }
-    Wakeup.notify();
+    Cp.Payload = jobResultToJson(Res, /*IncludeSchedule=*/true);
+    RP->CQ.push(std::move(Cp));
+    RP->Wakeup.notify();
   });
 }
 
-void Server::handleCompletions(uint64_t NowNs) {
+void Server::handleCompletions(Reactor &R, uint64_t NowNs) {
   std::vector<Completion> Batch;
-  {
-    std::lock_guard<std::mutex> L(CompletionsMu);
-    Batch.swap(Completions);
-  }
+  R.CQ.drainTo(Batch);
+  if (Batch.empty())
+    return;
+  R.CqDepthGauge->max(static_cast<double>(Batch.size()));
   for (Completion &Cp : Batch) {
-    auto It = ById.find(Cp.ConnId);
-    if (It == ById.end()) {
-      std::lock_guard<std::mutex> L(StateMu);
-      ++Counters.OrphanCompletions;
+    --R.PendingJobs;
+    auto It = R.ById.find(Cp.ConnId);
+    if (It == R.ById.end()) {
+      std::lock_guard<std::mutex> L(R.StatsMu);
+      ++R.Counters.OrphanCompletions;
       continue;
     }
     Connection &C = *It->second;
     if (C.TimedOut.erase(Cp.Correlation)) {
       // Answered late; the client already got Reject{"timeout"}.
-      std::lock_guard<std::mutex> L(StateMu);
-      ++Counters.OrphanCompletions;
+      std::lock_guard<std::mutex> L(R.StatsMu);
+      ++R.Counters.OrphanCompletions;
       continue;
     }
     auto SIt = C.StartNs.find(Cp.Correlation);
     if (SIt != C.StartNs.end()) {
-      requestLatency().observe(
-          static_cast<double>(NowNs - SIt->second) * 1e-9);
+      R.LatencyHist->observe(static_cast<double>(NowNs - SIt->second) *
+                             1e-9);
       C.StartNs.erase(SIt);
     }
     if (auto TIt = C.RequestTimers.find(Cp.Correlation);
         TIt != C.RequestTimers.end()) {
-      Wheel.cancel(TIt->second);
+      R.Wheel.cancel(TIt->second);
       C.RequestTimers.erase(TIt);
     }
     --C.InFlight;
-    enqueueFrame(C, FrameType::Response, Cp.Correlation, Cp.Payload);
+    enqueueFrame(R, C, FrameType::Response, Cp.Correlation, Cp.Payload);
   }
 }
 
-void Server::enqueueFrame(Connection &C, FrameType Type,
+void Server::enqueueFrame(Reactor &R, Connection &C, FrameType Type,
                           uint64_t Correlation,
                           const std::string &Payload) {
   uint64_t Id = C.Id;
   std::string Data = encodeFrame(Type, Correlation, Payload);
   C.WriteQBytes += Data.size();
   C.WriteQ.push_back(std::move(Data));
-  framesCounter(Type, "out").inc();
+  if (Type == FrameType::Response)
+    R.FramesOutCtr->inc(); // hot path: skip the registry lock
+  else
+    framesCounter(R.Index, Type, "out").inc();
   {
-    std::lock_guard<std::mutex> L(StateMu);
-    ++Counters.FramesOut;
+    std::lock_guard<std::mutex> L(R.StatsMu);
+    ++R.Counters.FramesOut;
   }
-  writeReady(C);
-  if (!ById.count(Id))
+  writeReady(R, C);
+  if (!R.ById.count(Id))
     return;
   if (!C.ReadPaused && C.WriteQBytes > Opts.WriteQueueHighWater) {
     // Backpressure: stop reading this connection; the kernel socket
     // buffer then pushes back on the sender.
     C.ReadPaused = true;
     {
-      std::lock_guard<std::mutex> L(StateMu);
-      ++Counters.ReadPauses;
+      std::lock_guard<std::mutex> L(R.StatsMu);
+      ++R.Counters.ReadPauses;
     }
     obs::traceInstant("read_pause", "net", "queued_bytes",
                       static_cast<double>(C.WriteQBytes));
-    updateSubscription(C);
+    updateSubscription(R, C);
   }
 }
 
-void Server::sendReject(Connection &C, uint64_t Correlation,
+void Server::sendReject(Reactor &R, Connection &C, uint64_t Correlation,
                         const std::string &Code,
                         const std::string &Reason) {
   {
-    std::lock_guard<std::mutex> L(StateMu);
-    ++Counters.RejectsSent;
+    std::lock_guard<std::mutex> L(R.StatsMu);
+    ++R.Counters.RejectsSent;
   }
-  enqueueFrame(C, FrameType::Reject, Correlation,
+  enqueueFrame(R, C, FrameType::Reject, Correlation,
                encodeReject(Code, Reason));
 }
 
-void Server::writeReady(Connection &C) {
+void Server::writeReady(Reactor &R, Connection &C) {
   uint64_t Id = C.Id;
   long long Sent = 0;
   bool Dead = false;
@@ -490,14 +751,14 @@ void Server::writeReady(Connection &C) {
     // Count under the lock, held across the sends: a peer that has
     // received a frame and then asks stats() must see its bytes — the
     // snapshot blocks until this loop's increments are in.
-    std::lock_guard<std::mutex> L(StateMu);
+    std::lock_guard<std::mutex> L(R.StatsMu);
     while (!C.WriteQ.empty()) {
       const std::string &Front = C.WriteQ.front();
       ssize_t N = ::send(C.Fd, Front.data() + C.WriteOff,
                          Front.size() - C.WriteOff, MSG_NOSIGNAL);
       if (N > 0) {
         Sent += N;
-        Counters.BytesOut += N;
+        R.Counters.BytesOut += N;
         C.WriteOff += static_cast<size_t>(N);
         if (C.WriteOff == Front.size()) {
           C.WriteQBytes -= Front.size();
@@ -515,11 +776,11 @@ void Server::writeReady(Connection &C) {
     }
   }
   if (Dead) {
-    closeConnection(Id);
+    closeConnection(R, Id);
     return;
   }
   if (Sent > 0)
-    bytesCounter("out").inc(static_cast<double>(Sent));
+    R.BytesOutCtr->inc(static_cast<double>(Sent));
   if (C.ReadPaused && !C.CloseAfterFlush &&
       C.WriteQBytes < Opts.WriteQueueLowWater) {
     C.ReadPaused = false;
@@ -527,117 +788,171 @@ void Server::writeReady(Connection &C) {
   }
   if (C.WriteQ.empty()) {
     bool Done = C.CloseAfterFlush ||
-                ((C.SawEof || DrainStarted) && C.InFlight == 0);
+                ((C.SawEof || R.DrainStarted) && C.InFlight == 0);
     if (Done) {
-      closeConnection(Id);
+      closeConnection(R, Id);
       return;
     }
   }
-  updateSubscription(C);
+  updateSubscription(R, C);
 }
 
-void Server::updateSubscription(Connection &C) {
+void Server::updateSubscription(Reactor &R, Connection &C) {
   unsigned Want = 0;
-  if (!C.ReadPaused && !C.CloseAfterFlush && !C.SawEof && !DrainStarted)
+  if (!C.ReadPaused && !C.CloseAfterFlush && !C.SawEof && !R.DrainStarted)
     Want |= EvIn;
   if (!C.WriteQ.empty())
     Want |= EvOut;
   if (Want != C.Subscribed) {
-    Io->update(C.Fd, Want);
+    R.Io->update(C.Fd, Want);
     C.Subscribed = Want;
   }
 }
 
-void Server::armIdleTimer(Connection &C, uint64_t NowNs) {
+void Server::armIdleTimer(Reactor &R, Connection &C, uint64_t NowNs) {
   if (Opts.IdleTimeoutMs == 0)
     return;
   if (C.IdleTimer)
-    Wheel.cancel(C.IdleTimer);
+    R.Wheel.cancel(C.IdleTimer);
   uint64_t ConnId = C.Id;
-  C.IdleTimer = Wheel.schedule(
-      NowNs, Opts.IdleTimeoutMs * 1'000'000ull, [this, ConnId] {
-        auto It = ById.find(ConnId);
-        if (It == ById.end())
+  Reactor *RP = &R;
+  C.IdleTimer = R.Wheel.schedule(
+      NowNs, Opts.IdleTimeoutMs * 1'000'000ull, [this, RP, ConnId] {
+        auto It = RP->ById.find(ConnId);
+        if (It == RP->ById.end())
           return;
         Connection &IC = *It->second;
         IC.IdleTimer = 0;
         if (IC.InFlight > 0 || !IC.WriteQ.empty()) {
           // Waiting on our own pipeline is not idleness; re-arm.
-          armIdleTimer(IC, monotonicNanos());
+          armIdleTimer(*RP, IC, monotonicNanos());
           return;
         }
         {
-          std::lock_guard<std::mutex> L(StateMu);
-          ++Counters.IdleCloses;
+          std::lock_guard<std::mutex> L(RP->StatsMu);
+          ++RP->Counters.IdleCloses;
         }
         IC.CloseAfterFlush = true;
-        sendReject(IC, 0, "idle_timeout", "connection idle");
+        sendReject(*RP, IC, 0, "idle_timeout", "connection idle");
       });
 }
 
-void Server::closeConnection(uint64_t ConnId) {
-  auto It = ById.find(ConnId);
-  if (It == ById.end())
+void Server::trackFrameProgress(Reactor &R, Connection &C,
+                                size_t Extracted, uint64_t NowNs) {
+  if (Opts.SlowFrameTimeoutMs == 0 || C.CloseAfterFlush)
+    return;
+  if (C.Parser.buffered() == 0) {
+    // Clean frame boundary: nothing half-received, no deadline.
+    if (C.SlowTimer) {
+      R.Wheel.cancel(C.SlowTimer);
+      C.SlowTimer = 0;
+    }
+    return;
+  }
+  // A partial frame is buffered. Restart the clock when the connection
+  // made frame progress; keep the old deadline when it only dribbled.
+  if (C.SlowTimer) {
+    if (Extracted == 0)
+      return;
+    R.Wheel.cancel(C.SlowTimer);
+  }
+  uint64_t ConnId = C.Id;
+  Reactor *RP = &R;
+  C.SlowTimer = R.Wheel.schedule(
+      NowNs, Opts.SlowFrameTimeoutMs * 1'000'000ull, [this, RP, ConnId] {
+        auto It = RP->ById.find(ConnId);
+        if (It == RP->ById.end())
+          return;
+        Connection &SC = *It->second;
+        SC.SlowTimer = 0;
+        if (SC.Parser.buffered() == 0 || SC.CloseAfterFlush)
+          return; // completed in the same tick, or already closing
+        shedsCounter(RP->Index, "slow_frame").inc();
+        {
+          std::lock_guard<std::mutex> L(RP->StatsMu);
+          ++RP->Counters.SlowFrameCloses;
+        }
+        sendReject(*RP, SC, 0, "slow_frame",
+                   "frame not completed in time");
+        auto AIt = RP->ById.find(ConnId);
+        if (AIt == RP->ById.end())
+          return;
+        SC.CloseAfterFlush = true;
+        updateSubscription(*RP, SC);
+        writeReady(*RP, SC);
+      });
+}
+
+void Server::closeConnection(Reactor &R, uint64_t ConnId) {
+  auto It = R.ById.find(ConnId);
+  if (It == R.ById.end())
     return;
   Connection *C = It->second;
   if (C->IdleTimer)
-    Wheel.cancel(C->IdleTimer);
+    R.Wheel.cancel(C->IdleTimer);
+  if (C->SlowTimer)
+    R.Wheel.cancel(C->SlowTimer);
   for (const auto &[Corr, Tid] : C->RequestTimers)
-    Wheel.cancel(Tid);
-  Io->remove(C->Fd);
+    R.Wheel.cancel(Tid);
+  R.Io->remove(C->Fd);
   ::close(C->Fd);
   int Fd = C->Fd;
-  ById.erase(It);
-  ByFd.erase(Fd); // destroys C; its Span records the conn lifetime
+  R.ById.erase(It);
+  R.ByFd.erase(Fd); // destroys C; its Span records the conn lifetime
+  OpenConns.fetch_sub(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> L(StateMu);
-    ++Counters.ConnectionsClosed;
-    Counters.OpenConnections = ByFd.size();
+    std::lock_guard<std::mutex> L(R.StatsMu);
+    ++R.Counters.ConnectionsClosed;
+    R.Counters.OpenConnections = R.ByFd.size();
   }
-  updateConnectionGauges();
-  finishDrainIfIdle();
+  updateConnectionGauges(R);
+  finishDrainIfIdle(R);
 }
 
-void Server::startDrainOnLoop() {
-  DrainStarted = true;
+void Server::startDrainOnLoop(Reactor &R) {
+  R.DrainStarted = true;
   obs::traceInstant("drain_begin", "net");
-  if (ListenFd >= 0) {
-    Io->remove(ListenFd);
-    ::close(ListenFd);
-    ListenFd = -1;
+  if (R.ListenFd >= 0) {
+    R.Io->remove(R.ListenFd);
+    ::close(R.ListenFd);
+    R.ListenFd = -1;
   }
+  // Connections handed off but not yet adopted close unopened.
+  adoptHandoff(R, monotonicNanos());
   std::vector<uint64_t> Ids;
-  Ids.reserve(ById.size());
-  for (const auto &[Id, C] : ById)
+  Ids.reserve(R.ById.size());
+  for (const auto &[Id, C] : R.ById)
     Ids.push_back(Id);
   for (uint64_t Id : Ids) {
-    auto It = ById.find(Id);
-    if (It == ById.end())
+    auto It = R.ById.find(Id);
+    if (It == R.ById.end())
       continue;
     // Stop reading; flush what is queued; writeReady closes the
     // connection once nothing is queued and nothing is in flight.
-    updateSubscription(*It->second);
-    writeReady(*It->second);
+    updateSubscription(R, *It->second);
+    writeReady(R, *It->second);
   }
-  updateConnectionGauges();
-  finishDrainIfIdle();
+  updateConnectionGauges(R);
+  finishDrainIfIdle(R);
 }
 
-void Server::finishDrainIfIdle() {
-  if (!DrainStarted || !ByFd.empty())
+void Server::finishDrainIfIdle(Reactor &R) {
+  if (!R.DrainStarted || R.DrainedLocal || !R.ByFd.empty())
+    return;
+  R.DrainedLocal = true;
+  obs::traceInstant("drain_done", "net");
+  if (DrainedReactors.fetch_add(1, std::memory_order_acq_rel) + 1 <
+      NumReactors)
     return;
   {
     std::lock_guard<std::mutex> L(StateMu);
-    if (Drained)
-      return;
     Drained = true;
   }
-  obs::traceInstant("drain_done", "net");
   DrainedCv.notify_all();
 }
 
-void Server::updateConnectionGauges() {
-  connGauge("open").set(static_cast<double>(ByFd.size()));
-  connGauge("draining").set(
-      DrainStarted ? static_cast<double>(ByFd.size()) : 0.0);
+void Server::updateConnectionGauges(Reactor &R) {
+  R.OpenGauge->set(static_cast<double>(R.ByFd.size()));
+  R.DrainGauge->set(
+      R.DrainStarted ? static_cast<double>(R.ByFd.size()) : 0.0);
 }

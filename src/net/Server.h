@@ -1,39 +1,60 @@
-//===- net/Server.h - epoll-based DVS scheduling server ---------*- C++ -*-===//
+//===- net/Server.h - multi-reactor DVS scheduling server -------*- C++ -*-===//
 //
 // Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The network front end of the scheduling service: one event-loop
-/// thread drives nonblocking accept/read/write over cdvs-wire v1 frames
-/// (net/Wire.h) and bridges Request frames onto an embedded
-/// SchedulerService. Jobs run on the service's persistent TaskPool;
-/// completions come back to the loop through a WakeupFd-signalled queue,
-/// so responses stream out of order per connection, matched by the
+/// The network front end of the scheduling service: N reactor threads
+/// (ServerOptions::Reactors) each own a full event-loop stack — their
+/// own Poller, timer wheel, wakeup fd, and listening socket bound with
+/// SO_REUSEPORT — so accept/read/write and all per-connection state stay
+/// reactor-local and lock-free on the hot path. The kernel's reuseport
+/// hash spreads incoming connections across the reactors; on stacks
+/// without SO_REUSEPORT (or under ForceAcceptHandoff) reactor 0 owns the
+/// one listener and round-robins accepted fds to its peers through
+/// per-reactor handoff queues and a wakeup-fd nudge.
+///
+/// Jobs run on the embedded SchedulerService's persistent TaskPool;
+/// completions come back through a *per-reactor* lock-free MPSC queue
+/// (worker threads push, the owning reactor drains on wakeup), so
+/// response routing never takes a lock shared between reactors.
+/// Responses stream out of order per connection, matched by the
 /// correlation id the client chose.
 ///
-/// Robustness edges, all enforced per connection:
+/// Robustness edges, all enforced per connection on its owning reactor:
 ///
 ///  * framing errors (bad magic/version/type/reserved, oversized
 ///    payloads, a peer that hangs up mid-frame) answer with one
 ///    structured Reject frame, then close — the stream cannot be
 ///    resynchronized;
 ///  * write backpressure: when a connection's queued response bytes
-///    exceed WriteQueueHighWater the loop stops reading it (the kernel
-///    socket buffer then pushes back on the client) and resumes below
-///    WriteQueueLowWater;
-///  * idle and request timeouts ride a hashed timer wheel: a silent
-///    connection is closed after IdleTimeoutMs, a request older than
-///    RequestTimeoutMs answers Reject{"timeout"} (the late result is
-///    dropped when it eventually lands);
-///  * MaxConnections: surplus accepts get Reject{"overloaded"} and an
-///    immediate close; admission-queue backpressure inside the service
-///    surfaces as an ordinary rejected Response, exactly like dvsd;
+///    exceed WriteQueueHighWater the reactor stops reading it (the
+///    kernel socket buffer then pushes back on the client) and resumes
+///    below WriteQueueLowWater;
+///  * idle, request, and slow-frame timeouts ride each reactor's hashed
+///    timer wheel: a silent connection is closed after IdleTimeoutMs, a
+///    request older than RequestTimeoutMs answers Reject{"timeout"} (the
+///    late result is dropped when it eventually lands), and a connection
+///    that dribbles bytes without completing a frame within
+///    SlowFrameTimeoutMs (slowloris) draws Reject{"slow_frame"} and
+///    closes;
+///  * overload shedding: when a reactor's count of admitted-but-
+///    unanswered jobs crosses ShedHighWater, lax requests (deadline
+///    tightness at or above ShedLaxTightness, peeked from the payload
+///    without a full JSON parse) answer Reject{"shed"}; past
+///    ShedHardWater every request sheds, regardless of class — so a
+///    stampede costs the reactor one cheap scan per frame instead of a
+///    parse, an admission, and a solve;
+///  * MaxConnections (server-wide): surplus accepts get
+///    Reject{"overloaded"} and an immediate close; admission-queue
+///    backpressure inside the service surfaces as an ordinary rejected
+///    Response, exactly like dvsd;
 ///  * graceful drain (beginDrain(), wired to SIGTERM in dvs-server):
-///    the listener closes, reading stops, every already-admitted job
-///    completes and flushes, then connections close and waitDrained()
-///    observers wake.
+///    every reactor closes its listener, stops reading, lets every
+///    already-admitted job complete and flush, then closes its
+///    connections; waitDrained() observers wake once the last reactor
+///    quiesces.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +63,7 @@
 
 #include "net/EventLoop.h"
 #include "net/Wire.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "service/Service.h"
 
@@ -66,7 +88,14 @@ struct ServerOptions {
   /// 0 picks an ephemeral port; read it back via Server::port().
   uint16_t Port = 0;
   int Backlog = 128;
-  /// Accepted connections beyond this answer Reject{"overloaded"}.
+  /// Reactor (event-loop) threads; 0 means one per hardware core.
+  int Reactors = 1;
+  /// Use the single-acceptor round-robin handoff path even where
+  /// SO_REUSEPORT exists (tests; kernels without reusable ports fall
+  /// back to this automatically).
+  bool ForceAcceptHandoff = false;
+  /// Accepted connections beyond this (server-wide) answer
+  /// Reject{"overloaded"}.
   size_t MaxConnections = 256;
   /// Per-frame payload cap; longer headers answer Reject{"too_large"}.
   size_t MaxFrameBytes = kDefaultMaxPayloadBytes;
@@ -79,6 +108,22 @@ struct ServerOptions {
   uint64_t IdleTimeoutMs = 60'000;
   /// Reject{"timeout"} requests in flight longer than this; 0 disables.
   uint64_t RequestTimeoutMs = 0;
+  /// Reject{"slow_frame"} connections that sit on a partial frame this
+  /// long without completing it (slowloris guard); 0 disables. The
+  /// clock restarts whenever a complete frame is extracted, so slow but
+  /// steady pipelines never trip it.
+  uint64_t SlowFrameTimeoutMs = 10'000;
+  /// Overload shedding: once a reactor's admitted-but-unanswered job
+  /// count reaches this, lax-class requests answer Reject{"shed"}
+  /// before the payload is parsed. 0 disables shedding.
+  size_t ShedHighWater = 0;
+  /// Past this pending count every request sheds regardless of class;
+  /// 0 defaults to 2 * ShedHighWater.
+  size_t ShedHardWater = 0;
+  /// Deadline-class boundary: requests whose peeked tightness is at or
+  /// above this are "lax" (sheddable at ShedHighWater); tighter
+  /// deadlines stay admitted until ShedHardWater.
+  double ShedLaxTightness = 0.5;
   /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests
   /// shrink it so write backpressure triggers with small payloads.
   int SocketSendBufferBytes = 0;
@@ -88,7 +133,7 @@ struct ServerOptions {
   ServiceOptions Service;
 };
 
-/// Loop-side counters, snapshot via Server::stats().
+/// Reactor-side counters, aggregated across reactors by Server::stats().
 struct ServerStats {
   long ConnectionsAccepted = 0;
   long ConnectionsRejected = 0; ///< over MaxConnections
@@ -101,6 +146,9 @@ struct ServerStats {
   long ProtocolErrors = 0; ///< framing errors (reject-then-close)
   long IdleCloses = 0;
   long RequestTimeouts = 0;
+  long SlowFrameCloses = 0;    ///< slowloris guard firings
+  long LoadSheds = 0;          ///< Reject{"shed"} answers (any class)
+  long HandoffAccepts = 0;     ///< connections adopted via fd handoff
   long ReadPauses = 0;         ///< backpressure engagements
   long OrphanCompletions = 0;  ///< job finished after its conn closed
   size_t OpenConnections = 0;  ///< currently open
@@ -115,14 +163,20 @@ public:
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Binds, listens, and spawns the event-loop thread. Errors (port in
+  /// Binds, listens, and spawns the reactor threads. Errors (port in
   /// use, bad address) are returned, not retried.
   ErrorOr<bool> start();
 
-  /// The bound port (after start(); useful with Port = 0).
+  /// The bound port (after start(); useful with Port = 0). All reactors
+  /// share it (SO_REUSEPORT) or funnel through it (handoff fallback).
   uint16_t port() const { return BoundPort; }
   /// "epoll" or "poll" (after start()).
   const char *backendName() const { return Backend; }
+  /// Reactor threads actually running (after start()).
+  int reactors() const { return NumReactors; }
+  /// True when the reactors share the port via SO_REUSEPORT, false on
+  /// the accept-handoff fallback (after start()).
+  bool usingReusePort() const { return ReusePortActive; }
 
   /// The embedded scheduling service (tests pause/resume it; the tool
   /// reads its stats).
@@ -131,15 +185,16 @@ public:
   /// Starts a graceful drain: stop accepting, stop reading, let every
   /// admitted job complete and flush, then close. Idempotent,
   /// thread-safe, safe from signal-handler-adjacent contexts (one
-  /// atomic store + one write syscall).
+  /// atomic store + N write syscalls).
   void beginDrain();
 
-  /// Waits until the drain finished (every connection closed). \returns
-  /// false on timeout. TimeoutSeconds <= 0 polls once.
+  /// Waits until the drain finished (every reactor closed every
+  /// connection). \returns false on timeout. TimeoutSeconds <= 0 polls
+  /// once.
   bool waitDrained(double TimeoutSeconds);
 
-  /// Hard stop: drains nothing, closes everything, joins the loop, and
-  /// shuts the service down. The destructor calls this.
+  /// Hard stop: drains nothing, closes everything, joins the reactors,
+  /// and shuts the service down. The destructor calls this.
   void stop();
 
   ServerStats stats() const;
@@ -162,6 +217,7 @@ private:
     bool SawEof = false;
     unsigned Subscribed = 0; ///< EvIn/EvOut bits currently registered
     uint64_t IdleTimer = 0;  ///< wheel id, 0 = none
+    uint64_t SlowTimer = 0;  ///< partial-frame (slowloris) wheel id
     /// In-flight request bookkeeping, keyed by correlation id.
     std::map<uint64_t, uint64_t> StartNs;
     std::map<uint64_t, uint64_t> RequestTimers;
@@ -178,51 +234,121 @@ private:
     std::string Payload; ///< response JSON, serialized on the worker
   };
 
-  void loop();
-  void acceptReady(uint64_t NowNs);
-  void readReady(Connection &C, uint64_t NowNs);
-  void writeReady(Connection &C);
-  void processFrames(Connection &C, uint64_t NowNs);
-  void handleRequest(Connection &C, Frame &F, uint64_t NowNs);
-  void handleCompletions(uint64_t NowNs);
-  void enqueueFrame(Connection &C, FrameType Type, uint64_t Correlation,
-                    const std::string &Payload);
-  void sendReject(Connection &C, uint64_t Correlation,
+  /// Lock-free MPSC handoff from pipeline workers to one reactor:
+  /// push() is a CAS loop on an intrusive Treiber list (any thread),
+  /// drainTo() exchanges the whole list and reverses it (owner reactor
+  /// only). Depth is tracked for the completion-queue-depth gauge.
+  class CompletionQueue {
+  public:
+    ~CompletionQueue();
+    void push(Completion C);
+    /// Appends all pending completions to \p Out in rough FIFO order.
+    void drainTo(std::vector<Completion> &Out);
+    long depth() const { return Depth.load(std::memory_order_relaxed); }
+
+  private:
+    struct Node {
+      Completion C;
+      Node *Next = nullptr;
+    };
+    std::atomic<Node *> Head{nullptr};
+    std::atomic<long> Depth{0};
+  };
+
+  /// Everything one reactor thread owns. Only CQ, Handoff(+mutex),
+  /// Wakeup, and the Counters mutex are ever touched by other threads.
+  struct Reactor {
+    int Index = 0;
+    std::unique_ptr<Poller> Io;
+    TimerWheel Wheel;
+    WakeupFd Wakeup;
+    int ListenFd = -1; ///< own REUSEPORT listener, or reactor 0's only
+    std::thread Thread;
+
+    // Reactor-thread-only connection state.
+    std::map<int, std::unique_ptr<Connection>> ByFd;
+    std::map<uint64_t, Connection *> ById;
+    uint64_t NextConnId = 1; ///< seeded Index+1, stepped by NumReactors
+    bool DrainStarted = false;
+    bool DrainedLocal = false;
+    /// Jobs admitted from this reactor, completion not yet delivered —
+    /// the shedding watermark input.
+    long PendingJobs = 0;
+
+    /// Worker threads push completed jobs here; Wakeup nudges the loop.
+    CompletionQueue CQ;
+    /// Accept-handoff fallback: reactor 0 pushes accepted fds here.
+    std::mutex HandoffMu;
+    std::vector<int> Handoff;
+
+    mutable std::mutex StatsMu;
+    ServerStats Counters; ///< guarded by StatsMu
+
+    // Per-reactor instruments, registered once in Server::start() so
+    // the frame hot path never touches the registry lock.
+    obs::Counter *AcceptsCtr = nullptr;
+    obs::Counter *FramesInCtr = nullptr;
+    obs::Counter *FramesOutCtr = nullptr;
+    obs::Counter *BytesInCtr = nullptr;
+    obs::Counter *BytesOutCtr = nullptr;
+    obs::Gauge *OpenGauge = nullptr;
+    obs::Gauge *DrainGauge = nullptr;
+    obs::Gauge *CqDepthGauge = nullptr;
+    obs::Histogram *LatencyHist = nullptr;
+  };
+
+  void loop(Reactor &R);
+  void teardown(Reactor &R);
+  void acceptReady(Reactor &R, uint64_t NowNs);
+  void adoptHandoff(Reactor &R, uint64_t NowNs);
+  void adoptConnection(Reactor &R, int Fd, uint64_t NowNs);
+  void rejectAccept(Reactor &R, int Fd);
+  void readReady(Reactor &R, Connection &C, uint64_t NowNs);
+  void writeReady(Reactor &R, Connection &C);
+  /// \returns the number of complete frames extracted (slow-frame
+  /// progress tracking).
+  size_t processFrames(Reactor &R, Connection &C, uint64_t NowNs);
+  void handleRequest(Reactor &R, Connection &C, Frame &F, uint64_t NowNs);
+  /// \returns the shed class ("lax"/"hard") when the reactor's pending
+  /// count says this request must be refused, nullptr to admit.
+  const char *shedClass(const Reactor &R, const Frame &F) const;
+  void handleCompletions(Reactor &R, uint64_t NowNs);
+  void enqueueFrame(Reactor &R, Connection &C, FrameType Type,
+                    uint64_t Correlation, const std::string &Payload);
+  void sendReject(Reactor &R, Connection &C, uint64_t Correlation,
                   const std::string &Code, const std::string &Reason);
-  void updateSubscription(Connection &C);
-  void armIdleTimer(Connection &C, uint64_t NowNs);
-  void closeConnection(uint64_t ConnId);
-  void startDrainOnLoop();
-  void finishDrainIfIdle();
-  void updateConnectionGauges();
+  void updateSubscription(Reactor &R, Connection &C);
+  void armIdleTimer(Reactor &R, Connection &C, uint64_t NowNs);
+  void trackFrameProgress(Reactor &R, Connection &C, size_t Extracted,
+                          uint64_t NowNs);
+  void closeConnection(Reactor &R, uint64_t ConnId);
+  void startDrainOnLoop(Reactor &R);
+  void finishDrainIfIdle(Reactor &R);
+  void updateConnectionGauges(Reactor &R);
 
   ServerOptions Opts;
   SchedulerService Service;
 
-  std::unique_ptr<Poller> Io;
-  TimerWheel Wheel;
-  WakeupFd Wakeup;
-  int ListenFd = -1;
+  std::vector<std::unique_ptr<Reactor>> Reactors;
+  int NumReactors = 0;
+  bool ReusePortActive = false;
   uint16_t BoundPort = 0;
   const char *Backend = "";
-  std::thread LoopThread;
+  /// Handoff fallback: reactor 0's round-robin cursor (loop-thread
+  /// only).
+  size_t HandoffCursor = 0;
+  /// Server-wide open-connection count for the MaxConnections limit
+  /// (each reactor only sees its own ByFd).
+  std::atomic<long> OpenConns{0};
 
-  // Loop-thread-only connection state.
-  std::map<int, std::unique_ptr<Connection>> ByFd;
-  std::map<uint64_t, Connection *> ById;
-  uint64_t NextConnId = 1;
-  bool DrainStarted = false; ///< loop-side latch of DrainRequested
-
-  // Cross-thread handoff.
+  // Cross-thread lifecycle.
   std::atomic<bool> StopRequested{false};
   std::atomic<bool> DrainRequested{false};
-  std::mutex CompletionsMu;
-  std::vector<Completion> Completions;
+  std::atomic<int> DrainedReactors{0};
 
   mutable std::mutex StateMu;
   std::condition_variable DrainedCv;
   bool Drained = false;
-  ServerStats Counters; ///< guarded by StateMu
 };
 
 } // namespace net

@@ -9,6 +9,7 @@
 #include "milp/MilpSolver.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace cdvs;
 
@@ -58,6 +59,31 @@ ErrorOr<JobRequest> cdvs::jobRequestFromJsonText(const std::string &Text) {
   if (!V)
     return makeError(V.message());
   return jobRequestFromJson(*V);
+}
+
+double cdvs::peekDeadlineTightness(const std::string &Text,
+                                   double Fallback) {
+  // One linear scan, no allocation, no tree. A "tightness" inside a
+  // string value can fool this — acceptable for an admission hint; the
+  // admit path still does the strict parse.
+  static const char Key[] = "\"tightness\"";
+  size_t At = Text.find(Key);
+  if (At == std::string::npos)
+    return Fallback;
+  size_t I = At + sizeof(Key) - 1;
+  while (I < Text.size() &&
+         (Text[I] == ' ' || Text[I] == '\t' || Text[I] == '\n' ||
+          Text[I] == '\r'))
+    ++I;
+  if (I >= Text.size() || Text[I] != ':')
+    return Fallback;
+  ++I;
+  const char *Start = Text.c_str() + I;
+  char *End = nullptr;
+  double V = std::strtod(Start, &End);
+  if (End == Start)
+    return Fallback;
+  return V;
 }
 
 std::string cdvs::jobRequestToJson(const JobRequest &R) {

@@ -41,6 +41,14 @@ ErrorOr<JobRequest> jobRequestFromJson(const JsonValue &V);
 /// Parses one JSON request document (a dvsd request line).
 ErrorOr<JobRequest> jobRequestFromJsonText(const std::string &Text);
 
+/// Best-effort deadline-class peek for overload admission: scans \p Text
+/// for the first `"tightness"` key and reads the number after its colon
+/// without building a JSON tree — the whole point is that an overloaded
+/// reactor decides shed-or-admit in one cheap pass over the bytes.
+/// \returns \p Fallback when the key is absent or the value does not
+/// parse (the full parse on the admit path reports real errors).
+double peekDeadlineTightness(const std::string &Text, double Fallback);
+
 /// Serializes \p R as one request object. Only fields that differ from
 /// the defaults are emitted, so the output round-trips through
 /// jobRequestFromJson to an equivalent request.

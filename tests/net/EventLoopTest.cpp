@@ -12,6 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace cdvs;
 using namespace cdvs::net;
 
 namespace {
@@ -108,5 +112,26 @@ TEST(WakeupFd, NotifyMakesTheFdReadableUntilDrained) {
   W.drain();
   EXPECT_EQ(Io->wait(Events, 0), 0); // readable edge consumed
 }
+
+#ifdef SO_REUSEPORT
+TEST(ListenTcp, ReusePortAllowsSharedBinding) {
+  // Two reuseport listeners share one port (the multi-reactor server's
+  // normal mode); a plain listener on the same port still fails.
+  ErrorOr<int> A = listenTcp("127.0.0.1", 0, 16, /*ReusePort=*/true);
+  ASSERT_TRUE(A.hasValue()) << A.message();
+  ErrorOr<uint16_t> Port = localPort(*A);
+  ASSERT_TRUE(Port.hasValue()) << Port.message();
+
+  ErrorOr<int> B = listenTcp("127.0.0.1", *Port, 16, /*ReusePort=*/true);
+  EXPECT_TRUE(B.hasValue()) << B.message();
+  ErrorOr<int> Plain = listenTcp("127.0.0.1", *Port, 16);
+  EXPECT_FALSE(Plain.hasValue());
+
+  if (A)
+    ::close(*A);
+  if (B)
+    ::close(*B);
+}
+#endif
 
 } // namespace

@@ -16,6 +16,13 @@
 // DIR/<fingerprint>.cdvs (the same canonical form dvsd --schedules
 // writes), which is what the byte-identity gate diffs.
 //
+// --churn=N and --slowloris=N add adversarial side traffic (connect/
+// drop storms, byte-dribbling partial frames) while the measured load
+// runs, for overload probes: the healthy connections' quantiles tell
+// whether the server sheds attackers without stalling everyone else.
+// Attack-thread outcomes are reported under "attack" but never fail
+// the exit code — being rejected is the expected result.
+//
 //===----------------------------------------------------------------------===//
 
 #include "dvs/ScheduleIO.h"
@@ -26,6 +33,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <mutex>
@@ -184,6 +192,65 @@ double quantile(const std::vector<double> &Sorted, double Q) {
   return Sorted[I];
 }
 
+/// Attack-traffic counters (churn + slowloris). Attack threads are
+/// best-effort adversaries: their connect/send errors are expected
+/// (that is the server defending itself) and never fail the run.
+struct AttackTally {
+  std::atomic<long> ChurnConns{0};
+  std::atomic<long> SlowConns{0};
+  std::atomic<long> AttackRejects{0}; ///< Reject frames drawn by attacks
+};
+
+/// Connection-churn storm: connect and immediately drop, as fast as the
+/// server lets us, until \p Stop.
+void runChurn(const std::string &Host, uint16_t Port,
+              std::atomic<bool> &Stop, AttackTally &T) {
+  while (!Stop.load(std::memory_order_relaxed)) {
+    ErrorOr<net::Client> C = net::Client::connect(Host, Port);
+    if (!C) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    T.ChurnConns.fetch_add(1, std::memory_order_relaxed);
+    // Scope end closes the socket with data possibly in flight — the
+    // nastiest polite thing a client can do.
+  }
+}
+
+/// Slowloris: park on a partial frame, dribbling one byte per interval
+/// and never completing it, reconnecting each time the server evicts
+/// us. Rejects the server answers with (slow_frame, shed, overloaded)
+/// are counted as AttackRejects.
+void runSlowloris(const std::string &Host, uint16_t Port, int IntervalMs,
+                  std::atomic<bool> &Stop, AttackTally &T) {
+  std::string F =
+      net::encodeFrame(net::FrameType::Request, 1, "{\"workload\":\"gsm\"}");
+  while (!Stop.load(std::memory_order_relaxed)) {
+    ErrorOr<net::Client> C = net::Client::connect(Host, Port);
+    if (!C) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    T.SlowConns.fetch_add(1, std::memory_order_relaxed);
+    size_t Off = 0;
+    while (!Stop.load(std::memory_order_relaxed) && Off + 1 < F.size()) {
+      size_t Chunk = Off == 0 ? 4 : 1; // header prefix, then a dribble
+      if (!C->sendRaw(F.data() + Off, Chunk))
+        break; // server closed on us — reconnect
+      Off += Chunk;
+      // readFrame doubles as the dribble pacing and catches the
+      // eviction Reject when the guard fires.
+      ErrorOr<net::Frame> Got = C->readFrame(IntervalMs);
+      if (Got) {
+        if (Got->Type == net::FrameType::Reject)
+          T.AttackRejects.fetch_add(1, std::memory_order_relaxed);
+      } else if (Got.message() != kTimeoutMsg) {
+        break; // EOF: evicted
+      }
+    }
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -217,6 +284,22 @@ int main(int argc, char **argv) {
       "directory for <fingerprint>.cdvs files (byte-identity checks)");
   std::string &OutPath = P.addString("benchmark_out", "BENCH_net.json",
                                      "JSON results file ('' = none)");
+  int &Churn = P.addInt(
+      "churn", 0,
+      "connection-churn attack threads (connect/drop storms) running "
+      "alongside the measured load");
+  int &Slowloris = P.addInt(
+      "slowloris", 0,
+      "slowloris attack threads (byte-dribbling partial frames) "
+      "running alongside the measured load");
+  int &DribbleMs = P.addInt(
+      "dribble-interval-ms", 50,
+      "ms between slowloris bytes (should exceed the server's "
+      "slow-frame budget divided by frame size)");
+  int &MetaReactors = P.addInt(
+      "meta-reactors", 0,
+      "recorded in the JSON output as the server's --reactors value "
+      "(bench bookkeeping only)");
   if (!P.parseOrExit(argc, argv))
     return 0;
   if (Port <= 0 || Port > 65535) {
@@ -265,6 +348,22 @@ int main(int argc, char **argv) {
   long PerConn = Requests / Connections;
   uint64_t T0 = monotonicNanos();
   Cfg.StartNs = T0;
+
+  // Attack traffic starts first so the measured (healthy) load runs
+  // entirely inside the storm.
+  AttackTally Attacks;
+  std::atomic<bool> StopAttacks{false};
+  std::vector<std::thread> AttackThreads;
+  for (int I = 0; I < (Churn < 0 ? 0 : Churn); ++I)
+    AttackThreads.emplace_back([&] {
+      runChurn(Host, static_cast<uint16_t>(Port), StopAttacks, Attacks);
+    });
+  for (int I = 0; I < (Slowloris < 0 ? 0 : Slowloris); ++I)
+    AttackThreads.emplace_back([&] {
+      runSlowloris(Host, static_cast<uint16_t>(Port),
+                   DribbleMs < 1 ? 1 : DribbleMs, StopAttacks, Attacks);
+    });
+
   std::vector<std::thread> Threads;
   for (int I = 0; I < Connections; ++I) {
     WorkerConfig C = Cfg;
@@ -275,17 +374,25 @@ int main(int argc, char **argv) {
   for (std::thread &T : Threads)
     T.join();
   double Elapsed = static_cast<double>(monotonicNanos() - T0) * 1e-9;
+  StopAttacks.store(true, std::memory_order_relaxed);
+  for (std::thread &T : AttackThreads)
+    T.join();
 
   long Completed = Tally.Done + Tally.OtherStatus + Tally.WireRejects;
   std::sort(Tally.LatenciesSec.begin(), Tally.LatenciesSec.end());
   double P50 = quantile(Tally.LatenciesSec, 0.50);
   double P90 = quantile(Tally.LatenciesSec, 0.90);
+  double P95 = quantile(Tally.LatenciesSec, 0.95);
   double P99 = quantile(Tally.LatenciesSec, 0.99);
   double Max = Tally.LatenciesSec.empty() ? 0.0
                                           : Tally.LatenciesSec.back();
   double Throughput = Elapsed > 0.0
                           ? static_cast<double>(Completed) / Elapsed
                           : 0.0;
+  // Served throughput: only status-done answers count, so admission
+  // rejects under overload cannot inflate the number.
+  double DoneRps =
+      Elapsed > 0.0 ? static_cast<double>(Tally.Done) / Elapsed : 0.0;
 
   int ScheduleWriteErrors = 0;
   if (!SchedulesDir.empty()) {
@@ -302,21 +409,28 @@ int main(int argc, char **argv) {
     }
   }
 
-  char Buf[1024];
+  char Buf[1536];
   std::snprintf(
       Buf, sizeof(Buf),
-      "{\"tool\":\"dvs-loadgen\",\"connections\":%d,"
+      "{\"tool\":\"dvs-loadgen\",\"connections\":%d,\"reactors\":%d,"
       "\"rate_target_rps\":%.1f,\"requests\":%d,\"sent\":%ld,"
       "\"completed\":%ld,\"done\":%ld,\"other_status\":%ld,"
       "\"wire_rejects\":%ld,\"errors\":%ld,\"unanswered\":%ld,"
       "\"cache_hits\":%ld,\"elapsed_s\":%.3f,"
-      "\"throughput_rps\":%.1f,\"latency_s\":{\"p50\":%.6f,"
-      "\"p90\":%.6f,\"p99\":%.6f,\"max\":%.6f},"
+      "\"throughput_rps\":%.1f,\"done_rps\":%.1f,"
+      "\"latency_s\":{\"p50\":%.6f,"
+      "\"p90\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f},"
+      "\"attack\":{\"churn_threads\":%d,\"slowloris_threads\":%d,"
+      "\"churn_conns\":%ld,\"slowloris_conns\":%ld,"
+      "\"attack_rejects\":%ld},"
       "\"distinct_schedules\":%zu}",
-      Connections, Rate, Requests, Tally.Sent, Completed, Tally.Done,
-      Tally.OtherStatus, Tally.WireRejects, Tally.Errors,
-      Tally.Unanswered, Tally.CacheHits, Elapsed, Throughput, P50, P90,
-      P99, Max, Tally.Schedules.size());
+      Connections, MetaReactors, Rate, Requests, Tally.Sent, Completed,
+      Tally.Done, Tally.OtherStatus, Tally.WireRejects, Tally.Errors,
+      Tally.Unanswered, Tally.CacheHits, Elapsed, Throughput, DoneRps,
+      P50, P90, P95, P99, Max, Churn < 0 ? 0 : Churn,
+      Slowloris < 0 ? 0 : Slowloris,
+      Attacks.ChurnConns.load(), Attacks.SlowConns.load(),
+      Attacks.AttackRejects.load(), Tally.Schedules.size());
 
   std::printf("%s\n", Buf);
   if (!OutPath.empty()) {

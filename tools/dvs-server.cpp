@@ -3,11 +3,16 @@
 // Serves the batch DVS-scheduling pipeline over TCP: net::Server
 // (src/net) accepts cdvs-wire v1 frames, runs each Request through the
 // same SchedulerService dvsd drives, and streams Response frames back
-// out of order as jobs finish. One event-loop thread does all socket
-// work; MILP solving stays on the service's worker pool.
+// out of order as jobs finish. --reactors N spreads socket work over N
+// event-loop threads (each with its own SO_REUSEPORT listener; handoff
+// fallback via --no-reuseport); MILP solving stays on the service's
+// worker pool. --shed-high/--shed-hard arm per-reactor overload
+// shedding by deadline class, --slow-frame-timeout-ms the slowloris
+// guard.
 //
 // Lifecycle: on start the server prints one JSON line to stdout —
-//   {"type":"listening","port":12345,"backend":"epoll"}
+//   {"type":"listening","port":12345,"backend":"epoll",
+//    "reactors":4,"reuseport":true}
 // — so scripts can scrape the ephemeral port (or use --port-file).
 // SIGTERM and SIGINT begin a graceful drain: the listener closes,
 // in-flight jobs complete and flush, connections close, and the process
@@ -85,6 +90,14 @@ int main(int argc, char **argv) {
   std::string &Bind =
       P.addString("bind", "127.0.0.1", "address to listen on");
   int &Port = P.addInt("port", 0, "TCP port; 0 picks an ephemeral one");
+  int &Reactors = P.addInt(
+      "reactors", 1,
+      "event-loop (reactor) threads, each with its own SO_REUSEPORT "
+      "listener; 0 = one per core");
+  bool &NoReusePort = P.addFlag(
+      "no-reuseport",
+      "use the single-acceptor fd-handoff path even where SO_REUSEPORT "
+      "exists");
   int &Threads =
       P.addInt("threads", 0, "pipeline workers; 0 = one per core");
   int &QueueCap = P.addInt("queue", 128, "admission queue capacity");
@@ -98,6 +111,21 @@ int main(int argc, char **argv) {
   int &ReqMs = P.addInt("request-timeout-ms", 0,
                         "reject requests in flight longer than this; "
                         "0 = off");
+  int &SlowMs = P.addInt(
+      "slow-frame-timeout-ms", 10000,
+      "close connections that sit on a partial frame this long "
+      "(slowloris guard); 0 = off");
+  int &ShedHigh = P.addInt(
+      "shed-high", 0,
+      "per-reactor pending-job watermark: at it, lax requests answer "
+      "Reject{\"shed\"}; 0 = off");
+  int &ShedHard = P.addInt(
+      "shed-hard", 0,
+      "pending-job watermark past which every request sheds; 0 = "
+      "2 * shed-high");
+  double &ShedLax = P.addDouble(
+      "shed-lax-tightness", 0.5,
+      "deadline-tightness boundary of the sheddable (lax) class");
   bool &ForcePoll =
       P.addFlag("poll", "use the portable poll(2) backend, not epoll");
   double &MaxSeconds = P.addDouble(
@@ -127,6 +155,12 @@ int main(int argc, char **argv) {
       static_cast<size_t>(MaxFrameKb < 1 ? 1 : MaxFrameKb) * 1024;
   O.IdleTimeoutMs = static_cast<uint64_t>(IdleMs < 0 ? 0 : IdleMs);
   O.RequestTimeoutMs = static_cast<uint64_t>(ReqMs < 0 ? 0 : ReqMs);
+  O.SlowFrameTimeoutMs = static_cast<uint64_t>(SlowMs < 0 ? 0 : SlowMs);
+  O.Reactors = Reactors;
+  O.ForceAcceptHandoff = NoReusePort;
+  O.ShedHighWater = static_cast<size_t>(ShedHigh < 0 ? 0 : ShedHigh);
+  O.ShedHardWater = static_cast<size_t>(ShedHard < 0 ? 0 : ShedHard);
+  O.ShedLaxTightness = ShedLax;
   O.ForcePoll = ForcePoll;
   O.Service.NumWorkers = Threads;
   O.Service.QueueCapacity =
@@ -152,8 +186,10 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  std::printf("{\"type\":\"listening\",\"port\":%u,\"backend\":\"%s\"}\n",
-              Server.port(), Server.backendName());
+  std::printf("{\"type\":\"listening\",\"port\":%u,\"backend\":\"%s\","
+              "\"reactors\":%d,\"reuseport\":%s}\n",
+              Server.port(), Server.backendName(), Server.reactors(),
+              Server.usingReusePort() ? "true" : "false");
   std::fflush(stdout);
   if (!PortFile.empty())
     writeTextFile(PortFile, std::to_string(Server.port()) + "\n",
@@ -187,7 +223,8 @@ int main(int argc, char **argv) {
       "\"bytes_in\":%lld,\"bytes_out\":%lld,\"rejects\":%ld,"
       "\"protocol_errors\":%ld,\"idle_closes\":%ld,"
       "\"request_timeouts\":%ld,\"read_pauses\":%ld,"
-      "\"orphan_completions\":%ld,"
+      "\"orphan_completions\":%ld,\"load_sheds\":%ld,"
+      "\"slow_frame_closes\":%ld,\"handoff_accepts\":%ld,"
       "\"jobs\":{\"submitted\":%ld,\"completed\":%ld,\"rejected\":%ld,"
       "\"infeasible\":%ld,\"failed\":%ld},"
       "\"cache\":{\"hits\":%ld,\"misses\":%ld}}",
@@ -195,6 +232,7 @@ int main(int argc, char **argv) {
       NS.ConnectionsClosed, NS.FramesIn, NS.FramesOut, NS.BytesIn,
       NS.BytesOut, NS.RejectsSent, NS.ProtocolErrors, NS.IdleCloses,
       NS.RequestTimeouts, NS.ReadPauses, NS.OrphanCompletions,
+      NS.LoadSheds, NS.SlowFrameCloses, NS.HandoffAccepts,
       SS.Submitted, SS.Completed, SS.Rejected, SS.Infeasible, SS.Failed,
       CS.Hits, CS.Misses);
   std::printf("%s\n", Buf);
