@@ -2,12 +2,15 @@
 #===- scripts/bench_net.sh - reactor-count scaling rows for BENCH_net ----===#
 #
 # Measures dvs-server's warm-cache serving capacity at 1, 2, and 4
-# reactors on loopback and merges the rows into one BENCH_net.json:
+# reactors on loopback, plus one cluster row (dvs-router sharding over
+# three single-reactor backends), and merges the rows into one
+# BENCH_net.json:
 #
 #   {"tool":"bench_net","host_cores":N,"rows":[<dvs-loadgen row>, ...]}
 #
 # Each row is one dvs-loadgen record (its "reactors" field carries the
-# server's --reactors value). The load is open-loop at a rate well above
+# server's --reactors value; the cluster row instead carries
+# "cluster":{"backends":3,...}). The load is open-loop at a rate well above
 # capacity with an admission queue deeper than the request count, so
 # every request completes "done" and done_rps measures the end-to-end
 # serving rate — rejects cannot inflate it.
@@ -39,8 +42,12 @@ CORES="$(nproc)"
 
 TMP="$(mktemp -d)"
 SRV=""
+CLUSTER_PIDS=()
 cleanup() {
   [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+  for P in "${CLUSTER_PIDS[@]}"; do
+    kill "$P" 2>/dev/null || true
+  done
   rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -73,9 +80,50 @@ for R in 1 2 4; do
   SRV=""
 done
 
-printf '{"tool":"bench_net","host_cores":%s,"rows":[%s,%s,%s]}\n' \
+# Cluster row: the same load through dvs-router sharding across three
+# single-reactor backends — what one routing hop plus the ring's cache
+# partitioning costs (or saves) against the single-node rows above.
+BPORTS=()
+for B in 1 2 3; do
+  rm -f "$TMP/bport_$B"
+  ./build/tools/dvs-server --port=0 --reactors=1 --threads=0 \
+    --queue=$((REQS + 64)) --cache=64 \
+    --port-file="$TMP/bport_$B" > "$TMP/backend_$B.log" 2>&1 &
+  CLUSTER_PIDS+=($!)
+done
+for B in 1 2 3; do
+  for _ in $(seq 1 100); do
+    [ -s "$TMP/bport_$B" ] && break
+    sleep 0.1
+  done
+  [ -s "$TMP/bport_$B" ] || { echo "cluster backend $B never listened"; exit 1; }
+  BPORTS+=("127.0.0.1:$(cat "$TMP/bport_$B")")
+done
+rm -f "$TMP/rport"
+./build/tools/dvs-router --port=0 \
+  --backends="$(IFS=,; echo "${BPORTS[*]}")" \
+  --port-file="$TMP/rport" > "$TMP/router.log" 2>&1 &
+CLUSTER_PIDS+=($!)
+for _ in $(seq 1 100); do
+  [ -s "$TMP/rport" ] && break
+  sleep 0.1
+done
+[ -s "$TMP/rport" ] || { echo "dvs-router never listened"; exit 1; }
+./build/tools/dvs-loadgen --port="$(cat "$TMP/rport")" \
+  --connections=8 --rate="$RATE" --requests="$REQS" \
+  --distinct="$DISTINCT" --drain-timeout-ms=120000 \
+  --meta-backends=3 --benchmark_out="$TMP/row_cluster.json" > /dev/null
+for P in "${CLUSTER_PIDS[@]}"; do
+  kill -TERM "$P" 2>/dev/null || true
+done
+for P in "${CLUSTER_PIDS[@]}"; do
+  wait "$P" 2>/dev/null || true
+done
+CLUSTER_PIDS=()
+
+printf '{"tool":"bench_net","host_cores":%s,"rows":[%s,%s,%s,%s]}\n' \
   "$CORES" "$(cat "$TMP/row_1.json")" "$(cat "$TMP/row_2.json")" \
-  "$(cat "$TMP/row_4.json")" > "$OUT"
+  "$(cat "$TMP/row_4.json")" "$(cat "$TMP/row_cluster.json")" > "$OUT"
 
 echo "bench_net: wrote $OUT"
 for R in 1 2 4; do
@@ -83,3 +131,6 @@ for R in 1 2 4; do
     '{split($2,a,","); printf "  reactors=%s  done_rps=%s\n", r, a[1]}' \
     "$TMP/row_$R.json"
 done
+awk -F'"done_rps":' \
+  '{split($2,a,","); printf "  cluster(1 router + 3 backends)  done_rps=%s\n", a[1]}' \
+  "$TMP/row_cluster.json"

@@ -37,7 +37,17 @@
 #      which healthy p99 stays near the unloaded baseline and the
 #      attacks draw structured Rejects visible in cdvs_net_sheds_total;
 #      and dvs-stat --check over the server's metrics snapshot
-#      (scripts/metric_names_net.txt).
+#      (scripts/metric_names_net.txt);
+#   9. cluster failover: the cluster test binary under TSan, then a
+#      kill-a-backend drill — dvs-router over three TSan dvs-servers,
+#      dvs-loadgen SIGKILLs one backend mid-run and every admitted
+#      request must still answer (zero unanswered) with at least one
+#      eviction in the router's metrics; the dead backend then restarts
+#      with --peers/--self and a hot-key rerun must warm its cache over
+#      PeerFetch (cdvs_cluster_peer_fills_total >= 1), its schedules
+#      byte-identical to dvsd's for the same jobs; dvs-stat --check
+#      validates the router + peer-fill metric families
+#      (scripts/metric_names_cluster.txt).
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 #
@@ -284,6 +294,113 @@ diff -r "$NET_TMP/netsched" "$NET_TMP/dsched" \
 # Every canonical net metric family made it into the snapshot.
 ./build/tools/dvs-stat --check --names=scripts/metric_names_net.txt \
   "$NET_TMP/net_metrics.prom"
+
+echo
+echo "== cluster: TSan cluster tests + kill-a-backend failover drill =="
+cmake --build build-tsan -j"$JOBS" \
+  --target cluster_test dvs-router dvs-server dvs-loadgen
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cluster_test
+
+CL_TMP="$OBS_TMP/cluster"
+mkdir -p "$CL_TMP"
+CL_DISTINCT=32
+CL_PIDS=()
+for B in 1 2 3; do
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-server \
+    --port=0 --threads=2 --queue=4096 \
+    --port-file="$CL_TMP/b$B.port" > "$CL_TMP/b$B.log" &
+  CL_PIDS+=($!)
+done
+BACKENDS=""
+for B in 1 2 3; do
+  for _ in $(seq 1 100); do
+    [ -s "$CL_TMP/b$B.port" ] && break
+    sleep 0.1
+  done
+  [ -s "$CL_TMP/b$B.port" ] \
+    || { echo "cluster backend $B never listened"; exit 1; }
+  BACKENDS="$BACKENDS${BACKENDS:+,}127.0.0.1:$(cat "$CL_TMP/b$B.port")"
+done
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-router \
+  --port=0 --backends="$BACKENDS" \
+  --health-interval-ms=100 --fail-threshold=1 \
+  --port-file="$CL_TMP/router.port" \
+  --metrics-out="$CL_TMP/router.prom" > "$CL_TMP/router.log" &
+CL_RTR=$!
+for _ in $(seq 1 100); do
+  [ -s "$CL_TMP/router.port" ] && break
+  sleep 0.1
+done
+[ -s "$CL_TMP/router.port" ] || { echo "dvs-router never listened"; exit 1; }
+CL_PORT="$(cat "$CL_TMP/router.port")"
+
+# Kill backend 1 mid-run: its in-flight requests fail over to the next
+# ring owner, and the survivors absorb its key share — zero lost
+# responses is the whole point of the retry machinery.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-loadgen \
+  --port="$CL_PORT" --connections=4 --rate=1000 --requests=2000 \
+  --distinct="$CL_DISTINCT" --drain-timeout-ms=120000 \
+  --kill-backend-pid="${CL_PIDS[0]}" --kill-backend-after-ms=400 \
+  --benchmark_out="$CL_TMP/kill_bench.json"
+grep -q '"kill_fired":true' "$CL_TMP/kill_bench.json" \
+  || { echo "loadgen never killed the backend"; exit 1; }
+grep -q '"unanswered":0,' "$CL_TMP/kill_bench.json" \
+  || { echo "responses were lost across the backend kill"; exit 1; }
+
+# The dead backend returns on its old port, peer-fill wired to the full
+# membership; a hot-key rerun routes its keys home and the cold cache
+# must fill from the interim owners over PeerFetch, not re-solve.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-server \
+  --port="$(cat "$CL_TMP/b1.port")" --threads=2 --queue=4096 \
+  --self="127.0.0.1:$(cat "$CL_TMP/b1.port")" --peers="$BACKENDS" \
+  --metrics-out="$CL_TMP/b1.prom" > "$CL_TMP/b1_reborn.log" &
+CL_PIDS[0]=$!
+sleep 1 # one health-interval round trip reinstates it
+mkdir -p "$CL_TMP/rsched"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-loadgen \
+  --port="$CL_PORT" --connections=4 --rate=1000 --requests=2000 \
+  --distinct="$CL_DISTINCT" --hot-key-pct=25 --drain-timeout-ms=120000 \
+  --schedules="$CL_TMP/rsched" \
+  --benchmark_out="$CL_TMP/warm_bench.json"
+grep -q '"unanswered":0,' "$CL_TMP/warm_bench.json" \
+  || { echo "responses were lost after the backend restart"; exit 1; }
+
+kill -TERM "$CL_RTR" 2>/dev/null || true
+wait "$CL_RTR" 2>/dev/null || true
+for P in "${CL_PIDS[@]}"; do
+  kill -TERM "$P" 2>/dev/null || true
+done
+for P in "${CL_PIDS[@]}"; do
+  wait "$P" 2>/dev/null || true
+done
+
+awk '/^cdvs_cluster_backend_evictions_total/ { total += $NF }
+  END { if (total + 0 < 1) {
+    print "the killed backend was never evicted"; exit 1 } }' \
+  "$CL_TMP/router.prom"
+awk '/^cdvs_cluster_peer_fills_total/ { total += $NF }
+  END { if (total + 0 < 1) {
+    print "the restarted backend never peer-filled its cache"; exit 1 } }' \
+  "$CL_TMP/b1.prom"
+
+# Routed schedules are bit-for-bit what dvsd emits for the same jobs.
+mkdir -p "$CL_TMP/dsched"
+: > "$CL_TMP/cl_jobs.jsonl"
+for k in $(seq 0 $((CL_DISTINCT - 1))); do
+  awk -v k="$k" -v n="$CL_DISTINCT" 'BEGIN {
+    printf "{\"id\":\"k%d\",\"workload\":\"gsm\",\"tightness\":%.17g}\n",
+           k, 0.2 + 0.6 * k / n }' >> "$CL_TMP/cl_jobs.jsonl"
+done
+./build/tools/dvsd --threads="$JOBS" --quiet \
+  --schedules="$CL_TMP/dsched" "$CL_TMP/cl_jobs.jsonl"
+diff -r "$CL_TMP/rsched" "$CL_TMP/dsched" \
+  || { echo "cluster schedules differ from dvsd schedules"; exit 1; }
+
+# Every canonical cluster family, across both processes' snapshots (the
+# family sets are disjoint, so the concatenation is a valid exposition).
+cat "$CL_TMP/router.prom" "$CL_TMP/b1.prom" > "$CL_TMP/cluster.prom"
+./build/tools/dvs-stat --check --names=scripts/metric_names_cluster.txt \
+  "$CL_TMP/cluster.prom"
 
 echo
 echo "All checks passed."

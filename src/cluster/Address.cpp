@@ -1,0 +1,50 @@
+//===- cluster/Address.cpp - "host:port" backend names ---------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Address.h"
+
+#include <cstdlib>
+
+using namespace cdvs;
+using namespace cdvs::cluster;
+
+ErrorOr<Address> cdvs::cluster::parseAddress(const std::string &Text) {
+  size_t Colon = Text.rfind(':');
+  if (Colon == std::string::npos)
+    return makeError("address '" + Text + "' is missing ':port'");
+  Address A;
+  A.Host = Text.substr(0, Colon);
+  if (A.Host.empty())
+    return makeError("address '" + Text + "' has an empty host");
+  const std::string PortText = Text.substr(Colon + 1);
+  char *End = nullptr;
+  long Port = std::strtol(PortText.c_str(), &End, 10);
+  if (PortText.empty() || *End != '\0' || Port < 1 || Port > 65535)
+    return makeError("address '" + Text + "' has a bad port '" +
+                     PortText + "'");
+  A.Port = static_cast<uint16_t>(Port);
+  return A;
+}
+
+ErrorOr<std::vector<Address>>
+cdvs::cluster::parseAddressList(const std::string &Text) {
+  std::vector<Address> Out;
+  size_t Start = 0;
+  while (Start <= Text.size()) {
+    size_t Comma = Text.find(',', Start);
+    size_t End = Comma == std::string::npos ? Text.size() : Comma;
+    if (End > Start) {
+      ErrorOr<Address> A = parseAddress(Text.substr(Start, End - Start));
+      if (!A)
+        return makeError(A.message());
+      Out.push_back(*A);
+    }
+    if (Comma == std::string::npos)
+      break;
+    Start = Comma + 1;
+  }
+  return Out;
+}

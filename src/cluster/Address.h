@@ -1,0 +1,51 @@
+//===- cluster/Address.h - "host:port" backend names ------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backend naming shared by the router, the peer filler, and the tools:
+/// a member is a numeric-IPv4 "host:port" string (the same address form
+/// net::connectTcp accepts). The string is the identity — it names the
+/// backend on the ring, labels its per-backend metrics series, and is
+/// stamped into responses for loadgen's per-backend breakdown — so one
+/// parse/format pair here keeps every layer agreeing on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_CLUSTER_ADDRESS_H
+#define CDVS_CLUSTER_ADDRESS_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdvs {
+namespace cluster {
+
+/// One parsed backend address.
+struct Address {
+  std::string Host;
+  uint16_t Port = 0;
+
+  /// The canonical "host:port" member name.
+  std::string name() const {
+    return Host + ":" + std::to_string(Port);
+  }
+};
+
+/// Parses "host:port". Errors on a missing colon, an empty host, or a
+/// port outside 1..65535.
+ErrorOr<Address> parseAddress(const std::string &Text);
+
+/// Parses a comma-separated backend list ("h1:p1,h2:p2,..."), skipping
+/// empty segments. Errors on the first bad entry.
+ErrorOr<std::vector<Address>> parseAddressList(const std::string &Text);
+
+} // namespace cluster
+} // namespace cdvs
+
+#endif // CDVS_CLUSTER_ADDRESS_H

@@ -1,0 +1,66 @@
+//===- cluster/Key.cpp - Ring key of a job request -------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Key.h"
+
+#include "support/Hash.h"
+
+#include <algorithm>
+
+using namespace cdvs;
+using namespace cdvs::cluster;
+
+Fingerprint128 cdvs::cluster::requestKey(const JobRequest &R) {
+  HashBuilder H;
+  H.add(std::string("cdvs-request-key-v1"));
+  H.add(R.Workload);
+
+  // Categories mirror the service's normalization: weights become
+  // probabilities (weight / sum), an empty list means the workload's
+  // default input at probability 1, and order is insignificant (the
+  // objective is a commutative weighted sum) — so per-category digests
+  // are folded in sorted order, like milp/Fingerprint does.
+  double WeightSum = 0.0;
+  for (const JobCategory &C : R.Categories)
+    WeightSum += C.Weight;
+  std::vector<std::string> Digests;
+  if (R.Categories.empty()) {
+    HashBuilder Sub;
+    Sub.add(std::string());
+    Sub.add(1.0);
+    Digests.push_back(Sub.digest());
+  } else {
+    Digests.reserve(R.Categories.size());
+    for (const JobCategory &C : R.Categories) {
+      HashBuilder Sub;
+      Sub.add(C.Input);
+      Sub.add(WeightSum > 0.0 ? C.Weight / WeightSum : C.Weight);
+      Digests.push_back(Sub.digest());
+    }
+    std::sort(Digests.begin(), Digests.end());
+  }
+  H.add(static_cast<uint64_t>(Digests.size()));
+  for (const std::string &D : Digests)
+    H.add(D);
+
+  // An absolute deadline wins over tightness in the service, so only
+  // the field that will actually resolve enters the key.
+  if (R.DeadlineSeconds > 0.0) {
+    H.add(static_cast<uint64_t>(1));
+    H.add(R.DeadlineSeconds);
+  } else {
+    H.add(static_cast<uint64_t>(0));
+    H.add(R.DeadlineTightness);
+  }
+  H.add(R.FilterThreshold);
+  H.add(R.InitialMode);
+  H.add(R.NumLevels);
+  H.add(R.CapacitanceF);
+
+  Fingerprint128 Key;
+  H.digestRaw(Key.Hi, Key.Lo);
+  return Key;
+}

@@ -1,0 +1,38 @@
+//===- cluster/Key.h - Ring key of a job request ----------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The routing key the cluster layer hashes onto the ring. The true
+/// instance fingerprint (milp/Fingerprint.h) is only computable *after*
+/// profiling, which happens on a backend — so the router keys on the
+/// normalized request content instead: everything in a JobRequest that
+/// feeds the instance (workload, categories with weights normalized to
+/// probabilities, the resolved deadline field, filter threshold, initial
+/// mode, level count, capacitance), and nothing that does not (the
+/// caller-chosen id). Two requests describing the same optimization
+/// problem therefore land on the same shard, which is exactly what the
+/// per-shard content-addressed cache and single-flight dedup need; the
+/// backend-side PeerFiller computes the same key, so router and backend
+/// agree on a key's previous owner after a ring rebuild without talking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_CLUSTER_KEY_H
+#define CDVS_CLUSTER_KEY_H
+
+#include "milp/Fingerprint.h"
+#include "service/Job.h"
+
+namespace cdvs {
+namespace cluster {
+
+/// \returns the 128-bit ring key of \p R; see the file comment.
+Fingerprint128 requestKey(const JobRequest &R);
+
+} // namespace cluster
+} // namespace cdvs
+
+#endif // CDVS_CLUSTER_KEY_H

@@ -1,0 +1,129 @@
+//===- cluster/PeerFill.cpp - Cross-node cache fill ------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/PeerFill.h"
+
+#include "cluster/Key.h"
+
+using namespace cdvs;
+using namespace cdvs::cluster;
+
+PeerFiller::PeerFiller(PeerFillOptions O)
+    : Opts(std::move(O)), Ring(Opts.VirtualNodes) {
+  for (const std::string &Name : Opts.Peers) {
+    if (Name == Opts.Self || !Ring.add(Name))
+      continue;
+    ErrorOr<Address> A = parseAddress(Name);
+    if (!A) {
+      // An unparseable peer can never be fetched from; keep it off the
+      // ring rather than routing fetches into guaranteed errors.
+      Ring.remove(Name);
+      continue;
+    }
+    auto P = std::make_unique<Peer>();
+    P->Addr = *A;
+    PeersByName.emplace(Name, std::move(P));
+  }
+  // Pre-registered so the families exist (at zero) in every snapshot a
+  // backend exports, fetched-from or not.
+  FetchesCtr = &obs::metrics().counter(
+      "cdvs_cluster_peer_fetches_total",
+      "PeerFetch round trips attempted before cold solves");
+  FillsCtr = &obs::metrics().counter(
+      "cdvs_cluster_peer_fills_total",
+      "cache misses satisfied by a peer instead of a cold solve");
+  MissesCtr = &obs::metrics().counter(
+      "cdvs_cluster_peer_fetch_misses_total",
+      "PeerFetch probes the peer answered not-found");
+  ErrorsCtr = &obs::metrics().counter(
+      "cdvs_cluster_peer_fetch_errors_total",
+      "PeerFetch connect/transport/decode failures");
+}
+
+PeerFillStats PeerFiller::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  return Stats;
+}
+
+ErrorOr<PeerData> PeerFiller::fetchFrom(Peer &P,
+                                        const std::string &FingerprintHex) {
+  std::lock_guard<std::mutex> Lock(P.Mu);
+  if (!P.Conn.connected()) {
+    net::ClientOptions CO;
+    CO.ConnectTimeoutMs = Opts.ConnectTimeoutMs;
+    CO.RequestTimeoutMs = Opts.FetchTimeoutMs;
+    ErrorOr<net::Client> C =
+        net::Client::connect(P.Addr.Host, P.Addr.Port, CO);
+    if (!C)
+      return makeError(C.message());
+    P.Conn = std::move(*C);
+  }
+  ErrorOr<uint64_t> Corr = P.Conn.sendPeerFetch(FingerprintHex);
+  if (!Corr) {
+    P.Conn.close();
+    return makeError(Corr.message());
+  }
+  for (;;) {
+    ErrorOr<net::Frame> F = P.Conn.readFrame(Opts.FetchTimeoutMs);
+    if (!F) {
+      // Timeout/EOF/framing: this connection can no longer be trusted
+      // to deliver our answer; drop it and reconnect on the next fill.
+      P.Conn.close();
+      return makeError(F.message());
+    }
+    if (F->Correlation != *Corr)
+      continue; // stale answer from an earlier abandoned fetch
+    if (F->Type == net::FrameType::Reject) {
+      ErrorOr<net::RejectInfo> R = net::decodeReject(F->Payload);
+      return makeError("peer rejected fetch: " +
+                       (R ? R->Code + ": " + R->Reason
+                          : std::string("unparseable reject")));
+    }
+    if (F->Type != net::FrameType::PeerData)
+      continue;
+    return peerDataFromJsonText(F->Payload);
+  }
+}
+
+std::shared_ptr<const CachedSchedule>
+PeerFiller::fill(const JobRequest &Req, const std::string &FingerprintHex) {
+  if (Ring.empty())
+    return nullptr;
+  // The previous owner: with this backend absent from the membership —
+  // exactly the ring the router routed on while this backend was down —
+  // the key's owner is whoever solved (and cached) it in the interim.
+  const std::string *Owner = Ring.ownerOf(requestKey(Req));
+  if (!Owner)
+    return nullptr;
+  auto It = PeersByName.find(*Owner);
+  if (It == PeersByName.end())
+    return nullptr;
+
+  FetchesCtr->inc();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats.Fetches;
+  }
+  ErrorOr<PeerData> D = fetchFrom(*It->second, FingerprintHex);
+  if (!D) {
+    ErrorsCtr->inc();
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats.Errors;
+    return nullptr;
+  }
+  if (!D->Found) {
+    MissesCtr->inc();
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats.Misses;
+    return nullptr;
+  }
+  FillsCtr->inc();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats.Fills;
+  }
+  return D->Value;
+}

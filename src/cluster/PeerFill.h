@@ -1,0 +1,120 @@
+//===- cluster/PeerFill.h - Cross-node cache fill ---------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend side of the cluster's cache-migration story. When the
+/// router rebuilds its ring (a backend died, or came back), some keys
+/// change owner; the new owner's cache is cold for them even though the
+/// schedule was already solved elsewhere. PeerFiller plugs into
+/// ServiceOptions::PeerFill: on a local cache miss it computes the same
+/// ring key the router used, asks "who owned this key when I was not a
+/// member" — the ring over the peer set minus self, which is exactly the
+/// ring the router routed on while this backend was out — and sends that
+/// peer one PeerFetch frame. A found PeerData answer becomes the cached
+/// value (bit-exact, so responses stay byte-identical to the origin's);
+/// a miss or any transport error falls through to the cold solve, so
+/// peer fill can only ever save work, never lose a request.
+///
+/// Runs inside the single-flight leader on a pipeline worker thread, so
+/// one fetch covers all concurrent duplicates of a key. fill() may be
+/// called concurrently for different keys; each peer has its own pooled
+/// connection behind its own lock, so fetches to different peers do not
+/// serialize each other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_CLUSTER_PEERFILL_H
+#define CDVS_CLUSTER_PEERFILL_H
+
+#include "cluster/Address.h"
+#include "cluster/Ring.h"
+#include "net/Client.h"
+#include "obs/Metrics.h"
+#include "service/JobIO.h"
+#include "service/Service.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cdvs {
+namespace cluster {
+
+/// Knobs for a PeerFiller.
+struct PeerFillOptions {
+  /// This backend's advertised "host:port"; excluded from the peer ring.
+  std::string Self;
+  /// Full cluster membership ("host:port" each); may include Self.
+  std::vector<std::string> Peers;
+  /// Must match the router's ring geometry.
+  int VirtualNodes = 64;
+  /// Short on purpose: a slow peer must cost less than the solve the
+  /// fetch is trying to avoid.
+  int ConnectTimeoutMs = 1'000;
+  int FetchTimeoutMs = 3'000;
+};
+
+/// What the filler has done so far.
+struct PeerFillStats {
+  long Fetches = 0; ///< PeerFetch round trips attempted
+  long Fills = 0;   ///< answered found: cache filled, solve skipped
+  long Misses = 0;  ///< peer did not have the key (cold solve follows)
+  long Errors = 0;  ///< connect/transport/decode failures (ditto)
+};
+
+/// Cross-node cache filler; see the file comment.
+class PeerFiller {
+public:
+  explicit PeerFiller(PeerFillOptions Opts);
+
+  /// The ServiceOptions::PeerFill entry point: fetch the solved
+  /// schedule for \p FingerprintHex from the previous ring owner of
+  /// \p Req's key, or nullptr to solve cold.
+  std::shared_ptr<const CachedSchedule>
+  fill(const JobRequest &Req, const std::string &FingerprintHex);
+
+  /// Binds fill() as a ServiceOptions::PeerFill functor. The filler
+  /// must outlive the service it is installed into.
+  PeerFillFn asFn() {
+    return [this](const JobRequest &Req, const std::string &Fp) {
+      return fill(Req, Fp);
+    };
+  }
+
+  PeerFillStats stats() const;
+  /// Peers actually on the fill ring (membership minus self).
+  std::vector<std::string> peers() const { return Ring.members(); }
+
+private:
+  struct Peer {
+    Address Addr;
+    std::mutex Mu; ///< guards Conn; held across one fetch round trip
+    net::Client Conn;
+  };
+
+  /// One PeerFetch round trip on \p P's pooled connection; any error
+  /// drops the connection (the next fill reconnects).
+  ErrorOr<PeerData> fetchFrom(Peer &P, const std::string &FingerprintHex);
+
+  PeerFillOptions Opts;
+  HashRing Ring; ///< peers minus self; immutable after construction
+  std::map<std::string, std::unique_ptr<Peer>> PeersByName;
+
+  mutable std::mutex StatsMu;
+  PeerFillStats Stats;
+
+  obs::Counter *FetchesCtr = nullptr;
+  obs::Counter *FillsCtr = nullptr;
+  obs::Counter *MissesCtr = nullptr;
+  obs::Counter *ErrorsCtr = nullptr;
+};
+
+} // namespace cluster
+} // namespace cdvs
+
+#endif // CDVS_CLUSTER_PEERFILL_H

@@ -1,0 +1,82 @@
+//===- cluster/Ring.cpp - Consistent-hash ring over backends ---------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Ring.h"
+
+#include "support/Hash.h"
+
+using namespace cdvs;
+using namespace cdvs::cluster;
+
+namespace {
+
+uint64_t pointOf(const std::string &Member, int Replica) {
+  HashBuilder H;
+  H.add(std::string("cdvs-ring-point-v1"));
+  H.add(Member);
+  H.add(static_cast<uint64_t>(Replica));
+  uint64_t Hi, Lo;
+  H.digestRaw(Hi, Lo);
+  return Hi ^ Lo;
+}
+
+} // namespace
+
+HashRing::HashRing(int VirtualNodes)
+    : Vnodes(VirtualNodes < 1 ? 1 : VirtualNodes) {}
+
+bool HashRing::add(const std::string &Member) {
+  if (!Members.insert(Member).second)
+    return false;
+  for (int R = 0; R < Vnodes; ++R)
+    Points.emplace(pointOf(Member, R), Member);
+  return true;
+}
+
+bool HashRing::remove(const std::string &Member) {
+  if (Members.erase(Member) == 0)
+    return false;
+  for (int R = 0; R < Vnodes; ++R) {
+    auto It = Points.find(pointOf(Member, R));
+    // A collided point may belong to another member; leave it.
+    if (It != Points.end() && It->second == Member)
+      Points.erase(It);
+  }
+  return true;
+}
+
+uint64_t HashRing::position(const Fingerprint128 &Key) {
+  // The fingerprint halves are already avalanched content hashes; fold
+  // both so keys differing in only one half still spread.
+  return Key.Hi ^ (Key.Lo * 0x9e3779b97f4a7c15ULL);
+}
+
+const std::string *HashRing::ownerOf(const Fingerprint128 &Key) const {
+  if (Points.empty())
+    return nullptr;
+  auto It = Points.lower_bound(position(Key));
+  if (It == Points.end())
+    It = Points.begin(); // wrap: the circle has no seam
+  return &It->second;
+}
+
+std::vector<std::string>
+HashRing::ownersOf(const Fingerprint128 &Key, size_t Count) const {
+  std::vector<std::string> Out;
+  if (Points.empty() || Count == 0)
+    return Out;
+  std::set<std::string> Seen;
+  auto It = Points.lower_bound(position(Key));
+  for (size_t Steps = 0; Steps < Points.size() && Out.size() < Count;
+       ++Steps) {
+    if (It == Points.end())
+      It = Points.begin();
+    if (Seen.insert(It->second).second)
+      Out.push_back(It->second);
+    ++It;
+  }
+  return Out;
+}

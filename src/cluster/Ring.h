@@ -1,0 +1,89 @@
+//===- cluster/Ring.h - Consistent-hash ring over backends ------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The consistent-hash ring that shards solve requests across dvs-server
+/// backends: each member ("host:port") contributes VirtualNodes points on
+/// a 64-bit circle, a key (the 128-bit milp/Fingerprint instance hash)
+/// lands on the first point clockwise from its position, and that
+/// point's member owns the key. Virtual nodes smooth the load split;
+/// consistency means removing one of N members reassigns only the keys
+/// that member owned — about 1/N of them — so the content-addressed
+/// result caches on the surviving backends stay warm through membership
+/// churn (the ≥(N-1)/N stability property the cluster tests pin down).
+///
+/// Positions are content hashes (support/Hash.h), so every router and
+/// every backend that knows the same member list computes the same ring
+/// — the PeerFill path (cluster/PeerFill.h) relies on agreeing with the
+/// router about who owned a key before a rebuild, with no coordination
+/// traffic.
+///
+/// Single-owner: the router mutates its ring on its loop thread;
+/// PeerFiller's ring is immutable after construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_CLUSTER_RING_H
+#define CDVS_CLUSTER_RING_H
+
+#include "milp/Fingerprint.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cdvs {
+namespace cluster {
+
+/// Consistent-hash ring; see the file comment.
+class HashRing {
+public:
+  /// \p VirtualNodes points per member; more points, smoother split,
+  /// larger rebuild cost. 64 keeps the max/mean member load under ~1.3
+  /// for small clusters.
+  explicit HashRing(int VirtualNodes = 64);
+
+  /// Adds \p Member ("host:port"). \returns false when already present.
+  bool add(const std::string &Member);
+  /// Removes \p Member and its points. \returns false when absent.
+  bool remove(const std::string &Member);
+
+  bool contains(const std::string &Member) const {
+    return Members.count(Member) != 0;
+  }
+  size_t size() const { return Members.size(); }
+  bool empty() const { return Members.empty(); }
+  std::vector<std::string> members() const {
+    return std::vector<std::string>(Members.begin(), Members.end());
+  }
+
+  /// The member owning \p Key, or nullptr on an empty ring. The pointer
+  /// stays valid until the next add()/remove().
+  const std::string *ownerOf(const Fingerprint128 &Key) const;
+
+  /// The first \p Count distinct members clockwise from \p Key — the
+  /// owner first, then the failover order the router walks when the
+  /// owner is down or already tried.
+  std::vector<std::string> ownersOf(const Fingerprint128 &Key,
+                                    size_t Count) const;
+
+  /// The ring position of \p Key (both halves folded in).
+  static uint64_t position(const Fingerprint128 &Key);
+
+private:
+  int Vnodes;
+  /// position -> member; first-inserted wins a (vanishingly rare) point
+  /// collision, and remove() only erases its own member's points.
+  std::map<uint64_t, std::string> Points;
+  std::set<std::string> Members;
+};
+
+} // namespace cluster
+} // namespace cdvs
+
+#endif // CDVS_CLUSTER_RING_H

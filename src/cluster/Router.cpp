@@ -1,0 +1,1006 @@
+//===- cluster/Router.cpp - Sharding front end over dvs-servers ------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Router.h"
+
+#include "cluster/Key.h"
+#include "obs/Trace.h"
+#include "service/JobIO.h"
+#include "service/JsonLite.h"
+#include "support/Clock.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace cdvs;
+using namespace cdvs::cluster;
+using net::EvErr;
+using net::EvHup;
+using net::EvIn;
+using net::EvOut;
+
+Router::Router(RouterOptions O)
+    : Opts(std::move(O)), Ring(Opts.VirtualNodes) {}
+
+Router::~Router() { stop(); }
+
+Router::Backend *Router::backendByName(const std::string &Name) {
+  for (auto &B : Backends)
+    if (B->Name == Name)
+      return B.get();
+  return nullptr;
+}
+
+ErrorOr<bool> Router::start() {
+  if (Started)
+    return makeError("router already started");
+  if (Opts.Backends.empty())
+    return makeError("router needs at least one backend");
+  if (!Wakeup.valid())
+    return makeError("wakeup fd unavailable");
+
+  for (const std::string &Text : Opts.Backends) {
+    ErrorOr<Address> A = parseAddress(Text);
+    if (!A)
+      return makeError(A.message());
+    const std::string Name = A->name();
+    if (backendByName(Name))
+      return makeError("duplicate backend '" + Name + "'");
+    auto B = std::make_unique<Backend>(Opts.MaxFrameBytes);
+    B->Addr = *A;
+    B->Name = Name;
+    B->RequestsCtr = &obs::metrics().counter(
+        "cdvs_cluster_requests_total",
+        "requests proxied to each backend, retries included",
+        {{"backend", Name}});
+    B->UpGauge = &obs::metrics().gauge(
+        "cdvs_cluster_backend_up",
+        "1 while the backend is on the ring, 0 while evicted",
+        {{"backend", Name}});
+    B->UpGauge->set(1);
+    B->LatencyHist = &obs::metrics().histogram(
+        "cdvs_cluster_upstream_latency_seconds",
+        "router-observed time from proxied send to backend answer",
+        obs::latencyBucketsSeconds(), {{"backend", Name}});
+    Ring.add(Name);
+    HealthView[Name] = true;
+    Backends.push_back(std::move(B));
+  }
+
+  BackendsGauge = &obs::metrics().gauge(
+      "cdvs_cluster_backends", "backends currently on the ring");
+  BackendsGauge->set(static_cast<double>(Ring.size()));
+  ClientConnsGauge = &obs::metrics().gauge(
+      "cdvs_cluster_client_connections",
+      "client connections open on the router");
+  ClientConnsGauge->set(0);
+  RetriesCtr = &obs::metrics().counter(
+      "cdvs_cluster_retries_total",
+      "in-flight requests re-routed to the next ring owner");
+  EvictionsCtr = &obs::metrics().counter(
+      "cdvs_cluster_backend_evictions_total",
+      "backends evicted from the ring after consecutive transport "
+      "failures");
+  ReinstatementsCtr = &obs::metrics().counter(
+      "cdvs_cluster_backend_reinstatements_total",
+      "evicted backends that answered a probe and rejoined the ring");
+  RejectsCtr = &obs::metrics().counter(
+      "cdvs_cluster_rejects_total",
+      "router-originated rejects (bad request, no backends, exhausted "
+      "retry budget)");
+
+  ErrorOr<int> L = net::listenTcp(Opts.BindAddress, Opts.Port,
+                                  Opts.Backlog);
+  if (!L)
+    return makeError(L.message());
+  ListenFd = *L;
+  ErrorOr<uint16_t> P = net::localPort(ListenFd);
+  if (!P) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return makeError(P.message());
+  }
+  BoundPort = *P;
+
+  Io = net::Poller::create(Opts.ForcePoll);
+  IoBackend = Io->backendName();
+  Io->add(Wakeup.fd(), EvIn);
+  Io->add(ListenFd, EvIn);
+
+  StopRequested.store(false, std::memory_order_release);
+  DrainRequested.store(false, std::memory_order_release);
+  Started = true;
+  LoopThread = std::thread([this] { loop(); });
+  return true;
+}
+
+void Router::beginDrain() {
+  DrainRequested.store(true, std::memory_order_release);
+  Wakeup.notify();
+}
+
+bool Router::waitDrained(double TimeoutSeconds) {
+  std::unique_lock<std::mutex> Lock(StateMu);
+  if (TimeoutSeconds <= 0)
+    return Drained;
+  return DrainedCv.wait_for(Lock,
+                            std::chrono::duration<double>(TimeoutSeconds),
+                            [this] { return Drained; });
+}
+
+void Router::stop() {
+  if (!Started)
+    return;
+  StopRequested.store(true, std::memory_order_release);
+  Wakeup.notify();
+  if (LoopThread.joinable())
+    LoopThread.join();
+  Started = false;
+}
+
+RouterStats Router::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  RouterStats S = Counters;
+  S.HealthyBackends = 0;
+  for (const auto &KV : HealthView)
+    if (KV.second)
+      ++S.HealthyBackends;
+  return S;
+}
+
+std::vector<std::pair<std::string, bool>> Router::backendHealth() const {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  return {HealthView.begin(), HealthView.end()};
+}
+
+//===----------------------------------------------------------------------===//
+// The loop
+//===----------------------------------------------------------------------===//
+
+void Router::loop() {
+  uint64_t Now = monotonicNanos();
+  for (auto &B : Backends)
+    startConnect(*B, Now);
+  armHealthTimer(Now);
+
+  std::vector<net::PollEvent> Events;
+  while (!StopRequested.load(std::memory_order_acquire)) {
+    if (DrainRequested.load(std::memory_order_acquire) && !DrainStarted)
+      startDrainOnLoop();
+    Now = monotonicNanos();
+    Wheel.advance(Now);
+    int N = Io->wait(Events, Wheel.pollTimeoutMs(Now));
+    if (N < 0)
+      break;
+    Now = monotonicNanos();
+    Tombstones.clear();
+    for (const net::PollEvent &E : Events) {
+      if (StopRequested.load(std::memory_order_acquire))
+        break;
+      if (Tombstones.count(E.Fd))
+        continue;
+      if (E.Fd == Wakeup.fd()) {
+        Wakeup.drain();
+        continue;
+      }
+      if (E.Fd == ListenFd) {
+        if (E.Events & (EvIn | EvErr))
+          acceptReady(Now);
+        continue;
+      }
+      auto BIt = BackendByFd.find(E.Fd);
+      if (BIt != BackendByFd.end()) {
+        backendEvent(*BIt->second, E.Events, Now);
+        continue;
+      }
+      auto CIt = ClientByFd.find(E.Fd);
+      if (CIt != ClientByFd.end())
+        clientEvent(CIt->second, E.Events, Now);
+    }
+  }
+  teardown();
+}
+
+void Router::teardown() {
+  std::vector<uint64_t> Ids;
+  Ids.reserve(ClientsById.size());
+  for (const auto &KV : ClientsById)
+    Ids.push_back(KV.first);
+  for (uint64_t Id : Ids)
+    closeClient(Id);
+  for (auto &B : Backends)
+    closeBackendLink(*B);
+  if (ListenFd >= 0) {
+    Io->remove(ListenFd);
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  Io->remove(Wakeup.fd());
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Drained = true;
+  }
+  DrainedCv.notify_all();
+}
+
+void Router::startDrainOnLoop() {
+  DrainStarted = true;
+  if (ListenFd >= 0) {
+    Io->remove(ListenFd);
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  std::vector<uint64_t> Ids;
+  Ids.reserve(ClientsById.size());
+  for (const auto &KV : ClientsById)
+    Ids.push_back(KV.first);
+  for (uint64_t Id : Ids) {
+    auto It = ClientsById.find(Id);
+    if (It == ClientsById.end())
+      continue;
+    ClientConn &C = *It->second;
+    updateClientSubscription(C);
+    maybeFinishClient(C);
+  }
+  finishDrainIfIdle();
+}
+
+void Router::finishDrainIfIdle() {
+  if (!DrainStarted || !ClientsById.empty())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Drained = true;
+  }
+  DrainedCv.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// Client side
+//===----------------------------------------------------------------------===//
+
+void Router::acceptReady(uint64_t NowNs) {
+  (void)NowNs;
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (ClientsById.size() >= Opts.MaxConnections) {
+      // Best-effort structured refusal; the socket is still blocking so
+      // a tiny frame either goes out now or not at all.
+      std::string R = net::encodeFrame(
+          net::FrameType::Reject, 0,
+          net::encodeReject("busy", "router connection limit reached"));
+      ::send(Fd, R.data(), R.size(), MSG_NOSIGNAL);
+      ::close(Fd);
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.ConnectionsRejected;
+      continue;
+    }
+    net::setNonBlocking(Fd);
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    uint64_t Id = NextClientId++;
+    auto C = std::make_unique<ClientConn>(Opts.MaxFrameBytes);
+    C->Fd = Fd;
+    C->Id = Id;
+    if (!Io->add(Fd, EvIn)) {
+      ::close(Fd);
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.ConnectionsRejected;
+      continue;
+    }
+    C->Subscribed = EvIn;
+    ClientByFd[Fd] = Id;
+    ClientsById[Id] = std::move(C);
+    ClientConnsGauge->set(static_cast<double>(ClientsById.size()));
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.ConnectionsAccepted;
+    Counters.OpenConnections = ClientsById.size();
+  }
+}
+
+void Router::clientEvent(uint64_t Id, unsigned Events, uint64_t NowNs) {
+  auto It = ClientsById.find(Id);
+  if (It == ClientsById.end())
+    return;
+  ClientConn &C = *It->second;
+  if (Events & EvErr) {
+    closeClient(Id);
+    return;
+  }
+  if (Events & EvOut) {
+    flushClient(C);
+    if (!ClientsById.count(Id))
+      return;
+  }
+  if (!(Events & (EvIn | EvHup)))
+    return;
+  char Buf[64 * 1024];
+  for (;;) {
+    ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      C.Parser.feed(Buf, static_cast<size_t>(N));
+      processClientFrames(C, NowNs);
+      if (!ClientsById.count(Id))
+        return;
+      continue;
+    }
+    if (N == 0) {
+      C.SawEof = true;
+      if (C.Parser.buffered() > 0) {
+        // Hung up mid-frame: nothing more can be trusted or answered.
+        {
+          std::lock_guard<std::mutex> Lock(StatsMu);
+          ++Counters.ProtocolErrors;
+        }
+        closeClient(Id);
+        return;
+      }
+      updateClientSubscription(C);
+      maybeFinishClient(C);
+      return;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return;
+    closeClient(Id);
+    return;
+  }
+}
+
+void Router::processClientFrames(ClientConn &C, uint64_t NowNs) {
+  net::Frame F;
+  for (;;) {
+    if (C.CloseAfterFlush)
+      return;
+    net::FrameParser::Next R = C.Parser.next(F);
+    if (R == net::FrameParser::Next::NeedMore)
+      return;
+    if (R == net::FrameParser::Next::Error) {
+      {
+        std::lock_guard<std::mutex> Lock(StatsMu);
+        ++Counters.ProtocolErrors;
+      }
+      sendClientReject(C, 0, net::wireStatusName(C.Parser.error()),
+                       "framing error; closing");
+      C.CloseAfterFlush = true;
+      updateClientSubscription(C);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.FramesIn;
+    }
+    switch (F.Type) {
+    case net::FrameType::Request:
+      routeRequest(C, F, NowNs);
+      break;
+    case net::FrameType::Ping:
+      enqueueClientFrame(C, net::FrameType::Pong, F.Correlation, "");
+      break;
+    default:
+      {
+        std::lock_guard<std::mutex> Lock(StatsMu);
+        ++Counters.ProtocolErrors;
+      }
+      sendClientReject(C, F.Correlation, "bad_type",
+                       std::string("unexpected frame type ") +
+                           net::frameTypeName(F.Type));
+      C.CloseAfterFlush = true;
+      updateClientSubscription(C);
+      return;
+    }
+  }
+}
+
+void Router::routeRequest(ClientConn &C, net::Frame &F, uint64_t NowNs) {
+  if (!C.Pending.insert(F.Correlation).second) {
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.ProtocolErrors;
+    }
+    sendClientReject(C, F.Correlation, "bad_request",
+                     "correlation id already in flight");
+    return;
+  }
+  ErrorOr<JobRequest> Req = jobRequestFromJsonText(F.Payload);
+  if (!Req) {
+    C.Pending.erase(F.Correlation);
+    sendClientReject(C, F.Correlation, "bad_request", Req.message());
+    return;
+  }
+  if (Ring.empty()) {
+    C.Pending.erase(F.Correlation);
+    sendClientReject(C, F.Correlation, "no_backends",
+                     "no healthy backends on the ring");
+    return;
+  }
+  PendingRequest P;
+  P.ClientId = C.Id;
+  P.ClientCorr = F.Correlation;
+  P.Payload = std::move(F.Payload);
+  P.Key = requestKey(*Req);
+  P.RetriesLeft = Opts.RetryBudget;
+  P.StartNs = NowNs;
+  ++C.InFlight;
+  const std::string *Owner = Ring.ownerOf(P.Key);
+  Backend *B = Owner ? backendByName(*Owner) : nullptr;
+  if (!B) {
+    rejectPending(P, "no_backends", "ring lookup failed");
+    return;
+  }
+  sendToBackend(*B, std::move(P), NowNs);
+}
+
+void Router::enqueueClientFrame(ClientConn &C, net::FrameType Type,
+                                uint64_t Correlation,
+                                const std::string &Payload) {
+  C.WriteQ.push_back(net::encodeFrame(Type, Correlation, Payload));
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.FramesOut;
+  }
+  updateClientSubscription(C);
+}
+
+void Router::sendClientReject(ClientConn &C, uint64_t Correlation,
+                              const std::string &Code,
+                              const std::string &Reason) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.RejectsSent;
+  }
+  RejectsCtr->inc();
+  enqueueClientFrame(C, net::FrameType::Reject, Correlation,
+                     net::encodeReject(Code, Reason));
+}
+
+void Router::flushClient(ClientConn &C) {
+  uint64_t Id = C.Id;
+  while (!C.WriteQ.empty()) {
+    const std::string &Front = C.WriteQ.front();
+    ssize_t N = ::send(C.Fd, Front.data() + C.WriteOff,
+                       Front.size() - C.WriteOff, MSG_NOSIGNAL);
+    if (N > 0) {
+      C.WriteOff += static_cast<size_t>(N);
+      if (C.WriteOff == Front.size()) {
+        C.WriteQ.pop_front();
+        C.WriteOff = 0;
+      }
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    closeClient(Id);
+    return;
+  }
+  if (C.WriteQ.empty()) {
+    bool Done = C.CloseAfterFlush ||
+                ((C.SawEof || DrainStarted) && C.InFlight == 0);
+    if (Done) {
+      closeClient(Id);
+      return;
+    }
+  }
+  updateClientSubscription(C);
+}
+
+void Router::updateClientSubscription(ClientConn &C) {
+  unsigned Want = 0;
+  if (!C.CloseAfterFlush && !C.SawEof && !DrainStarted)
+    Want |= EvIn;
+  if (!C.WriteQ.empty())
+    Want |= EvOut;
+  if (Want != C.Subscribed) {
+    Io->update(C.Fd, Want);
+    C.Subscribed = Want;
+  }
+}
+
+void Router::maybeFinishClient(ClientConn &C) {
+  if (!C.WriteQ.empty())
+    return;
+  if (C.CloseAfterFlush ||
+      ((C.SawEof || DrainStarted) && C.InFlight == 0))
+    closeClient(C.Id);
+}
+
+void Router::closeClient(uint64_t Id) {
+  auto It = ClientsById.find(Id);
+  if (It == ClientsById.end())
+    return;
+  ClientConn &C = *It->second;
+  Io->remove(C.Fd);
+  ClientByFd.erase(C.Fd);
+  Tombstones.insert(C.Fd);
+  ::close(C.Fd);
+  // Requests still riding backends are left in place; their answers
+  // will find no client and count as orphans, which is the truth.
+  ClientsById.erase(It);
+  ClientConnsGauge->set(static_cast<double>(ClientsById.size()));
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.ConnectionsClosed;
+    Counters.OpenConnections = ClientsById.size();
+  }
+  finishDrainIfIdle();
+}
+
+//===----------------------------------------------------------------------===//
+// Backend side
+//===----------------------------------------------------------------------===//
+
+void Router::startConnect(Backend &B, uint64_t NowNs) {
+  if (B.Conn != Backend::Link::Idle)
+    return;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    transportFailure(B, "socket() failed", NowNs);
+    return;
+  }
+  net::setNonBlocking(Fd);
+  sockaddr_in A{};
+  A.sin_family = AF_INET;
+  A.sin_port = htons(B.Addr.Port);
+  if (::inet_pton(AF_INET, B.Addr.Host.c_str(), &A.sin_addr) != 1) {
+    ::close(Fd);
+    transportFailure(B, "address not numeric IPv4", NowNs);
+    return;
+  }
+  int Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A));
+  if (Rc != 0 && errno != EINPROGRESS) {
+    ::close(Fd);
+    transportFailure(B, "connect failed", NowNs);
+    return;
+  }
+  B.Fd = Fd;
+  B.Parser = net::FrameParser(Opts.MaxFrameBytes);
+  BackendByFd[Fd] = &B;
+  B.Conn = Backend::Link::Connecting;
+  if (!Io->add(Fd, EvOut)) {
+    transportFailure(B, "poller add failed", NowNs);
+    return;
+  }
+  B.Subscribed = EvOut;
+  if (Rc == 0) {
+    onBackendConnected(B);
+    return;
+  }
+  Backend *BP = &B;
+  B.ConnectTimer = Wheel.schedule(
+      NowNs, Opts.ConnectTimeoutMs * 1'000'000ull, [this, BP] {
+        if (BP->Conn != Backend::Link::Connecting)
+          return;
+        BP->ConnectTimer = 0;
+        transportFailure(*BP, "connect timeout", monotonicNanos());
+      });
+}
+
+void Router::onBackendConnected(Backend &B) {
+  if (B.ConnectTimer) {
+    Wheel.cancel(B.ConnectTimer);
+    B.ConnectTimer = 0;
+  }
+  int One = 1;
+  ::setsockopt(B.Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  B.Conn = Backend::Link::Up;
+  // Probe ping: reinstatement is gated on an answered Pong, so a
+  // process that accepts but cannot speak the protocol never rejoins.
+  B.PingCorr = B.NextCorr++;
+  B.WriteQ.push_back(
+      net::encodeFrame(net::FrameType::Ping, B.PingCorr, ""));
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.FramesOut;
+  }
+  B.Subscribed = 0; // force the update below to re-register interest
+  updateBackendSubscription(B);
+}
+
+void Router::backendEvent(Backend &B, unsigned Events, uint64_t NowNs) {
+  if (B.Conn == Backend::Link::Connecting) {
+    if (!(Events & (EvOut | EvErr | EvHup)))
+      return;
+    int Err = 0;
+    socklen_t Len = sizeof(Err);
+    if (::getsockopt(B.Fd, SOL_SOCKET, SO_ERROR, &Err, &Len) != 0)
+      Err = errno ? errno : EIO;
+    if (Err != 0) {
+      transportFailure(B, std::strerror(Err), NowNs);
+      return;
+    }
+    onBackendConnected(B);
+    return;
+  }
+  if (B.Conn != Backend::Link::Up)
+    return;
+  if (Events & EvErr) {
+    transportFailure(B, "socket error", NowNs);
+    return;
+  }
+  if (Events & EvOut) {
+    flushBackend(B);
+    if (B.Conn != Backend::Link::Up)
+      return;
+  }
+  if (!(Events & (EvIn | EvHup)))
+    return;
+  char Buf[64 * 1024];
+  for (;;) {
+    ssize_t N = ::recv(B.Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      B.Parser.feed(Buf, static_cast<size_t>(N));
+      processBackendFrames(B, NowNs);
+      if (B.Conn != Backend::Link::Up)
+        return;
+      continue;
+    }
+    if (N == 0) {
+      transportFailure(B, "backend closed the connection", NowNs);
+      return;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return;
+    transportFailure(B, "recv failed", NowNs);
+    return;
+  }
+}
+
+void Router::processBackendFrames(Backend &B, uint64_t NowNs) {
+  net::Frame F;
+  for (;;) {
+    if (B.Conn != Backend::Link::Up)
+      return;
+    net::FrameParser::Next R = B.Parser.next(F);
+    if (R == net::FrameParser::Next::NeedMore)
+      return;
+    if (R == net::FrameParser::Next::Error) {
+      {
+        std::lock_guard<std::mutex> Lock(StatsMu);
+        ++Counters.ProtocolErrors;
+      }
+      transportFailure(B, "framing error from backend", NowNs);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.FramesIn;
+    }
+    switch (F.Type) {
+    case net::FrameType::Pong:
+      if (F.Correlation == B.PingCorr && B.PingCorr != 0) {
+        B.PingCorr = 0;
+        recover(B);
+      }
+      break;
+    case net::FrameType::Response:
+    case net::FrameType::Reject:
+      deliver(B, F, NowNs);
+      break;
+    case net::FrameType::Ping:
+      B.WriteQ.push_back(
+          net::encodeFrame(net::FrameType::Pong, F.Correlation, ""));
+      {
+        std::lock_guard<std::mutex> Lock(StatsMu);
+        ++Counters.FramesOut;
+      }
+      updateBackendSubscription(B);
+      break;
+    default:
+      {
+        std::lock_guard<std::mutex> Lock(StatsMu);
+        ++Counters.ProtocolErrors;
+      }
+      transportFailure(B,
+                       std::string("unexpected frame type ") +
+                           net::frameTypeName(F.Type),
+                       NowNs);
+      return;
+    }
+  }
+}
+
+void Router::deliver(Backend &B, net::Frame &F, uint64_t NowNs) {
+  auto It = B.InFlight.find(F.Correlation);
+  if (It == B.InFlight.end()) {
+    // A late answer for a request that timed out upstream and was
+    // retried elsewhere, or whose client vanished: drop it.
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.OrphanResponses;
+    return;
+  }
+  PendingRequest P = std::move(It->second);
+  B.InFlight.erase(It);
+  if (P.TimerId) {
+    Wheel.cancel(P.TimerId);
+    P.TimerId = 0;
+  }
+  // An answered request proves the transport works end to end.
+  B.Failures = 0;
+  B.LatencyHist->observe(static_cast<double>(NowNs - P.StartNs) * 1e-9);
+
+  auto CIt = ClientsById.find(P.ClientId);
+  if (CIt == ClientsById.end()) {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.OrphanResponses;
+    return;
+  }
+  ClientConn &C = *CIt->second;
+  if (C.Pending.erase(P.ClientCorr) == 0) {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.OrphanResponses;
+    return;
+  }
+  --C.InFlight;
+  if (F.Type == net::FrameType::Response) {
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.ResponsesRelayed;
+    }
+    if (Opts.AnnotateBackend && !F.Payload.empty() &&
+        F.Payload.front() == '{') {
+      size_t Close = F.Payload.rfind('}');
+      if (Close != std::string::npos)
+        F.Payload.insert(Close, ",\"backend\":\"" +
+                                    jsonEscape(B.Name) + "\"");
+    }
+  } else {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.RejectsRelayed;
+  }
+  enqueueClientFrame(C, F.Type, P.ClientCorr, F.Payload);
+}
+
+void Router::flushBackend(Backend &B) {
+  while (!B.WriteQ.empty()) {
+    const std::string &Front = B.WriteQ.front();
+    ssize_t N = ::send(B.Fd, Front.data() + B.WriteOff,
+                       Front.size() - B.WriteOff, MSG_NOSIGNAL);
+    if (N > 0) {
+      B.WriteOff += static_cast<size_t>(N);
+      if (B.WriteOff == Front.size()) {
+        B.WriteQ.pop_front();
+        B.WriteOff = 0;
+      }
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    transportFailure(B, "send failed", monotonicNanos());
+    return;
+  }
+  updateBackendSubscription(B);
+}
+
+void Router::updateBackendSubscription(Backend &B) {
+  if (B.Conn != Backend::Link::Up || B.Fd < 0)
+    return;
+  unsigned Want = EvIn;
+  if (!B.WriteQ.empty())
+    Want |= EvOut;
+  if (Want != B.Subscribed) {
+    Io->update(B.Fd, Want);
+    B.Subscribed = Want;
+  }
+}
+
+void Router::sendToBackend(Backend &B, PendingRequest P, uint64_t NowNs) {
+  P.Tried.push_back(B.Name);
+  uint64_t Corr = B.NextCorr++;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.RequestsRouted;
+    ++Counters.FramesOut;
+  }
+  B.RequestsCtr->inc();
+  B.WriteQ.push_back(
+      net::encodeFrame(net::FrameType::Request, Corr, P.Payload));
+  if (Opts.UpstreamTimeoutMs > 0) {
+    Backend *BP = &B;
+    P.TimerId = Wheel.schedule(
+        NowNs, Opts.UpstreamTimeoutMs * 1'000'000ull, [this, BP, Corr] {
+          auto It = BP->InFlight.find(Corr);
+          if (It == BP->InFlight.end())
+            return;
+          PendingRequest Timed = std::move(It->second);
+          BP->InFlight.erase(It);
+          Timed.TimerId = 0;
+          {
+            std::lock_guard<std::mutex> Lock(StatsMu);
+            ++Counters.UpstreamTimeouts;
+          }
+          retryPending(std::move(Timed), monotonicNanos());
+        });
+  }
+  B.InFlight.emplace(Corr, std::move(P));
+  switch (B.Conn) {
+  case Backend::Link::Up:
+    updateBackendSubscription(B);
+    break;
+  case Backend::Link::Connecting:
+    break; // queued; flushed by onBackendConnected
+  case Backend::Link::Idle:
+    // Last action on purpose: an immediate connect failure re-enters
+    // transportFailure -> retryPending, which may consume P again.
+    startConnect(B, NowNs);
+    break;
+  }
+}
+
+std::vector<Router::PendingRequest>
+Router::closeBackendLink(Backend &B) {
+  std::vector<PendingRequest> Orphans;
+  if (B.ConnectTimer) {
+    Wheel.cancel(B.ConnectTimer);
+    B.ConnectTimer = 0;
+  }
+  Orphans.reserve(B.InFlight.size());
+  for (auto &KV : B.InFlight) {
+    if (KV.second.TimerId) {
+      Wheel.cancel(KV.second.TimerId);
+      KV.second.TimerId = 0;
+    }
+    Orphans.push_back(std::move(KV.second));
+  }
+  B.InFlight.clear();
+  B.WriteQ.clear();
+  B.WriteOff = 0;
+  B.PingCorr = 0;
+  if (B.Fd >= 0) {
+    Io->remove(B.Fd);
+    BackendByFd.erase(B.Fd);
+    Tombstones.insert(B.Fd);
+    ::close(B.Fd);
+    B.Fd = -1;
+  }
+  B.Subscribed = 0;
+  B.Conn = Backend::Link::Idle;
+  B.Parser = net::FrameParser(Opts.MaxFrameBytes);
+  return Orphans;
+}
+
+void Router::transportFailure(Backend &B, const std::string &Reason,
+                              uint64_t NowNs) {
+  (void)Reason;
+  obs::traceInstant("cluster_backend_failure", "cluster", "failures",
+                    static_cast<double>(B.Failures + 1));
+  std::vector<PendingRequest> Orphans = closeBackendLink(B);
+  ++B.Failures;
+  if (B.Healthy && B.Failures >= Opts.FailThreshold)
+    markDown(B);
+  for (PendingRequest &P : Orphans)
+    retryPending(std::move(P), NowNs);
+}
+
+void Router::markDown(Backend &B) {
+  B.Healthy = false;
+  Ring.remove(B.Name);
+  B.UpGauge->set(0);
+  EvictionsCtr->inc();
+  BackendsGauge->set(static_cast<double>(Ring.size()));
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Counters.BackendEvictions;
+  HealthView[B.Name] = false;
+}
+
+void Router::recover(Backend &B) {
+  B.Failures = 0;
+  if (B.Healthy)
+    return;
+  B.Healthy = true;
+  Ring.add(B.Name);
+  B.UpGauge->set(1);
+  ReinstatementsCtr->inc();
+  BackendsGauge->set(static_cast<double>(Ring.size()));
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Counters.BackendReinstatements;
+  HealthView[B.Name] = true;
+}
+
+void Router::retryPending(PendingRequest P, uint64_t NowNs) {
+  auto CIt = ClientsById.find(P.ClientId);
+  if (CIt == ClientsById.end() ||
+      !CIt->second->Pending.count(P.ClientCorr)) {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.OrphanResponses;
+    return;
+  }
+  if (P.RetriesLeft <= 0) {
+    rejectPending(P, "upstream", "retry budget exhausted");
+    return;
+  }
+  --P.RetriesLeft;
+  Backend *Next = nullptr;
+  for (const std::string &Name :
+       Ring.ownersOf(P.Key, Backends.size())) {
+    if (std::find(P.Tried.begin(), P.Tried.end(), Name) ==
+        P.Tried.end()) {
+      Next = backendByName(Name);
+      break;
+    }
+  }
+  if (!Next) {
+    rejectPending(P, "upstream",
+                  "no healthy backend remains for this key");
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.Retries;
+  }
+  RetriesCtr->inc();
+  sendToBackend(*Next, std::move(P), NowNs);
+}
+
+void Router::rejectPending(PendingRequest &P, const std::string &Code,
+                           const std::string &Reason) {
+  if (P.TimerId) {
+    Wheel.cancel(P.TimerId);
+    P.TimerId = 0;
+  }
+  auto It = ClientsById.find(P.ClientId);
+  if (It == ClientsById.end())
+    return;
+  ClientConn &C = *It->second;
+  if (C.Pending.erase(P.ClientCorr) == 0)
+    return;
+  --C.InFlight;
+  sendClientReject(C, P.ClientCorr, Code, Reason);
+}
+
+void Router::healthTick(uint64_t NowNs) {
+  for (auto &BP : Backends) {
+    Backend &B = *BP;
+    switch (B.Conn) {
+    case Backend::Link::Idle:
+      startConnect(B, NowNs);
+      break;
+    case Backend::Link::Connecting:
+      break; // the connect timer owns this deadline
+    case Backend::Link::Up:
+      if (B.PingCorr != 0) {
+        // Last tick's probe is still unanswered: the link is not
+        // moving frames, whatever the solver threads are doing.
+        transportFailure(B, "ping unanswered", NowNs);
+        break;
+      }
+      B.PingCorr = B.NextCorr++;
+      B.WriteQ.push_back(
+          net::encodeFrame(net::FrameType::Ping, B.PingCorr, ""));
+      {
+        std::lock_guard<std::mutex> Lock(StatsMu);
+        ++Counters.FramesOut;
+      }
+      updateBackendSubscription(B);
+      break;
+    }
+  }
+  armHealthTimer(monotonicNanos());
+}
+
+void Router::armHealthTimer(uint64_t NowNs) {
+  Wheel.schedule(NowNs, Opts.HealthIntervalMs * 1'000'000ull,
+                 [this] { healthTick(monotonicNanos()); });
+}

@@ -49,6 +49,39 @@ void hashProfileContent(HashBuilder &H, const Profile &P) {
 
 } // namespace
 
+std::string Fingerprint128::toHex() const {
+  static const char Hex[] = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (int I = 0; I < 16; ++I) {
+    Out[15 - I] = Hex[(Hi >> (4 * I)) & 0xf];
+    Out[31 - I] = Hex[(Lo >> (4 * I)) & 0xf];
+  }
+  return Out;
+}
+
+ErrorOr<Fingerprint128> Fingerprint128::parseHex(const std::string &Hex) {
+  if (Hex.size() != 32)
+    return makeError("fingerprint hex must be 32 characters, got " +
+                     std::to_string(Hex.size()));
+  Fingerprint128 F;
+  for (size_t I = 0; I < 32; ++I) {
+    char C = Hex[I];
+    uint64_t Nibble;
+    if (C >= '0' && C <= '9')
+      Nibble = static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Nibble = static_cast<uint64_t>(C - 'a' + 10);
+    else if (C >= 'A' && C <= 'F')
+      Nibble = static_cast<uint64_t>(C - 'A' + 10);
+    else
+      return makeError(std::string("fingerprint hex has non-hex byte '") +
+                       C + "' at index " + std::to_string(I));
+    uint64_t &Half = I < 16 ? F.Hi : F.Lo;
+    Half = (Half << 4) | Nibble;
+  }
+  return F;
+}
+
 std::string cdvs::fingerprintProfile(const Profile &P) {
   HashBuilder H;
   hashProfileContent(H, P);

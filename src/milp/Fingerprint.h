@@ -35,11 +35,39 @@
 #include "power/ModeTable.h"
 #include "power/TransitionModel.h"
 #include "profile/Profile.h"
+#include "support/Error.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace cdvs {
+
+/// The 128-bit instance hash as a value type. The string digests that
+/// key the result cache are exactly the toHex() rendering of one of
+/// these; the cluster layer (src/cluster) hashes ring positions and
+/// routes on the numeric halves, and logs/test fixtures round-trip
+/// through the hex form instead of reformatting the halves ad hoc.
+struct Fingerprint128 {
+  uint64_t Hi = 0; ///< first 16 hex characters
+  uint64_t Lo = 0; ///< last 16 hex characters
+
+  /// \returns the canonical 32-lowercase-hex rendering, identical to
+  /// HashBuilder::digest() of the same content.
+  std::string toHex() const;
+
+  /// Parses a 32-hex-character digest (case-insensitive). Errors on any
+  /// other length or a non-hex character.
+  static ErrorOr<Fingerprint128> parseHex(const std::string &Hex);
+
+  bool operator==(const Fingerprint128 &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const Fingerprint128 &O) const { return !(*this == O); }
+  bool operator<(const Fingerprint128 &O) const {
+    return Hi != O.Hi ? Hi < O.Hi : Lo < O.Lo;
+  }
+};
 
 /// \returns the 32-hex-char content address of the DVS MILP instance
 /// defined by profiled \p Categories under \p DeadlinesSeconds (one

@@ -8,9 +8,13 @@
 
 #include "net/EventLoop.h"
 #include "service/JobIO.h"
+#include "service/JsonLite.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -23,7 +27,7 @@ Client::~Client() { close(); }
 
 Client::Client(Client &&Other) noexcept
     : Fd(Other.Fd), NextCorrelation(Other.NextCorrelation),
-      Parser(std::move(Other.Parser)) {
+      Opts(Other.Opts), Parser(std::move(Other.Parser)) {
   Other.Fd = -1;
 }
 
@@ -32,6 +36,7 @@ Client &Client::operator=(Client &&Other) noexcept {
     close();
     Fd = Other.Fd;
     NextCorrelation = Other.NextCorrelation;
+    Opts = Other.Opts;
     Parser = std::move(Other.Parser);
     Other.Fd = -1;
   }
@@ -45,8 +50,35 @@ ErrorOr<Client> Client::connect(const std::string &Host, uint16_t Port,
     return makeError(Fd.message());
   Client C;
   C.Fd = *Fd;
+  C.Opts = Opts;
   C.Parser = FrameParser(Opts.MaxFrameBytes);
   return C;
+}
+
+ErrorOr<Client> Client::connectWithRetry(const std::string &Host,
+                                         uint16_t Port,
+                                         ClientOptions Opts) {
+  int Attempts = std::max(1, Opts.ConnectAttempts);
+  std::string LastError;
+  for (int A = 0; A < Attempts; ++A) {
+    if (A > 0) {
+      // min(Base << (A-1), Max), guarding the shift against overflow.
+      int Shift = std::min(A - 1, 20);
+      long Backoff = static_cast<long>(std::max(0, Opts.ReconnectBaseMs))
+                     << Shift;
+      Backoff = std::min(Backoff,
+                         static_cast<long>(std::max(0, Opts.ReconnectMaxMs)));
+      if (Backoff > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
+    }
+    ErrorOr<Client> C = connect(Host, Port, Opts);
+    if (C)
+      return C;
+    LastError = C.message();
+  }
+  return makeError("connect to " + Host + ":" + std::to_string(Port) +
+                   " failed after " + std::to_string(Attempts) +
+                   " attempt(s): " + LastError);
 }
 
 void Client::close() {
@@ -102,9 +134,24 @@ ErrorOr<uint64_t> Client::ping(uint64_t Correlation) {
   return Correlation;
 }
 
+ErrorOr<uint64_t> Client::sendPeerFetch(const std::string &FingerprintHex,
+                                        uint64_t Correlation) {
+  if (Correlation == 0)
+    Correlation = NextCorrelation++;
+  std::string F = encodeFrame(FrameType::PeerFetch, Correlation,
+                              "{\"fingerprint\":\"" +
+                                  jsonEscape(FingerprintHex) + "\"}");
+  ErrorOr<bool> S = sendRaw(F.data(), F.size());
+  if (!S)
+    return makeError(S.message());
+  return Correlation;
+}
+
 ErrorOr<Frame> Client::readFrame(int TimeoutMs) {
   if (Fd < 0)
     return makeError("not connected");
+  if (TimeoutMs < 0)
+    TimeoutMs = Opts.RequestTimeoutMs > 0 ? Opts.RequestTimeoutMs : -1;
   for (;;) {
     Frame F;
     FrameParser::Next R = Parser.next(F);

@@ -34,6 +34,17 @@ namespace net {
 /// Connection-level knobs for net::Client.
 struct ClientOptions {
   int ConnectTimeoutMs = 5'000;
+  /// Default bound applied when readFrame()/call() are passed a
+  /// negative timeout. A dead or wedged peer therefore stalls a caller
+  /// for at most this long instead of forever; 0 restores the old
+  /// wait-forever behavior.
+  int RequestTimeoutMs = 30'000;
+  /// connectWithRetry(): total connect attempts (>= 1) before giving up.
+  int ConnectAttempts = 1;
+  /// connectWithRetry(): backoff before attempt N+1 is
+  /// min(ReconnectBaseMs << N, ReconnectMaxMs).
+  int ReconnectBaseMs = 50;
+  int ReconnectMaxMs = 2'000;
   /// Per-frame payload cap applied to *received* frames.
   size_t MaxFrameBytes = kDefaultMaxPayloadBytes;
 };
@@ -52,6 +63,14 @@ public:
   static ErrorOr<Client> connect(const std::string &Host, uint16_t Port,
                                  ClientOptions Opts = ClientOptions());
 
+  /// Like connect(), but retries a refused/timed-out connect up to
+  /// Opts.ConnectAttempts times with bounded exponential backoff
+  /// (ReconnectBaseMs doubling per attempt, capped at ReconnectMaxMs).
+  /// The error after the last attempt names how many were made.
+  static ErrorOr<Client> connectWithRetry(const std::string &Host,
+                                          uint16_t Port,
+                                          ClientOptions Opts = ClientOptions());
+
   bool connected() const { return Fd >= 0; }
   int fd() const { return Fd; }
 
@@ -64,13 +83,19 @@ public:
   /// Sends one Ping frame. \returns its correlation id.
   ErrorOr<uint64_t> ping(uint64_t Correlation = 0);
 
+  /// Sends one PeerFetch frame probing the peer's result cache for
+  /// \p FingerprintHex (32 hex chars). \returns its correlation id.
+  ErrorOr<uint64_t> sendPeerFetch(const std::string &FingerprintHex,
+                                  uint64_t Correlation = 0);
+
   /// Writes raw bytes to the socket — protocol tests send truncated and
   /// corrupted frames through this.
   ErrorOr<bool> sendRaw(const void *Data, size_t Len);
 
-  /// Blocks up to \p TimeoutMs for the next complete frame (-1 waits
-  /// forever). Errors on timeout, protocol violations, and EOF (EOF
-  /// with a clean buffer reports "connection closed").
+  /// Blocks up to \p TimeoutMs for the next complete frame. A negative
+  /// timeout means "the default bound": Opts.RequestTimeoutMs, or wait
+  /// forever when that is 0. Errors on timeout, protocol violations,
+  /// and EOF (EOF with a clean buffer reports "connection closed").
   ErrorOr<Frame> readFrame(int TimeoutMs);
 
   /// Synchronous round trip: send \p Request, then read frames until
@@ -89,6 +114,7 @@ public:
 private:
   int Fd = -1;
   uint64_t NextCorrelation = 1;
+  ClientOptions Opts;
   FrameParser Parser{kDefaultMaxPayloadBytes};
 };
 

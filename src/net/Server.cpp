@@ -273,6 +273,8 @@ ServerStats Server::stats() const {
     Out.RequestTimeouts += C.RequestTimeouts;
     Out.SlowFrameCloses += C.SlowFrameCloses;
     Out.LoadSheds += C.LoadSheds;
+    Out.PeerFetches += C.PeerFetches;
+    Out.PeerFetchHits += C.PeerFetchHits;
     Out.HandoffAccepts += C.HandoffAccepts;
     Out.ReadPauses += C.ReadPauses;
     Out.OrphanCompletions += C.OrphanCompletions;
@@ -554,8 +556,11 @@ size_t Server::processFrames(Reactor &R, Connection &C, uint64_t NowNs) {
     case FrameType::Request:
       handleRequest(R, C, F, NowNs);
       break;
+    case FrameType::PeerFetch:
+      handlePeerFetch(R, C, F);
+      break;
     default:
-      // Response/Reject/Pong are server-to-client only.
+      // Response/Reject/Pong/PeerData are server-to-client only.
       {
         std::lock_guard<std::mutex> L(R.StatsMu);
         ++R.Counters.ProtocolErrors;
@@ -661,6 +666,26 @@ void Server::handleRequest(Reactor &R, Connection &C, Frame &F,
     RP->CQ.push(std::move(Cp));
     RP->Wakeup.notify();
   });
+}
+
+void Server::handlePeerFetch(Reactor &R, Connection &C, Frame &F) {
+  // Served inline on the reactor: a peek is two map lookups under a
+  // shard lock, orders of magnitude under a frame round trip, and peer
+  // probes must stay cheap even while the pipeline is saturated.
+  ErrorOr<std::string> Fp = peerFetchFromJsonText(F.Payload);
+  if (!Fp) {
+    sendReject(R, C, F.Correlation, "bad_request", Fp.message());
+    return;
+  }
+  std::shared_ptr<const CachedSchedule> Hit = Service.cachePeek(*Fp);
+  {
+    std::lock_guard<std::mutex> L(R.StatsMu);
+    ++R.Counters.PeerFetches;
+    if (Hit)
+      ++R.Counters.PeerFetchHits;
+  }
+  enqueueFrame(R, C, FrameType::PeerData, F.Correlation,
+               peerDataToJson(Hit.get()));
 }
 
 void Server::handleCompletions(Reactor &R, uint64_t NowNs) {

@@ -148,6 +148,8 @@ struct ServerStats {
   long RequestTimeouts = 0;
   long SlowFrameCloses = 0;    ///< slowloris guard firings
   long LoadSheds = 0;          ///< Reject{"shed"} answers (any class)
+  long PeerFetches = 0;        ///< PeerFetch cache probes served
+  long PeerFetchHits = 0;      ///< ...that found a cached schedule
   long HandoffAccepts = 0;     ///< connections adopted via fd handoff
   long ReadPauses = 0;         ///< backpressure engagements
   long OrphanCompletions = 0;  ///< job finished after its conn closed
@@ -309,6 +311,11 @@ private:
   /// progress tracking).
   size_t processFrames(Reactor &R, Connection &C, uint64_t NowNs);
   void handleRequest(Reactor &R, Connection &C, Frame &F, uint64_t NowNs);
+  /// Answers a backend-to-backend PeerFetch cache probe with PeerData
+  /// (found + serialized schedule, or a miss) from the service's result
+  /// cache — a peek, so peer probes never skew hit/miss counters or LRU
+  /// recency.
+  void handlePeerFetch(Reactor &R, Connection &C, Frame &F);
   /// \returns the shed class ("lax"/"hard") when the reactor's pending
   /// count says this request must be refused, nullptr to admit.
   const char *shedClass(const Reactor &R, const Frame &F) const;

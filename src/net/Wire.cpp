@@ -25,13 +25,17 @@ const char *cdvs::net::frameTypeName(FrameType Type) {
     return "ping";
   case FrameType::Pong:
     return "pong";
+  case FrameType::PeerFetch:
+    return "peer_fetch";
+  case FrameType::PeerData:
+    return "peer_data";
   }
   cdvsUnreachable("bad FrameType");
 }
 
 bool cdvs::net::validFrameType(uint8_t Raw) {
   return Raw >= static_cast<uint8_t>(FrameType::Request) &&
-         Raw <= static_cast<uint8_t>(FrameType::Pong);
+         Raw <= static_cast<uint8_t>(FrameType::PeerData);
 }
 
 const char *cdvs::net::wireStatusName(WireStatus Status) {

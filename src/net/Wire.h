@@ -22,7 +22,11 @@
 /// JSON (service/JobIO.h) — a Request carries one dvsd-style request
 /// object, a Response one result object whose `schedule` field is the
 /// `cdvs-schedule v1` text (dvs/ScheduleIO.h). Reject payloads are a
-/// small {"code","reason"} object; Ping/Pong payloads are empty. The
+/// small {"code","reason"} object; Ping/Pong payloads are empty.
+/// PeerFetch/PeerData are the backend-to-backend cache-fill pair: a
+/// PeerFetch carries {"fingerprint":"<32 hex>"}, its PeerData answer a
+/// {"found",...} object serializing the cached schedule (or a miss) —
+/// see service/JobIO.h. The
 /// correlation id is chosen by the client and echoed verbatim, which is
 /// what lets responses stream back out of order over one connection.
 ///
@@ -57,11 +61,13 @@ inline constexpr size_t kDefaultMaxPayloadBytes = 1u << 20;
 
 /// Frame kinds of cdvs-wire v1.
 enum class FrameType : uint8_t {
-  Request = 1,  ///< client -> server: one JSON job request
-  Response = 2, ///< server -> client: one JSON job result
-  Reject = 3,   ///< server -> client: structured {"code","reason"}
-  Ping = 4,     ///< either direction: liveness probe, empty payload
-  Pong = 5,     ///< answer to Ping, correlation id echoed
+  Request = 1,   ///< client -> server: one JSON job request
+  Response = 2,  ///< server -> client: one JSON job result
+  Reject = 3,    ///< server -> client: structured {"code","reason"}
+  Ping = 4,      ///< either direction: liveness probe, empty payload
+  Pong = 5,      ///< answer to Ping, correlation id echoed
+  PeerFetch = 6, ///< backend -> backend: {"fingerprint"} cache probe
+  PeerData = 7,  ///< answer to PeerFetch: cached schedule, or a miss
 };
 
 /// \returns a printable lower-case name ("request", "response", ...).

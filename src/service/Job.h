@@ -104,6 +104,11 @@ struct JobResult {
   /// First verify error (rendered line) when VerifyErrors > 0.
   std::string VerifyDetail;
 
+  /// "host:port" of the backend that served this result; stamped by
+  /// dvs-router on the way back to the client (empty in single-node
+  /// deployments). Loadgen's per-backend latency breakdown keys on it.
+  std::string Backend;
+
   double QueueSeconds = 0.0;   ///< admission to worker pickup
   double ProfileSeconds = 0.0; ///< profiling stage (0 on profile-cache hit)
   double BoundSeconds = 0.0;   ///< deadline resolution + energy lower bound

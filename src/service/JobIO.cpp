@@ -158,6 +158,8 @@ std::string cdvs::jobResultToJson(const JobResult &R, bool IncludeSchedule,
                 R.SerializeSeconds * 1e3, R.VerifySeconds * 1e3,
                 R.TotalSeconds * 1e3);
   Out += Buf;
+  if (!R.Backend.empty())
+    Out += ",\"backend\":\"" + jsonEscape(R.Backend) + "\"";
   if (!ScheduleFile.empty())
     Out += ",\"schedule_file\":\"" + jsonEscape(ScheduleFile) + "\"";
   if (IncludeSchedule && !R.ScheduleText.empty())
@@ -237,6 +239,7 @@ ErrorOr<JobResult> cdvs::jobResultFromJson(const JsonValue &V) {
   num("serialize_ms", R.SerializeSeconds, 1e-3);
   num("verify_ms", R.VerifySeconds, 1e-3);
   num("total_ms", R.TotalSeconds, 1e-3);
+  str("backend", R.Backend);
   str("schedule", R.ScheduleText);
   return R;
 }
@@ -246,4 +249,93 @@ ErrorOr<JobResult> cdvs::jobResultFromJsonText(const std::string &Text) {
   if (!V)
     return makeError(V.message());
   return jobResultFromJson(*V);
+}
+
+ErrorOr<std::string> cdvs::peerFetchFromJsonText(const std::string &Text) {
+  ErrorOr<JsonValue> V = parseJson(Text);
+  if (!V)
+    return makeError("peer_fetch payload: " + V.message());
+  const JsonValue *F = V->find("fingerprint");
+  if (!F || !F->isString())
+    return makeError("peer_fetch payload needs string 'fingerprint'");
+  if (F->Str.size() != 32)
+    return makeError("peer_fetch fingerprint must be 32 hex chars, got " +
+                     std::to_string(F->Str.size()));
+  for (char C : F->Str)
+    if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f') ||
+          (C >= 'A' && C <= 'F')))
+      return makeError("peer_fetch fingerprint has a non-hex byte");
+  return F->Str;
+}
+
+std::string cdvs::peerDataToJson(const CachedSchedule *C) {
+  if (!C)
+    return "{\"found\":false}";
+  char Buf[256];
+  std::string Out = "{\"found\":true,\"feasible\":";
+  Out += C->Feasible ? "true" : "false";
+  if (!C->Reason.empty())
+    Out += ",\"reason\":\"" + jsonEscape(C->Reason) + "\"";
+  std::snprintf(Buf, sizeof(Buf),
+                ",\"energy_j\":%.17g,\"lower_bound_j\":%.17g,"
+                "\"milp\":\"%s\",\"solve_s\":%.17g,\"serialize_s\":%.17g",
+                C->PredictedEnergyJoules, C->LowerBoundJoules,
+                milpStatusName(C->Milp), C->SolveSeconds,
+                C->SerializeSeconds);
+  Out += Buf;
+  if (C->VerifyErrors >= 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"verify_errors\":%d,\"verify_s\":%.17g",
+                  C->VerifyErrors, C->VerifySeconds);
+    Out += Buf;
+    if (!C->VerifyDetail.empty())
+      Out += ",\"verify_detail\":\"" + jsonEscape(C->VerifyDetail) + "\"";
+  }
+  if (!C->ScheduleText.empty())
+    Out += ",\"schedule\":\"" + jsonEscape(C->ScheduleText) + "\"";
+  Out += "}";
+  return Out;
+}
+
+ErrorOr<PeerData> cdvs::peerDataFromJsonText(const std::string &Text) {
+  ErrorOr<JsonValue> V = parseJson(Text);
+  if (!V)
+    return makeError("peer_data payload: " + V.message());
+  const JsonValue *Found = V->find("found");
+  if (!Found || !Found->isBool())
+    return makeError("peer_data payload needs bool 'found'");
+  PeerData D;
+  if (!Found->B)
+    return D;
+  const JsonValue *Feasible = V->find("feasible");
+  if (!Feasible || !Feasible->isBool())
+    return makeError("found peer_data needs bool 'feasible'");
+  auto C = std::make_shared<CachedSchedule>();
+  C->Feasible = Feasible->B;
+  auto str = [&](const char *Key, std::string &Out) {
+    if (const JsonValue *F = V->find(Key); F && F->isString())
+      Out = F->Str;
+  };
+  auto num = [&](const char *Key, double &Out) {
+    if (const JsonValue *F = V->find(Key); F && F->isNumber())
+      Out = F->Num;
+  };
+  str("reason", C->Reason);
+  str("schedule", C->ScheduleText);
+  num("energy_j", C->PredictedEnergyJoules);
+  num("lower_bound_j", C->LowerBoundJoules);
+  num("solve_s", C->SolveSeconds);
+  num("serialize_s", C->SerializeSeconds);
+  if (const JsonValue *F = V->find("milp"); F && F->isString())
+    if (!parseMilpStatus(F->Str, C->Milp))
+      return makeError("unknown milp status '" + F->Str + "'");
+  if (const JsonValue *F = V->find("verify_errors"); F && F->isNumber())
+    C->VerifyErrors = static_cast<int>(F->Num);
+  str("verify_detail", C->VerifyDetail);
+  num("verify_s", C->VerifySeconds);
+  if (C->Feasible && C->ScheduleText.empty())
+    return makeError("found feasible peer_data is missing 'schedule'");
+  D.Found = true;
+  D.Value = std::move(C);
+  return D;
 }

@@ -28,8 +28,10 @@
 
 #include "service/JsonLite.h"
 #include "service/Job.h"
+#include "service/ResultCache.h"
 #include "support/Error.h"
 
+#include <memory>
 #include <string>
 
 namespace cdvs {
@@ -68,6 +70,26 @@ ErrorOr<JobResult> jobResultFromJson(const JsonValue &V);
 
 /// Parses one JSON result document.
 ErrorOr<JobResult> jobResultFromJsonText(const std::string &Text);
+
+/// Parses a PeerFetch frame payload ({"fingerprint":"<32 hex>"}).
+/// \returns the fingerprint hex, validated for length and hex-ness.
+ErrorOr<std::string> peerFetchFromJsonText(const std::string &Text);
+
+/// Serializes a PeerData frame payload: a cache miss when \p C is null
+/// ({"found":false}), otherwise the full CachedSchedule. Doubles are
+/// emitted at %.17g so the fetched value round-trips bit-exactly — a
+/// peer-filled backend then serves responses byte-identical to the
+/// origin's (and to single-node dvsd output).
+std::string peerDataToJson(const CachedSchedule *C);
+
+/// A decoded PeerData payload: Found=false on a peer cache miss.
+struct PeerData {
+  bool Found = false;
+  std::shared_ptr<const CachedSchedule> Value;
+};
+
+/// Parses a PeerData frame payload.
+ErrorOr<PeerData> peerDataFromJsonText(const std::string &Text);
 
 } // namespace cdvs
 

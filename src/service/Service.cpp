@@ -537,6 +537,20 @@ JobResult SchedulerService::execute(const JobRequest &Request,
   ResultCache::Lookup L = Cache.getOrCompute(
       R.Fingerprint,
       [&]() -> std::shared_ptr<const CachedSchedule> {
+        if (Opts.PeerFill) {
+          // Cluster mode: a key that migrated here on a ring rebuild may
+          // already be solved on its previous owner — fetch beats a cold
+          // MILP by orders of magnitude. Misses fall through to solving.
+          obs::TraceSpan FillSpan("peer_fill", "service");
+          std::shared_ptr<const CachedSchedule> Fetched =
+              Opts.PeerFill(Request, R.Fingerprint);
+          FillSpan.arg("hit", Fetched ? 1.0 : 0.0);
+          if (Fetched) {
+            std::lock_guard<std::mutex> Lock(StatsMu);
+            ++Counters.PeerFills;
+            return Fetched;
+          }
+        }
         DvsOptions O;
         O.FilterThreshold = Request.FilterThreshold;
         O.InitialMode = InitialMode;

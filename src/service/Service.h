@@ -67,6 +67,14 @@ const char *verifyModeName(VerifyMode Mode);
 /// Parses "off"/"warn"/"strict"; \returns false on anything else.
 bool parseVerifyMode(const std::string &Text, VerifyMode &Out);
 
+/// Cluster cache-fill hook (src/cluster/PeerFill.h): given the request
+/// and its instance fingerprint, try to pull the already-solved schedule
+/// from the previous ring owner. Returns the fetched value, or nullptr
+/// to fall through to a cold solve. Runs inside the single-flight leader
+/// on a pipeline worker, so one fetch covers all concurrent duplicates.
+using PeerFillFn = std::function<std::shared_ptr<const CachedSchedule>(
+    const JobRequest &Request, const std::string &FingerprintHex)>;
+
 /// Sizing and policy knobs for a SchedulerService.
 struct ServiceOptions {
   /// Pipeline worker threads; 0 means one per hardware core.
@@ -85,6 +93,9 @@ struct ServiceOptions {
   /// Post-solve verification: run the src/verify passes over every
   /// fresh schedule (Warn records, Strict fails the job on errors).
   VerifyMode Verify = VerifyMode::Off;
+  /// When set, cache misses first try this peer fetch before solving
+  /// cold (cluster mode; empty in single-node deployments).
+  PeerFillFn PeerFill;
 };
 
 /// Service-level counters (cache counters live in CacheStats).
@@ -98,6 +109,8 @@ struct ServiceStats {
   long ProfileCacheMisses = 0;
   /// Jobs whose post-solve verification drew at least one error.
   long VerifyFailures = 0;
+  /// Cache misses satisfied by a peer fetch instead of a cold solve.
+  long PeerFills = 0;
   /// Deepest the admission queue has been (backpressure headroom).
   size_t PeakQueueDepth = 0;
 };
@@ -142,6 +155,13 @@ public:
 
   ServiceStats stats() const;
   CacheStats cacheStats() const;
+  /// Non-computing result-cache probe by fingerprint hex — what a
+  /// PeerFetch frame answers with (net::Server). Does not touch cache
+  /// counters or recency.
+  std::shared_ptr<const CachedSchedule>
+  cachePeek(const std::string &FingerprintHex) const {
+    return Cache.peek(FingerprintHex);
+  }
   /// Queue-pressure counters of the underlying TaskPool.
   PoolStats poolStats() const { return Pool.stats(); }
 

@@ -61,9 +61,15 @@ void HashBuilder::add(const std::string &S) {
   addBytes(S.data(), S.size());
 }
 
+void HashBuilder::digestRaw(uint64_t &Hi, uint64_t &Lo) const {
+  Hi = avalanche(LaneA);
+  Lo = avalanche(LaneB ^ (LaneA * FnvPrime));
+}
+
 std::string HashBuilder::digest() const {
   static const char Hex[] = "0123456789abcdef";
-  uint64_t A = avalanche(LaneA), B = avalanche(LaneB ^ (LaneA * FnvPrime));
+  uint64_t A, B;
+  digestRaw(A, B);
   std::string Out(32, '0');
   for (int I = 0; I < 16; ++I) {
     Out[15 - I] = Hex[(A >> (4 * I)) & 0xf];

@@ -51,6 +51,11 @@ public:
   /// Non-destructive: more content may be added afterwards.
   std::string digest() const;
 
+  /// The same 128-bit digest as two u64 halves: \p Hi is the value the
+  /// first 16 hex characters of digest() render, \p Lo the last 16.
+  /// milp/Fingerprint.h wraps the pair as Fingerprint128.
+  void digestRaw(uint64_t &Hi, uint64_t &Lo) const;
+
 private:
   // FNV-1a offset bases; LaneB starts from a different basis and twists
   // each byte so the lanes stay independent.

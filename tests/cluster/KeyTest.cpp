@@ -1,0 +1,126 @@
+//===- tests/cluster/KeyTest.cpp - Request routing-key normalization ------===//
+//
+// requestKey() decides which shard a request lands on, so its contract
+// is the cluster's cache-locality contract: equal optimization problems
+// must key equal (category order, weight scaling, caller-chosen ids are
+// presentation), and anything that changes the MILP instance must move
+// the key.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Key.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace cdvs;
+using namespace cdvs::cluster;
+
+namespace {
+
+JobRequest baseRequest() {
+  JobRequest R;
+  R.Id = "req-1";
+  R.Workload = "gsm";
+  R.Categories = {{"short", 1.0}, {"long", 3.0}};
+  R.DeadlineTightness = 0.5;
+  return R;
+}
+
+TEST(RequestKey, DeterministicAndIdInsensitive) {
+  JobRequest A = baseRequest();
+  JobRequest B = baseRequest();
+  EXPECT_EQ(requestKey(A), requestKey(A));
+  B.Id = "totally-different-id";
+  EXPECT_EQ(requestKey(A), requestKey(B))
+      << "the caller-chosen id must not shard-split identical problems";
+}
+
+TEST(RequestKey, CategoryOrderDoesNotMatter) {
+  JobRequest A = baseRequest();
+  JobRequest B = baseRequest();
+  B.Categories = {{"long", 3.0}, {"short", 1.0}};
+  EXPECT_EQ(requestKey(A), requestKey(B));
+}
+
+TEST(RequestKey, WeightsAreNormalizedToProbabilities) {
+  // {1,3} and {2,6} describe the same mix; the key hashes the
+  // normalized probabilities, not the raw weights.
+  JobRequest A = baseRequest();
+  JobRequest B = baseRequest();
+  B.Categories = {{"short", 2.0}, {"long", 6.0}};
+  EXPECT_EQ(requestKey(A), requestKey(B));
+  JobRequest C = baseRequest();
+  C.Categories = {{"short", 3.0}, {"long", 1.0}};
+  EXPECT_NE(requestKey(A), requestKey(C));
+}
+
+TEST(RequestKey, SensitiveToProblemContent) {
+  JobRequest Base = baseRequest();
+  Fingerprint128 K = requestKey(Base);
+
+  JobRequest W = baseRequest();
+  W.Workload = "mpeg";
+  EXPECT_NE(K, requestKey(W));
+
+  JobRequest T = baseRequest();
+  T.DeadlineTightness = 0.7;
+  EXPECT_NE(K, requestKey(T));
+
+  JobRequest F = baseRequest();
+  F.FilterThreshold = 0.05;
+  EXPECT_NE(K, requestKey(F));
+
+  JobRequest M = baseRequest();
+  M.InitialMode = 2;
+  EXPECT_NE(K, requestKey(M));
+
+  JobRequest L = baseRequest();
+  L.NumLevels = 4;
+  EXPECT_NE(K, requestKey(L));
+
+  JobRequest Cap = baseRequest();
+  Cap.CapacitanceF = 20e-6;
+  EXPECT_NE(K, requestKey(Cap));
+
+  JobRequest Cat = baseRequest();
+  Cat.Categories = {{"short", 1.0}};
+  EXPECT_NE(K, requestKey(Cat));
+}
+
+TEST(RequestKey, AbsoluteDeadlineWinsOverTightness) {
+  // When DeadlineSeconds is set it defines the instance; tightness is
+  // then dead weight and must not affect the key.
+  JobRequest A = baseRequest();
+  A.DeadlineSeconds = 0.015;
+  A.DeadlineTightness = 0.3;
+  JobRequest B = baseRequest();
+  B.DeadlineSeconds = 0.015;
+  B.DeadlineTightness = 0.9;
+  EXPECT_EQ(requestKey(A), requestKey(B));
+
+  JobRequest C = baseRequest();
+  C.DeadlineSeconds = 0.016;
+  C.DeadlineTightness = 0.3;
+  EXPECT_NE(requestKey(A), requestKey(C));
+
+  // And an absolute deadline is a different instance than any
+  // tightness-derived one.
+  EXPECT_NE(requestKey(A), requestKey(baseRequest()));
+}
+
+TEST(RequestKey, EmptyCategoriesHaveACanonicalForm) {
+  // A request with no categories means "the workload's default single
+  // category"; it must key stably rather than crash or collide with a
+  // named one.
+  JobRequest A = baseRequest();
+  A.Categories.clear();
+  JobRequest B = baseRequest();
+  B.Categories.clear();
+  EXPECT_EQ(requestKey(A), requestKey(B));
+  EXPECT_NE(requestKey(A), requestKey(baseRequest()));
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- tests/cluster/RingTest.cpp - Consistent-hash ring properties -------===//
+//
+// The ring carries the cluster's central promise: membership changes
+// move only the departed member's share of the key space. These tests
+// pin determinism (router and backends build their rings
+// independently), spread (virtual nodes keep shares near 1/N), and the
+// (N-1)/N stability bound under removal — every key whose owner changes
+// must have been owned by the removed member.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Ring.h"
+
+#include "support/Hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace cdvs;
+using namespace cdvs::cluster;
+
+namespace {
+
+Fingerprint128 keyOf(int I) {
+  HashBuilder H;
+  H.add(std::string("ring-test-key"));
+  H.add(static_cast<uint64_t>(I));
+  Fingerprint128 K;
+  H.digestRaw(K.Hi, K.Lo);
+  return K;
+}
+
+const std::vector<std::string> kMembers = {
+    "10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"};
+
+HashRing makeRing(const std::vector<std::string> &Members) {
+  HashRing R;
+  for (const std::string &M : Members)
+    EXPECT_TRUE(R.add(M));
+  return R;
+}
+
+TEST(Ring, MembershipBasics) {
+  HashRing R;
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.ownerOf(keyOf(0)), nullptr);
+  EXPECT_TRUE(R.add("a:1"));
+  EXPECT_FALSE(R.add("a:1")) << "duplicate add must be refused";
+  EXPECT_TRUE(R.contains("a:1"));
+  EXPECT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R.remove("b:2"));
+  EXPECT_TRUE(R.remove("a:1"));
+  EXPECT_TRUE(R.empty());
+}
+
+TEST(Ring, SingleMemberOwnsEverything) {
+  HashRing R;
+  R.add("only:1");
+  for (int I = 0; I < 100; ++I) {
+    const std::string *O = R.ownerOf(keyOf(I));
+    ASSERT_NE(O, nullptr);
+    EXPECT_EQ(*O, "only:1");
+  }
+}
+
+TEST(Ring, IndependentBuildsAgree) {
+  // The router and every backend's PeerFiller build their rings from
+  // the membership list alone; insertion order must not matter.
+  HashRing A = makeRing(kMembers);
+  HashRing B = makeRing(
+      {kMembers[2], kMembers[0], kMembers[1]});
+  for (int I = 0; I < 500; ++I) {
+    const std::string *OA = A.ownerOf(keyOf(I));
+    const std::string *OB = B.ownerOf(keyOf(I));
+    ASSERT_NE(OA, nullptr);
+    ASSERT_NE(OB, nullptr);
+    EXPECT_EQ(*OA, *OB);
+  }
+}
+
+TEST(Ring, VirtualNodesSpreadLoad) {
+  HashRing R = makeRing(kMembers);
+  std::map<std::string, int> Share;
+  const int N = 3000;
+  for (int I = 0; I < N; ++I)
+    ++Share[*R.ownerOf(keyOf(I))];
+  ASSERT_EQ(Share.size(), kMembers.size());
+  for (const auto &[Member, Count] : Share) {
+    // Fair share is 1/3; 64 virtual nodes keep every member within a
+    // loose band of it (exact split varies with the hash).
+    EXPECT_GT(Count, N / 10) << Member << " is starved";
+    EXPECT_LT(Count, (N * 2) / 3) << Member << " is overloaded";
+  }
+}
+
+TEST(Ring, RemovalMovesOnlyTheDepartedShare) {
+  HashRing R = makeRing(kMembers);
+  const int N = 2000;
+  std::vector<std::string> Before;
+  Before.reserve(N);
+  for (int I = 0; I < N; ++I)
+    Before.push_back(*R.ownerOf(keyOf(I)));
+
+  const std::string &Gone = kMembers[1];
+  ASSERT_TRUE(R.remove(Gone));
+
+  int Moved = 0;
+  for (int I = 0; I < N; ++I) {
+    const std::string &Now = *R.ownerOf(keyOf(I));
+    if (Now != Before[I]) {
+      ++Moved;
+      // The (N-1)/N guarantee: a key may change owner only because its
+      // old owner left.
+      EXPECT_EQ(Before[I], Gone)
+          << "key " << I << " moved from a surviving member";
+    } else {
+      EXPECT_NE(Before[I], Gone);
+    }
+  }
+  // Everything the departed member owned moved, nothing else did.
+  int GoneShare = 0;
+  for (const std::string &O : Before)
+    if (O == Gone)
+      ++GoneShare;
+  EXPECT_EQ(Moved, GoneShare);
+
+  // Re-adding restores the original assignment exactly (the point
+  // positions are content-derived, not history-derived).
+  ASSERT_TRUE(R.add(Gone));
+  for (int I = 0; I < N; ++I)
+    EXPECT_EQ(*R.ownerOf(keyOf(I)), Before[I]);
+}
+
+TEST(Ring, OwnersOfGivesDistinctFailoverOrder) {
+  HashRing R = makeRing(kMembers);
+  for (int I = 0; I < 50; ++I) {
+    std::vector<std::string> Owners =
+        R.ownersOf(keyOf(I), kMembers.size());
+    ASSERT_EQ(Owners.size(), kMembers.size());
+    EXPECT_EQ(Owners[0], *R.ownerOf(keyOf(I)));
+    for (size_t A = 0; A < Owners.size(); ++A)
+      for (size_t B = A + 1; B < Owners.size(); ++B)
+        EXPECT_NE(Owners[A], Owners[B]);
+  }
+}
+
+TEST(Ring, FailoverOwnerIsNextRingOwner) {
+  // The router's retry target (ownersOf[1]) must be exactly who the
+  // rebuilt ring would route to — that is what makes the backend's
+  // peers-minus-self ring find the data after a failover.
+  HashRing Full = makeRing(kMembers);
+  for (int I = 0; I < 200; ++I) {
+    std::vector<std::string> Owners =
+        Full.ownersOf(keyOf(I), kMembers.size());
+    HashRing Without = makeRing(kMembers);
+    ASSERT_TRUE(Without.remove(Owners[0]));
+    EXPECT_EQ(*Without.ownerOf(keyOf(I)), Owners[1]);
+  }
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- tests/net/ClientTimeoutTest.cpp - client-side deadline paths -------===//
+//
+// net::Client's defensive half: the request timeout against a peer that
+// accepts and then goes silent (the failure mode a dead dvs-server or a
+// wedged router presents), the default RequestTimeoutMs bound applied
+// to negative timeouts, and connectWithRetry's bounded exponential
+// backoff against a port nobody listens on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include "net/EventLoop.h"
+#include "support/Clock.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unistd.h>
+
+using namespace cdvs;
+using namespace cdvs::net;
+
+namespace {
+
+/// Accepts connections and never answers a byte — the stalled peer all
+/// the timeout paths are aimed at. No accept loop is needed: the kernel
+/// completes loopback handshakes from the listen backlog by itself.
+struct StallListener {
+  int Fd = -1;
+  uint16_t Port = 0;
+
+  StallListener() {
+    ErrorOr<int> L = listenTcp("127.0.0.1", 0, 8);
+    EXPECT_TRUE(L.hasValue()) << L.message();
+    if (L) {
+      Fd = *L;
+      ErrorOr<uint16_t> P = localPort(Fd);
+      EXPECT_TRUE(P.hasValue()) << P.message();
+      Port = P ? *P : 0;
+    }
+  }
+  ~StallListener() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+};
+
+/// A port with nothing behind it: bind, read the number back, close.
+uint16_t deadPort() {
+  ErrorOr<int> L = listenTcp("127.0.0.1", 0, 1);
+  EXPECT_TRUE(L.hasValue()) << L.message();
+  ErrorOr<uint16_t> P = localPort(*L);
+  EXPECT_TRUE(P.hasValue()) << P.message();
+  ::close(*L);
+  return P ? *P : 0;
+}
+
+double secondsSince(uint64_t StartNs) {
+  return static_cast<double>(monotonicNanos() - StartNs) * 1e-9;
+}
+
+TEST(ClientTimeout, ReadFrameGivesUpOnAStalledPeer) {
+  StallListener L;
+  ASSERT_GT(L.Port, 0);
+  ErrorOr<Client> C = Client::connect("127.0.0.1", L.Port);
+  ASSERT_TRUE(C.hasValue()) << C.message();
+
+  JobRequest R;
+  R.Id = "stalled";
+  R.Workload = "gsm";
+  ASSERT_TRUE(C->sendRequest(R).hasValue());
+
+  uint64_t Start = monotonicNanos();
+  ErrorOr<Frame> F = C->readFrame(250);
+  EXPECT_FALSE(F.hasValue());
+  EXPECT_NE(F.message().find("timed out"), std::string::npos)
+      << F.message();
+  double Waited = secondsSince(Start);
+  EXPECT_GE(Waited, 0.2) << "gave up before the deadline";
+  EXPECT_LT(Waited, 30.0) << "deadline did not bound the wait";
+}
+
+TEST(ClientTimeout, NegativeTimeoutMeansTheConfiguredRequestBound) {
+  StallListener L;
+  ASSERT_GT(L.Port, 0);
+  ClientOptions O;
+  O.RequestTimeoutMs = 250;
+  ErrorOr<Client> C = Client::connect("127.0.0.1", L.Port, O);
+  ASSERT_TRUE(C.hasValue()) << C.message();
+
+  // call() forwards its timeout to readFrame; a negative value must
+  // fall back to RequestTimeoutMs, not wait forever.
+  JobRequest R;
+  R.Id = "bounded";
+  R.Workload = "gsm";
+  uint64_t Start = monotonicNanos();
+  ErrorOr<JobResult> Res = C->call(R, -1);
+  EXPECT_FALSE(Res.hasValue());
+  EXPECT_NE(Res.message().find("timed out"), std::string::npos)
+      << Res.message();
+  EXPECT_GE(secondsSince(Start), 0.2);
+  EXPECT_LT(secondsSince(Start), 30.0);
+}
+
+TEST(ClientTimeout, ConnectWithRetryNamesItsAttemptCount) {
+  ClientOptions O;
+  O.ConnectAttempts = 3;
+  O.ReconnectBaseMs = 10;
+  O.ReconnectMaxMs = 40;
+  uint64_t Start = monotonicNanos();
+  ErrorOr<Client> C =
+      Client::connectWithRetry("127.0.0.1", deadPort(), O);
+  EXPECT_FALSE(C.hasValue());
+  EXPECT_NE(C.message().find("3 attempt"), std::string::npos)
+      << C.message();
+  // Backoff is 10ms then 20ms between the three refused connects —
+  // bounded, not ConnectAttempts * ConnectTimeoutMs.
+  EXPECT_LT(secondsSince(Start), 10.0);
+}
+
+TEST(ClientTimeout, SingleAttemptConnectStillRefusesCleanly) {
+  ErrorOr<Client> C = Client::connect("127.0.0.1", deadPort());
+  EXPECT_FALSE(C.hasValue());
+  EXPECT_FALSE(C.message().empty());
+}
+
+TEST(ClientTimeout, RetrySucceedsWithoutBurningSpareAttempts) {
+  // A reachable listener connects on the first attempt no matter how
+  // much retry budget is configured — backoff only runs on failure.
+  StallListener L;
+  ASSERT_GT(L.Port, 0);
+  ClientOptions O;
+  O.ConnectAttempts = 5;
+  O.ReconnectBaseMs = 10;
+  ErrorOr<Client> C = Client::connectWithRetry("127.0.0.1", L.Port, O);
+  EXPECT_TRUE(C.hasValue()) << C.message();
+  EXPECT_TRUE(C->connected());
+}
+
+} // namespace

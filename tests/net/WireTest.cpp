@@ -243,10 +243,31 @@ TEST(Wire, FrameTypeNamesAreStable) {
   EXPECT_STREQ(frameTypeName(FrameType::Reject), "reject");
   EXPECT_STREQ(frameTypeName(FrameType::Ping), "ping");
   EXPECT_STREQ(frameTypeName(FrameType::Pong), "pong");
+  EXPECT_STREQ(frameTypeName(FrameType::PeerFetch), "peer_fetch");
+  EXPECT_STREQ(frameTypeName(FrameType::PeerData), "peer_data");
   EXPECT_TRUE(validFrameType(1));
   EXPECT_TRUE(validFrameType(5));
+  EXPECT_TRUE(validFrameType(6));
+  EXPECT_TRUE(validFrameType(7));
   EXPECT_FALSE(validFrameType(0));
-  EXPECT_FALSE(validFrameType(6));
+  EXPECT_FALSE(validFrameType(8));
+}
+
+TEST(Wire, PeerFrameRoundTrip) {
+  std::string Bytes = encodeFrame(
+      FrameType::PeerFetch, 42,
+      "{\"fingerprint\":\"00112233445566778899aabbccddeeff\"}");
+  FrameParser P;
+  P.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(P.next(F), FrameParser::Next::Frame);
+  EXPECT_EQ(F.Type, FrameType::PeerFetch);
+  EXPECT_EQ(F.Correlation, 42u);
+  Bytes = encodeFrame(FrameType::PeerData, 42, "{\"found\":false}");
+  P.feed(Bytes.data(), Bytes.size());
+  ASSERT_EQ(P.next(F), FrameParser::Next::Frame);
+  EXPECT_EQ(F.Type, FrameType::PeerData);
+  EXPECT_EQ(F.Payload, "{\"found\":false}");
 }
 
 } // namespace

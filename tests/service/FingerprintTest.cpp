@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 
 using namespace cdvs;
@@ -165,6 +166,51 @@ TEST(HashBuilder, LengthPrefixPreventsConcatenationCollisions) {
   B.add(std::string("a"));
   B.add(std::string("bc"));
   EXPECT_NE(A.digest(), B.digest());
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprint128
+//===----------------------------------------------------------------------===//
+
+TEST(Fingerprint128, HexRoundTrip) {
+  Fingerprint128 F;
+  F.Hi = 0x0123456789abcdefULL;
+  F.Lo = 0xfedcba9876543210ULL;
+  std::string Hex = F.toHex();
+  EXPECT_EQ(Hex.size(), 32u);
+  ErrorOr<Fingerprint128> Back = Fingerprint128::parseHex(Hex);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(*Back, F);
+  // Case-insensitive on the way in, lower-case on the way out.
+  std::string Upper = Hex;
+  for (char &C : Upper)
+    C = static_cast<char>(std::toupper(C));
+  ErrorOr<Fingerprint128> FromUpper = Fingerprint128::parseHex(Upper);
+  ASSERT_TRUE(static_cast<bool>(FromUpper));
+  EXPECT_EQ(FromUpper->toHex(), Hex);
+}
+
+TEST(Fingerprint128, MatchesHashBuilderDigestRendering) {
+  // toHex must render digestRaw's halves exactly as HashBuilder::digest
+  // renders them — the wire carries the hex form, the ring the halves.
+  HashBuilder A;
+  A.add(std::string("some instance content"));
+  HashBuilder B;
+  B.add(std::string("some instance content"));
+  Fingerprint128 F;
+  B.digestRaw(F.Hi, F.Lo);
+  EXPECT_EQ(F.toHex(), A.digest());
+}
+
+TEST(Fingerprint128, ParseHexRejectsMalformedInput) {
+  EXPECT_FALSE(static_cast<bool>(Fingerprint128::parseHex("")));
+  EXPECT_FALSE(
+      static_cast<bool>(Fingerprint128::parseHex(std::string(31, 'a'))));
+  EXPECT_FALSE(
+      static_cast<bool>(Fingerprint128::parseHex(std::string(33, 'a'))));
+  std::string Bad(32, 'a');
+  Bad[7] = 'g';
+  EXPECT_FALSE(static_cast<bool>(Fingerprint128::parseHex(Bad)));
 }
 
 } // namespace

@@ -34,12 +34,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <signal.h>
+#include <sys/types.h>
 
 using namespace cdvs;
 
@@ -56,6 +60,9 @@ struct SharedTally {
   long Unanswered = 0;  ///< outstanding at drain timeout
   long CacheHits = 0;
   std::map<std::string, std::string> Schedules; ///< fingerprint -> text
+  /// Latencies keyed by the router's "backend" response annotation
+  /// (empty single-node): the per-backend breakdown of a cluster run.
+  std::map<std::string, std::vector<double>> BackendLat;
 };
 
 constexpr const char *kTimeoutMsg = "timed out waiting for a frame";
@@ -67,6 +74,9 @@ struct WorkerConfig {
   uint64_t IntervalNs = 0;
   uint64_t StartNs = 0;
   int Distinct = 1;
+  /// Percent of requests pinned to deadline variant 0 (the hot key);
+  /// the rest spread over the remaining variants.
+  int HotKeyPct = 0;
   int DrainTimeoutMs = 10'000;
   JobRequest Base;
 };
@@ -83,6 +93,7 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
   long Sent = 0, Done = 0, Other = 0, Rejects = 0, Errors = 0,
        Hits = 0;
   std::map<std::string, std::string> Schedules;
+  std::map<std::string, std::vector<double>> BackendLat;
 
   // Stagger workers across one send interval so the aggregate stream
   // is evenly spaced, not N-bursty.
@@ -91,10 +102,11 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
   uint64_t DrainDeadline = 0;
 
   auto handleFrame = [&](const net::Frame &F) {
+    double Lat = -1.0;
     auto It = PendingNs.find(F.Correlation);
     if (It != PendingNs.end()) {
-      Latencies.push_back(
-          static_cast<double>(monotonicNanos() - It->second) * 1e-9);
+      Lat = static_cast<double>(monotonicNanos() - It->second) * 1e-9;
+      Latencies.push_back(Lat);
       PendingNs.erase(It);
     }
     if (F.Type == net::FrameType::Reject) {
@@ -108,6 +120,8 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
       ++Errors;
       return;
     }
+    if (!R->Backend.empty() && Lat >= 0.0)
+      BackendLat[R->Backend].push_back(Lat);
     if (R->Status == JobStatus::Done) {
       ++Done;
       if (R->CacheHit)
@@ -125,10 +139,16 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
     if (Sent < Cfg.Quota && Now >= NextSend) {
       JobRequest R = Cfg.Base;
       R.Id = "c" + std::to_string(Index) + "-" + std::to_string(Sent);
-      if (Cfg.Distinct > 1)
+      if (Cfg.Distinct > 1) {
+        long Variant = Sent % Cfg.Distinct;
+        // Hot-key skew: the configured share of sends collapses onto
+        // variant 0, so one ring owner sees concentrated load.
+        if (Cfg.HotKeyPct > 0 && Sent % 100 < Cfg.HotKeyPct)
+          Variant = 0;
         R.DeadlineTightness =
-            0.2 + 0.6 * static_cast<double>(Sent % Cfg.Distinct) /
+            0.2 + 0.6 * static_cast<double>(Variant) /
                       static_cast<double>(Cfg.Distinct);
+      }
       ErrorOr<uint64_t> Corr = C->sendRequest(R);
       if (!Corr) {
         ++Errors;
@@ -181,6 +201,10 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
                             Latencies.end());
   for (auto &[Fp, Text] : Schedules)
     Tally.Schedules.emplace(Fp, std::move(Text));
+  for (auto &[Name, Lats] : BackendLat) {
+    std::vector<double> &Dst = Tally.BackendLat[Name];
+    Dst.insert(Dst.end(), Lats.begin(), Lats.end());
+  }
 }
 
 double quantile(const std::vector<double> &Sorted, double Q) {
@@ -300,6 +324,21 @@ int main(int argc, char **argv) {
       "meta-reactors", 0,
       "recorded in the JSON output as the server's --reactors value "
       "(bench bookkeeping only)");
+  int &MetaBackends = P.addInt(
+      "meta-backends", 0,
+      "recorded in the JSON output as the cluster's backend count "
+      "(bench bookkeeping only)");
+  int &HotKeyPct = P.addInt(
+      "hot-key-pct", 0,
+      "percent of requests pinned to deadline variant 0 (hot-key skew "
+      "for cluster runs); 0 = uniform");
+  int &KillPid = P.addInt(
+      "kill-backend-pid", 0,
+      "SIGKILL this pid mid-run (cluster failover drills); 0 = off");
+  int &KillAfterMs = P.addInt(
+      "kill-backend-after-ms", 500,
+      "when --kill-backend-pid is set: ms after the timed run starts "
+      "to fire the kill");
   if (!P.parseOrExit(argc, argv))
     return 0;
   if (Port <= 0 || Port > 65535) {
@@ -342,12 +381,33 @@ int main(int argc, char **argv) {
   Cfg.IntervalNs = static_cast<uint64_t>(
       1e9 * static_cast<double>(Connections) / Rate);
   Cfg.Distinct = Distinct < 1 ? 1 : Distinct;
+  Cfg.HotKeyPct = HotKeyPct < 0 ? 0 : (HotKeyPct > 100 ? 100 : HotKeyPct);
   Cfg.DrainTimeoutMs = DrainTimeoutMs < 0 ? 0 : DrainTimeoutMs;
   Cfg.Base = Base;
 
   long PerConn = Requests / Connections;
   uint64_t T0 = monotonicNanos();
   Cfg.StartNs = T0;
+
+  // Failover drill: SIGKILL a backend partway into the timed run. The
+  // router must answer every admitted request anyway.
+  std::atomic<bool> KillFired{false};
+  std::atomic<bool> StopKill{false};
+  std::thread KillThread;
+  if (KillPid > 0) {
+    KillThread = std::thread([&] {
+      uint64_t Deadline =
+          T0 + static_cast<uint64_t>(KillAfterMs < 0 ? 0 : KillAfterMs) *
+                   1'000'000ull;
+      while (!StopKill.load(std::memory_order_relaxed) &&
+             monotonicNanos() < Deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      if (StopKill.load(std::memory_order_relaxed))
+        return;
+      if (::kill(static_cast<pid_t>(KillPid), SIGKILL) == 0)
+        KillFired.store(true, std::memory_order_relaxed);
+    });
+  }
 
   // Attack traffic starts first so the measured (healthy) load runs
   // entirely inside the storm.
@@ -377,6 +437,9 @@ int main(int argc, char **argv) {
   StopAttacks.store(true, std::memory_order_relaxed);
   for (std::thread &T : AttackThreads)
     T.join();
+  StopKill.store(true, std::memory_order_relaxed);
+  if (KillThread.joinable())
+    KillThread.join();
 
   long Completed = Tally.Done + Tally.OtherStatus + Tally.WireRejects;
   std::sort(Tally.LatenciesSec.begin(), Tally.LatenciesSec.end());
@@ -423,6 +486,8 @@ int main(int argc, char **argv) {
       "\"attack\":{\"churn_threads\":%d,\"slowloris_threads\":%d,"
       "\"churn_conns\":%ld,\"slowloris_conns\":%ld,"
       "\"attack_rejects\":%ld},"
+      "\"cluster\":{\"backends\":%d,\"hot_key_pct\":%d,"
+      "\"kill_pid\":%d,\"kill_fired\":%s},"
       "\"distinct_schedules\":%zu}",
       Connections, MetaReactors, Rate, Requests, Tally.Sent, Completed,
       Tally.Done, Tally.OtherStatus, Tally.WireRejects, Tally.Errors,
@@ -430,9 +495,34 @@ int main(int argc, char **argv) {
       P50, P90, P95, P99, Max, Churn < 0 ? 0 : Churn,
       Slowloris < 0 ? 0 : Slowloris,
       Attacks.ChurnConns.load(), Attacks.SlowConns.load(),
-      Attacks.AttackRejects.load(), Tally.Schedules.size());
+      Attacks.AttackRejects.load(), MetaBackends, Cfg.HotKeyPct,
+      KillPid < 0 ? 0 : KillPid, KillFired.load() ? "true" : "false",
+      Tally.Schedules.size());
 
-  std::printf("%s\n", Buf);
+  // Per-backend breakdown (cluster runs only): keyed by the router's
+  // response annotation, so it shows how load and latency spread over
+  // the ring — and shifts when a backend dies.
+  std::string Out(Buf);
+  if (!Tally.BackendLat.empty()) {
+    std::string B = ",\"backends\":{";
+    bool First = true;
+    for (auto &[Name, Lats] : Tally.BackendLat) {
+      std::sort(Lats.begin(), Lats.end());
+      char Ent[256];
+      std::snprintf(Ent, sizeof(Ent),
+                    "%s\"%s\":{\"answered\":%zu,\"p50\":%.6f,"
+                    "\"p99\":%.6f,\"max\":%.6f}",
+                    First ? "" : ",", Name.c_str(), Lats.size(),
+                    quantile(Lats, 0.50), quantile(Lats, 0.99),
+                    Lats.empty() ? 0.0 : Lats.back());
+      B += Ent;
+      First = false;
+    }
+    B += "}";
+    Out.insert(Out.rfind('}'), B);
+  }
+
+  std::printf("%s\n", Out.c_str());
   if (!OutPath.empty()) {
     std::FILE *F = std::fopen(OutPath.c_str(), "w");
     if (!F) {
@@ -440,7 +530,7 @@ int main(int argc, char **argv) {
                    OutPath.c_str());
       return 1;
     }
-    std::fprintf(F, "%s\n", Buf);
+    std::fprintf(F, "%s\n", Out.c_str());
     std::fclose(F);
   }
 

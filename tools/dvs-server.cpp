@@ -25,6 +25,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cluster/PeerFill.h"
 #include "net/Server.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -34,6 +35,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 using namespace cdvs;
@@ -135,6 +137,17 @@ int main(int argc, char **argv) {
   std::string &VerifyArg = P.addString(
       "verify", "off",
       "post-solve static verification: off, warn, or strict");
+  std::string &Self = P.addString(
+      "self", "",
+      "this backend's advertised host:port on the cluster ring");
+  std::string &Peers = P.addString(
+      "peers", "",
+      "comma-separated cluster membership (host:port,...); enables "
+      "peer cache fill on local misses (requires --self)");
+  int &VNodes = P.addInt(
+      "vnodes", 64,
+      "consistent-ring virtual nodes per member; must match the "
+      "router's --vnodes");
   std::string &MetricsOut = P.addString(
       "metrics-out", "",
       "write Prometheus text metrics here after the drain ('-' = "
@@ -173,6 +186,28 @@ int main(int argc, char **argv) {
                  "(got '%s')\n",
                  VerifyArg.c_str());
     return 1;
+  }
+
+  std::unique_ptr<cluster::PeerFiller> Filler;
+  if (!Peers.empty()) {
+    if (Self.empty()) {
+      std::fprintf(stderr, "dvs-server: --peers requires --self\n");
+      return 1;
+    }
+    ErrorOr<std::vector<cluster::Address>> List =
+        cluster::parseAddressList(Peers);
+    if (!List) {
+      std::fprintf(stderr, "dvs-server: --peers: %s\n",
+                   List.message().c_str());
+      return 1;
+    }
+    cluster::PeerFillOptions FO;
+    FO.Self = Self;
+    for (const cluster::Address &A : *List)
+      FO.Peers.push_back(A.name());
+    FO.VirtualNodes = VNodes < 1 ? 1 : VNodes;
+    Filler = std::make_unique<cluster::PeerFiller>(std::move(FO));
+    O.Service.PeerFill = Filler->asFn();
   }
 
   std::signal(SIGPIPE, SIG_IGN);
@@ -227,14 +262,16 @@ int main(int argc, char **argv) {
       "\"slow_frame_closes\":%ld,\"handoff_accepts\":%ld,"
       "\"jobs\":{\"submitted\":%ld,\"completed\":%ld,\"rejected\":%ld,"
       "\"infeasible\":%ld,\"failed\":%ld},"
-      "\"cache\":{\"hits\":%ld,\"misses\":%ld}}",
+      "\"cache\":{\"hits\":%ld,\"misses\":%ld},"
+      "\"peer\":{\"fills\":%ld,\"fetches\":%ld,\"served\":%ld}}",
       NS.ConnectionsAccepted, NS.ConnectionsRejected,
       NS.ConnectionsClosed, NS.FramesIn, NS.FramesOut, NS.BytesIn,
       NS.BytesOut, NS.RejectsSent, NS.ProtocolErrors, NS.IdleCloses,
       NS.RequestTimeouts, NS.ReadPauses, NS.OrphanCompletions,
       NS.LoadSheds, NS.SlowFrameCloses, NS.HandoffAccepts,
       SS.Submitted, SS.Completed, SS.Rejected, SS.Infeasible, SS.Failed,
-      CS.Hits, CS.Misses);
+      CS.Hits, CS.Misses, SS.PeerFills,
+      Filler ? Filler->stats().Fetches : 0L, NS.PeerFetches);
   std::printf("%s\n", Buf);
   std::fflush(stdout);
 
