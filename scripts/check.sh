@@ -48,6 +48,16 @@
 #      byte-identical to dvsd's for the same jobs; dvs-stat --check
 #      validates the router + peer-fill metric families
 #      (scripts/metric_names_cluster.txt).
+#  10. distributed observability: dvs-router + two traced backends in a
+#      forced peer-fetch topology, dvs-loadgen stamping every request
+#      with a trace id (--trace-sample-pct=100); dvs-stat --scrape then
+#      pulls metrics + span rings + the flight recorder from all three
+#      processes over the wire (StatsFetch), validates the merged
+#      exposition against scripts/metric_names_obs.txt, assembles one
+#      clock-aligned Chrome trace, and the summary must show a single
+#      trace id spanning router -> backend -> peer (>= 3 processes,
+#      >= 4 spans); the router's --slow-log-ms JSON lines must carry
+#      verdicts and trace ids.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 #
@@ -355,6 +365,15 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-server \
   --self="127.0.0.1:$(cat "$CL_TMP/b1.port")" --peers="$BACKENDS" \
   --metrics-out="$CL_TMP/b1.prom" > "$CL_TMP/b1_reborn.log" &
 CL_PIDS[0]=$!
+# A TSan server can take seconds to reach listen() on one CPU; wait for
+# it before counting health intervals, or the hot-key replay races the
+# router's reinstatement probe and no peer fill ever happens.
+for _ in $(seq 1 200); do
+  grep -q '"type":"listening"' "$CL_TMP/b1_reborn.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q '"type":"listening"' "$CL_TMP/b1_reborn.log" \
+  || { echo "restarted backend never listened"; exit 1; }
 sleep 1 # one health-interval round trip reinstates it
 mkdir -p "$CL_TMP/rsched"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-loadgen \
@@ -396,11 +415,122 @@ done
 diff -r "$CL_TMP/rsched" "$CL_TMP/dsched" \
   || { echo "cluster schedules differ from dvsd schedules"; exit 1; }
 
-# Every canonical cluster family, across both processes' snapshots (the
-# family sets are disjoint, so the concatenation is a valid exposition).
-cat "$CL_TMP/router.prom" "$CL_TMP/b1.prom" > "$CL_TMP/cluster.prom"
+# Every canonical cluster family, across both processes' snapshots.
+# Passed as separate files (not concatenated): dvs-stat parses each and
+# merges like --scrape, since families shared across roles — e.g.
+# cdvs_trace_dropped_total — would be duplicate series in one file.
 ./build/tools/dvs-stat --check --names=scripts/metric_names_cluster.txt \
-  "$CL_TMP/cluster.prom"
+  "$CL_TMP/router.prom" "$CL_TMP/b1.prom"
+
+echo
+echo "== observability: live scrape + cross-process trace (dvs-stat --scrape) =="
+cmake --build build -j"$JOBS" \
+  --target dvs-server dvs-router dvs-loadgen dvs-stat
+TR_TMP="$OBS_TMP/tracing"
+mkdir -p "$TR_TMP"
+# Backend A: a plain traced solver. Backend B: traced, peer-filling
+# from A. The router shards over B alone, so every key A owns reaches B
+# as a non-owner and B must peer-fetch — that forces the
+# router -> backend -> peer span chain the merged trace must show under
+# one trace id. B needs its own address in --self before it starts, so
+# grab an ephemeral port first and reuse it (the gate-9 restart idiom).
+./build/tools/dvs-server --port=0 --threads=2 --trace \
+  --port-file="$TR_TMP/a.port" > "$TR_TMP/a.log" &
+TR_A=$!
+./build/tools/dvs-server --port=0 \
+  --port-file="$TR_TMP/b0.port" > /dev/null &
+TR_B0=$!
+for f in a.port b0.port; do
+  for _ in $(seq 1 100); do
+    [ -s "$TR_TMP/$f" ] && break
+    sleep 0.1
+  done
+  [ -s "$TR_TMP/$f" ] \
+    || { echo "traced backend ($f) never listened"; exit 1; }
+done
+TR_PA="$(cat "$TR_TMP/a.port")"
+TR_PB="$(cat "$TR_TMP/b0.port")"
+kill -TERM "$TR_B0"
+wait "$TR_B0"
+./build/tools/dvs-server --port="$TR_PB" --threads=2 --trace \
+  --self="127.0.0.1:$TR_PB" \
+  --peers="127.0.0.1:$TR_PA,127.0.0.1:$TR_PB" \
+  --port-file="$TR_TMP/b.port" > "$TR_TMP/b.log" &
+TR_B=$!
+./build/tools/dvs-router --port=0 --backends="127.0.0.1:$TR_PB" \
+  --trace --slow-log-ms=1 --slow-log="$TR_TMP/slow.jsonl" \
+  --port-file="$TR_TMP/r.port" > "$TR_TMP/r.log" &
+TR_R=$!
+for f in b.port r.port; do
+  for _ in $(seq 1 100); do
+    [ -s "$TR_TMP/$f" ] && break
+    sleep 0.1
+  done
+  [ -s "$TR_TMP/$f" ] \
+    || { echo "traced cluster ($f) never listened"; exit 1; }
+done
+TR_PORT="$(cat "$TR_TMP/r.port")"
+
+# Every request carries a fresh trace id; zero lost answers.
+./build/tools/dvs-loadgen --port="$TR_PORT" --connections=4 \
+  --rate=500 --requests=200 --distinct=16 --trace-sample-pct=100 \
+  --drain-timeout-ms=120000 \
+  --benchmark_out="$TR_TMP/trace_bench.json"
+grep -q '"unanswered":0,' "$TR_TMP/trace_bench.json" \
+  || { echo "responses were lost in the traced run"; exit 1; }
+grep -q '"traced_sent":200' "$TR_TMP/trace_bench.json" \
+  || { echo "loadgen did not stamp every request with a trace id"; exit 1; }
+
+# Scrape all three live processes over the wire and merge.
+# stderr holds the (expected) notes about families outside the obs
+# list — merged scrapes see every family of every role; surfaced only
+# on failure.
+./build/tools/dvs-stat \
+  --scrape "127.0.0.1:$TR_PORT,127.0.0.1:$TR_PA,127.0.0.1:$TR_PB" \
+  --check --names=scripts/metric_names_obs.txt \
+  --merge-trace="$TR_TMP/merged_trace.json" > "$TR_TMP/scrape.out" \
+  2> "$TR_TMP/scrape.err" \
+  || { cat "$TR_TMP/scrape.out" "$TR_TMP/scrape.err"
+       echo "scrape --check failed"; exit 1; }
+
+kill -TERM "$TR_R" 2>/dev/null || true
+wait "$TR_R" 2>/dev/null || true
+for PROC in "$TR_A" "$TR_B"; do
+  kill -TERM "$PROC" 2>/dev/null || true
+done
+for PROC in "$TR_A" "$TR_B"; do
+  wait "$PROC" 2>/dev/null || true
+done
+
+# One trace id must span the whole chain: the router's route span, the
+# backend's frame/job spans, and the peer's peer_serve — >= 3 processes
+# and >= 4 spans on the best trace, with a real 128-bit id.
+grep -Eq '"top_trace":\{"id":"[0-9a-f]{32}"' "$TR_TMP/scrape.out" \
+  || { echo "scrape summary has no 128-bit top trace id"; exit 1; }
+awk -F'"top_trace":' 'NR==1 {
+  split($2, s, "\"spans\":"); split(s[2], sv, ",");
+  split($2, p, "\"procs\":"); split(p[2], pv, "}");
+  if (sv[1] + 0 < 4 || pv[1] + 0 < 3) {
+    printf "top trace spans=%s procs=%s (need >= 4 spans, >= 3 procs)\n",
+           sv[1], pv[1];
+    exit 1 } }' "$TR_TMP/scrape.out"
+# Ring saturation is surfaced even when zero.
+grep -q '"trace_dropped_total":' "$TR_TMP/scrape.out" \
+  || { echo "scrape summary does not surface trace_dropped"; exit 1; }
+# The merged Chrome trace names all three processes and carries the
+# cross-process chain's spans on one timeline.
+for span in '"route"' '"frame"' '"peer_fill"' '"peer_serve"' \
+            '"dvs-router"' '"dvs-server"'; do
+  grep -q "$span" "$TR_TMP/merged_trace.json" \
+    || { echo "merged trace is missing $span"; exit 1; }
+done
+# The router's slow log dumped structured records with verdicts.
+[ -s "$TR_TMP/slow.jsonl" ] \
+  || { echo "the router slow log is empty"; exit 1; }
+grep -q '"verdict":"response"' "$TR_TMP/slow.jsonl" \
+  || { echo "the slow log has no response verdicts"; exit 1; }
+grep -Eq '"trace_id":"[0-9a-f]{32}"' "$TR_TMP/slow.jsonl" \
+  || { echo "the slow log records carry no trace ids"; exit 1; }
 
 echo
 echo "All checks passed."

@@ -7,6 +7,7 @@
 #include "cluster/PeerFill.h"
 
 #include "cluster/Key.h"
+#include "obs/Trace.h"
 
 using namespace cdvs;
 using namespace cdvs::cluster;
@@ -61,7 +62,17 @@ ErrorOr<PeerData> PeerFiller::fetchFrom(Peer &P,
       return makeError(C.message());
     P.Conn = std::move(*C);
   }
-  ErrorOr<uint64_t> Corr = P.Conn.sendPeerFetch(FingerprintHex);
+  // fill() runs on a pipeline worker inside the job's span (Service
+  // installs the request's SpanContext there), so the thread-local
+  // context is exactly what the peer should continue under.
+  obs::SpanContext Ctx = obs::currentSpanContext();
+  net::TraceContext Trace;
+  Trace.TraceHi = Ctx.TraceHi;
+  Trace.TraceLo = Ctx.TraceLo;
+  Trace.ParentSpan = Ctx.Span;
+  Trace.Sampled = Ctx.Sampled;
+  ErrorOr<uint64_t> Corr = P.Conn.sendPeerFetch(
+      FingerprintHex, 0, Ctx.valid() ? &Trace : nullptr);
   if (!Corr) {
     P.Conn.close();
     return makeError(Corr.message());

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -31,7 +32,41 @@ using net::EvIn;
 using net::EvOut;
 
 Router::Router(RouterOptions O)
-    : Opts(std::move(O)), Ring(Opts.VirtualNodes) {}
+    : Opts(std::move(O)), Ring(Opts.VirtualNodes),
+      Flight(Opts.FlightCapacity) {}
+
+namespace {
+
+std::string hex128(uint64_t Hi, uint64_t Lo) {
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+  return Buf;
+}
+
+std::string flightRecordJson(const FlightRecord &R) {
+  char Num[64];
+  std::string J = "{\"trace_id\":\"" + R.TraceId + "\",\"key\":\"" +
+                  R.Key + "\",\"client\":" + std::to_string(R.ClientId) +
+                  ",\"corr\":" + std::to_string(R.ClientCorr) +
+                  ",\"owner\":\"" + jsonEscape(R.Owner) +
+                  "\",\"retries\":" + std::to_string(R.Retries) +
+                  ",\"hops\":[";
+  for (size_t I = 0; I < R.Hops.size(); ++I) {
+    if (I)
+      J += ',';
+    std::snprintf(Num, sizeof(Num), "%.6f", R.Hops[I].second);
+    J += "{\"backend\":\"" + jsonEscape(R.Hops[I].first) +
+         "\",\"seconds\":" + Num + "}";
+  }
+  std::snprintf(Num, sizeof(Num), "%.6f", R.TotalSeconds);
+  J += std::string("],\"verdict\":\"") + jsonEscape(R.Verdict) +
+       "\",\"seconds\":" + Num + "}";
+  return J;
+}
+
+} // namespace
 
 Router::~Router() { stop(); }
 
@@ -99,6 +134,30 @@ ErrorOr<bool> Router::start() {
       "cdvs_cluster_rejects_total",
       "router-originated rejects (bad request, no backends, exhausted "
       "retry budget)");
+  SlowCtr = &obs::metrics().counter(
+      "cdvs_cluster_slow_requests_total",
+      "requests the flight recorder saw finish over the slow-log "
+      "threshold, or fail");
+  ScrapesCtr = &obs::metrics().counter(
+      "cdvs_stats_scrapes_total",
+      "StatsFetch scrapes answered over the wire.");
+  // Pre-registered so the family exists (at zero) in every scrape even
+  // before the trace ring first overwrites.
+  obs::metrics().counter(
+      "cdvs_trace_dropped_total",
+      "Trace events lost to ring-buffer overwrite since process start.");
+
+  if (Opts.SlowLogMs > 0) {
+    if (Opts.SlowLogPath.empty() || Opts.SlowLogPath == "-") {
+      SlowLog = stderr;
+    } else {
+      SlowLog = std::fopen(Opts.SlowLogPath.c_str(), "a");
+      if (!SlowLog)
+        return makeError("cannot open slow log '" + Opts.SlowLogPath +
+                         "'");
+      SlowLogOwned = true;
+    }
+  }
 
   ErrorOr<int> L = net::listenTcp(Opts.BindAddress, Opts.Port,
                                   Opts.Backlog);
@@ -147,6 +206,10 @@ void Router::stop() {
   if (LoopThread.joinable())
     LoopThread.join();
   Started = false;
+  if (SlowLogOwned && SlowLog)
+    std::fclose(SlowLog);
+  SlowLog = nullptr;
+  SlowLogOwned = false;
 }
 
 RouterStats Router::stats() const {
@@ -162,6 +225,68 @@ RouterStats Router::stats() const {
 std::vector<std::pair<std::string, bool>> Router::backendHealth() const {
   std::lock_guard<std::mutex> Lock(StatsMu);
   return {HealthView.begin(), HealthView.end()};
+}
+
+std::vector<FlightRecord> Router::flightRecords() const {
+  std::lock_guard<std::mutex> Lock(FlightMu);
+  std::vector<FlightRecord> Out;
+  Out.reserve(Flight.size());
+  Flight.forEach([&Out](const FlightRecord &R) { Out.push_back(R); });
+  return Out;
+}
+
+void Router::recordFlight(const PendingRequest &P,
+                          const std::string &Verdict, uint64_t NowNs) {
+  double Total = static_cast<double>(NowNs - P.StartNs) * 1e-9;
+  if (P.HasTrace && obs::trace().enabled()) {
+    // The router's span for this request: admission to answer, parented
+    // under the client's span, parent of every upstream send — the hinge
+    // of the cross-process timeline.
+    obs::TraceEvent E;
+    E.Name = "route";
+    E.Cat = "cluster";
+    E.Phase = 'X';
+    E.Tid = obs::traceThreadId();
+    E.StartNs = P.StartNs;
+    E.DurNs = NowNs - P.StartNs;
+    E.TraceHi = P.Trace.TraceHi;
+    E.TraceLo = P.Trace.TraceLo;
+    E.SpanId = P.RouteSpanId;
+    E.ParentSpan = P.Trace.ParentSpan;
+    E.ArgKey0 = "retries";
+    E.ArgVal0 = P.Tried.empty()
+                    ? 0.0
+                    : static_cast<double>(P.Tried.size() - 1);
+    obs::trace().record(E);
+  }
+  if (Opts.FlightCapacity == 0)
+    return;
+  FlightRecord R;
+  if (P.HasTrace)
+    R.TraceId = hex128(P.Trace.TraceHi, P.Trace.TraceLo);
+  R.Key = P.Key.toHex();
+  R.ClientId = P.ClientId;
+  R.ClientCorr = P.ClientCorr;
+  R.Owner = P.Tried.empty() ? std::string() : P.Tried.front();
+  R.Retries = P.Tried.empty()
+                  ? 0
+                  : static_cast<int>(P.Tried.size()) - 1;
+  R.Hops = P.Hops;
+  R.Verdict = Verdict;
+  R.TotalSeconds = Total;
+  bool Slow = Opts.SlowLogMs > 0 &&
+              (Verdict != "response" ||
+               Total * 1e3 >= static_cast<double>(Opts.SlowLogMs));
+  if (Slow) {
+    SlowCtr->inc();
+    if (SlowLog) {
+      std::string Line = flightRecordJson(R);
+      std::fprintf(SlowLog, "%s\n", Line.c_str());
+      std::fflush(SlowLog);
+    }
+  }
+  std::lock_guard<std::mutex> Lock(FlightMu);
+  Flight.push(std::move(R));
 }
 
 //===----------------------------------------------------------------------===//
@@ -392,7 +517,14 @@ void Router::processClientFrames(ClientConn &C, uint64_t NowNs) {
       routeRequest(C, F, NowNs);
       break;
     case net::FrameType::Ping:
-      enqueueClientFrame(C, net::FrameType::Pong, F.Correlation, "");
+      // The monotonic-clock stamp lets scrapers align per-process
+      // clocks from the RTT midpoint; old clients ignore Pong payloads.
+      enqueueClientFrame(C, net::FrameType::Pong, F.Correlation,
+                         "{\"now_ns\":" +
+                             std::to_string(monotonicNanos()) + "}");
+      break;
+    case net::FrameType::StatsFetch:
+      handleStatsFetch(C, F);
       break;
     default:
       {
@@ -438,6 +570,13 @@ void Router::routeRequest(ClientConn &C, net::Frame &F, uint64_t NowNs) {
   P.Key = requestKey(*Req);
   P.RetriesLeft = Opts.RetryBudget;
   P.StartNs = NowNs;
+  if (F.HasTrace && F.Trace.valid()) {
+    P.Trace = F.Trace;
+    P.HasTrace = true;
+    // Allocated now so upstream sends can name it as their parent; the
+    // span's completion event is recorded when the request retires.
+    P.RouteSpanId = obs::nextSpanId();
+  }
   ++C.InFlight;
   const std::string *Owner = Ring.ownerOf(P.Key);
   Backend *B = Owner ? backendByName(*Owner) : nullptr;
@@ -446,6 +585,37 @@ void Router::routeRequest(ClientConn &C, net::Frame &F, uint64_t NowNs) {
     return;
   }
   sendToBackend(*B, std::move(P), NowNs);
+}
+
+void Router::handleStatsFetch(ClientConn &C, net::Frame &F) {
+  // Served inline on the loop like every other frame: the renders take
+  // the registry/ring locks briefly, and scrapes are rare (human or CI
+  // cadence) next to request traffic.
+  ScrapesCtr->inc();
+  std::string Flights = "[";
+  {
+    std::lock_guard<std::mutex> Lock(FlightMu);
+    bool First = true;
+    Flight.forEach([&Flights, &First](const FlightRecord &R) {
+      if (!First)
+        Flights += ',';
+      First = false;
+      Flights += flightRecordJson(R);
+    });
+  }
+  Flights += ']';
+  std::string Payload =
+      "{\"role\":\"router\",\"pid\":" +
+      std::to_string(static_cast<long>(getpid())) + ",\"now_ns\":" +
+      std::to_string(monotonicNanos()) + ",\"trace_dropped\":" +
+      std::to_string(obs::trace().dropped()) + ",\"flight\":" +
+      Flights + ",\"metrics\":\"" +
+      jsonEscape(obs::metrics().renderPrometheus()) + "\",\"trace\":" +
+      obs::trace().renderChromeTrace(static_cast<int>(getpid()),
+                                     "dvs-router") +
+      "}";
+  enqueueClientFrame(C, net::FrameType::StatsData, F.Correlation,
+                     Payload);
 }
 
 void Router::enqueueClientFrame(ClientConn &C, net::FrameType Type,
@@ -738,20 +908,29 @@ void Router::deliver(Backend &B, net::Frame &F, uint64_t NowNs) {
   // An answered request proves the transport works end to end.
   B.Failures = 0;
   B.LatencyHist->observe(static_cast<double>(NowNs - P.StartNs) * 1e-9);
+  if (P.HopStartNs && P.Hops.size() < P.Tried.size())
+    P.Hops.emplace_back(P.Tried.back(),
+                        static_cast<double>(NowNs - P.HopStartNs) *
+                            1e-9);
 
   auto CIt = ClientsById.find(P.ClientId);
   if (CIt == ClientsById.end()) {
+    recordFlight(P, "orphan", NowNs);
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Counters.OrphanResponses;
     return;
   }
   ClientConn &C = *CIt->second;
   if (C.Pending.erase(P.ClientCorr) == 0) {
+    recordFlight(P, "orphan", NowNs);
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Counters.OrphanResponses;
     return;
   }
   --C.InFlight;
+  recordFlight(P, F.Type == net::FrameType::Response ? "response"
+                                                     : "reject",
+               NowNs);
   if (F.Type == net::FrameType::Response) {
     {
       std::lock_guard<std::mutex> Lock(StatsMu);
@@ -808,6 +987,7 @@ void Router::updateBackendSubscription(Backend &B) {
 
 void Router::sendToBackend(Backend &B, PendingRequest P, uint64_t NowNs) {
   P.Tried.push_back(B.Name);
+  P.HopStartNs = NowNs;
   uint64_t Corr = B.NextCorr++;
   {
     std::lock_guard<std::mutex> Lock(StatsMu);
@@ -815,8 +995,13 @@ void Router::sendToBackend(Backend &B, PendingRequest P, uint64_t NowNs) {
     ++Counters.FramesOut;
   }
   B.RequestsCtr->inc();
-  B.WriteQ.push_back(
-      net::encodeFrame(net::FrameType::Request, Corr, P.Payload));
+  // Re-emit the client's trace context upstream with the router's route
+  // span as parent, so backend spans nest under the router's hop.
+  net::TraceContext Upstream = P.Trace;
+  Upstream.ParentSpan = P.RouteSpanId;
+  B.WriteQ.push_back(net::encodeFrame(net::FrameType::Request, Corr,
+                                      P.Payload,
+                                      P.HasTrace ? &Upstream : nullptr));
   if (Opts.UpstreamTimeoutMs > 0) {
     Backend *BP = &B;
     P.TimerId = Wheel.schedule(
@@ -920,9 +1105,15 @@ void Router::recover(Backend &B) {
 }
 
 void Router::retryPending(PendingRequest P, uint64_t NowNs) {
+  // Account the hop that just failed or timed out before re-routing.
+  if (P.HopStartNs && P.Hops.size() < P.Tried.size())
+    P.Hops.emplace_back(P.Tried.back(),
+                        static_cast<double>(NowNs - P.HopStartNs) *
+                            1e-9);
   auto CIt = ClientsById.find(P.ClientId);
   if (CIt == ClientsById.end() ||
       !CIt->second->Pending.count(P.ClientCorr)) {
+    recordFlight(P, "orphan", NowNs);
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Counters.OrphanResponses;
     return;
@@ -960,6 +1151,7 @@ void Router::rejectPending(PendingRequest &P, const std::string &Code,
     Wheel.cancel(P.TimerId);
     P.TimerId = 0;
   }
+  recordFlight(P, Code, monotonicNanos());
   auto It = ClientsById.find(P.ClientId);
   if (It == ClientsById.end())
     return;

@@ -51,10 +51,12 @@
 #include "net/EventLoop.h"
 #include "net/Wire.h"
 #include "obs/Metrics.h"
+#include "support/RingBuffer.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <map>
 #include <memory>
@@ -95,8 +97,40 @@ struct RouterOptions {
   int RetryBudget = 2;
   /// Splice "backend":"host:port" into relayed Responses.
   bool AnnotateBackend = true;
+  /// Flight-recorder depth: the newest completed proxied requests are
+  /// kept (key, owner, per-hop latencies, verdict) for StatsFetch
+  /// scrapes and post-mortems. 0 disables recording.
+  size_t FlightCapacity = 256;
+  /// Dump a JSON line for every request slower than this (or answered
+  /// with a reject) to SlowLogPath. 0 disables the slow log.
+  uint64_t SlowLogMs = 0;
+  /// Slow-log destination; empty or "-" writes to stderr.
+  std::string SlowLogPath;
   /// Use the portable poll(2) backend even where epoll exists.
   bool ForcePoll = false;
+};
+
+/// One completed proxied request, as the router's bounded flight
+/// recorder remembers it: identity, routing history, outcome. Hops are
+/// (backend name, seconds from send to answer/failure), in routing
+/// order — a clean request has exactly one.
+struct FlightRecord {
+  /// 32 lowercase hex chars, empty when the client sent no trace
+  /// context.
+  std::string TraceId;
+  /// Request fingerprint (32 hex chars) — joins against cache keys.
+  std::string Key;
+  uint64_t ClientId = 0;
+  uint64_t ClientCorr = 0;
+  /// First backend this request was routed to (the ring owner at
+  /// admission).
+  std::string Owner;
+  int Retries = 0;
+  std::vector<std::pair<std::string, double>> Hops;
+  /// "response", "reject" (relayed), "orphan", or a router reject code
+  /// ("upstream", "no_backends", ...).
+  std::string Verdict;
+  double TotalSeconds = 0.0;
 };
 
 /// Loop-side counters, snapshotted by Router::stats().
@@ -154,6 +188,8 @@ public:
   /// (backend name, on-the-ring) pairs — the tests' view of the health
   /// state machine.
   std::vector<std::pair<std::string, bool>> backendHealth() const;
+  /// Snapshot of the flight recorder, oldest first. Thread-safe.
+  std::vector<FlightRecord> flightRecords() const;
 
 private:
   struct ClientConn {
@@ -185,6 +221,17 @@ private:
     std::vector<std::string> Tried;
     uint64_t TimerId = 0; ///< upstream-timeout wheel id, 0 = none
     uint64_t StartNs = 0;
+    /// Trace context from the client's Request frame, re-emitted (with
+    /// the router's route span as parent) on every upstream send.
+    net::TraceContext Trace;
+    bool HasTrace = false;
+    /// The router's own span id for this request ("route"), allocated
+    /// at admission so upstream sends can name it as parent before the
+    /// span's completion event is recorded at answer time.
+    uint64_t RouteSpanId = 0;
+    uint64_t HopStartNs = 0; ///< when the current upstream send left
+    /// Completed hops: (backend, seconds from send to answer/failure).
+    std::vector<std::pair<std::string, double>> Hops;
   };
 
   struct Backend {
@@ -219,6 +266,9 @@ private:
   void clientEvent(uint64_t Id, unsigned Events, uint64_t NowNs);
   void processClientFrames(ClientConn &C, uint64_t NowNs);
   void routeRequest(ClientConn &C, net::Frame &F, uint64_t NowNs);
+  /// Answers a StatsFetch with the router's live metrics, trace ring,
+  /// and flight records as a StatsData frame.
+  void handleStatsFetch(ClientConn &C, net::Frame &F);
   void enqueueClientFrame(ClientConn &C, net::FrameType Type,
                           uint64_t Correlation,
                           const std::string &Payload);
@@ -256,6 +306,11 @@ private:
   /// failure, exhausted budget).
   void rejectPending(PendingRequest &P, const std::string &Code,
                      const std::string &Reason);
+  /// Retires \p P into the flight recorder and, when it was slow or
+  /// failed and the slow log is on, dumps it as a JSON line. Also emits
+  /// the request's "route" span when it carried a trace context.
+  void recordFlight(const PendingRequest &P, const std::string &Verdict,
+                    uint64_t NowNs);
   void healthTick(uint64_t NowNs);
   void armHealthTimer(uint64_t NowNs);
   void startDrainOnLoop();
@@ -295,12 +350,21 @@ private:
   std::condition_variable DrainedCv;
   bool Drained = false;
 
+  // Flight recorder: written by the loop thread, snapshotted by
+  // flightRecords()/StatsFetch scrapes.
+  mutable std::mutex FlightMu;
+  RingBuffer<FlightRecord> Flight; ///< guarded by FlightMu
+  std::FILE *SlowLog = nullptr;    ///< loop-thread-only, owned iff not stderr
+  bool SlowLogOwned = false;
+
   obs::Gauge *BackendsGauge = nullptr;
   obs::Gauge *ClientConnsGauge = nullptr;
   obs::Counter *RetriesCtr = nullptr;
   obs::Counter *EvictionsCtr = nullptr;
   obs::Counter *ReinstatementsCtr = nullptr;
   obs::Counter *RejectsCtr = nullptr;
+  obs::Counter *SlowCtr = nullptr;
+  obs::Counter *ScrapesCtr = nullptr;
 };
 
 } // namespace cluster

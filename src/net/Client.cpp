@@ -112,11 +112,12 @@ ErrorOr<bool> Client::sendRaw(const void *Data, size_t Len) {
 }
 
 ErrorOr<uint64_t> Client::sendRequest(const JobRequest &Request,
-                                      uint64_t Correlation) {
+                                      uint64_t Correlation,
+                                      const TraceContext *Trace) {
   if (Correlation == 0)
     Correlation = NextCorrelation++;
   std::string F = encodeFrame(FrameType::Request, Correlation,
-                              jobRequestToJson(Request));
+                              jobRequestToJson(Request), Trace);
   ErrorOr<bool> S = sendRaw(F.data(), F.size());
   if (!S)
     return makeError(S.message());
@@ -135,12 +136,25 @@ ErrorOr<uint64_t> Client::ping(uint64_t Correlation) {
 }
 
 ErrorOr<uint64_t> Client::sendPeerFetch(const std::string &FingerprintHex,
-                                        uint64_t Correlation) {
+                                        uint64_t Correlation,
+                                        const TraceContext *Trace) {
   if (Correlation == 0)
     Correlation = NextCorrelation++;
   std::string F = encodeFrame(FrameType::PeerFetch, Correlation,
                               "{\"fingerprint\":\"" +
-                                  jsonEscape(FingerprintHex) + "\"}");
+                                  jsonEscape(FingerprintHex) + "\"}",
+                              Trace);
+  ErrorOr<bool> S = sendRaw(F.data(), F.size());
+  if (!S)
+    return makeError(S.message());
+  return Correlation;
+}
+
+ErrorOr<uint64_t> Client::sendStatsFetch(uint64_t Correlation) {
+  if (Correlation == 0)
+    Correlation = NextCorrelation++;
+  std::string F =
+      encodeFrame(FrameType::StatsFetch, Correlation, std::string());
   ErrorOr<bool> S = sendRaw(F.data(), F.size());
   if (!S)
     return makeError(S.message());
@@ -193,8 +207,9 @@ ErrorOr<Frame> Client::readFrame(int TimeoutMs) {
   }
 }
 
-ErrorOr<JobResult> Client::call(const JobRequest &Request, int TimeoutMs) {
-  ErrorOr<uint64_t> Corr = sendRequest(Request);
+ErrorOr<JobResult> Client::call(const JobRequest &Request, int TimeoutMs,
+                                const TraceContext *Trace) {
+  ErrorOr<uint64_t> Corr = sendRequest(Request, 0, Trace);
   if (!Corr)
     return makeError(Corr.message());
   for (;;) {

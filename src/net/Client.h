@@ -76,9 +76,11 @@ public:
 
   /// Sends one Request frame carrying \p Request as JSON. \returns the
   /// correlation id used (auto-assigned from an internal counter when
-  /// \p Correlation is 0).
+  /// \p Correlation is 0). A non-null valid \p Trace rides in the
+  /// frame's extension block.
   ErrorOr<uint64_t> sendRequest(const JobRequest &Request,
-                                uint64_t Correlation = 0);
+                                uint64_t Correlation = 0,
+                                const TraceContext *Trace = nullptr);
 
   /// Sends one Ping frame. \returns its correlation id.
   ErrorOr<uint64_t> ping(uint64_t Correlation = 0);
@@ -86,7 +88,12 @@ public:
   /// Sends one PeerFetch frame probing the peer's result cache for
   /// \p FingerprintHex (32 hex chars). \returns its correlation id.
   ErrorOr<uint64_t> sendPeerFetch(const std::string &FingerprintHex,
-                                  uint64_t Correlation = 0);
+                                  uint64_t Correlation = 0,
+                                  const TraceContext *Trace = nullptr);
+
+  /// Sends one StatsFetch frame (live metrics/trace scrape probe).
+  /// \returns its correlation id.
+  ErrorOr<uint64_t> sendStatsFetch(uint64_t Correlation = 0);
 
   /// Writes raw bytes to the socket — protocol tests send truncated and
   /// corrupted frames through this.
@@ -102,7 +109,8 @@ public:
   /// this request's correlation id answers (other frames are dropped —
   /// use the split halves to pipeline). A Reject for this id is an
   /// error of the form "rejected: <code>: <reason>".
-  ErrorOr<JobResult> call(const JobRequest &Request, int TimeoutMs);
+  ErrorOr<JobResult> call(const JobRequest &Request, int TimeoutMs,
+                          const TraceContext *Trace = nullptr);
 
   /// Half-close: no more writes; the server answers what is in flight,
   /// flushes, and closes (readFrame then reports EOF).

@@ -546,18 +546,36 @@ size_t Server::processFrames(Reactor &R, Connection &C, uint64_t NowNs) {
       std::lock_guard<std::mutex> L(R.StatsMu);
       ++R.Counters.FramesIn;
     }
+    // Install the frame's trace context (or clear any stale one) so
+    // every span below — and the JobRequest handed to the pipeline —
+    // inherits the sender's trace id.
+    obs::SpanContext FrameCtx;
+    if (F.HasTrace) {
+      FrameCtx.TraceHi = F.Trace.TraceHi;
+      FrameCtx.TraceLo = F.Trace.TraceLo;
+      FrameCtx.Span = F.Trace.ParentSpan;
+      FrameCtx.Sampled = F.Trace.Sampled;
+    }
+    obs::ScopedSpanContext CtxGuard(FrameCtx);
     obs::TraceSpan Span("frame", "net");
     Span.arg("bytes", static_cast<double>(F.Payload.size()));
 
     switch (F.Type) {
     case FrameType::Ping:
-      enqueueFrame(R, C, FrameType::Pong, F.Correlation, std::string());
+      // The monotonic-clock stamp lets scrapers align per-process
+      // clocks from the RTT midpoint; old clients ignore Pong payloads.
+      enqueueFrame(R, C, FrameType::Pong, F.Correlation,
+                   "{\"now_ns\":" + std::to_string(monotonicNanos()) +
+                       "}");
       break;
     case FrameType::Request:
       handleRequest(R, C, F, NowNs);
       break;
     case FrameType::PeerFetch:
       handlePeerFetch(R, C, F);
+      break;
+    case FrameType::StatsFetch:
+      handleStatsFetch(R, C, F);
       break;
     default:
       // Response/Reject/Pong/PeerData are server-to-client only.
@@ -624,6 +642,16 @@ void Server::handleRequest(Reactor &R, Connection &C, Frame &F,
     sendReject(R, C, F.Correlation, "bad_request", Req.message());
     return;
   }
+  // Hand the pipeline the thread's current context (the frame span when
+  // tracing is on, else the sender's raw context): the job span and
+  // everything under it, including peer fills, join the same trace.
+  obs::SpanContext Ctx = obs::currentSpanContext();
+  if (Ctx.valid()) {
+    Req->TraceHi = Ctx.TraceHi;
+    Req->TraceLo = Ctx.TraceLo;
+    Req->TraceParentSpan = Ctx.Span;
+    Req->TraceSampled = Ctx.Sampled;
+  }
 
   uint64_t ConnId = C.Id;
   uint64_t Corr = F.Correlation;
@@ -677,7 +705,9 @@ void Server::handlePeerFetch(Reactor &R, Connection &C, Frame &F) {
     sendReject(R, C, F.Correlation, "bad_request", Fp.message());
     return;
   }
+  obs::TraceSpan Span("peer_serve", "net");
   std::shared_ptr<const CachedSchedule> Hit = Service.cachePeek(*Fp);
+  Span.arg("hit", Hit ? 1.0 : 0.0);
   {
     std::lock_guard<std::mutex> L(R.StatsMu);
     ++R.Counters.PeerFetches;
@@ -686,6 +716,29 @@ void Server::handlePeerFetch(Reactor &R, Connection &C, Frame &F) {
   }
   enqueueFrame(R, C, FrameType::PeerData, F.Correlation,
                peerDataToJson(Hit.get()));
+}
+
+void Server::handleStatsFetch(Reactor &R, Connection &C, Frame &F) {
+  // Served inline on the reactor like PeerFetch: the renders take the
+  // registry/ring locks briefly, and scrapes are rare (human or CI
+  // cadence) next to request traffic.
+  static obs::Counter &Scrapes = obs::metrics().counter(
+      "cdvs_stats_scrapes_total",
+      "StatsFetch scrapes answered over the wire.");
+  Scrapes.inc();
+  std::string Payload = "{\"role\":\"server\",\"pid\":" +
+                        std::to_string(static_cast<long>(getpid())) +
+                        ",\"now_ns\":" +
+                        std::to_string(monotonicNanos()) +
+                        ",\"trace_dropped\":" +
+                        std::to_string(obs::trace().dropped()) +
+                        ",\"metrics\":\"" +
+                        jsonEscape(obs::metrics().renderPrometheus()) +
+                        "\",\"trace\":" +
+                        obs::trace().renderChromeTrace(
+                            static_cast<int>(getpid()), "dvs-server") +
+                        "}";
+  enqueueFrame(R, C, FrameType::StatsData, F.Correlation, Payload);
 }
 
 void Server::handleCompletions(Reactor &R, uint64_t NowNs) {

@@ -316,6 +316,10 @@ private:
   /// cache — a peek, so peer probes never skew hit/miss counters or LRU
   /// recency.
   void handlePeerFetch(Reactor &R, Connection &C, Frame &F);
+  /// Answers a StatsFetch live-scrape probe with a StatsData bundle:
+  /// process role, metrics exposition, and the recent trace buffer
+  /// (dvs-stat --scrape merges these across endpoints).
+  void handleStatsFetch(Reactor &R, Connection &C, Frame &F);
   /// \returns the shed class ("lax"/"hard") when the reactor's pending
   /// count says this request must be refused, nullptr to admit.
   const char *shedClass(const Reactor &R, const Frame &F) const;

@@ -29,13 +29,17 @@ const char *cdvs::net::frameTypeName(FrameType Type) {
     return "peer_fetch";
   case FrameType::PeerData:
     return "peer_data";
+  case FrameType::StatsFetch:
+    return "stats_fetch";
+  case FrameType::StatsData:
+    return "stats_data";
   }
   cdvsUnreachable("bad FrameType");
 }
 
 bool cdvs::net::validFrameType(uint8_t Raw) {
   return Raw >= static_cast<uint8_t>(FrameType::Request) &&
-         Raw <= static_cast<uint8_t>(FrameType::PeerData);
+         Raw <= static_cast<uint8_t>(FrameType::StatsData);
 }
 
 const char *cdvs::net::wireStatusName(WireStatus Status) {
@@ -52,6 +56,8 @@ const char *cdvs::net::wireStatusName(WireStatus Status) {
     return "bad_type";
   case WireStatus::BadReserved:
     return "bad_reserved";
+  case WireStatus::BadExtension:
+    return "bad_extension";
   case WireStatus::Oversized:
     return "too_large";
   }
@@ -63,7 +69,7 @@ void cdvs::net::encodeFrameHeader(const FrameHeader &H,
   std::memcpy(Out, kWireMagic, 4);
   Out[4] = kWireVersion;
   Out[5] = static_cast<unsigned char>(H.Type);
-  Out[6] = 0;
+  Out[6] = H.ExtBytes;
   Out[7] = 0;
   for (int I = 0; I < 8; ++I)
     Out[8 + I] = static_cast<unsigned char>(H.Correlation >> (8 * I));
@@ -73,17 +79,76 @@ void cdvs::net::encodeFrameHeader(const FrameHeader &H,
 
 std::string cdvs::net::encodeFrame(FrameType Type, uint64_t Correlation,
                                    const std::string &Payload) {
+  return encodeFrame(Type, Correlation, Payload, nullptr);
+}
+
+std::string cdvs::net::encodeFrame(FrameType Type, uint64_t Correlation,
+                                   const std::string &Payload,
+                                   const TraceContext *Trace) {
+  bool WithTrace = Trace && Trace->valid();
   FrameHeader H;
   H.Type = Type;
+  H.ExtBytes = WithTrace ? static_cast<uint8_t>(2 + kExtTraceBytes) : 0;
   H.Correlation = Correlation;
   H.PayloadBytes = static_cast<uint32_t>(Payload.size());
   unsigned char Hdr[kFrameHeaderBytes];
   encodeFrameHeader(H, Hdr);
   std::string Out;
-  Out.reserve(kFrameHeaderBytes + Payload.size());
+  Out.reserve(kFrameHeaderBytes + H.ExtBytes + Payload.size());
   Out.append(reinterpret_cast<const char *>(Hdr), kFrameHeaderBytes);
+  if (WithTrace) {
+    unsigned char Ext[2 + kExtTraceBytes];
+    Ext[0] = kExtTrace;
+    Ext[1] = kExtTraceBytes;
+    for (int I = 0; I < 8; ++I)
+      Ext[2 + I] = static_cast<unsigned char>(Trace->TraceHi >> (8 * I));
+    for (int I = 0; I < 8; ++I)
+      Ext[10 + I] = static_cast<unsigned char>(Trace->TraceLo >> (8 * I));
+    for (int I = 0; I < 8; ++I)
+      Ext[18 + I] =
+          static_cast<unsigned char>(Trace->ParentSpan >> (8 * I));
+    Ext[26] = Trace->Sampled ? 1 : 0;
+    Out.append(reinterpret_cast<const char *>(Ext), sizeof(Ext));
+  }
   Out += Payload;
   return Out;
+}
+
+WireStatus cdvs::net::decodeExtensions(const unsigned char *Data,
+                                       size_t Len, TraceContext &Trace,
+                                       bool &HasTrace) {
+  size_t Pos = 0;
+  while (Pos < Len) {
+    // Every record needs its two-byte type/length prologue and `length`
+    // data bytes inside the block — a truncated record is an error, not
+    // a skip, because the block boundary is already known exactly.
+    if (Pos + 2 > Len)
+      return WireStatus::BadExtension;
+    uint8_t RecType = Data[Pos];
+    uint8_t RecLen = Data[Pos + 1];
+    if (Pos + 2 + RecLen > Len)
+      return WireStatus::BadExtension;
+    const unsigned char *Rec = Data + Pos + 2;
+    if (RecType == kExtTrace) {
+      if (RecLen != kExtTraceBytes)
+        return WireStatus::BadExtension;
+      Trace.TraceHi = 0;
+      Trace.TraceLo = 0;
+      Trace.ParentSpan = 0;
+      for (int I = 7; I >= 0; --I)
+        Trace.TraceHi = (Trace.TraceHi << 8) | Rec[I];
+      for (int I = 7; I >= 0; --I)
+        Trace.TraceLo = (Trace.TraceLo << 8) | Rec[8 + I];
+      for (int I = 7; I >= 0; --I)
+        Trace.ParentSpan = (Trace.ParentSpan << 8) | Rec[16 + I];
+      Trace.Sampled = (Rec[24] & 1) != 0;
+      HasTrace = true;
+    }
+    // Unknown record types are skipped: that is how a newer sender
+    // talks to this build without being rejected.
+    Pos += 2 + static_cast<size_t>(RecLen);
+  }
+  return WireStatus::Ok;
 }
 
 WireStatus cdvs::net::decodeFrameHeader(const unsigned char *Data,
@@ -97,9 +162,10 @@ WireStatus cdvs::net::decodeFrameHeader(const unsigned char *Data,
     return WireStatus::BadVersion;
   if (!validFrameType(Data[5]))
     return WireStatus::BadType;
-  if (Data[6] != 0 || Data[7] != 0)
+  if (Data[7] != 0)
     return WireStatus::BadReserved;
   Out.Type = static_cast<FrameType>(Data[5]);
+  Out.ExtBytes = Data[6];
   Out.Correlation = 0;
   for (int I = 7; I >= 0; --I)
     Out.Correlation = (Out.Correlation << 8) | Data[8 + I];
@@ -120,7 +186,9 @@ WireStatus cdvs::net::validateHeaderPrefix(const unsigned char *Data,
     return WireStatus::BadVersion;
   if (Len > 5 && !validFrameType(Data[5]))
     return WireStatus::BadType;
-  if ((Len > 6 && Data[6] != 0) || (Len > 7 && Data[7] != 0))
+  // Byte 6 is the extension length — any value is structurally legal
+  // here; byte 7 is still reserved-must-be-zero.
+  if (Len > 7 && Data[7] != 0)
     return WireStatus::BadReserved;
   return WireStatus::Ok;
 }
@@ -147,12 +215,26 @@ FrameParser::Next FrameParser::next(Frame &Out) {
     Err = S;
     return Next::Error;
   }
-  if (Buf.size() < kFrameHeaderBytes + H.PayloadBytes)
+  size_t Total = kFrameHeaderBytes + H.ExtBytes + H.PayloadBytes;
+  if (Buf.size() < Total)
     return Next::NeedMore;
   Out.Type = H.Type;
   Out.Correlation = H.Correlation;
-  Out.Payload.assign(Buf, kFrameHeaderBytes, H.PayloadBytes);
-  Buf.erase(0, kFrameHeaderBytes + H.PayloadBytes);
+  Out.Trace = TraceContext();
+  Out.HasTrace = false;
+  if (H.ExtBytes != 0) {
+    WireStatus E = decodeExtensions(
+        reinterpret_cast<const unsigned char *>(Buf.data()) +
+            kFrameHeaderBytes,
+        H.ExtBytes, Out.Trace, Out.HasTrace);
+    if (E != WireStatus::Ok) {
+      Err = E;
+      return Next::Error;
+    }
+  }
+  Out.Payload.assign(Buf, kFrameHeaderBytes + H.ExtBytes,
+                     H.PayloadBytes);
+  Buf.erase(0, Total);
   return Next::Frame;
 }
 

@@ -6,32 +6,52 @@
 ///
 /// \file
 /// The `cdvs-wire v1` framing shared by net::Server, net::Client, and
-/// the load generator. Every frame is a fixed 20-byte header followed by
-/// an opaque payload:
+/// the load generator. Every frame is a fixed 20-byte header, an
+/// optional extension block, and an opaque payload:
 ///
 ///   offset  size  field
 ///        0     4  magic "CDVS"
 ///        4     1  version (currently 1)
 ///        5     1  frame type (FrameType)
-///        6     2  reserved, must be zero
+///        6     1  extension block length in bytes (0 in old frames)
+///        7     1  reserved, must be zero
 ///        8     8  correlation id, little-endian
 ///       16     4  payload length in bytes, little-endian
-///       20     n  payload
+///       20     e  extension block (TLV records, e = byte 6)
+///     20+e     n  payload
+///
+/// The extension block is a sequence of [type:1][len:1][data:len]
+/// records. Receivers skip record types they do not know — that is the
+/// forward-compatibility contract — but a record that overruns the
+/// block, or a known type with the wrong length, is a framing error
+/// (BadExtension). The one record this build emits is the trace
+/// context (type 1, 25 bytes): 128-bit trace id (hi/lo, little-endian
+/// u64 each), parent span id (little-endian u64), and a flags byte
+/// whose bit 0 is the sampling decision. Frames written by older
+/// builds carry extension length 0 and parse exactly as before.
 ///
 /// Payloads are the service's existing request/response vocabulary in
 /// JSON (service/JobIO.h) — a Request carries one dvsd-style request
 /// object, a Response one result object whose `schedule` field is the
 /// `cdvs-schedule v1` text (dvs/ScheduleIO.h). Reject payloads are a
-/// small {"code","reason"} object; Ping/Pong payloads are empty.
+/// small {"code","reason"} object; Ping payloads are empty, and Pong
+/// payloads are either empty (old builds) or {"now_ns":<monotonic
+/// clock>} so scrapers can align per-process clocks from RTT
+/// midpoints.
 /// PeerFetch/PeerData are the backend-to-backend cache-fill pair: a
 /// PeerFetch carries {"fingerprint":"<32 hex>"}, its PeerData answer a
 /// {"found",...} object serializing the cached schedule (or a miss) —
-/// see service/JobIO.h. The
+/// see service/JobIO.h. StatsFetch/StatsData are the live-scrape pair:
+/// StatsFetch carries an empty payload, StatsData answers with one
+/// JSON object bundling the process role, Prometheus metrics text, and
+/// the recent trace buffer (dvs-stat --scrape merges these across
+/// endpoints). The
 /// correlation id is chosen by the client and echoed verbatim, which is
 /// what lets responses stream back out of order over one connection.
 ///
 /// Decoding is strict: wrong magic, unknown version or type, a nonzero
-/// reserved field, or a payload length above the receiver's limit are
+/// reserved field, a malformed extension block, or a payload length
+/// above the receiver's limit are
 /// distinct errors, not best-effort skips — the peer is told (a Reject
 /// frame) and the connection is closed, because a framing error means
 /// the byte stream can no longer be trusted.
@@ -61,13 +81,15 @@ inline constexpr size_t kDefaultMaxPayloadBytes = 1u << 20;
 
 /// Frame kinds of cdvs-wire v1.
 enum class FrameType : uint8_t {
-  Request = 1,   ///< client -> server: one JSON job request
-  Response = 2,  ///< server -> client: one JSON job result
-  Reject = 3,    ///< server -> client: structured {"code","reason"}
-  Ping = 4,      ///< either direction: liveness probe, empty payload
-  Pong = 5,      ///< answer to Ping, correlation id echoed
-  PeerFetch = 6, ///< backend -> backend: {"fingerprint"} cache probe
-  PeerData = 7,  ///< answer to PeerFetch: cached schedule, or a miss
+  Request = 1,    ///< client -> server: one JSON job request
+  Response = 2,   ///< server -> client: one JSON job result
+  Reject = 3,     ///< server -> client: structured {"code","reason"}
+  Ping = 4,       ///< either direction: liveness probe, empty payload
+  Pong = 5,       ///< answer to Ping, correlation id echoed
+  PeerFetch = 6,  ///< backend -> backend: {"fingerprint"} cache probe
+  PeerData = 7,   ///< answer to PeerFetch: cached schedule, or a miss
+  StatsFetch = 8, ///< scraper -> process: live stats probe, empty
+  StatsData = 9,  ///< answer to StatsFetch: role + metrics + traces
 };
 
 /// \returns a printable lower-case name ("request", "response", ...).
@@ -76,9 +98,28 @@ const char *frameTypeName(FrameType Type);
 /// True when \p Raw is a FrameType this version understands.
 bool validFrameType(uint8_t Raw);
 
+/// The per-request trace context carried in a frame's extension block:
+/// a 128-bit trace id naming the whole distributed request, the span id
+/// of the sender's enclosing span, and the sampling decision. A zero
+/// trace id means "no context".
+struct TraceContext {
+  uint64_t TraceHi = 0;
+  uint64_t TraceLo = 0;
+  uint64_t ParentSpan = 0;
+  bool Sampled = false;
+
+  bool valid() const { return TraceHi != 0 || TraceLo != 0; }
+};
+
+/// Extension record type carrying a TraceContext.
+inline constexpr uint8_t kExtTrace = 1;
+/// Payload bytes of a trace extension record: 3 LE u64 + flags byte.
+inline constexpr uint8_t kExtTraceBytes = 25;
+
 /// The decoded fixed-size frame header.
 struct FrameHeader {
   FrameType Type = FrameType::Ping;
+  uint8_t ExtBytes = 0;
   uint64_t Correlation = 0;
   uint32_t PayloadBytes = 0;
 };
@@ -88,17 +129,20 @@ struct Frame {
   FrameType Type = FrameType::Ping;
   uint64_t Correlation = 0;
   std::string Payload;
+  TraceContext Trace; ///< valid only when HasTrace
+  bool HasTrace = false;
 };
 
 /// Outcome of decoding a header prefix.
 enum class WireStatus {
-  Ok,          ///< header decoded into the out-param
-  NeedMore,    ///< fewer than kFrameHeaderBytes available
-  BadMagic,    ///< first four bytes are not "CDVS"
-  BadVersion,  ///< version byte this build does not speak
-  BadType,     ///< unknown frame type
-  BadReserved, ///< reserved field nonzero
-  Oversized,   ///< payload length above the receiver's cap
+  Ok,           ///< header decoded into the out-param
+  NeedMore,     ///< fewer than kFrameHeaderBytes available
+  BadMagic,     ///< first four bytes are not "CDVS"
+  BadVersion,   ///< version byte this build does not speak
+  BadType,      ///< unknown frame type
+  BadReserved,  ///< reserved field nonzero
+  BadExtension, ///< extension block is structurally malformed
+  Oversized,    ///< payload length above the receiver's cap
 };
 
 /// \returns a printable name for a WireStatus ("ok", "bad_magic", ...).
@@ -111,6 +155,20 @@ void encodeFrameHeader(const FrameHeader &H,
 /// Builds a complete frame: header + \p Payload.
 std::string encodeFrame(FrameType Type, uint64_t Correlation,
                         const std::string &Payload);
+
+/// Builds a complete frame carrying \p Trace in the extension block
+/// (or none when \p Trace is null or invalid — identical bytes to the
+/// plain overload, so unsampled traffic pays nothing on the wire).
+std::string encodeFrame(FrameType Type, uint64_t Correlation,
+                        const std::string &Payload,
+                        const TraceContext *Trace);
+
+/// Walks \p Len bytes of extension block: unknown record types are
+/// skipped, a trace record (kExtTrace) is decoded into \p Trace and
+/// \p HasTrace set. \returns BadExtension when a record overruns the
+/// block or a trace record has the wrong length, Ok otherwise.
+WireStatus decodeExtensions(const unsigned char *Data, size_t Len,
+                            TraceContext &Trace, bool &HasTrace);
 
 /// Decodes a header from \p Data (length \p Len). Payload lengths above
 /// \p MaxPayloadBytes decode as Oversized (the header itself is still

@@ -157,6 +157,46 @@ const std::vector<double> &cdvs::obs::latencyBucketsSeconds() {
   return B;
 }
 
+double cdvs::obs::bucketQuantile(
+    const std::vector<std::pair<double, double>> &Buckets, double Q) {
+  if (Buckets.empty())
+    return 0.0;
+  double Total = Buckets.back().second;
+  if (Total <= 0.0)
+    return 0.0;
+  auto lowerBound = [&](size_t I) {
+    return I == 0 ? 0.0 : Buckets[I - 1].first;
+  };
+  // First and last populated buckets bound everything observable.
+  size_t First = 0;
+  while (Buckets[First].second <= 0.0)
+    ++First;
+  size_t Last = First;
+  while (Buckets[Last].second < Total)
+    ++Last;
+  if (Q <= 0.0)
+    return lowerBound(First);
+  if (Q >= 1.0 || First == Last)
+    // The edge (and a distribution confined to one bucket) has no
+    // interpolation room: answer the tightest knowable bound.
+    return std::isinf(Buckets[Last].first) ? lowerBound(Last)
+                                           : Buckets[Last].first;
+  double Rank = Q * Total;
+  for (size_t I = First; I <= Last; ++I) {
+    if (Buckets[I].second >= Rank) {
+      double Lo = lowerBound(I);
+      double LoCount = I == 0 ? 0.0 : Buckets[I - 1].second;
+      double Hi = Buckets[I].first;
+      if (std::isinf(Hi))
+        return Lo; // best knowable bound
+      double Span = Buckets[I].second - LoCount;
+      double Frac = Span > 0.0 ? (Rank - LoCount) / Span : 0.0;
+      return Lo + Frac * (Hi - Lo);
+    }
+  }
+  return Buckets[Last].first;
+}
+
 MetricsRegistry::Series &
 MetricsRegistry::getOrCreate(const std::string &Name,
                              const std::string &Help, Kind K,

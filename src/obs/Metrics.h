@@ -112,6 +112,18 @@ std::vector<double> exponentialBuckets(double Start, double Factor,
 /// One ladder everywhere keeps stage latencies cross-comparable.
 const std::vector<double> &latencyBucketsSeconds();
 
+/// Quantile estimate over cumulative histogram buckets, Prometheus
+/// histogram_quantile style: \p Buckets is (le, cumulative count)
+/// sorted ascending, normally ending with +Inf. Interpolates linearly
+/// inside the bucket holding rank Q*count, with exact edges: Q <= 0
+/// returns the first populated bucket's lower bound, Q >= 1 the last
+/// populated bucket's upper bound (its lower bound when that bucket is
+/// +Inf), and a distribution confined to one bucket returns that
+/// bucket's upper bound — never a NaN, never a value outside the
+/// populated range. Empty or all-zero buckets return 0.
+double bucketQuantile(const std::vector<std::pair<double, double>> &Buckets,
+                      double Q);
+
 /// Name-keyed instrument store; see the file comment.
 class MetricsRegistry {
 public:

@@ -6,6 +6,8 @@
 
 #include "obs/Trace.h"
 
+#include "obs/Metrics.h"
+
 #include <cstdio>
 
 using namespace cdvs;
@@ -26,9 +28,23 @@ void TraceRecorder::clear() {
 }
 
 void TraceRecorder::record(const TraceEvent &E) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  if (!Ring.push(E))
-    ++Dropped;
+  bool Overwrote = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Ring.push(E)) {
+      ++Dropped;
+      Overwrote = true;
+    }
+  }
+  if (Overwrote) {
+    // Ring saturation is a measurement gap: count it where scrapers
+    // look (dvs-stat surfaces this family next to the trace itself).
+    static Counter &DroppedCtr = metrics().counter(
+        "cdvs_trace_dropped_total",
+        "Trace events lost to ring-buffer overwrite since process "
+        "start.");
+    DroppedCtr.inc();
+  }
 }
 
 size_t TraceRecorder::size() const {
@@ -72,12 +88,27 @@ std::string formatUs(uint64_t Nanos) {
   return Buf;
 }
 
+std::string hex64(uint64_t V) {
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
 } // namespace
 
-std::string TraceRecorder::renderChromeTrace() const {
+std::string TraceRecorder::renderChromeTrace(int Pid,
+                                             const char *ProcessName)
+    const {
   std::lock_guard<std::mutex> Lock(Mu);
+  std::string PidStr = std::to_string(Pid);
   std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool First = true;
+  if (ProcessName) {
+    Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + PidStr +
+           ",\"args\":{\"name\":" + jsonStr(ProcessName) + "}}";
+    First = false;
+  }
   Ring.forEach([&](const TraceEvent &E) {
     if (!First)
       Out += ",";
@@ -85,12 +116,17 @@ std::string TraceRecorder::renderChromeTrace() const {
     Out += "{\"name\":" + jsonStr(E.Name) +
            ",\"cat\":" + jsonStr(E.Cat) + ",\"ph\":\"";
     Out += E.Phase;
-    Out += "\",\"pid\":1,\"tid\":" + std::to_string(E.Tid) +
+    Out += "\",\"pid\":" + PidStr +
+           ",\"tid\":" + std::to_string(E.Tid) +
            ",\"ts\":" + formatUs(E.StartNs);
     if (E.Phase == 'X')
       Out += ",\"dur\":" + formatUs(E.DurNs);
     if (E.Phase == 'i')
       Out += ",\"s\":\"t\""; // thread-scoped instant
+    if (E.TraceHi != 0 || E.TraceLo != 0)
+      Out += ",\"trace_id\":\"" + hex64(E.TraceHi) + hex64(E.TraceLo) +
+             "\",\"span_id\":\"" + hex64(E.SpanId) +
+             "\",\"parent_span_id\":\"" + hex64(E.ParentSpan) + "\"";
     if (E.ArgKey0) {
       Out += ",\"args\":{" + jsonStr(E.ArgKey0) + ":" +
              formatNum(E.ArgVal0);
@@ -114,6 +150,33 @@ uint32_t cdvs::obs::traceThreadId() {
   thread_local uint32_t Id =
       Next.fetch_add(1, std::memory_order_relaxed);
   return Id;
+}
+
+namespace {
+thread_local SpanContext CurrentCtx;
+} // namespace
+
+SpanContext cdvs::obs::currentSpanContext() { return CurrentCtx; }
+
+void cdvs::obs::setSpanContext(const SpanContext &Ctx) {
+  CurrentCtx = Ctx;
+}
+
+uint64_t cdvs::obs::nextSpanId() {
+  // splitmix64 over a per-process random-ish seed plus a counter: ids
+  // are unique within the process and collide across processes with
+  // negligible probability, which is all span identity needs.
+  static std::atomic<uint64_t> Seq{
+      (static_cast<uint64_t>(
+           reinterpret_cast<uintptr_t>(&CurrentCtx)) << 16) ^
+      monotonicNanos()};
+  uint64_t Z = Seq.fetch_add(0x9e3779b97f4a7c15ull,
+                             std::memory_order_relaxed) +
+               0x9e3779b97f4a7c15ull;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  Z = Z ^ (Z >> 31);
+  return Z ? Z : 1;
 }
 
 void cdvs::obs::traceInstant(const char *Name, const char *Cat,

@@ -9,8 +9,17 @@
 /// monotonic begin/end times (support/Clock.h) for a named scope; spans
 /// on the same thread nest by time containment, which is exactly how the
 /// Chrome trace_event viewer (about:tracing, Perfetto) reconstructs call
-/// trees, so no explicit parent ids are carried. Instant events mark
-/// points in time (incumbent updates, admissions).
+/// trees, so explicit parent ids are not needed within one process.
+/// Instant events mark points in time (incumbent updates, admissions).
+///
+/// For requests that cross processes (router -> server -> peer), a
+/// thread-local SpanContext carries the distributed identity: a 128-bit
+/// trace id, the nearest enclosing span id, and the sampling decision.
+/// A ScopedSpanContext installs the context decoded from a wire frame;
+/// every TraceSpan opened underneath allocates its own span id, stamps
+/// trace/span/parent ids into its event, and becomes the parent of
+/// deeper spans. dvs-stat stitches the per-process dumps back into one
+/// timeline by these ids.
 ///
 /// The sink is a bounded drop-oldest ring (support/RingBuffer.h): a long
 /// run keeps the newest events and never grows. flushChromeTrace()
@@ -54,6 +63,49 @@ struct TraceEvent {
   double ArgVal0 = 0.0;
   const char *ArgKey1 = nullptr;
   double ArgVal1 = 0.0;
+  /// Distributed identity (all zero for spans opened outside any
+  /// request context — local dvsd runs render exactly as before).
+  uint64_t TraceHi = 0;
+  uint64_t TraceLo = 0;
+  uint64_t SpanId = 0;
+  uint64_t ParentSpan = 0;
+};
+
+/// The thread's current position in a distributed trace: which trace it
+/// serves and which span is the nearest open ancestor. Installed from a
+/// decoded wire frame (ScopedSpanContext), advanced by TraceSpan.
+struct SpanContext {
+  uint64_t TraceHi = 0;
+  uint64_t TraceLo = 0;
+  uint64_t Span = 0;
+  bool Sampled = false;
+
+  bool valid() const { return TraceHi != 0 || TraceLo != 0; }
+};
+
+/// The calling thread's current context (zero when none installed).
+SpanContext currentSpanContext();
+/// Replaces the calling thread's context.
+void setSpanContext(const SpanContext &Ctx);
+/// A fresh process-unique span id (never zero).
+uint64_t nextSpanId();
+
+/// RAII: installs \p Ctx for the calling thread, restores the previous
+/// context on destruction. Used at wire boundaries (request handling,
+/// peer-fetch serving) where the context arrives by frame, not by
+/// lexical nesting.
+class ScopedSpanContext {
+public:
+  explicit ScopedSpanContext(const SpanContext &Ctx)
+      : Saved(currentSpanContext()) {
+    setSpanContext(Ctx);
+  }
+  ScopedSpanContext(const ScopedSpanContext &) = delete;
+  ScopedSpanContext &operator=(const ScopedSpanContext &) = delete;
+  ~ScopedSpanContext() { setSpanContext(Saved); }
+
+private:
+  SpanContext Saved;
 };
 
 /// Bounded trace sink; see the file comment.
@@ -84,8 +136,13 @@ public:
   /// Serializes the surviving events (oldest first) as Chrome
   /// trace_event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
   /// Timestamps are microseconds on the monotonic axis; load the file in
-  /// Perfetto or about:tracing.
-  std::string renderChromeTrace() const;
+  /// Perfetto or about:tracing. Events carry \p Pid, and a non-null
+  /// \p ProcessName adds a process_name metadata record so multi-process
+  /// assemblies (dvs-stat --merge-trace) label tracks by role. Spans
+  /// recorded under a SpanContext carry their trace/span/parent ids as
+  /// hex strings.
+  std::string renderChromeTrace(int Pid = 1,
+                                const char *ProcessName = nullptr) const;
 
 private:
   std::atomic<bool> Enabled{false};
@@ -116,17 +173,24 @@ public:
       E.Name = Name;
       E.Cat = Cat;
       E.StartNs = monotonicNanos();
+      SpanContext Ctx = currentSpanContext();
+      if (Ctx.valid()) {
+        // Tag the event with the distributed identity and make this
+        // span the parent of anything opened while it is live.
+        E.TraceHi = Ctx.TraceHi;
+        E.TraceLo = Ctx.TraceLo;
+        E.ParentSpan = Ctx.Span;
+        E.SpanId = nextSpanId();
+        Saved = Ctx;
+        Ctx.Span = E.SpanId;
+        setSpanContext(Ctx);
+        CtxPushed = true;
+      }
     }
   }
   TraceSpan(const TraceSpan &) = delete;
   TraceSpan &operator=(const TraceSpan &) = delete;
-  ~TraceSpan() {
-    if (E.Name) {
-      E.DurNs = monotonicNanos() - E.StartNs;
-      E.Tid = traceThreadId();
-      trace().record(E);
-    }
-  }
+  ~TraceSpan() { end(); }
 
   /// Attaches a numeric arg (at most two; extras are dropped). \p Key
   /// must outlive the recorder (use literals).
@@ -151,13 +215,22 @@ public:
       trace().record(E);
       E.Name = nullptr;
     }
+    if (CtxPushed) {
+      setSpanContext(Saved);
+      CtxPushed = false;
+    }
   }
 
   /// True when this span is live (tracing was enabled at construction).
   bool active() const { return E.Name != nullptr; }
 
+  /// This span's distributed id (0 outside a SpanContext).
+  uint64_t spanId() const { return E.SpanId; }
+
 private:
   TraceEvent E;
+  SpanContext Saved;
+  bool CtxPushed = false;
 };
 
 } // namespace obs

@@ -60,6 +60,15 @@ struct JobRequest {
   /// Regulator capacitance in farads (efficiency 0.9 and Imax 1 A are
   /// fixed, as in the paper's typical configuration).
   double CapacitanceF = 10e-6;
+
+  /// Distributed trace context, stamped by the wire layer when the
+  /// carrying frame had one. Deliberately NOT part of the request's
+  /// identity: it never enters requestKey/fingerprints and is never
+  /// serialized with the request. An all-zero trace id means untraced.
+  uint64_t TraceHi = 0;
+  uint64_t TraceLo = 0;
+  uint64_t TraceParentSpan = 0;
+  bool TraceSampled = false;
 };
 
 /// Terminal state of a job.

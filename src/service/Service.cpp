@@ -425,6 +425,16 @@ SchedulerService::profileStage(const JobRequest &Request,
 
 JobResult SchedulerService::execute(const JobRequest &Request,
                                     double QueueSeconds, long DequeueSeq) {
+  // Requests that arrived over the wire carry a distributed trace
+  // context; installing it here makes every pipeline span below (job,
+  // profile, bound, solve, peer_fill, serialize, verify) a child of
+  // the sender's span under one trace id.
+  obs::SpanContext Ctx;
+  Ctx.TraceHi = Request.TraceHi;
+  Ctx.TraceLo = Request.TraceLo;
+  Ctx.Span = Request.TraceParentSpan;
+  Ctx.Sampled = Request.TraceSampled;
+  obs::ScopedSpanContext CtxGuard(Ctx);
   obs::TraceSpan JobSpan("job", "service");
   JobSpan.arg("dequeue_seq", static_cast<double>(DequeueSeq));
   auto T0 = Clock::now();

@@ -20,16 +20,21 @@
 #include "net/Client.h"
 #include "net/Server.h"
 #include "service/JobIO.h"
+#include "service/JsonLite.h"
 #include "support/Clock.h"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace cdvs;
 using namespace cdvs::cluster;
@@ -296,6 +301,90 @@ TEST(ClusterRouter, EmptyRingDrawsNoBackendsReject) {
   EXPECT_NE(Res.message().find("no_backends"), std::string::npos)
       << Res.message();
   EXPECT_GE(R.stats().RejectsSent, 1);
+}
+
+TEST(ClusterRouter, FlightRecorderCapturesTracedRequestAndStatsScrape) {
+  net::Server B(backendOptions());
+  startOrDie(B);
+  RouterOptions O = routerOptions({nameOf(B)});
+  O.FlightCapacity = 16;
+  O.SlowLogMs = 1; // a cold MILP solve always clears 1ms
+  O.SlowLogPath = ::testing::TempDir() + "cdvs-router-slow-" +
+                  std::to_string(::getpid()) + ".jsonl";
+  Router R(O);
+  ErrorOr<bool> Started = R.start();
+  ASSERT_TRUE(Started.hasValue()) << Started.message();
+
+  net::Client C = connectOrDie(R);
+  net::TraceContext T;
+  T.TraceHi = 0x1234;
+  T.TraceLo = 0x5678;
+  T.ParentSpan = 7;
+  T.Sampled = true;
+  ErrorOr<uint64_t> Corr = C.sendRequest(gsmJob("flight"), 0, &T);
+  ASSERT_TRUE(Corr.hasValue()) << Corr.message();
+  for (;;) {
+    ErrorOr<net::Frame> F = C.readFrame(kFrameWaitMs);
+    ASSERT_TRUE(F.hasValue()) << F.message();
+    if (F->Correlation != *Corr)
+      continue;
+    ASSERT_EQ(F->Type, net::FrameType::Response);
+    break;
+  }
+
+  std::vector<FlightRecord> Recs = R.flightRecords();
+  ASSERT_EQ(Recs.size(), 1u);
+  const FlightRecord &Rec = Recs[0];
+  EXPECT_EQ(Rec.Verdict, "response");
+  EXPECT_EQ(Rec.Owner, nameOf(B));
+  EXPECT_EQ(Rec.Retries, 0);
+  EXPECT_EQ(Rec.TraceId, "00000000000012340000000000005678");
+  EXPECT_EQ(Rec.Key.size(), 32u);
+  ASSERT_EQ(Rec.Hops.size(), 1u);
+  EXPECT_EQ(Rec.Hops[0].first, nameOf(B));
+  EXPECT_GT(Rec.Hops[0].second, 0.0);
+  EXPECT_GE(Rec.TotalSeconds, Rec.Hops[0].second);
+
+  // The slow log got the same record as a JSON line (fsynced per line,
+  // so it is readable while the router runs).
+  {
+    std::ifstream Slow(O.SlowLogPath);
+    ASSERT_TRUE(Slow.good()) << "slow log was not created";
+    std::string Line;
+    ASSERT_TRUE(std::getline(Slow, Line));
+    EXPECT_NE(Line.find("\"verdict\":\"response\""), std::string::npos)
+        << Line;
+    EXPECT_NE(Line.find(Rec.TraceId), std::string::npos) << Line;
+  }
+
+  // A StatsFetch over the same connection answers the live view:
+  // role, metrics exposition, and the flight ring.
+  ErrorOr<uint64_t> SCorr = C.sendStatsFetch();
+  ASSERT_TRUE(SCorr.hasValue()) << SCorr.message();
+  for (;;) {
+    ErrorOr<net::Frame> F = C.readFrame(kFrameWaitMs);
+    ASSERT_TRUE(F.hasValue()) << F.message();
+    if (F->Correlation != *SCorr)
+      continue;
+    ASSERT_EQ(F->Type, net::FrameType::StatsData);
+    ErrorOr<JsonValue> V = parseJson(F->Payload);
+    ASSERT_TRUE(V.hasValue()) << V.message();
+    EXPECT_EQ(V->find("role")->Str, "router");
+    EXPECT_GT(V->find("pid")->Num, 0.0);
+    EXPECT_GT(V->find("now_ns")->Num, 0.0);
+    const JsonValue *Flight = V->find("flight");
+    ASSERT_NE(Flight, nullptr);
+    ASSERT_EQ(Flight->Arr.size(), 1u);
+    EXPECT_EQ(Flight->Arr[0].find("trace_id")->Str, Rec.TraceId);
+    const JsonValue *Metrics = V->find("metrics");
+    ASSERT_NE(Metrics, nullptr);
+    EXPECT_NE(Metrics->Str.find("cdvs_cluster_requests_total"),
+              std::string::npos);
+    EXPECT_NE(Metrics->Str.find("cdvs_cluster_slow_requests_total"),
+              std::string::npos);
+    break;
+  }
+  std::remove(O.SlowLogPath.c_str());
 }
 
 TEST(ClusterRouter, PeerFetchMissFallsBackToColdSolve) {

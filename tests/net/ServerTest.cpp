@@ -97,7 +97,7 @@ TEST(NetServer, SolvesARequestOverLoopback) {
   EXPECT_GT(NS.BytesOut, 0);
 }
 
-TEST(NetServer, PingPongEchoesCorrelationWithZeroPayload) {
+TEST(NetServer, PingPongEchoesCorrelationWithClockStamp) {
   Server S(quickOptions());
   startOrDie(S);
   Client C = connectOrDie(S);
@@ -108,7 +108,9 @@ TEST(NetServer, PingPongEchoesCorrelationWithZeroPayload) {
   ASSERT_TRUE(F.hasValue()) << F.message();
   EXPECT_EQ(F->Type, FrameType::Pong);
   EXPECT_EQ(F->Correlation, 42u);
-  EXPECT_TRUE(F->Payload.empty());
+  // The payload carries the server's monotonic clock so scrapers can
+  // align per-process timelines from the RTT midpoint.
+  EXPECT_NE(F->Payload.find("\"now_ns\":"), std::string::npos);
 }
 
 TEST(NetServer, PipelinedResponsesReturnOutOfOrderByCorrelation) {

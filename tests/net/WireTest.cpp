@@ -33,8 +33,8 @@ TEST(Wire, HeaderLayoutIsLittleEndianAndTwentyBytes) {
   EXPECT_EQ(B[3], 'S');
   EXPECT_EQ(B[4], kWireVersion);
   EXPECT_EQ(B[5], static_cast<unsigned char>(FrameType::Request));
-  EXPECT_EQ(B[6], 0u); // reserved
-  EXPECT_EQ(B[7], 0u);
+  EXPECT_EQ(B[6], 0u); // extension block length (none here)
+  EXPECT_EQ(B[7], 0u); // reserved
   EXPECT_EQ(B[8], 0x08u); // correlation, little-endian
   EXPECT_EQ(B[15], 0x01u);
   EXPECT_EQ(B[16], 0xDDu); // payload length, little-endian
@@ -157,8 +157,10 @@ TEST(Wire, RejectsGarbageBeforeAFullHeaderArrives) {
   ASSERT_EQ(Type.next(F), FrameParser::Next::Error);
   EXPECT_EQ(Type.error(), WireStatus::BadType);
 
+  // Byte 6 is the extension length now (any value is legal); byte 7 is
+  // the one that must stay zero.
   FrameParser Reserved;
-  Reserved.feed("CDVS\x01\x01\x01", 7);
+  Reserved.feed("CDVS\x01\x01\x00\x01", 8);
   ASSERT_EQ(Reserved.next(F), FrameParser::Next::Error);
   EXPECT_EQ(Reserved.error(), WireStatus::BadReserved);
 }
@@ -184,7 +186,7 @@ TEST(Wire, RejectsBadVersionTypeAndReserved) {
   }
   {
     std::string B = encodeFrame(FrameType::Ping, 1, "");
-    B[6] = 1;
+    B[7] = 1;
     FrameParser P;
     P.feed(B.data(), B.size());
     Frame F;
@@ -245,12 +247,172 @@ TEST(Wire, FrameTypeNamesAreStable) {
   EXPECT_STREQ(frameTypeName(FrameType::Pong), "pong");
   EXPECT_STREQ(frameTypeName(FrameType::PeerFetch), "peer_fetch");
   EXPECT_STREQ(frameTypeName(FrameType::PeerData), "peer_data");
+  EXPECT_STREQ(frameTypeName(FrameType::StatsFetch), "stats_fetch");
+  EXPECT_STREQ(frameTypeName(FrameType::StatsData), "stats_data");
   EXPECT_TRUE(validFrameType(1));
   EXPECT_TRUE(validFrameType(5));
   EXPECT_TRUE(validFrameType(6));
   EXPECT_TRUE(validFrameType(7));
+  EXPECT_TRUE(validFrameType(8));
+  EXPECT_TRUE(validFrameType(9));
   EXPECT_FALSE(validFrameType(0));
-  EXPECT_FALSE(validFrameType(8));
+  EXPECT_FALSE(validFrameType(10));
+}
+
+TEST(Wire, TraceContextRoundTripsThroughTheExtensionBlock) {
+  TraceContext T;
+  T.TraceHi = 0x0123456789abcdefull;
+  T.TraceLo = 0xfedcba9876543210ull;
+  T.ParentSpan = 0x1122334455667788ull;
+  T.Sampled = true;
+  std::string Bytes = encodeFrame(FrameType::Request, 11, "{}", &T);
+  EXPECT_EQ(Bytes.size(),
+            kFrameHeaderBytes + 2 + kExtTraceBytes + 2);
+
+  FrameParser P;
+  P.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(P.next(F), FrameParser::Next::Frame);
+  EXPECT_EQ(F.Type, FrameType::Request);
+  EXPECT_EQ(F.Payload, "{}");
+  ASSERT_TRUE(F.HasTrace);
+  EXPECT_EQ(F.Trace.TraceHi, T.TraceHi);
+  EXPECT_EQ(F.Trace.TraceLo, T.TraceLo);
+  EXPECT_EQ(F.Trace.ParentSpan, T.ParentSpan);
+  EXPECT_TRUE(F.Trace.Sampled);
+
+  // The parser resets the trace fields between frames: a plain frame
+  // after a traced one must not inherit the context.
+  std::string Plain = encodeFrame(FrameType::Request, 12, "{}");
+  P.feed(Plain.data(), Plain.size());
+  ASSERT_EQ(P.next(F), FrameParser::Next::Frame);
+  EXPECT_FALSE(F.HasTrace);
+}
+
+TEST(Wire, UntracedFramesAreByteIdenticalToTheOldEncoding) {
+  // Backward compatibility both ways: a null or invalid (zero trace id)
+  // context must not grow the frame, so old receivers keep parsing and
+  // sampling-off traffic pays nothing.
+  std::string Old = encodeFrame(FrameType::Request, 5, "abc");
+  EXPECT_EQ(Old, encodeFrame(FrameType::Request, 5, "abc", nullptr));
+  TraceContext Zero;
+  EXPECT_EQ(Old, encodeFrame(FrameType::Request, 5, "abc", &Zero));
+  EXPECT_EQ(Old.size(), kFrameHeaderBytes + 3);
+  EXPECT_EQ(Old[6], 0); // no extension block
+}
+
+TEST(Wire, UnknownExtensionRecordsAreSkipped) {
+  // A newer sender may emit extension types this build does not know;
+  // the block walk skips them and still finds the trace record behind.
+  TraceContext T;
+  T.TraceHi = 1;
+  std::string Traced = encodeFrame(FrameType::Ping, 9, "", &T);
+  std::string TraceRecord =
+      Traced.substr(kFrameHeaderBytes, 2 + kExtTraceBytes);
+
+  std::string Ext;
+  Ext += static_cast<char>(0x7f); // unknown type
+  Ext += static_cast<char>(3);    // three opaque bytes
+  Ext += "xyz";
+  Ext += TraceRecord;
+
+  FrameHeader H;
+  H.Type = FrameType::Ping;
+  H.Correlation = 9;
+  H.ExtBytes = static_cast<uint8_t>(Ext.size());
+  H.PayloadBytes = 0;
+  unsigned char B[kFrameHeaderBytes];
+  encodeFrameHeader(H, B);
+  std::string Bytes(reinterpret_cast<const char *>(B), sizeof(B));
+  Bytes += Ext;
+
+  FrameParser P;
+  P.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(P.next(F), FrameParser::Next::Frame);
+  ASSERT_TRUE(F.HasTrace);
+  EXPECT_EQ(F.Trace.TraceHi, 1u);
+
+  // An unknown record alone parses as an untraced frame.
+  H.ExtBytes = 5;
+  encodeFrameHeader(H, B);
+  std::string OnlyUnknown(reinterpret_cast<const char *>(B), sizeof(B));
+  OnlyUnknown += static_cast<char>(0x7f);
+  OnlyUnknown += static_cast<char>(3);
+  OnlyUnknown += "xyz";
+  FrameParser P2;
+  P2.feed(OnlyUnknown.data(), OnlyUnknown.size());
+  ASSERT_EQ(P2.next(F), FrameParser::Next::Frame);
+  EXPECT_FALSE(F.HasTrace);
+}
+
+TEST(Wire, MalformedExtensionBlocksFailStrictDecode) {
+  // A record that promises more bytes than the block holds.
+  {
+    FrameHeader H;
+    H.Type = FrameType::Ping;
+    H.Correlation = 1;
+    H.ExtBytes = 2;
+    unsigned char B[kFrameHeaderBytes];
+    encodeFrameHeader(H, B);
+    std::string Bytes(reinterpret_cast<const char *>(B), sizeof(B));
+    Bytes += static_cast<char>(kExtTrace);
+    Bytes += static_cast<char>(25); // but zero data bytes follow
+    FrameParser P;
+    P.feed(Bytes.data(), Bytes.size());
+    Frame F;
+    ASSERT_EQ(P.next(F), FrameParser::Next::Error);
+    EXPECT_EQ(P.error(), WireStatus::BadExtension);
+    EXPECT_STREQ(wireStatusName(P.error()), "bad_extension");
+  }
+  // A trace record with the wrong length for its known type.
+  {
+    FrameHeader H;
+    H.Type = FrameType::Ping;
+    H.Correlation = 1;
+    H.ExtBytes = 4;
+    unsigned char B[kFrameHeaderBytes];
+    encodeFrameHeader(H, B);
+    std::string Bytes(reinterpret_cast<const char *>(B), sizeof(B));
+    Bytes += static_cast<char>(kExtTrace);
+    Bytes += static_cast<char>(2);
+    Bytes += "ab";
+    FrameParser P;
+    P.feed(Bytes.data(), Bytes.size());
+    Frame F;
+    ASSERT_EQ(P.next(F), FrameParser::Next::Error);
+    EXPECT_EQ(P.error(), WireStatus::BadExtension);
+  }
+  // A dangling type byte with no length.
+  {
+    FrameHeader H;
+    H.Type = FrameType::Ping;
+    H.Correlation = 1;
+    H.ExtBytes = 1;
+    unsigned char B[kFrameHeaderBytes];
+    encodeFrameHeader(H, B);
+    std::string Bytes(reinterpret_cast<const char *>(B), sizeof(B));
+    Bytes += static_cast<char>(kExtTrace);
+    FrameParser P;
+    P.feed(Bytes.data(), Bytes.size());
+    Frame F;
+    ASSERT_EQ(P.next(F), FrameParser::Next::Error);
+    EXPECT_EQ(P.error(), WireStatus::BadExtension);
+  }
+}
+
+TEST(Wire, StatsFrameRoundTrip) {
+  std::string Bytes = encodeFrame(FrameType::StatsFetch, 77, "");
+  FrameParser P;
+  P.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(P.next(F), FrameParser::Next::Frame);
+  EXPECT_EQ(F.Type, FrameType::StatsFetch);
+  Bytes = encodeFrame(FrameType::StatsData, 77, "{\"role\":\"server\"}");
+  P.feed(Bytes.data(), Bytes.size());
+  ASSERT_EQ(P.next(F), FrameParser::Next::Frame);
+  EXPECT_EQ(F.Type, FrameType::StatsData);
+  EXPECT_EQ(F.Payload, "{\"role\":\"server\"}");
 }
 
 TEST(Wire, PeerFrameRoundTrip) {

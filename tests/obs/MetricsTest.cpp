@@ -9,6 +9,7 @@
 #include "service/JsonLite.h"
 
 #include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -114,6 +115,69 @@ TEST(Buckets, LinearAndExponentialLadders) {
   for (size_t I = 1; I < Exp.size(); ++I)
     EXPECT_LT(Exp[I - 1], Exp[I]);
   EXPECT_EQ(obs::latencyBucketsSeconds().size(), 12u);
+}
+
+TEST(BucketQuantile, InterpolatesInsidePopulatedBuckets) {
+  // 100 observations: 50 in (0, 0.1], 40 in (0.1, 0.2], 10 in
+  // (0.2, +Inf]. Cumulative counts, Prometheus-style.
+  std::vector<std::pair<double, double>> B = {
+      {0.1, 50.0},
+      {0.2, 90.0},
+      {std::numeric_limits<double>::infinity(), 100.0}};
+  // p50 lands exactly on the first bucket's upper bound (rank 50 of
+  // 50 in [0, 0.1]).
+  EXPECT_DOUBLE_EQ(obs::bucketQuantile(B, 0.5), 0.1);
+  // p75: rank 75 is the 25th of 40 in (0.1, 0.2].
+  EXPECT_NEAR(obs::bucketQuantile(B, 0.75), 0.1 + 0.1 * 25.0 / 40.0,
+              1e-12);
+  // p99 falls in the +Inf bucket, which has no finite upper bound: the
+  // estimate clamps to the last finite boundary instead of inventing a
+  // number beyond it.
+  EXPECT_DOUBLE_EQ(obs::bucketQuantile(B, 0.99), 0.2);
+}
+
+TEST(BucketQuantile, EdgeQuantilesReturnBucketBoundsNotNaN) {
+  std::vector<std::pair<double, double>> B = {
+      {0.1, 0.0},
+      {0.2, 7.0},
+      {0.4, 7.0},
+      {std::numeric_limits<double>::infinity(), 7.0}};
+  // Every observation sits in (0.1, 0.2]. q=0 anchors to the populated
+  // bucket's lower bound, q=1 to its upper bound; interior quantiles of
+  // a single populated bucket also pin to the upper bound rather than
+  // overshooting into empty buckets.
+  double P0 = obs::bucketQuantile(B, 0.0);
+  double P50 = obs::bucketQuantile(B, 0.5);
+  double P99 = obs::bucketQuantile(B, 0.99);
+  double P100 = obs::bucketQuantile(B, 1.0);
+  EXPECT_FALSE(std::isnan(P0));
+  EXPECT_FALSE(std::isnan(P100));
+  EXPECT_DOUBLE_EQ(P0, 0.1);
+  EXPECT_DOUBLE_EQ(P50, 0.2);
+  EXPECT_DOUBLE_EQ(P99, 0.2);
+  EXPECT_DOUBLE_EQ(P100, 0.2);
+
+  // Out-of-range quantiles clamp instead of extrapolating.
+  EXPECT_DOUBLE_EQ(obs::bucketQuantile(B, -1.0), 0.1);
+  EXPECT_DOUBLE_EQ(obs::bucketQuantile(B, 2.0), 0.2);
+
+  // Empty input and an all-zero histogram answer 0, not NaN.
+  EXPECT_DOUBLE_EQ(obs::bucketQuantile({}, 0.5), 0.0);
+  std::vector<std::pair<double, double>> Zero = {
+      {0.1, 0.0}, {std::numeric_limits<double>::infinity(), 0.0}};
+  EXPECT_DOUBLE_EQ(obs::bucketQuantile(Zero, 0.5), 0.0);
+}
+
+TEST(BucketQuantile, AllMassInTheOverflowBucketUsesItsLowerBound) {
+  std::vector<std::pair<double, double>> B = {
+      {0.1, 0.0},
+      {0.2, 0.0},
+      {std::numeric_limits<double>::infinity(), 4.0}};
+  // +Inf has no finite upper bound to return; the last finite boundary
+  // is the only honest answer at every quantile.
+  EXPECT_DOUBLE_EQ(obs::bucketQuantile(B, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(obs::bucketQuantile(B, 0.5), 0.2);
+  EXPECT_DOUBLE_EQ(obs::bucketQuantile(B, 1.0), 0.2);
 }
 
 TEST(MetricsRegistry, GetOrCreateIsIdempotent) {

@@ -6,6 +6,7 @@
 
 #include "obs/Trace.h"
 
+#include "obs/Metrics.h"
 #include "service/JsonLite.h"
 
 #include <thread>
@@ -119,6 +120,106 @@ TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
   EXPECT_GE(ChildTs, JobTs);
   EXPECT_LE(ChildEnd, JobEnd);
   EXPECT_EQ(Child.find("tid")->Num, Job.find("tid")->Num);
+}
+
+TEST_F(TraceTest, SpanContextPropagatesAndRestores) {
+  obs::trace().setEnabled(true);
+  EXPECT_FALSE(obs::currentSpanContext().valid());
+
+  obs::SpanContext Wire;
+  Wire.TraceHi = 0xAAAA;
+  Wire.TraceLo = 0xBBBB;
+  Wire.Span = 42;
+  Wire.Sampled = true;
+  uint64_t OuterId = 0;
+  {
+    obs::ScopedSpanContext Guard(Wire);
+    EXPECT_EQ(obs::currentSpanContext().Span, 42u);
+    {
+      obs::TraceSpan Outer("outer", "test");
+      OuterId = Outer.spanId();
+      EXPECT_NE(OuterId, 0u);
+      // The open span is now the thread's parent-to-be.
+      EXPECT_EQ(obs::currentSpanContext().Span, OuterId);
+      EXPECT_EQ(obs::currentSpanContext().TraceHi, 0xAAAAu);
+      {
+        obs::TraceSpan Inner("inner", "test");
+        EXPECT_NE(Inner.spanId(), OuterId);
+        EXPECT_EQ(obs::currentSpanContext().Span, Inner.spanId());
+      }
+      // Closing the inner span restores the outer as parent.
+      EXPECT_EQ(obs::currentSpanContext().Span, OuterId);
+    }
+    EXPECT_EQ(obs::currentSpanContext().Span, 42u);
+  }
+  EXPECT_FALSE(obs::currentSpanContext().valid());
+
+  // The recorded events carry the distributed identity, innermost
+  // first (destructor order).
+  ErrorOr<JsonValue> V =
+      parseJson(obs::trace().renderChromeTrace(7, "test-proc"));
+  ASSERT_TRUE(bool(V)) << V.message();
+  const JsonValue *Events = V->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->Arr.size(), 3u); // process_name metadata + 2 spans
+  EXPECT_EQ(Events->Arr[0].find("ph")->Str, "M");
+  EXPECT_EQ(Events->Arr[0].find("name")->Str, "process_name");
+  EXPECT_EQ(Events->Arr[0].find("args")->find("name")->Str, "test-proc");
+  const JsonValue &Inner = Events->Arr[1];
+  const JsonValue &Outer = Events->Arr[2];
+  EXPECT_EQ(Inner.find("trace_id")->Str,
+            "000000000000aaaa000000000000bbbb");
+  EXPECT_EQ(Inner.find("parent_span_id")->Str,
+            Outer.find("span_id")->Str);
+  EXPECT_EQ(Outer.find("parent_span_id")->Str, "000000000000002a");
+  EXPECT_EQ(Outer.find("pid")->Num, 7.0);
+}
+
+TEST_F(TraceTest, SpansOutsideAContextCarryNoTraceIds) {
+  obs::trace().setEnabled(true);
+  { obs::TraceSpan S("local", "test"); }
+  ErrorOr<JsonValue> V = parseJson(obs::trace().renderChromeTrace());
+  ASSERT_TRUE(bool(V)) << V.message();
+  const JsonValue *Events = V->find("traceEvents");
+  ASSERT_EQ(Events->Arr.size(), 1u);
+  EXPECT_EQ(Events->Arr[0].find("trace_id"), nullptr);
+  EXPECT_EQ(Events->Arr[0].find("span_id"), nullptr);
+}
+
+TEST_F(TraceTest, ContextFlowsEvenWhenRecordingIsDisabled) {
+  // A relay (the router with tracing off) must still forward the
+  // context it received; only event recording is gated on enabled().
+  obs::SpanContext Wire;
+  Wire.TraceHi = 1;
+  Wire.Span = 5;
+  obs::ScopedSpanContext Guard(Wire);
+  {
+    obs::TraceSpan S("quiet", "test");
+    EXPECT_FALSE(S.active());
+    // A disabled span allocates no id and must not disturb the context.
+    EXPECT_EQ(obs::currentSpanContext().Span, 5u);
+  }
+  EXPECT_EQ(obs::trace().size(), 0u);
+  EXPECT_EQ(obs::currentSpanContext().TraceHi, 1u);
+}
+
+TEST_F(TraceTest, OverwritesBumpTheDroppedCounter) {
+  obs::Counter &Dropped =
+      obs::metrics().counter("cdvs_trace_dropped_total",
+                             "Trace events lost to ring-buffer "
+                             "overwrite since process start.");
+  double Before = Dropped.value();
+  obs::trace().reset(4);
+  obs::trace().setEnabled(true);
+  for (int I = 0; I < 10; ++I)
+    obs::traceInstant("tick", "test");
+  EXPECT_EQ(obs::trace().dropped(), 6u);
+  // The process-lifetime counter keeps counting across clears (the ring
+  // state resets; the exported total must not go backwards).
+  EXPECT_DOUBLE_EQ(Dropped.value(), Before + 6.0);
+  obs::trace().clear();
+  EXPECT_EQ(obs::trace().dropped(), 0u);
+  EXPECT_DOUBLE_EQ(Dropped.value(), Before + 6.0);
 }
 
 TEST_F(TraceTest, ThreadsGetDistinctDenseIds) {

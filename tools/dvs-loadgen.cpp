@@ -23,10 +23,19 @@
 // Attack-thread outcomes are reported under "attack" but never fail
 // the exit code — being rejected is the expected result.
 //
+// --trace-sample-pct=N stamps every Nth-percentile request with a
+// fresh 128-bit trace id over the cdvs-wire extension block, so the
+// server (and router) rings record attributable spans that dvs-stat
+// --scrape can assemble into one cross-process timeline. The "trace"
+// block in the JSON output compares end-to-end latency against the
+// backend's own TotalSeconds accounting — the gap is pure wire +
+// event-loop + router overhead.
+//
 //===----------------------------------------------------------------------===//
 
 #include "dvs/ScheduleIO.h"
 #include "net/Client.h"
+#include "obs/Trace.h"
 #include "service/JobIO.h"
 #include "support/ArgParse.h"
 #include "support/Clock.h"
@@ -53,6 +62,7 @@ struct SharedTally {
   std::mutex Mu;
   std::vector<double> LatenciesSec;
   long Sent = 0;
+  long TracedSent = 0; ///< requests stamped with a trace context
   long Done = 0;       ///< status "done"
   long OtherStatus = 0; ///< completed, but rejected/infeasible/failed
   long WireRejects = 0; ///< Reject frames
@@ -63,6 +73,11 @@ struct SharedTally {
   /// Latencies keyed by the router's "backend" response annotation
   /// (empty single-node): the per-backend breakdown of a cluster run.
   std::map<std::string, std::vector<double>> BackendLat;
+  /// The server's own admission-to-completion accounting
+  /// (JobResult.TotalSeconds), paired with the end-to-end quantiles:
+  /// the gap between the two is wire + event loop + router overhead.
+  std::vector<double> BackendReportedSec;
+  std::vector<double> OverheadSec; ///< end-to-end minus backend-reported
 };
 
 constexpr const char *kTimeoutMsg = "timed out waiting for a frame";
@@ -77,6 +92,10 @@ struct WorkerConfig {
   /// Percent of requests pinned to deadline variant 0 (the hot key);
   /// the rest spread over the remaining variants.
   int HotKeyPct = 0;
+  /// Percent of requests stamped with a fresh 128-bit trace id and the
+  /// sampled bit set (deterministic: every request with
+  /// Sent % 100 < pct is traced).
+  int TraceSamplePct = 0;
   int DrainTimeoutMs = 10'000;
   JobRequest Base;
 };
@@ -90,10 +109,11 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
   }
   std::map<uint64_t, uint64_t> PendingNs; // correlation -> send time
   std::vector<double> Latencies;
-  long Sent = 0, Done = 0, Other = 0, Rejects = 0, Errors = 0,
-       Hits = 0;
+  long Sent = 0, Traced = 0, Done = 0, Other = 0, Rejects = 0,
+       Errors = 0, Hits = 0;
   std::map<std::string, std::string> Schedules;
   std::map<std::string, std::vector<double>> BackendLat;
+  std::vector<double> BackendReported, Overhead;
 
   // Stagger workers across one send interval so the aggregate stream
   // is evenly spaced, not N-bursty.
@@ -122,6 +142,10 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
     }
     if (!R->Backend.empty() && Lat >= 0.0)
       BackendLat[R->Backend].push_back(Lat);
+    if (R->TotalSeconds > 0.0 && Lat >= 0.0) {
+      BackendReported.push_back(R->TotalSeconds);
+      Overhead.push_back(Lat - R->TotalSeconds);
+    }
     if (R->Status == JobStatus::Done) {
       ++Done;
       if (R->CacheHit)
@@ -149,11 +173,25 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
             0.2 + 0.6 * static_cast<double>(Variant) /
                       static_cast<double>(Cfg.Distinct);
       }
-      ErrorOr<uint64_t> Corr = C->sendRequest(R);
+      net::TraceContext TC;
+      bool Sample = Cfg.TraceSamplePct > 0 &&
+                    Sent % 100 < Cfg.TraceSamplePct;
+      if (Sample) {
+        // A fresh 128-bit trace id per sampled request; span ids from
+        // the same generator, so they are unique but not guessable.
+        TC.TraceHi = obs::nextSpanId();
+        TC.TraceLo = obs::nextSpanId();
+        TC.ParentSpan = obs::nextSpanId();
+        TC.Sampled = true;
+      }
+      ErrorOr<uint64_t> Corr =
+          C->sendRequest(R, 0, Sample ? &TC : nullptr);
       if (!Corr) {
         ++Errors;
         break;
       }
+      if (Sample)
+        ++Traced;
       PendingNs[*Corr] = Now;
       ++Sent;
       // Open loop: the schedule marches on even when we fall behind.
@@ -191,6 +229,7 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
 
   std::lock_guard<std::mutex> L(Tally.Mu);
   Tally.Sent += Sent;
+  Tally.TracedSent += Traced;
   Tally.Done += Done;
   Tally.OtherStatus += Other;
   Tally.WireRejects += Rejects;
@@ -205,6 +244,11 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
     std::vector<double> &Dst = Tally.BackendLat[Name];
     Dst.insert(Dst.end(), Lats.begin(), Lats.end());
   }
+  Tally.BackendReportedSec.insert(Tally.BackendReportedSec.end(),
+                                  BackendReported.begin(),
+                                  BackendReported.end());
+  Tally.OverheadSec.insert(Tally.OverheadSec.end(), Overhead.begin(),
+                           Overhead.end());
 }
 
 double quantile(const std::vector<double> &Sorted, double Q) {
@@ -332,6 +376,11 @@ int main(int argc, char **argv) {
       "hot-key-pct", 0,
       "percent of requests pinned to deadline variant 0 (hot-key skew "
       "for cluster runs); 0 = uniform");
+  int &TraceSamplePct = P.addInt(
+      "trace-sample-pct", 0,
+      "percent of requests stamped with a fresh 128-bit trace id "
+      "(sampled bit set); the server/router rings record their spans "
+      "for dvs-stat --scrape to assemble");
   int &KillPid = P.addInt(
       "kill-backend-pid", 0,
       "SIGKILL this pid mid-run (cluster failover drills); 0 = off");
@@ -366,7 +415,17 @@ int main(int argc, char **argv) {
     }
     JobRequest W = Base;
     W.Id = "warmup-" + std::to_string(I);
-    ErrorOr<JobResult> R = C->call(W, 120'000);
+    // Trace the warmup too when sampling is on: it is the one request
+    // guaranteed to pay every cold-start cost, so it reliably lands in
+    // the router's slow log with a trace id attached. Not counted in
+    // traced_sent (warmups are outside the measured window).
+    net::TraceContext WTC;
+    WTC.TraceHi = obs::nextSpanId();
+    WTC.TraceLo = obs::nextSpanId();
+    WTC.ParentSpan = obs::nextSpanId();
+    WTC.Sampled = true;
+    ErrorOr<JobResult> R =
+        C->call(W, 120'000, TraceSamplePct > 0 ? &WTC : nullptr);
     if (!R) {
       std::fprintf(stderr, "dvs-loadgen: warmup call failed: %s\n",
                    R.message().c_str());
@@ -382,6 +441,9 @@ int main(int argc, char **argv) {
       1e9 * static_cast<double>(Connections) / Rate);
   Cfg.Distinct = Distinct < 1 ? 1 : Distinct;
   Cfg.HotKeyPct = HotKeyPct < 0 ? 0 : (HotKeyPct > 100 ? 100 : HotKeyPct);
+  Cfg.TraceSamplePct =
+      TraceSamplePct < 0 ? 0
+                         : (TraceSamplePct > 100 ? 100 : TraceSamplePct);
   Cfg.DrainTimeoutMs = DrainTimeoutMs < 0 ? 0 : DrainTimeoutMs;
   Cfg.Base = Base;
 
@@ -443,6 +505,9 @@ int main(int argc, char **argv) {
 
   long Completed = Tally.Done + Tally.OtherStatus + Tally.WireRejects;
   std::sort(Tally.LatenciesSec.begin(), Tally.LatenciesSec.end());
+  std::sort(Tally.BackendReportedSec.begin(),
+            Tally.BackendReportedSec.end());
+  std::sort(Tally.OverheadSec.begin(), Tally.OverheadSec.end());
   double P50 = quantile(Tally.LatenciesSec, 0.50);
   double P90 = quantile(Tally.LatenciesSec, 0.90);
   double P95 = quantile(Tally.LatenciesSec, 0.95);
@@ -472,7 +537,7 @@ int main(int argc, char **argv) {
     }
   }
 
-  char Buf[1536];
+  char Buf[2048];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"tool\":\"dvs-loadgen\",\"connections\":%d,\"reactors\":%d,"
@@ -483,6 +548,9 @@ int main(int argc, char **argv) {
       "\"throughput_rps\":%.1f,\"done_rps\":%.1f,"
       "\"latency_s\":{\"p50\":%.6f,"
       "\"p90\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f},"
+      "\"trace\":{\"sample_pct\":%d,\"traced_sent\":%ld,"
+      "\"backend_reported_s\":{\"p50\":%.6f,\"p99\":%.6f},"
+      "\"net_overhead_s\":{\"p50\":%.6f,\"p99\":%.6f}},"
       "\"attack\":{\"churn_threads\":%d,\"slowloris_threads\":%d,"
       "\"churn_conns\":%ld,\"slowloris_conns\":%ld,"
       "\"attack_rejects\":%ld},"
@@ -492,7 +560,11 @@ int main(int argc, char **argv) {
       Connections, MetaReactors, Rate, Requests, Tally.Sent, Completed,
       Tally.Done, Tally.OtherStatus, Tally.WireRejects, Tally.Errors,
       Tally.Unanswered, Tally.CacheHits, Elapsed, Throughput, DoneRps,
-      P50, P90, P95, P99, Max, Churn < 0 ? 0 : Churn,
+      P50, P90, P95, P99, Max, Cfg.TraceSamplePct, Tally.TracedSent,
+      quantile(Tally.BackendReportedSec, 0.50),
+      quantile(Tally.BackendReportedSec, 0.99),
+      quantile(Tally.OverheadSec, 0.50),
+      quantile(Tally.OverheadSec, 0.99), Churn < 0 ? 0 : Churn,
       Slowloris < 0 ? 0 : Slowloris,
       Attacks.ChurnConns.load(), Attacks.SlowConns.load(),
       Attacks.AttackRejects.load(), MetaBackends, Cfg.HotKeyPct,

@@ -14,18 +14,24 @@
 // on stdout once bound (or --port-file), SIGTERM/SIGINT begin a
 // graceful drain, and the process exits with one {"type":"stats",...}
 // line. --metrics-out snapshots the cdvs_cluster_* families after the
-// drain.
+// drain; a live view needs no files at all — dvs-stat --scrape sends a
+// StatsFetch frame and gets metrics, the trace ring, and the flight
+// recorder (the last --flight-capacity request records) back over the
+// wire. --slow-log-ms dumps slow or failed requests as JSON lines.
 //
 //===----------------------------------------------------------------------===//
 
 #include "cluster/Router.h"
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/ArgParse.h"
 #include "support/Clock.h"
 
 #include <csignal>
 #include <cstdio>
 #include <string>
+
+#include <unistd.h>
 
 using namespace cdvs;
 
@@ -102,6 +108,25 @@ int main(int argc, char **argv) {
       "stderr)");
   std::string &MetricsJson = P.addString(
       "metrics-json", "", "write the metrics registry as JSON here");
+  int &FlightCap = P.addInt(
+      "flight-capacity", 256,
+      "flight-recorder depth: recent request records kept for "
+      "StatsFetch scrapes; 0 = off");
+  int &SlowLogMs = P.addInt(
+      "slow-log-ms", 0,
+      "dump requests slower than this (or failed) as JSON lines to "
+      "--slow-log; 0 = off");
+  std::string &SlowLogPath = P.addString(
+      "slow-log", "",
+      "slow-log destination ('' or '-' = stderr)");
+  std::string &TraceOut = P.addString(
+      "trace-out", "",
+      "enable span tracing; write Chrome trace_event JSON here on "
+      "exit");
+  bool &TraceOn = P.addFlag(
+      "trace",
+      "enable span tracing into the in-memory ring without writing a "
+      "file (scrape it live with dvs-stat --scrape)");
   if (!P.parseOrExit(argc, argv))
     return 0;
 
@@ -135,9 +160,14 @@ int main(int argc, char **argv) {
       static_cast<uint64_t>(UpstreamMs < 0 ? 0 : UpstreamMs);
   O.RetryBudget = RetryBudget < 0 ? 0 : RetryBudget;
   O.AnnotateBackend = !NoAnnotate;
+  O.FlightCapacity = static_cast<size_t>(FlightCap < 0 ? 0 : FlightCap);
+  O.SlowLogMs = static_cast<uint64_t>(SlowLogMs < 0 ? 0 : SlowLogMs);
+  O.SlowLogPath = SlowLogPath;
   O.ForcePoll = ForcePoll;
 
   std::signal(SIGPIPE, SIG_IGN);
+  if (!TraceOut.empty() || TraceOn)
+    obs::trace().setEnabled(true);
 
   cluster::Router Router(O);
   ErrorOr<bool> Started = Router.start();
@@ -192,5 +222,10 @@ int main(int argc, char **argv) {
   if (!MetricsJson.empty())
     writeTextFile(MetricsJson, obs::metrics().renderJson(),
                   "metrics JSON");
+  if (!TraceOut.empty())
+    writeTextFile(TraceOut,
+                  obs::trace().renderChromeTrace(
+                      static_cast<int>(getpid()), "dvs-router"),
+                  "trace");
   return 0;
 }

@@ -38,6 +38,8 @@
 #include <memory>
 #include <string>
 
+#include <unistd.h>
+
 using namespace cdvs;
 
 namespace {
@@ -157,6 +159,10 @@ int main(int argc, char **argv) {
   std::string &TraceOut = P.addString(
       "trace-out", "",
       "enable span tracing; write Chrome trace_event JSON here");
+  bool &TraceOn = P.addFlag(
+      "trace",
+      "enable span tracing into the in-memory ring without writing a "
+      "file (scrape it live with dvs-stat --scrape)");
   if (!P.parseOrExit(argc, argv))
     return 0;
 
@@ -211,8 +217,13 @@ int main(int argc, char **argv) {
   }
 
   std::signal(SIGPIPE, SIG_IGN);
-  if (!TraceOut.empty())
+  if (!TraceOut.empty() || TraceOn)
     obs::trace().setEnabled(true);
+  // Pre-registered so the family exists (at zero) in every scrape even
+  // before the trace ring first overwrites.
+  obs::metrics().counter(
+      "cdvs_trace_dropped_total",
+      "Trace events lost to ring-buffer overwrite since process start.");
 
   net::Server Server(O);
   ErrorOr<bool> Started = Server.start();
@@ -282,6 +293,9 @@ int main(int argc, char **argv) {
     writeTextFile(MetricsJson, obs::metrics().renderJson(),
                   "metrics JSON");
   if (!TraceOut.empty())
-    writeTextFile(TraceOut, obs::trace().renderChromeTrace(), "trace");
+    writeTextFile(TraceOut,
+                  obs::trace().renderChromeTrace(
+                      static_cast<int>(getpid()), "dvs-server"),
+                  "trace");
   return 0;
 }

@@ -11,6 +11,10 @@
 //   dvs-stat --check --names=scripts/metric_names.txt metrics.prom
 //                                    # ...plus: every canonical family
 //                                    # name must be present
+//   dvs-stat --scrape host:p,host:p  # live scrape over cdvs-wire
+//   dvs-stat --check a.prom b.prom   # multiple snapshots merge first
+//                                    # (identical series sum), then
+//                                    # validate as one cluster view
 //
 // The checker enforces the parts of the exposition format a scraper
 // trips over: metric/label name grammar, TYPE-before-samples, duplicate
@@ -18,9 +22,25 @@
 // _count/+Inf agreement. check.sh gate 4 runs it over a live dvsd
 // snapshot so a format regression fails CI, not the dashboard.
 //
+// --scrape sends each endpoint a StatsFetch frame (dvs-server and
+// dvs-router both answer with StatsData: metrics, the span-trace ring,
+// the router's flight recorder) and merges the answers into one cluster
+// view: identical series summed, histograms bucket-wise. --check and
+// --names then validate the merged exposition exactly as they would a
+// file. A Ping round trip per endpoint measures clock offset (the RTT
+// midpoint against the peer's monotonic now_ns), so --merge-trace=FILE
+// can assemble every process's spans into a single Chrome trace on one
+// timeline — pids and process_name metadata keep the rows attributed.
+// The scrape summary JSON line reports per-trace-id span/process counts
+// and ring saturation (trace_dropped) for CI gates.
+//
 //===----------------------------------------------------------------------===//
 
+#include "net/Client.h"
+#include "obs/Metrics.h"
+#include "service/JsonLite.h"
 #include "support/ArgParse.h"
+#include "support/Clock.h"
 #include "support/Table.h"
 
 #include <algorithm>
@@ -365,32 +385,6 @@ void checkHistograms(ParseResult &R) {
   }
 }
 
-/// Interpolated quantile from cumulative buckets, Prometheus
-/// histogram_quantile style. \p Buckets must be (le, cumulative) sorted
-/// ascending and end with +Inf.
-double bucketQuantile(const std::vector<std::pair<double, double>> &Buckets,
-                      double Q) {
-  if (Buckets.empty())
-    return 0.0;
-  double Total = Buckets.back().second;
-  if (Total <= 0.0)
-    return 0.0;
-  double Rank = Q * Total;
-  for (size_t I = 0; I < Buckets.size(); ++I) {
-    if (Buckets[I].second >= Rank) {
-      double Lo = I == 0 ? 0.0 : Buckets[I - 1].first;
-      double LoCount = I == 0 ? 0.0 : Buckets[I - 1].second;
-      double Hi = Buckets[I].first;
-      if (std::isinf(Hi))
-        return Lo; // best knowable bound
-      double Span = Buckets[I].second - LoCount;
-      double Frac = Span > 0.0 ? (Rank - LoCount) / Span : 0.0;
-      return Lo + Frac * (Hi - Lo);
-    }
-  }
-  return Buckets.back().first;
-}
-
 void prettyPrint(const ParseResult &R) {
   Table Scalars({"metric", "labels", "type", "value"});
   Table Hists({"histogram", "labels", "count", "sum", "mean", "p50",
@@ -417,9 +411,9 @@ void prettyPrint(const ParseResult &R) {
              formatInt(static_cast<long long>(Count)),
              formatDouble(Sum, 6),
              formatDouble(Count > 0.0 ? Sum / Count : 0.0, 6),
-             formatDouble(bucketQuantile(B, 0.5), 6),
-             formatDouble(bucketQuantile(B, 0.9), 6),
-             formatDouble(bucketQuantile(B, 0.99), 6)});
+             formatDouble(obs::bucketQuantile(B, 0.5), 6),
+             formatDouble(obs::bucketQuantile(B, 0.9), 6),
+             formatDouble(obs::bucketQuantile(B, 0.99), 6)});
       }
     } else {
       for (const Sample &S : F.Samples)
@@ -469,6 +463,288 @@ std::vector<std::string> readNamesFile(const std::string &Path,
   return Names;
 }
 
+//===----------------------------------------------------------------------===//
+// Live scraping over cdvs-wire (--scrape)
+//===----------------------------------------------------------------------===//
+
+/// Compact re-serialization of a parsed JsonValue (member order is
+/// preserved by the parser), used to re-emit trace events after their
+/// timestamps are shifted onto the scraper's timeline.
+std::string renderJson(const JsonValue &V) {
+  switch (V.K) {
+  case JsonValue::Kind::Null:
+    return "null";
+  case JsonValue::Kind::Bool:
+    return V.B ? "true" : "false";
+  case JsonValue::Kind::Number: {
+    char Buf[40];
+    if (V.Num == static_cast<double>(static_cast<long long>(V.Num)))
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(V.Num));
+    else
+      std::snprintf(Buf, sizeof(Buf), "%.17g", V.Num);
+    return Buf;
+  }
+  case JsonValue::Kind::String:
+    return "\"" + jsonEscape(V.Str) + "\"";
+  case JsonValue::Kind::Array: {
+    std::string Out = "[";
+    for (size_t I = 0; I < V.Arr.size(); ++I)
+      Out += (I ? "," : "") + renderJson(V.Arr[I]);
+    return Out + "]";
+  }
+  case JsonValue::Kind::Object: {
+    std::string Out = "{";
+    bool First = true;
+    for (const auto &[Key, Member] : V.Obj) {
+      Out += std::string(First ? "" : ",") + "\"" + jsonEscape(Key) +
+             "\":" + renderJson(Member);
+      First = false;
+    }
+    return Out + "}";
+  }
+  }
+  return "null";
+}
+
+/// Folds \p Src into \p Dst: identical series (same sample name, label
+/// set, and bucket bound) sum — counters, bucket counts, and _sums all
+/// add, which keeps merged histograms cumulative.
+void mergeExposition(ParseResult *Dst, ParseResult &&Src) {
+  for (std::string &E : Src.Errors)
+    Dst->Errors.push_back(std::move(E));
+  Dst->Lines += Src.Lines;
+  for (auto &[Name, F] : Src.Families) {
+    Family &D = Dst->Families[Name];
+    if (D.Type.empty()) {
+      D.Type = F.Type;
+      D.Help = F.Help;
+    }
+    for (Sample &S : F.Samples) {
+      bool Found = false;
+      for (Sample &E : D.Samples) {
+        if (E.Name == S.Name && E.Labels == S.Labels &&
+            E.HasLe == S.HasLe && (!S.HasLe || E.Le == S.Le)) {
+          E.Value += S.Value;
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        D.Samples.push_back(std::move(S));
+    }
+  }
+}
+
+/// One endpoint's StatsData answer, clock-aligned.
+struct Scraped {
+  std::string Endpoint;
+  std::string Role;  ///< "server" or "router"
+  double Pid = 0.0;
+  /// Added to the endpoint's span timestamps to land them on the
+  /// scraper's monotonic timeline: Ping RTT midpoint minus the peer's
+  /// Pong now_ns. Zero when the peer predates clock-stamped Pongs.
+  double OffsetUs = 0.0;
+  double RttUs = 0.0;
+  double TraceDropped = 0.0; ///< span-ring saturation
+  size_t FlightRecords = 0;  ///< router flight-recorder depth answered
+  std::vector<JsonValue> Events; ///< trace events, pid-attributed
+};
+
+/// Scrapes one endpoint: a Ping round trip for the clock offset, then
+/// StatsFetch. The embedded metrics exposition is parsed and folded
+/// into \p Merged; span events ride back in the result.
+ErrorOr<Scraped> scrapeEndpoint(const std::string &Endpoint,
+                                int TimeoutMs, ParseResult *Merged) {
+  size_t Colon = Endpoint.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 >= Endpoint.size())
+    return Err("bad endpoint '" + Endpoint + "' (want host:port)");
+  std::string Host = Endpoint.substr(0, Colon);
+  int Port = std::atoi(Endpoint.c_str() + Colon + 1);
+  if (Port <= 0 || Port > 65535)
+    return Err("bad port in '" + Endpoint + "'");
+
+  net::ClientOptions CO;
+  CO.RequestTimeoutMs = TimeoutMs;
+  // StatsData carries the whole metrics registry plus two rings — far
+  // larger than the default request-frame cap.
+  CO.MaxFrameBytes = 64ull * 1024 * 1024;
+  ErrorOr<net::Client> C =
+      net::Client::connect(Host, static_cast<uint16_t>(Port), CO);
+  if (!C)
+    return Err(Endpoint + ": " + C.message());
+
+  Scraped S;
+  S.Endpoint = Endpoint;
+
+  uint64_t T0 = monotonicNanos();
+  ErrorOr<uint64_t> PingCorr = C->ping();
+  if (!PingCorr)
+    return Err(Endpoint + ": " + PingCorr.message());
+  double RemoteNowNs = 0.0;
+  for (;;) {
+    ErrorOr<net::Frame> F = C->readFrame(TimeoutMs);
+    if (!F)
+      return Err(Endpoint + ": ping: " + F.message());
+    if (F->Type != net::FrameType::Pong ||
+        F->Correlation != *PingCorr)
+      continue;
+    ErrorOr<JsonValue> V = parseJson(F->Payload);
+    if (V) {
+      const JsonValue *Now = V->find("now_ns");
+      if (Now && Now->isNumber())
+        RemoteNowNs = Now->Num;
+    }
+    break;
+  }
+  uint64_t T1 = monotonicNanos();
+  S.RttUs = static_cast<double>(T1 - T0) / 1000.0;
+  if (RemoteNowNs > 0.0) {
+    double MidNs = static_cast<double>(T0) +
+                   static_cast<double>(T1 - T0) / 2.0;
+    S.OffsetUs = (MidNs - RemoteNowNs) / 1000.0;
+  }
+
+  ErrorOr<uint64_t> Corr = C->sendStatsFetch();
+  if (!Corr)
+    return Err(Endpoint + ": " + Corr.message());
+  for (;;) {
+    ErrorOr<net::Frame> F = C->readFrame(TimeoutMs);
+    if (!F)
+      return Err(Endpoint + ": stats_fetch: " + F.message());
+    if (F->Type == net::FrameType::Reject && F->Correlation == *Corr)
+      return Err(Endpoint + ": rejected: " + F->Payload);
+    if (F->Type != net::FrameType::StatsData ||
+        F->Correlation != *Corr)
+      continue;
+    ErrorOr<JsonValue> V = parseJson(F->Payload);
+    if (!V)
+      return Err(Endpoint + ": bad StatsData payload: " + V.message());
+    if (const JsonValue *Role = V->find("role"))
+      S.Role = Role->Str;
+    if (const JsonValue *Pid = V->find("pid"))
+      S.Pid = Pid->Num;
+    if (const JsonValue *D = V->find("trace_dropped"))
+      S.TraceDropped = D->Num;
+    if (const JsonValue *Fl = V->find("flight"))
+      S.FlightRecords = Fl->Arr.size();
+    if (const JsonValue *M = V->find("metrics")) {
+      if (!M->Str.empty()) {
+        std::FILE *Mem = fmemopen(const_cast<char *>(M->Str.data()),
+                                  M->Str.size(), "r");
+        if (Mem) {
+          ParseResult One = parseExposition(Mem);
+          std::fclose(Mem);
+          for (std::string &E : One.Errors)
+            E = Endpoint + ": " + E;
+          mergeExposition(Merged, std::move(One));
+        }
+      }
+    }
+    if (const JsonValue *T = V->find("trace"))
+      if (const JsonValue *Ev = T->find("traceEvents"))
+        S.Events = Ev->Arr;
+    break;
+  }
+  return S;
+}
+
+/// Writes every endpoint's spans as one Chrome trace, each event's ts
+/// shifted by its endpoint's clock offset so the rows share a timeline.
+/// The per-process metadata events pass through untouched — that keeps
+/// the pid rows named after their roles.
+bool writeMergedTrace(const std::string &Path,
+                      std::vector<Scraped> &Scrapes) {
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (Scraped &S : Scrapes) {
+    for (JsonValue &E : S.Events) {
+      const JsonValue *Ph = E.find("ph");
+      bool Meta = Ph && Ph->isString() && Ph->Str == "M";
+      if (!Meta && E.isObject())
+        for (auto &[Key, Member] : E.Obj)
+          if (Key == "ts" && Member.isNumber())
+            Member.Num += S.OffsetUs;
+      Out += (First ? "" : ",") + renderJson(E);
+      First = false;
+    }
+  }
+  Out += "]}\n";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "dvs-stat: cannot write trace file '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  std::fwrite(Out.data(), 1, Out.size(), F);
+  std::fclose(F);
+  return true;
+}
+
+/// One machine-readable summary line for CI gates: total spans, the
+/// per-trace-id winner (the trace seen by the most processes), ring
+/// saturation, and the per-endpoint breakdown.
+void printScrapeSummary(const std::vector<Scraped> &Scrapes) {
+  std::map<std::string, std::set<long long>> TracePids;
+  std::map<std::string, long> TraceSpans;
+  size_t TotalSpans = 0;
+  double DroppedTotal = 0.0;
+  size_t FlightTotal = 0;
+  for (const Scraped &S : Scrapes) {
+    DroppedTotal += S.TraceDropped;
+    FlightTotal += S.FlightRecords;
+    for (const JsonValue &E : S.Events) {
+      const JsonValue *Ph = E.find("ph");
+      if (Ph && Ph->isString() && Ph->Str == "M")
+        continue;
+      ++TotalSpans;
+      const JsonValue *Tid = E.find("trace_id");
+      if (!Tid || !Tid->isString())
+        continue;
+      const JsonValue *Pid = E.find("pid");
+      TracePids[Tid->Str].insert(
+          Pid ? static_cast<long long>(Pid->Num) : 0);
+      ++TraceSpans[Tid->Str];
+    }
+  }
+  std::string TopId;
+  long TopSpans = 0;
+  size_t TopProcs = 0;
+  for (const auto &[Id, Pids] : TracePids) {
+    long Spans = TraceSpans[Id];
+    if (Pids.size() > TopProcs ||
+        (Pids.size() == TopProcs && Spans > TopSpans)) {
+      TopId = Id;
+      TopProcs = Pids.size();
+      TopSpans = Spans;
+    }
+  }
+  std::printf("{\"tool\":\"dvs-stat\",\"scrape\":{\"endpoints\":%zu,"
+              "\"spans\":%zu,\"trace_ids\":%zu,"
+              "\"trace_dropped_total\":%.0f,\"flight_records\":%zu,"
+              "\"top_trace\":{\"id\":\"%s\",\"spans\":%ld,"
+              "\"procs\":%zu}},\"endpoints\":[",
+              Scrapes.size(), TotalSpans, TracePids.size(),
+              DroppedTotal, FlightTotal, TopId.c_str(), TopSpans,
+              TopProcs);
+  for (size_t I = 0; I < Scrapes.size(); ++I) {
+    const Scraped &S = Scrapes[I];
+    size_t Spans = 0;
+    for (const JsonValue &E : S.Events) {
+      const JsonValue *Ph = E.find("ph");
+      if (!(Ph && Ph->isString() && Ph->Str == "M"))
+        ++Spans;
+    }
+    std::printf("%s{\"endpoint\":\"%s\",\"role\":\"%s\",\"pid\":%.0f,"
+                "\"offset_us\":%.1f,\"rtt_us\":%.1f,"
+                "\"trace_dropped\":%.0f,\"spans\":%zu,\"flight\":%zu}",
+                I ? "," : "", S.Endpoint.c_str(), S.Role.c_str(),
+                S.Pid, S.OffsetUs, S.RttUs, S.TraceDropped, Spans,
+                S.FlightRecords);
+  }
+  std::printf("]}\n");
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -481,23 +757,77 @@ int main(int argc, char **argv) {
       "names", "",
       "canonical family-name list; with --check, every listed name "
       "must be present");
+  std::string &ScrapeArg = P.addString(
+      "scrape", "",
+      "comma-separated host:port endpoints (dvs-server/dvs-router) to "
+      "scrape live over cdvs-wire instead of reading a file; answers "
+      "merge into one cluster view");
+  std::string &MergeTracePath = P.addString(
+      "merge-trace", "",
+      "with --scrape: write every endpoint's spans as one "
+      "clock-aligned Chrome trace_event JSON file");
+  int &ScrapeTimeoutMs = P.addInt(
+      "scrape-timeout-ms", 5000,
+      "per-frame deadline for --scrape round trips");
   if (!P.parseOrExit(argc, argv))
     return 0;
 
-  std::string Path =
-      P.positional().empty() ? "-" : P.positional().front();
-  std::FILE *In = stdin;
-  if (Path != "-") {
-    In = std::fopen(Path.c_str(), "r");
-    if (!In) {
-      std::fprintf(stderr, "dvs-stat: cannot open '%s'\n",
-                   Path.c_str());
+  ParseResult R;
+  std::vector<Scraped> Scrapes;
+  if (!ScrapeArg.empty()) {
+    size_t Start = 0;
+    while (Start <= ScrapeArg.size()) {
+      size_t Comma = ScrapeArg.find(',', Start);
+      std::string Ep =
+          Comma == std::string::npos
+              ? ScrapeArg.substr(Start)
+              : ScrapeArg.substr(Start, Comma - Start);
+      if (!Ep.empty()) {
+        ErrorOr<Scraped> S = scrapeEndpoint(
+            Ep, ScrapeTimeoutMs < 1 ? 1 : ScrapeTimeoutMs, &R);
+        if (!S) {
+          std::fprintf(stderr, "dvs-stat: scrape: %s\n",
+                       S.message().c_str());
+          return 1;
+        }
+        Scrapes.push_back(std::move(*S));
+      }
+      if (Comma == std::string::npos)
+        break;
+      Start = Comma + 1;
+    }
+    if (Scrapes.empty()) {
+      std::fprintf(stderr, "dvs-stat: --scrape lists no endpoints\n");
       return 1;
     }
+  } else {
+    // Each positional is its own snapshot: parse independently, then
+    // merge like --scrape does. Families shared across processes
+    // (cdvs_trace_dropped_total lives in every role) would be
+    // duplicate-series format errors if the files were concatenated
+    // into one exposition instead.
+    std::vector<std::string> Paths = P.positional();
+    if (Paths.empty())
+      Paths.push_back("-");
+    for (const std::string &Path : Paths) {
+      std::FILE *In = stdin;
+      if (Path != "-") {
+        In = std::fopen(Path.c_str(), "r");
+        if (!In) {
+          std::fprintf(stderr, "dvs-stat: cannot open '%s'\n",
+                       Path.c_str());
+          return 1;
+        }
+      }
+      ParseResult One = parseExposition(In);
+      if (In != stdin)
+        std::fclose(In);
+      if (Paths.size() > 1)
+        for (std::string &E : One.Errors)
+          E = Path + ": " + E;
+      mergeExposition(&R, std::move(One));
+    }
   }
-  ParseResult R = parseExposition(In);
-  if (In != stdin)
-    std::fclose(In);
 
   checkHistograms(R);
 
@@ -522,6 +852,13 @@ int main(int argc, char **argv) {
         std::fprintf(stderr,
                      "dvs-stat: note: metric '%s' is not in '%s'\n",
                      Name.c_str(), NamesPath.c_str());
+  }
+
+  if (!Scrapes.empty()) {
+    if (!MergeTracePath.empty() &&
+        !writeMergedTrace(MergeTracePath, Scrapes))
+      return 1;
+    printScrapeSummary(Scrapes);
   }
 
   if (Check) {
