@@ -162,6 +162,57 @@ void BM_EndToEndSchedule(benchmark::State &State) {
 }
 BENCHMARK(BM_EndToEndSchedule)->Unit(benchmark::kMillisecond);
 
+/// Certified presolve on/off over the Section 6 MILP instances at the
+/// Figure 17/18 mid-range deadline (the ladder's Deadline 4, the widest
+/// real branch-and-bound tree). range(0) indexes milpBenchmarks(),
+/// range(1) toggles the presolve; counters record the instance size,
+/// the reduction, and the tree the solver actually explored, so the
+/// JSON record shows what the presolve buys per workload.
+void BM_SchedulePresolve(benchmark::State &State) {
+  std::vector<std::string> Names = milpBenchmarks();
+  size_t WI = static_cast<size_t>(State.range(0)) % Names.size();
+  bool Presolve = State.range(1) != 0;
+  Workload W = workloadByName(Names[WI]);
+  auto Sim = makeSimulator(W, W.defaultInput());
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  Profile Prof = collectProfile(*Sim, Modes);
+  // Deadline 2 of the Figure 16 ladder: stringent enough to force a
+  // real branch-and-bound tree instead of a root-LP round-off.
+  double Deadline = fiveDeadlines(Prof)[1];
+  // Amortize the static analysis across solves, as the service does.
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(*W.Fn);
+  DvsOptions O;
+  O.InitialMode = static_cast<int>(Modes.size()) - 1;
+  O.Presolve = Presolve;
+  O.Analysis = &FA;
+
+  ScheduleResult Last;
+  for (auto _ : State) {
+    DvsScheduler Sched(*W.Fn, Prof, Modes, Reg, O);
+    ErrorOr<ScheduleResult> R = Sched.schedule(Deadline);
+    if (!R) {
+      State.SkipWithError(R.message().c_str());
+      return;
+    }
+    Last = *R;
+    benchmark::DoNotOptimize(Last.PredictedEnergyJoules);
+  }
+  State.SetLabel(Names[WI] + (Presolve ? "/presolve" : "/full"));
+  State.counters["vars"] = static_cast<double>(Last.NumVars);
+  State.counters["rows"] = static_cast<double>(Last.NumRows);
+  State.counters["solved_vars"] = static_cast<double>(Last.SolvedVars);
+  State.counters["solved_rows"] = static_cast<double>(Last.SolvedRows);
+  State.counters["vars_fixed"] =
+      static_cast<double>(Last.PresolveVarsFixed);
+  State.counters["rows_dropped"] =
+      static_cast<double>(Last.PresolveRowsDropped);
+  State.counters["bb_nodes"] = static_cast<double>(Last.Nodes);
+}
+BENCHMARK(BM_SchedulePresolve)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 // Like BENCHMARK_MAIN(), but defaults --benchmark_out to

@@ -18,8 +18,9 @@
 #      and a Chrome trace with the per-job pipeline spans;
 #   5. static analysis: dvs-lint audits every bundled workload's CFG and
 #      profile (and, with --solve, certifies one MILP solution), and
-#      scripts/lint.sh reports clang-tidy findings (advisory — skipped
-#      when clang-tidy is not installed);
+#      scripts/lint.sh diffs clang-tidy findings against the committed
+#      baseline (scripts/clang-tidy-baseline.txt) — any NEW finding
+#      fails the gate (skipped when clang-tidy is not installed);
 #   6. verification round trip: dvsd re-runs the observability batch
 #      under --verify=strict, so every schedule the service emits is
 #      independently audited (legality + MILP certificate) and any
@@ -58,6 +59,14 @@
 #      trace id spanning router -> backend -> peer (>= 3 processes,
 #      >= 4 spans); the router's --slow-log-ms JSON lines must carry
 #      verdicts and trace ids.
+#  11. certified presolve: dvs-lint --static sweeps every bundled
+#      workload's CFG (reachability, loop forest, irreducibility,
+#      frequency intervals) under TSan, then dvsd solves the full
+#      workload x tightness grid twice — --presolve=on vs
+#      --presolve=off — and every emitted schedule must be
+#      byte-identical across the two runs (diff -r), with the presolve
+#      runs re-audited under --verify=strict so the reduction
+#      certificates replay clean.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 #
@@ -129,8 +138,8 @@ cmake --build build -j"$JOBS" --target dvs-lint
 ./build/tools/dvs-lint --solve --workload=gsm --quiet
 
 echo
-echo "== static analysis: clang-tidy (advisory) =="
-scripts/lint.sh build || true
+echo "== static analysis: clang-tidy vs the committed baseline =="
+scripts/lint.sh build
 
 echo
 echo "== dvsd --verify=strict: every emitted schedule audits clean =="
@@ -531,6 +540,26 @@ grep -q '"verdict":"response"' "$TR_TMP/slow.jsonl" \
   || { echo "the slow log has no response verdicts"; exit 1; }
 grep -Eq '"trace_id":"[0-9a-f]{32}"' "$TR_TMP/slow.jsonl" \
   || { echo "the slow log records carry no trace ids"; exit 1; }
+
+echo
+echo "== presolve: static CFG sweep + on/off byte-identity (TSan) =="
+cmake --build build-tsan -j"$JOBS" --target dvs-lint dvsd
+# Every bundled workload's CFG through the full static audit: dominator
+# trees, loop forest, irreducibility, dead blocks, frequency intervals.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvs-lint --static
+PS_TMP="$OBS_TMP/presolve"
+mkdir -p "$PS_TMP/on" "$PS_TMP/off"
+# The gate-6 grid again: every workload at three tightnesses. The
+# presolve may only remove structurally-irrelevant MILP columns, so the
+# schedules it emits must be byte-for-byte those of the full instance.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvsd \
+  --threads="$JOBS" --quiet --presolve=on --verify=strict \
+  --schedules="$PS_TMP/on" "$OBS_TMP/verify_jobs.jsonl"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvsd \
+  --threads="$JOBS" --quiet --presolve=off \
+  --schedules="$PS_TMP/off" "$OBS_TMP/verify_jobs.jsonl"
+diff -r "$PS_TMP/on" "$PS_TMP/off" \
+  || { echo "presolve changed an emitted schedule"; exit 1; }
 
 echo
 echo "All checks passed."

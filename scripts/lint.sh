@@ -3,22 +3,40 @@
 #
 # Runs clang-tidy (configuration: .clang-tidy at the repo root — the
 # bugprone/performance/concurrency families) across src/, tools/, and
-# bench/ using the compile_commands.json of the default build.
+# bench/ using the compile_commands.json of the default build, then
+# diffs the findings against the committed baseline
+# (scripts/clang-tidy-baseline.txt).
 #
-# The gate is advisory: check.sh runs it non-fatally, so a finding is a
-# report to read, not a red build. The script itself exits nonzero only
-# on infrastructure problems (no compile database), never on findings,
-# and exits 0 with a notice when clang-tidy is not installed — the
-# toolchain image ships gcc only, so most CI runs take that path.
+# The gate is enforced: any finding NOT in the baseline fails the run
+# (check.sh treats a nonzero exit as a red build). Findings are keyed
+# as "<file>: [<check>]" — no line numbers, so unrelated edits that
+# shift code do not churn the baseline. Baseline entries that no longer
+# fire are reported as stale (informational); refresh the file with
+#   scripts/lint.sh --update-baseline
+# after fixing warnings or after deliberately accepting new ones.
 #
-# Usage: scripts/lint.sh [build-dir]   (default: build)
+# The script still exits 0 with a notice when clang-tidy is not
+# installed — the toolchain image ships gcc only, so most CI runs take
+# that path — and exits nonzero on infrastructure problems (no compile
+# database).
+#
+# Usage: scripts/lint.sh [--update-baseline] [build-dir]  (default: build)
 #
 #===----------------------------------------------------------------------===#
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+UPDATE=0
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+BASELINE="scripts/clang-tidy-baseline.txt"
 
 TIDY="$(command -v clang-tidy || true)"
 if [[ -z "$TIDY" ]]; then
@@ -37,18 +55,52 @@ fi
 mapfile -t SOURCES < <(find src tools bench examples -name '*.cpp' | sort)
 
 echo "lint.sh: clang-tidy over ${#SOURCES[@]} files ($TIDY)"
-FINDINGS=0
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
 for f in "${SOURCES[@]}"; do
-  OUT="$("$TIDY" -p "$BUILD_DIR" --quiet "$f" 2>/dev/null)"
-  if [[ -n "$OUT" ]]; then
-    echo "$OUT"
-    FINDINGS=$((FINDINGS + 1))
-  fi
-done
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" 2>/dev/null
+done > "$RAW"
 
-if [[ "$FINDINGS" -eq 0 ]]; then
-  echo "lint.sh: clean."
-else
-  echo "lint.sh: findings in $FINDINGS file(s) (advisory)."
+# Normalize "path:line:col: warning: msg [check]" to "path: [check]",
+# dropping line/column so the baseline survives unrelated edits.
+CURRENT="$(sed -nE \
+  's|^([^:]+):[0-9]+:[0-9]+: (warning\|error): .* (\[[a-z0-9.,-]+\])$|\1: \3|p' \
+  "$RAW" | sed "s|^$PWD/||" | sort -u)"
+
+if [[ "$UPDATE" -eq 1 ]]; then
+  {
+    echo "# clang-tidy findings accepted as baseline; one '<file>: [<check>]'"
+    echo "# per line. Regenerate with: scripts/lint.sh --update-baseline"
+    printf '%s\n' "$CURRENT" | sed '/^$/d'
+  } > "$BASELINE"
+  echo "lint.sh: baseline rewritten ($(printf '%s\n' "$CURRENT" | sed '/^$/d' | wc -l) entries)."
+  exit 0
 fi
+
+ACCEPTED="$( [[ -f "$BASELINE" ]] && grep -v '^#' "$BASELINE" | sed '/^$/d' | sort -u || true)"
+
+NEW="$(comm -23 <(printf '%s\n' "$CURRENT" | sed '/^$/d') \
+                <(printf '%s\n' "$ACCEPTED") )"
+STALE="$(comm -13 <(printf '%s\n' "$CURRENT" | sed '/^$/d') \
+                  <(printf '%s\n' "$ACCEPTED") )"
+
+if [[ -n "$STALE" ]]; then
+  echo "lint.sh: stale baseline entries (fixed findings; run --update-baseline):"
+  printf '  %s\n' $STALE
+fi
+
+if [[ -n "$NEW" ]]; then
+  echo "lint.sh: NEW findings not in $BASELINE:" >&2
+  printf '  %s\n' $NEW >&2
+  echo "lint.sh: full clang-tidy output for the new findings:" >&2
+  while IFS= read -r key; do
+    file="${key%%:*}"
+    check="$(printf '%s' "$key" | sed -nE 's|.*\[(.*)\]$|\1|p')"
+    grep -F "$file" "$RAW" | grep -F "[$check]" >&2 || true
+  done <<< "$NEW"
+  echo "lint.sh: fix them or accept them with scripts/lint.sh --update-baseline." >&2
+  exit 1
+fi
+
+echo "lint.sh: clean against the baseline."
 exit 0

@@ -1,0 +1,67 @@
+//===- analysis/Analysis.cpp - Whole-function static analysis ---------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+
+#include <algorithm>
+
+namespace cdvs {
+namespace analysis {
+
+int FunctionAnalysis::edgeIndex(const CfgEdge &E) const {
+  // Edges follows successor order within a block, which is not sorted
+  // by To; the lists are tiny, so scan.
+  auto It = std::find(Edges.begin(), Edges.end(), E);
+  if (It == Edges.end())
+    return -1;
+  return static_cast<int>(It - Edges.begin());
+}
+
+int FunctionAnalysis::numDeadBlocks() const {
+  int N = 0;
+  for (BlockLiveness L : Reach.Blocks)
+    if (L != BlockLiveness::Live)
+      ++N;
+  return N;
+}
+
+int FunctionAnalysis::numDeadEdges() const {
+  int N = 0;
+  for (const ScalingPoint &P : Points)
+    if (P.Kind == ScalingPointKind::Dead)
+      ++N;
+  return N;
+}
+
+int FunctionAnalysis::numIrreducibleSccs() const {
+  int N = 0;
+  for (const Scc &S : Loops.Sccs)
+    if (S.Irreducible)
+      ++N;
+  return N;
+}
+
+int FunctionAnalysis::maxLoopDepth() const {
+  int D = 0;
+  for (const Loop &L : Loops.Loops)
+    D = std::max(D, L.Depth);
+  return D;
+}
+
+FunctionAnalysis analyzeFunction(const Function &Fn) {
+  FunctionAnalysis FA;
+  FA.Reach = computeReachability(Fn);
+  FA.Dom = computeDominators(Fn);
+  FA.PostDom = computePostDominators(Fn);
+  FA.Loops = computeLoops(Fn, FA.Dom);
+  FA.Freq = computeFrequencyIntervals(Fn, FA.Reach, FA.PostDom, FA.Loops);
+  FA.Points = classifyScalingPoints(Fn, FA.Reach, FA.Loops);
+  FA.Edges = Fn.edges();
+  return FA;
+}
+
+} // namespace analysis
+} // namespace cdvs

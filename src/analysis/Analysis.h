@@ -1,0 +1,59 @@
+//===- analysis/Analysis.h - Whole-function static analysis ------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella entry point bundling every static CFG analysis the DVS
+/// pipeline consumes: reachability, dominators/post-dominators, loop
+/// forest with irreducibility, static execution-frequency intervals,
+/// and the scaling-point legality classification. One call computes
+/// everything; the result is immutable and safe to share across
+/// threads (the service memoizes one instance per workload).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_ANALYSIS_ANALYSIS_H
+#define CDVS_ANALYSIS_ANALYSIS_H
+
+#include "analysis/Dominators.h"
+#include "analysis/Intervals.h"
+#include "analysis/Loops.h"
+#include "analysis/Placement.h"
+#include "analysis/Reachability.h"
+#include "ir/Function.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cdvs {
+namespace analysis {
+
+/// All static facts about one Function.
+struct FunctionAnalysis {
+  Reachability Reach;
+  DomTree Dom;
+  DomTree PostDom;
+  LoopForest Loops;
+  FrequencyIntervals Freq;
+  std::vector<ScalingPoint> Points; ///< Parallel to Fn.edges().
+  std::vector<CfgEdge> Edges;       ///< Fn.edges(), for index lookups.
+
+  /// Index of \p E in Edges, or -1 when absent.
+  int edgeIndex(const CfgEdge &E) const;
+
+  /// Summary counters (over Edges / blocks).
+  int numDeadBlocks() const;
+  int numDeadEdges() const;
+  int numIrreducibleSccs() const;
+  int maxLoopDepth() const;
+};
+
+/// Runs every analysis over \p Fn.
+FunctionAnalysis analyzeFunction(const Function &Fn);
+
+} // namespace analysis
+} // namespace cdvs
+
+#endif // CDVS_ANALYSIS_ANALYSIS_H

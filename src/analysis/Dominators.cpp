@@ -1,0 +1,170 @@
+//===- analysis/Dominators.cpp - Dominator and post-dominator trees ---------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cdvs {
+namespace analysis {
+
+DomTree::DomTree(int Root, std::vector<int> IdomIn)
+    : Root(Root), Idom(std::move(IdomIn)) {
+  Depth.assign(Idom.size(), kNone);
+  if (Root != kNone && Root < static_cast<int>(Idom.size()))
+    Depth[Root] = 0;
+  // Idom always points strictly up the tree, so repeated sweeps settle
+  // depths in at most tree-height passes.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int N = 0; N < static_cast<int>(Idom.size()); ++N) {
+      if (N == Root || Idom[N] == kNone || Depth[N] != kNone)
+        continue;
+      if (Depth[Idom[N]] != kNone) {
+        Depth[N] = Depth[Idom[N]] + 1;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DomTree::dominates(int A, int B) const {
+  if (A == B)
+    return true;
+  if (!reachable(A) || !reachable(B))
+    return false;
+  // Walk B up to A's depth, then compare.
+  int N = B;
+  while (Depth[N] > Depth[A])
+    N = Idom[N];
+  return N == A;
+}
+
+namespace {
+
+/// Graph view shared by the forward and reverse computations: dense node
+/// ids, explicit successor/predecessor lists, single root.
+struct GraphView {
+  int NumNodes = 0;
+  int Root = 0;
+  std::vector<std::vector<int>> Preds;
+  std::vector<std::vector<int>> Succs;
+};
+
+/// Cooper-Harvey-Kennedy: intersect two idom chains by walking the
+/// deeper (later in reverse postorder) finger up until they meet.
+int intersect(const std::vector<int> &Idom, const std::vector<int> &PostIndex,
+              int A, int B) {
+  while (A != B) {
+    while (PostIndex[A] < PostIndex[B])
+      A = Idom[A];
+    while (PostIndex[B] < PostIndex[A])
+      B = Idom[B];
+  }
+  return A;
+}
+
+DomTree computeOnGraph(const GraphView &G) {
+  const int N = G.NumNodes;
+  std::vector<int> Idom(N, DomTree::kNone);
+  if (N == 0)
+    return DomTree(DomTree::kNone, std::move(Idom));
+
+  // Iterative DFS postorder from the root.
+  std::vector<int> PostOrder;
+  PostOrder.reserve(N);
+  std::vector<int> PostIndex(N, -1);
+  {
+    std::vector<char> Visited(N, 0);
+    // Stack holds (node, next successor index).
+    std::vector<std::pair<int, size_t>> Stack;
+    Stack.push_back({G.Root, 0});
+    Visited[G.Root] = 1;
+    while (!Stack.empty()) {
+      auto &[Node, NextSucc] = Stack.back();
+      if (NextSucc < G.Succs[Node].size()) {
+        int S = G.Succs[Node][NextSucc++];
+        if (!Visited[S]) {
+          Visited[S] = 1;
+          Stack.push_back({S, 0});
+        }
+      } else {
+        PostIndex[Node] = static_cast<int>(PostOrder.size());
+        PostOrder.push_back(Node);
+        Stack.pop_back();
+      }
+    }
+  }
+
+  // Reverse postorder, root first.
+  std::vector<int> RPO(PostOrder.rbegin(), PostOrder.rend());
+  Idom[G.Root] = G.Root;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int Node : RPO) {
+      if (Node == G.Root)
+        continue;
+      int NewIdom = DomTree::kNone;
+      for (int P : G.Preds[Node]) {
+        if (Idom[P] == DomTree::kNone)
+          continue; // Predecessor not yet processed or unreachable.
+        NewIdom = NewIdom == DomTree::kNone
+                      ? P
+                      : intersect(Idom, PostIndex, NewIdom, P);
+      }
+      assert(NewIdom != DomTree::kNone && "reachable node with no processed pred");
+      if (Idom[Node] != NewIdom) {
+        Idom[Node] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  return DomTree(G.Root, std::move(Idom));
+}
+
+} // namespace
+
+DomTree computeDominators(const Function &Fn) {
+  GraphView G;
+  G.NumNodes = Fn.numBlocks();
+  G.Root = 0;
+  if (G.NumNodes == 0)
+    return DomTree(DomTree::kNone, {});
+  G.Succs.resize(G.NumNodes);
+  G.Preds = Fn.predecessors();
+  for (int B = 0; B < G.NumNodes; ++B)
+    G.Succs[B].assign(Fn.block(B).Succs.begin(), Fn.block(B).Succs.end());
+  return computeOnGraph(G);
+}
+
+DomTree computePostDominators(const Function &Fn) {
+  const int N = Fn.numBlocks();
+  const int VirtualExit = N;
+  GraphView G;
+  G.NumNodes = N + 1;
+  G.Root = VirtualExit;
+  G.Succs.resize(G.NumNodes);
+  G.Preds.resize(G.NumNodes);
+  // Reverse CFG: an edge From->To becomes To->From, and every Ret block
+  // gets a reverse-successor edge from the virtual exit.
+  for (int B = 0; B < N; ++B) {
+    for (int S : Fn.block(B).Succs) {
+      G.Succs[S].push_back(B);
+      G.Preds[B].push_back(S);
+    }
+    if (Fn.block(B).Term == TermKind::Ret) {
+      G.Succs[VirtualExit].push_back(B);
+      G.Preds[B].push_back(VirtualExit);
+    }
+  }
+  return computeOnGraph(G);
+}
+
+} // namespace analysis
+} // namespace cdvs

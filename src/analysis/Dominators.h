@@ -1,0 +1,82 @@
+//===- analysis/Dominators.h - Dominator and post-dominator trees -*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and post-dominator trees over Function CFGs, computed with
+/// the Cooper-Harvey-Kennedy iterative algorithm ("A Simple, Fast
+/// Dominance Algorithm"). Post-dominance is dominance over the reverse
+/// CFG rooted at a virtual exit node that every Ret block branches to;
+/// the virtual exit is exposed as node id numBlocks() so that functions
+/// with several Ret blocks still have a single post-dominator root.
+///
+/// Both trees tolerate unreachable nodes: a block that the root cannot
+/// reach has no immediate dominator (idom() returns kNone) and is
+/// dominated by nothing but itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_ANALYSIS_DOMINATORS_H
+#define CDVS_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace cdvs {
+namespace analysis {
+
+/// A dominator tree over dense node ids.
+///
+/// Nodes are block ids, except in the post-dominator tree where one
+/// extra node (id == numBlocks of the analyzed function) stands for the
+/// virtual exit. The root's idom is itself; nodes unreachable from the
+/// root have idom kNone.
+class DomTree {
+public:
+  static constexpr int kNone = -1;
+
+  DomTree() = default;
+  DomTree(int Root, std::vector<int> Idom);
+
+  int root() const { return Root; }
+  int numNodes() const { return static_cast<int>(Idom.size()); }
+
+  /// Immediate dominator of \p Node, or kNone if \p Node is unreachable
+  /// from the root. The root's idom is the root itself.
+  int idom(int Node) const { return Idom[Node]; }
+
+  /// Depth of \p Node in the tree (root is 0); kNone for unreachable.
+  int depth(int Node) const { return Depth[Node]; }
+
+  /// \returns true when \p Node is reachable from the tree root.
+  bool reachable(int Node) const { return Idom[Node] != kNone; }
+
+  /// \returns true when \p A dominates \p B (reflexive). Unreachable
+  /// nodes dominate only themselves.
+  bool dominates(int A, int B) const;
+
+  /// \returns true when \p A strictly dominates \p B.
+  bool strictlyDominates(int A, int B) const { return A != B && dominates(A, B); }
+
+private:
+  int Root = kNone;
+  std::vector<int> Idom;
+  std::vector<int> Depth;
+};
+
+/// Computes the dominator tree of \p Fn rooted at the entry block 0.
+DomTree computeDominators(const Function &Fn);
+
+/// Computes the post-dominator tree of \p Fn over the reverse CFG,
+/// rooted at a virtual exit node with id Fn.numBlocks() that succeeds
+/// every Ret block. A function with no Ret block yields a tree where
+/// only the virtual exit is reachable.
+DomTree computePostDominators(const Function &Fn);
+
+} // namespace analysis
+} // namespace cdvs
+
+#endif // CDVS_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,98 @@
+//===- analysis/Intervals.cpp - Static execution-frequency intervals --------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Intervals.h"
+
+namespace cdvs {
+namespace analysis {
+
+namespace {
+
+/// \returns true when some Ret block is reachable from the entry while
+/// never crossing the edge \p Skip. If not, every complete execution
+/// must cross \p Skip at least once.
+bool exitReachableAvoiding(const Function &Fn, const CfgEdge &Skip) {
+  std::vector<char> Seen(Fn.numBlocks(), 0);
+  std::vector<int> Work;
+  Seen[0] = 1;
+  Work.push_back(0);
+  while (!Work.empty()) {
+    int B = Work.back();
+    Work.pop_back();
+    if (Fn.block(B).Term == TermKind::Ret)
+      return true;
+    for (int S : Fn.block(B).Succs) {
+      if (B == Skip.From && S == Skip.To)
+        continue;
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Work.push_back(S);
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+FrequencyIntervals computeFrequencyIntervals(const Function &Fn,
+                                             const Reachability &Reach,
+                                             const DomTree &PostDom,
+                                             const LoopForest &Loops) {
+  const int N = Fn.numBlocks();
+  FrequencyIntervals FI;
+  FI.Blocks.assign(N, ExecInterval{});
+  if (N == 0)
+    return FI;
+
+  for (int B = 0; B < N; ++B) {
+    ExecInterval &I = FI.Blocks[B];
+    if (!Reach.live(B)) {
+      // Unreachable, or cannot reach an exit: never part of a complete
+      // (terminating) execution.
+      I = ExecInterval{0, 0, false};
+      continue;
+    }
+    // Every complete path crosses B iff B post-dominates the entry.
+    I.Min = (B == 0 || PostDom.dominates(B, 0)) ? 1 : 0;
+    if (Loops.inCycle(B)) {
+      I.Unbounded = true;
+      I.Max = 0;
+    } else {
+      I.Max = 1;
+    }
+  }
+
+  auto Edges = Fn.edges();
+  FI.Edges.assign(Edges.size(), ExecInterval{});
+  for (size_t E = 0; E < Edges.size(); ++E) {
+    ExecInterval &I = FI.Edges[E];
+    const CfgEdge &Edge = Edges[E];
+    if (!Reach.live(Edge)) {
+      I = ExecInterval{0, 0, false};
+      continue;
+    }
+    // Mandatory iff removing the edge disconnects entry from every
+    // exit. CFGs here are small (tens of edges), so one flood per edge
+    // is fine.
+    I.Min = exitReachableAvoiding(Fn, Edge) ? 0 : 1;
+    if (Loops.SccOf[Edge.From] == Loops.SccOf[Edge.To] &&
+        Loops.inCycle(Edge.From)) {
+      // Both ends inside one cycle: the edge can repeat each iteration.
+      I.Unbounded = true;
+      I.Max = 0;
+    } else {
+      // A cross-SCC edge is a DAG edge of the condensation: once control
+      // crosses it, it can never return to the source component, so the
+      // edge executes at most once per invocation.
+      I.Max = 1;
+    }
+  }
+  return FI;
+}
+
+} // namespace analysis
+} // namespace cdvs

@@ -1,0 +1,213 @@
+//===- analysis/Loops.cpp - SCCs, natural loops, irreducibility -------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Loops.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cdvs {
+namespace analysis {
+
+bool Loop::contains(int B) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), B);
+}
+
+namespace {
+
+/// Iterative Tarjan SCC. Components are emitted in reverse topological
+/// order; we only need the membership map and per-component block sets.
+struct TarjanScc {
+  const Function &Fn;
+  std::vector<int> Index, LowLink, SccOf;
+  std::vector<char> OnStack;
+  std::vector<int> Stack;
+  std::vector<std::vector<int>> Components;
+  int NextIndex = 0;
+
+  explicit TarjanScc(const Function &Fn) : Fn(Fn) {
+    int N = Fn.numBlocks();
+    Index.assign(N, -1);
+    LowLink.assign(N, 0);
+    SccOf.assign(N, -1);
+    OnStack.assign(N, 0);
+    for (int B = 0; B < N; ++B)
+      if (Index[B] < 0)
+        run(B);
+  }
+
+  void run(int Root) {
+    // Explicit DFS frames: (node, next successor position).
+    std::vector<std::pair<int, size_t>> Frames;
+    Frames.push_back({Root, 0});
+    while (!Frames.empty()) {
+      auto &[B, Pos] = Frames.back();
+      if (Pos == 0) {
+        Index[B] = LowLink[B] = NextIndex++;
+        Stack.push_back(B);
+        OnStack[B] = 1;
+      }
+      bool Descended = false;
+      const auto &Succs = Fn.block(B).Succs;
+      while (Pos < Succs.size()) {
+        int S = Succs[Pos++];
+        if (Index[S] < 0) {
+          Frames.push_back({S, 0});
+          Descended = true;
+          break;
+        }
+        if (OnStack[S])
+          LowLink[B] = std::min(LowLink[B], Index[S]);
+      }
+      if (Descended)
+        continue;
+      if (LowLink[B] == Index[B]) {
+        std::vector<int> Comp;
+        int Member;
+        do {
+          Member = Stack.back();
+          Stack.pop_back();
+          OnStack[Member] = 0;
+          SccOf[Member] = static_cast<int>(Components.size());
+          Comp.push_back(Member);
+        } while (Member != B);
+        std::sort(Comp.begin(), Comp.end());
+        Components.push_back(std::move(Comp));
+      }
+      int Done = B;
+      Frames.pop_back();
+      if (!Frames.empty()) {
+        int Parent = Frames.back().first;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[Done]);
+      }
+    }
+  }
+};
+
+} // namespace
+
+LoopForest computeLoops(const Function &Fn, const DomTree &Dom) {
+  const int N = Fn.numBlocks();
+  LoopForest F;
+  F.SccOf.assign(N, -1);
+  F.LoopOf.assign(N, -1);
+  F.LoopDepth.assign(N, 0);
+  if (N == 0)
+    return F;
+
+  // SCC condensation.
+  TarjanScc T(Fn);
+  F.SccOf = T.SccOf;
+  F.Sccs.resize(T.Components.size());
+  auto Preds = Fn.predecessors();
+  for (size_t C = 0; C < T.Components.size(); ++C) {
+    Scc &S = F.Sccs[C];
+    S.Blocks = std::move(T.Components[C]);
+    bool SelfEdge = false;
+    for (int B : S.Blocks)
+      for (int Succ : Fn.block(B).Succs)
+        if (Succ == B)
+          SelfEdge = true;
+    S.Nontrivial = S.Blocks.size() > 1 || SelfEdge;
+    if (!S.Nontrivial)
+      continue;
+    for (int B : S.Blocks) {
+      bool Entry = B == 0; // The function entry enters any cycle it is in.
+      for (int P : Preds[B])
+        if (F.SccOf[P] != static_cast<int>(C))
+          Entry = true;
+      if (Entry)
+        S.Entries.push_back(B);
+    }
+    // A cycle the control flow can enter at two different blocks has no
+    // single dominating header: irreducible.
+    S.Irreducible = S.Entries.size() > 1;
+    if (S.Irreducible)
+      F.HasIrreducible = true;
+  }
+
+  // Natural loops from dominance back edges, one loop per header.
+  std::map<int, Loop> ByHeader;
+  for (const CfgEdge &E : Fn.edges()) {
+    if (!Dom.reachable(E.From) || !Dom.dominates(E.To, E.From))
+      continue; // Not a back edge (or in unreachable code).
+    Loop &L = ByHeader[E.To];
+    L.Header = E.To;
+    L.BackEdges.push_back(E);
+  }
+  for (auto &[Header, L] : ByHeader) {
+    // Body: header plus reverse flood from each latch, stopping at the
+    // header.
+    std::vector<char> InLoop(N, 0);
+    InLoop[Header] = 1;
+    std::vector<int> Work;
+    for (const CfgEdge &BE : L.BackEdges)
+      if (!InLoop[BE.From]) {
+        InLoop[BE.From] = 1;
+        Work.push_back(BE.From);
+      }
+    while (!Work.empty()) {
+      int B = Work.back();
+      Work.pop_back();
+      for (int P : Preds[B])
+        if (!InLoop[P]) {
+          InLoop[P] = 1;
+          Work.push_back(P);
+        }
+    }
+    for (int B = 0; B < N; ++B)
+      if (InLoop[B])
+        L.Blocks.push_back(B);
+    F.Loops.push_back(std::move(L));
+  }
+
+  // Nesting: a loop's parent is the smallest other loop containing its
+  // header. Sorting by body size descending makes parents precede
+  // children and leaves LoopOf holding the innermost loop per block.
+  std::sort(F.Loops.begin(), F.Loops.end(), [](const Loop &A, const Loop &B) {
+    if (A.Blocks.size() != B.Blocks.size())
+      return A.Blocks.size() > B.Blocks.size();
+    return A.Header < B.Header;
+  });
+  for (size_t I = 0; I < F.Loops.size(); ++I) {
+    Loop &L = F.Loops[I];
+    for (size_t J = I; J-- > 0;) {
+      if (F.Loops[J].Header != L.Header && F.Loops[J].contains(L.Header)) {
+        L.Parent = static_cast<int>(J);
+        L.Depth = F.Loops[J].Depth + 1;
+        break;
+      }
+    }
+    for (int B : L.Blocks) {
+      F.LoopOf[B] = static_cast<int>(I);
+      F.LoopDepth[B] = L.Depth;
+    }
+  }
+
+  // Retreating edges inside a cycle whose head does not dominate the
+  // tail are a second irreducibility witness (catches cycles nested
+  // inside an otherwise reducible region).
+  for (const CfgEdge &E : Fn.edges()) {
+    int C = F.SccOf[E.From];
+    if (C != F.SccOf[E.To] || !F.Sccs[C].Nontrivial)
+      continue;
+    if (!Dom.reachable(E.From))
+      continue;
+    bool InSomeNaturalLoop = false;
+    for (const Loop &L : F.Loops)
+      if (L.contains(E.From) && L.contains(E.To))
+        InSomeNaturalLoop = true;
+    if (!InSomeNaturalLoop && !F.Sccs[C].Irreducible) {
+      F.Sccs[C].Irreducible = true;
+      F.HasIrreducible = true;
+    }
+  }
+
+  return F;
+}
+
+} // namespace analysis
+} // namespace cdvs

@@ -1,0 +1,77 @@
+//===- analysis/Loops.h - SCCs, natural loops, irreducibility ----*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tarjan SCC condensation of a Function CFG, the natural-loop forest
+/// recovered from dominance back edges, and irreducibility detection.
+///
+/// A back edge is an edge T->H whose head H dominates its tail T; its
+/// natural loop is H plus every block that reaches T without passing
+/// through H. A nontrivial SCC with more than one entry block (a block
+/// with a predecessor outside the SCC), or containing a retreating edge
+/// that is not a back edge, is irreducible: no single header dominates
+/// the cycle, so loop-based reasoning (and the paper's "set the mode on
+/// the loop entry edge" placement) is ambiguous there.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_ANALYSIS_LOOPS_H
+#define CDVS_ANALYSIS_LOOPS_H
+
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace cdvs {
+namespace analysis {
+
+/// One natural loop.
+struct Loop {
+  int Header = 0;                 ///< Header block id (dominates the body).
+  std::vector<int> Blocks;        ///< Body block ids, sorted, includes Header.
+  std::vector<CfgEdge> BackEdges; ///< Latch->Header edges forming the loop.
+  int Parent = -1;                ///< Index of enclosing loop, -1 for top level.
+  int Depth = 1;                  ///< Nesting depth; top-level loops are 1.
+
+  bool contains(int B) const;
+};
+
+/// One strongly connected component of the CFG.
+struct Scc {
+  std::vector<int> Blocks;  ///< Member block ids, sorted.
+  std::vector<int> Entries; ///< Members with a predecessor outside the SCC.
+  bool Irreducible = false; ///< More than one entry into the cycle.
+
+  /// True for a component that actually contains a cycle (more than one
+  /// block, or a single block with a self edge).
+  bool Nontrivial = false;
+};
+
+/// Loop and SCC structure of a Function.
+struct LoopForest {
+  std::vector<Loop> Loops;     ///< Sorted outermost-first within a nest.
+  std::vector<Scc> Sccs;       ///< Condensation components.
+  std::vector<int> SccOf;      ///< Block id -> index into Sccs.
+  std::vector<int> LoopOf;     ///< Block id -> innermost loop index or -1.
+  std::vector<int> LoopDepth;  ///< Block id -> nesting depth, 0 outside loops.
+  bool HasIrreducible = false; ///< Any SCC with multiple entries.
+
+  /// Blocks in some nontrivial cycle (natural loop or irreducible SCC);
+  /// their static execution count is unbounded.
+  bool inCycle(int B) const {
+    return Sccs[SccOf[B]].Nontrivial;
+  }
+};
+
+/// Computes SCCs, natural loops, and irreducibility facts for \p Fn
+/// using the dominator tree \p Dom (from computeDominators(Fn)).
+LoopForest computeLoops(const Function &Fn, const DomTree &Dom);
+
+} // namespace analysis
+} // namespace cdvs
+
+#endif // CDVS_ANALYSIS_LOOPS_H

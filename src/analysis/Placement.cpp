@@ -1,0 +1,69 @@
+//===- analysis/Placement.cpp - Mode scaling-point legality -----------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Placement.h"
+
+namespace cdvs {
+namespace analysis {
+
+const char *scalingPointKindName(ScalingPointKind K) {
+  switch (K) {
+  case ScalingPointKind::Normal:
+    return "normal";
+  case ScalingPointKind::LoopEntry:
+    return "loop-entry";
+  case ScalingPointKind::LoopExit:
+    return "loop-exit";
+  case ScalingPointKind::LoopBack:
+    return "loop-back";
+  case ScalingPointKind::SelfLoop:
+    return "self-loop";
+  case ScalingPointKind::IrreducibleEntry:
+    return "irreducible-entry";
+  case ScalingPointKind::Dead:
+    return "dead";
+  }
+  return "unknown";
+}
+
+std::vector<ScalingPoint> classifyScalingPoints(const Function &Fn,
+                                                const Reachability &Reach,
+                                                const LoopForest &Loops) {
+  std::vector<ScalingPoint> Points;
+  for (const CfgEdge &E : Fn.edges()) {
+    ScalingPoint P;
+    P.Edge = E;
+    int FromScc = Loops.SccOf[E.From];
+    int ToScc = Loops.SccOf[E.To];
+    bool SameCycle = FromScc == ToScc && Loops.Sccs[FromScc].Nontrivial;
+    if (!Reach.live(E)) {
+      P.Kind = ScalingPointKind::Dead;
+    } else if (E.From == E.To) {
+      P.Kind = ScalingPointKind::SelfLoop;
+    } else if (!SameCycle && Loops.Sccs[ToScc].Irreducible) {
+      P.Kind = ScalingPointKind::IrreducibleEntry;
+    } else if (SameCycle) {
+      // Inside one cycle: a dominance back edge is the loop latch.
+      bool IsBack = false;
+      for (const Loop &L : Loops.Loops)
+        for (const CfgEdge &BE : L.BackEdges)
+          if (BE == E)
+            IsBack = true;
+      P.Kind = IsBack ? ScalingPointKind::LoopBack : ScalingPointKind::Normal;
+    } else if (Loops.Sccs[ToScc].Nontrivial) {
+      P.Kind = ScalingPointKind::LoopEntry;
+    } else if (Loops.Sccs[FromScc].Nontrivial) {
+      P.Kind = ScalingPointKind::LoopExit;
+    } else {
+      P.Kind = ScalingPointKind::Normal;
+    }
+    Points.push_back(P);
+  }
+  return Points;
+}
+
+} // namespace analysis
+} // namespace cdvs

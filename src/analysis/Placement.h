@@ -1,0 +1,66 @@
+//===- analysis/Placement.h - Mode scaling-point legality --------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static legality classification of mode scaling points. The paper
+/// (Section 4.1) attaches voltage/frequency mode decisions to CFG
+/// edges; not every edge is an equally sensible place to switch:
+///
+///  * Dead edges can never be crossed, so a mode set there is
+///    unreachable code in the schedule.
+///  * Self-loop and loop back edges re-pay the transition penalty on
+///    every iteration; the paper's placement puts switches on loop
+///    entry/exit edges instead.
+///  * Edges entering an irreducible region have no unique loop header,
+///    so the "mode of the loop" the paper reasons about is ambiguous.
+///
+/// The classification is purely advisory for the MILP (which prices
+/// transitions explicitly) but is surfaced by dvs-lint --static so
+/// hand-written schedules and workload CFGs get audited.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_ANALYSIS_PLACEMENT_H
+#define CDVS_ANALYSIS_PLACEMENT_H
+
+#include "analysis/Loops.h"
+#include "analysis/Reachability.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace cdvs {
+namespace analysis {
+
+/// Legality/advisability of using an edge as a scaling point.
+enum class ScalingPointKind {
+  Normal,           ///< Live forward edge; unrestricted scaling point.
+  LoopEntry,        ///< Enters a loop from outside: the preferred spot.
+  LoopExit,         ///< Leaves a cycle: preferred spot for restoring mode.
+  LoopBack,         ///< Back edge: a switch here repeats every iteration.
+  SelfLoop,         ///< Single-block cycle: worst-case repeated switch.
+  IrreducibleEntry, ///< Enters a multi-entry cycle: ambiguous loop mode.
+  Dead,             ///< Statically dead edge: a mode here is never used.
+};
+
+/// Classification of one CFG edge, parallel to Function::edges().
+struct ScalingPoint {
+  CfgEdge Edge;
+  ScalingPointKind Kind = ScalingPointKind::Normal;
+};
+
+/// \returns a short lowercase name for \p K ("loop-back", "dead", ...).
+const char *scalingPointKindName(ScalingPointKind K);
+
+/// Classifies every CFG edge of \p Fn.
+std::vector<ScalingPoint> classifyScalingPoints(const Function &Fn,
+                                                const Reachability &Reach,
+                                                const LoopForest &Loops);
+
+} // namespace analysis
+} // namespace cdvs
+
+#endif // CDVS_ANALYSIS_PLACEMENT_H

@@ -1,0 +1,64 @@
+//===- analysis/Reachability.cpp - CFG reachability and liveness ------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Reachability.h"
+
+namespace cdvs {
+namespace analysis {
+
+Reachability computeReachability(const Function &Fn) {
+  const int N = Fn.numBlocks();
+  Reachability R;
+  R.FromEntry.assign(N, 0);
+  R.ToExit.assign(N, 0);
+  R.Blocks.assign(N, BlockLiveness::Live);
+  if (N == 0)
+    return R;
+
+  // Forward flood from the entry block.
+  std::vector<int> Work;
+  Work.push_back(0);
+  R.FromEntry[0] = 1;
+  while (!Work.empty()) {
+    int B = Work.back();
+    Work.pop_back();
+    for (int S : Fn.block(B).Succs)
+      if (!R.FromEntry[S]) {
+        R.FromEntry[S] = 1;
+        Work.push_back(S);
+      }
+  }
+
+  // Backward flood from every Ret block over the reverse CFG.
+  auto Preds = Fn.predecessors();
+  for (int B = 0; B < N; ++B)
+    if (Fn.block(B).Term == TermKind::Ret) {
+      R.ToExit[B] = 1;
+      Work.push_back(B);
+    }
+  while (!Work.empty()) {
+    int B = Work.back();
+    Work.pop_back();
+    for (int P : Preds[B])
+      if (!R.ToExit[P]) {
+        R.ToExit[P] = 1;
+        Work.push_back(P);
+      }
+  }
+
+  for (int B = 0; B < N; ++B) {
+    if (!R.FromEntry[B])
+      R.Blocks[B] = BlockLiveness::DeadUnreachable;
+    else if (!R.ToExit[B])
+      R.Blocks[B] = BlockLiveness::DeadNoExit;
+    else
+      R.Blocks[B] = BlockLiveness::Live;
+  }
+  return R;
+}
+
+} // namespace analysis
+} // namespace cdvs

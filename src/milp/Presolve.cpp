@@ -1,0 +1,181 @@
+//===- milp/Presolve.cpp - Certified MILP presolve --------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "milp/Presolve.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cdvs {
+
+std::vector<double>
+ReductionCertificate::expandSolution(const std::vector<double> &ReducedX) const {
+  std::vector<double> X(OrigVars, 0.0);
+  for (int V = 0; V < OrigVars; ++V)
+    X[V] = VarMap[V] < 0 ? FixedValue[V] : ReducedX[VarMap[V]];
+  return X;
+}
+
+namespace {
+
+std::string describeVar(const LpProblem &P, int Var) {
+  const std::string &Name = P.name(Var);
+  if (!Name.empty())
+    return Name;
+  return "x" + std::to_string(Var);
+}
+
+} // namespace
+
+PresolveResult presolve(const LpProblem &P, const std::vector<int> &IntegerVars,
+                        const std::vector<int> &FixedVars,
+                        const std::vector<double> &FixedValues,
+                        const PresolveOptions &Opts) {
+  const int NumVars = P.numVariables();
+  const int NumRows = P.numRows();
+  PresolveResult Res;
+  ReductionCertificate &C = Res.Cert;
+  C.OrigVars = NumVars;
+  C.OrigRows = NumRows;
+  C.VarMap.assign(NumVars, 0);
+  C.FixedValue.assign(NumVars, 0.0);
+  C.RowMap.assign(NumRows, 0);
+
+  std::vector<char> Fixed(NumVars, 0);
+  std::vector<double> Value(NumVars, 0.0);
+
+  auto fixVar = [&](int V, double Val) -> bool {
+    if (Val < P.lowerBound(V) - Opts.FeasTol ||
+        Val > P.upperBound(V) + Opts.FeasTol) {
+      Res.Infeasible = true;
+      Res.InfeasibleReason = "fixing " + describeVar(P, V) + " to " +
+                             std::to_string(Val) +
+                             " violates its bounds";
+      return false;
+    }
+    if (Fixed[V]) {
+      if (std::fabs(Value[V] - Val) > Opts.FeasTol) {
+        Res.Infeasible = true;
+        Res.InfeasibleReason = "conflicting fixings for " + describeVar(P, V);
+        return false;
+      }
+      return true;
+    }
+    Fixed[V] = 1;
+    Value[V] = Val;
+    return true;
+  };
+
+  // Caller-designated fixings, then bound-implied ones (Lo == Hi).
+  for (size_t I = 0; I < FixedVars.size(); ++I)
+    if (!fixVar(FixedVars[I], FixedValues[I]))
+      return Res;
+  for (int V = 0; V < NumVars; ++V)
+    if (!Fixed[V] && P.upperBound(V) - P.lowerBound(V) <= Opts.FeasTol)
+      if (!fixVar(V, P.lowerBound(V)))
+        return Res;
+
+  // Propagate to a fixpoint: an equality row whose terms leave exactly
+  // one variable free determines that variable.
+  if (Opts.PropagateEqualities) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (int R = 0; R < NumRows; ++R) {
+        if (P.sense(R) != RowSense::EQ)
+          continue;
+        int FreeVar = -1;
+        double FreeCoeff = 0.0;
+        double FixedSum = 0.0;
+        bool MultiFree = false;
+        for (const LpTerm &T : P.rowTerms(R)) {
+          if (Fixed[T.Var]) {
+            FixedSum += T.Coeff * Value[T.Var];
+          } else if (FreeVar == T.Var) {
+            FreeCoeff += T.Coeff; // Duplicate terms are summed.
+          } else if (FreeVar < 0) {
+            FreeVar = T.Var;
+            FreeCoeff = T.Coeff;
+          } else {
+            MultiFree = true;
+            break;
+          }
+        }
+        if (MultiFree || FreeVar < 0 || FreeCoeff == 0.0)
+          continue;
+        if (!fixVar(FreeVar, (P.rhs(R) - FixedSum) / FreeCoeff))
+          return Res;
+        Changed = true;
+      }
+    }
+  }
+
+  // Build the variable mapping and the reduced problem columns.
+  int NextVar = 0;
+  for (int V = 0; V < NumVars; ++V) {
+    if (Fixed[V]) {
+      C.VarMap[V] = -1;
+      C.FixedValue[V] = Value[V];
+      C.ObjectiveOffset += P.cost(V) * Value[V];
+    } else {
+      C.VarMap[V] = NextVar++;
+      Res.Reduced.addVariable(P.lowerBound(V), P.upperBound(V), P.cost(V),
+                              P.name(V));
+    }
+  }
+  C.ReducedVars = NextVar;
+
+  // Rows: fold fixed terms into the RHS; rows with no free terms are
+  // dropped after a feasibility check.
+  int NextRow = 0;
+  for (int R = 0; R < NumRows; ++R) {
+    std::vector<LpTerm> Terms;
+    double FixedSum = 0.0;
+    for (const LpTerm &T : P.rowTerms(R)) {
+      if (Fixed[T.Var])
+        FixedSum += T.Coeff * Value[T.Var];
+      else
+        Terms.push_back({C.VarMap[T.Var], T.Coeff});
+    }
+    if (Terms.empty()) {
+      double Lhs = FixedSum, Rhs = P.rhs(R);
+      bool Ok = true;
+      switch (P.sense(R)) {
+      case RowSense::LE:
+        Ok = Lhs <= Rhs + Opts.FeasTol;
+        break;
+      case RowSense::GE:
+        Ok = Lhs >= Rhs - Opts.FeasTol;
+        break;
+      case RowSense::EQ:
+        Ok = std::fabs(Lhs - Rhs) <= Opts.FeasTol;
+        break;
+      }
+      if (!Ok) {
+        Res.Infeasible = true;
+        char Buf[128];
+        std::snprintf(Buf, sizeof(Buf),
+                      "row %d fully fixed but violated (lhs=%g rhs=%g)", R,
+                      Lhs, Rhs);
+        Res.InfeasibleReason = Buf;
+        return Res;
+      }
+      C.RowMap[R] = -1;
+      continue;
+    }
+    C.RowMap[R] = NextRow++;
+    Res.Reduced.addRow(P.sense(R), P.rhs(R) - FixedSum, std::move(Terms));
+  }
+  C.ReducedRows = NextRow;
+
+  for (int V : IntegerVars)
+    if (C.VarMap[V] >= 0)
+      Res.IntegerVars.push_back(C.VarMap[V]);
+
+  return Res;
+}
+
+} // namespace cdvs

@@ -1,0 +1,101 @@
+//===- milp/Presolve.h - Certified MILP presolve -----------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, exactness-preserving MILP presolve. Callers designate
+/// variables whose optimal value is known in advance (for the DVS
+/// instance: mode binaries of structurally dead edge groups, and the
+/// entry group pinned to the initial mode); the presolve additionally
+/// picks up any variable whose bounds already coincide, propagates
+/// fixings through equality rows with a single free variable, folds
+/// fixed terms into row right-hand sides, and drops rows with no free
+/// terms after checking they are satisfied.
+///
+/// Every reduction is recorded in a ReductionCertificate: an explicit
+/// old-variable -> (kept index | fixed value) and old-row -> (kept
+/// index | dropped) mapping plus the objective constant absorbed by
+/// the fixings. verify::checkReductionCertificate replays the mapping
+/// against the ORIGINAL problem, so a buggy presolve cannot silently
+/// change the optimum: the expanded solution must be feasible for the
+/// original rows/bounds and match its objective exactly (up to the
+/// solver tolerance).
+///
+/// The presolve deliberately performs no inequality bound tightening:
+/// rewriting bounds of surviving variables could steer the simplex to
+/// a different vertex of an alternative-optima face, and the DVS
+/// pipeline promises byte-identical schedules with presolve on or off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_MILP_PRESOLVE_H
+#define CDVS_MILP_PRESOLVE_H
+
+#include "lp/LpProblem.h"
+
+#include <string>
+#include <vector>
+
+namespace cdvs {
+
+/// Mapping from an original problem onto its presolve-reduced form.
+struct ReductionCertificate {
+  int OrigVars = 0;
+  int OrigRows = 0;
+  int ReducedVars = 0;
+  int ReducedRows = 0;
+
+  /// Original variable -> index in the reduced problem, or -1 when the
+  /// variable was eliminated (then FixedValue holds its value).
+  std::vector<int> VarMap;
+  std::vector<double> FixedValue;
+
+  /// Original row -> index in the reduced problem, or -1 when dropped.
+  std::vector<int> RowMap;
+
+  /// Objective contribution of the eliminated variables:
+  /// original objective == reduced objective + ObjectiveOffset.
+  double ObjectiveOffset = 0.0;
+
+  int varsFixed() const { return OrigVars - ReducedVars; }
+  int rowsDropped() const { return OrigRows - ReducedRows; }
+
+  /// Expands a reduced-space point back to the original variable space.
+  std::vector<double> expandSolution(const std::vector<double> &ReducedX) const;
+};
+
+/// Outcome of a presolve run.
+struct PresolveResult {
+  LpProblem Reduced;
+  std::vector<int> IntegerVars; ///< Reduced-space indices of integer vars.
+  ReductionCertificate Cert;
+
+  /// Set when the fixings contradict a row or a bound; the original
+  /// problem (under the requested fixings) is infeasible and Reduced is
+  /// meaningless.
+  bool Infeasible = false;
+  std::string InfeasibleReason;
+};
+
+/// Options controlling the presolve.
+struct PresolveOptions {
+  /// Feasibility slack when deciding that a fully-fixed row is
+  /// satisfied and that a fixing respects the variable bounds.
+  double FeasTol = 1e-9;
+  /// Propagate fixings through single-free-variable equality rows.
+  bool PropagateEqualities = true;
+};
+
+/// Presolves \p P. \p IntegerVars lists integer variables in original
+/// space; \p FixedVars / \p FixedValues designate caller-proven fixings
+/// (parallel vectors).
+PresolveResult presolve(const LpProblem &P, const std::vector<int> &IntegerVars,
+                        const std::vector<int> &FixedVars,
+                        const std::vector<double> &FixedValues,
+                        const PresolveOptions &Opts = {});
+
+} // namespace cdvs
+
+#endif // CDVS_MILP_PRESOLVE_H

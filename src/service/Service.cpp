@@ -128,8 +128,11 @@ double energyLowerBound(const std::vector<CategoryProfile> &Categories) {
 struct ServiceMetrics {
   obs::Counter &Submitted, &Rejected, &Completed, &Infeasible, &Failed;
   obs::Counter &VerifyFailures;
+  obs::Counter &PresolveVarsFixed, &PresolveRowsDropped, &PresolveDeadGroups;
   obs::Gauge &QueueDepth, &QueueDepthPeak;
-  obs::Histogram &Queue, &Profile, &Bound, &Solve, &Serialize, &Total;
+  obs::Histogram &Queue, &Profile, &Bound, &Analyze, &Solve, &Serialize,
+      &Total;
+  obs::Histogram &PresolveSeconds;
 };
 
 ServiceMetrics &serviceMetrics() {
@@ -153,6 +156,15 @@ ServiceMetrics &serviceMetrics() {
       obs::metrics().counter(
           "cdvs_verify_failures_total",
           "Jobs whose post-solve verification drew errors"),
+      obs::metrics().counter(
+          "cdvs_presolve_vars_fixed_total",
+          "MILP variables eliminated by the certified presolve"),
+      obs::metrics().counter(
+          "cdvs_presolve_rows_dropped_total",
+          "MILP rows dropped by the certified presolve"),
+      obs::metrics().counter(
+          "cdvs_presolve_dead_groups_total",
+          "Presolve-fixed edge groups that were statically dead"),
       obs::metrics().gauge("cdvs_admission_queue_depth",
                            "Jobs currently pending admission"),
       obs::metrics().gauge("cdvs_admission_queue_depth_peak",
@@ -160,9 +172,14 @@ ServiceMetrics &serviceMetrics() {
       stageHist("queue"),
       stageHist("profile"),
       stageHist("bound"),
+      stageHist("analyze"),
       stageHist("solve"),
       stageHist("serialize"),
       stageHist("total"),
+      obs::metrics().histogram(
+          "cdvs_presolve_seconds",
+          "Time spent in the certified MILP presolve per fresh solve",
+          obs::latencyBucketsSeconds()),
   };
   return M;
 }
@@ -541,6 +558,33 @@ JobResult SchedulerService::execute(const JobRequest &Request,
   BoundSpan.end();
 
   const Workload &W = workloadRegistry().at(Request.Workload);
+
+  // Analyze stage: static CFG analysis feeding the certified presolve,
+  // computed once per workload and shared across workers (the facts are
+  // profile-independent).
+  std::shared_ptr<const analysis::FunctionAnalysis> FA;
+  if (Opts.Presolve) {
+    obs::TraceSpan AnalyzeSpan("analyze", "service");
+    uint64_t AnalyzeT0 = monotonicNanos();
+    {
+      std::lock_guard<std::mutex> Lock(AnalysisMu);
+      auto It = AnalysisCache.find(Request.Workload);
+      if (It != AnalysisCache.end())
+        FA = It->second;
+    }
+    bool Hit = FA != nullptr;
+    if (!FA) {
+      // Compute outside the lock; a racing duplicate is idempotent.
+      auto Computed = std::make_shared<const analysis::FunctionAnalysis>(
+          analysis::analyzeFunction(*W.Fn));
+      std::lock_guard<std::mutex> Lock(AnalysisMu);
+      FA = AnalysisCache.emplace(Request.Workload, Computed).first->second;
+    }
+    serviceMetrics().Analyze.observe(
+        nanosToSeconds(monotonicNanos() - AnalyzeT0));
+    AnalyzeSpan.arg("cache_hit", Hit ? 1.0 : 0.0);
+  }
+
   double LowerBound = R.LowerBoundJoules;
   std::string TransientError;
   obs::TraceSpan SolveSpan("solve", "service");
@@ -568,9 +612,18 @@ JobResult SchedulerService::execute(const JobRequest &Request,
         // The certificate pass needs the exact MILP instance and raw
         // solution the scheduler otherwise discards.
         O.KeepArtifacts = Opts.Verify != VerifyMode::Off;
+        O.Presolve = Opts.Presolve;
+        O.Analysis = FA.get();
         DvsScheduler Scheduler(*W.Fn, Categories, Modes, Transitions, O);
         auto TSolve = Clock::now();
         ErrorOr<ScheduleResult> SR = Scheduler.schedule(Deadlines);
+        if (SR && Opts.Presolve) {
+          ServiceMetrics &M = serviceMetrics();
+          M.PresolveVarsFixed.inc(SR->PresolveVarsFixed);
+          M.PresolveRowsDropped.inc(SR->PresolveRowsDropped);
+          M.PresolveDeadGroups.inc(SR->PresolveDeadGroups);
+          M.PresolveSeconds.observe(SR->PresolveSeconds);
+        }
         auto C = std::make_shared<CachedSchedule>();
         C->SolveSeconds = secondsSince(TSolve);
         C->LowerBoundJoules = LowerBound;

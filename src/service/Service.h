@@ -38,6 +38,7 @@
 #ifndef CDVS_SERVICE_SERVICE_H
 #define CDVS_SERVICE_SERVICE_H
 
+#include "analysis/Analysis.h"
 #include "power/ModeTable.h"
 #include "profile/Profile.h"
 #include "service/Job.h"
@@ -93,6 +94,11 @@ struct ServiceOptions {
   /// Post-solve verification: run the src/verify passes over every
   /// fresh schedule (Warn records, Strict fails the job on errors).
   VerifyMode Verify = VerifyMode::Off;
+  /// Run the analyze stage (static CFG analysis, memoized per workload)
+  /// and hand the scheduler its certified presolve. Schedules are
+  /// byte-identical either way; off skips the analysis and solves the
+  /// full MILP.
+  bool Presolve = true;
   /// When set, cache misses first try this peer fetch before solving
   /// cold (cluster mode; empty in single-node deployments).
   PeerFillFn PeerFill;
@@ -204,6 +210,12 @@ private:
   /// the right bound.
   std::map<std::string, std::shared_ptr<const Profile>> ProfileCache;
   std::mutex ProfileMu;
+
+  /// workload -> static CFG analysis, computed once per service (the
+  /// analyze stage); immutable and shared across workers.
+  std::map<std::string, std::shared_ptr<const analysis::FunctionAnalysis>>
+      AnalysisCache;
+  std::mutex AnalysisMu;
 
   std::atomic<long> DequeueSeq{0};
   mutable std::mutex StatsMu;

@@ -6,10 +6,10 @@
 
 #include "verify/CfgChecker.h"
 
+#include "analysis/Reachability.h"
 #include "support/Numeric.h"
 
 #include <cmath>
-#include <deque>
 #include <map>
 #include <set>
 #include <string>
@@ -27,45 +27,6 @@ std::string blockLoc(const Function &Fn, int B) {
 
 std::string edgeLoc(const CfgEdge &E) {
   return "edge " + std::to_string(E.From) + "->" + std::to_string(E.To);
-}
-
-/// Blocks reachable from \p Start following successor edges.
-std::vector<bool> reachableFrom(const Function &Fn, int Start) {
-  std::vector<bool> Seen(Fn.numBlocks(), false);
-  std::deque<int> Work{Start};
-  Seen[Start] = true;
-  while (!Work.empty()) {
-    int B = Work.front();
-    Work.pop_front();
-    for (int S : Fn.block(B).Succs)
-      if (!Seen[S]) {
-        Seen[S] = true;
-        Work.push_back(S);
-      }
-  }
-  return Seen;
-}
-
-/// Blocks from which some Ret block is reachable (reverse reachability).
-std::vector<bool> reachesExit(const Function &Fn) {
-  std::vector<std::vector<int>> Preds = Fn.predecessors();
-  std::vector<bool> Seen(Fn.numBlocks(), false);
-  std::deque<int> Work;
-  for (int B = 0; B < Fn.numBlocks(); ++B)
-    if (Fn.block(B).Term == TermKind::Ret) {
-      Seen[B] = true;
-      Work.push_back(B);
-    }
-  while (!Work.empty()) {
-    int B = Work.front();
-    Work.pop_front();
-    for (int P : Preds[B])
-      if (!Seen[P]) {
-        Seen[P] = true;
-        Work.push_back(P);
-      }
-  }
-  return Seen;
 }
 
 } // namespace
@@ -140,12 +101,14 @@ Report verify::checkCfgProfile(const Function &Fn, const Profile &Prof,
   }
 
   // Reachability: executed blocks must be reachable from the entry and
-  // must reach an exit; statically dead blocks are only warnings.
-  std::vector<bool> FromEntry = reachableFrom(Fn, 0);
-  std::vector<bool> ToExit = reachesExit(Fn);
+  // must reach an exit; statically dead blocks are only warnings. The
+  // classification comes from the shared static analysis — the same one
+  // the MILP presolve consumes — so lint and presolve cannot disagree
+  // about which blocks and edges are dead.
+  analysis::Reachability Reach = analysis::computeReachability(Fn);
   for (int B = 0; B < NumBlocks; ++B) {
     bool Executed = Prof.BlockExecs[B] > 0;
-    if (!FromEntry[B]) {
+    if (!Reach.fromEntry(B)) {
       if (Executed)
         R.error(PassName, blockLoc(Fn, B),
                 "executed " + std::to_string(Prof.BlockExecs[B]) +
@@ -154,7 +117,7 @@ Report verify::checkCfgProfile(const Function &Fn, const Profile &Prof,
         R.warning(PassName, blockLoc(Fn, B),
                   "unreachable from the entry (dead block)");
     }
-    if (!ToExit[B]) {
+    if (!Reach.toExit(B)) {
       if (Executed)
         R.error(PassName, blockLoc(Fn, B),
                 "executed but no exit is reachable from it");
@@ -240,6 +203,10 @@ Report verify::checkCfgProfile(const Function &Fn, const Profile &Prof,
       R.error(PassName, edgeLoc(E),
               "path counts sum to " + std::to_string(D) +
                   " but the edge count is " + std::to_string(G));
+    if (G > 0.0 && !Reach.live(E))
+      R.error(PassName, edgeLoc(E),
+              "statically dead edge carries a nonzero profile count (" +
+                  std::to_string(G) + ")");
     if (Opts.WarnDeadEdges && G == 0.0 &&
         Prof.BlockExecs[E.From] > 0)
       R.warning(PassName, edgeLoc(E),

@@ -1,0 +1,165 @@
+//===- verify/StaticChecker.cpp - Static CFG audit --------------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/StaticChecker.h"
+
+#include <string>
+
+using namespace cdvs;
+using namespace cdvs::verify;
+
+namespace {
+
+const char *PassName = "static";
+
+std::string blockLoc(const Function &Fn, int B) {
+  return "block " + std::to_string(B) + " (" + Fn.block(B).Name + ")";
+}
+
+std::string edgeLoc(const CfgEdge &E) {
+  return "edge " + std::to_string(E.From) + "->" + std::to_string(E.To);
+}
+
+std::string joinBlocks(const std::vector<int> &Blocks) {
+  std::string S;
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    if (I)
+      S += ",";
+    S += std::to_string(Blocks[I]);
+  }
+  return S;
+}
+
+} // namespace
+
+Report verify::checkStatic(const Function &Fn,
+                           const analysis::FunctionAnalysis &FA,
+                           const Profile *Prof,
+                           const StaticCheckOptions &Opts) {
+  Report R;
+  const int NumBlocks = Fn.numBlocks();
+
+  if (NumBlocks == 0) {
+    R.error(PassName, "function " + Fn.name(), "function has no blocks");
+    return R;
+  }
+
+  // Dead blocks.
+  for (int B = 0; B < NumBlocks; ++B) {
+    switch (FA.Reach.Blocks[B]) {
+    case analysis::BlockLiveness::Live:
+      break;
+    case analysis::BlockLiveness::DeadUnreachable:
+      R.warning(PassName, blockLoc(Fn, B),
+                "unreachable from the entry; its mode variables are dead "
+                "weight in the MILP");
+      break;
+    case analysis::BlockLiveness::DeadNoExit:
+      R.warning(PassName, blockLoc(Fn, B),
+                "no exit is reachable from it; it cannot appear on a "
+                "terminating path");
+      break;
+    }
+  }
+
+  // Irreducible regions: no single loop header dominates the cycle, so
+  // the paper's "mode of the loop" placement is ambiguous there.
+  for (const analysis::Scc &S : FA.Loops.Sccs) {
+    if (!S.Irreducible)
+      continue;
+    R.warning(PassName, "blocks {" + joinBlocks(S.Blocks) + "}",
+              "irreducible cycle with " + std::to_string(S.Entries.size()) +
+                  " entries {" + joinBlocks(S.Entries) +
+                  "}; no dominating header, loop-based mode placement is "
+                  "ambiguous");
+  }
+
+  // Scaling-point legality per edge.
+  for (const analysis::ScalingPoint &P : FA.Points) {
+    switch (P.Kind) {
+    case analysis::ScalingPointKind::Dead:
+      R.warning(PassName, edgeLoc(P.Edge),
+                "statically dead edge; a mode set here can never fire");
+      break;
+    case analysis::ScalingPointKind::SelfLoop:
+      if (Opts.NoteLoopScalingPoints)
+        R.note(PassName, edgeLoc(P.Edge),
+               "self-loop edge: a mode switch here would re-pay the "
+               "transition penalty on every iteration");
+      break;
+    case analysis::ScalingPointKind::LoopBack:
+      if (Opts.NoteLoopScalingPoints)
+        R.note(PassName, edgeLoc(P.Edge),
+               "loop back edge: a mode switch here repeats each "
+               "iteration; prefer the loop entry/exit edges");
+      break;
+    case analysis::ScalingPointKind::IrreducibleEntry:
+      R.warning(PassName, edgeLoc(P.Edge),
+                "enters an irreducible cycle: the inherited mode depends "
+                "on the entry taken");
+      break;
+    case analysis::ScalingPointKind::Normal:
+    case analysis::ScalingPointKind::LoopEntry:
+    case analysis::ScalingPointKind::LoopExit:
+      break;
+    }
+  }
+
+  // Profile cross-checks: static facts bound every honest profile.
+  if (Prof && static_cast<int>(Prof->BlockExecs.size()) == NumBlocks) {
+    for (int B = 0; B < NumBlocks; ++B) {
+      uint64_t Count = Prof->BlockExecs[B];
+      const analysis::ExecInterval &I = FA.Freq.Blocks[B];
+      if (!I.admits(Count))
+        R.error(PassName, blockLoc(Fn, B),
+                "profile count " + std::to_string(Count) +
+                    " outside the static interval [" + std::to_string(I.Min) +
+                    ", " + (I.Unbounded ? std::string("inf") : std::to_string(I.Max)) +
+                    "]");
+    }
+    for (const auto &[E, G] : Prof->EdgeCounts) {
+      int Idx = FA.edgeIndex(E);
+      if (Idx < 0)
+        continue; // Non-CFG edges are the cfg pass's problem.
+      if (G == 0)
+        continue;
+      const analysis::ExecInterval &I = FA.Freq.Edges[Idx];
+      if (!I.admits(G)) {
+        if (I.cannotExecute())
+          R.error(PassName, edgeLoc(E),
+                  "statically dead edge carries a nonzero profile count (" +
+                      std::to_string(G) + ")");
+        else
+          R.error(PassName, edgeLoc(E),
+                  "profile count " + std::to_string(G) +
+                      " outside the static interval [" + std::to_string(I.Min) +
+                      ", " +
+                      (I.Unbounded ? std::string("inf") : std::to_string(I.Max)) +
+                      "]");
+      }
+    }
+  }
+
+  // Summary note: the shape of the function as the analyses see it.
+  int MustExec = 0, Unbounded = 0;
+  for (const analysis::ExecInterval &I : FA.Freq.Blocks) {
+    if (I.mustExecute())
+      ++MustExec;
+    if (I.Unbounded)
+      ++Unbounded;
+  }
+  R.note(PassName, "function " + Fn.name(),
+         std::to_string(NumBlocks) + " blocks, " +
+             std::to_string(FA.Edges.size()) + " edges, " +
+             std::to_string(FA.Loops.Loops.size()) + " natural loops (max "
+             "depth " + std::to_string(FA.maxLoopDepth()) + "), " +
+             std::to_string(FA.numIrreducibleSccs()) + " irreducible regions, " +
+             std::to_string(FA.numDeadBlocks()) + " dead blocks, " +
+             std::to_string(FA.numDeadEdges()) + " dead edges; " +
+             std::to_string(MustExec) + " blocks on every path, " +
+             std::to_string(Unbounded) + " with unbounded count");
+  return R;
+}

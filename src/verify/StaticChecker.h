@@ -1,0 +1,48 @@
+//===- verify/StaticChecker.h - Static CFG audit -----------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dvs-lint --static pass: turns the facts the analysis library
+/// proves about a CFG into structured Report diagnostics. Errors are
+/// reserved for contradictions (a profile count on a statically dead
+/// edge); purely structural findings — unreachable blocks, dead edges,
+/// irreducible regions, dubious scaling points — are warnings or notes,
+/// because the MILP remains correct on such CFGs, just wasteful or
+/// harder to reason about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_VERIFY_STATICCHECKER_H
+#define CDVS_VERIFY_STATICCHECKER_H
+
+#include "analysis/Analysis.h"
+#include "ir/Function.h"
+#include "profile/Profile.h"
+#include "verify/Report.h"
+
+namespace cdvs {
+namespace verify {
+
+/// Knobs for the static audit.
+struct StaticCheckOptions {
+  /// Also emit per-edge notes for loop-back and self-loop scaling
+  /// points (off: only a summary count).
+  bool NoteLoopScalingPoints = true;
+};
+
+/// Audits \p Fn using precomputed analysis \p FA. When \p Prof is
+/// non-null, profile counts are cross-checked against the static facts
+/// (counts on dead edges/blocks become errors, counts outside the
+/// static frequency intervals become errors). Diagnostics carry pass
+/// name "static".
+Report checkStatic(const Function &Fn, const analysis::FunctionAnalysis &FA,
+                   const Profile *Prof = nullptr,
+                   const StaticCheckOptions &Opts = StaticCheckOptions());
+
+} // namespace verify
+} // namespace cdvs
+
+#endif // CDVS_VERIFY_STATICCHECKER_H

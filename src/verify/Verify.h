@@ -11,6 +11,10 @@
 ///   pass 1  "cfg"          — checkCfgProfile   (CfgChecker.h)
 ///   pass 2  "schedule"     — checkSchedule     (ScheduleChecker.h)
 ///   pass 3  "certificate"  — checkCertificate  (CertificateChecker.h)
+///   pass 4  "reduction"    — checkReductionCertificate (same header);
+///                            runs only when the scheduler presolved
+///   pass 5  "static"       — checkStatic       (StaticChecker.h);
+///                            dvs-lint --static only, not in the audit
 ///
 /// auditScheduleResult() runs all three over one ScheduleResult: the
 /// profiles it was derived from, the decoded assignment, and — when the
@@ -50,6 +54,9 @@ struct Audit {
   Report R;
   ScheduleCheck Schedule;
   Certificate Cert;
+  /// Populated when the scheduler presolved (Artifacts->Presolved): the
+  /// replay of the reduction certificate against the original MILP.
+  ReductionCheck Reduction;
   bool ok() const { return R.ok(); }
 };
 

@@ -1,0 +1,133 @@
+//===- tests/analysis/DominatorsTest.cpp - dominator/post-dominator trees -===//
+
+#include "analysis/Dominators.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+using namespace cdvs::analysis;
+
+namespace {
+
+Function parse(const char *Text) {
+  ErrorOr<Function> F = parseFunction(Text);
+  EXPECT_TRUE(F.hasValue()) << F.message();
+  return *F;
+}
+
+const char *kDiamond = "function diamond (regs=8, mem=64)\n"
+                       "0: entry\n"
+                       "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                       "  condbr r1 -> 1, 2\n"
+                       "1: left\n"
+                       "  jump -> 3\n"
+                       "2: right\n"
+                       "  jump -> 3\n"
+                       "3: exit\n"
+                       "  ret\n";
+
+TEST(Dominators, DiamondJoinIsDominatedByBranchOnly) {
+  Function F = parse(kDiamond);
+  DomTree D = computeDominators(F);
+  EXPECT_EQ(D.root(), 0);
+  EXPECT_EQ(D.idom(0), 0);
+  EXPECT_EQ(D.idom(1), 0);
+  EXPECT_EQ(D.idom(2), 0);
+  // The join is dominated by the branch, not by either arm.
+  EXPECT_EQ(D.idom(3), 0);
+  EXPECT_TRUE(D.dominates(0, 3));
+  EXPECT_FALSE(D.dominates(1, 3));
+  EXPECT_FALSE(D.dominates(2, 3));
+  EXPECT_TRUE(D.dominates(3, 3)); // reflexive
+  EXPECT_FALSE(D.strictlyDominates(3, 3));
+  EXPECT_EQ(D.depth(0), 0);
+  EXPECT_EQ(D.depth(3), 1);
+}
+
+TEST(Dominators, DiamondPostDominators) {
+  Function F = parse(kDiamond);
+  DomTree P = computePostDominators(F);
+  // Virtual exit node is id numBlocks(); the single Ret block
+  // post-dominates everything.
+  int VExit = F.numBlocks();
+  EXPECT_EQ(P.root(), VExit);
+  EXPECT_EQ(P.idom(3), VExit);
+  EXPECT_EQ(P.idom(0), 3);
+  EXPECT_EQ(P.idom(1), 3);
+  EXPECT_EQ(P.idom(2), 3);
+  EXPECT_TRUE(P.dominates(3, 0));
+  EXPECT_FALSE(P.dominates(1, 0)); // the left arm can be skipped
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  Function F = parse("function loop (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  jump -> 1\n"
+                     "1: head\n"
+                     "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r1 -> 2, 3\n"
+                     "2: body\n"
+                     "  jump -> 1\n"
+                     "3: exit\n"
+                     "  ret\n");
+  DomTree D = computeDominators(F);
+  EXPECT_EQ(D.idom(1), 0);
+  EXPECT_EQ(D.idom(2), 1);
+  EXPECT_EQ(D.idom(3), 1);
+  EXPECT_TRUE(D.dominates(1, 2));
+  // The back edge does not make the body dominate the header.
+  EXPECT_FALSE(D.dominates(2, 1));
+}
+
+TEST(Dominators, UnreachableBlockHasNoIdom) {
+  Function F = parse("function dead (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  ret\n"
+                     "1: orphan\n"
+                     "  jump -> 0\n");
+  DomTree D = computeDominators(F);
+  EXPECT_TRUE(D.reachable(0));
+  EXPECT_FALSE(D.reachable(1));
+  EXPECT_EQ(D.idom(1), DomTree::kNone);
+  // Unreachable nodes dominate only themselves.
+  EXPECT_TRUE(D.dominates(1, 1));
+  EXPECT_FALSE(D.dominates(1, 0));
+  EXPECT_FALSE(D.dominates(0, 1));
+}
+
+TEST(Dominators, MultiRetPostDominatorsMeetAtVirtualExit) {
+  Function F = parse("function tworet (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r1 -> 1, 2\n"
+                     "1: a\n"
+                     "  ret\n"
+                     "2: b\n"
+                     "  ret\n");
+  DomTree P = computePostDominators(F);
+  int VExit = F.numBlocks();
+  EXPECT_EQ(P.idom(1), VExit);
+  EXPECT_EQ(P.idom(2), VExit);
+  // Neither Ret post-dominates the entry; only the virtual exit does.
+  EXPECT_FALSE(P.dominates(1, 0));
+  EXPECT_FALSE(P.dominates(2, 0));
+  EXPECT_TRUE(P.dominates(VExit, 0));
+}
+
+TEST(Dominators, SelfLoopEntry) {
+  Function F = parse("function selfy (regs=8, mem=64)\n"
+                     "0: spin\n"
+                     "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r1 -> 0, 1\n"
+                     "1: exit\n"
+                     "  ret\n");
+  DomTree D = computeDominators(F);
+  EXPECT_EQ(D.idom(0), 0);
+  EXPECT_EQ(D.idom(1), 0);
+  DomTree P = computePostDominators(F);
+  EXPECT_TRUE(P.dominates(1, 0));
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+//===- tests/analysis/LoopsTest.cpp - SCCs, natural loops, irreducibility -===//
+
+#include "analysis/Loops.h"
+
+#include "analysis/Dominators.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+using namespace cdvs::analysis;
+
+namespace {
+
+Function parse(const char *Text) {
+  ErrorOr<Function> F = parseFunction(Text);
+  EXPECT_TRUE(F.hasValue()) << F.message();
+  return *F;
+}
+
+LoopForest forestOf(const Function &F) {
+  DomTree D = computeDominators(F);
+  return computeLoops(F, D);
+}
+
+TEST(Loops, StraightLineHasNoLoops) {
+  Function F = parse("function straight (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  jump -> 1\n"
+                     "1: mid\n"
+                     "  jump -> 2\n"
+                     "2: exit\n"
+                     "  ret\n");
+  LoopForest LF = forestOf(F);
+  EXPECT_TRUE(LF.Loops.empty());
+  EXPECT_FALSE(LF.HasIrreducible);
+  // Every block is its own trivial SCC.
+  EXPECT_EQ(LF.Sccs.size(), 3u);
+  for (int B = 0; B < 3; ++B) {
+    EXPECT_FALSE(LF.inCycle(B));
+    EXPECT_EQ(LF.LoopOf[B], -1);
+    EXPECT_EQ(LF.LoopDepth[B], 0);
+  }
+}
+
+TEST(Loops, SimpleLoopBodyAndBackEdge) {
+  Function F = parse("function loop (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  jump -> 1\n"
+                     "1: head\n"
+                     "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r1 -> 2, 3\n"
+                     "2: body\n"
+                     "  jump -> 1\n"
+                     "3: exit\n"
+                     "  ret\n");
+  LoopForest LF = forestOf(F);
+  ASSERT_EQ(LF.Loops.size(), 1u);
+  const Loop &L = LF.Loops[0];
+  EXPECT_EQ(L.Header, 1);
+  EXPECT_EQ(L.Blocks, (std::vector<int>{1, 2}));
+  ASSERT_EQ(L.BackEdges.size(), 1u);
+  EXPECT_EQ(L.BackEdges[0].From, 2);
+  EXPECT_EQ(L.BackEdges[0].To, 1);
+  EXPECT_EQ(L.Depth, 1);
+  EXPECT_EQ(L.Parent, -1);
+  EXPECT_TRUE(LF.inCycle(1));
+  EXPECT_TRUE(LF.inCycle(2));
+  EXPECT_FALSE(LF.inCycle(0));
+  EXPECT_FALSE(LF.inCycle(3));
+  EXPECT_EQ(LF.LoopDepth[2], 1);
+  EXPECT_FALSE(LF.HasIrreducible);
+}
+
+TEST(Loops, NestedLoopsGetDepthsAndParents) {
+  Function F = parse("function nest (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  jump -> 1\n"
+                     "1: outer_head\n"
+                     "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r1 -> 2, 5\n"
+                     "2: inner_head\n"
+                     "  cmplt d=r2 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r2 -> 3, 4\n"
+                     "3: inner_body\n"
+                     "  jump -> 2\n"
+                     "4: outer_latch\n"
+                     "  jump -> 1\n"
+                     "5: exit\n"
+                     "  ret\n");
+  LoopForest LF = forestOf(F);
+  ASSERT_EQ(LF.Loops.size(), 2u);
+  // Outermost-first within a nest.
+  const Loop &Outer = LF.Loops[0];
+  const Loop &Inner = LF.Loops[1];
+  EXPECT_EQ(Outer.Header, 1);
+  EXPECT_EQ(Outer.Blocks, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(Outer.Depth, 1);
+  EXPECT_EQ(Outer.Parent, -1);
+  EXPECT_EQ(Inner.Header, 2);
+  EXPECT_EQ(Inner.Blocks, (std::vector<int>{2, 3}));
+  EXPECT_EQ(Inner.Depth, 2);
+  EXPECT_EQ(Inner.Parent, 0);
+  // Innermost loop wins the per-block map.
+  EXPECT_EQ(LF.LoopOf[3], 1);
+  EXPECT_EQ(LF.LoopOf[4], 0);
+  EXPECT_EQ(LF.LoopDepth[3], 2);
+  EXPECT_EQ(LF.LoopDepth[4], 1);
+}
+
+TEST(Loops, SelfLoopIsANontrivialSingleBlockScc) {
+  Function F = parse("function selfy (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  jump -> 1\n"
+                     "1: spin\n"
+                     "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r1 -> 1, 2\n"
+                     "2: exit\n"
+                     "  ret\n");
+  LoopForest LF = forestOf(F);
+  ASSERT_EQ(LF.Loops.size(), 1u);
+  EXPECT_EQ(LF.Loops[0].Header, 1);
+  EXPECT_EQ(LF.Loops[0].Blocks, (std::vector<int>{1}));
+  EXPECT_TRUE(LF.inCycle(1));
+  const Scc &S = LF.Sccs[LF.SccOf[1]];
+  EXPECT_TRUE(S.Nontrivial);
+  EXPECT_EQ(S.Blocks, (std::vector<int>{1}));
+  EXPECT_FALSE(S.Irreducible);
+}
+
+TEST(Loops, MultiEntryCycleIsIrreducible) {
+  // 0 branches into both members of the {1,2} cycle, so neither member
+  // dominates the other: no natural loop, one irreducible SCC.
+  Function F = parse("function irr (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r1 -> 1, 2\n"
+                     "1: a\n"
+                     "  cmplt d=r2 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r2 -> 2, 3\n"
+                     "2: b\n"
+                     "  jump -> 1\n"
+                     "3: exit\n"
+                     "  ret\n");
+  LoopForest LF = forestOf(F);
+  EXPECT_TRUE(LF.HasIrreducible);
+  EXPECT_TRUE(LF.Loops.empty()); // no dominance back edge exists
+  const Scc &S = LF.Sccs[LF.SccOf[1]];
+  EXPECT_TRUE(S.Nontrivial);
+  EXPECT_TRUE(S.Irreducible);
+  EXPECT_EQ(S.Blocks, (std::vector<int>{1, 2}));
+  EXPECT_EQ(S.Entries, (std::vector<int>{1, 2}));
+  EXPECT_EQ(LF.SccOf[1], LF.SccOf[2]);
+  EXPECT_TRUE(LF.inCycle(1));
+  EXPECT_TRUE(LF.inCycle(2));
+}
+
+TEST(Loops, ReducibleLoopReportsSingleEntry) {
+  Function F = parse("function loop (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  jump -> 1\n"
+                     "1: head\n"
+                     "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r1 -> 2, 3\n"
+                     "2: body\n"
+                     "  jump -> 1\n"
+                     "3: exit\n"
+                     "  ret\n");
+  LoopForest LF = forestOf(F);
+  const Scc &S = LF.Sccs[LF.SccOf[1]];
+  EXPECT_TRUE(S.Nontrivial);
+  EXPECT_FALSE(S.Irreducible);
+  EXPECT_EQ(S.Entries, (std::vector<int>{1}));
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/dvs/PresolveParityTest.cpp - presolve on/off byte identity ---===//
+
+#include "dvs/DvsScheduler.h"
+
+#include "dvs/ScheduleIO.h"
+#include "ir/IRBuilder.h"
+#include "verify/Verify.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+/// Branchy program with an unreachable block and a cold arm, so the
+/// presolve has both structurally-dead and unprofiled groups to chew on.
+std::shared_ptr<Function> makeBranchy() {
+  auto Fn = std::make_shared<Function>("branchy", 16, 4096);
+  IRBuilder B(*Fn);
+  int Entry = B.createBlock("entry");
+  int Head = B.createBlock("head");
+  int Hot = B.createBlock("hot");
+  int Cold = B.createBlock("cold");
+  int Tail = B.createBlock("tail");
+  int Exit = B.createBlock("exit");
+  int Orphan = B.createBlock("orphan"); // never reached
+
+  B.setInsertPoint(Entry);
+  B.movImm(1, 0);    // i
+  B.movImm(2, 400);  // trips
+  B.movImm(3, 1);
+  B.movImm(4, 0);    // acc
+  B.jump(Head);
+
+  B.setInsertPoint(Head);
+  B.cmpLt(5, 1, 2);
+  B.condBr(5, Hot, Exit);
+
+  B.setInsertPoint(Hot);
+  B.mul(4, 4, 3);
+  B.add(4, 4, 1);
+  // acc is never negative here, so the cold arm never runs.
+  B.cmpLt(6, 4, 0);
+  B.condBr(6, Cold, Tail);
+
+  B.setInsertPoint(Cold);
+  B.movImm(4, 0);
+  B.jump(Tail);
+
+  B.setInsertPoint(Tail);
+  B.add(1, 1, 3);
+  B.jump(Head);
+
+  B.setInsertPoint(Exit);
+  B.ret();
+
+  B.setInsertPoint(Orphan);
+  B.jump(Exit);
+  return Fn;
+}
+
+struct SolveRun {
+  ScheduleResult SR;
+  std::string Text;
+};
+
+SolveRun scheduleWith(bool Presolve) {
+  auto Fn = makeBranchy();
+  Simulator Sim(*Fn);
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  Profile Prof = collectProfile(Sim, Modes);
+  DvsOptions O;
+  O.Presolve = Presolve;
+  O.KeepArtifacts = true;
+  DvsScheduler S(*Fn, Prof, Modes, Reg, O);
+  // Lax deadline: feasible from the slow initial mode; the program is
+  // tiny, so mid-range deadlines drown in transition penalties.
+  double Deadline = Prof.TotalTimeAtMode[0] * 1.05;
+  ErrorOr<ScheduleResult> R = S.schedule(Deadline);
+  EXPECT_TRUE(R.hasValue()) << R.message();
+  SolveRun Out;
+  Out.SR = *R;
+  Out.Text = writeSchedule(R->Assignment);
+  return Out;
+}
+
+TEST(PresolveParity, SchedulesAreByteIdentical) {
+  SolveRun On = scheduleWith(true);
+  SolveRun Off = scheduleWith(false);
+  EXPECT_EQ(On.Text, Off.Text);
+  // The objective is summed in a different order with presolve on, so
+  // only the schedule bytes are promised identical; the predicted
+  // energy agrees to roundoff.
+  EXPECT_NEAR(On.SR.PredictedEnergyJoules, Off.SR.PredictedEnergyJoules,
+              1e-12 * Off.SR.PredictedEnergyJoules);
+  EXPECT_EQ(On.SR.Status, Off.SR.Status);
+}
+
+TEST(PresolveParity, PresolveActuallyShrinksTheMilp) {
+  SolveRun On = scheduleWith(true);
+  EXPECT_GT(On.SR.NumVars, 0);
+  EXPECT_GT(On.SR.PresolveVarsFixed, 0);
+  EXPECT_LT(On.SR.SolvedVars, On.SR.NumVars);
+  EXPECT_EQ(On.SR.SolvedVars,
+            On.SR.NumVars - On.SR.PresolveVarsFixed);
+  EXPECT_GT(On.SR.PresolveRowsDropped, 0);
+  EXPECT_EQ(On.SR.SolvedRows, On.SR.NumRows - On.SR.PresolveRowsDropped);
+  // The orphan block's group is structurally dead, not just unprofiled.
+  EXPECT_GT(On.SR.PresolveDeadGroups, 0);
+  ASSERT_TRUE(On.SR.Artifacts);
+  EXPECT_TRUE(On.SR.Artifacts->Presolved);
+  EXPECT_EQ(On.SR.Artifacts->Reduction.varsFixed(),
+            On.SR.PresolveVarsFixed);
+}
+
+TEST(PresolveParity, OffLeavesTheInstanceUntouched) {
+  SolveRun Off = scheduleWith(false);
+  EXPECT_EQ(Off.SR.PresolveVarsFixed, 0);
+  EXPECT_EQ(Off.SR.PresolveRowsDropped, 0);
+  EXPECT_EQ(Off.SR.SolvedVars, Off.SR.NumVars);
+  EXPECT_EQ(Off.SR.SolvedRows, Off.SR.NumRows);
+  ASSERT_TRUE(Off.SR.Artifacts);
+  EXPECT_FALSE(Off.SR.Artifacts->Presolved);
+}
+
+TEST(PresolveParity, AuditRepliesTheReductionCertificate) {
+  auto Fn = makeBranchy();
+  Simulator Sim(*Fn);
+  ModeTable Modes = ModeTable::xscale3();
+  TransitionModel Reg = TransitionModel::paperTypical();
+  Profile Prof = collectProfile(Sim, Modes);
+  DvsOptions O;
+  O.KeepArtifacts = true;
+  DvsScheduler S(*Fn, Prof, Modes, Reg, O);
+  double Deadline = Prof.TotalTimeAtMode[0] * 1.05;
+  ErrorOr<ScheduleResult> R = S.schedule(Deadline);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  ASSERT_TRUE(R->Artifacts && R->Artifacts->Presolved);
+
+  std::vector<CategoryProfile> Cats;
+  Cats.push_back(CategoryProfile{Prof, 1.0});
+  verify::Audit A = verify::auditScheduleResult(
+      *Fn, Cats, Modes, Reg, *R, {Deadline});
+  EXPECT_TRUE(A.Reduction.Checked) << A.Reduction.R.render();
+  EXPECT_TRUE(A.Reduction.ok())
+      << A.Reduction.R.render() << A.Reduction.Expanded.R.render();
+}
+
+} // namespace

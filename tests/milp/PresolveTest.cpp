@@ -1,0 +1,157 @@
+//===- tests/milp/PresolveTest.cpp - certified presolve mechanics ---------===//
+
+#include "milp/Presolve.h"
+
+#include "lp/LpProblem.h"
+#include "milp/MilpSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+
+namespace {
+
+TEST(Presolve, NoFixingsIsIdentity) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 10.0, 1.0, "x");
+  int Y = P.addVariable(0.0, 10.0, 2.0, "y");
+  P.addRow(RowSense::GE, 3.0, {{X, 1.0}, {Y, 1.0}});
+  PresolveResult R = presolve(P, {X}, {}, {});
+  ASSERT_FALSE(R.Infeasible) << R.InfeasibleReason;
+  EXPECT_EQ(R.Reduced.numVariables(), 2);
+  EXPECT_EQ(R.Reduced.numRows(), 1);
+  EXPECT_EQ(R.Cert.varsFixed(), 0);
+  EXPECT_EQ(R.Cert.rowsDropped(), 0);
+  EXPECT_EQ(R.Cert.ObjectiveOffset, 0.0);
+  EXPECT_EQ(R.IntegerVars, (std::vector<int>{0}));
+  // Kept columns are byte-equal to the originals.
+  EXPECT_EQ(R.Reduced.cost(0), 1.0);
+  EXPECT_EQ(R.Reduced.upperBound(1), 10.0);
+  EXPECT_EQ(R.Reduced.name(0), "x");
+}
+
+TEST(Presolve, CallerFixingFoldsIntoRhsAndObjective) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 1.0, 5.0, "x");
+  int Y = P.addVariable(0.0, 10.0, 2.0, "y");
+  P.addRow(RowSense::LE, 8.0, {{X, 3.0}, {Y, 1.0}});
+  PresolveResult R = presolve(P, {X}, {X}, {1.0});
+  ASSERT_FALSE(R.Infeasible);
+  EXPECT_EQ(R.Reduced.numVariables(), 1);
+  EXPECT_EQ(R.Cert.varsFixed(), 1);
+  EXPECT_EQ(R.Cert.VarMap[X], -1);
+  EXPECT_EQ(R.Cert.FixedValue[X], 1.0);
+  EXPECT_EQ(R.Cert.VarMap[Y], 0);
+  // 3*1 folded out of the row: y <= 5.
+  ASSERT_EQ(R.Reduced.numRows(), 1);
+  EXPECT_EQ(R.Reduced.rhs(0), 5.0);
+  ASSERT_EQ(R.Reduced.rowTerms(0).size(), 1u);
+  EXPECT_EQ(R.Reduced.rowTerms(0)[0].Var, 0);
+  // The fixed variable's cost moves into the offset.
+  EXPECT_EQ(R.Cert.ObjectiveOffset, 5.0);
+  EXPECT_TRUE(R.IntegerVars.empty()); // the only integer var was fixed
+}
+
+TEST(Presolve, CoincidingBoundsAreFixedAutomatically) {
+  LpProblem P;
+  int X = P.addVariable(2.0, 2.0, 1.0, "pinned");
+  int Y = P.addVariable(0.0, 4.0, 0.0, "free");
+  P.addRow(RowSense::EQ, 6.0, {{X, 1.0}, {Y, 2.0}});
+  PresolveResult R = presolve(P, {}, {}, {});
+  ASSERT_FALSE(R.Infeasible);
+  EXPECT_EQ(R.Cert.FixedValue[X], 2.0);
+  // With PropagateEqualities the EQ row then pins y = 2 too, and the
+  // fully-fixed row is dropped after a satisfaction check.
+  EXPECT_EQ(R.Cert.varsFixed(), 2);
+  EXPECT_EQ(R.Cert.FixedValue[Y], 2.0);
+  EXPECT_EQ(R.Reduced.numVariables(), 0);
+  EXPECT_EQ(R.Reduced.numRows(), 0);
+  EXPECT_EQ(R.Cert.rowsDropped(), 1);
+}
+
+TEST(Presolve, EqualityPropagationCanBeDisabled) {
+  LpProblem P;
+  int X = P.addVariable(2.0, 2.0, 1.0, "pinned");
+  int Y = P.addVariable(0.0, 4.0, 0.0, "free");
+  P.addRow(RowSense::EQ, 6.0, {{X, 1.0}, {Y, 2.0}});
+  PresolveOptions O;
+  O.PropagateEqualities = false;
+  PresolveResult R = presolve(P, {}, {}, {}, O);
+  ASSERT_FALSE(R.Infeasible);
+  EXPECT_EQ(R.Cert.varsFixed(), 1);
+  EXPECT_EQ(R.Reduced.numVariables(), 1);
+  // The row survives with the fixed term folded: 2y = 4.
+  ASSERT_EQ(R.Reduced.numRows(), 1);
+  EXPECT_EQ(R.Reduced.rhs(0), 4.0);
+}
+
+TEST(Presolve, ViolatedFixedRowReportsInfeasible) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 1.0, 0.0, "x");
+  P.addRow(RowSense::EQ, 5.0, {{X, 1.0}}); // x = 5 contradicts x <= 1
+  PresolveResult R = presolve(P, {}, {X}, {1.0});
+  EXPECT_TRUE(R.Infeasible);
+  EXPECT_FALSE(R.InfeasibleReason.empty());
+}
+
+TEST(Presolve, FixingOutsideBoundsReportsInfeasible) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 1.0, 0.0, "x");
+  P.addRow(RowSense::LE, 9.0, {{X, 1.0}});
+  PresolveResult R = presolve(P, {}, {X}, {3.0});
+  EXPECT_TRUE(R.Infeasible);
+}
+
+TEST(Presolve, ExpandSolutionReconstructsOriginalSpace) {
+  LpProblem P;
+  int A = P.addVariable(0.0, 1.0, 1.0, "a");
+  int B = P.addVariable(0.0, 9.0, 1.0, "b");
+  int C = P.addVariable(0.0, 1.0, 1.0, "c");
+  P.addRow(RowSense::LE, 7.0, {{A, 1.0}, {B, 1.0}, {C, 1.0}});
+  PresolveResult R = presolve(P, {}, {A, C}, {1.0, 0.0});
+  ASSERT_FALSE(R.Infeasible);
+  ASSERT_EQ(R.Reduced.numVariables(), 1);
+  std::vector<double> Full = R.Cert.expandSolution({4.5});
+  ASSERT_EQ(Full.size(), 3u);
+  EXPECT_EQ(Full[static_cast<size_t>(A)], 1.0);
+  EXPECT_EQ(Full[static_cast<size_t>(B)], 4.5);
+  EXPECT_EQ(Full[static_cast<size_t>(C)], 0.0);
+  // Objective bridge: original == reduced + offset.
+  EXPECT_DOUBLE_EQ(P.objectiveAt(Full), 4.5 + R.Cert.ObjectiveOffset);
+}
+
+TEST(Presolve, DuplicateTermsOnOneVariableAreSummed) {
+  LpProblem P;
+  int X = P.addVariable(0.0, 4.0, 0.0, "x");
+  int Y = P.addVariable(0.0, 4.0, 0.0, "y");
+  // x appears twice: effective coefficient 3.
+  P.addRow(RowSense::EQ, 10.0, {{X, 1.0}, {X, 2.0}, {Y, 1.0}});
+  PresolveResult R = presolve(P, {}, {X}, {2.0});
+  ASSERT_FALSE(R.Infeasible);
+  // Propagation pins y = 10 - 3*2 = 4 (still within bounds).
+  EXPECT_EQ(R.Cert.varsFixed(), 2);
+  EXPECT_EQ(R.Cert.FixedValue[Y], 4.0);
+}
+
+TEST(Presolve, ReducedMilpSolvesToSameOptimum) {
+  // min x + 2y + 7z  s.t.  x + y + z >= 4, z pinned to 1 by bounds (the
+  // DVS entry-group pattern), x binary.
+  LpProblem P;
+  int X = P.addVariable(0.0, 1.0, 1.0, "x");
+  int Y = P.addVariable(0.0, 10.0, 2.0, "y");
+  int Z = P.addVariable(1.0, 1.0, 7.0, "z");
+  P.addRow(RowSense::GE, 4.0, {{X, 1.0}, {Y, 1.0}, {Z, 1.0}});
+  MilpSolution Direct = MilpSolver(P, {X, Z}).solve();
+  ASSERT_EQ(Direct.Status, MilpStatus::Optimal);
+
+  PresolveResult R = presolve(P, {X, Z}, {}, {});
+  ASSERT_FALSE(R.Infeasible);
+  MilpSolution Reduced = MilpSolver(R.Reduced, R.IntegerVars).solve();
+  ASSERT_EQ(Reduced.Status, MilpStatus::Optimal);
+  EXPECT_NEAR(Reduced.Objective + R.Cert.ObjectiveOffset,
+              Direct.Objective, 1e-9);
+  std::vector<double> Full = R.Cert.expandSolution(Reduced.X);
+  EXPECT_TRUE(P.isFeasible(Full, 1e-9));
+}
+
+} // namespace

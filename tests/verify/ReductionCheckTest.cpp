@@ -1,0 +1,110 @@
+//===- tests/verify/ReductionCheckTest.cpp - reduction-certificate replay -===//
+
+#include "verify/CertificateChecker.h"
+
+#include "lp/LpProblem.h"
+#include "milp/MilpSolver.h"
+#include "milp/Presolve.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+using namespace cdvs::verify;
+
+namespace {
+
+/// min x + 2y + 7z st x + y + z >= 4, x,z binary, z caller-fixed at 1.
+/// Presolve keeps {x, y}; optimum of the reduced MILP is x=1, y=2.
+struct Fixture {
+  LpProblem P;
+  std::vector<int> Integers;
+  PresolveResult PR;
+  MilpSolution Reduced;
+
+  Fixture() {
+    int X = P.addVariable(0.0, 1.0, 1.0, "x");
+    int Y = P.addVariable(0.0, 10.0, 2.0, "y");
+    int Z = P.addVariable(0.0, 1.0, 7.0, "z");
+    P.addRow(RowSense::GE, 4.0, {{X, 1.0}, {Y, 1.0}, {Z, 1.0}});
+    Integers = {X, Z};
+    PR = presolve(P, Integers, {Z}, {1.0});
+    EXPECT_FALSE(PR.Infeasible) << PR.InfeasibleReason;
+    Reduced = MilpSolver(PR.Reduced, PR.IntegerVars).solve();
+    EXPECT_EQ(Reduced.Status, MilpStatus::Optimal);
+  }
+};
+
+TEST(ReductionCheck, HonestPresolvePasses) {
+  Fixture F;
+  ReductionCheck RC = checkReductionCertificate(F.P, F.Integers, F.PR.Cert,
+                                                F.PR.Reduced, F.Reduced);
+  EXPECT_TRUE(RC.Checked);
+  EXPECT_TRUE(RC.ok()) << RC.R.render() << RC.Expanded.R.render();
+  EXPECT_TRUE(RC.Expanded.Checked);
+  EXPECT_LT(RC.ObjectiveBridgeError, 1e-9);
+  // The expanded point carries the fixed value back.
+  EXPECT_NEAR(RC.Expanded.RecomputedObjective,
+              F.Reduced.Objective + F.PR.Cert.ObjectiveOffset, 1e-9);
+}
+
+TEST(ReductionCheck, TamperedFixedValueIsCaught) {
+  Fixture F;
+  ReductionCertificate Cert = F.PR.Cert;
+  // Claim z was fixed at 0: the kept row's RHS no longer folds to the
+  // reduced one, and the expanded point violates the original row.
+  Cert.FixedValue[2] = 0.0;
+  ReductionCheck RC = checkReductionCertificate(F.P, F.Integers, Cert,
+                                                F.PR.Reduced, F.Reduced);
+  EXPECT_FALSE(RC.ok()) << "tampered fixed value must not verify";
+}
+
+TEST(ReductionCheck, TamperedVarMapIsCaught) {
+  Fixture F;
+  ReductionCertificate Cert = F.PR.Cert;
+  // Swap the surviving columns: costs/bounds no longer line up.
+  std::swap(Cert.VarMap[0], Cert.VarMap[1]);
+  ReductionCheck RC = checkReductionCertificate(F.P, F.Integers, Cert,
+                                                F.PR.Reduced, F.Reduced);
+  EXPECT_FALSE(RC.ok());
+}
+
+TEST(ReductionCheck, DuplicateVarMapTargetIsCaught) {
+  Fixture F;
+  ReductionCertificate Cert = F.PR.Cert;
+  Cert.VarMap[1] = Cert.VarMap[0]; // two originals claim one column
+  ReductionCheck RC = checkReductionCertificate(F.P, F.Integers, Cert,
+                                                F.PR.Reduced, F.Reduced);
+  EXPECT_FALSE(RC.ok());
+}
+
+TEST(ReductionCheck, TamperedObjectiveOffsetIsCaught) {
+  Fixture F;
+  ReductionCertificate Cert = F.PR.Cert;
+  Cert.ObjectiveOffset += 1.0;
+  ReductionCheck RC = checkReductionCertificate(F.P, F.Integers, Cert,
+                                                F.PR.Reduced, F.Reduced);
+  EXPECT_FALSE(RC.ok());
+  EXPECT_GT(RC.ObjectiveBridgeError, 0.5);
+}
+
+TEST(ReductionCheck, DroppingALiveRowIsCaught) {
+  Fixture F;
+  ReductionCertificate Cert = F.PR.Cert;
+  ASSERT_EQ(Cert.RowMap.size(), 1u);
+  Cert.RowMap[0] = -1; // the constraint still has free variables
+  ReductionCheck RC = checkReductionCertificate(F.P, F.Integers, Cert,
+                                                F.PR.Reduced, F.Reduced);
+  EXPECT_FALSE(RC.ok());
+}
+
+TEST(ReductionCheck, ShapeMismatchFailsStructurally) {
+  Fixture F;
+  ReductionCertificate Cert = F.PR.Cert;
+  Cert.ReducedVars += 1;
+  ReductionCheck RC = checkReductionCertificate(F.P, F.Integers, Cert,
+                                                F.PR.Reduced, F.Reduced);
+  EXPECT_FALSE(RC.Checked);
+  EXPECT_FALSE(RC.ok());
+}
+
+} // namespace

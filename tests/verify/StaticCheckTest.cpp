@@ -1,0 +1,148 @@
+//===- tests/verify/StaticCheckTest.cpp - the dvs-lint --static pass ------===//
+
+#include "verify/StaticChecker.h"
+
+#include "analysis/Analysis.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cdvs;
+using namespace cdvs::verify;
+
+namespace {
+
+Function parse(const char *Text) {
+  ErrorOr<Function> F = parseFunction(Text);
+  EXPECT_TRUE(F.hasValue()) << F.message();
+  return *F;
+}
+
+bool hasDiag(const Report &R, Severity Sev, const std::string &Needle) {
+  for (const Diagnostic &D : R.diagnostics())
+    if (D.Sev == Sev && (D.Message.find(Needle) != std::string::npos ||
+                         D.Location.find(Needle) != std::string::npos))
+      return true;
+  return false;
+}
+
+const char *kLoop = "function loop (regs=8, mem=64)\n"
+                    "0: entry\n"
+                    "  jump -> 1\n"
+                    "1: head\n"
+                    "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                    "  condbr r1 -> 2, 3\n"
+                    "2: body\n"
+                    "  jump -> 1\n"
+                    "3: exit\n"
+                    "  ret\n";
+
+TEST(StaticCheck, CleanLoopDrawsOnlyNotes) {
+  Function F = parse(kLoop);
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(F);
+  Report R = checkStatic(F, FA);
+  EXPECT_TRUE(R.ok()) << R.render();
+  EXPECT_EQ(R.warningCount(), 0) << R.render();
+  // The back-edge advisory and the summary are notes.
+  EXPECT_TRUE(hasDiag(R, Severity::Note, "loop back edge"));
+  EXPECT_TRUE(hasDiag(R, Severity::Note, "natural loops"));
+}
+
+TEST(StaticCheck, LoopNotesCanBeSilenced) {
+  Function F = parse(kLoop);
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(F);
+  StaticCheckOptions O;
+  O.NoteLoopScalingPoints = false;
+  Report R = checkStatic(F, FA, nullptr, O);
+  EXPECT_FALSE(hasDiag(R, Severity::Note, "loop back edge"));
+}
+
+TEST(StaticCheck, UnreachableBlockIsAWarningNotAnError) {
+  Function F = parse("function dead (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  ret\n"
+                     "1: orphan\n"
+                     "  jump -> 0\n");
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(F);
+  Report R = checkStatic(F, FA);
+  EXPECT_TRUE(R.ok()) << R.render();
+  EXPECT_TRUE(hasDiag(R, Severity::Warning, "unreachable from the entry"));
+  EXPECT_TRUE(hasDiag(R, Severity::Warning, "statically dead edge"));
+}
+
+TEST(StaticCheck, InfiniteTrapBlockIsAWarning) {
+  Function F = parse("function trap (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r1 -> 1, 2\n"
+                     "1: out\n"
+                     "  ret\n"
+                     "2: trap\n"
+                     "  jump -> 2\n");
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(F);
+  Report R = checkStatic(F, FA);
+  EXPECT_TRUE(R.ok()) << R.render();
+  EXPECT_TRUE(hasDiag(R, Severity::Warning, "no exit is reachable"));
+}
+
+TEST(StaticCheck, IrreducibleCycleIsFlagged) {
+  Function F = parse("function irr (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  cmplt d=r1 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r1 -> 1, 2\n"
+                     "1: a\n"
+                     "  cmplt d=r2 s1=r0 s2=r0 imm=0\n"
+                     "  condbr r2 -> 2, 3\n"
+                     "2: b\n"
+                     "  jump -> 1\n"
+                     "3: exit\n"
+                     "  ret\n");
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(F);
+  Report R = checkStatic(F, FA);
+  EXPECT_TRUE(R.ok()) << R.render(); // structural findings stay warnings
+  EXPECT_TRUE(hasDiag(R, Severity::Warning, "irreducible cycle"));
+  EXPECT_TRUE(hasDiag(R, Severity::Warning, "enters an irreducible cycle"));
+}
+
+TEST(StaticCheck, ProfileCountOnDeadEdgeIsAnError) {
+  Function F = parse("function dead (regs=8, mem=64)\n"
+                     "0: entry\n"
+                     "  ret\n"
+                     "1: orphan\n"
+                     "  jump -> 0\n");
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(F);
+  Profile Prof;
+  Prof.BlockExecs = {1, 0};
+  Prof.EdgeCounts[CfgEdge{1, 0}] = 3; // impossible: the edge is dead
+  Report R = checkStatic(F, FA, &Prof);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasDiag(R, Severity::Error,
+                      "statically dead edge carries a nonzero profile "
+                      "count"));
+}
+
+TEST(StaticCheck, ProfileCountOutsideIntervalIsAnError) {
+  Function F = parse(kLoop);
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(F);
+  Profile Prof;
+  // The entry block must execute exactly once per invocation.
+  Prof.BlockExecs = {2, 5, 4, 1};
+  Report R = checkStatic(F, FA, &Prof);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasDiag(R, Severity::Error, "outside the static interval"));
+}
+
+TEST(StaticCheck, HonestProfilePassesTheCrossCheck) {
+  Function F = parse(kLoop);
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(F);
+  Profile Prof;
+  Prof.BlockExecs = {1, 6, 5, 1};
+  Prof.EdgeCounts[CfgEdge{0, 1}] = 1;
+  Prof.EdgeCounts[CfgEdge{1, 2}] = 5;
+  Prof.EdgeCounts[CfgEdge{2, 1}] = 5;
+  Prof.EdgeCounts[CfgEdge{1, 3}] = 1;
+  Report R = checkStatic(F, FA, &Prof);
+  EXPECT_TRUE(R.ok()) << R.render();
+}
+
+} // namespace

@@ -15,7 +15,17 @@
 //   dvs-lint --schedule=FILE --workload=NAME [--input=NAME]
 //                                 check one serialized schedule
 //                                 (dvs/ScheduleIO format) against the
-//                                 named workload's profile.
+//                                 named workload's profile;
+//   dvs-lint --static             run the static CFG audit (src/analysis:
+//                                 reachability, dominators, loop forest,
+//                                 irreducibility, frequency intervals,
+//                                 scaling-point legality) over every
+//                                 workload, cross-checked against each
+//                                 input's profile counts;
+//   dvs-lint --static --ir=FILE   parse FILE as text IR (ir/Parser
+//                                 grammar) and audit that CFG instead;
+//                                 parse failures become structured
+//                                 diagnostics, never crashes.
 //
 // --workload=NAME restricts the first two modes to one workload. Every
 // diagnostic prints as one `severity: [pass] location: message` line;
@@ -24,14 +34,19 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analysis.h"
 #include "dvs/DvsScheduler.h"
 #include "dvs/ScheduleIO.h"
+#include "ir/Parser.h"
 #include "power/VfModel.h"
 #include "support/ArgParse.h"
+#include "verify/StaticChecker.h"
 #include "verify/Verify.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -114,6 +129,43 @@ int lintInput(const Workload &W, const WorkloadInput &Input,
   return Errors;
 }
 
+/// Runs the static CFG audit over one workload: analysis once, then a
+/// profile cross-check per input. \returns the error count.
+int lintStaticWorkload(const Workload &W, const LintConfig &Cfg) {
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(*W.Fn);
+  ModeTable Modes = makeModes(Cfg);
+  int Errors = 0;
+  for (const WorkloadInput &In : W.Inputs) {
+    std::string Where = W.Name + "/" + In.Name;
+    Simulator Sim(*W.Fn);
+    In.Setup(Sim);
+    Profile P = collectProfile(Sim, Modes);
+    Errors += emitReport(verify::checkStatic(*W.Fn, FA, &P), Where,
+                         Cfg.Quiet);
+  }
+  return Errors;
+}
+
+/// Audits a text-IR file: parse errors become diagnostics, a parsed
+/// function gets the full static audit without profile data.
+int lintStaticIrFile(const std::string &Path, const LintConfig &Cfg) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::printf("%s: error: [static] cannot open file\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  ErrorOr<Function> Fn = parseFunction(Buf.str());
+  if (!Fn) {
+    std::printf("%s: error: [static] parse failed: %s\n", Path.c_str(),
+                Fn.message().c_str());
+    return 1;
+  }
+  analysis::FunctionAnalysis FA = analysis::analyzeFunction(*Fn);
+  return emitReport(verify::checkStatic(*Fn, FA), Path, Cfg.Quiet);
+}
+
 /// Checks one serialized schedule file against a workload input.
 int lintScheduleFile(const std::string &Path, const Workload &W,
                      const WorkloadInput &Input, const LintConfig &Cfg) {
@@ -172,6 +224,12 @@ int main(int argc, char **argv) {
       "capacitance", 10e-6, "regulator capacitance in farads");
   bool &Solve = P.addFlag(
       "solve", "schedule each input and certify the MILP solution");
+  bool &Static = P.addFlag(
+      "static", "run the static CFG audit (reachability, loops, "
+                "irreducibility, frequency intervals, scaling points)");
+  std::string &IrPath = P.addString(
+      "ir", "", "with --static: audit this text-IR file instead of the "
+                "bundled workloads");
   bool &Quiet = P.addFlag("quiet", "print errors only");
   if (!P.parseOrExit(argc, argv))
     return 0;
@@ -201,8 +259,29 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (!IrPath.empty() && !Static) {
+    std::fprintf(stderr, "dvs-lint: --ir needs --static\n");
+    return 2;
+  }
+
   int Errors = 0;
-  if (!SchedulePath.empty()) {
+  if (Static) {
+    if (!IrPath.empty()) {
+      Errors = lintStaticIrFile(IrPath, Cfg);
+    } else {
+      int Checked = 0;
+      for (const Workload &W : All) {
+        if (Selected && &W != Selected)
+          continue;
+        Errors += lintStaticWorkload(W, Cfg);
+        ++Checked;
+      }
+      if (!Cfg.Quiet)
+        std::printf("dvs-lint: %d workload(s) statically audited, "
+                    "%d error(s)\n",
+                    Checked, Errors);
+    }
+  } else if (!SchedulePath.empty()) {
     if (!Selected) {
       std::fprintf(stderr,
                    "dvs-lint: --schedule needs --workload=NAME\n");
