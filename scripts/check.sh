@@ -67,6 +67,18 @@
 #      byte-identical across the two runs (diff -r), with the presolve
 #      runs re-audited under --verify=strict so the reduction
 #      certificates replay clean.
+#  12. task graphs: the taskgraph test binary (including the
+#      slack-reclamation determinism suite's 8-thread race) under TSan;
+#      dvsd --taskgraph over the full canned DAG corpus under
+#      --verify=strict at two worker counts with byte-identical
+#      .taskplan files (diff -r); an end-to-end dvs-server +
+#      dvs-loadgen graph-job run whose live scrape must validate every
+#      canonical cdvs_taskgraph_* family
+#      (scripts/metric_names_taskgraph.txt) and show
+#      cdvs_taskgraph_replans_total >= 1 — online slack reclamation
+#      actually re-planned on the server; and the dvs-lint --ir
+#      regression — an unknown or empty --ir path in --static mode is
+#      a structured usage error (exit 2), never a silent exit 0.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 #
@@ -560,6 +572,82 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/dvsd \
   --schedules="$PS_TMP/off" "$OBS_TMP/verify_jobs.jsonl"
 diff -r "$PS_TMP/on" "$PS_TMP/off" \
   || { echo "presolve changed an emitted schedule"; exit 1; }
+
+echo
+echo "== task graphs: TSan suite + strict round trip + live replan metrics =="
+cmake --build build-tsan -j"$JOBS" --target taskgraph_test
+# The slack-reclamation determinism suite — including the 8-thread race
+# on runOnline — under ThreadSanitizer.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/taskgraph_test
+TG_TMP="$OBS_TMP/taskgraph"
+mkdir -p "$TG_TMP/t1" "$TG_TMP/tN" "$TG_TMP/wire"
+cmake --build build -j"$JOBS" \
+  --target dvsd dvs-server dvs-loadgen dvs-stat dvs-lint
+# The full canned DAG corpus, strictly verified, at two worker counts:
+# every emitted .taskplan must audit clean and be byte-identical across
+# the counts (the determinism contract at the CLI layer).
+./build/tools/dvsd --taskgraph --verify=strict --quiet --threads=1 \
+  --schedules="$TG_TMP/t1"
+./build/tools/dvsd --taskgraph --verify=strict --quiet --threads="$JOBS" \
+  --schedules="$TG_TMP/tN"
+diff -r "$TG_TMP/t1" "$TG_TMP/tN" \
+  || { echo "task plans differ across dvsd worker counts"; exit 1; }
+# End to end over the wire: graph jobs through dvs-server, then a live
+# scrape that must validate every canonical cdvs_taskgraph_* family and
+# show that online slack reclamation actually re-planned.
+./build/tools/dvs-server --port=0 --threads=2 --reactors=2 \
+  --verify=strict --port-file="$TG_TMP/port" > "$TG_TMP/server.log" &
+TG_SRV=$!
+for _ in $(seq 1 100); do
+  [ -s "$TG_TMP/port" ] && break
+  sleep 0.1
+done
+[ -s "$TG_TMP/port" ] \
+  || { echo "taskgraph dvs-server never listened"; exit 1; }
+TG_PORT="$(cat "$TG_TMP/port")"
+./build/tools/dvs-loadgen --port="$TG_PORT" --connections=2 --rate=500 \
+  --requests=8 --graph=pair2-early --graph=chain4-early \
+  --schedules="$TG_TMP/wire" \
+  --benchmark_out="$TG_TMP/taskgraph_bench.json"
+./build/tools/dvs-stat --scrape="127.0.0.1:$TG_PORT" --check \
+  --names=scripts/metric_names_taskgraph.txt > "$TG_TMP/scrape.out" \
+  2> "$TG_TMP/scrape.err" \
+  || { cat "$TG_TMP/scrape.out" "$TG_TMP/scrape.err"
+       echo "taskgraph scrape --check failed"; exit 1; }
+# A second scrape without --check renders the family table; the replan
+# counter must show the online loop actually re-solved on the server.
+./build/tools/dvs-stat --scrape="127.0.0.1:$TG_PORT" \
+  > "$TG_TMP/table.out" 2> /dev/null
+awk -F'|' '/cdvs_taskgraph_replans_total/ {
+    gsub(/ /, "", $5); found = 1
+    if ($5 + 0 < 1) {
+      printf "expected cdvs_taskgraph_replans_total >= 1, got %s\n", $5
+      exit 1 } }
+  END { if (!found) {
+    print "scrape shows no cdvs_taskgraph_replans_total"; exit 1 } }' \
+  "$TG_TMP/table.out"
+kill -TERM "$TG_SRV"
+wait "$TG_SRV"
+# The wire plans are the same bytes dvsd emitted for the same graphs.
+for f in "$TG_TMP/wire"/*.taskplan; do
+  cmp "$f" "$TG_TMP/t1/$(basename "$f")" \
+    || { echo "wire task plan differs from dvsd's"; exit 1; }
+done
+# dvs-lint regression: a bad --ir in --static mode is a structured
+# usage error (exit 2) naming the path — never a silent exit 0 that
+# falls through to the bundled-workload audit.
+for BAD_IR in /nonexistent/probe.ir ""; do
+  set +e
+  ./build/tools/dvs-lint --static --ir="$BAD_IR" > "$TG_TMP/lint.out" 2>&1
+  LINT_RC=$?
+  set -e
+  [ "$LINT_RC" -eq 2 ] \
+    || { cat "$TG_TMP/lint.out"
+         echo "dvs-lint --ir='$BAD_IR' exited $LINT_RC, want 2"; exit 1; }
+  grep -q "error:" "$TG_TMP/lint.out" \
+    || { echo "dvs-lint --ir='$BAD_IR' printed no structured error"
+         exit 1; }
+done
 
 echo
 echo "All checks passed."

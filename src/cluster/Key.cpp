@@ -7,6 +7,7 @@
 #include "cluster/Key.h"
 
 #include "support/Hash.h"
+#include "taskgraph/TaskGraph.h"
 
 #include <algorithm>
 
@@ -16,6 +17,25 @@ using namespace cdvs::cluster;
 Fingerprint128 cdvs::cluster::requestKey(const JobRequest &R) {
   HashBuilder H;
   H.add(std::string("cdvs-request-key-v1"));
+  // Job-kind discriminator, folded in for BOTH kinds: a task-graph key
+  // and a single-program key can never collide, whatever their
+  // contents, because their digests diverge at this token.
+  if (R.Graph) {
+    H.add(static_cast<uint64_t>(1));
+    // Graph jobs key on the normalized graph content plus the request
+    // fields the graph pipeline still reads. The graph's own deadline
+    // knobs are part of fingerprintTaskGraph.
+    Fingerprint128 GF = taskgraph::fingerprintTaskGraph(*R.Graph);
+    H.add(GF.Hi);
+    H.add(GF.Lo);
+    H.add(R.NumLevels);
+    H.add(R.CapacitanceF);
+    H.add(static_cast<uint64_t>(R.GraphReplan ? 1 : 0));
+    Fingerprint128 Key;
+    H.digestRaw(Key.Hi, Key.Lo);
+    return Key;
+  }
+  H.add(static_cast<uint64_t>(0));
   H.add(R.Workload);
 
   // Categories mirror the service's normalization: weights become

@@ -18,6 +18,12 @@
 /// backend-side PeerFiller computes the same key, so router and backend
 /// agree on a key's previous owner after a ring rebuild without talking.
 ///
+/// The key starts with a job-kind discriminator (0 = single program,
+/// 1 = task graph), so a graph job and a single-program job can never
+/// hash to the same key. Graph jobs then key on the normalized graph
+/// content (taskgraph::fingerprintTaskGraph) plus the mode-table and
+/// replan fields the graph pipeline reads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CDVS_CLUSTER_KEY_H

@@ -514,6 +514,7 @@ void Router::processClientFrames(ClientConn &C, uint64_t NowNs) {
     }
     switch (F.Type) {
     case net::FrameType::Request:
+    case net::FrameType::GraphRequest:
       routeRequest(C, F, NowNs);
       break;
     case net::FrameType::Ping:
@@ -567,6 +568,7 @@ void Router::routeRequest(ClientConn &C, net::Frame &F, uint64_t NowNs) {
   P.ClientId = C.Id;
   P.ClientCorr = F.Correlation;
   P.Payload = std::move(F.Payload);
+  P.Kind = F.Type;
   P.Key = requestKey(*Req);
   P.RetriesLeft = Opts.RetryBudget;
   P.StartNs = NowNs;
@@ -864,6 +866,7 @@ void Router::processBackendFrames(Backend &B, uint64_t NowNs) {
       }
       break;
     case net::FrameType::Response:
+    case net::FrameType::GraphResponse:
     case net::FrameType::Reject:
       deliver(B, F, NowNs);
       break;
@@ -928,10 +931,10 @@ void Router::deliver(Backend &B, net::Frame &F, uint64_t NowNs) {
     return;
   }
   --C.InFlight;
-  recordFlight(P, F.Type == net::FrameType::Response ? "response"
-                                                     : "reject",
+  recordFlight(P, F.Type == net::FrameType::Reject ? "reject"
+                                                   : "response",
                NowNs);
-  if (F.Type == net::FrameType::Response) {
+  if (F.Type != net::FrameType::Reject) {
     {
       std::lock_guard<std::mutex> Lock(StatsMu);
       ++Counters.ResponsesRelayed;
@@ -999,8 +1002,7 @@ void Router::sendToBackend(Backend &B, PendingRequest P, uint64_t NowNs) {
   // span as parent, so backend spans nest under the router's hop.
   net::TraceContext Upstream = P.Trace;
   Upstream.ParentSpan = P.RouteSpanId;
-  B.WriteQ.push_back(net::encodeFrame(net::FrameType::Request, Corr,
-                                      P.Payload,
+  B.WriteQ.push_back(net::encodeFrame(P.Kind, Corr, P.Payload,
                                       P.HasTrace ? &Upstream : nullptr));
   if (Opts.UpstreamTimeoutMs > 0) {
     Backend *BP = &B;

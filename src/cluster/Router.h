@@ -215,6 +215,9 @@ private:
     uint64_t ClientCorr = 0;
     /// Request JSON, kept so a failover can resend it.
     std::string Payload;
+    /// The client's request frame kind (Request or GraphRequest),
+    /// re-emitted verbatim on every upstream send and failover.
+    net::FrameType Kind = net::FrameType::Request;
     Fingerprint128 Key;
     int RetriesLeft = 0;
     /// Backends this request was already sent to; a retry skips them.

@@ -116,7 +116,11 @@ ErrorOr<uint64_t> Client::sendRequest(const JobRequest &Request,
                                       const TraceContext *Trace) {
   if (Correlation == 0)
     Correlation = NextCorrelation++;
-  std::string F = encodeFrame(FrameType::Request, Correlation,
+  // Graph jobs travel as GraphRequest frames — the server and the
+  // router key on the frame type without parsing the payload twice.
+  FrameType Type =
+      Request.Graph ? FrameType::GraphRequest : FrameType::Request;
+  std::string F = encodeFrame(Type, Correlation,
                               jobRequestToJson(Request), Trace);
   ErrorOr<bool> S = sendRaw(F.data(), F.size());
   if (!S)
@@ -224,7 +228,8 @@ ErrorOr<JobResult> Client::call(const JobRequest &Request, int TimeoutMs,
         return makeError("rejected (unparseable reject payload)");
       return makeError("rejected: " + R->Code + ": " + R->Reason);
     }
-    if (F->Type != FrameType::Response)
+    if (F->Type != FrameType::Response &&
+        F->Type != FrameType::GraphResponse)
       continue; // e.g. a Pong that reused the id; keep waiting
     return jobResultFromJsonText(F->Payload);
   }

@@ -74,10 +74,11 @@ public:
   bool connected() const { return Fd >= 0; }
   int fd() const { return Fd; }
 
-  /// Sends one Request frame carrying \p Request as JSON. \returns the
-  /// correlation id used (auto-assigned from an internal counter when
-  /// \p Correlation is 0). A non-null valid \p Trace rides in the
-  /// frame's extension block.
+  /// Sends one Request frame carrying \p Request as JSON (a
+  /// GraphRequest frame when the request carries a task graph).
+  /// \returns the correlation id used (auto-assigned from an internal
+  /// counter when \p Correlation is 0). A non-null valid \p Trace rides
+  /// in the frame's extension block.
   ErrorOr<uint64_t> sendRequest(const JobRequest &Request,
                                 uint64_t Correlation = 0,
                                 const TraceContext *Trace = nullptr);

@@ -569,6 +569,7 @@ size_t Server::processFrames(Reactor &R, Connection &C, uint64_t NowNs) {
                        "}");
       break;
     case FrameType::Request:
+    case FrameType::GraphRequest:
       handleRequest(R, C, F, NowNs);
       break;
     case FrameType::PeerFetch:
@@ -642,6 +643,16 @@ void Server::handleRequest(Reactor &R, Connection &C, Frame &F,
     sendReject(R, C, F.Correlation, "bad_request", Req.message());
     return;
   }
+  // The frame kind must match the payload kind: routers key graph jobs
+  // on graph content from the frame type alone, so a mismatch means
+  // someone is mislabeling traffic — refuse it rather than schedule it.
+  bool IsGraph = F.Type == FrameType::GraphRequest;
+  if ((Req->Graph != nullptr) != IsGraph) {
+    sendReject(R, C, F.Correlation, "bad_request",
+               IsGraph ? "graph_request frame without a graph payload"
+                       : "graph payloads must use graph_request frames");
+    return;
+  }
   // Hand the pipeline the thread's current context (the frame span when
   // tracing is on, else the sender's raw context): the job span and
   // everything under it, including peer fills, join the same trace.
@@ -686,11 +697,15 @@ void Server::handleRequest(Reactor &R, Connection &C, Frame &F,
   // owning reactor's lock-free completion queue, wake that reactor.
   // Never touches connection state directly.
   Reactor *RP = &R;
-  Service.submitAsync(std::move(*Req), [RP, ConnId, Corr](JobResult Res) {
+  FrameType AnswerType =
+      IsGraph ? FrameType::GraphResponse : FrameType::Response;
+  Service.submitAsync(std::move(*Req),
+                      [RP, ConnId, Corr, AnswerType](JobResult Res) {
     Completion Cp;
     Cp.ConnId = ConnId;
     Cp.Correlation = Corr;
     Cp.Payload = jobResultToJson(Res, /*IncludeSchedule=*/true);
+    Cp.Type = AnswerType;
     RP->CQ.push(std::move(Cp));
     RP->Wakeup.notify();
   });
@@ -774,7 +789,7 @@ void Server::handleCompletions(Reactor &R, uint64_t NowNs) {
       C.RequestTimers.erase(TIt);
     }
     --C.InFlight;
-    enqueueFrame(R, C, FrameType::Response, Cp.Correlation, Cp.Payload);
+    enqueueFrame(R, C, Cp.Type, Cp.Correlation, Cp.Payload);
   }
 }
 

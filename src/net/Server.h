@@ -234,6 +234,9 @@ private:
     uint64_t ConnId = 0;
     uint64_t Correlation = 0;
     std::string Payload; ///< response JSON, serialized on the worker
+    /// Response for single-program jobs, GraphResponse for graph jobs —
+    /// the answer frame mirrors the request frame's kind.
+    FrameType Type = FrameType::Response;
   };
 
   /// Lock-free MPSC handoff from pipeline workers to one reactor:
@@ -310,6 +313,10 @@ private:
   /// \returns the number of complete frames extracted (slow-frame
   /// progress tracking).
   size_t processFrames(Reactor &R, Connection &C, uint64_t NowNs);
+  /// Admits one job frame (Request or GraphRequest — the frame kind
+  /// must match the payload: a Request carrying a "graph" object, or a
+  /// GraphRequest without one, draws Reject{"bad_request"}). The
+  /// completion answers with the mirroring response frame kind.
   void handleRequest(Reactor &R, Connection &C, Frame &F, uint64_t NowNs);
   /// Answers a backend-to-backend PeerFetch cache probe with PeerData
   /// (found + serialized schedule, or a miss) from the service's result

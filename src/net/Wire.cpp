@@ -33,13 +33,17 @@ const char *cdvs::net::frameTypeName(FrameType Type) {
     return "stats_fetch";
   case FrameType::StatsData:
     return "stats_data";
+  case FrameType::GraphRequest:
+    return "graph_request";
+  case FrameType::GraphResponse:
+    return "graph_response";
   }
   cdvsUnreachable("bad FrameType");
 }
 
 bool cdvs::net::validFrameType(uint8_t Raw) {
   return Raw >= static_cast<uint8_t>(FrameType::Request) &&
-         Raw <= static_cast<uint8_t>(FrameType::StatsData);
+         Raw <= static_cast<uint8_t>(FrameType::GraphResponse);
 }
 
 const char *cdvs::net::wireStatusName(WireStatus Status) {

@@ -45,7 +45,13 @@
 /// StatsFetch carries an empty payload, StatsData answers with one
 /// JSON object bundling the process role, Prometheus metrics text, and
 /// the recent trace buffer (dvs-stat --scrape merges these across
-/// endpoints). The
+/// endpoints). GraphRequest/GraphResponse are the task-graph job pair:
+/// the same JSON vocabulary as Request/Response, but the request
+/// carries a "graph" object (service/JobIO.h) and the response's
+/// `schedule` field holds `cdvs-taskplan v1` text — a distinct frame
+/// type so routers can key graph jobs on graph content without parsing
+/// payloads twice, and so old builds reject them loudly (BadType)
+/// instead of mis-scheduling them. The
 /// correlation id is chosen by the client and echoed verbatim, which is
 /// what lets responses stream back out of order over one connection.
 ///
@@ -90,6 +96,8 @@ enum class FrameType : uint8_t {
   PeerData = 7,   ///< answer to PeerFetch: cached schedule, or a miss
   StatsFetch = 8, ///< scraper -> process: live stats probe, empty
   StatsData = 9,  ///< answer to StatsFetch: role + metrics + traces
+  GraphRequest = 10,  ///< client -> server: one JSON task-graph job
+  GraphResponse = 11, ///< server -> client: one JSON graph job result
 };
 
 /// \returns a printable lower-case name ("request", "response", ...).

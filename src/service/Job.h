@@ -19,7 +19,9 @@
 #define CDVS_SERVICE_JOB_H
 
 #include "milp/MilpSolver.h"
+#include "taskgraph/TaskGraph.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +62,16 @@ struct JobRequest {
   /// Regulator capacitance in farads (efficiency 0.9 and Imax 1 A are
   /// fixed, as in the paper's typical configuration).
   double CapacitanceF = 10e-6;
+
+  /// Task-graph payload. Non-null turns this request into a graph job:
+  /// Workload/Categories/FilterThreshold/InitialMode are ignored and the
+  /// graph's own deadline knobs replace DeadlineSeconds/Tightness, while
+  /// NumLevels/CapacitanceF still pick the shared mode table. Carried by
+  /// GraphRequest wire frames and keyed separately on the cluster ring.
+  std::shared_ptr<const taskgraph::TaskGraph> Graph;
+  /// Online slack reclamation on/off for graph jobs (off = execute the
+  /// static plan; the bench pairing's baseline rows).
+  bool GraphReplan = true;
 
   /// Distributed trace context, stamped by the wire layer when the
   /// carrying frame had one. Deliberately NOT part of the request's
@@ -117,6 +129,17 @@ struct JobResult {
   /// dvs-router on the way back to the client (empty in single-node
   /// deployments). Loadgen's per-backend latency breakdown keys on it.
   std::string Backend;
+
+  /// Graph-job extension; Replans == -1 marks a single-program result
+  /// (the fields below are then absent from every serialization, which
+  /// keeps single-program JSON byte-identical to before graphs existed).
+  int Replans = -1;
+  int ReplansAccepted = 0;
+  /// Profiled energy of the static (no-reclamation) plan.
+  double StaticEnergyJoules = 0.0;
+  /// Factor-scaled energy actually spent by the executed timeline.
+  double ActualEnergyJoules = 0.0;
+  double MakespanSeconds = 0.0; ///< actual makespan of the executed plan
 
   double QueueSeconds = 0.0;   ///< admission to worker pickup
   double ProfileSeconds = 0.0; ///< profiling stage (0 on profile-cache hit)

@@ -45,13 +45,82 @@ ErrorOr<JobRequest> cdvs::jobRequestFromJson(const JsonValue &V) {
       R.NumLevels = static_cast<int>(Field.Num);
     } else if (Key == "capacitance" && Field.isNumber()) {
       R.CapacitanceF = Field.Num;
+    } else if (Key == "graph" && Field.isObject()) {
+      ErrorOr<taskgraph::TaskGraph> G = taskGraphFromJson(Field);
+      if (!G)
+        return makeError(G.message());
+      R.Graph = std::make_shared<const taskgraph::TaskGraph>(std::move(*G));
+    } else if (Key == "graph_replan" && Field.isBool()) {
+      R.GraphReplan = Field.B;
     } else {
       return makeError("unknown or mistyped request field '" + Key + "'");
     }
   }
-  if (R.Workload.empty())
+  if (R.Workload.empty() && !R.Graph)
     return makeError("request is missing 'workload'");
+  if (!R.Workload.empty() && R.Graph)
+    return makeError("request cannot carry both 'workload' and 'graph'");
   return R;
+}
+
+ErrorOr<taskgraph::TaskGraph> cdvs::taskGraphFromJson(const JsonValue &V) {
+  if (!V.isObject())
+    return makeError("'graph' must be a JSON object");
+  taskgraph::TaskGraph G;
+  const JsonValue *Nodes = nullptr, *Edges = nullptr;
+  for (const auto &[Key, Field] : V.Obj) {
+    if (Key == "name" && Field.isString()) {
+      G.Name = Field.Str;
+    } else if (Key == "deadline" && Field.isNumber()) {
+      G.DeadlineSeconds = Field.Num;
+    } else if (Key == "tightness" && Field.isNumber()) {
+      G.DeadlineTightness = Field.Num;
+    } else if (Key == "nodes" && Field.isArray()) {
+      Nodes = &Field;
+    } else if (Key == "edges" && Field.isArray()) {
+      Edges = &Field;
+    } else {
+      return makeError("unknown or mistyped graph field '" + Key + "'");
+    }
+  }
+  if (!Nodes)
+    return makeError("'graph' is missing array 'nodes'");
+  for (const JsonValue &N : Nodes->Arr) {
+    const JsonValue *Name = N.find("name");
+    const JsonValue *Workload = N.find("workload");
+    if (!Name || !Name->isString() || !Workload || !Workload->isString())
+      return makeError("graph nodes need string 'name' and 'workload'");
+    taskgraph::TaskNode Node;
+    Node.Name = Name->Str;
+    Node.Workload = Workload->Str;
+    if (const JsonValue *In = N.find("input"); In && In->isString())
+      Node.Input = In->Str;
+    if (const JsonValue *F = N.find("actual"); F && F->isNumber())
+      Node.ActualFactor = F->Num;
+    G.Nodes.push_back(std::move(Node));
+  }
+  if (Edges) {
+    for (const JsonValue &E : Edges->Arr) {
+      if (!E.isArray() || E.Arr.size() != 2 || !E.Arr[0].isString() ||
+          !E.Arr[1].isString())
+        return makeError("graph edges must be [\"from\", \"to\"] pairs");
+      int From = -1, To = -1;
+      for (size_t I = 0; I < G.Nodes.size(); ++I) {
+        if (G.Nodes[I].Name == E.Arr[0].Str)
+          From = static_cast<int>(I);
+        if (G.Nodes[I].Name == E.Arr[1].Str)
+          To = static_cast<int>(I);
+      }
+      if (From < 0 || To < 0)
+        return makeError("graph edge names unknown task '" +
+                         (From < 0 ? E.Arr[0].Str : E.Arr[1].Str) + "'");
+      G.Edges.push_back({From, To});
+    }
+  }
+  ErrorOr<bool> Valid = taskgraph::validateGraph(G);
+  if (!Valid)
+    return makeError(Valid.message());
+  return G;
 }
 
 ErrorOr<JobRequest> cdvs::jobRequestFromJsonText(const std::string &Text) {
@@ -86,9 +155,50 @@ double cdvs::peekDeadlineTightness(const std::string &Text,
   return V;
 }
 
+std::string cdvs::taskGraphToJson(const taskgraph::TaskGraph &G) {
+  char Buf[64];
+  std::string Out = "{\"name\":\"" + jsonEscape(G.Name) + "\"";
+  if (G.DeadlineSeconds > 0) {
+    std::snprintf(Buf, sizeof(Buf), ",\"deadline\":%.17g",
+                  G.DeadlineSeconds);
+    Out += Buf;
+  } else if (G.DeadlineTightness != 0.5) {
+    std::snprintf(Buf, sizeof(Buf), ",\"tightness\":%.17g",
+                  G.DeadlineTightness);
+    Out += Buf;
+  }
+  Out += ",\"nodes\":[";
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    const taskgraph::TaskNode &N = G.Nodes[I];
+    Out += std::string(I ? "," : "") + "{\"name\":\"" + jsonEscape(N.Name) +
+           "\",\"workload\":\"" + jsonEscape(N.Workload) + "\"";
+    if (!N.Input.empty())
+      Out += ",\"input\":\"" + jsonEscape(N.Input) + "\"";
+    if (N.ActualFactor != 1.0) {
+      std::snprintf(Buf, sizeof(Buf), ",\"actual\":%.17g", N.ActualFactor);
+      Out += Buf;
+    }
+    Out += "}";
+  }
+  Out += "],\"edges\":[";
+  for (size_t I = 0; I < G.Edges.size(); ++I)
+    Out += std::string(I ? "," : "") + "[\"" +
+           jsonEscape(G.Nodes[G.Edges[I].first].Name) + "\",\"" +
+           jsonEscape(G.Nodes[G.Edges[I].second].Name) + "\"]";
+  Out += "]}";
+  return Out;
+}
+
 std::string cdvs::jobRequestToJson(const JobRequest &R) {
   char Buf[64];
-  std::string Out = "{\"workload\":\"" + jsonEscape(R.Workload) + "\"";
+  std::string Out;
+  if (R.Graph) {
+    Out = "{\"graph\":" + taskGraphToJson(*R.Graph);
+    if (!R.GraphReplan)
+      Out += ",\"graph_replan\":false";
+  } else {
+    Out = "{\"workload\":\"" + jsonEscape(R.Workload) + "\"";
+  }
   if (!R.Id.empty())
     Out += ",\"id\":\"" + jsonEscape(R.Id) + "\"";
   if (!R.Categories.empty()) {
@@ -139,6 +249,15 @@ std::string cdvs::jobResultToJson(const JobResult &R, bool IncludeSchedule,
                   "\"deadline_ms\":%.4f,\"milp\":\"%s\"",
                   R.PredictedEnergyJoules * 1e6, R.LowerBoundJoules * 1e6,
                   R.DeadlineSeconds * 1e3, milpStatusName(R.Milp));
+    Out += Buf;
+  }
+  if (R.Replans >= 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"replans\":%d,\"replans_accepted\":%d,"
+                  "\"static_energy_uj\":%.3f,\"actual_energy_uj\":%.3f,"
+                  "\"makespan_ms\":%.4f",
+                  R.Replans, R.ReplansAccepted, R.StaticEnergyJoules * 1e6,
+                  R.ActualEnergyJoules * 1e6, R.MakespanSeconds * 1e3);
     Out += Buf;
   }
   if (R.VerifyErrors >= 0) {
@@ -231,6 +350,13 @@ ErrorOr<JobResult> cdvs::jobResultFromJson(const JsonValue &V) {
       return makeError("unknown milp status '" + F->Str + "'");
   if (const JsonValue *F = V.find("verify_errors"); F && F->isNumber())
     R.VerifyErrors = static_cast<int>(F->Num);
+  if (const JsonValue *F = V.find("replans"); F && F->isNumber())
+    R.Replans = static_cast<int>(F->Num);
+  if (const JsonValue *F = V.find("replans_accepted"); F && F->isNumber())
+    R.ReplansAccepted = static_cast<int>(F->Num);
+  num("static_energy_uj", R.StaticEnergyJoules, 1e-6);
+  num("actual_energy_uj", R.ActualEnergyJoules, 1e-6);
+  num("makespan_ms", R.MakespanSeconds, 1e-3);
   str("verify_detail", R.VerifyDetail);
   num("queue_ms", R.QueueSeconds, 1e-3);
   num("profile_ms", R.ProfileSeconds, 1e-3);
@@ -291,6 +417,15 @@ std::string cdvs::peerDataToJson(const CachedSchedule *C) {
     if (!C->VerifyDetail.empty())
       Out += ",\"verify_detail\":\"" + jsonEscape(C->VerifyDetail) + "\"";
   }
+  if (C->Replans >= 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"replans\":%d,\"replans_accepted\":%d,"
+                  "\"static_energy_j\":%.17g,\"actual_energy_j\":%.17g,"
+                  "\"makespan_s\":%.17g",
+                  C->Replans, C->ReplansAccepted, C->StaticEnergyJoules,
+                  C->ActualEnergyJoules, C->MakespanSeconds);
+    Out += Buf;
+  }
   if (!C->ScheduleText.empty())
     Out += ",\"schedule\":\"" + jsonEscape(C->ScheduleText) + "\"";
   Out += "}";
@@ -333,6 +468,13 @@ ErrorOr<PeerData> cdvs::peerDataFromJsonText(const std::string &Text) {
     C->VerifyErrors = static_cast<int>(F->Num);
   str("verify_detail", C->VerifyDetail);
   num("verify_s", C->VerifySeconds);
+  if (const JsonValue *F = V->find("replans"); F && F->isNumber())
+    C->Replans = static_cast<int>(F->Num);
+  if (const JsonValue *F = V->find("replans_accepted"); F && F->isNumber())
+    C->ReplansAccepted = static_cast<int>(F->Num);
+  num("static_energy_j", C->StaticEnergyJoules);
+  num("actual_energy_j", C->ActualEnergyJoules);
+  num("makespan_s", C->MakespanSeconds);
   if (C->Feasible && C->ScheduleText.empty())
     return makeError("found feasible peer_data is missing 'schedule'");
   D.Found = true;

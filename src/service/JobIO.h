@@ -37,8 +37,22 @@
 namespace cdvs {
 
 /// Maps a parsed JSON object onto a JobRequest; unknown or mistyped
-/// fields are errors.
+/// fields are errors. Task-graph jobs carry a "graph" object instead of
+/// "workload":
+///
+///   {"id": "g1", "graph": {"name": "diamond", "tightness": 0.45,
+///     "nodes": [{"name": "a", "workload": "adpcm", "actual": 0.7}, ...],
+///     "edges": [["a", "b"], ...]}, "graph_replan": false}
 ErrorOr<JobRequest> jobRequestFromJson(const JsonValue &V);
+
+/// Maps a parsed "graph" object onto a validated TaskGraph (edges name
+/// tasks by their "name" field). Unknown fields and structural
+/// violations (cycles, duplicate names, bad edge names) are errors.
+ErrorOr<taskgraph::TaskGraph> taskGraphFromJson(const JsonValue &V);
+
+/// Serializes \p G as the "graph" object jobRequestFromJson accepts.
+/// Canonical: nodes in index order, defaults omitted, %.17g numerics.
+std::string taskGraphToJson(const taskgraph::TaskGraph &G);
 
 /// Parses one JSON request document (a dvsd request line).
 ErrorOr<JobRequest> jobRequestFromJsonText(const std::string &Text);

@@ -55,6 +55,17 @@ struct CachedSchedule {
   int VerifyErrors = -1;
   std::string VerifyDetail; ///< first error line when VerifyErrors > 0
   double VerifySeconds = 0.0; ///< verify-pass time, ditto
+
+  /// Task-graph extension. Replans == -1 (the default) marks a
+  /// single-program entry; every serialization omits the fields below in
+  /// that case so pre-graph peer data stays byte-identical. For graph
+  /// entries ScheduleText holds `cdvs-taskplan v1` text instead of a
+  /// schedule.
+  int Replans = -1;
+  int ReplansAccepted = 0;
+  double StaticEnergyJoules = 0.0;
+  double ActualEnergyJoules = 0.0;
+  double MakespanSeconds = 0.0;
 };
 
 /// Counters for the cache and its single-flight layer.

@@ -14,6 +14,9 @@
 #include "power/VfModel.h"
 #include "support/Clock.h"
 #include "support/Hash.h"
+#include "taskgraph/Online.h"
+#include "taskgraph/PlanIO.h"
+#include "verify/TaskGraphChecker.h"
 #include "verify/Verify.h"
 #include "workloads/Workloads.h"
 
@@ -179,6 +182,28 @@ ServiceMetrics &serviceMetrics() {
       obs::metrics().histogram(
           "cdvs_presolve_seconds",
           "Time spent in the certified MILP presolve per fresh solve",
+          obs::latencyBucketsSeconds()),
+  };
+  return M;
+}
+
+/// Task-graph pipeline instruments. The replan counters live in
+/// taskgraph/Online.cpp next to the loop that drives them; these cover
+/// the service-side job accounting.
+struct GraphMetrics {
+  obs::Counter &Jobs, &Tasks;
+  obs::Histogram &Plan;
+};
+
+GraphMetrics &graphMetrics() {
+  static GraphMetrics M{
+      obs::metrics().counter("cdvs_taskgraph_jobs_total",
+                             "Task-graph jobs executed (fresh or cached)"),
+      obs::metrics().counter("cdvs_taskgraph_tasks_total",
+                             "Tasks across all executed task-graph jobs"),
+      obs::metrics().histogram(
+          "cdvs_taskgraph_plan_seconds",
+          "Static plan + online re-plan time per fresh graph solve",
           obs::latencyBucketsSeconds()),
   };
   return M;
@@ -396,52 +421,74 @@ SchedulerService::profileStage(const JobRequest &Request,
   std::vector<CategoryProfile> Out;
   Out.reserve(Categories.size());
   for (const JobCategory &C : Categories) {
-    const WorkloadInput *Input = nullptr;
-    for (const WorkloadInput &In : W.Inputs)
-      if (In.Name == C.Input)
-        Input = &In;
-    if (!Input) {
-      std::string Known;
-      for (const WorkloadInput &In : W.Inputs)
-        Known += (Known.empty() ? "" : ", ") + In.Name;
-      return makeError("unknown input '" + C.Input + "' for workload '" +
-                       Request.Workload + "' (known: " + Known + ")");
-    }
-
-    std::string Key =
-        Request.Workload + "\x1f" + C.Input + "\x1f" + ModesKey;
-    std::shared_ptr<const Profile> Cached;
-    {
-      std::lock_guard<std::mutex> Lock(ProfileMu);
-      auto It = ProfileCache.find(Key);
-      if (It != ProfileCache.end())
-        Cached = It->second;
-    }
-    if (!Cached) {
-      // Collect outside the lock: profiling runs the simulator once per
-      // mode. A racing duplicate collection is idempotent.
-      auto T0 = Clock::now();
-      Simulator Sim(*W.Fn);
-      Input->Setup(Sim);
-      auto Collected =
-          std::make_shared<const Profile>(collectProfile(Sim, Modes));
-      *ProfileSeconds += secondsSince(T0);
-      std::lock_guard<std::mutex> Lock(ProfileMu);
-      // If a racing worker inserted first, its (identical) profile wins.
-      Cached = ProfileCache.emplace(Key, Collected).first->second;
-      std::lock_guard<std::mutex> SLock(StatsMu);
-      ++Counters.ProfileCacheMisses;
-    } else {
-      std::lock_guard<std::mutex> SLock(StatsMu);
-      ++Counters.ProfileCacheHits;
-    }
-    Out.push_back({*Cached, C.Weight / WeightSum});
+    ErrorOr<std::shared_ptr<const Profile>> Cached =
+        profileOne(Request.Workload, C.Input, Modes, ModesKey,
+                   ProfileSeconds);
+    if (!Cached)
+      return makeError(Cached.message());
+    Out.push_back({**Cached, C.Weight / WeightSum});
   }
   return Out;
 }
 
+ErrorOr<std::shared_ptr<const Profile>>
+SchedulerService::profileOne(const std::string &WorkloadName,
+                             const std::string &InputName,
+                             const ModeTable &Modes,
+                             const std::string &ModesKey,
+                             double *ProfileSeconds) {
+  auto RegIt = workloadRegistry().find(WorkloadName);
+  if (RegIt == workloadRegistry().end())
+    return makeError("unknown workload '" + WorkloadName +
+                     "' (known: " + knownWorkloadNames() + ")");
+  const Workload &W = RegIt->second;
+  const std::string &Wanted =
+      InputName.empty() ? W.Inputs.front().Name : InputName;
+  const WorkloadInput *Input = nullptr;
+  for (const WorkloadInput &In : W.Inputs)
+    if (In.Name == Wanted)
+      Input = &In;
+  if (!Input) {
+    std::string Known;
+    for (const WorkloadInput &In : W.Inputs)
+      Known += (Known.empty() ? "" : ", ") + In.Name;
+    return makeError("unknown input '" + Wanted + "' for workload '" +
+                     WorkloadName + "' (known: " + Known + ")");
+  }
+
+  std::string Key = WorkloadName + "\x1f" + Wanted + "\x1f" + ModesKey;
+  std::shared_ptr<const Profile> Cached;
+  {
+    std::lock_guard<std::mutex> Lock(ProfileMu);
+    auto It = ProfileCache.find(Key);
+    if (It != ProfileCache.end())
+      Cached = It->second;
+  }
+  if (!Cached) {
+    // Collect outside the lock: profiling runs the simulator once per
+    // mode. A racing duplicate collection is idempotent.
+    auto T0 = Clock::now();
+    Simulator Sim(*W.Fn);
+    Input->Setup(Sim);
+    auto Collected =
+        std::make_shared<const Profile>(collectProfile(Sim, Modes));
+    *ProfileSeconds += secondsSince(T0);
+    std::lock_guard<std::mutex> Lock(ProfileMu);
+    // If a racing worker inserted first, its (identical) profile wins.
+    Cached = ProfileCache.emplace(Key, Collected).first->second;
+    std::lock_guard<std::mutex> SLock(StatsMu);
+    ++Counters.ProfileCacheMisses;
+  } else {
+    std::lock_guard<std::mutex> SLock(StatsMu);
+    ++Counters.ProfileCacheHits;
+  }
+  return Cached;
+}
+
 JobResult SchedulerService::execute(const JobRequest &Request,
                                     double QueueSeconds, long DequeueSeq) {
+  if (Request.Graph)
+    return executeGraph(Request, QueueSeconds, DequeueSeq);
   // Requests that arrived over the wire carry a distributed trace
   // context; installing it here makes every pipeline span below (job,
   // profile, bound, solve, peer_fill, serialize, verify) a child of
@@ -685,6 +732,235 @@ JobResult SchedulerService::execute(const JobRequest &Request,
   R.VerifySeconds = L.Value->VerifySeconds;
   R.VerifyErrors = L.Value->VerifyErrors;
   R.VerifyDetail = L.Value->VerifyDetail;
+  if (!L.Value->Feasible)
+    return finish(JobStatus::Infeasible, L.Value->Reason);
+  if (R.VerifyErrors > 0) {
+    serviceMetrics().VerifyFailures.inc();
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.VerifyFailures;
+    }
+    if (Opts.Verify == VerifyMode::Strict)
+      return finish(JobStatus::Failed,
+                    "verification failed (" +
+                        std::to_string(R.VerifyErrors) + " errors): " +
+                        R.VerifyDetail);
+  }
+  return finish(JobStatus::Done);
+}
+
+JobResult SchedulerService::executeGraph(const JobRequest &Request,
+                                         double QueueSeconds,
+                                         long DequeueSeq) {
+  obs::SpanContext Ctx;
+  Ctx.TraceHi = Request.TraceHi;
+  Ctx.TraceLo = Request.TraceLo;
+  Ctx.Span = Request.TraceParentSpan;
+  Ctx.Sampled = Request.TraceSampled;
+  obs::ScopedSpanContext CtxGuard(Ctx);
+  obs::TraceSpan JobSpan("job", "service");
+  JobSpan.arg("dequeue_seq", static_cast<double>(DequeueSeq));
+  const taskgraph::TaskGraph &G = *Request.Graph;
+  JobSpan.arg("graph_tasks", static_cast<double>(G.Nodes.size()));
+  auto T0 = Clock::now();
+  JobResult R;
+  R.Id = Request.Id;
+  R.QueueSeconds = QueueSeconds;
+  R.DequeueSeq = DequeueSeq;
+
+  auto finish = [&](JobStatus Status, std::string Reason = "") {
+    R.Status = Status;
+    R.Reason = std::move(Reason);
+    R.TotalSeconds = QueueSeconds + secondsSince(T0);
+    ServiceMetrics &M = serviceMetrics();
+    M.Queue.observe(R.QueueSeconds);
+    M.Total.observe(R.TotalSeconds);
+    if (R.ProfileSeconds > 0.0 || Status == JobStatus::Done)
+      M.Profile.observe(R.ProfileSeconds);
+    if (R.BoundSeconds > 0.0 || Status == JobStatus::Done)
+      M.Bound.observe(R.BoundSeconds);
+    if (Status == JobStatus::Done && !R.CacheHit && !R.SharedFlight) {
+      M.Solve.observe(R.SolveSeconds);
+      M.Serialize.observe(R.SerializeSeconds);
+    }
+    return R;
+  };
+
+  // Stage 0: validation. The JSON codec validates graphs it parses, but
+  // in-process callers can hand the service anything.
+  if (!Request.Workload.empty() || !Request.Categories.empty())
+    return finish(JobStatus::Failed,
+                  "graph requests must not carry workload/categories");
+  ErrorOr<bool> Valid = taskgraph::validateGraph(G);
+  if (!Valid)
+    return finish(JobStatus::Failed, Valid.message());
+  if (G.DeadlineSeconds <= 0.0 && G.DeadlineTightness < 0.0)
+    return finish(JobStatus::Failed,
+                  "graph deadline tightness must be nonnegative");
+  if (Request.NumLevels != 0 &&
+      (Request.NumLevels < 2 || Request.NumLevels > 64))
+    return finish(JobStatus::Failed,
+                  "voltage level count must be 0 (XScale table) or in "
+                  "[2, 64]");
+  if (Request.CapacitanceF < 0.0)
+    return finish(JobStatus::Failed,
+                  "regulator capacitance must be nonnegative");
+
+  ModeTable Modes =
+      Request.NumLevels == 0
+          ? ModeTable::xscale3()
+          : ModeTable::evenVoltageLevels(Request.NumLevels, 0.7, 1.65,
+                                         VfModel::paperDefault());
+
+  // Stage 1: per-node profiles through the shared memoized cache; a
+  // graph reusing one workload profiles it once.
+  taskgraph::TaskCosts Costs;
+  {
+    obs::TraceSpan Span("profile", "service");
+    std::string ModesKey = modeTableDigest(Modes);
+    Costs.TimeAtMode.reserve(G.Nodes.size());
+    Costs.EnergyAtMode.reserve(G.Nodes.size());
+    for (const taskgraph::TaskNode &N : G.Nodes) {
+      ErrorOr<std::shared_ptr<const Profile>> P = profileOne(
+          N.Workload, N.Input, Modes, ModesKey, &R.ProfileSeconds);
+      if (!P)
+        return finish(JobStatus::Failed,
+                      "task '" + N.Name + "': " + P.message());
+      Costs.TimeAtMode.push_back((*P)->TotalTimeAtMode);
+      Costs.EnergyAtMode.push_back((*P)->TotalEnergyAtMode);
+    }
+  }
+
+  // Stage 2: deadline resolution against the critical path (fastest
+  // modes = the tightest meetable deadline), graph lower bound, and the
+  // instance fingerprint.
+  obs::TraceSpan BoundSpan("bound", "service");
+  uint64_t BoundT0 = monotonicNanos();
+  double TFast = taskgraph::criticalPathSeconds(G, Costs, -1);
+  double TSlow = taskgraph::criticalPathSeconds(G, Costs, 0);
+  double Deadline = G.DeadlineSeconds > 0.0
+                        ? G.DeadlineSeconds
+                        : TFast + G.DeadlineTightness * (TSlow - TFast);
+  if (Deadline < TFast * (1.0 - 1e-12)) {
+    R.BoundSeconds = nanosToSeconds(monotonicNanos() - BoundT0);
+    return finish(JobStatus::Infeasible,
+                  "graph deadline " + std::to_string(Deadline * 1e3) +
+                      " ms is below the all-fastest critical path " +
+                      std::to_string(TFast * 1e3) + " ms");
+  }
+  R.DeadlineSeconds = Deadline;
+  {
+    // Deadline-free bound: every task at its cheapest mode.
+    double Bound = 0.0;
+    for (const auto &E : Costs.EnergyAtMode)
+      Bound += *std::min_element(E.begin(), E.end());
+    R.LowerBoundJoules = Bound;
+  }
+  {
+    HashBuilder H;
+    H.add(std::string("cdvs-taskgraph-instance-v1"));
+    Fingerprint128 GF = taskgraph::fingerprintTaskGraph(G);
+    H.add(GF.Hi);
+    H.add(GF.Lo);
+    H.add(modeTableDigest(Modes));
+    H.add(Deadline);
+    H.add(static_cast<uint64_t>(Request.GraphReplan ? 1 : 0));
+    Fingerprint128 F;
+    H.digestRaw(F.Hi, F.Lo);
+    R.Fingerprint = F.toHex();
+  }
+  R.BoundSeconds = nanosToSeconds(monotonicNanos() - BoundT0);
+  BoundSpan.end();
+
+  double LowerBound = R.LowerBoundJoules;
+  std::string TransientError;
+  obs::TraceSpan SolveSpan("solve", "service");
+  ResultCache::Lookup L = Cache.getOrCompute(
+      R.Fingerprint,
+      [&]() -> std::shared_ptr<const CachedSchedule> {
+        if (Opts.PeerFill) {
+          obs::TraceSpan FillSpan("peer_fill", "service");
+          std::shared_ptr<const CachedSchedule> Fetched =
+              Opts.PeerFill(Request, R.Fingerprint);
+          FillSpan.arg("hit", Fetched ? 1.0 : 0.0);
+          if (Fetched) {
+            std::lock_guard<std::mutex> Lock(StatsMu);
+            ++Counters.PeerFills;
+            return Fetched;
+          }
+        }
+        taskgraph::OnlineOptions OO;
+        OO.Replan = Request.GraphReplan;
+        OO.Planner.Milp.NumThreads = Opts.MilpThreadsPerJob;
+        auto TSolve = Clock::now();
+        taskgraph::OnlineResult OR =
+            taskgraph::runOnline(G, Costs, Deadline, OO);
+        auto C = std::make_shared<CachedSchedule>();
+        C->SolveSeconds = secondsSince(TSolve);
+        C->LowerBoundJoules = LowerBound;
+        graphMetrics().Plan.observe(C->SolveSeconds);
+        if (!OR.Feasible) {
+          // Like single-program infeasibility: a deterministic property
+          // of the instance, cached as such.
+          C->Feasible = false;
+          C->Reason = "no mode assignment meets the shared deadline";
+          C->Milp = MilpStatus::Infeasible;
+          C->Replans = 0;
+          return C;
+        }
+        {
+          obs::TraceSpan Serialize("serialize", "service");
+          uint64_t SerT0 = monotonicNanos();
+          C->ScheduleText = taskgraph::writeTaskPlan(G, OR);
+          C->SerializeSeconds = nanosToSeconds(monotonicNanos() - SerT0);
+        }
+        C->PredictedEnergyJoules = OR.PlannedEnergyJoules;
+        C->Milp = OR.StaticPlan.Status;
+        C->Replans = OR.Replans;
+        C->ReplansAccepted = OR.ReplansAccepted;
+        C->StaticEnergyJoules = OR.StaticEnergyJoules;
+        C->ActualEnergyJoules = OR.ActualEnergyJoules;
+        C->MakespanSeconds = OR.MakespanSeconds;
+        if (Opts.Verify != VerifyMode::Off) {
+          obs::TraceSpan VerifySpan("verify", "service");
+          uint64_t VerT0 = monotonicNanos();
+          verify::Report Rep =
+              verify::checkTaskPlan(G, Costs, Deadline, OR);
+          C->VerifyErrors = Rep.errorCount();
+          C->VerifyDetail = Rep.firstError();
+          C->VerifySeconds = nanosToSeconds(monotonicNanos() - VerT0);
+          VerifySpan.arg("errors", static_cast<double>(C->VerifyErrors));
+        }
+        return C;
+      });
+  SolveSpan.arg("cache_hit", L.Hit ? 1.0 : 0.0);
+  SolveSpan.arg("shared_flight", L.Shared ? 1.0 : 0.0);
+  SolveSpan.end();
+
+  GraphMetrics &GM = graphMetrics();
+  GM.Jobs.inc();
+  GM.Tasks.inc(static_cast<double>(G.Nodes.size()));
+
+  R.CacheHit = L.Hit;
+  R.SharedFlight = L.Shared;
+  if (!L.Value)
+    return finish(JobStatus::Failed,
+                  TransientError.empty()
+                      ? std::string("shared solve failed; retry")
+                      : TransientError);
+  R.ScheduleText = L.Value->ScheduleText;
+  R.PredictedEnergyJoules = L.Value->PredictedEnergyJoules;
+  R.Milp = L.Value->Milp;
+  R.SolveSeconds = L.Value->SolveSeconds;
+  R.SerializeSeconds = L.Value->SerializeSeconds;
+  R.VerifySeconds = L.Value->VerifySeconds;
+  R.VerifyErrors = L.Value->VerifyErrors;
+  R.VerifyDetail = L.Value->VerifyDetail;
+  R.Replans = L.Value->Replans >= 0 ? L.Value->Replans : 0;
+  R.ReplansAccepted = L.Value->ReplansAccepted;
+  R.StaticEnergyJoules = L.Value->StaticEnergyJoules;
+  R.ActualEnergyJoules = L.Value->ActualEnergyJoules;
+  R.MakespanSeconds = L.Value->MakespanSeconds;
   if (!L.Value->Feasible)
     return finish(JobStatus::Infeasible, L.Value->Reason);
   if (R.VerifyErrors > 0) {

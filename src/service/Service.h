@@ -190,10 +190,24 @@ private:
   std::string admit(std::unique_ptr<PendingJob> &Job);
   JobResult execute(const JobRequest &Request, double QueueSeconds,
                     long DequeueSeq);
+  /// The task-graph pipeline (Request.Graph != nullptr): per-node
+  /// profiles through the same memoized profile cache, a critical-path
+  /// bound stage, then the static plan + online slack-reclamation run
+  /// through the result cache keyed on the graph fingerprint, verified
+  /// by verify::checkTaskPlan under Opts.Verify.
+  JobResult executeGraph(const JobRequest &Request, double QueueSeconds,
+                         long DequeueSeq);
   /// Stage 1. \returns the per-category profiles (memoized) or an error.
   ErrorOr<std::vector<CategoryProfile>>
   profileStage(const JobRequest &Request, const ModeTable &Modes,
                double *ProfileSeconds);
+  /// One (workload, input) profile through the memoized cache; the
+  /// shared primitive of profileStage and the graph pipeline. Empty
+  /// \p InputName selects the workload's default input.
+  ErrorOr<std::shared_ptr<const Profile>>
+  profileOne(const std::string &WorkloadName, const std::string &InputName,
+             const ModeTable &Modes, const std::string &ModesKey,
+             double *ProfileSeconds);
 
   ServiceOptions Opts;
   ResultCache Cache;

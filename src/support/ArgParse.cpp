@@ -64,6 +64,15 @@ bool &ArgParser::addFlag(const std::string &Name, std::string Help) {
   return *O.FlagVal;
 }
 
+std::vector<std::string> &
+ArgParser::addStringList(const std::string &Name, std::string Help) {
+  Option &O = addOption(Name, Kind::StringList, std::move(Help));
+  ListStore.push_back(std::make_unique<std::vector<std::string>>());
+  O.ListVal = ListStore.back().get();
+  O.Default = "none";
+  return *O.ListVal;
+}
+
 namespace {
 
 /// Plain Levenshtein distance, small strings only (option names).
@@ -205,6 +214,13 @@ ErrorOr<bool> ArgParser::parse(int Argc, char **Argv) {
                          "=<str> or --" + Name + " <str>)");
       *O->StrVal = Value;
       break;
+    case Kind::StringList:
+      if (!HasValue)
+        return makeError(Program + ": option --" + Name +
+                         " requires a value (--" + Name +
+                         "=<str> or --" + Name + " <str>)");
+      O->ListVal->push_back(Value);
+      break;
     }
   }
   return true;
@@ -239,6 +255,9 @@ std::string ArgParser::usage() const {
       break;
     case Kind::String:
       Left += "=<str>";
+      break;
+    case Kind::StringList:
+      Left += "=<str>..."; // may repeat
       break;
     case Kind::Flag:
       break;

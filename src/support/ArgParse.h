@@ -16,7 +16,9 @@
 /// Syntax: `--name=value` or `--name value` for valued options (the
 /// space form takes the next argument unless it starts with `--`, so a
 /// forgotten value is still caught), bare `--name` for flags, `--help`
-/// for the generated usage text. Anything not starting with `--` is
+/// for the generated usage text. String-list options (addStringList)
+/// may repeat — each occurrence, in either form, appends its value in
+/// command-line order. Anything not starting with `--` is
 /// collected as a positional argument. Unknown `--` options are an
 /// error naming the nearest registered option, unless allowUnknown(true),
 /// in which case they are collected verbatim for pass-through (e.g. to
@@ -51,6 +53,12 @@ public:
                          std::string Help);
   /// Registers a boolean flag (bare `--name` sets it to true).
   bool &addFlag(const std::string &Name, std::string Help);
+  /// Registers a repeatable string option: every occurrence appends its
+  /// value, in command-line order, accepting both `--name=value` and
+  /// `--name value` forms. The returned list starts empty (callers
+  /// apply their own default when it stays empty).
+  std::vector<std::string> &addStringList(const std::string &Name,
+                                          std::string Help);
 
   /// Unknown `--` options become pass-through arguments (unparsed())
   /// instead of errors.
@@ -80,7 +88,7 @@ public:
   std::string usage() const;
 
 private:
-  enum class Kind { Int, Double, String, Flag };
+  enum class Kind { Int, Double, String, Flag, StringList };
   struct Option {
     std::string Name;
     Kind K;
@@ -91,6 +99,7 @@ private:
     double *DoubleVal = nullptr;
     std::string *StrVal = nullptr;
     bool *FlagVal = nullptr;
+    std::vector<std::string> *ListVal = nullptr;
   };
 
   Option &addOption(const std::string &Name, Kind K, std::string Help);
@@ -109,6 +118,7 @@ private:
   std::vector<std::unique_ptr<double>> DoubleStore;
   std::vector<std::unique_ptr<std::string>> StrStore;
   std::vector<std::unique_ptr<bool>> FlagStore;
+  std::vector<std::unique_ptr<std::vector<std::string>>> ListStore;
   std::vector<std::string> Positional;
   std::vector<std::string> Unknown;
   bool AllowUnknown = false;

@@ -1,0 +1,110 @@
+//===- taskgraph/Generator.cpp - Canned graph instances -------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "taskgraph/Generator.h"
+
+namespace cdvs {
+namespace taskgraph {
+
+namespace {
+
+TaskNode node(const char *Name, const char *Workload, double Factor) {
+  TaskNode N;
+  N.Name = Name;
+  N.Workload = Workload;
+  N.ActualFactor = Factor;
+  return N;
+}
+
+TaskGraph pair2Early() {
+  TaskGraph G;
+  G.Name = "pair2-early";
+  G.Nodes = {node("encode", "adpcm", 0.5), node("compress", "gsm", 0.5)};
+  G.Edges = {{0, 1}};
+  G.DeadlineTightness = 0.5;
+  return G;
+}
+
+TaskGraph chain4Early() {
+  TaskGraph G;
+  G.Name = "chain4-early";
+  G.Nodes = {node("ingest", "adpcm", 0.6), node("speech", "gsm", 0.75),
+             node("audio", "mpg123", 0.8), node("video", "mpeg_decode", 0.9)};
+  G.Edges = {{0, 1}, {1, 2}, {2, 3}};
+  G.DeadlineTightness = 0.5;
+  return G;
+}
+
+TaskGraph diamond4Early() {
+  TaskGraph G;
+  G.Name = "diamond4-early";
+  G.Nodes = {node("split", "adpcm", 0.7), node("left", "gsm", 0.65),
+             node("right", "mpg123", 0.9),
+             node("join", "mpeg_decode", 0.8)};
+  G.Edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  G.DeadlineTightness = 0.45;
+  return G;
+}
+
+TaskGraph forkjoin6Mixed() {
+  TaskGraph G;
+  G.Name = "forkjoin6-mixed";
+  G.Nodes = {node("fan", "adpcm", 0.8),     node("w0", "gsm", 0.7),
+             node("w1", "mpg123", 1.0),     node("w2", "mpeg_decode", 0.6),
+             node("w3", "adpcm", 0.95),     node("gather", "gsm", 0.85)};
+  G.Edges = {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 5}, {2, 5}, {3, 5}, {4, 5}};
+  G.DeadlineTightness = 0.5;
+  return G;
+}
+
+TaskGraph wide8Layers() {
+  TaskGraph G;
+  G.Name = "wide8-layers";
+  G.Nodes = {node("l0a", "adpcm", 0.7),       node("l0b", "gsm", 0.8),
+             node("l1a", "mpg123", 0.65),     node("l1b", "mpeg_decode", 0.9),
+             node("l1c", "adpcm", 0.75),      node("l2a", "gsm", 0.85),
+             node("l2b", "mpg123", 0.6),      node("l2c", "mpeg_decode", 0.95)};
+  G.Edges = {{0, 2}, {0, 3}, {1, 3}, {1, 4}, {2, 5}, {2, 6},
+             {3, 6}, {3, 7}, {4, 7}, {4, 5}};
+  G.DeadlineTightness = 0.5;
+  return G;
+}
+
+TaskGraph chain4Late() {
+  TaskGraph G;
+  G.Name = "chain4-late";
+  // The head overruns its profile by 25%; the re-planner must speed up
+  // the survivors to keep the (looser) deadline.
+  G.Nodes = {node("head", "gsm", 1.25), node("mid0", "adpcm", 0.9),
+             node("mid1", "mpg123", 0.85),
+             node("tail", "mpeg_decode", 0.9)};
+  G.Edges = {{0, 1}, {1, 2}, {2, 3}};
+  G.DeadlineTightness = 0.6;
+  return G;
+}
+
+} // namespace
+
+std::vector<TaskGraph> cannedTaskGraphs() {
+  return {pair2Early(),     chain4Early(), diamond4Early(),
+          forkjoin6Mixed(), wide8Layers(), chain4Late()};
+}
+
+ErrorOr<TaskGraph> cannedTaskGraph(const std::string &Name) {
+  std::string Known;
+  for (TaskGraph &G : cannedTaskGraphs()) {
+    if (G.Name == Name)
+      return G;
+    if (!Known.empty())
+      Known += ", ";
+    Known += G.Name;
+  }
+  return makeError("unknown canned task graph '" + Name + "' (known: " +
+                   Known + ")");
+}
+
+} // namespace taskgraph
+} // namespace cdvs

@@ -1,0 +1,41 @@
+//===- taskgraph/Generator.h - Canned graph instances -----------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic set of task-graph instances over the Section 6
+/// workloads (adpcm, epic, gsm, mpg123, mpeg_decode) — the shared
+/// corpus of the taskgraph tests, `dvsd --taskgraph`, the dvs-loadgen
+/// graph mode, and bench_taskgraph (BENCH_taskgraph.json). Shapes cover
+/// chains, a diamond, a fork-join, and a 3-layer wide graph; every
+/// instance but `chain4-late` has all ActualFactors <= 1 (tasks finish
+/// early, so the online mode must reclaim slack and never spend more
+/// profiled energy than the static plan), while `chain4-late` overruns
+/// its first task to exercise the forced-accept branch of the
+/// monotonicity guard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_TASKGRAPH_GENERATOR_H
+#define CDVS_TASKGRAPH_GENERATOR_H
+
+#include "support/Error.h"
+#include "taskgraph/TaskGraph.h"
+
+#include <vector>
+
+namespace cdvs {
+namespace taskgraph {
+
+/// All canned instances, in a fixed order.
+std::vector<TaskGraph> cannedTaskGraphs();
+
+/// Lookup by TaskGraph::Name; errors naming the known set on a miss.
+ErrorOr<TaskGraph> cannedTaskGraph(const std::string &Name);
+
+} // namespace taskgraph
+} // namespace cdvs
+
+#endif // CDVS_TASKGRAPH_GENERATOR_H

@@ -1,0 +1,239 @@
+//===- taskgraph/Online.cpp - Online slack reclamation --------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "taskgraph/Online.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace cdvs {
+namespace taskgraph {
+
+namespace {
+
+struct OnlineMetrics {
+  obs::Counter &Replans;
+  obs::Counter &ReplansAccepted;
+  obs::Counter &EnergySaved;
+  OnlineMetrics()
+      : Replans(obs::metrics().counter(
+            "cdvs_taskgraph_replans_total",
+            "Task-graph re-solves attempted at completion events")),
+        ReplansAccepted(obs::metrics().counter(
+            "cdvs_taskgraph_replans_accepted_total",
+            "Task-graph re-solves that replaced the incumbent assignment")),
+        EnergySaved(obs::metrics().counter(
+            "cdvs_taskgraph_energy_saved_joules_total",
+            "Profiled energy reclaimed by online re-planning vs the "
+            "static plan")) {}
+};
+
+OnlineMetrics &onlineMetrics() {
+  static OnlineMetrics M;
+  return M;
+}
+
+enum class TaskState { NotStarted, Running, Done };
+
+void appendG17(std::string &Out, double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+/// Left-shifted makespan of the NotStarted subset under \p Modes and
+/// \p Release; the incumbent-feasibility probe of the monotonicity
+/// guard.
+double incumbentMakespan(const TaskGraph &G, const TaskCosts &Costs,
+                         const std::vector<int> &Order,
+                         const std::vector<std::vector<int>> &Pred,
+                         const std::vector<TaskState> &State,
+                         const std::vector<int> &Modes,
+                         const std::vector<double> &Release) {
+  std::vector<double> Finish(G.Nodes.size(), 0.0);
+  double Makespan = 0.0;
+  for (int N : Order) {
+    if (State[N] != TaskState::NotStarted)
+      continue;
+    double Start = Release[N];
+    for (int P : Pred[N])
+      if (State[P] == TaskState::NotStarted)
+        Start = std::max(Start, Finish[P]);
+    Finish[N] = Start + Costs.TimeAtMode[N][Modes[N]];
+    Makespan = std::max(Makespan, Finish[N]);
+  }
+  return Makespan;
+}
+
+} // namespace
+
+OnlineResult runOnline(const TaskGraph &G, const TaskCosts &Costs,
+                       double DeadlineSeconds, const OnlineOptions &Opts) {
+  OnlineResult R;
+  R.DeadlineSeconds = DeadlineSeconds;
+  ErrorOr<std::vector<int>> OrderOr = topoOrder(G);
+  if (!OrderOr)
+    return R;
+  const std::vector<int> &Order = *OrderOr;
+  const int NumNodes = static_cast<int>(G.Nodes.size());
+  std::vector<std::vector<int>> Pred = predecessorsOf(G);
+  std::vector<std::vector<int>> Succ = successorsOf(G);
+
+  R.StaticPlan = planTaskGraph(G, Costs, DeadlineSeconds, Opts.Planner);
+  if (!R.StaticPlan.Feasible)
+    return R;
+  R.Feasible = true;
+  R.StaticEnergyJoules = R.StaticPlan.PlannedEnergyJoules;
+
+  std::vector<int> Modes(NumNodes);
+  for (int I = 0; I < NumNodes; ++I)
+    Modes[I] = R.StaticPlan.Tasks[I].Mode;
+
+  std::vector<TaskState> State(NumNodes, TaskState::NotStarted);
+  std::vector<int> UnfinishedPreds(NumNodes, 0);
+  for (int I = 0; I < NumNodes; ++I)
+    UnfinishedPreds[I] = static_cast<int>(Pred[I].size());
+  R.Tasks.assign(NumNodes, TaskExecRecord());
+
+  auto startTask = [&](int I, double Now) {
+    TaskExecRecord &T = R.Tasks[I];
+    T.Mode = Modes[I];
+    T.Start = Now;
+    T.PlannedSeconds = Costs.TimeAtMode[I][T.Mode];
+    T.ActualSeconds = T.PlannedSeconds * G.Nodes[I].ActualFactor;
+    T.Finish = Now + T.ActualSeconds;
+    T.PlannedEnergyJoules = Costs.EnergyAtMode[I][T.Mode];
+    T.ActualEnergyJoules = T.PlannedEnergyJoules * G.Nodes[I].ActualFactor;
+    State[I] = TaskState::Running;
+  };
+
+  for (int I = 0; I < NumNodes; ++I)
+    if (UnfinishedPreds[I] == 0)
+      startTask(I, 0.0);
+
+  int EventIndex = 0;
+  int DoneCount = 0;
+  while (DoneCount < NumNodes) {
+    // Next completion: smallest (finish, index) among running tasks.
+    int Next = -1;
+    for (int I = 0; I < NumNodes; ++I) {
+      if (State[I] != TaskState::Running)
+        continue;
+      if (Next < 0 || R.Tasks[I].Finish < R.Tasks[Next].Finish)
+        Next = I;
+    }
+    assert(Next >= 0 && "acyclic validated graph cannot stall");
+    double Now = R.Tasks[Next].Finish;
+    State[Next] = TaskState::Done;
+    ++DoneCount;
+    ++EventIndex;
+    for (int S : Succ[Next])
+      --UnfinishedPreds[S];
+
+    int Remaining = NumNodes - DoneCount;
+    int Unstarted = 0;
+    for (int I = 0; I < NumNodes; ++I)
+      if (State[I] == TaskState::NotStarted)
+        ++Unstarted;
+
+    if (Opts.Replan && Unstarted > 0) {
+      obs::TraceSpan Span("replan", "taskgraph");
+      Span.arg("event", EventIndex);
+      Span.arg("unstarted", Unstarted);
+      ++R.Replans;
+      onlineMetrics().Replans.inc();
+
+      std::vector<char> Plannable(NumNodes, 0);
+      std::vector<double> Release(NumNodes, 0.0);
+      for (int I = 0; I < NumNodes; ++I) {
+        if (State[I] != TaskState::NotStarted)
+          continue;
+        Plannable[I] = 1;
+        double Rel = Now; // nothing can start in the past
+        for (int P : Pred[I]) {
+          if (State[P] == TaskState::Done)
+            Rel = std::max(Rel, R.Tasks[P].Finish);
+          else if (State[P] == TaskState::Running)
+            // Profiled prediction for the running predecessor; an
+            // overrunning task keeps pushing this forward as "now".
+            Rel = std::max(Rel, std::max(Now, R.Tasks[P].Start +
+                                                  R.Tasks[P].PlannedSeconds));
+        }
+        Release[I] = Rel;
+      }
+
+      double IncumbentEnergy = 0.0;
+      for (int I = 0; I < NumNodes; ++I)
+        if (State[I] == TaskState::NotStarted)
+          IncumbentEnergy += Costs.EnergyAtMode[I][Modes[I]];
+      bool IncumbentFeasible =
+          incumbentMakespan(G, Costs, Order, Pred, State, Modes, Release) <=
+          DeadlineSeconds + 1e-9;
+
+      TaskPlan NewPlan = planTaskGraph(G, Costs, DeadlineSeconds,
+                                       Opts.Planner, Plannable, Release);
+      const char *Decision;
+      double ChosenEnergy = IncumbentEnergy;
+      if (NewPlan.Feasible &&
+          (!IncumbentFeasible ||
+           NewPlan.PlannedEnergyJoules <= IncumbentEnergy + 1e-12)) {
+        for (int I = 0; I < NumNodes; ++I)
+          if (State[I] == TaskState::NotStarted)
+            Modes[I] = NewPlan.Tasks[I].Mode;
+        ++R.ReplansAccepted;
+        onlineMetrics().ReplansAccepted.inc();
+        Decision = "accept";
+        ChosenEnergy = NewPlan.PlannedEnergyJoules;
+      } else if (!NewPlan.Feasible) {
+        Decision = "infeasible";
+      } else {
+        Decision = "keep";
+      }
+      Span.arg("accepted", Decision[0] == 'a' ? 1.0 : 0.0);
+
+      R.ReplanLog += "event ";
+      R.ReplanLog += std::to_string(EventIndex);
+      R.ReplanLog += " done ";
+      R.ReplanLog += G.Nodes[Next].Name;
+      R.ReplanLog += " t ";
+      appendG17(R.ReplanLog, Now);
+      R.ReplanLog += " remaining ";
+      R.ReplanLog += std::to_string(Remaining);
+      R.ReplanLog += " replan ";
+      R.ReplanLog += Decision;
+      R.ReplanLog += " energy ";
+      appendG17(R.ReplanLog, IncumbentEnergy);
+      R.ReplanLog += " -> ";
+      appendG17(R.ReplanLog, ChosenEnergy);
+      R.ReplanLog += "\n";
+    }
+
+    // Start everything that just became ready (in index order; starts
+    // share the same timestamp so order is cosmetic but fixed).
+    for (int I = 0; I < NumNodes; ++I)
+      if (State[I] == TaskState::NotStarted && UnfinishedPreds[I] == 0)
+        startTask(I, std::max(Now, 0.0));
+  }
+
+  for (int I = 0; I < NumNodes; ++I) {
+    const TaskExecRecord &T = R.Tasks[I];
+    R.PlannedEnergyJoules += T.PlannedEnergyJoules;
+    R.ActualEnergyJoules += T.ActualEnergyJoules;
+    R.MakespanSeconds = std::max(R.MakespanSeconds, T.Finish);
+  }
+  R.DeadlineMet = R.MakespanSeconds <= DeadlineSeconds + 1e-9;
+  if (Opts.Replan && R.StaticEnergyJoules > R.PlannedEnergyJoules)
+    onlineMetrics().EnergySaved.inc(R.StaticEnergyJoules -
+                                    R.PlannedEnergyJoules);
+  return R;
+}
+
+} // namespace taskgraph
+} // namespace cdvs

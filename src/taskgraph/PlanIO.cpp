@@ -1,0 +1,194 @@
+//===- taskgraph/PlanIO.cpp - Task-plan serialization ---------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "taskgraph/PlanIO.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cdvs {
+namespace taskgraph {
+
+namespace {
+
+std::string g17(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string writeTaskPlan(const TaskGraph &G, const OnlineResult &R) {
+  std::string Out;
+  Out += "cdvs-taskplan v1\n";
+  Out += "graph " + G.Name + "\n";
+  Out += "deadline " + g17(R.DeadlineSeconds) + "\n";
+  Out += "tasks " + std::to_string(R.Tasks.size()) + "\n";
+  for (size_t I = 0; I < R.Tasks.size(); ++I) {
+    const TaskExecRecord &T = R.Tasks[I];
+    Out += "task " + G.Nodes[I].Name + " mode " + std::to_string(T.Mode) +
+           " start " + g17(T.Start) + " finish " + g17(T.Finish) +
+           " actual " + g17(T.ActualSeconds) + " energy " +
+           g17(T.PlannedEnergyJoules) + "\n";
+  }
+  Out += "replans " + std::to_string(R.Replans) + " accepted " +
+         std::to_string(R.ReplansAccepted) + "\n";
+  size_t LogLines = 0;
+  for (char C : R.ReplanLog)
+    if (C == '\n')
+      ++LogLines;
+  Out += "log " + std::to_string(LogLines) + "\n";
+  Out += R.ReplanLog;
+  Out += "static_energy " + g17(R.StaticEnergyJoules) + "\n";
+  Out += "planned_energy " + g17(R.PlannedEnergyJoules) + "\n";
+  Out += "actual_energy " + g17(R.ActualEnergyJoules) + "\n";
+  Out += "makespan " + g17(R.MakespanSeconds) + "\n";
+  Out += std::string("deadline_met ") + (R.DeadlineMet ? "1" : "0") + "\n";
+  Out += "end\n";
+  return Out;
+}
+
+ErrorOr<OnlineResult> readTaskPlan(const std::string &Text,
+                                   std::vector<std::string> *TaskNames) {
+  std::istringstream In(Text);
+  std::string Line;
+  int LineNo = 0;
+  auto fail = [&](const std::string &What) {
+    return makeError("taskplan line " + std::to_string(LineNo) + ": " + What);
+  };
+  auto nextLine = [&]() -> bool {
+    if (!std::getline(In, Line))
+      return false;
+    ++LineNo;
+    return true;
+  };
+
+  if (!nextLine() || Line != "cdvs-taskplan v1")
+    return fail("expected header 'cdvs-taskplan v1'");
+
+  OnlineResult R;
+  R.Feasible = true;
+  std::vector<std::string> Names;
+
+  if (!nextLine())
+    return fail("truncated before 'graph'");
+  {
+    std::istringstream L(Line);
+    std::string Kw, Name;
+    if (!(L >> Kw >> Name) || Kw != "graph")
+      return fail("expected 'graph <name>'");
+  }
+  if (!nextLine())
+    return fail("truncated before 'deadline'");
+  {
+    std::istringstream L(Line);
+    std::string Kw;
+    if (!(L >> Kw >> R.DeadlineSeconds) || Kw != "deadline")
+      return fail("expected 'deadline <seconds>'");
+  }
+  size_t NumTasks = 0;
+  if (!nextLine())
+    return fail("truncated before 'tasks'");
+  {
+    std::istringstream L(Line);
+    std::string Kw;
+    if (!(L >> Kw >> NumTasks) || Kw != "tasks")
+      return fail("expected 'tasks <n>'");
+  }
+  for (size_t I = 0; I < NumTasks; ++I) {
+    if (!nextLine())
+      return fail("truncated task list");
+    std::istringstream L(Line);
+    std::string Kw, Name, KMode, KStart, KFinish, KActual, KEnergy;
+    TaskExecRecord T;
+    if (!(L >> Kw >> Name >> KMode >> T.Mode >> KStart >> T.Start >>
+          KFinish >> T.Finish >> KActual >> T.ActualSeconds >> KEnergy >>
+          T.PlannedEnergyJoules) ||
+        Kw != "task" || KMode != "mode" || KStart != "start" ||
+        KFinish != "finish" || KActual != "actual" || KEnergy != "energy")
+      return fail("malformed task line");
+    if (T.Mode < 0)
+      return fail("negative mode index");
+    T.ActualEnergyJoules = 0.0; // not serialized per task
+    T.PlannedSeconds = 0.0;
+    Names.push_back(Name);
+    R.Tasks.push_back(T);
+  }
+  if (!nextLine())
+    return fail("truncated before 'replans'");
+  {
+    std::istringstream L(Line);
+    std::string Kw, KAcc;
+    if (!(L >> Kw >> R.Replans >> KAcc >> R.ReplansAccepted) ||
+        Kw != "replans" || KAcc != "accepted")
+      return fail("expected 'replans <n> accepted <k>'");
+  }
+  size_t LogLines = 0;
+  if (!nextLine())
+    return fail("truncated before 'log'");
+  {
+    std::istringstream L(Line);
+    std::string Kw;
+    if (!(L >> Kw >> LogLines) || Kw != "log")
+      return fail("expected 'log <lines>'");
+  }
+  for (size_t I = 0; I < LogLines; ++I) {
+    if (!nextLine())
+      return fail("truncated replan log");
+    R.ReplanLog += Line;
+    R.ReplanLog += "\n";
+  }
+  auto scalar = [&](const char *Kw, double &Out) -> std::string {
+    if (!nextLine())
+      return std::string("truncated before '") + Kw + "'";
+    std::istringstream L(Line);
+    std::string K;
+    if (!(L >> K >> Out) || K != Kw)
+      return std::string("expected '") + Kw + " <value>'";
+    return "";
+  };
+  std::string E;
+  if (!(E = scalar("static_energy", R.StaticEnergyJoules)).empty())
+    return fail(E);
+  if (!(E = scalar("planned_energy", R.PlannedEnergyJoules)).empty())
+    return fail(E);
+  if (!(E = scalar("actual_energy", R.ActualEnergyJoules)).empty())
+    return fail(E);
+  if (!(E = scalar("makespan", R.MakespanSeconds)).empty())
+    return fail(E);
+  int Met = 0;
+  {
+    if (!nextLine())
+      return fail("truncated before 'deadline_met'");
+    std::istringstream L(Line);
+    std::string K;
+    if (!(L >> K >> Met) || K != "deadline_met" || (Met != 0 && Met != 1))
+      return fail("expected 'deadline_met <0|1>'");
+    R.DeadlineMet = Met == 1;
+  }
+  if (!nextLine() || Line != "end")
+    return fail("expected trailing 'end'");
+  if (TaskNames)
+    *TaskNames = std::move(Names);
+  return R;
+}
+
+ErrorOr<bool> writeTaskPlanFile(const std::string &Path, const TaskGraph &G,
+                                const OnlineResult &R) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return makeError("cannot open '" + Path + "' for writing");
+  Out << writeTaskPlan(G, R);
+  Out.flush();
+  if (!Out)
+    return makeError("write to '" + Path + "' failed");
+  return true;
+}
+
+} // namespace taskgraph
+} // namespace cdvs

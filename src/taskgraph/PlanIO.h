@@ -1,0 +1,63 @@
+//===- taskgraph/PlanIO.h - Task-plan serialization -------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical `cdvs-taskplan v1` text format — the task-graph
+/// sibling of dvs/ScheduleIO.h's `cdvs-schedule v1`:
+///
+///   cdvs-taskplan v1
+///   graph <name>
+///   deadline <%.17g>
+///   tasks <n>
+///   task <name> mode <m> start <s> finish <f> actual <a> energy <e>  x n
+///   replans <attempted> accepted <k>
+///   log <lines>
+///   <replan log lines>                                               x lines
+///   static_energy <%.17g>
+///   planned_energy <%.17g>
+///   actual_energy <%.17g>
+///   makespan <%.17g>
+///   deadline_met <0|1>
+///   end
+///
+/// Tasks appear in node-index order; every float is %.17g, so equal
+/// results serialize byte-identically — the service cache and the
+/// determinism gates compare plans by string equality, and
+/// write(read(write(R))) == write(R).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_TASKGRAPH_PLANIO_H
+#define CDVS_TASKGRAPH_PLANIO_H
+
+#include "support/Error.h"
+#include "taskgraph/Online.h"
+
+#include <string>
+
+namespace cdvs {
+namespace taskgraph {
+
+/// Serializes \p R (an executed plan for \p G) canonically; see the
+/// file comment.
+std::string writeTaskPlan(const TaskGraph &G, const OnlineResult &R);
+
+/// Parses a `cdvs-taskplan v1` document back into an OnlineResult plus
+/// the task names it recorded (returned through \p TaskNames when
+/// non-null). Errors name the offending line. The StaticPlan member is
+/// not serialized and comes back empty.
+ErrorOr<OnlineResult> readTaskPlan(const std::string &Text,
+                                   std::vector<std::string> *TaskNames =
+                                       nullptr);
+
+/// writeTaskPlan straight to \p Path; errors on I/O failure.
+ErrorOr<bool> writeTaskPlanFile(const std::string &Path, const TaskGraph &G,
+                                const OnlineResult &R);
+
+} // namespace taskgraph
+} // namespace cdvs
+
+#endif // CDVS_TASKGRAPH_PLANIO_H

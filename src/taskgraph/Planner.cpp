@@ -1,0 +1,181 @@
+//===- taskgraph/Planner.cpp - Interval MILP over a task graph ------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "taskgraph/Planner.h"
+
+#include "lp/LpProblem.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cdvs {
+namespace taskgraph {
+
+double criticalPathSeconds(const TaskGraph &G, const TaskCosts &Costs,
+                           int Mode) {
+  ErrorOr<std::vector<int>> Order = topoOrder(G);
+  if (!Order)
+    return 0.0;
+  std::vector<std::vector<int>> Pred = predecessorsOf(G);
+  std::vector<double> Finish(G.Nodes.size(), 0.0);
+  double Longest = 0.0;
+  for (int N : *Order) {
+    double Start = 0.0;
+    for (int P : Pred[N])
+      Start = std::max(Start, Finish[P]);
+    const std::vector<double> &T = Costs.TimeAtMode[N];
+    double Dur = Mode < 0 ? T.back() : T[Mode];
+    Finish[N] = Start + Dur;
+    Longest = std::max(Longest, Finish[N]);
+  }
+  return Longest;
+}
+
+TaskPlan planTaskGraph(const TaskGraph &G, const TaskCosts &Costs,
+                       double DeadlineSeconds, const PlannerOptions &Opts,
+                       const std::vector<char> &Plannable,
+                       const std::vector<double> &ReleaseSeconds) {
+  TaskPlan Plan;
+  const int NumNodes = static_cast<int>(G.Nodes.size());
+  const int NumModes = Costs.numModes();
+  assert(static_cast<int>(Costs.TimeAtMode.size()) == NumNodes &&
+         static_cast<int>(Costs.EnergyAtMode.size()) == NumNodes &&
+         NumModes > 0 && "costs must cover every node");
+  ErrorOr<std::vector<int>> Order = topoOrder(G);
+  if (!Order) {
+    Plan.Status = MilpStatus::Infeasible;
+    return Plan;
+  }
+  std::vector<char> Plan_(NumNodes, 1);
+  if (!Plannable.empty()) {
+    assert(static_cast<int>(Plannable.size()) == NumNodes);
+    Plan_ = Plannable;
+  }
+  std::vector<double> Release(NumNodes, 0.0);
+  if (!ReleaseSeconds.empty()) {
+    assert(static_cast<int>(ReleaseSeconds.size()) == NumNodes);
+    Release = ReleaseSeconds;
+  }
+  Plan.Tasks.assign(NumNodes, TaskDecision());
+
+  int NumPlanned = 0;
+  for (int I = 0; I < NumNodes; ++I)
+    if (Plan_[I])
+      ++NumPlanned;
+  if (NumPlanned == 0) {
+    // Nothing left to decide: trivially feasible, zero planned energy.
+    Plan.Status = MilpStatus::Optimal;
+    Plan.Feasible = true;
+    return Plan;
+  }
+
+  // Build the MILP. Variable layout: per plannable task, NumModes mode
+  // binaries followed by one completion variable.
+  LpProblem P;
+  std::vector<int> ModeVarBase(NumNodes, -1), CompletionVar(NumNodes, -1);
+  std::vector<int> IntegerVars;
+  IntegerVars.reserve(static_cast<size_t>(NumPlanned) * NumModes);
+  for (int I = 0; I < NumNodes; ++I) {
+    if (!Plan_[I])
+      continue;
+    ModeVarBase[I] = P.numVariables();
+    for (int M = 0; M < NumModes; ++M) {
+      int V = P.addVariable(0.0, 1.0, Costs.EnergyAtMode[I][M],
+                            "k_" + G.Nodes[I].Name + "_" +
+                                std::to_string(M));
+      IntegerVars.push_back(V);
+    }
+    CompletionVar[I] = P.addVariable(0.0, DeadlineSeconds, 0.0,
+                                     "C_" + G.Nodes[I].Name);
+  }
+  std::vector<LpTerm> Terms;
+  for (int I = 0; I < NumNodes; ++I) {
+    if (!Plan_[I])
+      continue;
+    // sum_m k[i][m] == 1
+    Terms.clear();
+    for (int M = 0; M < NumModes; ++M)
+      Terms.push_back({ModeVarBase[I] + M, 1.0});
+    P.addRow(RowSense::EQ, 1.0, Terms);
+    // release: C_i - sum_m T[i][m] k[i][m] >= R_i
+    Terms.clear();
+    Terms.push_back({CompletionVar[I], 1.0});
+    for (int M = 0; M < NumModes; ++M)
+      Terms.push_back({ModeVarBase[I] + M, -Costs.TimeAtMode[I][M]});
+    P.addRow(RowSense::GE, Release[I], Terms);
+  }
+  for (const auto &E : G.Edges) {
+    int J = E.first, I = E.second;
+    if (!Plan_[I] || !Plan_[J])
+      continue; // non-plannable endpoints act through Release instead
+    // precedence: C_i - C_j - sum_m T[i][m] k[i][m] >= 0
+    Terms.clear();
+    Terms.push_back({CompletionVar[I], 1.0});
+    Terms.push_back({CompletionVar[J], -1.0});
+    for (int M = 0; M < NumModes; ++M)
+      Terms.push_back({ModeVarBase[I] + M, -Costs.TimeAtMode[I][M]});
+    P.addRow(RowSense::GE, 0.0, Terms);
+  }
+
+  MilpSolver Solver(P, IntegerVars, Opts.Milp);
+  for (int I = 0; I < NumNodes; ++I) {
+    if (!Plan_[I])
+      continue;
+    std::vector<int> Group(NumModes);
+    for (int M = 0; M < NumModes; ++M)
+      Group[M] = ModeVarBase[I] + M;
+    Solver.addSos1Group(Group);
+  }
+  MilpSolution Sol = Solver.solve();
+  Plan.Status = Sol.Status;
+  Plan.Nodes = Sol.Nodes;
+  Plan.SolveSeconds = Sol.SolveSeconds;
+  if (Sol.Status != MilpStatus::Optimal && Sol.Status != MilpStatus::Feasible)
+    return Plan;
+  Plan.Feasible = true;
+
+  // Decode modes: the unique binary at ~1 in each SOS1 group.
+  for (int I = 0; I < NumNodes; ++I) {
+    if (!Plan_[I])
+      continue;
+    int Best = 0;
+    double BestVal = -1.0;
+    for (int M = 0; M < NumModes; ++M) {
+      double V = Sol.X[ModeVarBase[I] + M];
+      if (V > BestVal) {
+        BestVal = V;
+        Best = M;
+      }
+    }
+    TaskDecision &D = Plan.Tasks[I];
+    D.Mode = Best;
+    D.PlannedSeconds = Costs.TimeAtMode[I][Best];
+    D.PlannedEnergyJoules = Costs.EnergyAtMode[I][Best];
+  }
+
+  // Left-shift: canonical start/finish from releases + precedence in
+  // topological order. Never later than the MILP's completion point.
+  std::vector<std::vector<int>> Pred = predecessorsOf(G);
+  for (int N : *Order) {
+    TaskDecision &D = Plan.Tasks[N];
+    if (D.Mode < 0)
+      continue;
+    double Start = Release[N];
+    for (int Pn : Pred[N])
+      if (Plan_[Pn] && Plan.Tasks[Pn].Mode >= 0)
+        Start = std::max(Start, Plan.Tasks[Pn].Finish);
+    D.Start = Start;
+    D.Finish = Start + D.PlannedSeconds;
+    Plan.MakespanSeconds = std::max(Plan.MakespanSeconds, D.Finish);
+    Plan.PlannedEnergyJoules += D.PlannedEnergyJoules;
+  }
+  return Plan;
+}
+
+} // namespace taskgraph
+} // namespace cdvs

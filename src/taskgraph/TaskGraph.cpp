@@ -1,0 +1,165 @@
+//===- taskgraph/TaskGraph.cpp - DAG workload model -----------------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "taskgraph/TaskGraph.h"
+
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+namespace cdvs {
+namespace taskgraph {
+
+ErrorOr<bool> validateGraph(const TaskGraph &G) {
+  if (G.Nodes.empty())
+    return makeError("task graph '" + G.Name + "' has no nodes");
+  std::unordered_set<std::string> Names;
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    const TaskNode &N = G.Nodes[I];
+    if (N.Name.empty())
+      return makeError("task graph '" + G.Name + "': node " +
+                       std::to_string(I) + " has an empty name");
+    for (char C : N.Name)
+      if (!(std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+            C == '-' || C == '.'))
+        return makeError("task graph '" + G.Name + "': task name '" +
+                         N.Name +
+                         "' contains characters outside [A-Za-z0-9_.-]");
+    if (!Names.insert(N.Name).second)
+      return makeError("task graph '" + G.Name + "': duplicate task name '" +
+                       N.Name + "'");
+    if (N.Workload.empty())
+      return makeError("task graph '" + G.Name + "': task '" + N.Name +
+                       "' has an empty workload");
+    if (!(N.ActualFactor > 0.0) || !std::isfinite(N.ActualFactor))
+      return makeError("task graph '" + G.Name + "': task '" + N.Name +
+                       "' has non-positive or non-finite actual factor");
+  }
+  const int NumNodes = static_cast<int>(G.Nodes.size());
+  std::set<std::pair<int, int>> Seen;
+  for (const auto &E : G.Edges) {
+    if (E.first < 0 || E.first >= NumNodes || E.second < 0 ||
+        E.second >= NumNodes)
+      return makeError("task graph '" + G.Name + "': edge (" +
+                       std::to_string(E.first) + ", " +
+                       std::to_string(E.second) + ") is out of range");
+    if (E.first == E.second)
+      return makeError("task graph '" + G.Name + "': self edge on task '" +
+                       G.Nodes[E.first].Name + "'");
+    if (!Seen.insert(E).second)
+      return makeError("task graph '" + G.Name + "': duplicate edge (" +
+                       G.Nodes[E.first].Name + " -> " +
+                       G.Nodes[E.second].Name + ")");
+  }
+  // Acyclicity falls out of Kahn's algorithm below; run it here so a
+  // caller that only validates still rejects cyclic graphs.
+  std::vector<int> InDegree(NumNodes, 0);
+  for (const auto &E : G.Edges)
+    ++InDegree[E.second];
+  std::priority_queue<int, std::vector<int>, std::greater<int>> Ready;
+  for (int I = 0; I < NumNodes; ++I)
+    if (InDegree[I] == 0)
+      Ready.push(I);
+  std::vector<std::vector<int>> Succ(NumNodes);
+  for (const auto &E : G.Edges)
+    Succ[E.first].push_back(E.second);
+  int Emitted = 0;
+  while (!Ready.empty()) {
+    int N = Ready.top();
+    Ready.pop();
+    ++Emitted;
+    for (int S : Succ[N])
+      if (--InDegree[S] == 0)
+        Ready.push(S);
+  }
+  if (Emitted != NumNodes)
+    return makeError("task graph '" + G.Name + "' has a precedence cycle");
+  return true;
+}
+
+ErrorOr<std::vector<int>> topoOrder(const TaskGraph &G) {
+  ErrorOr<bool> Valid = validateGraph(G);
+  if (!Valid)
+    return makeError(Valid.message());
+  const int NumNodes = static_cast<int>(G.Nodes.size());
+  std::vector<int> InDegree(NumNodes, 0);
+  std::vector<std::vector<int>> Succ(NumNodes);
+  for (const auto &E : G.Edges) {
+    ++InDegree[E.second];
+    Succ[E.first].push_back(E.second);
+  }
+  std::priority_queue<int, std::vector<int>, std::greater<int>> Ready;
+  for (int I = 0; I < NumNodes; ++I)
+    if (InDegree[I] == 0)
+      Ready.push(I);
+  std::vector<int> Order;
+  Order.reserve(NumNodes);
+  while (!Ready.empty()) {
+    int N = Ready.top();
+    Ready.pop();
+    Order.push_back(N);
+    for (int S : Succ[N])
+      if (--InDegree[S] == 0)
+        Ready.push(S);
+  }
+  return Order;
+}
+
+std::vector<std::vector<int>> predecessorsOf(const TaskGraph &G) {
+  std::vector<std::vector<int>> Pred(G.Nodes.size());
+  for (const auto &E : G.Edges)
+    Pred[E.second].push_back(E.first);
+  for (auto &P : Pred)
+    std::sort(P.begin(), P.end());
+  return Pred;
+}
+
+std::vector<std::vector<int>> successorsOf(const TaskGraph &G) {
+  std::vector<std::vector<int>> Succ(G.Nodes.size());
+  for (const auto &E : G.Edges)
+    Succ[E.first].push_back(E.second);
+  for (auto &S : Succ)
+    std::sort(S.begin(), S.end());
+  return Succ;
+}
+
+Fingerprint128 fingerprintTaskGraph(const TaskGraph &G) {
+  HashBuilder H;
+  H.add(std::string("cdvs-taskgraph-v1"));
+  H.add(G.Name);
+  H.add(static_cast<uint64_t>(G.Nodes.size()));
+  for (const TaskNode &N : G.Nodes) {
+    H.add(N.Name);
+    H.add(N.Workload);
+    H.add(N.Input);
+    H.add(N.ActualFactor);
+  }
+  std::vector<std::pair<int, int>> Edges = G.Edges;
+  std::sort(Edges.begin(), Edges.end());
+  H.add(static_cast<uint64_t>(Edges.size()));
+  for (const auto &E : Edges) {
+    H.add(static_cast<int64_t>(E.first));
+    H.add(static_cast<int64_t>(E.second));
+  }
+  if (G.DeadlineSeconds > 0) {
+    H.add(static_cast<uint64_t>(1));
+    H.add(G.DeadlineSeconds);
+  } else {
+    H.add(static_cast<uint64_t>(0));
+    H.add(G.DeadlineTightness);
+  }
+  Fingerprint128 F;
+  H.digestRaw(F.Hi, F.Lo);
+  return F;
+}
+
+} // namespace taskgraph
+} // namespace cdvs

@@ -1,0 +1,98 @@
+//===- taskgraph/TaskGraph.h - DAG workload model ----------------*- C++ -*-===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-task workload model: a DAG whose nodes are existing IR
+/// programs (workload + input name, profiled elsewhere), whose edges are
+/// precedence constraints, and which carries one shared deadline. This
+/// is the scenario space of Aupy et al. ("Reclaiming the energy of a
+/// schedule"): tasks run under unlimited parallelism — a task starts the
+/// instant all of its predecessors have finished — and the scheduler
+/// picks one discrete (V, f) mode per task so the whole graph meets the
+/// deadline at minimum energy.
+///
+/// Each node also carries an ActualFactor: the ratio of the task's
+/// *actual* runtime to its *profiled* runtime at whatever mode it runs
+/// in. The factor is hidden from the planner and revealed only when the
+/// task completes — it is what the online slack-reclamation loop
+/// (taskgraph/Online.h) reacts to.
+///
+/// The model is value-semantic and validated as a unit: validateGraph
+/// checks names, edge endpoints, and acyclicity, and topoOrder returns
+/// the canonical topological order (Kahn's algorithm, smallest node
+/// index first) that every downstream consumer iterates in, so planning
+/// and verification never disagree on tie-breaks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CDVS_TASKGRAPH_TASKGRAPH_H
+#define CDVS_TASKGRAPH_TASKGRAPH_H
+
+#include "milp/Fingerprint.h"
+#include "support/Error.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cdvs {
+namespace taskgraph {
+
+/// One task: a named reference to an IR program with a completion-time
+/// surprise factor.
+struct TaskNode {
+  std::string Name;     ///< unique within the graph
+  std::string Workload; ///< workloads::workloadByName key
+  std::string Input;    ///< input name; empty selects the default input
+  /// actual runtime / profiled runtime at the chosen mode, revealed at
+  /// completion. < 1 means the task finishes early (reclaimable slack),
+  /// > 1 means it overruns.
+  double ActualFactor = 1.0;
+};
+
+/// A DAG of tasks with precedence edges and one shared deadline.
+struct TaskGraph {
+  std::string Name;
+  std::vector<TaskNode> Nodes;
+  /// (Pred, Succ) node-index pairs: Succ may start only after Pred
+  /// finishes.
+  std::vector<std::pair<int, int>> Edges;
+  /// Absolute shared deadline in seconds; 0 means "derive from
+  /// DeadlineTightness" (the service's bound stage interpolates between
+  /// the all-fastest and all-slowest critical paths, mirroring the
+  /// single-program request contract).
+  double DeadlineSeconds = 0.0;
+  double DeadlineTightness = 0.5;
+};
+
+/// Structural validation: nonempty node list, unique nonempty names,
+/// in-range edge endpoints, no self edges, no duplicate edges, positive
+/// finite ActualFactor, and acyclicity. \returns true or the first
+/// violation found.
+ErrorOr<bool> validateGraph(const TaskGraph &G);
+
+/// Canonical topological order: Kahn's algorithm taking the smallest
+/// ready node index first. Errors on any validateGraph violation
+/// (including cycles). Deterministic for a given graph.
+ErrorOr<std::vector<int>> topoOrder(const TaskGraph &G);
+
+/// Predecessor lists indexed by node (each list sorted ascending).
+std::vector<std::vector<int>> predecessorsOf(const TaskGraph &G);
+
+/// Successor lists indexed by node (each list sorted ascending).
+std::vector<std::vector<int>> successorsOf(const TaskGraph &G);
+
+/// Content fingerprint over the normalized graph: version tag, name,
+/// nodes in index order (name, workload, input, actual factor), edges
+/// in sorted order, and the deadline knobs. Two graphs with equal
+/// content hash equal; the cluster routing key and the service result
+/// cache both key on this.
+Fingerprint128 fingerprintTaskGraph(const TaskGraph &G);
+
+} // namespace taskgraph
+} // namespace cdvs
+
+#endif // CDVS_TASKGRAPH_TASKGRAPH_H

@@ -1,0 +1,178 @@
+//===- verify/TaskGraphChecker.cpp - Task-plan legality audit -------------===//
+//
+// Part of the cdvs project (PLDI 2003 compile-time DVS reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/TaskGraphChecker.h"
+
+#include "support/Numeric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace cdvs {
+namespace verify {
+
+namespace {
+
+const char *kPass = "taskgraph";
+
+bool closeRel(double A, double B, double Tol) {
+  double Scale = std::max({1.0, std::fabs(A), std::fabs(B)});
+  return std::fabs(A - B) <= Tol * Scale;
+}
+
+std::string fmt(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+} // namespace
+
+Report checkTaskPlan(const taskgraph::TaskGraph &G,
+                     const taskgraph::TaskCosts &Costs,
+                     double DeadlineSeconds,
+                     const taskgraph::OnlineResult &R, double Tolerance,
+                     TaskGraphCheck *Out) {
+  Report Rep;
+  TaskGraphCheck Check;
+
+  ErrorOr<bool> Valid = taskgraph::validateGraph(G);
+  if (!Valid) {
+    Rep.error(kPass, G.Name, Valid.message());
+    if (Out)
+      *Out = Check;
+    return Rep;
+  }
+  const size_t NumNodes = G.Nodes.size();
+  const int NumModes = Costs.numModes();
+  if (R.Tasks.size() != NumNodes) {
+    Rep.error(kPass, G.Name,
+              "plan covers " + std::to_string(R.Tasks.size()) +
+                  " tasks but the graph has " + std::to_string(NumNodes));
+    if (Out)
+      *Out = Check;
+    return Rep;
+  }
+  if (Costs.TimeAtMode.size() != NumNodes ||
+      Costs.EnergyAtMode.size() != NumNodes || NumModes == 0) {
+    Rep.error(kPass, G.Name, "cost table does not cover the graph");
+    if (Out)
+      *Out = Check;
+    return Rep;
+  }
+
+  // Absolute tolerance for timestamps, scaled to the deadline so a
+  // %.17g round trip never trips it.
+  double TimeTol = Tolerance * std::max(1.0, DeadlineSeconds);
+
+  KahanSum Planned, Actual;
+  for (size_t I = 0; I < NumNodes; ++I) {
+    const taskgraph::TaskExecRecord &T = R.Tasks[I];
+    const std::string &Loc = G.Nodes[I].Name;
+    if (T.Mode < 0 || T.Mode >= NumModes) {
+      Rep.error(kPass, Loc,
+                "illegal mode index " + std::to_string(T.Mode) + " (table has " +
+                    std::to_string(NumModes) + " modes)");
+      continue;
+    }
+    ++Check.TasksChecked;
+    if (T.Start < -TimeTol)
+      Rep.error(kPass, Loc, "starts before time zero (" + fmt(T.Start) + ")");
+    double WantDur =
+        Costs.TimeAtMode[I][T.Mode] * G.Nodes[I].ActualFactor;
+    if (!closeRel(T.ActualSeconds, WantDur, Tolerance))
+      Rep.error(kPass, Loc,
+                "actual duration " + fmt(T.ActualSeconds) +
+                    " != profiled x factor " + fmt(WantDur));
+    if (std::fabs((T.Finish - T.Start) - T.ActualSeconds) > TimeTol)
+      Rep.error(kPass, Loc,
+                "finish - start = " + fmt(T.Finish - T.Start) +
+                    " disagrees with actual duration " +
+                    fmt(T.ActualSeconds));
+    double WantEnergy = Costs.EnergyAtMode[I][T.Mode];
+    if (!closeRel(T.PlannedEnergyJoules, WantEnergy, Tolerance))
+      Rep.error(kPass, Loc,
+                "claimed planned energy " + fmt(T.PlannedEnergyJoules) +
+                    " != profiled energy at mode " + fmt(WantEnergy));
+    Planned.add(WantEnergy);
+    Actual.add(WantEnergy * G.Nodes[I].ActualFactor);
+    Check.MakespanSeconds = std::max(Check.MakespanSeconds, T.Finish);
+  }
+
+  for (const auto &E : G.Edges) {
+    const taskgraph::TaskExecRecord &P = R.Tasks[E.first];
+    const taskgraph::TaskExecRecord &S = R.Tasks[E.second];
+    if (S.Start < P.Finish - TimeTol)
+      Rep.error(kPass,
+                G.Nodes[E.first].Name + " -> " + G.Nodes[E.second].Name,
+                "successor starts at " + fmt(S.Start) +
+                    " before predecessor finishes at " + fmt(P.Finish));
+  }
+
+  if (Check.MakespanSeconds > DeadlineSeconds + TimeTol)
+    Rep.error(kPass, G.Name,
+              "shared deadline missed: makespan " +
+                  fmt(Check.MakespanSeconds) + " > deadline " +
+                  fmt(DeadlineSeconds));
+  bool RecomputedMet = Check.MakespanSeconds <= DeadlineSeconds + TimeTol;
+  if (R.DeadlineMet != RecomputedMet)
+    Rep.error(kPass, G.Name,
+              std::string("DeadlineMet claim (") +
+                  (R.DeadlineMet ? "true" : "false") +
+                  ") disagrees with the recomputed timeline");
+
+  Check.PlannedEnergyJoules = Planned.value();
+  Check.ActualEnergyJoules = Actual.value();
+  if (!closeRel(R.PlannedEnergyJoules, Check.PlannedEnergyJoules, Tolerance))
+    Rep.error(kPass, G.Name,
+              "claimed planned energy " + fmt(R.PlannedEnergyJoules) +
+                  " != recomputed " + fmt(Check.PlannedEnergyJoules));
+  if (!closeRel(R.ActualEnergyJoules, Check.ActualEnergyJoules, Tolerance))
+    Rep.error(kPass, G.Name,
+              "claimed actual energy " + fmt(R.ActualEnergyJoules) +
+                  " != recomputed " + fmt(Check.ActualEnergyJoules));
+  if (!closeRel(R.MakespanSeconds, Check.MakespanSeconds, Tolerance))
+    Rep.error(kPass, G.Name,
+              "claimed makespan " + fmt(R.MakespanSeconds) +
+                  " != recomputed " + fmt(Check.MakespanSeconds));
+
+  // The static plan rides along only on in-process results; recompute
+  // its energy when present, note the skip when not (text round trip).
+  if (R.StaticPlan.Tasks.size() == NumNodes && R.StaticPlan.Feasible) {
+    KahanSum Static;
+    for (size_t I = 0; I < NumNodes; ++I) {
+      int M = R.StaticPlan.Tasks[I].Mode;
+      if (M < 0 || M >= NumModes) {
+        Rep.error(kPass, G.Nodes[I].Name,
+                  "static plan has illegal mode " + std::to_string(M));
+        continue;
+      }
+      Static.add(Costs.EnergyAtMode[I][M]);
+    }
+    if (!closeRel(R.StaticEnergyJoules, Static.value(), Tolerance))
+      Rep.error(kPass, G.Name,
+                "claimed static energy " + fmt(R.StaticEnergyJoules) +
+                    " != recomputed " + fmt(Static.value()));
+  } else {
+    Rep.note(kPass, G.Name,
+             "static plan not attached; static energy taken on faith");
+  }
+
+  if (R.ReplansAccepted < 0 || R.Replans < 0 ||
+      R.ReplansAccepted > R.Replans)
+    Rep.error(kPass, G.Name,
+              "replan counters inconsistent: accepted " +
+                  std::to_string(R.ReplansAccepted) + " of " +
+                  std::to_string(R.Replans));
+
+  if (Out)
+    *Out = Check;
+  return Rep;
+}
+
+} // namespace verify
+} // namespace cdvs

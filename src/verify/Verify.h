@@ -15,6 +15,10 @@
 ///                            runs only when the scheduler presolved
 ///   pass 5  "static"       — checkStatic       (StaticChecker.h);
 ///                            dvs-lint --static only, not in the audit
+///   pass 6  "taskgraph"    — checkTaskPlan     (TaskGraphChecker.h);
+///                            task-graph jobs only, invoked by the
+///                            service's graph pipeline instead of
+///                            auditScheduleResult
 ///
 /// auditScheduleResult() runs all three over one ScheduleResult: the
 /// profiles it was derived from, the decoded assignment, and — when the

@@ -10,8 +10,11 @@
 
 #include "cluster/Key.h"
 
+#include "taskgraph/TaskGraph.h"
+
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -109,6 +112,68 @@ TEST(RequestKey, AbsoluteDeadlineWinsOverTightness) {
   // And an absolute deadline is a different instance than any
   // tightness-derived one.
   EXPECT_NE(requestKey(A), requestKey(baseRequest()));
+}
+
+JobRequest graphRequest() {
+  taskgraph::TaskGraph G;
+  G.Name = "pair";
+  G.Nodes = {{"a", "gsm", "", 1.0}, {"b", "adpcm", "", 0.5}};
+  G.Edges = {{0, 1}};
+  G.DeadlineTightness = 0.5;
+  JobRequest R;
+  R.Id = "graph-req";
+  R.Graph = std::make_shared<const taskgraph::TaskGraph>(std::move(G));
+  return R;
+}
+
+TEST(RequestKey, JobKindsNeverCollide) {
+  // The kind discriminator leads the hash, so a task-graph job and a
+  // single-program job can never land on the same key — not even a
+  // degenerate single-node graph over the same workload as a plain
+  // request with identical knobs.
+  EXPECT_NE(requestKey(graphRequest()), requestKey(baseRequest()));
+
+  JobRequest Single = baseRequest();
+  taskgraph::TaskGraph G;
+  G.Name = Single.Workload;
+  G.Nodes = {{"only", Single.Workload, "", 1.0}};
+  G.DeadlineTightness = Single.DeadlineTightness;
+  JobRequest AsGraph;
+  AsGraph.Id = Single.Id;
+  AsGraph.DeadlineTightness = Single.DeadlineTightness;
+  AsGraph.Graph = std::make_shared<const taskgraph::TaskGraph>(std::move(G));
+  EXPECT_NE(requestKey(AsGraph), requestKey(Single));
+}
+
+TEST(RequestKey, GraphKeysAreContentAddressedAndIdInsensitive) {
+  JobRequest A = graphRequest();
+  JobRequest B = graphRequest();
+  EXPECT_EQ(requestKey(A), requestKey(B));
+  B.Id = "some-other-id";
+  EXPECT_EQ(requestKey(A), requestKey(B));
+
+  // Anything that changes the planning instance moves the key: graph
+  // content, the mode-table knobs, and the replan discipline.
+  JobRequest C = graphRequest();
+  auto G = std::make_shared<taskgraph::TaskGraph>(*C.Graph);
+  G->Nodes[1].ActualFactor = 0.75;
+  C.Graph = G;
+  EXPECT_NE(requestKey(A), requestKey(C));
+
+  JobRequest D = graphRequest();
+  D.NumLevels = 5;
+  EXPECT_NE(requestKey(A), requestKey(D));
+
+  JobRequest E = graphRequest();
+  E.GraphReplan = false;
+  EXPECT_NE(requestKey(A), requestKey(E));
+
+  // Single-program-only knobs are dead weight on a graph job and must
+  // not shard-split it.
+  JobRequest F = graphRequest();
+  F.Workload = "ignored";
+  F.Categories = {{"x", 1.0}};
+  EXPECT_EQ(requestKey(A), requestKey(F));
 }
 
 TEST(RequestKey, EmptyCategoriesHaveACanonicalForm) {

@@ -20,11 +20,13 @@
 #include "net/EventLoop.h"
 #include "service/JobIO.h"
 #include "support/Clock.h"
+#include "taskgraph/Generator.h"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -265,6 +267,75 @@ TEST(NetServer, MalformedRequestJsonRejectsButKeepsTheConnection) {
 
   // A bad request is the client's problem, not a framing error — the
   // connection still works.
+  ErrorOr<uint64_t> Corr = C.ping();
+  ASSERT_TRUE(Corr.hasValue());
+  ErrorOr<Frame> Pong = C.readFrame(kFrameWaitMs);
+  ASSERT_TRUE(Pong.hasValue()) << Pong.message();
+  EXPECT_EQ(Pong->Type, FrameType::Pong);
+}
+
+JobRequest cannedGraphJob(const std::string &Id) {
+  ErrorOr<taskgraph::TaskGraph> G =
+      taskgraph::cannedTaskGraph("pair2-early");
+  EXPECT_TRUE(G.hasValue()) << G.message();
+  JobRequest R;
+  R.Id = Id;
+  R.Graph = std::make_shared<const taskgraph::TaskGraph>(std::move(*G));
+  return R;
+}
+
+TEST(NetServer, GraphJobsRoundTripOnGraphFrames) {
+  Server S(quickOptions());
+  startOrDie(S);
+  Client C = connectOrDie(S);
+
+  // call() picks the graph frame kind from the request and accepts the
+  // graph response kind; the result carries the task-plan pairing.
+  ErrorOr<JobResult> R = C.call(cannedGraphJob("g1"), kFrameWaitMs);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(R->Status, JobStatus::Done) << R->Reason;
+  EXPECT_GE(R->Replans, 1);
+  EXPECT_EQ(R->ScheduleText.rfind("cdvs-taskplan v1\n", 0), 0u);
+  EXPECT_LE(R->PredictedEnergyJoules, R->StaticEnergyJoules);
+
+  // And the same job again is a cache hit across the wire.
+  ErrorOr<JobResult> R2 = C.call(cannedGraphJob("g2"), kFrameWaitMs);
+  ASSERT_TRUE(R2.hasValue()) << R2.message();
+  EXPECT_TRUE(R2->CacheHit);
+  EXPECT_EQ(R2->ScheduleText, R->ScheduleText);
+}
+
+TEST(NetServer, FrameKindMustMatchPayloadKind) {
+  // A graph payload on a plain Request frame (and vice versa) is a
+  // malformed request: routers key graph jobs off the frame type alone,
+  // so a mismatch would silently shard-split the cache. Reject, keep
+  // the connection.
+  Server S(quickOptions());
+  startOrDie(S);
+  Client C = connectOrDie(S);
+
+  std::string GraphPayload = jobRequestToJson(cannedGraphJob("m1"));
+  std::string F = encodeFrame(FrameType::Request, 21, GraphPayload);
+  ASSERT_TRUE(C.sendRaw(F.data(), F.size()).hasValue());
+  ErrorOr<Frame> Got = C.readFrame(kFrameWaitMs);
+  ASSERT_TRUE(Got.hasValue()) << Got.message();
+  EXPECT_EQ(Got->Type, FrameType::Reject);
+  EXPECT_EQ(Got->Correlation, 21u);
+  ErrorOr<RejectInfo> RI = decodeReject(Got->Payload);
+  ASSERT_TRUE(RI.hasValue());
+  EXPECT_EQ(RI->Code, "bad_request");
+
+  std::string PlainPayload = jobRequestToJson(gsmJob("m2"));
+  std::string F2 = encodeFrame(FrameType::GraphRequest, 22, PlainPayload);
+  ASSERT_TRUE(C.sendRaw(F2.data(), F2.size()).hasValue());
+  ErrorOr<Frame> Got2 = C.readFrame(kFrameWaitMs);
+  ASSERT_TRUE(Got2.hasValue()) << Got2.message();
+  EXPECT_EQ(Got2->Type, FrameType::Reject);
+  ErrorOr<RejectInfo> RI2 = decodeReject(Got2->Payload);
+  ASSERT_TRUE(RI2.hasValue());
+  EXPECT_EQ(RI2->Code, "bad_request");
+
+  // The connection survived both rejects.
   ErrorOr<uint64_t> Corr = C.ping();
   ASSERT_TRUE(Corr.hasValue());
   ErrorOr<Frame> Pong = C.readFrame(kFrameWaitMs);

@@ -249,14 +249,18 @@ TEST(Wire, FrameTypeNamesAreStable) {
   EXPECT_STREQ(frameTypeName(FrameType::PeerData), "peer_data");
   EXPECT_STREQ(frameTypeName(FrameType::StatsFetch), "stats_fetch");
   EXPECT_STREQ(frameTypeName(FrameType::StatsData), "stats_data");
+  EXPECT_STREQ(frameTypeName(FrameType::GraphRequest), "graph_request");
+  EXPECT_STREQ(frameTypeName(FrameType::GraphResponse), "graph_response");
   EXPECT_TRUE(validFrameType(1));
   EXPECT_TRUE(validFrameType(5));
   EXPECT_TRUE(validFrameType(6));
   EXPECT_TRUE(validFrameType(7));
   EXPECT_TRUE(validFrameType(8));
   EXPECT_TRUE(validFrameType(9));
+  EXPECT_TRUE(validFrameType(10));
+  EXPECT_TRUE(validFrameType(11));
   EXPECT_FALSE(validFrameType(0));
-  EXPECT_FALSE(validFrameType(10));
+  EXPECT_FALSE(validFrameType(12));
 }
 
 TEST(Wire, TraceContextRoundTripsThroughTheExtensionBlock) {
@@ -430,6 +434,34 @@ TEST(Wire, PeerFrameRoundTrip) {
   ASSERT_EQ(P.next(F), FrameParser::Next::Frame);
   EXPECT_EQ(F.Type, FrameType::PeerData);
   EXPECT_EQ(F.Payload, "{\"found\":false}");
+}
+
+TEST(Wire, GraphFrameTypesAreFirstClassCitizens) {
+  // The task-graph pair extends the type space contiguously: 10 and 11
+  // are valid, what follows is not (old peers reject graph frames as
+  // BadType rather than misparsing them — that asymmetry is the
+  // version-negotiation story, so pin the raw values).
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::GraphRequest), 10);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::GraphResponse), 11);
+  EXPECT_TRUE(validFrameType(10));
+  EXPECT_TRUE(validFrameType(11));
+  EXPECT_FALSE(validFrameType(12));
+  EXPECT_STREQ(frameTypeName(FrameType::GraphRequest), "graph_request");
+  EXPECT_STREQ(frameTypeName(FrameType::GraphResponse), "graph_response");
+}
+
+TEST(Wire, GraphFramesRoundTripLikeAnyOther) {
+  for (FrameType T : {FrameType::GraphRequest, FrameType::GraphResponse}) {
+    std::string B = encodeFrame(T, 77, "{\"graph\":{}}");
+    FrameParser P;
+    P.feed(B.data(), B.size());
+    Frame F;
+    ASSERT_EQ(P.next(F), FrameParser::Next::Frame);
+    EXPECT_EQ(F.Type, T);
+    EXPECT_EQ(F.Correlation, 77u);
+    EXPECT_EQ(F.Payload, "{\"graph\":{}}");
+    EXPECT_EQ(P.next(F), FrameParser::Next::NeedMore);
+  }
 }
 
 } // namespace

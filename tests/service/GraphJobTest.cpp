@@ -1,0 +1,173 @@
+//===- tests/service/GraphJobTest.cpp - graph jobs through the service -----===//
+//
+// The graph job kind end to end: canned DAGs submitted like any other
+// request come back as cdvs-taskplan text with the online/static energy
+// pairing intact, cache by graph fingerprint (so resubmission is
+// byte-identical and profile collection is shared), survive strict
+// verification, and fail with named reasons when the request is
+// malformed. Satellite 3's service-level half lives here too: worker
+// count must not move a single byte of the emitted plan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "taskgraph/Generator.h"
+#include "taskgraph/PlanIO.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace cdvs;
+
+namespace {
+
+JobRequest graphJob(const std::string &Id, const std::string &Name,
+                    bool Replan = true) {
+  ErrorOr<taskgraph::TaskGraph> G = taskgraph::cannedTaskGraph(Name);
+  EXPECT_TRUE(G.hasValue()) << G.message();
+  JobRequest R;
+  R.Id = Id;
+  R.GraphReplan = Replan;
+  R.Graph = std::make_shared<const taskgraph::TaskGraph>(std::move(*G));
+  return R;
+}
+
+TEST(GraphJob, SolvesACannedGraphEndToEnd) {
+  SchedulerService Service;
+  JobResult R = Service.submit(graphJob("g1", "pair2-early")).get();
+  ASSERT_EQ(R.Status, JobStatus::Done) << R.Reason;
+  EXPECT_EQ(R.Id, "g1");
+  EXPECT_EQ(R.Fingerprint.size(), 32u);
+  EXPECT_FALSE(R.CacheHit);
+
+  // Graph-kind marker and the reclamation pairing: every pair2-early
+  // factor is < 1, so the online plan must replan at least once and
+  // never exceed the static energy.
+  EXPECT_GE(R.Replans, 1);
+  EXPECT_GE(R.ReplansAccepted, 0);
+  EXPECT_LE(R.ReplansAccepted, R.Replans);
+  EXPECT_GT(R.StaticEnergyJoules, 0.0);
+  EXPECT_GT(R.PredictedEnergyJoules, 0.0);
+  EXPECT_LE(R.PredictedEnergyJoules, R.StaticEnergyJoules);
+  EXPECT_GT(R.MakespanSeconds, 0.0);
+  EXPECT_GT(R.DeadlineSeconds, 0.0);
+  EXPECT_LE(R.MakespanSeconds, R.DeadlineSeconds * (1.0 + 1e-9));
+
+  // The schedule text is a parseable task plan that re-reads to the
+  // same executed result.
+  ASSERT_EQ(R.ScheduleText.rfind("cdvs-taskplan v1\n", 0), 0u);
+  std::vector<std::string> Names;
+  ErrorOr<taskgraph::OnlineResult> Plan =
+      taskgraph::readTaskPlan(R.ScheduleText, &Names);
+  ASSERT_TRUE(Plan.hasValue()) << Plan.message();
+  EXPECT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Plan->Replans, R.Replans);
+  EXPECT_EQ(Plan->PlannedEnergyJoules, R.PredictedEnergyJoules);
+}
+
+TEST(GraphJob, ResubmissionHitsTheCacheByGraphFingerprint) {
+  SchedulerService Service;
+  JobResult First = Service.submit(graphJob("cold", "pair2-early")).get();
+  ASSERT_EQ(First.Status, JobStatus::Done) << First.Reason;
+  JobResult Second = Service.submit(graphJob("warm", "pair2-early")).get();
+  ASSERT_EQ(Second.Status, JobStatus::Done) << Second.Reason;
+  EXPECT_TRUE(Second.CacheHit);
+  EXPECT_EQ(Second.Fingerprint, First.Fingerprint);
+  EXPECT_EQ(Second.ScheduleText, First.ScheduleText);
+  EXPECT_EQ(Second.Replans, First.Replans);
+  EXPECT_EQ(Second.StaticEnergyJoules, First.StaticEnergyJoules);
+  EXPECT_EQ(Service.cacheStats().Hits, 1);
+
+  // Replan on/off is a different instance, not a cache collision.
+  JobResult Static =
+      Service.submit(graphJob("static", "pair2-early", false)).get();
+  ASSERT_EQ(Static.Status, JobStatus::Done) << Static.Reason;
+  EXPECT_FALSE(Static.CacheHit);
+  EXPECT_NE(Static.Fingerprint, First.Fingerprint);
+  EXPECT_EQ(Static.Replans, 0);
+}
+
+TEST(GraphJob, WorkerCountDoesNotMoveTheBytes) {
+  // Satellite 3 at the service layer: the same graph solved by a
+  // 1-worker and a 4-worker service (MILP threads pinned per job)
+  // must emit identical plans.
+  ServiceOptions One;
+  One.NumWorkers = 1;
+  ServiceOptions Four;
+  Four.NumWorkers = 4;
+  SchedulerService A(One), B(Four);
+  JobResult RA = A.submit(graphJob("a", "diamond4-early")).get();
+  JobResult RB = B.submit(graphJob("b", "diamond4-early")).get();
+  ASSERT_EQ(RA.Status, JobStatus::Done) << RA.Reason;
+  ASSERT_EQ(RB.Status, JobStatus::Done) << RB.Reason;
+  EXPECT_EQ(RA.Fingerprint, RB.Fingerprint);
+  EXPECT_EQ(RA.ScheduleText, RB.ScheduleText);
+}
+
+TEST(GraphJob, StrictVerifyPassesCleanGraphSolves) {
+  ServiceOptions O;
+  O.Verify = VerifyMode::Strict;
+  SchedulerService Service(O);
+  // chain4-late exercises the forced-accept branch; the checker must
+  // still find the executed plan legal.
+  for (const char *Name : {"pair2-early", "chain4-late"}) {
+    JobResult R = Service.submit(graphJob(Name, Name)).get();
+    EXPECT_EQ(R.Status, JobStatus::Done) << Name << ": " << R.Reason;
+  }
+}
+
+TEST(GraphJob, RejectsMalformedGraphRequests) {
+  SchedulerService Service;
+  { // both a workload and a graph: ambiguous kind
+    JobRequest R = graphJob("both", "pair2-early");
+    R.Workload = "gsm";
+    JobResult Res = Service.submit(R).get();
+    EXPECT_EQ(Res.Status, JobStatus::Failed);
+    EXPECT_FALSE(Res.Reason.empty());
+  }
+  { // structurally invalid graph
+    JobRequest R = graphJob("cyclic", "pair2-early");
+    auto G = std::make_shared<taskgraph::TaskGraph>(*R.Graph);
+    G->Edges.push_back({1, 0});
+    R.Graph = G;
+    JobResult Res = Service.submit(R).get();
+    EXPECT_EQ(Res.Status, JobStatus::Failed);
+  }
+  { // unknown workload inside a node
+    JobRequest R = graphJob("badwl", "pair2-early");
+    auto G = std::make_shared<taskgraph::TaskGraph>(*R.Graph);
+    G->Nodes[0].Workload = "no-such-workload";
+    R.Graph = G;
+    JobResult Res = Service.submit(R).get();
+    EXPECT_EQ(Res.Status, JobStatus::Failed);
+  }
+}
+
+TEST(GraphJob, ImpossibleDeadlineIsInfeasibleNotFailed) {
+  JobRequest R = graphJob("tight", "pair2-early");
+  auto G = std::make_shared<taskgraph::TaskGraph>(*R.Graph);
+  G->DeadlineSeconds = 1e-9; // below any critical path
+  R.Graph = G;
+  SchedulerService Service;
+  JobResult Res = Service.submit(R).get();
+  EXPECT_EQ(Res.Status, JobStatus::Infeasible) << Res.Reason;
+}
+
+TEST(GraphJob, SingleProgramResultsKeepTheSentinel) {
+  // Single-program jobs must be bit-for-bit unaffected by the graph
+  // extension: Replans stays -1 and the text stays a cdvs-schedule.
+  SchedulerService Service;
+  JobRequest R;
+  R.Id = "plain";
+  R.Workload = "gsm";
+  JobResult Res = Service.submit(R).get();
+  ASSERT_EQ(Res.Status, JobStatus::Done) << Res.Reason;
+  EXPECT_EQ(Res.Replans, -1);
+  EXPECT_EQ(Res.ScheduleText.rfind("cdvs-schedule v1", 0), 0u);
+}
+
+} // namespace

@@ -179,6 +179,60 @@ TEST(ArgParse, UnknownOptionSuggestsTheNearestName) {
       << R3.message();
 }
 
+TEST(ArgParse, StringListCollectsRepeatsInOrderInBothForms) {
+  // dvsd's --graph/--actual options repeat; each occurrence appends,
+  // and `--name=value` and `--name value` are interchangeable per
+  // occurrence.
+  ArgParser P("prog");
+  std::vector<std::string> &Graphs = P.addStringList("graph", "");
+  EXPECT_TRUE(Graphs.empty()) << "the list default is empty";
+  ErrorOr<bool> R = parseArgs(
+      P, {"prog", "--graph=pair2-early", "--graph", "chain4-early",
+          "--graph=diamond4-early"});
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(Graphs, (std::vector<std::string>{
+                        "pair2-early", "chain4-early", "diamond4-early"}));
+  EXPECT_TRUE(P.wasSet("graph"));
+}
+
+TEST(ArgParse, StringListKeepsDuplicatesAndEqualsInValues) {
+  // Values are verbatim: duplicates stay, and only the first '=' splits
+  // name from value (TASK=FACTOR payloads contain their own '=').
+  ArgParser P("prog");
+  std::vector<std::string> &Actual = P.addStringList("actual", "");
+  ErrorOr<bool> R = parseArgs(
+      P, {"prog", "--actual=encode=0.5", "--actual=encode=0.5"});
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(Actual,
+            (std::vector<std::string>{"encode=0.5", "encode=0.5"}));
+}
+
+TEST(ArgParse, StringListMissingValueIsAnError) {
+  // The space form must not swallow a following option, and a trailing
+  // bare occurrence is an error, not an empty element.
+  ArgParser P("prog");
+  std::vector<std::string> &L = P.addStringList("graph", "");
+  bool &Flag = P.addFlag("verbose", "");
+  ErrorOr<bool> R1 = parseArgs(P, {"prog", "--graph", "--verbose"});
+  ASSERT_FALSE(R1.hasValue());
+  EXPECT_NE(R1.message().find("--graph"), std::string::npos);
+  EXPECT_FALSE(Flag);
+
+  ArgParser Q("prog");
+  std::vector<std::string> &M = Q.addStringList("graph", "");
+  EXPECT_FALSE(parseArgs(Q, {"prog", "--graph"}).hasValue());
+  EXPECT_TRUE(M.empty());
+  (void)L;
+}
+
+TEST(ArgParse, StringListUsageMarksRepetition) {
+  ArgParser P("prog");
+  P.addStringList("graph", "canned graph name");
+  std::string U = P.usage();
+  EXPECT_NE(U.find("--graph=<str>..."), std::string::npos) << U;
+  EXPECT_NE(U.find("(default: none)"), std::string::npos) << U;
+}
+
 TEST(ArgParse, ReferencesStayValidAcrossManyRegistrations) {
   // Options live behind stable storage; registering more must not move
   // earlier bindings (this is what lets mains hold plain references).

@@ -1,0 +1,194 @@
+//===- tests/taskgraph/TaskGraphTest.cpp - DAG model contracts -------------===//
+//
+// The TaskGraph value type: structural validation catches every malformed
+// shape with a named diagnostic, topoOrder is the one canonical tie-break
+// every consumer shares, and the content fingerprint moves exactly when
+// the instance changes. The canned generator set is pinned here too since
+// tests, dvsd, dvs-loadgen, and bench all consume it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "taskgraph/TaskGraph.h"
+
+#include "taskgraph/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace cdvs;
+using namespace cdvs::taskgraph;
+
+namespace {
+
+/// diamond: a -> {b, c} -> d
+TaskGraph diamond() {
+  TaskGraph G;
+  G.Name = "diamond";
+  G.Nodes = {{"a", "gsm", "", 1.0},
+             {"b", "adpcm", "", 1.0},
+             {"c", "gsm", "", 1.0},
+             {"d", "adpcm", "", 1.0}};
+  G.Edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  G.DeadlineSeconds = 1.0;
+  return G;
+}
+
+TEST(TaskGraphModel, ValidGraphValidates) {
+  ErrorOr<bool> R = validateGraph(diamond());
+  EXPECT_TRUE(R.hasValue()) << R.message();
+}
+
+TEST(TaskGraphModel, RejectsStructuralViolations) {
+  { // empty node list
+    TaskGraph G;
+    G.Name = "empty";
+    EXPECT_FALSE(validateGraph(G).hasValue());
+  }
+  { // duplicate names
+    TaskGraph G = diamond();
+    G.Nodes[2].Name = "a";
+    ErrorOr<bool> R = validateGraph(G);
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_NE(R.message().find("a"), std::string::npos) << R.message();
+  }
+  { // empty name
+    TaskGraph G = diamond();
+    G.Nodes[1].Name = "";
+    EXPECT_FALSE(validateGraph(G).hasValue());
+  }
+  { // out-of-range edge endpoint
+    TaskGraph G = diamond();
+    G.Edges.push_back({3, 4});
+    EXPECT_FALSE(validateGraph(G).hasValue());
+  }
+  { // self edge
+    TaskGraph G = diamond();
+    G.Edges.push_back({2, 2});
+    EXPECT_FALSE(validateGraph(G).hasValue());
+  }
+  { // duplicate edge
+    TaskGraph G = diamond();
+    G.Edges.push_back({0, 1});
+    EXPECT_FALSE(validateGraph(G).hasValue());
+  }
+  { // non-positive actual factor
+    TaskGraph G = diamond();
+    G.Nodes[0].ActualFactor = 0.0;
+    EXPECT_FALSE(validateGraph(G).hasValue());
+  }
+  { // cycle
+    TaskGraph G = diamond();
+    G.Edges.push_back({3, 0});
+    ErrorOr<bool> R = validateGraph(G);
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_NE(R.message().find("cycle"), std::string::npos) << R.message();
+  }
+}
+
+TEST(TaskGraphModel, TopoOrderIsCanonicalSmallestIndexFirst) {
+  // Two sources (2 and 0 by construction order) must come out 0 first:
+  // Kahn's queue takes the smallest ready index.
+  TaskGraph G;
+  G.Name = "two-sources";
+  G.Nodes = {{"s0", "gsm", "", 1.0},
+             {"mid", "gsm", "", 1.0},
+             {"s1", "gsm", "", 1.0},
+             {"sink", "gsm", "", 1.0}};
+  G.Edges = {{2, 1}, {0, 1}, {1, 3}};
+  ErrorOr<std::vector<int>> R = topoOrder(G);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(*R, (std::vector<int>{0, 2, 1, 3}));
+
+  // Edge declaration order is presentation, not content.
+  TaskGraph H = G;
+  std::swap(H.Edges[0], H.Edges[1]);
+  EXPECT_EQ(*topoOrder(H), *R);
+}
+
+TEST(TaskGraphModel, TopoOrderErrorsOnCycles) {
+  TaskGraph G = diamond();
+  G.Edges.push_back({3, 0});
+  EXPECT_FALSE(topoOrder(G).hasValue());
+}
+
+TEST(TaskGraphModel, PredecessorAndSuccessorListsAreSortedAndDual) {
+  TaskGraph G = diamond();
+  std::vector<std::vector<int>> P = predecessorsOf(G);
+  std::vector<std::vector<int>> S = successorsOf(G);
+  ASSERT_EQ(P.size(), 4u);
+  ASSERT_EQ(S.size(), 4u);
+  EXPECT_EQ(P[0], (std::vector<int>{}));
+  EXPECT_EQ(P[3], (std::vector<int>{1, 2}));
+  EXPECT_EQ(S[0], (std::vector<int>{1, 2}));
+  EXPECT_EQ(S[3], (std::vector<int>{}));
+  for (int N = 0; N < 4; ++N)
+    for (int Pred : P[N])
+      EXPECT_TRUE(std::find(S[Pred].begin(), S[Pred].end(), N) !=
+                  S[Pred].end());
+}
+
+TEST(TaskGraphModel, FingerprintIsContentNotPresentation) {
+  TaskGraph A = diamond();
+  TaskGraph B = diamond();
+  EXPECT_EQ(fingerprintTaskGraph(A).toHex(), fingerprintTaskGraph(B).toHex());
+
+  // Edge order is normalized away...
+  std::swap(B.Edges[0], B.Edges[3]);
+  EXPECT_EQ(fingerprintTaskGraph(A).toHex(), fingerprintTaskGraph(B).toHex());
+
+  // ...but every semantic field moves the digest.
+  TaskGraph C = diamond();
+  C.Nodes[1].ActualFactor = 0.75;
+  EXPECT_NE(fingerprintTaskGraph(A).toHex(), fingerprintTaskGraph(C).toHex());
+  TaskGraph D = diamond();
+  D.DeadlineSeconds = 2.0;
+  EXPECT_NE(fingerprintTaskGraph(A).toHex(), fingerprintTaskGraph(D).toHex());
+  TaskGraph E = diamond();
+  E.Nodes[0].Workload = "adpcm";
+  EXPECT_NE(fingerprintTaskGraph(A).toHex(), fingerprintTaskGraph(E).toHex());
+  TaskGraph F = diamond();
+  F.Edges.pop_back();
+  EXPECT_NE(fingerprintTaskGraph(A).toHex(), fingerprintTaskGraph(F).toHex());
+}
+
+TEST(TaskGraphModel, CannedGraphsAllValidateAndAreDistinct) {
+  std::vector<TaskGraph> All = cannedTaskGraphs();
+  ASSERT_GE(All.size(), 6u);
+  std::set<std::string> Names;
+  std::set<std::string> Digests;
+  for (const TaskGraph &G : All) {
+    ErrorOr<bool> V = validateGraph(G);
+    EXPECT_TRUE(V.hasValue()) << G.Name << ": " << V.message();
+    Names.insert(G.Name);
+    Digests.insert(fingerprintTaskGraph(G).toHex());
+  }
+  EXPECT_EQ(Names.size(), All.size());
+  EXPECT_EQ(Digests.size(), All.size());
+
+  // The corpus deliberately keeps one overrunning instance for the
+  // forced-accept path and makes every other instance pure-reclamation.
+  for (const TaskGraph &G : All) {
+    bool Overruns = false;
+    for (const TaskNode &N : G.Nodes)
+      Overruns = Overruns || N.ActualFactor > 1.0;
+    EXPECT_EQ(Overruns, G.Name == "chain4-late") << G.Name;
+  }
+}
+
+TEST(TaskGraphModel, CannedLookupByNameMatchesAndErrorsHelpfully) {
+  ErrorOr<TaskGraph> G = cannedTaskGraph("diamond4-early");
+  ASSERT_TRUE(G.hasValue()) << G.message();
+  EXPECT_EQ(G->Name, "diamond4-early");
+
+  ErrorOr<TaskGraph> Miss = cannedTaskGraph("no-such-graph");
+  ASSERT_FALSE(Miss.hasValue());
+  // The error names the known set so CLI typos are self-correcting.
+  EXPECT_NE(Miss.message().find("pair2-early"), std::string::npos)
+      << Miss.message();
+}
+
+} // namespace

@@ -147,7 +147,9 @@ int lintStaticWorkload(const Workload &W, const LintConfig &Cfg) {
 }
 
 /// Audits a text-IR file: parse errors become diagnostics, a parsed
-/// function gets the full static audit without profile data.
+/// function gets the full static audit without profile data. The
+/// caller (main) has already rejected unreadable paths, but the file
+/// can still vanish between the probe and here — same structured error.
 int lintStaticIrFile(const std::string &Path, const LintConfig &Cfg) {
   std::ifstream In(Path);
   if (!In) {
@@ -262,6 +264,23 @@ int main(int argc, char **argv) {
   if (!IrPath.empty() && !Static) {
     std::fprintf(stderr, "dvs-lint: --ir needs --static\n");
     return 2;
+  }
+  // An unusable --ir path is a usage/input problem (exit 2), caught up
+  // front: an empty value (say, an unset shell variable expanding to
+  // `--ir=`) used to fall through to the bundled-workload audit and
+  // exit 0, and a nonexistent path must never look like a clean audit.
+  if (P.wasSet("ir")) {
+    if (IrPath.empty()) {
+      std::printf("<empty>: error: [static] --ir requires a file path; "
+                  "got an empty value\n");
+      return 2;
+    }
+    std::ifstream Probe(IrPath);
+    if (!Probe) {
+      std::printf("%s: error: [static] cannot open file\n",
+                  IrPath.c_str());
+      return 2;
+    }
   }
 
   int Errors = 0;

@@ -11,6 +11,10 @@
 // solve is a pure result-cache hit — the sustained-throughput number
 // measures the wire + event loop + cache path, not the MILP. Pass
 // --distinct=K to spread requests over K deadline variants instead.
+// Repeated --graph=NAME options switch to graph mode: requests become
+// task-graph jobs (GraphRequest frames) cycling over the named canned
+// instances (taskgraph/Generator.h), and returned plans land under
+// --schedules=DIR as <fingerprint>.taskplan.
 //
 // --schedules=DIR writes each distinct returned schedule to
 // DIR/<fingerprint>.cdvs (the same canonical form dvsd --schedules
@@ -39,6 +43,8 @@
 #include "service/JobIO.h"
 #include "support/ArgParse.h"
 #include "support/Clock.h"
+#include "taskgraph/Generator.h"
+#include "taskgraph/PlanIO.h"
 
 #include <algorithm>
 #include <atomic>
@@ -46,6 +52,7 @@
 #include <csignal>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -98,6 +105,9 @@ struct WorkerConfig {
   int TraceSamplePct = 0;
   int DrainTimeoutMs = 10'000;
   JobRequest Base;
+  /// Graph mode: requests cycle over these canned graphs instead of
+  /// deadline variants (empty = single-program mode).
+  std::vector<std::shared_ptr<const taskgraph::TaskGraph>> Graphs;
 };
 
 void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
@@ -133,7 +143,8 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
       ++Rejects;
       return;
     }
-    if (F.Type != net::FrameType::Response)
+    if (F.Type != net::FrameType::Response &&
+        F.Type != net::FrameType::GraphResponse)
       return;
     ErrorOr<JobResult> R = jobResultFromJsonText(F.Payload);
     if (!R) {
@@ -163,7 +174,10 @@ void runWorker(int Index, const WorkerConfig &Cfg, SharedTally &Tally) {
     if (Sent < Cfg.Quota && Now >= NextSend) {
       JobRequest R = Cfg.Base;
       R.Id = "c" + std::to_string(Index) + "-" + std::to_string(Sent);
-      if (Cfg.Distinct > 1) {
+      if (!Cfg.Graphs.empty())
+        R.Graph = Cfg.Graphs[static_cast<size_t>(Sent) %
+                             Cfg.Graphs.size()];
+      else if (Cfg.Distinct > 1) {
         long Variant = Sent % Cfg.Distinct;
         // Hot-key skew: the configured share of sends collapses onto
         // variant 0, so one ring owner sees concentrated load.
@@ -338,6 +352,10 @@ int main(int argc, char **argv) {
       "cache-hit load)");
   std::string &WorkloadName =
       P.addString("workload", "gsm", "workload to schedule");
+  std::vector<std::string> &GraphNames = P.addStringList(
+      "graph", "graph mode: cycle task-graph jobs over this canned "
+               "instance (repeat for several; overrides --workload/"
+               "--distinct)");
   double &Tightness =
       P.addDouble("tightness", 0.5, "relative deadline tightness");
   int &Warmup = P.addInt(
@@ -399,9 +417,22 @@ int main(int argc, char **argv) {
   if (Rate <= 0.0)
     Rate = 1.0;
 
+  std::vector<std::shared_ptr<const taskgraph::TaskGraph>> Graphs;
+  for (const std::string &Name : GraphNames) {
+    ErrorOr<taskgraph::TaskGraph> G = taskgraph::cannedTaskGraph(Name);
+    if (!G) {
+      std::fprintf(stderr, "dvs-loadgen: %s\n", G.message().c_str());
+      return 1;
+    }
+    Graphs.push_back(
+        std::make_shared<const taskgraph::TaskGraph>(std::move(*G)));
+  }
+
   JobRequest Base;
-  Base.Workload = WorkloadName;
-  Base.DeadlineTightness = Tightness;
+  if (Graphs.empty()) {
+    Base.Workload = WorkloadName;
+    Base.DeadlineTightness = Tightness;
+  }
 
   // Prime the cache (and fail fast on a bad port/workload) before the
   // clock starts.
@@ -415,6 +446,8 @@ int main(int argc, char **argv) {
     }
     JobRequest W = Base;
     W.Id = "warmup-" + std::to_string(I);
+    if (!Graphs.empty())
+      W.Graph = Graphs[static_cast<size_t>(I) % Graphs.size()];
     // Trace the warmup too when sampling is on: it is the one request
     // guaranteed to pay every cold-start cost, so it reliably lands in
     // the router's slow log with a trace id attached. Not counted in
@@ -446,6 +479,7 @@ int main(int argc, char **argv) {
                          : (TraceSamplePct > 100 ? 100 : TraceSamplePct);
   Cfg.DrainTimeoutMs = DrainTimeoutMs < 0 ? 0 : DrainTimeoutMs;
   Cfg.Base = Base;
+  Cfg.Graphs = Graphs;
 
   long PerConn = Requests / Connections;
   uint64_t T0 = monotonicNanos();
@@ -525,6 +559,30 @@ int main(int argc, char **argv) {
   int ScheduleWriteErrors = 0;
   if (!SchedulesDir.empty()) {
     for (const auto &[Fp, Text] : Tally.Schedules) {
+      if (Text.rfind("cdvs-taskplan", 0) == 0) {
+        // Graph plans: parse round trip, then the bytes land verbatim
+        // (the byte-identity gate diffs the text itself).
+        ErrorOr<taskgraph::OnlineResult> Plan =
+            taskgraph::readTaskPlan(Text);
+        bool Wrote = false;
+        std::string Path = SchedulesDir + "/" + Fp + ".taskplan";
+        if (Plan) {
+          if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+            Wrote = std::fwrite(Text.data(), 1, Text.size(), F) ==
+                    Text.size();
+            std::fclose(F);
+          }
+          if (!Wrote)
+            std::fprintf(stderr, "dvs-loadgen: cannot write '%s'\n",
+                         Path.c_str());
+        } else {
+          std::fprintf(stderr, "dvs-loadgen: %s\n",
+                       Plan.message().c_str());
+        }
+        if (!Wrote)
+          ++ScheduleWriteErrors;
+        continue;
+      }
       ErrorOr<ModeAssignment> A = readSchedule(Text);
       ErrorOr<bool> Wrote =
           A ? writeScheduleFile(SchedulesDir + "/" + Fp + ".cdvs", *A)

@@ -25,6 +25,17 @@
 // result line, strict additionally fails jobs whose schedule draws any
 // error-severity diagnostic.
 //
+// --taskgraph switches to the task-graph pipeline: the batch is the
+// canned graph instances (taskgraph/Generator.h) instead of request
+// lines — narrow it with repeated --graph=NAME options, override
+// per-task actual/profiled time factors with repeated
+// --actual=TASK=FACTOR options (both repeatable options accept the
+// `--opt value` form too), and disable online slack reclamation with
+// --static-plan. Result lines are the graph result vocabulary
+// (replans, static/actual energy, makespan); with --schedules=DIR each
+// plan is written to DIR/<fingerprint>.taskplan in the
+// `cdvs-taskplan v1` text format after a parse round trip.
+//
 // Observability: --metrics-out=FILE writes the process metrics registry
 // in Prometheus text exposition format after the batch ('-' = stderr);
 // --metrics-json=FILE writes the same registry as JSON; --trace-out=FILE
@@ -39,9 +50,13 @@
 #include "service/JobIO.h"
 #include "service/Service.h"
 #include "support/ArgParse.h"
+#include "taskgraph/Generator.h"
+#include "taskgraph/PlanIO.h"
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -135,6 +150,18 @@ int main(int argc, char **argv) {
       "presolve", "on",
       "certified MILP presolve: on (analyze + reduce, schedules stay "
       "byte-identical) or off (solve the full instance)");
+  bool &TaskGraphMode = P.addFlag(
+      "taskgraph",
+      "run the canned task-graph batch instead of request lines");
+  std::vector<std::string> &GraphNames = P.addStringList(
+      "graph", "with --taskgraph: run only this canned graph (repeat "
+               "for several)");
+  std::vector<std::string> &ActualOverrides = P.addStringList(
+      "actual", "with --taskgraph: override a task's actual/profiled "
+                "time factor as TASK=FACTOR (repeatable)");
+  bool &StaticPlanOnly = P.addFlag(
+      "static-plan",
+      "with --taskgraph: disable online slack reclamation (no re-plans)");
   if (!P.parseOrExit(argc, argv))
     return 0;
   VerifyMode Verify = VerifyMode::Off;
@@ -162,6 +189,63 @@ int main(int argc, char **argv) {
   if (!TraceOut.empty())
     obs::trace().setEnabled(true);
 
+  std::vector<JobRequest> Batch;
+  int ParseErrors = 0;
+  if (TaskGraphMode) {
+    // The batch is canned graph instances, not request lines.
+    std::vector<taskgraph::TaskGraph> Graphs;
+    if (GraphNames.empty()) {
+      Graphs = taskgraph::cannedTaskGraphs();
+    } else {
+      for (const std::string &Name : GraphNames) {
+        ErrorOr<taskgraph::TaskGraph> G = taskgraph::cannedTaskGraph(Name);
+        if (!G) {
+          std::fprintf(stderr, "dvsd: %s\n", G.message().c_str());
+          return 1;
+        }
+        Graphs.push_back(std::move(*G));
+      }
+    }
+    for (const std::string &Ov : ActualOverrides) {
+      size_t Eq = Ov.find('=');
+      char *End = nullptr;
+      double Factor =
+          Eq == std::string::npos
+              ? 0.0
+              : std::strtod(Ov.c_str() + Eq + 1, &End);
+      if (Eq == std::string::npos || Eq == 0 || End == nullptr ||
+          *End != '\0' || !(Factor > 0.0)) {
+        std::fprintf(stderr,
+                     "dvsd: --actual wants TASK=FACTOR with a positive "
+                     "factor (got '%s')\n",
+                     Ov.c_str());
+        return 1;
+      }
+      std::string Task = Ov.substr(0, Eq);
+      bool Matched = false;
+      for (taskgraph::TaskGraph &G : Graphs)
+        for (taskgraph::TaskNode &N : G.Nodes)
+          if (N.Name == Task) {
+            N.ActualFactor = Factor;
+            Matched = true;
+          }
+      if (!Matched) {
+        std::fprintf(stderr,
+                     "dvsd: --actual=%s matches no task in the selected "
+                     "graphs\n",
+                     Ov.c_str());
+        return 1;
+      }
+    }
+    for (taskgraph::TaskGraph &G : Graphs) {
+      JobRequest R;
+      R.Id = G.Name;
+      R.GraphReplan = !StaticPlanOnly;
+      R.Graph =
+          std::make_shared<const taskgraph::TaskGraph>(std::move(G));
+      Batch.push_back(std::move(R));
+    }
+  } else {
   std::FILE *In = stdin;
   if (RequestsPath != "-") {
     In = std::fopen(RequestsPath.c_str(), "r");
@@ -174,9 +258,8 @@ int main(int argc, char **argv) {
 
   // Parse the whole request batch up front; malformed lines become
   // immediate per-line error records, not fatal errors.
-  std::vector<JobRequest> Batch;
   std::string Line;
-  int LineNo = 0, ParseErrors = 0;
+  int LineNo = 0;
   char Buf[16384];
   while (std::fgets(Buf, sizeof(Buf), In)) {
     ++LineNo;
@@ -202,6 +285,7 @@ int main(int argc, char **argv) {
   }
   if (In != stdin)
     std::fclose(In);
+  }
 
   ServiceOptions O;
   O.NumWorkers = Threads;
@@ -216,7 +300,30 @@ int main(int argc, char **argv) {
     std::vector<JobResult> Results = Service.runBatch(Batch);
     for (const JobResult &R : Results) {
       std::string ScheduleFile;
-      if (!SchedulesDir.empty() && R.Status == JobStatus::Done) {
+      if (!SchedulesDir.empty() && R.Status == JobStatus::Done &&
+          R.Replans >= 0) {
+        // Graph plans round-trip through the taskplan parser (so a
+        // malformed emission fails loudly here) and land verbatim.
+        ScheduleFile = SchedulesDir + "/" + R.Fingerprint + ".taskplan";
+        ErrorOr<taskgraph::OnlineResult> Plan =
+            taskgraph::readTaskPlan(R.ScheduleText);
+        bool Wrote = false;
+        if (Plan) {
+          if (std::FILE *F = std::fopen(ScheduleFile.c_str(), "w")) {
+            Wrote = std::fwrite(R.ScheduleText.data(), 1,
+                                R.ScheduleText.size(), F) ==
+                    R.ScheduleText.size();
+            std::fclose(F);
+          }
+          if (!Wrote)
+            std::fprintf(stderr, "dvsd: cannot write '%s'\n",
+                         ScheduleFile.c_str());
+        } else {
+          std::fprintf(stderr, "dvsd: %s\n", Plan.message().c_str());
+        }
+        if (!Wrote)
+          ScheduleFile.clear();
+      } else if (!SchedulesDir.empty() && R.Status == JobStatus::Done) {
         ScheduleFile = SchedulesDir + "/" + R.Fingerprint + ".cdvs";
         ErrorOr<ModeAssignment> A = readSchedule(R.ScheduleText);
         ErrorOr<bool> Wrote =
